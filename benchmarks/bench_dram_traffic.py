@@ -1,0 +1,75 @@
+"""Sec. I motivation — DRAM traffic reduction (extension bench).
+
+The paper motivates pruning with DRAM transfer cost. This bench quantifies
+per-inference weight traffic for dense / PCNN / CSC storage on VGG-16 at
+the hardware's 8-bit precision, and reports the end-to-end saving once the
+(pruning-invariant) activation traffic is included.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch import dram_traffic
+from repro.core import PCNNConfig
+
+from common import vgg16_cifar_profile
+
+
+def build_traffic():
+    profile = vgg16_cifar_profile()
+    return {
+        n: dram_traffic(profile, PCNNConfig.uniform(n, 13), weight_bits=8)
+        for n in (4, 2, 1)
+    }
+
+
+def test_dram_traffic(benchmark):
+    reports = benchmark(build_traffic)
+    rows = []
+    for n, report in reports.items():
+        rows.append(
+            [
+                f"n = {n}",
+                f"{report.dense_weight_bytes / 1e6:.2f} MB",
+                f"{report.pcnn_weight_bytes / 1e6:.2f} MB",
+                f"{report.csc_weight_bytes / 1e6:.2f} MB",
+                f"{report.pcnn_weight_saving:.2f}x",
+                f"{report.pcnn_total_saving:.2f}x",
+            ]
+        )
+    print("\n" + format_table(
+        ["setting", "dense wts", "PCNN wts", "CSC wts", "wt saving", "total saving"],
+        rows,
+        title="DRAM traffic per inference (VGG-16, 8-bit)",
+    ))
+
+    for n, report in reports.items():
+        # PCNN always beats CSC at equal density (smaller index stream).
+        assert report.pcnn_weight_bytes < report.csc_weight_bytes
+        assert report.pcnn_weight_saving > 1.0
+        # Activations bound the end-to-end saving.
+        assert report.pcnn_total_saving < report.pcnn_weight_saving
+    # Deeper pruning -> more saving.
+    assert reports[1].pcnn_weight_saving > reports[2].pcnn_weight_saving > reports[4].pcnn_weight_saving
+
+
+def test_8bit_quantized_bundle_storage(benchmark):
+    """Hardware storage check: an 8-bit deployment bundle's measured size
+    matches the analytic per-kernel arithmetic (n x 8 + SPM bits)."""
+    import numpy as np
+
+    from repro.core import PCNNConfig, PCNNPruner, bundle_from_pruner
+    from repro.models import patternnet
+
+    def run():
+        model = patternnet(channels=(16, 32), num_classes=4, rng=np.random.default_rng(0))
+        pruner = PCNNPruner(model, PCNNConfig.uniform(4, 2, num_patterns=16))
+        pruner.apply()
+        return bundle_from_pruner(pruner, quantize_bits=8)
+
+    bundle = benchmark(run)
+    for name, layer in bundle.layers.items():
+        kernels = len(layer.codes)
+        table_bits = len(layer.patterns) * 9
+        expected = kernels * (4 * 8 + 4) + table_bits  # n=4 @ 8b + 4-bit SPM
+        assert layer.storage_bits() == expected

@@ -1,0 +1,54 @@
+"""Sec. IV-E efficiency — 3.15 TOPS/W (dense) to 28.39 TOPS/W (n = 1).
+
+Regenerates the power-efficiency series from the calibrated Table IX
+profile and the 256-MAC / 300 MHz / 1 V configuration.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch import ArchConfig, PAPER_TECH, efficiency_sweep, tops_per_watt
+
+from common import PAPER_TOPS_PER_WATT
+
+
+def build_sweep():
+    return efficiency_sweep(ns=(9, 4, 3, 2, 1))
+
+
+def test_efficiency_series(benchmark):
+    sweep = benchmark(build_sweep)
+    print("\n" + format_table(
+        ["setting", "sparsity", "TOPS/W"],
+        [
+            ["dense" if n == 9 else f"n = {n}", f"{(1 - n / 9):.1%}", f"{sweep[n]:.2f}"]
+            for n in (9, 4, 3, 2, 1)
+        ],
+        title="Sec. IV-E power efficiency (300 MHz, 1 V)",
+    ))
+
+    assert sweep[9] == pytest.approx(PAPER_TOPS_PER_WATT["dense"], abs=0.01)
+    assert sweep[1] == pytest.approx(PAPER_TOPS_PER_WATT["n1"], abs=0.05)
+    # Efficiency scales ~9/n with sparsity.
+    assert sweep[1] / sweep[9] == pytest.approx(9.0, rel=1e-6)
+
+
+def test_peak_throughput_arithmetic(benchmark):
+    """256 MACs x 300 MHz x 2 ops = 153.6 GOPS peak."""
+    arch = ArchConfig()
+    peak = benchmark(lambda: arch.peak_ops_per_second)
+    assert peak == pytest.approx(153.6e9)
+    assert peak / (PAPER_TECH.total_power_mw * 1e-3) / 1e12 == pytest.approx(3.15, abs=0.01)
+
+
+def test_voltage_frequency_scaling(benchmark):
+    """Ablation hook: P ~ f V^2 scaling preserves TOPS/W at fixed V."""
+
+    def run():
+        fast = PAPER_TECH.scaled(frequency_hz=600e6, voltage_v=1.0)
+        arch = ArchConfig(frequency_hz=600e6)
+        return tops_per_watt(arch, fast)
+
+    efficiency = benchmark(run)
+    # Doubling f doubles both ops and power: efficiency unchanged.
+    assert efficiency == pytest.approx(3.15, abs=0.01)

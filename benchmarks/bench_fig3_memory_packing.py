@@ -1,0 +1,77 @@
+"""Fig. 3 — memory layout for weights and patterns.
+
+Exercises the Fig. 3b storing format at each sparsity the figure
+annotates, the 60-word kernel register's integral-storage property, and
+the SRAM capacity arithmetic of Sec. III-A / IV-E.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.arch import (
+    ArchConfig,
+    KernelRegisterFile,
+    fetch_geometry,
+    pack_nonzero_sequences,
+    unpack_nonzero_sequences,
+)
+
+
+def build_fig3():
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in (1, 2, 3, 4, 5, 6):
+        filters_per, fetches = fetch_geometry(n, fetch_width=8)
+        values = rng.normal(size=(24, n))
+        packed = pack_nonzero_sequences(values)
+        register = KernelRegisterFile(60)
+        rows.append(
+            {
+                "n": n,
+                "filters_per_group": filters_per,
+                "fetches_per_group": fetches,
+                "fetch_rows_for_24_kernels": packed.num_fetches,
+                "register_capacity": register.capacity_kernels(n),
+                "register_padding": register.padding_words(n),
+                "roundtrip_ok": bool(
+                    np.array_equal(unpack_nonzero_sequences(packed), values)
+                ),
+            }
+        )
+    return rows
+
+
+def test_fig3_storing_format(benchmark):
+    rows = benchmark(build_fig3)
+    print("\n" + format_table(
+        ["n", "filters/group", "fetches/group", "rows for 24 kernels",
+         "60-word reg capacity", "padding"],
+        [
+            [r["n"], r["filters_per_group"], r["fetches_per_group"],
+             r["fetch_rows_for_24_kernels"], r["register_capacity"], r["register_padding"]]
+            for r in rows
+        ],
+        title="Fig. 3b storing format",
+    ))
+
+    by_n = {r["n"]: r for r in rows}
+    # The figure's three annotated cases.
+    assert (by_n[2]["filters_per_group"], by_n[2]["fetches_per_group"]) == (4, 1)
+    assert (by_n[3]["filters_per_group"], by_n[3]["fetches_per_group"]) == (8, 3)
+    assert (by_n[4]["filters_per_group"], by_n[4]["fetches_per_group"]) == (2, 1)
+    # 60-word register stores n=1..6 integrally (Sec. III-A).
+    assert all(by_n[n]["register_padding"] == 0 for n in range(1, 7))
+    assert all(r["roundtrip_ok"] for r in rows)
+
+
+def test_fig3_weight_sram_capacity(benchmark):
+    """Sec. IV-E: 128 KB weight SRAM holds 32768 kernels at n=4 / 8 bit."""
+    arch = ArchConfig()
+    capacities = benchmark(
+        lambda: {n: arch.kernels_in_weight_sram(n) for n in range(1, 10)}
+    )
+    assert capacities[4] == 32768
+    # Capacity scales inversely with n.
+    assert capacities[1] == 4 * capacities[4]
+    assert capacities[8] == capacities[4] // 2

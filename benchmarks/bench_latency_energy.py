@@ -1,0 +1,44 @@
+"""Per-inference latency/energy on the accelerator (derived from Sec. IV-E).
+
+Sweeps the uniform sparsity settings over VGG-16 and reports ms/image and
+mJ/image at 300 MHz / 1 V. Shape claims: latency and energy scale ~n/9;
+the n=1 point is 9x faster and 9x more energy-efficient per image than
+dense.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch import inference_cost, inference_cost_sweep
+from repro.core import PCNNConfig
+
+from common import vgg16_cifar_profile
+
+
+def build_sweep():
+    profile = vgg16_cifar_profile()
+    sweep = inference_cost_sweep(profile, ns=(4, 3, 2, 1))
+    dense = inference_cost(profile, PCNNConfig.uniform(9, 13, num_patterns=1))
+    return dense, sweep
+
+
+def test_latency_energy_sweep(benchmark):
+    dense, sweep = benchmark(build_sweep)
+    rows = [["dense", f"{dense.latency_ms:.3f}", f"{dense.energy_mj:.4f}", "1.00x",
+             f"{dense.images_per_second:.0f}"]]
+    for n in (4, 3, 2, 1):
+        c = sweep[n]
+        rows.append(
+            [f"n = {n}", f"{c.latency_ms:.3f}", f"{c.energy_mj:.4f}",
+             f"{c.speedup_vs_dense:.2f}x", f"{c.images_per_second:.0f}"]
+        )
+    print("\n" + format_table(
+        ["setting", "latency (ms)", "energy (mJ)", "speedup", "img/s"],
+        rows,
+        title="Per-inference cost, VGG-16 @ 300 MHz / 1 V (act. density 0.8)",
+    ))
+
+    for n in (4, 3, 2, 1):
+        assert sweep[n].latency_ms == pytest.approx(dense.latency_ms * n / 9, rel=1e-6)
+        assert sweep[n].energy_mj == pytest.approx(dense.energy_mj * n / 9, rel=1e-6)
+    assert sweep[1].images_per_second == pytest.approx(9 * dense.images_per_second, rel=1e-6)

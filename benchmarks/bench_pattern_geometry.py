@@ -1,0 +1,70 @@
+"""Pattern geometry of distilled sets (extension analysis).
+
+Analyses the D4-orbit structure and centrality of the patterns Algorithm 1
+distils from a trained network. Shape claims: distilled n=4 patterns are
+more centre-heavy than the candidate-set average (convolutions
+concentrate energy near the kernel centre), and the orbit decomposition
+bounds the distinct decode shapes hardware must support.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    PCNNConfig,
+    PCNNPruner,
+    centrality,
+    center_hit,
+    enumerate_patterns,
+    fit,
+    orbit_decomposition,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet
+
+
+def build_analysis():
+    x, y, _, _ = make_synthetic_images(
+        n_train=256, n_test=8, num_classes=4, image_size=8, seed=0
+    )
+    model = patternnet(channels=(16, 32), num_classes=4, rng=np.random.default_rng(0))
+    loader = DataLoader(ArrayDataset(x, y), batch_size=32, shuffle=True, seed=0)
+    fit(model, loader, epochs=4, lr=0.02)
+    pruner = PCNNPruner(model, PCNNConfig.uniform(4, 2, num_patterns=8))
+    distilled = pruner.distill()
+    return {name: r.patterns for name, r in distilled.items()}
+
+
+def test_distilled_pattern_geometry(benchmark):
+    patterns_by_layer = benchmark.pedantic(build_analysis, rounds=1, iterations=1)
+    candidates = enumerate_patterns(4)
+    candidate_centrality = float(np.mean([centrality(int(p)) for p in candidates]))
+
+    rows = []
+    for name, patterns in patterns_by_layer.items():
+        mean_centrality = float(np.mean([centrality(int(p)) for p in patterns]))
+        centre_share = float(np.mean([center_hit(int(p)) for p in patterns]))
+        orbits = len(orbit_decomposition([int(p) for p in patterns]))
+        rows.append([name, f"{mean_centrality:.3f}", f"{centre_share:.0%}", orbits])
+    print("\n" + format_table(
+        ["layer", "mean centrality", "centre-hit share", "D4 orbits"],
+        rows,
+        title=f"Distilled-pattern geometry (candidate mean centrality "
+              f"{candidate_centrality:.3f})",
+    ))
+
+    for name, patterns in patterns_by_layer.items():
+        mean_centrality = float(np.mean([centrality(int(p)) for p in patterns]))
+        # Distilled sets are no more peripheral than the candidate average.
+        assert mean_centrality <= candidate_centrality + 0.08
+        # Orbit count never exceeds the pattern count.
+        assert len(orbit_decomposition([int(p) for p in patterns])) <= len(patterns)
+
+
+def test_candidate_set_orbit_bound(benchmark):
+    """The 126-pattern n=4 candidate set collapses to few D4 orbits."""
+    orbits = benchmark(lambda: orbit_decomposition(enumerate_patterns(4).tolist()))
+    # Burnside: the D4 action on C(9,4) yields ~21 orbits.
+    assert 15 <= len(orbits) <= 25
+    assert sum(len(v) for v in orbits.values()) == 126

@@ -1,0 +1,66 @@
+"""Quantization sweep — the 8-bit hardware claim (extension bench).
+
+Sec. IV-E stores weights at 8 bits "for common cases". This bench measures
+proxy-model accuracy after PCNN pruning + per-kernel quantization at 4, 6
+and 8 bits. Shape claims: 8-bit costs essentially nothing; the error grows
+as bits shrink; the weight-value distortion follows the quantizer's
+step-size bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    PCNNConfig,
+    PCNNPruner,
+    bundle_from_pruner,
+    evaluate,
+    fit,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet
+
+SEED = 0
+
+
+def build_sweep():
+    x_train, y_train, x_test, y_test = make_synthetic_images(
+        n_train=320, n_test=160, num_classes=10, image_size=12, seed=SEED, noise_std=0.5
+    )
+    loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=SEED)
+    model = patternnet(channels=(12, 24), num_classes=10, rng=np.random.default_rng(SEED))
+    fit(model, loader, epochs=5, lr=0.01)
+    pruner = PCNNPruner(model, PCNNConfig.uniform(2, 2, num_patterns=8))
+    pruner.apply()
+    fit(model, loader, epochs=3, lr=0.01)
+    pruner = PCNNPruner(model, PCNNConfig.uniform(2, 2, num_patterns=8))
+    pruner.apply()
+    float_acc = evaluate(model, x_test, y_test)
+
+    accuracies = {}
+    for bits in (8, 6, 4, 3):
+        bundle = bundle_from_pruner(pruner, quantize_bits=bits)
+        quantized = patternnet(channels=(12, 24), num_classes=10, rng=np.random.default_rng(1))
+        quantized.load_state_dict(model.state_dict())
+        bundle.restore_into(quantized)
+        accuracies[bits] = evaluate(quantized, x_test, y_test)
+    return float_acc, accuracies
+
+
+def test_quantization_accuracy_sweep(benchmark):
+    float_acc, accuracies = benchmark.pedantic(build_sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["precision", "accuracy", "change vs fp"],
+        [["fp64", f"{float_acc:.3f}", "-"]]
+        + [[f"{bits}-bit", f"{acc:.3f}", f"{acc - float_acc:+.3f}"]
+           for bits, acc in accuracies.items()],
+        title="Post-pruning quantization sweep (PatternNet proxy, n=2)",
+    ))
+
+    # The paper's 8-bit operating point is essentially free.
+    assert accuracies[8] >= float_acc - 0.02
+    assert accuracies[6] >= float_acc - 0.05
+    # Monotone-ish degradation with fewer bits (allow small noise).
+    assert accuracies[8] >= accuracies[4] - 0.02
+    assert accuracies[8] >= accuracies[3] - 0.02

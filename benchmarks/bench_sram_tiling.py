@@ -1,0 +1,56 @@
+"""SRAM tiling and DRAM traffic under the 128 KB weight SRAM (extension).
+
+Quantifies the Sec. III-A host-controller schedule on VGG-16: how many
+weight tiles each storage format needs and the resulting DRAM traffic.
+Shape claims: PCNN (small per-kernel SPM code) needs no more tiles than
+CSC at equal density and strictly less DRAM traffic; both beat dense.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch import schedule_network
+from repro.core import PCNNConfig
+
+from common import vgg16_cifar_profile
+
+
+def build_schedules():
+    profile = vgg16_cifar_profile()
+    cfg = PCNNConfig.uniform(4, 13, num_patterns=16)
+    return {
+        "dense": schedule_network(profile, None),
+        "pcnn": schedule_network(profile, cfg, index_format="spm"),
+        "csc": schedule_network(profile, cfg, index_format="csc"),
+    }
+
+
+def test_tiling_comparison(benchmark):
+    schedules = benchmark(build_schedules)
+    print("\n" + format_table(
+        ["format", "weight tiles", "DRAM MB / inference"],
+        [
+            [name, s.total_weight_tiles, f"{s.total_dram_bytes / 1e6:.2f}"]
+            for name, s in schedules.items()
+        ],
+        title="SRAM tiling (VGG-16, 128 KB weight SRAM, n=4, 8-bit)",
+    ))
+
+    assert schedules["pcnn"].total_weight_tiles <= schedules["csc"].total_weight_tiles
+    assert schedules["pcnn"].total_weight_tiles < schedules["dense"].total_weight_tiles
+    assert (
+        schedules["pcnn"].total_dram_bytes
+        < schedules["csc"].total_dram_bytes
+        < schedules["dense"].total_dram_bytes
+    )
+
+
+def test_deepest_layers_dominate_tiling(benchmark):
+    profile = vgg16_cifar_profile()
+    schedule = benchmark(lambda: schedule_network(profile, PCNNConfig.uniform(4, 13)))
+    by_name = schedule.by_name()
+    # The 512x512 layers need multiple tiles; the 64-channel stem fits in one.
+    first = schedule.layers[0]
+    last = schedule.layers[-1]
+    assert first.weight_tiles == 1
+    assert last.weight_tiles > 1

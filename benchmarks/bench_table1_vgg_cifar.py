@@ -1,0 +1,44 @@
+"""Table I — pruning rate of different n for VGG-16 on CIFAR-10.
+
+Regenerates the deterministic columns (CONV FLOPs, FLOPs pruned %, CONV
+parameters, compression weight / weight+idx) for n = 4, 3, 2, 1 and the
+footnote "various" setting. Accuracy columns are covered by
+``bench_accuracy_trend.py`` (see DESIGN.md substitutions).
+"""
+
+import pytest
+
+from repro.analysis import format_compression_table
+from repro.core import PCNNConfig, pcnn_compression
+
+from common import PAPER_TABLE1, vgg16_cifar_profile
+
+
+def build_table1():
+    profile = vgg16_cifar_profile()
+    reports = [
+        pcnn_compression(profile, PCNNConfig.uniform(n, 13), setting=f"n = {n}")
+        for n in (4, 3, 2, 1)
+    ]
+    various = PCNNConfig.from_string("2-1-1-1-1-1-1-1-1-1-1-1-1")
+    reports.append(pcnn_compression(profile, various, setting="various 2-1-...-1"))
+    return reports
+
+
+def test_table1_rows(benchmark):
+    reports = benchmark(build_table1)
+    print("\n" + format_compression_table(reports, title="Table I (VGG-16 / CIFAR-10)"))
+
+    profile = vgg16_cifar_profile()
+    assert profile.conv_params == pytest.approx(1.47e7, rel=0.01)
+    assert profile.conv_macs == pytest.approx(3.13e8, rel=0.01)
+
+    for report, n in zip(reports, (4, 3, 2, 1)):
+        paper_pruned, paper_w, paper_wi = PAPER_TABLE1[n]
+        assert report.weight_compression == pytest.approx(paper_w, rel=0.05)
+        assert report.weight_idx_compression == pytest.approx(paper_wi, rel=0.05)
+        assert 100 * report.flops_pruned_fraction == pytest.approx(paper_pruned, abs=1.5)
+
+    various = reports[-1]
+    assert 100 * various.flops_pruned_fraction == pytest.approx(88.8, abs=0.2)
+    assert various.weight_compression == pytest.approx(9.0, abs=0.1)

@@ -1,0 +1,45 @@
+"""Table II — pruning rate of different n for ResNet-18 on CIFAR-10.
+
+Same columns as Table I; ResNet's three 1x1 projection convolutions stay
+dense (Sec. IV-B), which caps the compression below 9/n.
+"""
+
+import pytest
+
+from repro.analysis import format_compression_table
+from repro.core import PCNNConfig, pcnn_compression
+
+from common import PAPER_TABLE2, resnet18_cifar_profile
+
+
+def build_table2():
+    profile = resnet18_cifar_profile()
+    reports = [
+        pcnn_compression(profile, PCNNConfig.uniform(n, 17), setting=f"n = {n}")
+        for n in (4, 3, 2, 1)
+    ]
+    various = PCNNConfig.from_string("2-2-2-1-1-1-1-1-1-1-1-1-1-1-1-1-1")
+    reports.append(pcnn_compression(profile, various, setting="various 2-2-2-1-...-1"))
+    return reports
+
+
+def test_table2_rows(benchmark):
+    reports = benchmark(build_table2)
+    print("\n" + format_compression_table(reports, title="Table II (ResNet-18 / CIFAR-10)"))
+
+    profile = resnet18_cifar_profile()
+    assert profile.conv_params == pytest.approx(1.12e7, rel=0.01)
+    assert profile.conv_macs == pytest.approx(5.55e8, rel=0.01)
+
+    for report, n in zip(reports, (4, 3, 2, 1)):
+        paper_pruned, paper_w, paper_wi = PAPER_TABLE2[n]
+        assert report.weight_compression == pytest.approx(paper_w, rel=0.05)
+        assert report.weight_idx_compression == pytest.approx(paper_wi, rel=0.06)
+        assert 100 * report.flops_pruned_fraction == pytest.approx(paper_pruned, abs=1.5)
+
+    # 1x1 layers dilute: ResNet never reaches VGG's 9x at n=1.
+    assert reports[3].weight_compression < 9.0
+
+    various = reports[-1]
+    assert 100 * various.flops_pruned_fraction == pytest.approx(84.5, abs=2.0)
+    assert various.weight_compression == pytest.approx(7.9, rel=0.05)

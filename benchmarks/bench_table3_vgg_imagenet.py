@@ -1,0 +1,40 @@
+"""Table III — pruning rate of different n for VGG-16 on ImageNet.
+
+Rows n = 5 and n = 4. The conv parameter count matches CIFAR's (same conv
+stack); MACs are profiled at 224x224. The paper's printed baseline FLOPs
+(6.82e9) disagrees with the standard VGG-16 MAC count (1.53e10) that its
+own per-layer structure implies; we report ours and note the discrepancy
+in EXPERIMENTS.md. Compression columns (the claims: 1.8x/1.7x and
+2.3x/2.2x) are architecture-determined and reproduce.
+"""
+
+import pytest
+
+from repro.analysis import format_compression_table
+from repro.core import PCNNConfig, pcnn_compression
+
+from common import vgg16_imagenet_profile
+
+PAPER_ROWS = {5: (44.4, 1.8, 1.7), 4: (56.5, 2.3, 2.2)}
+
+
+def build_table3():
+    profile = vgg16_imagenet_profile()
+    return [
+        pcnn_compression(profile, PCNNConfig.uniform(n, 13), setting=f"n = {n}")
+        for n in (5, 4)
+    ]
+
+
+def test_table3_rows(benchmark):
+    reports = benchmark(build_table3)
+    print("\n" + format_compression_table(reports, title="Table III (VGG-16 / ImageNet)"))
+
+    profile = vgg16_imagenet_profile()
+    assert profile.conv_params == pytest.approx(1.47e7, rel=0.01)
+
+    for report, n in zip(reports, (5, 4)):
+        paper_pruned, paper_w, paper_wi = PAPER_ROWS[n]
+        assert report.weight_compression == pytest.approx(paper_w, rel=0.05)
+        assert report.weight_idx_compression == pytest.approx(paper_wi, rel=0.05)
+        assert 100 * report.flops_pruned_fraction == pytest.approx(paper_pruned, abs=1.5)

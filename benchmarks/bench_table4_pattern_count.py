@@ -1,0 +1,47 @@
+"""Table IV — compression (weight+idx) vs the number of patterns |P_n|.
+
+Sweeps |P| over {full, 32, 16, 8, 4} for n = 4 and n = 2 on VGG-16. The
+accuracy half of Table IV (fewer patterns cost accuracy, more so at high
+sparsity) is covered by ``bench_accuracy_trend.py``.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import PCNNConfig, pattern_count, pcnn_compression
+
+from common import PAPER_TABLE4, vgg16_cifar_profile
+
+
+def build_table4():
+    profile = vgg16_cifar_profile()
+    rows = []
+    for n in (4, 2):
+        full = pattern_count(n, 3)
+        for budget in (full, 32, 16, 8, 4):
+            cfg = PCNNConfig.uniform(n, 13, num_patterns=budget)
+            report = pcnn_compression(profile, cfg)
+            rows.append((n, budget, report.weight_idx_compression))
+    return rows
+
+
+def test_table4_sweep(benchmark):
+    rows = benchmark(build_table4)
+    table = [
+        [f"n = {n}", f"|P| = {p}" + (" (full)" if p in (126, 36) else ""), f"{c:.2f}x",
+         f"{PAPER_TABLE4[(n, p)]:.2f}x"]
+        for n, p, c in rows
+    ]
+    print("\n" + format_table(
+        ["sparsity", "patterns", "measured w+idx", "paper w+idx"],
+        table,
+        title="Table IV (|P_n| sweep, VGG-16 / CIFAR-10)",
+    ))
+
+    for n, budget, compression in rows:
+        assert compression == pytest.approx(PAPER_TABLE4[(n, budget)], rel=0.02)
+
+    # Monotone: fewer patterns -> smaller index -> higher compression.
+    for n in (4, 2):
+        series = [c for nn_, _, c in rows if nn_ == n]
+        assert all(a < b for a, b in zip(series, series[1:]))

@@ -1,0 +1,54 @@
+"""Table V — PCNN vs other regular compression methods, VGG-16 / CIFAR-10.
+
+The paper compares its two headline settings against reported numbers
+from filter pruning [18], network slimming [19], try-and-learn [20] and
+IKR [21]. PCNN rows are computed live from our accounting; literature rows
+are carried as reported (the paper does the same). The shape claim under
+test: at comparable (or better) accuracy, PCNN simultaneously prunes more
+FLOPs than the filter-level methods and reaches a competitive-or-better
+compression rate.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import PCNNConfig, pcnn_compression
+
+from common import PAPER_TABLE5_LITERATURE, vgg16_cifar_profile
+
+
+def build_table5():
+    profile = vgg16_cifar_profile()
+    pcnn_a = pcnn_compression(profile, PCNNConfig.uniform(3, 13), setting="PCNN n=3")
+    various = PCNNConfig.from_string("2-1-1-1-1-1-1-1-1-1-1-1-1")
+    pcnn_b = pcnn_compression(profile, various, setting="PCNN various")
+    rows = [
+        ("PCNN (n=3)", "+0.04% (paper)", f"{100 * pcnn_a.flops_pruned_fraction:.1f}%",
+         pcnn_a.weight_compression),
+        ("PCNN (various)", "-0.21% (paper)", f"{100 * pcnn_b.flops_pruned_fraction:.1f}%",
+         pcnn_b.weight_compression),
+    ]
+    rows += [(name, acc, flops, comp) for name, acc, flops, comp in PAPER_TABLE5_LITERATURE]
+    return rows, pcnn_a, pcnn_b
+
+
+def test_table5_comparison(benchmark):
+    rows, pcnn_a, pcnn_b = benchmark(build_table5)
+    print("\n" + format_table(
+        ["method", "relative acc", "FLOPs pruned", "compression"],
+        [[r[0], r[1], r[2], f"{r[3]:.1f}x"] for r in rows],
+        title="Table V (VGG-16 / CIFAR-10 vs regular pruning)",
+    ))
+
+    # Paper rows: PCNN 3.0x @ 66.7% FLOPs and 9.0x @ 88.8% FLOPs.
+    assert pcnn_a.weight_compression == pytest.approx(3.0, abs=0.05)
+    assert 100 * pcnn_a.flops_pruned_fraction == pytest.approx(66.7, abs=0.5)
+    assert pcnn_b.weight_compression == pytest.approx(9.0, abs=0.1)
+
+    # Shape: PCNN-various compresses more than every literature method
+    # except slimming's 8.7x, which it still beats (9.0 > 8.7) — and it
+    # prunes more FLOPs than all of them.
+    literature_compressions = [r[3] for r in rows[2:]]
+    assert all(pcnn_b.weight_compression > c for c in literature_compressions)
+    literature_flops = [float(r[2].rstrip("%")) for r in rows[2:] if r[2] != "-"]
+    assert all(100 * pcnn_b.flops_pruned_fraction > f for f in literature_flops)

@@ -1,0 +1,75 @@
+"""Table VIII — PCNN fused with channel-level pruning (VGG-16 / CIFAR-10).
+
+Paper: 3.75x PCNN x 9x channel pruning = 34.4x fused (setting A) and
+50.3x (setting B), beating Structured-ADMM (50x @ -0.60%), SNIP (20x) and
+Synaptic Strength (25x) on the compression/accuracy frontier. We
+regenerate the fused accounting and run the mask-level fusion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    PCNNConfig,
+    PCNNPruner,
+    apply_channel_pruning,
+    channel_keep_for_rate,
+    fused_channel_report,
+)
+from repro.models import patternnet
+
+from common import PAPER_TABLE8_LITERATURE, vgg16_cifar_profile
+
+
+def build_table8():
+    profile = vgg16_cifar_profile()
+    # Setting A: PCNN n=2 (4.5x on VGG's all-3x3 stack; the paper's quoted
+    # PCNN share is 3.75x on its mixed setting) x 9x channel pruning.
+    cfg = PCNNConfig.uniform(2, 13)
+    fused_a = fused_channel_report(
+        profile, cfg, channel_keep_fraction=channel_keep_for_rate(9.0),
+        setting="PCNN + channel pruning A",
+    )
+    # Setting B: deeper channel pruning (~13x) for the 50.3x row.
+    fused_b = fused_channel_report(
+        profile, cfg, channel_keep_fraction=channel_keep_for_rate(12.5),
+        setting="PCNN + channel pruning B",
+    )
+    return fused_a, fused_b
+
+
+def test_table8_fusion(benchmark):
+    fused_a, fused_b = benchmark(build_table8)
+    rows = [
+        ["PCNN + Channel Pruning-A", "-0.02% (paper)", f"{fused_a.weight_compression:.1f}x", "34.4x"],
+        ["PCNN + Channel Pruning-B", "-0.46% (paper)", f"{fused_b.weight_compression:.1f}x", "50.3x"],
+    ]
+    rows += [[name, acc, "-", f"{comp:.1f}x"] for name, acc, comp in PAPER_TABLE8_LITERATURE]
+    print("\n" + format_table(
+        ["method", "relative acc", "measured", "paper"],
+        rows,
+        title="Table VIII (PCNN + channel pruning, VGG-16 / CIFAR-10)",
+    ))
+
+    # Shape: fused compression lands in the headline's 30-55x band and
+    # the B setting beats SNIP's and Synaptic Strength's rates.
+    assert fused_a.weight_compression == pytest.approx(34.4, rel=0.2)
+    assert fused_a.weight_compression > 25.0
+    assert fused_b.weight_compression > fused_a.weight_compression
+    assert fused_b.weight_compression == pytest.approx(50.3, rel=0.2)
+
+
+def test_table8_mask_level_fusion(benchmark):
+    """Channel masks compose with pattern masks on a real model."""
+
+    def run():
+        model = patternnet(channels=(16, 32), num_classes=4, rng=np.random.default_rng(0))
+        PCNNPruner(model, PCNNConfig.uniform(2, 2)).apply()
+        return model, apply_channel_pruning(model, keep_fraction=1 / 3)
+
+    model, masks = benchmark(run)
+    for mask in masks.values():
+        per_channel = mask.reshape(mask.shape[0], -1).sum(axis=1)
+        survivors = per_channel > 0
+        assert survivors.mean() == pytest.approx(1 / 3, abs=0.05)

@@ -1,0 +1,45 @@
+"""Table IX + Fig. 6 — chip area/power breakdown and floorplan.
+
+Regenerates the component table from the calibrated 55 nm technology
+profile and renders the area-proportional floorplan. Shape claims: the
+pattern SRAM (PCNN's only index cost) takes ~2.4% of area and ~1.9% of
+power; SRAM+RF dominate the chip; totals are 8.00 mm^2 / 48.7 mW.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch import PAPER_TECH, floorplan_ascii
+
+
+def build_table9():
+    return PAPER_TECH.table_rows()
+
+
+def test_table9_breakdown(benchmark):
+    rows = benchmark(build_table9)
+    print("\n" + format_table(
+        ["component", "area (mm2)", "area %", "power (mW)", "power %"],
+        [
+            [r["component"], f"{r['area_mm2']:.2f}", f"{r['area_share']:.1%}",
+             f"{r['power_mw']:.1f}", f"{r['power_share']:.1%}"]
+            for r in rows
+        ],
+        title="Table IX (chip area and power, 300 MHz / 1 V / 55 nm)",
+    ))
+    print("\nFig. 6 floorplan (area-proportional):")
+    print(floorplan_ascii())
+
+    overall = rows[0]
+    assert overall["area_mm2"] == pytest.approx(8.00, abs=0.01)
+    assert overall["power_mw"] == pytest.approx(48.7, abs=0.05)
+
+    pattern = next(r for r in rows if r["component"] == "Pattern SRAM")
+    assert pattern["area_share"] == pytest.approx(0.024, abs=0.002)
+    assert pattern["power_share"] == pytest.approx(0.019, abs=0.002)
+
+    # Memories + register file dominate the chip; PE group is small.
+    pe = next(r for r in rows if r["component"] == "PE group")
+    srams = sum(r["area_mm2"] for r in rows if "SRAM" in r["component"])
+    assert srams > 0.5 * overall["area_mm2"]
+    assert pe["area_share"] < 0.10

@@ -1,0 +1,94 @@
+"""Shared fixtures/constants for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md). Benchmarks print the paper's rows —
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them — and
+assert the paper-shape claims (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.models import (
+    ModelProfile,
+    profile_model,
+    resnet18_cifar,
+    vgg16_cifar,
+    vgg16_imagenet,
+)
+
+SEED = 0
+
+
+@lru_cache(maxsize=None)
+def vgg16_cifar_profile() -> ModelProfile:
+    model = vgg16_cifar(rng=np.random.default_rng(SEED))
+    return profile_model(model, (3, 32, 32), model_name="VGG-16")
+
+
+@lru_cache(maxsize=None)
+def resnet18_cifar_profile() -> ModelProfile:
+    model = resnet18_cifar(rng=np.random.default_rng(SEED))
+    return profile_model(model, (3, 32, 32), model_name="ResNet-18")
+
+
+@lru_cache(maxsize=None)
+def vgg16_imagenet_profile() -> ModelProfile:
+    model = vgg16_imagenet(rng=np.random.default_rng(SEED))
+    return profile_model(model, (3, 224, 224), model_name="VGG-16/ImageNet")
+
+
+# ---------------------------------------------------------------------
+# Paper-reported values (ground truth for shape assertions)
+# ---------------------------------------------------------------------
+PAPER_TABLE1 = {  # n -> (flops_pruned %, compression weight, weight+idx)
+    4: (56.5, 2.3, 2.2),
+    3: (66.7, 3.0, 2.9),
+    2: (77.8, 4.5, 4.1),
+    1: (88.9, 9.0, 8.4),
+}
+
+PAPER_TABLE2 = {  # ResNet-18
+    4: (54.5, 2.2, 2.1),
+    3: (65.5, 3.0, 2.8),
+    2: (76.7, 4.3, 4.0),
+    1: (88.0, 7.9, 7.3),
+}
+
+PAPER_TABLE4 = {  # (n, |P|) -> compression weight+idx
+    (4, 126): 2.14,
+    (4, 32): 2.18,
+    (4, 16): 2.20,
+    (4, 8): 2.21,
+    (4, 4): 2.23,
+    (2, 36): 4.08,
+    (2, 32): 4.13,
+    (2, 16): 4.19,
+    (2, 8): 4.26,
+    (2, 4): 4.32,
+}
+
+PAPER_SPEEDUPS = {4: 2.3, 3: 3.1, 2: 4.5, 1: 9.0}
+PAPER_TOPS_PER_WATT = {"dense": 3.15, "n1": 28.39}
+
+# Literature rows quoted by the paper's comparison tables.
+PAPER_TABLE5_LITERATURE = [
+    ("Filter pruning [18]", "+0.15%", "33.3%", 2.8),
+    ("Network slimming [19]", "+0.14%", "51.0%", 8.7),
+    ("try-and-learn b=1 [20]", "-1.10%", "82.7%", 2.2),
+    ("IKR [21]", "-0.90%", "84.7%", 4.3),
+]
+
+PAPER_TABLE6_LITERATURE = [
+    ("Band-limited [22]", "-1.67%", "-", 2.0),
+    ("try-and-learn b=4 [20]", "-2.90%", "76.0%", 4.6),
+]
+
+PAPER_TABLE8_LITERATURE = [
+    ("Structured ADMM [23]", "-0.60%", 50.0),
+    ("SNIP [24]", "-0.45%", 20.0),
+    ("Synaptic Strength [25]", "+0.43%", 25.0),
+]

@@ -1,0 +1,80 @@
+"""Sensitivity-driven configs and on-device deployment (end-to-end).
+
+Shows the workflow a deployment engineer would run:
+
+1. train a model;
+2. scan per-layer pruning sensitivity and auto-derive a "various" config
+   (the paper's Table I/II footnote style: milder n where it hurts);
+3. prune + retrain with that config;
+4. quantize to the accelerator's 8-bit format, write a deployment bundle,
+   and report latency/energy on the pattern-aware architecture.
+
+Run:  python examples/sensitivity_and_deployment.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.arch import inference_cost
+from repro.core import (
+    PCNNPruner,
+    bundle_from_pruner,
+    evaluate,
+    fit,
+    pcnn_compression,
+    sensitivity_scan,
+    suggest_config,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet, profile_model
+
+
+def main() -> None:
+    seed = 0
+    x_train, y_train, x_test, y_test = make_synthetic_images(
+        n_train=512, n_test=256, num_classes=10, image_size=12, seed=seed, noise_std=0.5
+    )
+    loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=seed)
+    model = patternnet(channels=(12, 24, 24), num_classes=10, rng=np.random.default_rng(seed))
+
+    print("[1] training ...")
+    fit(model, loader, epochs=6, lr=0.01)
+    dense_acc = evaluate(model, x_test, y_test)
+    print(f"    dense accuracy {dense_acc:.3f}")
+
+    print("[2] per-layer sensitivity scan ...")
+    scan = sensitivity_scan(model, x_test, y_test, ns=(1, 2, 4))
+    print(format_table(
+        ["layer", "drop @ n=1", "drop @ n=2", "drop @ n=4"],
+        [[s.name, f"{s.accuracy_drop[1]:.3f}", f"{s.accuracy_drop[2]:.3f}",
+          f"{s.accuracy_drop[4]:.3f}"] for s in scan],
+    ))
+    config = suggest_config(scan, budget=0.06, candidates=(1, 2, 4))
+    print(f"    suggested config: {config.describe()}")
+
+    print("[3] pruning + masked retraining ...")
+    pruner = PCNNPruner(model, config)
+    pruner.apply()
+    fit(model, loader, epochs=3, lr=0.01)
+    pruned_acc = evaluate(model, x_test, y_test)
+    print(f"    pruned accuracy {pruned_acc:.3f} (dense {dense_acc:.3f})")
+
+    print("[4] deployment bundle + accelerator cost ...")
+    # Re-wrap so encode() sees the retrained weights.
+    pruner = PCNNPruner(model, config)
+    pruner.apply()
+    bundle = bundle_from_pruner(pruner, quantize_bits=8)
+    bundle.save("/tmp/pcnn_bundle.npz")
+    profile = profile_model(model, (3, 12, 12), model_name="PatternNet")
+    report = pcnn_compression(profile, config)
+    cost = inference_cost(profile, config)
+    print(f"    bundle: /tmp/pcnn_bundle.npz ({bundle.storage_bits() / 8 / 1024:.1f} KiB)")
+    print(f"    compression: {report.weight_compression:.1f}x weight, "
+          f"{report.weight_idx_compression:.1f}x weight+idx")
+    print(f"    accelerator: {cost.latency_ms * 1e3:.3f} us/image, "
+          f"{cost.energy_mj * 1e3:.4f} uJ/image, "
+          f"{cost.speedup_vs_dense:.2f}x vs dense")
+
+
+if __name__ == "__main__":
+    main()

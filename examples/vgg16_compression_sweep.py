@@ -1,0 +1,71 @@
+"""Table I workload: sweep PCNN settings over the real VGG-16 graph.
+
+Reproduces the deterministic columns of the paper's Table I (VGG-16 on
+CIFAR-10) plus the Sec. IV-E architecture numbers, for the unified
+settings n = 4, 3, 2, 1 and the footnote "various" setting
+2-1-1-1-1-1-1-1-1-1-1-1-1.
+
+Run:  python examples/vgg16_compression_sweep.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_compression_table, format_table
+from repro.arch import simulate_network_analytic, tops_per_watt
+from repro.core import PCNNConfig, irregular_compression, pcnn_compression
+from repro.models import profile_model, vgg16_cifar
+
+PAPER_TABLE1 = {
+    4: {"weight": 2.3, "weight_idx": 2.2, "flops_pruned": 56.5},
+    3: {"weight": 3.0, "weight_idx": 2.9, "flops_pruned": 66.7},
+    2: {"weight": 4.5, "weight_idx": 4.1, "flops_pruned": 77.8},
+    1: {"weight": 9.0, "weight_idx": 8.4, "flops_pruned": 88.9},
+}
+
+
+def main() -> None:
+    model = vgg16_cifar(rng=np.random.default_rng(0))
+    profile = profile_model(model, (3, 32, 32), model_name="VGG-16")
+    print(
+        f"VGG-16 / CIFAR-10 baseline: {profile.conv_params:.3e} conv params, "
+        f"{profile.conv_macs:.3e} conv MACs (paper: 1.47e7 / 3.13e8)\n"
+    )
+
+    reports = []
+    arch_rows = []
+    for n in (4, 3, 2, 1):
+        config = PCNNConfig.uniform(n, 13)
+        reports.append(pcnn_compression(profile, config, setting=f"n = {n}"))
+        sim = simulate_network_analytic(profile, config)
+        arch_rows.append(
+            [
+                f"n = {n}",
+                f"{sim.speedup:.2f}x",
+                f"{tops_per_watt(effective_speedup=sim.speedup):.2f}",
+                f"{PAPER_TABLE1[n]['weight']}x / {PAPER_TABLE1[n]['weight_idx']}x",
+            ]
+        )
+
+    various = PCNNConfig.from_string("2-1-1-1-1-1-1-1-1-1-1-1-1")
+    reports.append(pcnn_compression(profile, various, setting="various 2-1-...-1"))
+
+    print(format_compression_table(reports, title="Table I reproduction"))
+    print()
+    print(
+        format_table(
+            ["setting", "speedup", "TOPS/W", "paper compr (w / w+idx)"],
+            arch_rows,
+            title="Architecture estimates (Sec. IV-E)",
+        )
+    )
+
+    irregular = irregular_compression(profile, 4)
+    print(
+        f"\nIrregular (CSC) strawman at the n=4 density: "
+        f"{irregular.weight_idx_compression:.1f}x weight+idx compression "
+        f"(paper quotes 2.0x, 'three times as low as ours')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The offline environment ships setuptools but not wheel, so PEP 660 editable
+installs fail at ``bdist_wheel``; this legacy shim lets
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the egg-link mechanism. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

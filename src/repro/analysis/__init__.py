@@ -1,0 +1,22 @@
+"""repro.analysis — table/figure rendering and experiment logging."""
+
+from .figures import histogram_ascii, pattern_frequency_figure, series_ascii
+from .report import ExperimentLog, ExperimentRecord, Measurement
+from .tables import format_compression_table, format_markdown_table, format_table
+from .validation import LayerValidation, ValidationReport, assert_valid, validate_model
+
+__all__ = [
+    "LayerValidation",
+    "ValidationReport",
+    "validate_model",
+    "assert_valid",
+    "format_table",
+    "format_markdown_table",
+    "format_compression_table",
+    "histogram_ascii",
+    "pattern_frequency_figure",
+    "series_ascii",
+    "Measurement",
+    "ExperimentRecord",
+    "ExperimentLog",
+]

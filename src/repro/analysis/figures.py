@@ -1,0 +1,75 @@
+"""ASCII figure rendering (Fig. 2 histogram, speedup curves)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["histogram_ascii", "series_ascii", "pattern_frequency_figure"]
+
+
+def histogram_ascii(
+    values: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 50,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Horizontal bar histogram, tallest first."""
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(-values)
+    if max_rows is not None:
+        order = order[:max_rows]
+    peak = values.max() if values.size else 1.0
+    lines = []
+    for index in order:
+        label = labels[index] if labels is not None else str(index)
+        bar = "#" * max(0, round(values[index] / peak * width)) if peak > 0 else ""
+        lines.append(f"{label:>8} |{bar} {values[index]:g}")
+    return "\n".join(lines)
+
+
+def pattern_frequency_figure(
+    frequencies: np.ndarray, top: int = 20, width: int = 50
+) -> str:
+    """Fig. 2: nearest-pattern frequency over the candidate set.
+
+    Shows the ``top`` dominant patterns and summarises the trivial tail —
+    the visual argument for pattern distillation.
+    """
+    frequencies = np.asarray(frequencies)
+    order = np.argsort(-frequencies)
+    head = order[:top]
+    tail = order[top:]
+    lines = [
+        f"Pattern frequency distribution ({len(frequencies)} candidate patterns)",
+        f"dominant (top {len(head)}):",
+    ]
+    peak = frequencies.max() if frequencies.size else 1
+    for index in head:
+        bar = "#" * max(1, round(frequencies[index] / peak * width)) if frequencies[index] else ""
+        lines.append(f"  p{index:>4} |{bar} {frequencies[index]}")
+    if len(tail):
+        lines.append(
+            f"trivial tail: {len(tail)} patterns, "
+            f"{frequencies[tail].sum()} kernels total "
+            f"({frequencies[tail].sum() / max(frequencies.sum(), 1):.1%} of kernels)"
+        )
+    return "\n".join(lines)
+
+
+def series_ascii(
+    series: Dict[str, Dict[float, float]],
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Aligned multi-series listing (x -> value bars), e.g. speedup vs n."""
+    lines = []
+    peak = max(v for points in series.values() for v in points.values())
+    for name, points in series.items():
+        lines.append(name)
+        for x in sorted(points):
+            value = points[x]
+            bar = "#" * max(1, round(value / peak * width))
+            lines.append(f"  {x:>8} |{bar} " + value_format.format(value))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Paper-vs-measured record keeping for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from .tables import format_markdown_table
+
+__all__ = ["Measurement", "ExperimentRecord", "ExperimentLog"]
+
+
+@dataclass
+class Measurement:
+    """One paper-vs-measured comparison point."""
+
+    metric: str
+    paper: Union[float, str]
+    measured: Union[float, str]
+    note: str = ""
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        try:
+            paper = float(self.paper)
+            measured = float(self.measured)
+        except (TypeError, ValueError):
+            return None
+        if paper == 0:
+            return None
+        return abs(measured - paper) / abs(paper)
+
+
+@dataclass
+class ExperimentRecord:
+    """All measurements of one table/figure reproduction."""
+
+    experiment_id: str  # e.g. "Table I"
+    description: str
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def add(self, metric: str, paper, measured, note: str = "") -> None:
+        self.measurements.append(Measurement(metric, paper, measured, note))
+
+    def to_markdown(self) -> str:
+        headers = ["metric", "paper", "measured", "rel. err", "note"]
+        rows = []
+        for m in self.measurements:
+            err = m.relative_error
+            rows.append(
+                [m.metric, m.paper, m.measured, f"{err:.1%}" if err is not None else "-", m.note]
+            )
+        return f"### {self.experiment_id} — {self.description}\n\n" + format_markdown_table(
+            headers, rows
+        )
+
+
+@dataclass
+class ExperimentLog:
+    """Collection of experiment records, rendered into EXPERIMENTS.md."""
+
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    def record(self, experiment_id: str, description: str) -> ExperimentRecord:
+        rec = ExperimentRecord(experiment_id, description)
+        self.records.append(rec)
+        return rec
+
+    def to_markdown(self, title: str = "Experiments: paper vs measured") -> str:
+        parts = [f"# {title}", ""]
+        for rec in self.records:
+            parts.append(rec.to_markdown())
+            parts.append("")
+        return "\n".join(parts)

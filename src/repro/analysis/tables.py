@@ -1,0 +1,72 @@
+"""Paper-style table rendering for benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_compression_table", "format_markdown_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-2):
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table with a header rule."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def format_compression_table(reports, title: Optional[str] = None) -> str:
+    """Render CompressionReports with the paper's Table I-III columns."""
+    headers = [
+        "Benchmark",
+        "CONV FLOPs",
+        "FLOPs Pruned",
+        "CONV Params",
+        "Compr (weight)",
+        "Compr (weight+idx)",
+    ]
+    rows = []
+    for report in reports:
+        row = report.summary_row()
+        rows.append(
+            [
+                row["benchmark"],
+                f"{row['conv_flops']:.2e}",
+                f"{row['flops_pruned_pct']:.1f}%",
+                f"{row['conv_params']:.2e}",
+                f"{row['compression_weight']:.1f}x",
+                f"{row['compression_weight_idx']:.1f}x",
+            ]
+        )
+    return format_table(headers, rows, title=title)

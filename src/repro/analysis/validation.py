@@ -1,0 +1,127 @@
+"""PCNN invariant validation for pruned models.
+
+A downstream user about to ship a pruned model wants a single call that
+checks everything the hardware assumes: equal per-kernel non-zeros within
+each layer, masks consistent with weights, pattern counts within the SPM
+budget, and kernel sizes the architecture supports. ``validate_model``
+returns a structured report; ``assert_valid`` raises with a precise
+message on the first violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.masks import kernel_nonzeros
+from ..core.patterns import mask_to_pattern
+
+__all__ = ["LayerValidation", "ValidationReport", "validate_model", "assert_valid"]
+
+
+@dataclass
+class LayerValidation:
+    """Validation outcome for one conv layer."""
+
+    name: str
+    pruned: bool
+    n_nonzero: Optional[int]
+    distinct_patterns: Optional[int]
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+@dataclass
+class ValidationReport:
+    """Whole-model validation outcome."""
+
+    layers: List[LayerValidation]
+
+    @property
+    def ok(self) -> bool:
+        return all(layer.ok for layer in self.layers)
+
+    @property
+    def problems(self) -> List[str]:
+        return [f"{layer.name}: {p}" for layer in self.layers for p in layer.problems]
+
+    def summary(self) -> str:
+        lines = []
+        for layer in self.layers:
+            if not layer.pruned:
+                lines.append(f"{layer.name}: dense (no mask)")
+                continue
+            status = "OK" if layer.ok else "; ".join(layer.problems)
+            lines.append(
+                f"{layer.name}: n={layer.n_nonzero}, "
+                f"{layer.distinct_patterns} patterns -> {status}"
+            )
+        return "\n".join(lines)
+
+
+def validate_model(
+    model: nn.Module, max_patterns: Optional[int] = None, kernel_size: int = 3
+) -> ValidationReport:
+    """Check PCNN invariants on every 3x3 conv of ``model``.
+
+    Parameters
+    ----------
+    max_patterns:
+        Optional SPM budget; flags layers using more distinct patterns.
+    """
+    layers: List[LayerValidation] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, nn.Conv2d) or module.kernel_size != kernel_size:
+            continue
+        mask = module.weight_mask
+        if mask is None:
+            layers.append(
+                LayerValidation(name=name, pruned=False, n_nonzero=None, distinct_patterns=None)
+            )
+            continue
+        problems: List[str] = []
+        counts = kernel_nonzeros(mask)
+        unique_counts = np.unique(counts)
+        n_value = int(unique_counts[0]) if len(unique_counts) == 1 else None
+        if len(unique_counts) != 1:
+            problems.append(
+                f"unequal per-kernel non-zeros {sorted(unique_counts.tolist())} "
+                "(PCNN requires identical sparsity per layer)"
+            )
+        # Weights must vanish off-mask.
+        off_mask = module.weight.data * (1 - mask)
+        if np.abs(off_mask).max() > 0:
+            problems.append("non-zero weights outside the mask")
+        if not np.isfinite(module.weight.data).all():
+            problems.append("non-finite weights")
+        # Distinct patterns actually used.
+        k2 = kernel_size * kernel_size
+        kernels = mask.reshape(-1, k2)
+        patterns = {mask_to_pattern(kernel.reshape(kernel_size, kernel_size)) for kernel in kernels}
+        if max_patterns is not None and len(patterns) > max_patterns:
+            problems.append(
+                f"{len(patterns)} distinct patterns exceed the SPM budget {max_patterns}"
+            )
+        layers.append(
+            LayerValidation(
+                name=name,
+                pruned=True,
+                n_nonzero=n_value,
+                distinct_patterns=len(patterns),
+                problems=problems,
+            )
+        )
+    return ValidationReport(layers=layers)
+
+
+def assert_valid(model: nn.Module, max_patterns: Optional[int] = None) -> None:
+    """Raise ``AssertionError`` with all problems if validation fails."""
+    report = validate_model(model, max_patterns=max_patterns)
+    if not report.ok:
+        raise AssertionError("PCNN validation failed:\n" + "\n".join(report.problems))

@@ -1,0 +1,106 @@
+"""repro.arch — the pattern-aware accelerator (the paper's Sec. III/IV-E).
+
+Memory layout and packing (Fig. 3), SPM decoding, sparsity-IO pointer
+generation (Fig. 4), the 64x4-MAC PE group, the 4-stage pipeline (Fig. 5),
+cycle-level and analytic simulators, the Table IX area/power model, the
+EIE-like irregular baseline, and the Fig. 6 floorplan.
+"""
+
+from .config import PAPER_ARCH, ArchConfig
+from .decoder import SPMDecoder
+from .eie import EIE_INDEX_BITS_PER_WEIGHT, IrregularCycleModel, eie_index_sram_bytes
+from .fixed_point import accumulate_width_bits, int8_conv2d, int8_mac, requantize
+from .energy import (
+    PAPER_TECH,
+    ComponentBudget,
+    TechnologyProfile,
+    efficiency_sweep,
+    tops_per_watt,
+)
+from .layout import area_bar_chart, floorplan_ascii
+from .memory import (
+    KernelRegisterFile,
+    PackedWeights,
+    fetch_geometry,
+    pack_nonzero_sequences,
+    sram_overheads,
+    unpack_nonzero_sequences,
+)
+from .pe import MACStats, PatternAwarePE, PEGroup
+from .pipeline import PIPELINE_STAGES, PipelineModel
+from .pointer import (
+    GatherPlan,
+    compaction_pointers,
+    gather_plan,
+    pointers_from_offsets,
+    sparsity_mask,
+    zero_gap_offsets,
+)
+from .simulator import (
+    ConvLayerSimulator,
+    LayerSimResult,
+    NetworkSimResult,
+    simulate_network_analytic,
+)
+from .latency import InferenceCost, inference_cost, inference_cost_sweep
+from .model_sim import (
+    ConvWorkload,
+    ModelCycleReport,
+    capture_conv_workloads,
+    simulate_model_cycles,
+)
+from .schedule import LayerSchedule, NetworkSchedule, schedule_network
+from .traffic import TrafficReport, dram_traffic
+
+__all__ = [
+    "ArchConfig",
+    "PAPER_ARCH",
+    "SPMDecoder",
+    "PackedWeights",
+    "pack_nonzero_sequences",
+    "unpack_nonzero_sequences",
+    "fetch_geometry",
+    "KernelRegisterFile",
+    "sram_overheads",
+    "sparsity_mask",
+    "compaction_pointers",
+    "zero_gap_offsets",
+    "pointers_from_offsets",
+    "GatherPlan",
+    "gather_plan",
+    "MACStats",
+    "PatternAwarePE",
+    "PEGroup",
+    "PIPELINE_STAGES",
+    "PipelineModel",
+    "ConvLayerSimulator",
+    "LayerSimResult",
+    "NetworkSimResult",
+    "simulate_network_analytic",
+    "ComponentBudget",
+    "TechnologyProfile",
+    "PAPER_TECH",
+    "tops_per_watt",
+    "efficiency_sweep",
+    "EIE_INDEX_BITS_PER_WEIGHT",
+    "eie_index_sram_bytes",
+    "IrregularCycleModel",
+    "floorplan_ascii",
+    "area_bar_chart",
+    "TrafficReport",
+    "dram_traffic",
+    "LayerSchedule",
+    "NetworkSchedule",
+    "schedule_network",
+    "InferenceCost",
+    "inference_cost",
+    "inference_cost_sweep",
+    "ConvWorkload",
+    "ModelCycleReport",
+    "capture_conv_workloads",
+    "simulate_model_cycles",
+    "int8_mac",
+    "int8_conv2d",
+    "requantize",
+    "accumulate_width_bits",
+]

@@ -1,0 +1,65 @@
+"""Architecture configuration for the pattern-aware accelerator (Sec. III).
+
+Defaults mirror the paper's 55 nm implementation: 64 PEs x 4 MAC units
+(256 MACs/cycle), 300 MHz at 1 V, a 128 KB weight SRAM holding up to 32768
+3x3 kernels with 4 non-zeros at 8-bit quantisation, a 4 KB pattern SRAM,
+and 60-word kernel/SPM register files (which integrally hold kernels with
+1-6 non-zeros, since 60 is divisible by 1..6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ArchConfig", "PAPER_ARCH"]
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Hardware parameters of the pattern-aware architecture."""
+
+    num_pes: int = 64
+    macs_per_pe: int = 4
+    frequency_hz: float = 300e6
+    voltage_v: float = 1.0
+    weight_bits: int = 8  # on-chip quantisation (Sec. IV-E)
+    kernel_size: int = 3
+    kernel_register_words: int = 60
+    spm_register_words: int = 60
+    fetch_width_weights: int = 8  # weights per data fetch (Fig. 3b rows)
+    weight_sram_bytes: int = 128 * 1024
+    pattern_sram_bytes: int = 4 * 1024
+    data_sram_bytes: int = 256 * 1024
+    activation_density: float = 0.8  # paper: "average activation sparsity is 0.8"
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1 or self.macs_per_pe < 1:
+            raise ValueError("need at least one PE and one MAC per PE")
+        if not 0.0 < self.activation_density <= 1.0:
+            raise ValueError("activation_density must be in (0, 1]")
+
+    @property
+    def total_macs(self) -> int:
+        """MAC units available per cycle (256 in the paper)."""
+        return self.num_pes * self.macs_per_pe
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Peak throughput counting one MAC as two ops (mul + add)."""
+        return 2.0 * self.total_macs * self.frequency_hz
+
+    @property
+    def kernel_area(self) -> int:
+        return self.kernel_size * self.kernel_size
+
+    def kernels_in_weight_sram(self, n_nonzero: int) -> int:
+        """Kernels the weight SRAM holds at the given per-kernel sparsity.
+
+        Paper: 128 KB holds 32768 kernels with 4 non-zeros at 8 bit.
+        """
+        bits_per_kernel = n_nonzero * self.weight_bits
+        return (self.weight_sram_bytes * 8) // bits_per_kernel
+
+
+# The exact configuration evaluated in Sec. IV-E / Table IX.
+PAPER_ARCH = ArchConfig()

@@ -1,0 +1,60 @@
+"""SPM Pattern Decoder (Fig. 3a): SPM code -> 9-bit weight mask.
+
+The hardware holds a per-layer *SPM mapping table* (configured by the
+Pattern Config block); decoding a kernel's SPM code is one table lookup
+producing the 9-bit weight mask that drives the sparsity IO. This module
+is the bit-exact software model of that block.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.spm import SPMCodebook
+
+__all__ = ["SPMDecoder"]
+
+
+class SPMDecoder:
+    """Per-layer mapping table from SPM codes to kernel weight masks.
+
+    Parameters
+    ----------
+    codebook:
+        The layer's :class:`repro.core.spm.SPMCodebook` — software twin of
+        the mapping table the Pattern Config block loads.
+    """
+
+    def __init__(self, codebook: SPMCodebook) -> None:
+        self.codebook = codebook
+        # Precompute the table: (num_patterns, k*k) of {0,1} bits.
+        from ..core.patterns import patterns_to_bit_matrix
+
+        self._table = patterns_to_bit_matrix(
+            codebook.patterns, codebook.kernel_size
+        ).astype(np.int64)
+
+    @property
+    def mask_width(self) -> int:
+        """Bits in a decoded weight mask (9 for 3x3 kernels)."""
+        return self.codebook.kernel_size**2
+
+    @property
+    def table_bits(self) -> int:
+        """Storage cost of the mapping table itself (entries x mask width)."""
+        return len(self.codebook) * self.mask_width
+
+    def decode(self, code: int) -> np.ndarray:
+        """Weight mask (length k*k, {0,1}) for one SPM code."""
+        if not 0 <= code < len(self.codebook):
+            raise ValueError(f"SPM code {code} out of range [0, {len(self.codebook)})")
+        return self._table[code]
+
+    def decode_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised decode of many codes -> (len(codes), k*k) masks."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.codebook)):
+            raise ValueError("SPM code out of range")
+        return self._table[codes]

@@ -1,0 +1,107 @@
+"""EIE-like irregular-sparsity baseline architecture (Sec. IV-E comparison).
+
+EIE [12] keeps irregularly pruned weights in CSC format: ~4 index bits per
+non-zero weight (64 KB of index SRAM to denote 128 K weights, as the paper
+quotes), and its parallel units suffer load imbalance because kernels hold
+*different* numbers of non-zeros. This module models both effects so the
+benches can put PCNN's numbers side by side with an executable strawman:
+
+- :func:`eie_index_sram_bytes` — index storage for a weight count;
+- :class:`IrregularCycleModel` — the same PE-group cycle model as
+  :mod:`repro.arch.simulator` but fed irregular per-kernel non-zero
+  counts, exposing the utilisation gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Optional
+
+import numpy as np
+
+from .config import ArchConfig
+from .pe import MACStats, PEGroup
+
+__all__ = ["EIE_INDEX_BITS_PER_WEIGHT", "eie_index_sram_bytes", "IrregularCycleModel"]
+
+EIE_INDEX_BITS_PER_WEIGHT = 4
+
+
+def eie_index_sram_bytes(num_weights: int, bits_per_weight: int = EIE_INDEX_BITS_PER_WEIGHT) -> int:
+    """Index SRAM bytes to denote ``num_weights`` non-zero weights in CSC.
+
+    Paper quote: "64KB index SRAM is needed to denote 128K weights".
+    """
+    return num_weights * bits_per_weight // 8
+
+
+@dataclass
+class ImbalanceResult:
+    """Outcome of the irregular-vs-regular utilisation experiment."""
+
+    regular_cycles: int
+    irregular_cycles: int
+    regular_utilization: float
+    irregular_utilization: float
+
+    @property
+    def imbalance_penalty(self) -> float:
+        """Extra cycles irregular pruning pays at equal average density."""
+        return self.irregular_cycles / self.regular_cycles
+
+
+class IrregularCycleModel:
+    """Cycle comparison: balanced (PCNN) vs irregular kernels at equal density.
+
+    Both workloads have the same *average* non-zeros per kernel; the
+    irregular one draws per-kernel counts from the empirical distribution
+    of magnitude pruning (binomial-like spread), so per-window group
+    latency is governed by the max across PEs.
+    """
+
+    def __init__(self, arch: Optional[ArchConfig] = None) -> None:
+        self.arch = arch or ArchConfig()
+        self.group = PEGroup(self.arch)
+
+    def _schedule(self, effectual_per_filter_per_window: np.ndarray) -> MACStats:
+        total = MACStats()
+        for window in effectual_per_filter_per_window:
+            total.merge(self.group.window_cycles(window))
+        return total
+
+    def compare(
+        self,
+        num_filters: int,
+        num_channels: int,
+        num_windows: int,
+        n_average: int,
+        rng: Optional[np.random.Generator] = None,
+        activation_density: float = 1.0,
+    ) -> ImbalanceResult:
+        """Run both schedules and report cycles and utilisation.
+
+        The regular workload gives every (filter, channel) kernel exactly
+        ``n_average`` effectual MACs; the irregular workload draws kernel
+        counts Binomial(9, n_average/9) — equal mean, irregular spread —
+        then thins both by the activation density.
+        """
+        rng = rng or np.random.default_rng(0)
+        k2 = self.arch.kernel_area
+
+        def thin(counts: np.ndarray) -> np.ndarray:
+            if activation_density >= 1.0:
+                return counts
+            return rng.binomial(counts, activation_density)
+
+        regular_kernel = np.full((num_windows, num_filters, num_channels), n_average)
+        irregular_kernel = rng.binomial(k2, n_average / k2, size=regular_kernel.shape)
+
+        regular = self._schedule(thin(regular_kernel).sum(axis=2))
+        irregular = self._schedule(thin(irregular_kernel).sum(axis=2))
+        return ImbalanceResult(
+            regular_cycles=regular.cycles,
+            irregular_cycles=irregular.cycles,
+            regular_utilization=regular.utilization,
+            irregular_utilization=irregular.utilization,
+        )

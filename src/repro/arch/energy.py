@@ -1,0 +1,139 @@
+"""Area/power/efficiency model calibrated to Table IX (Sec. IV-E).
+
+Design Compiler + UMC 55 nm is unavailable offline, so the per-component
+area and power of the paper's implementation (Table IX, measured at
+300 MHz / 1 V) are exposed as the calibrated *technology profile*; every
+derived number of Sec. IV-E — total power, TOPS/W at each sparsity, the
+SRAM index overhead, the Fig. 6 floorplan shares — is recomputed from it.
+
+Paper anchors: 3.15 TOPS/W dense (= 2 x 256 MACs x 300 MHz / 48.7 mW) up
+to 28.39 TOPS/W at 88.9% weight sparsity (9x effectual speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .config import ArchConfig
+
+__all__ = ["ComponentBudget", "TechnologyProfile", "PAPER_TECH", "tops_per_watt", "efficiency_sweep"]
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """Area/power of one chip component (Table IX row)."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+
+
+@dataclass
+class TechnologyProfile:
+    """Calibrated 55 nm component budgets at 300 MHz / 1 V."""
+
+    components: List[ComponentBudget]
+    frequency_hz: float = 300e6
+    voltage_v: float = 1.0
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(c.power_mw for c in self.components)
+
+    def area_share(self, name: str) -> float:
+        return self.by_name(name).area_mm2 / self.total_area_mm2
+
+    def power_share(self, name: str) -> float:
+        return self.by_name(name).power_mw / self.total_power_mw
+
+    def by_name(self, name: str) -> ComponentBudget:
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise KeyError(f"unknown component {name!r}")
+
+    def scaled(self, frequency_hz: float, voltage_v: float) -> "TechnologyProfile":
+        """First-order dynamic-power scaling: P ~ f * V^2 (CMOS).
+
+        Area is voltage/frequency independent; used by the what-if sweeps.
+        """
+        factor = (frequency_hz / self.frequency_hz) * (voltage_v / self.voltage_v) ** 2
+        return TechnologyProfile(
+            components=[
+                ComponentBudget(c.name, c.area_mm2, c.power_mw * factor)
+                for c in self.components
+            ],
+            frequency_hz=frequency_hz,
+            voltage_v=voltage_v,
+        )
+
+    def table_rows(self) -> List[dict]:
+        """Table IX rows: component, area, area %, power, power %."""
+        rows = [
+            {
+                "component": "Overall",
+                "area_mm2": self.total_area_mm2,
+                "area_share": 1.0,
+                "power_mw": self.total_power_mw,
+                "power_share": 1.0,
+            }
+        ]
+        for component in self.components:
+            rows.append(
+                {
+                    "component": component.name,
+                    "area_mm2": component.area_mm2,
+                    "area_share": self.area_share(component.name),
+                    "power_mw": component.power_mw,
+                    "power_share": self.power_share(component.name),
+                }
+            )
+        return rows
+
+
+# Table IX (not including PLL and IO). Component budgets sum to the paper's
+# overall 8.00 mm^2 / 48.7 mW.
+PAPER_TECH = TechnologyProfile(
+    components=[
+        ComponentBudget("Data SRAM", 3.25, 13.7),
+        ComponentBudget("Weight SRAM", 2.48, 15.6),
+        ComponentBudget("Pattern SRAM", 0.19, 0.9),
+        ComponentBudget("Register File", 1.58, 13.6),
+        ComponentBudget("PE group", 0.50, 4.9),
+    ]
+)
+
+
+def tops_per_watt(
+    arch: Optional[ArchConfig] = None,
+    tech: Optional[TechnologyProfile] = None,
+    effective_speedup: float = 1.0,
+) -> float:
+    """Power efficiency in TOPS/W at a given effectual speedup.
+
+    ``effective_speedup = 1`` is the dense datapath (3.15 TOPS/W in the
+    paper); PCNN with n non-zeros of 9 reaches ``9/n`` effectual ops per
+    issued op, so e.g. 9x -> 28.39 TOPS/W.
+    """
+    arch = arch or ArchConfig()
+    tech = tech or PAPER_TECH
+    effective_ops = arch.peak_ops_per_second * effective_speedup
+    watts = tech.total_power_mw * 1e-3
+    return effective_ops / watts / 1e12
+
+
+def efficiency_sweep(
+    ns=(9, 4, 3, 2, 1),
+    arch: Optional[ArchConfig] = None,
+    tech: Optional[TechnologyProfile] = None,
+) -> Dict[int, float]:
+    """TOPS/W for each kernel sparsity n (n=9 is the dense point)."""
+    arch = arch or ArchConfig()
+    return {
+        n: tops_per_watt(arch, tech, effective_speedup=arch.kernel_area / n) for n in ns
+    }

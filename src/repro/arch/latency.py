@@ -1,0 +1,67 @@
+"""Per-inference latency and energy (Sec. IV-E, derived quantities).
+
+Combines the analytic cycle model with the clock frequency and the
+Table IX power to give what a deployment engineer actually asks for:
+milliseconds and millijoules per image at each sparsity setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import PCNNConfig
+from ..models.flops import ModelProfile
+from .config import ArchConfig
+from .energy import PAPER_TECH, TechnologyProfile
+from .simulator import simulate_network_analytic
+
+__all__ = ["InferenceCost", "inference_cost", "inference_cost_sweep"]
+
+
+@dataclass(frozen=True)
+class InferenceCost:
+    """Latency/energy of one forward pass on the accelerator."""
+
+    cycles: float
+    latency_ms: float
+    energy_mj: float
+    speedup_vs_dense: float
+
+    @property
+    def images_per_second(self) -> float:
+        return 1000.0 / self.latency_ms if self.latency_ms > 0 else float("inf")
+
+
+def inference_cost(
+    profile: ModelProfile,
+    config: PCNNConfig,
+    arch: Optional[ArchConfig] = None,
+    tech: Optional[TechnologyProfile] = None,
+    activation_density: Optional[float] = None,
+) -> InferenceCost:
+    """Latency and compute energy per image for one PCNN setting."""
+    arch = arch or ArchConfig()
+    tech = tech or PAPER_TECH
+    sim = simulate_network_analytic(profile, config, arch, activation_density)
+    seconds = sim.total_cycles / arch.frequency_hz
+    energy_j = seconds * tech.total_power_mw * 1e-3
+    return InferenceCost(
+        cycles=sim.total_cycles,
+        latency_ms=seconds * 1e3,
+        energy_mj=energy_j * 1e3,
+        speedup_vs_dense=sim.speedup,
+    )
+
+
+def inference_cost_sweep(
+    profile: ModelProfile,
+    ns=(4, 3, 2, 1),
+    arch: Optional[ArchConfig] = None,
+    tech: Optional[TechnologyProfile] = None,
+) -> Dict[int, InferenceCost]:
+    """Latency/energy for a range of uniform kernel sparsities."""
+    num_layers = len(profile.prunable())
+    return {
+        n: inference_cost(profile, PCNNConfig.uniform(n, num_layers), arch, tech) for n in ns
+    }

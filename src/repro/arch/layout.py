@@ -1,0 +1,58 @@
+"""Chip floorplan rendering (Fig. 6).
+
+Regenerates the layout figure as ASCII art: component rectangles sized
+proportionally to their Table IX area shares, arranged in the figure's
+rough placement (buffers along the top/left, PE group and register file in
+the core, pattern SRAM in a corner).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .energy import PAPER_TECH, TechnologyProfile
+
+__all__ = ["floorplan_ascii", "area_bar_chart"]
+
+
+def area_bar_chart(tech: Optional[TechnologyProfile] = None, width: int = 50) -> str:
+    """Horizontal bar chart of component area shares."""
+    tech = tech or PAPER_TECH
+    lines = []
+    for component in sorted(tech.components, key=lambda c: -c.area_mm2):
+        share = component.area_mm2 / tech.total_area_mm2
+        bar = "#" * max(1, round(share * width))
+        lines.append(f"{component.name:<14} {bar} {share:6.1%} ({component.area_mm2:.2f} mm2)")
+    return "\n".join(lines)
+
+
+def floorplan_ascii(
+    tech: Optional[TechnologyProfile] = None, width: int = 48, height: int = 16
+) -> str:
+    """ASCII floorplan with row heights proportional to area share.
+
+    The drawing allocates one horizontal band per component (largest at
+    the top), which preserves the quantity Fig. 6 communicates — relative
+    silicon area — in a terminal-friendly form.
+    """
+    tech = tech or PAPER_TECH
+    components = sorted(tech.components, key=lambda c: -c.area_mm2)
+    total = tech.total_area_mm2
+    inner_width = width - 2
+
+    rows: List[str] = ["+" + "-" * inner_width + "+"]
+    used = 0
+    for index, component in enumerate(components):
+        share = component.area_mm2 / total
+        band = max(1, round(share * (height - 2)))
+        if index == len(components) - 1:
+            band = max(1, (height - 2) - used)
+        used += band
+        label = f" {component.name} ({share:.1%}) "
+        for r in range(band):
+            content = label if r == band // 2 else ""
+            rows.append("|" + content.center(inner_width) + "|")
+        if index != len(components) - 1:
+            rows.append("+" + "-" * inner_width + "+")
+    rows.append("+" + "-" * inner_width + "+")
+    return "\n".join(rows)

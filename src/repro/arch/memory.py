@@ -1,0 +1,174 @@
+"""Memory system of the pattern-aware architecture (Sec. III-A, Fig. 3).
+
+Models three things:
+
+- the Fig. 3b *storing format*: non-zero sequences of equal length ``n``
+  packed back-to-back into fixed-width data-fetch rows (8 weights per
+  fetch in the paper), with the ``filters per fetch`` arithmetic the
+  figure annotates (n=2 -> 4 filters/fetch, n=3 -> 8 filters per 3
+  fetches, n=4 -> 2 filters/fetch);
+- the 60-word kernel register file that integrally stores kernels with
+  1-6 non-zeros (60 is divisible by each), padding for n > 6;
+- SRAM capacity/overhead accounting used by the Sec. IV-E memory
+  evaluation (3.1% index overhead; EIE's 64 KB index SRAM per 128 K
+  weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, gcd
+from typing import List, Tuple
+
+import numpy as np
+
+from .config import ArchConfig
+
+__all__ = [
+    "PackedWeights",
+    "pack_nonzero_sequences",
+    "unpack_nonzero_sequences",
+    "fetch_geometry",
+    "KernelRegisterFile",
+    "sram_overheads",
+]
+
+
+def fetch_geometry(n_nonzero: int, fetch_width: int = 8) -> Tuple[int, int]:
+    """(filters, fetches) per repeating group in the Fig. 3b layout.
+
+    The packing repeats with period ``lcm(n, width)``:
+
+    >>> fetch_geometry(2)   # "4 filters per data fetch"
+    (4, 1)
+    >>> fetch_geometry(3)   # "8 filters each 3 data fetches"
+    (8, 3)
+    >>> fetch_geometry(4)   # "2 filters per data fetch"
+    (2, 1)
+    """
+    if n_nonzero < 1:
+        raise ValueError("n_nonzero must be >= 1")
+    lcm = n_nonzero * fetch_width // gcd(n_nonzero, fetch_width)
+    return lcm // n_nonzero, lcm // fetch_width
+
+
+@dataclass
+class PackedWeights:
+    """Non-zero sequences packed into fetch rows (Fig. 3b)."""
+
+    rows: np.ndarray  # (num_fetches, fetch_width) values, zero-padded tail
+    n_nonzero: int
+    num_kernels: int
+    fetch_width: int
+
+    @property
+    def num_fetches(self) -> int:
+        return len(self.rows)
+
+    @property
+    def payload_words(self) -> int:
+        """Total meaningful weight slots (kernels * n)."""
+        return self.num_kernels * self.n_nonzero
+
+    @property
+    def padding_words(self) -> int:
+        return self.rows.size - self.payload_words
+
+
+def pack_nonzero_sequences(values: np.ndarray, fetch_width: int = 8) -> PackedWeights:
+    """Pack per-kernel non-zero sequences ``(kernels, n)`` into fetch rows.
+
+    Sequences are laid back-to-back in kernel order — possible only because
+    PCNN makes every sequence the same length (the whole point of the
+    regular format); the host controller can then compute any kernel's
+    location as ``kernel_index * n``.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("values must be (kernels, n)")
+    kernels, n = values.shape
+    flat = values.reshape(-1)
+    num_fetches = ceil(flat.size / fetch_width) if flat.size else 0
+    rows = np.zeros((num_fetches, fetch_width), dtype=values.dtype)
+    rows.reshape(-1)[: flat.size] = flat
+    return PackedWeights(rows=rows, n_nonzero=n, num_kernels=kernels, fetch_width=fetch_width)
+
+
+def unpack_nonzero_sequences(packed: PackedWeights) -> np.ndarray:
+    """Inverse of :func:`pack_nonzero_sequences` (host-controller fetch)."""
+    flat = packed.rows.reshape(-1)[: packed.payload_words]
+    return flat.reshape(packed.num_kernels, packed.n_nonzero).copy()
+
+
+class KernelRegisterFile:
+    """The 60-word kernel register of Fig. 3a.
+
+    Holds the non-zero sequences of as many kernels as fit integrally;
+    for 1 <= n <= 6 the 60 words divide evenly ("integrally store kernels
+    that contain 1 to 6 non-zero weights"), for n in {7, 8, 9} the tail is
+    zero-padded ("for other sparsities, we pad zeros to align the
+    memory").
+    """
+
+    def __init__(self, words: int = 60) -> None:
+        if words < 1:
+            raise ValueError("register file needs at least one word")
+        self.words = words
+        self.storage = np.zeros(words)
+        self._n = 0
+        self._kernels = 0
+
+    def capacity_kernels(self, n_nonzero: int) -> int:
+        """Kernels storable at sparsity n (integral for divisors of 60)."""
+        return self.words // n_nonzero
+
+    def padding_words(self, n_nonzero: int) -> int:
+        """Wasted words at the tail for this sparsity (0 for n | 60)."""
+        return self.words - self.capacity_kernels(n_nonzero) * n_nonzero
+
+    def load(self, values: np.ndarray) -> int:
+        """Fill the register with kernel sequences; returns kernels loaded."""
+        values = np.asarray(values)
+        kernels, n = values.shape
+        fit = min(kernels, self.capacity_kernels(n))
+        self.storage[:] = 0.0
+        self.storage[: fit * n] = values[:fit].reshape(-1)
+        self._n = n
+        self._kernels = fit
+        return fit
+
+    def kernel_sequence(self, index: int) -> np.ndarray:
+        """Non-zero sequence of the ``index``-th loaded kernel."""
+        if not 0 <= index < self._kernels:
+            raise IndexError(f"kernel {index} not loaded (have {self._kernels})")
+        start = index * self._n
+        return self.storage[start : start + self._n]
+
+    def fetch(self, kernel_index: int, pointer: int) -> float:
+        """Weight fetch by (kernel, sparsity-pointer) — the datapath access."""
+        return float(self.kernel_sequence(kernel_index)[pointer])
+
+
+def sram_overheads(arch: ArchConfig, num_patterns: int = 16, n_nonzero: int = 4) -> dict:
+    """Sec. IV-E memory accounting.
+
+    Returns the paper-configuration overhead (pattern SRAM / weight SRAM =
+    3.1%), plus an *analytic* per-kernel index requirement and the EIE
+    comparison (4 bits per weight -> 64 KB index SRAM per 128 K weights).
+    """
+    from ..core.compression import spm_index_bits
+
+    kernels = arch.kernels_in_weight_sram(n_nonzero)
+    weights = kernels * n_nonzero
+    spm_bits = spm_index_bits(num_patterns)
+    return {
+        "weight_sram_bytes": arch.weight_sram_bytes,
+        "pattern_sram_bytes": arch.pattern_sram_bytes,
+        "kernels_capacity": kernels,
+        "weights_capacity": weights,
+        "index_overhead_fraction": arch.pattern_sram_bytes / arch.weight_sram_bytes,
+        "spm_bits_per_kernel": spm_bits,
+        "spm_index_bytes_required": kernels * spm_bits // 8,
+        "eie_index_bits_per_weight": 4,
+        "eie_index_bytes_required": weights * 4 // 8,
+    }

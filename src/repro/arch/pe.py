@@ -1,0 +1,142 @@
+"""Sparsity-aware processing elements (Sec. III-B, Fig. 4a).
+
+The paper's PE group has 64 PEs with 4 MAC units each (256 MACs/cycle).
+Under the shared-activation dataflow every PE processes a different output
+filter against the *same* broadcast activation window; because PCNN gives
+every kernel exactly ``n`` non-zeros, per-PE work is balanced and the MAC
+array stays utilised — the property the cycle model below makes
+measurable (and which irregular pruning destroys, see
+:mod:`repro.arch.eie`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .config import ArchConfig
+from .pointer import GatherPlan, gather_plan
+
+__all__ = ["MACStats", "PatternAwarePE", "PEGroup"]
+
+
+@dataclass
+class MACStats:
+    """Cycle/utilisation accounting of a PE or PE group."""
+
+    cycles: int = 0
+    effectual_macs: int = 0
+    issued_mac_slots: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of issued MAC slots doing useful work."""
+        if self.issued_mac_slots == 0:
+            return 1.0
+        return self.effectual_macs / self.issued_mac_slots
+
+    def merge(self, other: "MACStats") -> None:
+        self.cycles += other.cycles
+        self.effectual_macs += other.effectual_macs
+        self.issued_mac_slots += other.issued_mac_slots
+
+
+class PatternAwarePE:
+    """One PE: ``macs_per_pe`` MAC units fed by sparsity pointers.
+
+    Computes dot products between a compacted weight sequence and the
+    shared activation register, issuing up to ``macs_per_pe`` effectual
+    MACs per cycle from its work queue.
+    """
+
+    def __init__(self, macs_per_pe: int = 4) -> None:
+        if macs_per_pe < 1:
+            raise ValueError("macs_per_pe must be >= 1")
+        self.macs_per_pe = macs_per_pe
+
+    def compute(
+        self,
+        compact_weights: np.ndarray,
+        activations: np.ndarray,
+        plan: GatherPlan,
+    ) -> float:
+        """Execute a gather plan; returns the partial sum.
+
+        ``compact_weights`` is the kernel's non-zero sequence (as stored in
+        the kernel register file), ``activations`` the 9-entry window.
+        """
+        if plan.num_macs == 0:
+            return 0.0
+        weights = np.asarray(compact_weights)[plan.weight_pointers]
+        acts = np.asarray(activations)[plan.activation_positions]
+        return float(np.dot(weights, acts))
+
+    def cycles_for(self, num_effectual: int) -> int:
+        """Cycles to drain ``num_effectual`` MACs through this PE."""
+        return ceil(num_effectual / self.macs_per_pe)
+
+
+class PEGroup:
+    """The 64-PE group with shared-activation broadcast.
+
+    Filters are assigned round-robin to PEs. For each synchronisation
+    region (one convolution window) a PE's work is the sum of effectual
+    MACs over its filters and all input channels; the group's latency is
+    the *maximum* per-PE cycle count — the source of the imbalance penalty
+    for irregular sparsity and of full utilisation for PCNN.
+    """
+
+    def __init__(self, arch: Optional[ArchConfig] = None) -> None:
+        self.arch = arch or ArchConfig()
+        self.pe = PatternAwarePE(self.arch.macs_per_pe)
+
+    def assign_filters(self, num_filters: int) -> List[np.ndarray]:
+        """Round-robin filter assignment: PE i gets filters i, i+P, ..."""
+        return [
+            np.arange(pe_index, num_filters, self.arch.num_pes)
+            for pe_index in range(self.arch.num_pes)
+        ]
+
+    def window_cycles(self, effectual_per_filter: np.ndarray) -> MACStats:
+        """Latency and utilisation for one window synchronisation region.
+
+        Parameters
+        ----------
+        effectual_per_filter:
+            ``(num_filters,)`` effectual MAC counts, already summed over
+            input channels.
+        """
+        effectual_per_filter = np.asarray(effectual_per_filter)
+        assignments = self.assign_filters(len(effectual_per_filter))
+        per_pe_work = np.array([effectual_per_filter[idx].sum() for idx in assignments])
+        cycles = int(max((self.pe.cycles_for(int(w)) for w in per_pe_work), default=0))
+        active_pes = int((per_pe_work > 0).sum())
+        stats = MACStats(
+            cycles=cycles,
+            effectual_macs=int(per_pe_work.sum()),
+            issued_mac_slots=cycles * self.arch.num_pes * self.arch.macs_per_pe,
+        )
+        return stats
+
+    def compute_window(
+        self,
+        compact_weights: Sequence[np.ndarray],
+        weight_masks: Sequence[np.ndarray],
+        activations: np.ndarray,
+    ) -> np.ndarray:
+        """Functionally compute one window's partial sums for all filters.
+
+        ``compact_weights[f]`` / ``weight_masks[f]`` describe filter f's
+        kernel for the current input channel; ``activations`` is the
+        shared 9-entry window. Zero-activations are skipped exactly as the
+        hardware's zero-detect + pointer path does.
+        """
+        activation_mask = (np.asarray(activations) != 0).astype(np.int64)
+        outputs = np.zeros(len(compact_weights))
+        for f, (weights, mask) in enumerate(zip(compact_weights, weight_masks)):
+            plan = gather_plan(mask, activation_mask)
+            outputs[f] = self.pe.compute(weights, activations, plan)
+        return outputs

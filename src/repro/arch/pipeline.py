@@ -1,0 +1,47 @@
+"""Pipeline model of the pattern-aware PE (Sec. III-B, Fig. 5).
+
+Four stages: (1) data pre-process — kernel restore from SPM + activation
+load/zero-detect; (2) sparsity pointer generation; (3) MAC; (4) partial-sum
+accumulate + ReLU. All stages are pipelined with initiation interval 1, so
+a stream of work items costs ``fill + sum(item_cycles)`` where the MAC
+stage (variable cycles per item) dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["PIPELINE_STAGES", "PipelineModel"]
+
+PIPELINE_STAGES: List[str] = [
+    "data_preprocess",  # kernel restore + activation load/zero-detect
+    "pointer_generation",  # sparsity IO (Fig. 4)
+    "mac",  # effectual multiply-accumulates
+    "accumulate_relu",  # partial-sum reduction + ReLU
+]
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Throughput model of the 4-stage pipeline."""
+
+    num_stages: int = len(PIPELINE_STAGES)
+
+    @property
+    def fill_cycles(self) -> int:
+        """Cycles to fill the pipeline before the first result."""
+        return self.num_stages - 1
+
+    def total_cycles(self, item_cycles: Iterable[int]) -> int:
+        """Cycles to stream items whose MAC stage takes ``item_cycles``.
+
+        With II=1 everywhere except the (variable-latency) MAC stage, the
+        MAC stage is the bottleneck: total = fill + sum of MAC cycles.
+        """
+        return self.fill_cycles + int(sum(item_cycles))
+
+    def throughput_items_per_cycle(self, item_cycles: Sequence[int]) -> float:
+        """Steady-state items per cycle."""
+        total = self.total_cycles(item_cycles)
+        return len(item_cycles) / total if total else 0.0

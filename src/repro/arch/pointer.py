@@ -1,0 +1,118 @@
+"""Sparsity-IO pointer generation (Sec. III-B, Fig. 4b/4c).
+
+The datapath stores each kernel as a *compacted* non-zero sequence in the
+kernel register (positions given by the decoded SPM weight mask). For a
+convolution window the effectual MACs are the positions where both the
+weight mask and the activation mask (from the zero-detect unit) are 1 —
+the *sparsity mask*. The sparsity IO turns that mask into pointers:
+
+- for each effectual position, the pointer into the compacted weight
+  sequence is the position's rank within the *weight* mask;
+- the hardware computes this with an adder-AND chain over the inverted
+  mask, "accumulating the number of zeros between every two non-zero
+  weights" (Fig. 4c); :func:`zero_gap_offsets` is the bit-exact model of
+  that chain, and :func:`pointers_from_offsets` reconstructs absolute
+  pointers from the gap offsets — tests assert it agrees with the direct
+  rank computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "sparsity_mask",
+    "compaction_pointers",
+    "zero_gap_offsets",
+    "pointers_from_offsets",
+    "GatherPlan",
+    "gather_plan",
+]
+
+
+def sparsity_mask(weight_mask: np.ndarray, activation_mask: np.ndarray) -> np.ndarray:
+    """AND of weight and activation masks — the effectual-MAC positions."""
+    weight_mask = np.asarray(weight_mask).astype(bool)
+    activation_mask = np.asarray(activation_mask).astype(bool)
+    if weight_mask.shape != activation_mask.shape:
+        raise ValueError("mask shapes differ")
+    return (weight_mask & activation_mask).astype(np.int64)
+
+
+def compaction_pointers(mask: np.ndarray) -> np.ndarray:
+    """Rank of each position within ``mask`` (pointer into compact storage).
+
+    Entry ``i`` is meaningful only where ``mask[i] == 1``; it equals the
+    number of ones strictly before position ``i``.
+    """
+    mask = np.asarray(mask).astype(np.int64)
+    return np.cumsum(mask) - mask  # exclusive prefix sum
+
+
+def zero_gap_offsets(mask: np.ndarray) -> np.ndarray:
+    """The adder-AND chain of Fig. 4c: zeros between consecutive ones.
+
+    For the j-th one at position ``p_j``, the offset is the number of
+    zeros separating it from the previous one (``p_0`` for the first —
+    the "head offset"). Returned in order of the ones.
+
+    >>> zero_gap_offsets([0, 1, 0, 1, 0, 1, 0, 0, 0]).tolist()
+    [1, 1, 1]
+    """
+    mask = np.asarray(mask).astype(np.int64)
+    ones = np.flatnonzero(mask)
+    if len(ones) == 0:
+        return np.zeros(0, dtype=np.int64)
+    gaps = np.empty(len(ones), dtype=np.int64)
+    gaps[0] = ones[0]
+    gaps[1:] = np.diff(ones) - 1
+    return gaps
+
+
+def pointers_from_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Absolute positions recovered from gap offsets (the adder chain).
+
+    ``position_j = sum_{i<=j} (offset_i + 1) - 1`` — each effectual weight
+    advances the pointer by its gap plus itself.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return np.cumsum(offsets + 1) - 1
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """Effectual-MAC schedule for one (kernel, window) pair.
+
+    Attributes
+    ----------
+    weight_pointers:
+        Indices into the kernel's *compacted* non-zero sequence.
+    activation_positions:
+        Indices into the 9-entry activation register (kernel positions).
+    """
+
+    weight_pointers: np.ndarray
+    activation_positions: np.ndarray
+
+    @property
+    def num_macs(self) -> int:
+        return len(self.weight_pointers)
+
+
+def gather_plan(weight_mask: np.ndarray, activation_mask: np.ndarray) -> GatherPlan:
+    """Build the effectual-MAC gather plan for one kernel and window.
+
+    This is the complete sparsity-IO function: AND the masks, then for
+    each effectual position emit (pointer into compacted weights, raw
+    activation position).
+    """
+    s_mask = sparsity_mask(weight_mask, activation_mask)
+    positions = np.flatnonzero(s_mask)
+    weight_ranks = compaction_pointers(weight_mask)
+    return GatherPlan(
+        weight_pointers=weight_ranks[positions],
+        activation_positions=positions,
+    )

@@ -1,0 +1,107 @@
+"""DRAM traffic model (the paper's Sec. I motivation).
+
+The introduction motivates pruning with the cost of "transfer[ring] large
+amounts of data from DRAM to the on-chip memory". This module quantifies
+that: per-inference weight and activation traffic for the dense model,
+PCNN storage (non-zeros + per-kernel SPM codes), and CSC irregular storage
+(non-zeros + per-weight indices), plus a first-order DRAM energy estimate.
+
+Weight traffic scales with exactly the weight+idx compression of Tables
+I-III; activation traffic is pruning-invariant, which bounds the
+end-to-end traffic saving — a useful honesty check the benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.compression import CSC_INDEX_BITS, spm_index_bits
+from ..core.config import PCNNConfig
+from ..models.flops import ModelProfile
+
+__all__ = ["TrafficReport", "dram_traffic"]
+
+# First-order LPDDR access energy (pJ per byte) for the energy estimate.
+DRAM_PJ_PER_BYTE = 80.0
+
+
+@dataclass
+class TrafficReport:
+    """Per-inference DRAM traffic in bytes."""
+
+    dense_weight_bytes: float
+    pcnn_weight_bytes: float
+    csc_weight_bytes: float
+    activation_bytes: float
+
+    @property
+    def pcnn_weight_saving(self) -> float:
+        return self.dense_weight_bytes / self.pcnn_weight_bytes
+
+    @property
+    def csc_weight_saving(self) -> float:
+        return self.dense_weight_bytes / self.csc_weight_bytes
+
+    @property
+    def pcnn_total_saving(self) -> float:
+        """End-to-end saving including (pruning-invariant) activations."""
+        dense = self.dense_weight_bytes + self.activation_bytes
+        pcnn = self.pcnn_weight_bytes + self.activation_bytes
+        return dense / pcnn
+
+    def energy_mj(self, which: str = "pcnn") -> float:
+        """DRAM transfer energy per inference (millijoules)."""
+        weights = {
+            "dense": self.dense_weight_bytes,
+            "pcnn": self.pcnn_weight_bytes,
+            "csc": self.csc_weight_bytes,
+        }[which]
+        return (weights + self.activation_bytes) * DRAM_PJ_PER_BYTE * 1e-12 * 1e3
+
+
+def dram_traffic(
+    profile: ModelProfile,
+    config: PCNNConfig,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> TrafficReport:
+    """Per-inference DRAM traffic for a model under a PCNN config.
+
+    Weights are fetched once per inference (the usual layer-by-layer
+    streaming schedule); activations are written once (each layer's
+    output) and read once (next layer's input) — counted once here as
+    output bytes per layer plus the network input.
+    """
+    prunable = {c.name for c in profile.prunable(kernel_size=config.kernel_size)}
+    config.validate_for(len(prunable))
+
+    dense_weight_bits = 0.0
+    pcnn_weight_bits = 0.0
+    csc_weight_bits = 0.0
+    activation_bits_total = float(
+        profile.input_shape[0] * profile.input_shape[1] * profile.input_shape[2]
+    ) * activation_bits
+
+    config_iter = iter(config)
+    for conv in profile.convs:
+        layer_dense = conv.params * weight_bits
+        dense_weight_bits += layer_dense
+        oh, ow = conv.output_hw
+        activation_bits_total += conv.out_channels * oh * ow * activation_bits
+        if conv.name in prunable:
+            layer_cfg = next(config_iter)
+            kept = conv.kernels * layer_cfg.n
+            pcnn_weight_bits += kept * weight_bits + conv.kernels * spm_index_bits(
+                layer_cfg.num_patterns
+            )
+            csc_weight_bits += kept * (weight_bits + CSC_INDEX_BITS)
+        else:
+            pcnn_weight_bits += layer_dense
+            csc_weight_bits += layer_dense
+    return TrafficReport(
+        dense_weight_bytes=dense_weight_bits / 8.0,
+        pcnn_weight_bytes=pcnn_weight_bits / 8.0,
+        csc_weight_bytes=csc_weight_bits / 8.0,
+        activation_bytes=activation_bits_total / 8.0,
+    )

@@ -1,0 +1,170 @@
+"""Command-line interface: ``pcnn-repro``.
+
+Gives downstream users the paper's numbers without writing code:
+
+- ``pcnn-repro report --model vgg16_cifar --n 4`` — one table row;
+- ``pcnn-repro sweep --model vgg16_cifar`` — the full Table I/II sweep;
+- ``pcnn-repro speedup --model vgg16_cifar --n 1`` — Sec. IV-E estimates;
+- ``pcnn-repro prune --model patternnet --n 2 --out bundle.npz`` — prune a
+  model and write a deployment bundle (optionally 8-bit quantized);
+- ``pcnn-repro chip`` — Table IX breakdown + Fig. 6 floorplan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_compression_table, format_table
+from .arch import PAPER_TECH, floorplan_ascii, simulate_network_analytic, tops_per_watt
+from .core import PCNNConfig, PCNNPruner, pcnn_compression
+from .core.deploy import bundle_from_pruner
+from .models import MODEL_REGISTRY, create_model, model_input_shape, profile_model
+
+__all__ = ["main"]
+
+
+def _profile(model_name: str):
+    model = create_model(model_name, rng=np.random.default_rng(0))
+    return model, profile_model(model, model_input_shape(model_name), model_name=model_name)
+
+
+def _config_for(args, num_layers: int) -> PCNNConfig:
+    if args.layers:
+        return PCNNConfig.from_string(args.layers)
+    return PCNNConfig.uniform(args.n, num_layers, num_patterns=args.patterns)
+
+
+def cmd_report(args) -> int:
+    _, profile = _profile(args.model)
+    config = _config_for(args, len(profile.prunable()))
+    report = pcnn_compression(profile, config)
+    print(format_compression_table([report], title=f"{args.model}: {config.describe()}"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    _, profile = _profile(args.model)
+    layers = len(profile.prunable())
+    reports = [
+        pcnn_compression(profile, PCNNConfig.uniform(n, layers), setting=f"n = {n}")
+        for n in (4, 3, 2, 1)
+    ]
+    print(format_compression_table(reports, title=f"{args.model}: PCNN sweep (Table I/II style)"))
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    _, profile = _profile(args.model)
+    config = _config_for(args, len(profile.prunable()))
+    sim = simulate_network_analytic(profile, config, activation_density=args.act_density)
+    efficiency = tops_per_watt(effective_speedup=sim.speedup)
+    print(
+        format_table(
+            ["setting", "speedup vs dense", "TOPS/W"],
+            [[config.describe(), f"{sim.speedup:.2f}x", f"{efficiency:.2f}"]],
+            title=f"{args.model}: architecture estimate (Sec. IV-E)",
+        )
+    )
+    return 0
+
+
+def cmd_prune(args) -> int:
+    model, profile = _profile(args.model)
+    config = _config_for(args, len(profile.prunable()))
+    pruner = PCNNPruner(model, config)
+    pruner.apply()
+    pruner.verify_regularity()
+    from .analysis import assert_valid
+
+    assert_valid(model)
+    bundle = bundle_from_pruner(pruner, quantize_bits=args.quantize)
+    bundle.save(args.out)
+    total_bits = bundle.storage_bits()
+    print(f"pruned {len(bundle.layers)} layers with {config.describe()}")
+    print(f"bundle written to {args.out} ({total_bits / 8 / 1024:.1f} KiB payload)")
+    for name, row in bundle.storage_report().items():
+        print(
+            f"  {name}: {row['kernels']} kernels x n={row['n']} @ {row['weight_bits']}b "
+            f"+ {row['index_bits']}b SPM -> {row['compression']:.1f}x vs fp32"
+        )
+    return 0
+
+
+def cmd_chip(args) -> int:
+    rows = PAPER_TECH.table_rows()
+    print(
+        format_table(
+            ["component", "area (mm2)", "area %", "power (mW)", "power %"],
+            [
+                [r["component"], f"{r['area_mm2']:.2f}", f"{r['area_share']:.1%}",
+                 f"{r['power_mw']:.1f}", f"{r['power_share']:.1%}"]
+                for r in rows
+            ],
+            title="Table IX (55 nm, 300 MHz, 1 V)",
+        )
+    )
+    print("\nFig. 6 floorplan:")
+    print(floorplan_ascii())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pcnn-repro", description="PCNN (DAC 2020) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p):
+        p.add_argument(
+            "--model", default="vgg16_cifar", choices=sorted(MODEL_REGISTRY),
+            help="registered model name",
+        )
+        p.add_argument("--n", type=int, default=4, help="non-zeros per kernel")
+        p.add_argument("--patterns", type=int, default=None, help="pattern budget |P|")
+        p.add_argument(
+            "--layers", default=None,
+            help="per-layer n string, e.g. 2-1-1-... (overrides --n)",
+        )
+
+    p_report = sub.add_parser("report", help="compression accounting for one setting")
+    add_model_args(p_report)
+    p_report.set_defaults(func=cmd_report)
+
+    p_sweep = sub.add_parser("sweep", help="Table I/II style n sweep")
+    p_sweep.add_argument(
+        "--model", default="vgg16_cifar", choices=sorted(MODEL_REGISTRY)
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_speed = sub.add_parser("speedup", help="architecture speedup / TOPS/W")
+    add_model_args(p_speed)
+    p_speed.add_argument("--act-density", type=float, default=0.8)
+    p_speed.set_defaults(func=cmd_speedup)
+
+    p_prune = sub.add_parser("prune", help="prune a model and write a bundle")
+    add_model_args(p_prune)
+    p_prune.add_argument("--out", required=True, help="output .npz bundle path")
+    p_prune.add_argument(
+        "--quantize", type=int, default=None,
+        help="quantize values to this many bits (e.g. 8)",
+    )
+    p_prune.set_defaults(func=cmd_prune)
+
+    p_chip = sub.add_parser("chip", help="Table IX breakdown and floorplan")
+    p_chip.set_defaults(func=cmd_chip)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

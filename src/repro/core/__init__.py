@@ -1,0 +1,189 @@
+"""repro.core — the PCNN algorithm (the paper's primary contribution).
+
+Patterns and SPM encoding (Sec. II-A), KP-based pattern distillation
+(Sec. II-B, Algorithm 1), the end-to-end pruning flow, ADMM fine-tuning,
+compression accounting for Tables I-IV, orthogonal kernel/channel pruning
+(Sec. IV-D) and runnable baselines.
+"""
+
+from .admm import ADMMFineTuner, ADMMState
+from .baselines import (
+    filter_prune_l1,
+    magnitude_prune_irregular,
+    model_conv_density,
+    network_slimming,
+    snip_prune,
+)
+from .compression import (
+    CSC_INDEX_BITS,
+    CompressionReport,
+    LayerCompression,
+    irregular_compression,
+    pcnn_compression,
+    spm_index_bits,
+)
+from .config import DEFAULT_PATTERN_BUDGET, LayerConfig, PCNNConfig
+from .distillation import (
+    DistillationResult,
+    anneal_patterns,
+    distill_layer,
+    distill_patterns,
+    exhaustive_optimal_patterns,
+    pattern_frequencies,
+)
+from .masks import (
+    kernel_nonzeros,
+    mask_from_indices,
+    pattern_mask_for_weight,
+    sparsity_of_mask,
+)
+from .orthogonal import (
+    apply_channel_pruning,
+    apply_kernel_pruning,
+    channel_keep_for_rate,
+    channel_pruning_mask,
+    combine_masks,
+    fused_channel_report,
+    fused_kernel_report,
+    kernel_pruning_mask,
+)
+from .patterns import (
+    best_pattern_indices,
+    enumerate_patterns,
+    format_pattern,
+    full_pattern_count,
+    kernel_to_pattern,
+    mask_to_pattern,
+    pattern_count,
+    pattern_energy,
+    pattern_positions,
+    pattern_to_mask,
+    patterns_to_bit_matrix,
+    popcount,
+    positions_to_pattern,
+)
+from .deploy import DeploymentBundle, LayerBundle, bundle_from_pruner
+from .pattern_geometry import (
+    canonical_pattern,
+    center_hit,
+    centrality,
+    dihedral_orbit,
+    flip_pattern,
+    orbit_decomposition,
+    rotate_pattern,
+)
+from .progressive import ProgressivePruner, ProgressiveStage
+from .sensitivity import LayerSensitivity, sensitivity_scan, suggest_config
+from .sparse_conv import dense_conv_flops, pattern_sparse_conv2d, sparse_conv_flops
+from .projection import project_to_patterns, project_topn, projection_error
+from .quantize import (
+    QuantizedTensor,
+    dequantize,
+    quantization_error,
+    quantize_per_kernel,
+    quantize_symmetric,
+)
+from .pruner import PCNNPruner, PrunedLayerInfo
+from .spm import EncodedLayer, SPMCodebook, decode_layer, encode_layer
+from .train import TrainHistory, evaluate, fit, train_epoch
+
+__all__ = [
+    # patterns
+    "enumerate_patterns",
+    "pattern_count",
+    "full_pattern_count",
+    "popcount",
+    "pattern_to_mask",
+    "mask_to_pattern",
+    "pattern_positions",
+    "positions_to_pattern",
+    "patterns_to_bit_matrix",
+    "pattern_energy",
+    "best_pattern_indices",
+    "kernel_to_pattern",
+    "format_pattern",
+    # spm
+    "SPMCodebook",
+    "EncodedLayer",
+    "encode_layer",
+    "decode_layer",
+    # projection
+    "project_topn",
+    "project_to_patterns",
+    "projection_error",
+    # distillation
+    "DistillationResult",
+    "pattern_frequencies",
+    "distill_patterns",
+    "distill_layer",
+    "exhaustive_optimal_patterns",
+    "anneal_patterns",
+    # config
+    "PCNNConfig",
+    "LayerConfig",
+    "DEFAULT_PATTERN_BUDGET",
+    # masks
+    "pattern_mask_for_weight",
+    "mask_from_indices",
+    "sparsity_of_mask",
+    "kernel_nonzeros",
+    # compression
+    "CompressionReport",
+    "LayerCompression",
+    "pcnn_compression",
+    "irregular_compression",
+    "spm_index_bits",
+    "CSC_INDEX_BITS",
+    # pruner
+    "PCNNPruner",
+    "PrunedLayerInfo",
+    # admm
+    "ADMMFineTuner",
+    "ADMMState",
+    # train
+    "TrainHistory",
+    "train_epoch",
+    "evaluate",
+    "fit",
+    # orthogonal
+    "kernel_pruning_mask",
+    "channel_pruning_mask",
+    "apply_kernel_pruning",
+    "apply_channel_pruning",
+    "combine_masks",
+    "fused_kernel_report",
+    "fused_channel_report",
+    "channel_keep_for_rate",
+    # quantize / deploy
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "quantize_per_kernel",
+    "dequantize",
+    "quantization_error",
+    "DeploymentBundle",
+    "LayerBundle",
+    "bundle_from_pruner",
+    # geometry / progressive
+    "rotate_pattern",
+    "flip_pattern",
+    "dihedral_orbit",
+    "canonical_pattern",
+    "orbit_decomposition",
+    "centrality",
+    "center_hit",
+    "ProgressivePruner",
+    "ProgressiveStage",
+    # sensitivity / sparse conv
+    "LayerSensitivity",
+    "sensitivity_scan",
+    "suggest_config",
+    "pattern_sparse_conv2d",
+    "sparse_conv_flops",
+    "dense_conv_flops",
+    # baselines
+    "magnitude_prune_irregular",
+    "filter_prune_l1",
+    "network_slimming",
+    "snip_prune",
+    "model_conv_density",
+]

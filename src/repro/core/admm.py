@@ -1,0 +1,148 @@
+"""ADMM fine-tuning under pattern constraints (Sec. IV-A).
+
+The paper fine-tunes with the Alternating Direction Method of Multipliers
+[17]: split ``min_W L(W) + g(W)`` — where ``g`` is the indicator of the
+pattern-constrained set ``{W : every kernel matches a pattern in P_l}`` —
+into
+
+    W-update:  W <- argmin L(W) + rho/2 ||W - Z + U||^2   (SGD epochs)
+    Z-update:  Z <- Pi_{P_l}(W + U)                        (exact projection)
+    U-update:  U <- U + W - Z                              (dual ascent)
+
+The W-update's penalty enters as an extra gradient ``rho (W - Z + U)``
+added after each backward pass (the ``grad_hook`` of
+:func:`repro.core.train.train_epoch`). After the ADMM rounds,
+:meth:`ADMMFineTuner.finalize` hard-projects W onto the patterns and
+installs masks for the final masked-retraining stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data import DataLoader
+from .masks import pattern_mask_for_weight
+from .projection import project_to_patterns
+from .train import TrainHistory, train_epoch
+
+__all__ = ["ADMMState", "ADMMFineTuner"]
+
+
+@dataclass
+class ADMMState:
+    """Per-layer ADMM variables."""
+
+    patterns: np.ndarray
+    z: np.ndarray
+    u: np.ndarray
+    residuals: List[float] = field(default_factory=list)
+
+
+class ADMMFineTuner:
+    """Pattern-constrained ADMM fine-tuning of a model.
+
+    Parameters
+    ----------
+    model:
+        Model whose 3x3 conv layers are being constrained.
+    layer_patterns:
+        Mapping ``layer name -> pattern set (bitmask array)`` — normally
+        the output of :meth:`repro.core.pruner.PCNNPruner.distill`.
+    rho:
+        ADMM penalty weight.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        layer_patterns: Dict[str, np.ndarray],
+        rho: float = 1e-2,
+    ) -> None:
+        self.model = model
+        self.rho = rho
+        modules = dict(model.named_modules())
+        self.layers: List[Tuple[str, nn.Conv2d]] = []
+        self.state: Dict[str, ADMMState] = {}
+        for name, patterns in layer_patterns.items():
+            module = modules.get(name)
+            if module is None or not isinstance(module, nn.Conv2d):
+                raise KeyError(f"{name!r} is not a Conv2d in this model")
+            self.layers.append((name, module))
+            w = module.weight.data
+            self.state[name] = ADMMState(
+                patterns=np.asarray(patterns, dtype=np.int64),
+                z=project_to_patterns(w, patterns),
+                u=np.zeros_like(w),
+            )
+
+    # ------------------------------------------------------------------
+    def penalty_gradient_hook(self) -> None:
+        """Add ``rho (W - Z + U)`` to each constrained layer's gradient."""
+        for name, module in self.layers:
+            state = self.state[name]
+            extra = self.rho * (module.weight.data - state.z + state.u)
+            if module.weight.grad is None:
+                module.weight.grad = extra
+            else:
+                module.weight.grad = module.weight.grad + extra
+
+    def dual_update(self) -> None:
+        """Z and U updates (run after each W-update epoch block)."""
+        for name, module in self.layers:
+            state = self.state[name]
+            w = module.weight.data
+            state.z = project_to_patterns(w + state.u, state.patterns)
+            state.u = state.u + w - state.z
+            state.residuals.append(float(np.linalg.norm(w - state.z)))
+
+    def primal_residual(self) -> float:
+        """Current total ||W - Z|| over constrained layers."""
+        return float(
+            sum(
+                np.linalg.norm(module.weight.data - self.state[name].z)
+                for name, module in self.layers
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        loader: DataLoader,
+        epochs: int,
+        optimizer: Optional[nn.Optimizer] = None,
+        lr: float = 1e-3,
+        eval_data=None,
+    ) -> TrainHistory:
+        """ADMM loop: each epoch = W-update epoch + Z/U dual update."""
+        optimizer = optimizer or nn.Adam(self.model.parameters(), lr=lr)
+        history = TrainHistory()
+        for _ in range(epochs):
+            loss = train_epoch(
+                self.model, loader, optimizer, grad_hook=self.penalty_gradient_hook
+            )
+            self.dual_update()
+            history.losses.append(loss)
+            if eval_data is not None:
+                from .train import evaluate
+
+                history.accuracies.append(evaluate(self.model, eval_data[0], eval_data[1]))
+        return history
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        """Hard-project weights onto patterns and install retrain masks.
+
+        Returns the installed masks by layer name.
+        """
+        masks = {}
+        for name, module in self.layers:
+            state = self.state[name]
+            projected = project_to_patterns(module.weight.data, state.patterns)
+            module.weight.data[...] = projected
+            mask = pattern_mask_for_weight(projected, state.patterns)
+            module.set_weight_mask(mask)
+            masks[name] = mask
+        return masks

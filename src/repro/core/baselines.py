@@ -1,0 +1,185 @@
+"""Runnable baseline pruning methods for the comparison tables (V, VI, VIII).
+
+The paper compares against reported numbers from the literature; we do the
+same in the benches but also implement executable versions of the main
+baseline families so the comparison is reproducible end-to-end:
+
+- :func:`magnitude_prune_irregular` — 0-D irregular pruning (Deep
+  Compression [10]); needs CSC indices, the strawman PCNN beats on index
+  overhead.
+- :func:`filter_prune_l1` — 3-D filter pruning by L1 norm (Li et al. [18]).
+- :func:`network_slimming` — channel selection by BatchNorm scale
+  magnitude (Liu et al. [19]).
+- :func:`snip_prune` — single-shot saliency pruning (SNIP [24]),
+  connection sensitivity ``|g * w|`` from one mini-batch.
+
+Each installs masks on the model's conv layers and returns them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = [
+    "magnitude_prune_irregular",
+    "filter_prune_l1",
+    "network_slimming",
+    "snip_prune",
+    "model_conv_density",
+]
+
+
+def _convs(model: nn.Module, kernel_size: Optional[int] = 3) -> List[Tuple[str, nn.Conv2d]]:
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, nn.Conv2d)
+        and (kernel_size is None or module.kernel_size == kernel_size)
+    ]
+
+
+def model_conv_density(model: nn.Module, kernel_size: Optional[int] = 3) -> float:
+    """Fraction of conv weights left non-zero by the installed masks."""
+    kept = 0
+    total = 0
+    for _, module in _convs(model, kernel_size):
+        total += module.weight.data.size
+        if module.weight_mask is None:
+            kept += module.weight.data.size
+        else:
+            kept += int(np.count_nonzero(module.weight_mask))
+    return kept / total if total else 1.0
+
+
+def magnitude_prune_irregular(
+    model: nn.Module, density: float, scope: str = "global", kernel_size: int = 3
+) -> Dict[str, np.ndarray]:
+    """Irregular magnitude pruning to the given weight density.
+
+    ``scope="global"`` thresholds all layers jointly (Deep Compression
+    style); ``"layer"`` prunes each layer to the density independently.
+    No structure is imposed — kernels end up with unequal non-zero counts,
+    which is exactly the workload-imbalance problem PCNN removes.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    convs = _convs(model, kernel_size)
+    masks: Dict[str, np.ndarray] = {}
+    if scope == "global":
+        magnitudes = np.concatenate([np.abs(m.weight.data).reshape(-1) for _, m in convs])
+        keep = max(1, int(round(density * magnitudes.size)))
+        threshold = np.partition(magnitudes, -keep)[-keep]
+        for name, module in convs:
+            mask = (np.abs(module.weight.data) >= threshold).astype(np.float64)
+            module.set_weight_mask(mask)
+            masks[name] = mask
+    elif scope == "layer":
+        for name, module in convs:
+            flat = np.abs(module.weight.data).reshape(-1)
+            keep = max(1, int(round(density * flat.size)))
+            threshold = np.partition(flat, -keep)[-keep]
+            mask = (np.abs(module.weight.data) >= threshold).astype(np.float64)
+            module.set_weight_mask(mask)
+            masks[name] = mask
+    else:
+        raise ValueError(f"unknown scope {scope!r}")
+    return masks
+
+
+def filter_prune_l1(
+    model: nn.Module, keep_fraction: float, kernel_size: int = 3
+) -> Dict[str, np.ndarray]:
+    """Filter pruning [18]: drop the output filters with smallest L1 norm."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    masks: Dict[str, np.ndarray] = {}
+    for name, module in _convs(model, kernel_size):
+        weight = module.weight.data
+        norms = np.abs(weight).reshape(weight.shape[0], -1).sum(axis=1)
+        keep = max(1, int(round(keep_fraction * weight.shape[0])))
+        kept = np.argsort(-norms)[:keep]
+        mask = np.zeros_like(weight)
+        mask[kept] = 1.0
+        module.set_weight_mask(mask)
+        masks[name] = mask
+    return masks
+
+
+def network_slimming(
+    model: nn.Module, keep_fraction: float, kernel_size: int = 3
+) -> Dict[str, np.ndarray]:
+    """Network slimming [19]: select channels by |BatchNorm gamma|.
+
+    Uses a single global threshold over all BN scales (as the original
+    method does), then masks the corresponding conv output channels.
+    Conv layers must be followed by a BatchNorm2d of matching width (true
+    for VGG16/ResNet18/PatternNet here).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    convs = _convs(model, kernel_size)
+    modules = list(model.named_modules())
+    # Pair each conv with the nearest following BatchNorm of equal width.
+    conv_bn: List[Tuple[str, nn.Conv2d, nn.BatchNorm2d]] = []
+    names = [name for name, _ in modules]
+    for conv_name, conv in convs:
+        conv_index = names.index(conv_name)
+        for _, candidate in modules[conv_index + 1 :]:
+            if isinstance(candidate, nn.BatchNorm2d) and candidate.num_features == conv.out_channels:
+                conv_bn.append((conv_name, conv, candidate))
+                break
+
+    all_gammas = np.concatenate([np.abs(bn.gamma.data) for _, _, bn in conv_bn])
+    keep = max(1, int(round(keep_fraction * all_gammas.size)))
+    threshold = np.partition(all_gammas, -keep)[-keep]
+
+    masks: Dict[str, np.ndarray] = {}
+    for conv_name, conv, bn in conv_bn:
+        channel_keep = np.abs(bn.gamma.data) >= threshold
+        if not channel_keep.any():  # never kill a layer outright
+            channel_keep[np.argmax(np.abs(bn.gamma.data))] = True
+        mask = np.zeros_like(conv.weight.data)
+        mask[channel_keep] = 1.0
+        conv.set_weight_mask(mask)
+        masks[conv_name] = mask
+    return masks
+
+
+def snip_prune(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    density: float,
+    kernel_size: int = 3,
+) -> Dict[str, np.ndarray]:
+    """SNIP [24]: single-shot pruning by connection sensitivity |dL/dw * w|."""
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    convs = _convs(model, kernel_size)
+    model.train()
+    model.zero_grad()
+    logits = model(nn.Tensor(images))
+    loss = nn.cross_entropy(logits, labels)
+    loss.backward()
+
+    saliencies = []
+    for _, module in convs:
+        grad = module.weight.grad
+        if grad is None:
+            grad = np.zeros_like(module.weight.data)
+        saliencies.append(np.abs(grad * module.weight.data).reshape(-1))
+    flat = np.concatenate(saliencies)
+    keep = max(1, int(round(density * flat.size)))
+    threshold = np.partition(flat, -keep)[-keep]
+
+    masks: Dict[str, np.ndarray] = {}
+    for (name, module), saliency in zip(convs, saliencies):
+        mask = (saliency.reshape(module.weight.data.shape) >= threshold).astype(np.float64)
+        module.set_weight_mask(mask)
+        masks[name] = mask
+    model.zero_grad()
+    return masks

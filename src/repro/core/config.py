@@ -1,0 +1,126 @@
+"""Per-layer PCNN pruning configuration.
+
+The paper uses both *unified* settings (one ``n`` for all layers) and
+*various* settings written as dash-separated strings, e.g. the Table I
+footnote ``2-1-1-1-1-1-1-1-1-1-1-1-1`` for VGG-16 (13 conv layers) "with 32
+patterns in n = 2 layers and 8 patterns in n = 1 layers". The default
+pattern budgets follow Sec. IV-B: "We set n as 1, 2, 3, and 4 in all
+layers with at most 8, 32, 32, and 32 patterns respectively."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .patterns import pattern_count
+
+__all__ = ["DEFAULT_PATTERN_BUDGET", "LayerConfig", "PCNNConfig"]
+
+# Paper defaults (Sec. IV-B): at most 8 patterns for n=1, 32 otherwise.
+DEFAULT_PATTERN_BUDGET: Dict[int, int] = {1: 8, 2: 32, 3: 32, 4: 32, 5: 32, 6: 32}
+
+
+def _default_budget(n: int, kernel_size: int = 3) -> int:
+    return min(DEFAULT_PATTERN_BUDGET.get(n, 32), pattern_count(n, kernel_size))
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """Pruning setting for one convolution layer.
+
+    ``n`` non-zeros per kernel and at most ``num_patterns`` distilled
+    patterns (``V_l``).
+    """
+
+    n: int
+    num_patterns: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.num_patterns < 1:
+            raise ValueError(f"num_patterns must be >= 1, got {self.num_patterns}")
+
+
+@dataclass
+class PCNNConfig:
+    """Pruning configuration for a whole network.
+
+    Attributes
+    ----------
+    layers:
+        One :class:`LayerConfig` per *prunable* (3x3) conv layer, in
+        network order.
+    kernel_size:
+        Kernel size the patterns live on.
+    """
+
+    layers: List[LayerConfig]
+    kernel_size: int = 3
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> LayerConfig:
+        return self.layers[index]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    @property
+    def ns(self) -> List[int]:
+        return [layer.n for layer in self.layers]
+
+    @classmethod
+    def uniform(
+        cls,
+        n: int,
+        num_layers: int,
+        num_patterns: Optional[int] = None,
+        kernel_size: int = 3,
+    ) -> "PCNNConfig":
+        """Same ``n`` (and pattern budget) for every layer — the unified
+        settings of Tables I-III."""
+        budget = num_patterns if num_patterns is not None else _default_budget(n, kernel_size)
+        budget = min(budget, pattern_count(n, kernel_size))
+        return cls([LayerConfig(n, budget)] * num_layers, kernel_size=kernel_size)
+
+    @classmethod
+    def from_string(
+        cls,
+        spec: str,
+        num_patterns: Optional[Dict[int, int]] = None,
+        kernel_size: int = 3,
+    ) -> "PCNNConfig":
+        """Parse a dash-separated per-layer ``n`` string.
+
+        >>> cfg = PCNNConfig.from_string("2-1-1")
+        >>> cfg.ns
+        [2, 1, 1]
+        >>> [l.num_patterns for l in cfg]   # paper budgets: 32 / 8 / 8
+        [32, 8, 8]
+        """
+        budgets = dict(DEFAULT_PATTERN_BUDGET)
+        if num_patterns:
+            budgets.update(num_patterns)
+        layers = []
+        for token in spec.split("-"):
+            n = int(token)
+            budget = min(budgets.get(n, 32), pattern_count(n, kernel_size))
+            layers.append(LayerConfig(n, budget))
+        return cls(layers, kernel_size=kernel_size)
+
+    def validate_for(self, num_layers: int) -> None:
+        """Raise if the config does not cover exactly ``num_layers``."""
+        if len(self.layers) != num_layers:
+            raise ValueError(
+                f"config has {len(self.layers)} layer entries but the model "
+                f"has {num_layers} prunable conv layers"
+            )
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``n=2-1-1 |P|=32-8-8``."""
+        ns = "-".join(str(layer.n) for layer in self.layers)
+        ps = "-".join(str(layer.num_patterns) for layer in self.layers)
+        return f"n={ns} |P|={ps}"

@@ -1,0 +1,39 @@
+"""Mask construction utilities shared by the pruners."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .patterns import best_pattern_indices, patterns_to_bit_matrix
+
+__all__ = ["pattern_mask_for_weight", "mask_from_indices", "sparsity_of_mask", "kernel_nonzeros"]
+
+
+def pattern_mask_for_weight(weight: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+    """{0,1} mask of ``weight``'s shape matching each kernel's best pattern."""
+    k = weight.shape[-1]
+    kernels = weight.reshape(-1, k * k)
+    indices = best_pattern_indices(kernels, patterns, k)
+    return mask_from_indices(indices, patterns, weight.shape)
+
+
+def mask_from_indices(
+    indices: np.ndarray, patterns: np.ndarray, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Expand per-kernel pattern indices into a weight-shaped {0,1} mask."""
+    k = shape[-1]
+    bits = patterns_to_bit_matrix(patterns, k)
+    return bits[indices].reshape(shape)
+
+
+def sparsity_of_mask(mask: np.ndarray) -> float:
+    """Fraction of zero entries."""
+    return 1.0 - float(np.count_nonzero(mask)) / mask.size
+
+
+def kernel_nonzeros(mask: np.ndarray) -> np.ndarray:
+    """Non-zero count of each kernel — PCNN requires these all equal."""
+    k = mask.shape[-1]
+    return np.count_nonzero(mask.reshape(-1, k * k), axis=1)

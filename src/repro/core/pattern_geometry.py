@@ -1,0 +1,95 @@
+"""Geometric analysis of sparsity patterns (extension).
+
+Patterns live on the 3x3 grid, so the dihedral group D4 (rotations +
+reflections) acts on them. Two uses for this reproduction:
+
+- *hardware*: patterns in one D4 orbit can share decode logic (a rotated
+  read port), so counting orbits bounds the distinct decode cases a
+  pattern SRAM mapping table must support;
+- *analysis*: trained CNNs favour centre-heavy patterns (the convolution's
+  receptive-field prior); :func:`centrality` quantifies this and the
+  distillation ablation bench reports it for distilled pattern sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .patterns import mask_to_pattern, pattern_to_mask, popcount
+
+__all__ = [
+    "rotate_pattern",
+    "flip_pattern",
+    "dihedral_orbit",
+    "canonical_pattern",
+    "orbit_decomposition",
+    "centrality",
+    "center_hit",
+]
+
+
+def rotate_pattern(pattern: int, quarter_turns: int = 1, kernel_size: int = 3) -> int:
+    """Rotate a pattern by 90 degrees clockwise ``quarter_turns`` times."""
+    mask = pattern_to_mask(pattern, kernel_size)
+    rotated = np.rot90(mask, k=-(quarter_turns % 4))
+    return mask_to_pattern(rotated)
+
+
+def flip_pattern(pattern: int, axis: str = "horizontal", kernel_size: int = 3) -> int:
+    """Mirror a pattern. ``axis`` is ``"horizontal"`` (left-right) or
+    ``"vertical"`` (up-down)."""
+    mask = pattern_to_mask(pattern, kernel_size)
+    if axis == "horizontal":
+        flipped = mask[:, ::-1]
+    elif axis == "vertical":
+        flipped = mask[::-1, :]
+    else:
+        raise ValueError(f"unknown axis {axis!r}")
+    return mask_to_pattern(flipped)
+
+
+def dihedral_orbit(pattern: int, kernel_size: int = 3) -> Set[int]:
+    """All images of a pattern under D4 (at most 8 elements)."""
+    orbit: Set[int] = set()
+    for flips in (False, True):
+        base = flip_pattern(pattern, "horizontal", kernel_size) if flips else pattern
+        for turns in range(4):
+            orbit.add(rotate_pattern(base, turns, kernel_size))
+    return orbit
+
+
+def canonical_pattern(pattern: int, kernel_size: int = 3) -> int:
+    """Smallest pattern in the D4 orbit — a canonical orbit label."""
+    return min(dihedral_orbit(pattern, kernel_size))
+
+
+def orbit_decomposition(patterns: Sequence[int], kernel_size: int = 3) -> Dict[int, List[int]]:
+    """Group patterns by D4 orbit: canonical label -> members present."""
+    groups: Dict[int, List[int]] = {}
+    for pattern in patterns:
+        label = canonical_pattern(int(pattern), kernel_size)
+        groups.setdefault(label, []).append(int(pattern))
+    return groups
+
+
+def centrality(pattern: int, kernel_size: int = 3) -> float:
+    """Mean Chebyshev distance of the pattern's positions to the centre.
+
+    0.0 means all mass at the centre position; 1.0 means all positions on
+    the 3x3 ring. Lower = more centre-heavy.
+    """
+    mask = pattern_to_mask(pattern, kernel_size)
+    positions = np.argwhere(mask > 0)
+    if len(positions) == 0:
+        return 0.0
+    centre = (kernel_size - 1) / 2.0
+    distances = np.max(np.abs(positions - centre), axis=1)
+    return float(distances.mean())
+
+
+def center_hit(pattern: int, kernel_size: int = 3) -> bool:
+    """Whether the pattern keeps the centre position."""
+    centre_bit = (kernel_size * kernel_size) // 2
+    return bool((pattern >> centre_bit) & 1)

@@ -1,0 +1,160 @@
+"""Sparsity patterns — the fundamental object of PCNN (Sec. II-A).
+
+A *pattern* is the set of non-zero positions inside one convolution kernel.
+For a ``k x k`` kernel we represent a pattern as an integer bitmask of
+``k*k`` bits where bit ``p`` corresponds to kernel position ``p = row*k +
+col`` (row-major — the same ordering as the weight sequence in Fig. 1 and
+the im2col columns of :mod:`repro.nn.functional`).
+
+The full candidate set ``F_n`` of patterns with exactly ``n`` non-zeros has
+``C(k*k, n)`` members; for 3x3 kernels that peaks at ``C(9,4) = 126``
+(the paper's Fig. 2) and sums to ``2^9 = 512`` over all n (Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "full_pattern_count",
+    "pattern_count",
+    "enumerate_patterns",
+    "popcount",
+    "pattern_to_mask",
+    "mask_to_pattern",
+    "pattern_positions",
+    "positions_to_pattern",
+    "patterns_to_bit_matrix",
+    "best_pattern_indices",
+    "pattern_energy",
+    "kernel_to_pattern",
+    "format_pattern",
+]
+
+
+def full_pattern_count(kernel_size: int = 3) -> int:
+    """Total number of patterns of any sparsity: ``2^(k*k)`` (512 for 3x3)."""
+    return 2 ** (kernel_size * kernel_size)
+
+
+def pattern_count(n: int, kernel_size: int = 3) -> int:
+    """``|F_n| = C(k*k, n)`` — candidate patterns with n non-zeros."""
+    return comb(kernel_size * kernel_size, n)
+
+
+def enumerate_patterns(n: int, kernel_size: int = 3) -> np.ndarray:
+    """All bitmasks with exactly ``n`` bits set, ascending, as int64 array.
+
+    >>> enumerate_patterns(1).tolist()
+    [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    """
+    positions = kernel_size * kernel_size
+    if not 0 <= n <= positions:
+        raise ValueError(f"n must be in [0, {positions}], got {n}")
+    masks = [
+        sum(1 << p for p in combo) for combo in combinations(range(positions), n)
+    ]
+    return np.array(sorted(masks), dtype=np.int64)
+
+
+def popcount(patterns: np.ndarray) -> np.ndarray:
+    """Number of set bits of each pattern (vectorised)."""
+    patterns = np.asarray(patterns, dtype=np.int64)
+    counts = np.zeros_like(patterns)
+    work = patterns.copy()
+    while np.any(work):
+        counts += work & 1
+        work >>= 1
+    return counts
+
+
+def pattern_to_mask(pattern: int, kernel_size: int = 3) -> np.ndarray:
+    """Expand a bitmask into a {0,1} ``(k, k)`` array."""
+    positions = kernel_size * kernel_size
+    bits = (pattern >> np.arange(positions)) & 1
+    return bits.reshape(kernel_size, kernel_size).astype(np.float64)
+
+
+def mask_to_pattern(mask: np.ndarray) -> int:
+    """Inverse of :func:`pattern_to_mask`: non-zero entries -> bitmask."""
+    flat = np.asarray(mask).reshape(-1)
+    return int(sum(1 << p for p in np.flatnonzero(flat != 0)))
+
+
+def pattern_positions(pattern: int, kernel_size: int = 3) -> List[int]:
+    """Sorted list of set bit positions (kernel positions row-major)."""
+    positions = kernel_size * kernel_size
+    return [p for p in range(positions) if (pattern >> p) & 1]
+
+
+def positions_to_pattern(positions: Sequence[int]) -> int:
+    """Build a bitmask from an iterable of kernel positions."""
+    return int(sum(1 << p for p in set(positions)))
+
+
+def patterns_to_bit_matrix(patterns: np.ndarray, kernel_size: int = 3) -> np.ndarray:
+    """Expand an array of M bitmasks to an ``(M, k*k)`` {0,1} float matrix."""
+    patterns = np.asarray(patterns, dtype=np.int64)
+    positions = kernel_size * kernel_size
+    return ((patterns[:, None] >> np.arange(positions)[None, :]) & 1).astype(np.float64)
+
+
+def pattern_energy(kernels: np.ndarray, patterns: np.ndarray, kernel_size: int = 3) -> np.ndarray:
+    """Retained squared magnitude of each kernel under each pattern.
+
+    Parameters
+    ----------
+    kernels:
+        ``(N, k*k)`` flattened kernels.
+    patterns:
+        ``(M,)`` bitmasks.
+
+    Returns
+    -------
+    ``(N, M)`` array where entry (i, j) is ``sum(kernels[i]^2 * bits_j)``.
+    Maximising retained energy is equivalent to minimising the projection
+    residual ``||w - Pi_P(w)||^2`` in Eq. (1).
+    """
+    bits = patterns_to_bit_matrix(patterns, kernel_size)
+    return (np.asarray(kernels, dtype=np.float64) ** 2) @ bits.T
+
+
+def best_pattern_indices(
+    kernels: np.ndarray, patterns: np.ndarray, kernel_size: int = 3
+) -> np.ndarray:
+    """Index of the nearest (max retained energy) pattern for each kernel."""
+    return pattern_energy(kernels, patterns, kernel_size).argmax(axis=1)
+
+
+def kernel_to_pattern(kernel: np.ndarray, n: int) -> int:
+    """Pattern induced by the top-``n`` absolute values of one kernel.
+
+    Ties are broken by position order (lower position wins), which keeps
+    the mapping deterministic.
+    """
+    flat = np.abs(np.asarray(kernel, dtype=np.float64).reshape(-1))
+    if n <= 0:
+        return 0
+    if n >= flat.size:
+        return (1 << flat.size) - 1
+    # argsort is stable; sort by (-|w|, position).
+    order = np.argsort(-flat, kind="stable")
+    return positions_to_pattern(order[:n].tolist())
+
+
+def format_pattern(pattern: int, kernel_size: int = 3) -> str:
+    """Pretty multi-line rendering of a pattern, for logs and figures.
+
+    >>> print(format_pattern(0b000000111))
+    X X X
+    . . .
+    . . .
+    """
+    mask = pattern_to_mask(pattern, kernel_size)
+    return "\n".join(
+        " ".join("X" if cell else "." for cell in row) for row in mask
+    )

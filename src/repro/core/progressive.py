@@ -1,0 +1,106 @@
+"""Progressive PCNN pruning (extension / future-work direction).
+
+The paper prunes in one shot (distill -> ADMM -> hard prune). A standard
+refinement in the pruning literature is *gradual* sparsification: step the
+per-kernel budget down (e.g. 9 -> 6 -> 4 -> 2 -> 1) with a short masked
+retraining between steps, letting the network adapt at each level. This
+module implements that schedule on top of the PCNN machinery, and the
+``bench_ablation_progressive`` benchmark compares it against one-shot
+pruning at the final sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data import DataLoader
+from .config import PCNNConfig
+from .pruner import PCNNPruner
+from .train import evaluate, fit
+
+__all__ = ["ProgressiveStage", "ProgressivePruner"]
+
+
+@dataclass
+class ProgressiveStage:
+    """Record of one progressive step."""
+
+    n: int
+    accuracy_after_prune: float
+    accuracy_after_retrain: float
+
+
+class ProgressivePruner:
+    """Step the kernel budget down a schedule with retraining in between.
+
+    Parameters
+    ----------
+    model:
+        Model whose 3x3 convs get pruned (masks are re-installed at every
+        stage; patterns are re-distilled from the current weights, so the
+        pattern set tracks the adapting network).
+    schedule:
+        Decreasing sequence of per-kernel budgets, e.g. ``(6, 4, 2, 1)``.
+    num_patterns:
+        Pattern budget applied at every stage (paper defaults when None).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        schedule: Sequence[int] = (6, 4, 2, 1),
+        num_patterns: Optional[int] = None,
+    ) -> None:
+        if any(a <= b for a, b in zip(schedule, schedule[1:])):
+            raise ValueError("schedule must be strictly decreasing")
+        self.model = model
+        self.schedule = tuple(schedule)
+        self.num_patterns = num_patterns
+        self.stages: List[ProgressiveStage] = []
+
+    def _num_layers(self) -> int:
+        return sum(
+            1
+            for _, module in self.model.named_modules()
+            if isinstance(module, nn.Conv2d) and module.kernel_size == 3
+        )
+
+    def run(
+        self,
+        loader: DataLoader,
+        eval_data: Tuple[np.ndarray, np.ndarray],
+        epochs_per_stage: int = 2,
+        lr: float = 0.01,
+    ) -> List[ProgressiveStage]:
+        """Execute the schedule; returns per-stage accuracy records."""
+        x_eval, y_eval = eval_data
+        layers = self._num_layers()
+        for n in self.schedule:
+            # Clear stale masks so distillation sees the adapted weights.
+            for _, module in self.model.named_modules():
+                if isinstance(module, nn.Conv2d) and module.kernel_size == 3:
+                    module.set_weight_mask(None)
+            config = PCNNConfig.uniform(n, layers, num_patterns=self.num_patterns)
+            pruner = PCNNPruner(self.model, config)
+            pruner.apply()
+            after_prune = evaluate(self.model, x_eval, y_eval)
+            fit(self.model, loader, epochs=epochs_per_stage, lr=lr)
+            after_retrain = evaluate(self.model, x_eval, y_eval)
+            self.stages.append(
+                ProgressiveStage(
+                    n=n,
+                    accuracy_after_prune=after_prune,
+                    accuracy_after_retrain=after_retrain,
+                )
+            )
+        return self.stages
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.stages:
+            raise RuntimeError("run() has not been called")
+        return self.stages[-1].accuracy_after_retrain

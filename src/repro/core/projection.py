@@ -1,0 +1,74 @@
+"""Projection operators Pi of the PCNN optimisation (Eq. (1)).
+
+Two Euclidean projections are used by the learning framework:
+
+- :func:`project_topn` — onto "at most n non-zeros per kernel" (the
+  unconstrained-pattern case, used before distillation and in ADMM's
+  first phase): keep the top-n absolute values of each kernel.
+- :func:`project_to_patterns` — onto the distilled pattern set ``P_l``:
+  for each kernel pick the pattern retaining maximal energy and zero the
+  rest. This is exactly ``Pi^{w_lj}_{P_l}`` in Eq. (1).
+
+Both are vectorised over all kernels of a layer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .patterns import best_pattern_indices, patterns_to_bit_matrix
+
+__all__ = ["project_topn", "project_to_patterns", "projection_error"]
+
+
+def project_topn(weight: np.ndarray, n: int) -> np.ndarray:
+    """Keep the ``n`` largest-magnitude entries of each kernel.
+
+    Parameters
+    ----------
+    weight:
+        Conv weight ``(C_out, C_in, k, k)`` (or any ``(..., k, k)``).
+    n:
+        Non-zeros to keep per kernel.
+    """
+    k2 = weight.shape[-1] * weight.shape[-2]
+    if n >= k2:
+        return weight.copy()
+    kernels = weight.reshape(-1, k2)
+    if n <= 0:
+        return np.zeros_like(weight)
+    # Threshold per kernel at the n-th largest |w|.
+    magnitudes = np.abs(kernels)
+    # argpartition gives the indices of the top-n entries per row.
+    top_idx = np.argpartition(-magnitudes, n - 1, axis=1)[:, :n]
+    out = np.zeros_like(kernels)
+    rows = np.arange(len(kernels))[:, None]
+    out[rows, top_idx] = kernels[rows, top_idx]
+    return out.reshape(weight.shape)
+
+
+def project_to_patterns(
+    weight: np.ndarray, patterns: np.ndarray, return_indices: bool = False
+):
+    """Project each kernel onto the nearest pattern in ``patterns``.
+
+    Returns the projected weight, and optionally the chosen pattern index
+    per kernel (flattened ``C_out * C_in`` order).
+    """
+    c_shape = weight.shape
+    k = c_shape[-1]
+    kernels = weight.reshape(-1, k * k)
+    indices = best_pattern_indices(kernels, patterns, k)
+    bits = patterns_to_bit_matrix(patterns, k)
+    projected = (kernels * bits[indices]).reshape(c_shape)
+    if return_indices:
+        return projected, indices
+    return projected
+
+
+def projection_error(weight: np.ndarray, patterns: np.ndarray) -> float:
+    """Total squared residual ``sum_j ||w_j - Pi_P(w_j)||^2`` (Eq. (1) objective)."""
+    projected = project_to_patterns(weight, patterns)
+    return float(((weight - projected) ** 2).sum())

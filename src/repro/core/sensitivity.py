@@ -1,0 +1,96 @@
+"""Per-layer pruning sensitivity analysis.
+
+The paper's "various settings" (Tables I/II footnotes) keep a milder ``n``
+in the first layer(s): ``2-1-1-...-1`` for VGG-16 and ``2-2-2-1-...`` for
+ResNet-18, because early layers are more accuracy-sensitive. This module
+provides the analysis that produces such configs: prune one layer at a
+time (one-shot top-n projection, no retraining), measure the accuracy
+drop, and allocate each layer the largest ``n``-reduction its sensitivity
+allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from .config import LayerConfig, PCNNConfig
+from .projection import project_topn
+from .train import evaluate
+
+__all__ = ["LayerSensitivity", "sensitivity_scan", "suggest_config"]
+
+
+@dataclass
+class LayerSensitivity:
+    """Accuracy impact of pruning one layer in isolation."""
+
+    name: str
+    accuracy_drop: Dict[int, float]  # n -> (baseline_acc - pruned_acc)
+
+    def max_tolerable_n(self, budget: float, candidates: Sequence[int] = (1, 2, 3, 4)) -> int:
+        """Smallest n whose one-shot drop stays within ``budget``."""
+        for n in sorted(candidates):
+            if self.accuracy_drop.get(n, np.inf) <= budget:
+                return n
+        return max(candidates)
+
+
+def sensitivity_scan(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    ns: Sequence[int] = (1, 2, 4),
+    kernel_size: int = 3,
+) -> List[LayerSensitivity]:
+    """One-shot sensitivity of every 3x3 conv layer.
+
+    For each layer and each candidate ``n``: project that layer's weights
+    to top-n (leaving every other layer dense), evaluate, restore. The
+    model is returned unchanged.
+    """
+    convs = [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, nn.Conv2d) and module.kernel_size == kernel_size
+    ]
+    baseline = evaluate(model, images, labels)
+    results = []
+    for name, module in convs:
+        original = module.weight.data.copy()
+        drops: Dict[int, float] = {}
+        for n in ns:
+            module.weight.data[...] = project_topn(original, n)
+            drops[n] = baseline - evaluate(model, images, labels)
+        module.weight.data[...] = original
+        results.append(LayerSensitivity(name=name, accuracy_drop=drops))
+    return results
+
+
+def suggest_config(
+    sensitivities: Sequence[LayerSensitivity],
+    budget: float = 0.02,
+    candidates: Sequence[int] = (1, 2, 3, 4),
+    num_patterns: Optional[Dict[int, int]] = None,
+) -> PCNNConfig:
+    """Build a per-layer config from a sensitivity scan.
+
+    Each layer gets the smallest ``n`` whose one-shot accuracy drop is
+    within ``budget`` — reproducing the shape of the paper's "various"
+    settings (sensitive early layers keep larger n).
+    """
+    from .config import DEFAULT_PATTERN_BUDGET
+    from .patterns import pattern_count
+
+    budgets = dict(DEFAULT_PATTERN_BUDGET)
+    if num_patterns:
+        budgets.update(num_patterns)
+    layers = []
+    for sensitivity in sensitivities:
+        n = sensitivity.max_tolerable_n(budget, candidates)
+        cap = min(budgets.get(n, 32), pattern_count(n, 3))
+        layers.append(LayerConfig(n, cap))
+    return PCNNConfig(layers)

@@ -1,0 +1,93 @@
+"""Pattern-grouped sparse convolution — the software view of PCNN compute.
+
+The regularity PCNN enforces (equal-length non-zero sequences, few shared
+patterns per layer) lets a software kernel skip zeros with *structured*
+access: kernels sharing an SPM code read the same ``n`` kernel positions,
+so the layer decomposes into |P_l| grouped contractions over ``n`` columns
+each — exactly ``n/9`` of the dense multiplies, with no per-weight index
+decoding.
+
+An honest note the ``bench_software_sparse_conv`` benchmark quantifies: on
+commodity CPUs the dense path runs on highly tuned BLAS GEMM, so the 9/n
+*multiply* reduction does not translate into wall-clock wins at these
+sizes — which is precisely the paper's argument for building a
+pattern-aware accelerator rather than relying on general-purpose hardware
+(Sec. I). The cycle-level win is measured by :mod:`repro.arch.simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.functional import im2col
+from .patterns import pattern_positions
+from .spm import EncodedLayer
+
+__all__ = ["pattern_sparse_conv2d", "sparse_conv_flops", "dense_conv_flops"]
+
+
+def sparse_conv_flops(encoded: EncodedLayer, output_hw: Tuple[int, int]) -> int:
+    """Multiplies executed by the pattern-sparse convolution."""
+    oh, ow = output_hw
+    return encoded.num_kernels * encoded.values.shape[1] * oh * ow
+
+
+def dense_conv_flops(encoded: EncodedLayer, output_hw: Tuple[int, int]) -> int:
+    """Multiplies of the equivalent dense convolution."""
+    oh, ow = output_hw
+    k2 = encoded.shape[-1] * encoded.shape[-2]
+    return encoded.num_kernels * k2 * oh * ow
+
+
+def pattern_sparse_conv2d(
+    x: np.ndarray,
+    encoded: EncodedLayer,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Convolution computed directly from SPM storage.
+
+    Equivalent to ``conv2d(x, decode_layer(encoded))`` but never
+    materialises the zeros: kernels are grouped by SPM code, each group
+    gathers only its pattern's ``n`` im2col columns, and per-filter
+    partial sums are segment-reduced.
+    """
+    c_out, c_in, kh, kw = encoded.shape
+    batch = x.shape[0]
+    if x.shape[1] != c_in:
+        raise ValueError(f"channel mismatch: input {x.shape[1]} vs weights {c_in}")
+
+    cols, (oh, ow) = im2col(x, (kh, kw), stride, padding)  # (W, C*k2)
+    num_windows = cols.shape[0]
+    k2 = kh * kw
+    out = np.zeros((num_windows, c_out))
+
+    codes = encoded.codes
+    values = encoded.values
+    # Kernel index k corresponds to (filter f, channel c) = divmod(k, c_in).
+    kernel_filters, kernel_channels = np.divmod(np.arange(len(codes)), c_in)
+
+    for code in np.unique(codes):
+        positions = np.array(
+            pattern_positions(encoded.codebook.pattern(int(code)), kh), dtype=np.int64
+        )
+        members = np.flatnonzero(codes == code)
+        # Sort group members by filter so per-filter sums are contiguous.
+        order = members[np.argsort(kernel_filters[members], kind="stable")]
+        filters_sorted = kernel_filters[order]
+        col_idx = kernel_channels[order][:, None] * k2 + positions[None, :]
+        gathered = cols[:, col_idx]  # (W, m, n)
+        contributions = np.einsum("wmn,mn->wm", gathered, values[order])
+        # Segment-sum runs of equal filter index.
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], filters_sorted[1:] != filters_sorted[:-1]))
+        )
+        sums = np.add.reduceat(contributions, boundaries, axis=1)
+        out[:, filters_sorted[boundaries]] += sums
+
+    if bias is not None:
+        out = out + bias
+    return out.reshape(batch, oh, ow, c_out).transpose(0, 3, 1, 2)

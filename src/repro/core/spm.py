@@ -1,0 +1,160 @@
+"""Sparsity Pattern Mask (SPM) — the paper's index format (Sec. II-A).
+
+A layer pruned with PCNN stores, per kernel, (a) the ``n`` non-zero weight
+values in kernel-position order and (b) one SPM *code*: an integer index
+into the layer's pattern codebook ``P_l``. The codebook is small (4-32
+patterns after distillation), so the code costs ``ceil(log2(|P_l|))`` bits
+per *kernel* — versus CSC's ~4 bits per *weight* (EIE [12]), which is where
+PCNN's index-overhead advantage (last columns of Tables I-III) comes from.
+
+:class:`SPMCodebook` is the software model of the "SPM mapping table" that
+the hardware's Pattern Config block provides to the decoder (Fig. 3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .patterns import (
+    best_pattern_indices,
+    patterns_to_bit_matrix,
+    popcount,
+)
+
+__all__ = ["SPMCodebook", "EncodedLayer", "encode_layer", "decode_layer"]
+
+
+class SPMCodebook:
+    """Mapping between SPM codes and patterns for one layer.
+
+    Parameters
+    ----------
+    patterns:
+        The distilled pattern set ``P_l`` (bitmasks). All patterns must
+        share the same popcount — PCNN keeps kernel sparsity identical
+        within a layer so non-zero sequences have equal length (Sec. II-A).
+    kernel_size:
+        Spatial kernel size (3 for every pruned layer in the paper).
+    """
+
+    def __init__(self, patterns: Sequence[int], kernel_size: int = 3) -> None:
+        patterns = np.array(sorted(int(p) for p in patterns), dtype=np.int64)
+        if len(patterns) == 0:
+            raise ValueError("codebook needs at least one pattern")
+        if len(np.unique(patterns)) != len(patterns):
+            raise ValueError("duplicate patterns in codebook")
+        counts = popcount(patterns)
+        if len(np.unique(counts)) != 1:
+            raise ValueError(
+                "PCNN requires identical sparsity within a layer; "
+                f"got popcounts {sorted(set(counts.tolist()))}"
+            )
+        self.kernel_size = kernel_size
+        self.patterns = patterns
+        self.n_nonzero = int(counts[0])
+        self._code_of: Dict[int, int] = {int(p): i for i, p in enumerate(patterns)}
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __contains__(self, pattern: int) -> bool:
+        return int(pattern) in self._code_of
+
+    @property
+    def index_bits(self) -> int:
+        """Bits per SPM code: ``ceil(log2(|P_l|))``, minimum 1."""
+        return max(1, ceil(log2(len(self.patterns)))) if len(self.patterns) > 1 else 1
+
+    def code(self, pattern: int) -> int:
+        """SPM code of a pattern (KeyError if not in the codebook)."""
+        return self._code_of[int(pattern)]
+
+    def pattern(self, code: int) -> int:
+        """Pattern for an SPM code — the hardware decoder's lookup."""
+        return int(self.patterns[code])
+
+    def decode_mask(self, code: int) -> np.ndarray:
+        """9-bit weight mask for a code, as the Pattern Decoder emits."""
+        bits = patterns_to_bit_matrix(self.patterns[code : code + 1], self.kernel_size)
+        return bits[0]
+
+
+@dataclass
+class EncodedLayer:
+    """A layer's weights in PCNN storage format.
+
+    Attributes
+    ----------
+    codes:
+        ``(kernels,)`` SPM code per kernel.
+    values:
+        ``(kernels, n)`` non-zero values in kernel-position order — the
+        equal-length "non-zero sequences" of Fig. 1.
+    codebook:
+        The layer's :class:`SPMCodebook`.
+    shape:
+        Original weight shape ``(C_out, C_in, k, k)``.
+    """
+
+    codes: np.ndarray
+    values: np.ndarray
+    codebook: SPMCodebook
+    shape: Tuple[int, int, int, int]
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.codes)
+
+    @property
+    def weight_bits_per_kernel(self) -> int:
+        """Non-zero payload bits per kernel at 32-bit storage."""
+        return self.values.shape[1] * 32
+
+    def storage_bits(self, weight_bits: int = 32) -> int:
+        """Total storage: values + one SPM code per kernel."""
+        return self.values.size * weight_bits + self.num_kernels * self.codebook.index_bits
+
+
+def encode_layer(weight: np.ndarray, codebook: SPMCodebook) -> EncodedLayer:
+    """Encode a (already pattern-pruned or dense) conv weight with SPM.
+
+    Each kernel is matched to its nearest codebook pattern (max retained
+    energy — the projection of Eq. (1)); values outside the pattern are
+    dropped. For weights that were hard-pruned onto codebook patterns this
+    is exact (lossless).
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if kh != kw or kh != codebook.kernel_size:
+        raise ValueError(f"kernel size mismatch: weight {kh}x{kw} vs codebook {codebook.kernel_size}")
+    kernels = weight.reshape(-1, kh * kw)
+    indices = best_pattern_indices(kernels, codebook.patterns, codebook.kernel_size)
+    bits = patterns_to_bit_matrix(codebook.patterns, codebook.kernel_size).astype(bool)
+    n = codebook.n_nonzero
+    values = np.zeros((len(kernels), n))
+    for i, (kernel, code) in enumerate(zip(kernels, indices)):
+        values[i] = kernel[bits[code]]
+    return EncodedLayer(
+        codes=indices.astype(np.int64),
+        values=values,
+        codebook=codebook,
+        shape=(c_out, c_in, kh, kw),
+    )
+
+
+def decode_layer(encoded: EncodedLayer) -> np.ndarray:
+    """Reconstruct the dense (pruned) weight tensor from SPM storage.
+
+    This is the software model of the hardware "kernel restore" stage
+    (Fig. 5, data pre-process): scatter each kernel's non-zero sequence
+    back to the positions given by its decoded weight mask.
+    """
+    c_out, c_in, kh, kw = encoded.shape
+    bits = patterns_to_bit_matrix(encoded.codebook.patterns, kh).astype(bool)
+    kernels = np.zeros((encoded.num_kernels, kh * kw))
+    for i, code in enumerate(encoded.codes):
+        kernels[i][bits[code]] = encoded.values[i]
+    return kernels.reshape(c_out, c_in, kh, kw)

@@ -1,0 +1,101 @@
+"""Training and evaluation loops shared by examples, benches and ADMM.
+
+These are thin, deterministic wrappers around :mod:`repro.nn`: one epoch of
+mini-batch SGD/Adam, full-set evaluation, and a ``fit`` convenience that
+mirrors the paper's pre-train stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data import DataLoader
+
+__all__ = ["TrainHistory", "train_epoch", "evaluate", "fit"]
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch record of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def train_epoch(
+    model: nn.Module,
+    loader: DataLoader,
+    optimizer: nn.Optimizer,
+    grad_hook: Optional[Callable[[], None]] = None,
+) -> float:
+    """One epoch of cross-entropy training; returns mean batch loss.
+
+    ``grad_hook`` is invoked after ``backward`` and before the optimiser
+    step — the ADMM fine-tuner uses it to add the proximal penalty
+    gradient ``rho (W - Z + U)``.
+    """
+    model.train()
+    losses = []
+    for images, labels in loader:
+        optimizer.zero_grad()
+        logits = model(nn.Tensor(images))
+        loss = nn.cross_entropy(logits, labels)
+        loss.backward()
+        if grad_hook is not None:
+            grad_hook()
+        optimizer.step()
+        losses.append(loss.item())
+    return float(np.mean(losses)) if losses else 0.0
+
+
+def evaluate(model: nn.Module, images: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` over a full array dataset."""
+    model.eval()
+    correct = 0
+    with nn.no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = images[start : start + batch_size]
+            target = labels[start : start + batch_size]
+            logits = model(nn.Tensor(batch))
+            correct += int((logits.data.argmax(axis=1) == target).sum())
+    return correct / len(images)
+
+
+def fit(
+    model: nn.Module,
+    loader: DataLoader,
+    epochs: int,
+    lr: float = 0.01,
+    optimizer: Optional[nn.Optimizer] = None,
+    eval_data=None,
+    grad_hook: Optional[Callable[[], None]] = None,
+    epoch_hook: Optional[Callable[[int], None]] = None,
+) -> TrainHistory:
+    """Train ``model`` for ``epochs``; optionally evaluate each epoch.
+
+    Parameters
+    ----------
+    eval_data:
+        Optional ``(images, labels)`` pair for per-epoch accuracy.
+    epoch_hook:
+        Called with the epoch index after every epoch — ADMM uses it for
+        the Z/U dual updates.
+    """
+    optimizer = optimizer or nn.Adam(model.parameters(), lr=lr)
+    history = TrainHistory()
+    for epoch in range(epochs):
+        loss = train_epoch(model, loader, optimizer, grad_hook=grad_hook)
+        history.losses.append(loss)
+        if eval_data is not None:
+            history.accuracies.append(evaluate(model, eval_data[0], eval_data[1]))
+        if epoch_hook is not None:
+            epoch_hook(epoch)
+    return history

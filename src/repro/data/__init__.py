@@ -1,0 +1,22 @@
+"""repro.data — synthetic datasets, loaders and augmentation.
+
+Substitutes for CIFAR-10/ImageNet, which are unavailable offline; see
+DESIGN.md for why the substitution preserves the paper's accuracy-trend
+claims.
+"""
+
+from .augment import compose, gaussian_noise, random_crop, random_flip
+from .datasets import ArrayDataset, DataLoader
+from .synthetic import SyntheticImages, SyntheticSpec, make_synthetic_images
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticImages",
+    "SyntheticSpec",
+    "make_synthetic_images",
+    "random_flip",
+    "random_crop",
+    "gaussian_noise",
+    "compose",
+]

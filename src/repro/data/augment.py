@@ -1,0 +1,44 @@
+"""Batch-level data augmentation (numpy, channels-first)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["random_flip", "random_crop", "gaussian_noise", "compose"]
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image independently with probability ``p``."""
+    flip = rng.random(len(images)) < p
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator, padding: int = 2) -> np.ndarray:
+    """Pad by ``padding`` then crop back at a random offset (CIFAR-style)."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    offsets = rng.integers(0, 2 * padding + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+def gaussian_noise(images: np.ndarray, rng: np.random.Generator, std: float = 0.05) -> np.ndarray:
+    """Add zero-mean Gaussian noise."""
+    return images + rng.normal(0.0, std, size=images.shape)
+
+
+def compose(*transforms: Callable) -> Callable:
+    """Chain augmentations into a single ``(images, rng) -> images``."""
+
+    def apply(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transforms:
+            images = transform(images, rng)
+        return images
+
+    return apply

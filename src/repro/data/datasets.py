@@ -1,0 +1,96 @@
+"""Dataset and DataLoader abstractions for training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader"]
+
+
+class ArrayDataset:
+    """In-memory dataset of (images, labels) arrays."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) lengths differ"
+            )
+        self.images = np.asarray(images, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    def split(self, fraction: float, seed: int = 0) -> Tuple["ArrayDataset", "ArrayDataset"]:
+        """Random split into (first, second) with ``fraction`` in the first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(len(self) * fraction)
+        first, second = order[:cut], order[cut:]
+        return (
+            ArrayDataset(self.images[first], self.labels[first]),
+            ArrayDataset(self.images[second], self.labels[second]),
+        )
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling and augmentation.
+
+    Parameters
+    ----------
+    dataset:
+        Source :class:`ArrayDataset`.
+    batch_size:
+        Samples per batch; the last batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle indices at the start of every epoch.
+    augment:
+        Optional callable ``(images, rng) -> images`` applied per batch
+        (see :mod:`repro.data.augment`).
+    seed:
+        Seed for the shuffle/augment stream.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        augment=None,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.augment = augment
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        end = n - n % self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.augment is not None:
+                images = self.augment(images, self._rng)
+            yield images, labels

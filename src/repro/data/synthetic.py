@@ -1,0 +1,123 @@
+"""Synthetic image-classification datasets (CIFAR-10 substitute).
+
+CIFAR-10/ImageNet are unavailable offline, so accuracy experiments run on a
+deterministic, procedurally generated dataset (see DESIGN.md substitution
+table). Each class is defined by a smooth spectral *prototype* (random
+low-frequency Fourier coefficients per channel); samples are prototypes
+distorted by random translation, contrast jitter and additive noise. The
+task is learnable by a small CNN yet non-trivial: class evidence is spatial
+structure, so convolutions (and therefore pruned kernels) matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticSpec", "SyntheticImages", "make_synthetic_images"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Generation parameters for a synthetic image set."""
+
+    num_classes: int = 10
+    image_size: int = 16
+    channels: int = 3
+    frequency_cutoff: int = 4
+    noise_std: float = 0.35
+    max_shift: int = 2
+    contrast_jitter: float = 0.25
+
+
+class SyntheticImages:
+    """Deterministic generator of class-conditional images.
+
+    Parameters
+    ----------
+    spec:
+        Generation parameters.
+    seed:
+        Seed controlling both the class prototypes and the sampling noise.
+        The same seed always yields the same prototypes, so train and test
+        sets drawn from one instance share the class definitions.
+    """
+
+    def __init__(self, spec: SyntheticSpec = SyntheticSpec(), seed: int = 0) -> None:
+        self.spec = spec
+        self._proto_rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
+        self._sample_seed = seed + 1
+        self.prototypes = self._build_prototypes()
+
+    def _build_prototypes(self) -> np.ndarray:
+        """Smooth per-class prototypes via low-frequency inverse FFT."""
+        s = self.spec
+        size, cut = s.image_size, s.frequency_cutoff
+        prototypes = np.zeros((s.num_classes, s.channels, size, size))
+        for c in range(s.num_classes):
+            for ch in range(s.channels):
+                spectrum = np.zeros((size, size), dtype=complex)
+                coeffs = self._proto_rng.normal(size=(cut, cut)) + 1j * self._proto_rng.normal(
+                    size=(cut, cut)
+                )
+                spectrum[:cut, :cut] = coeffs
+                image = np.real(np.fft.ifft2(spectrum))
+                image = (image - image.mean()) / (image.std() + 1e-8)
+                prototypes[c, ch] = image
+        return prototypes
+
+    def sample(self, n_samples: int, seed: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n_samples`` labelled images.
+
+        Returns
+        -------
+        images:
+            Array of shape ``(n, channels, size, size)``, roughly unit scale.
+        labels:
+            Integer array of shape ``(n,)`` in ``[0, num_classes)``.
+        """
+        s = self.spec
+        rng = np.random.default_rng(self._sample_seed if seed is None else seed)
+        labels = rng.integers(0, s.num_classes, size=n_samples)
+        images = self.prototypes[labels].copy()
+
+        # Random cyclic shifts (translation invariance pressure).
+        if s.max_shift > 0:
+            shifts = rng.integers(-s.max_shift, s.max_shift + 1, size=(n_samples, 2))
+            for i in range(n_samples):
+                images[i] = np.roll(images[i], shift=tuple(shifts[i]), axis=(1, 2))
+
+        # Contrast jitter and additive noise.
+        if s.contrast_jitter > 0:
+            contrast = 1.0 + rng.uniform(-s.contrast_jitter, s.contrast_jitter, size=(n_samples, 1, 1, 1))
+            images *= contrast
+        if s.noise_std > 0:
+            images += rng.normal(0.0, s.noise_std, size=images.shape)
+        return images, labels
+
+    def train_test(
+        self, n_train: int, n_test: int, seed: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Draw disjoint-stream train and test splits."""
+        x_train, y_train = self.sample(n_train, seed=self._sample_seed + 1000 + seed)
+        x_test, y_test = self.sample(n_test, seed=self._sample_seed + 2000 + seed)
+        return x_train, y_train, x_test, y_test
+
+
+def make_synthetic_images(
+    n_train: int = 512,
+    n_test: int = 256,
+    num_classes: int = 10,
+    image_size: int = 16,
+    channels: int = 3,
+    seed: int = 0,
+    noise_std: float = 0.35,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One-call helper: build a generator and return train/test splits."""
+    spec = SyntheticSpec(
+        num_classes=num_classes, image_size=image_size, channels=channels, noise_std=noise_std
+    )
+    generator = SyntheticImages(spec, seed=seed)
+    return generator.train_test(n_train, n_test)

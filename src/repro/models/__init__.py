@@ -1,0 +1,31 @@
+"""repro.models — VGG-16, ResNet-18 and the PatternNet proxy.
+
+The real VGG-16/ResNet-18 graphs reproduce the paper's deterministic
+columns (parameters, FLOPs, compression); PatternNet is the laptop-scale
+trainable proxy for the accuracy columns (see DESIGN.md substitutions).
+"""
+
+from .flops import ConvProfile, ModelProfile, profile_model
+from .registry import MODEL_REGISTRY, ModelSpec, create_model, model_input_shape
+from .resnet import BasicBlock, ResNet18, resnet18_cifar, resnet18_imagenet
+from .simplecnn import PatternNet, patternnet
+from .vgg import VGG16, vgg16_cifar, vgg16_imagenet
+
+__all__ = [
+    "VGG16",
+    "vgg16_cifar",
+    "vgg16_imagenet",
+    "ResNet18",
+    "BasicBlock",
+    "resnet18_cifar",
+    "resnet18_imagenet",
+    "PatternNet",
+    "patternnet",
+    "ConvProfile",
+    "ModelProfile",
+    "profile_model",
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "create_model",
+    "model_input_shape",
+]

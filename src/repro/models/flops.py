@@ -1,0 +1,142 @@
+"""FLOPs and parameter accounting — the backbone of Tables I-III.
+
+The paper reports "CONV FLOPs" (multiply-accumulate counts of convolution
+layers) and "CONV Parameters" for each benchmark. These are deterministic
+functions of the architecture, so this module reproduces those columns
+exactly.
+
+Profiling works by running a *shape-only* forward pass: within
+:class:`ShapeProfiler`, ``Conv2d.forward`` is replaced by a stub that
+records layer geometry and returns a zero tensor of the analytically
+computed output shape. This keeps profiling of the 224x224 ImageNet VGG-16
+graph instantaneous while exercising the real model control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.functional import conv_output_size
+
+__all__ = ["ConvProfile", "ModelProfile", "profile_model"]
+
+
+@dataclass(frozen=True)
+class ConvProfile:
+    """Geometry and cost of one convolution layer."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    input_hw: Tuple[int, int]
+    output_hw: Tuple[int, int]
+
+    @property
+    def kernels(self) -> int:
+        """Number of (kh x kw) kernels = C_out * C_in."""
+        return self.out_channels * self.in_channels
+
+    @property
+    def params(self) -> int:
+        """Weight count (biases excluded; conv layers here are bias-free)."""
+        return self.kernels * self.kernel_size * self.kernel_size
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulates for this layer."""
+        oh, ow = self.output_hw
+        return self.params * oh * ow
+
+    @property
+    def is_3x3(self) -> bool:
+        return self.kernel_size == 3
+
+
+@dataclass
+class ModelProfile:
+    """Aggregated convolution profile of a model."""
+
+    model_name: str
+    input_shape: Tuple[int, int, int]
+    convs: List[ConvProfile] = field(default_factory=list)
+
+    @property
+    def conv_params(self) -> int:
+        return sum(c.params for c in self.convs)
+
+    @property
+    def conv_macs(self) -> int:
+        return sum(c.macs for c in self.convs)
+
+    def by_name(self) -> Dict[str, ConvProfile]:
+        return {c.name: c for c in self.convs}
+
+    def prunable(self, kernel_size: int = 3) -> List[ConvProfile]:
+        """Layers PCNN prunes (3x3 by default; 1x1 left dense, Sec. IV-B)."""
+        return [c for c in self.convs if c.kernel_size == kernel_size]
+
+
+class ShapeProfiler:
+    """Context manager that records Conv2d geometry during a forward pass."""
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[nn.Conv2d, Tuple[int, int], Tuple[int, int]]] = []
+
+    def __enter__(self) -> "ShapeProfiler":
+        self._original_forward = nn.Conv2d.forward
+        profiler = self
+
+        def recording_forward(module: nn.Conv2d, x: nn.Tensor) -> nn.Tensor:
+            n, _, h, w = x.shape
+            oh = conv_output_size(h, module.kernel_size, module.stride, module.padding)
+            ow = conv_output_size(w, module.kernel_size, module.stride, module.padding)
+            profiler.records.append((module, (h, w), (oh, ow)))
+            return nn.Tensor(np.zeros((n, module.out_channels, oh, ow)))
+
+        nn.Conv2d.forward = recording_forward
+        return self
+
+    def __exit__(self, *exc) -> None:
+        nn.Conv2d.forward = self._original_forward
+
+
+def profile_model(
+    model: nn.Module,
+    input_shape: Tuple[int, int, int],
+    model_name: Optional[str] = None,
+) -> ModelProfile:
+    """Profile every Conv2d reached by a forward pass on ``input_shape``.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` whose forward accepts (N, C, H, W).
+    input_shape:
+        ``(channels, height, width)`` of a single input sample.
+    """
+    module_names = {id(m): n for n, m in model.named_modules()}
+    with ShapeProfiler() as profiler:
+        model.eval()
+        model(nn.Tensor(np.zeros((1, *input_shape))))
+    convs = [
+        ConvProfile(
+            name=module_names.get(id(module), "<anonymous>"),
+            in_channels=module.in_channels,
+            out_channels=module.out_channels,
+            kernel_size=module.kernel_size,
+            stride=module.stride,
+            padding=module.padding,
+            input_hw=in_hw,
+            output_hw=out_hw,
+        )
+        for module, in_hw, out_hw in profiler.records
+    ]
+    name = model_name or type(model).__name__
+    return ModelProfile(model_name=name, input_shape=tuple(input_shape), convs=convs)

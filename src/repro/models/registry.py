@@ -1,0 +1,61 @@
+"""Model registry mapping benchmark names to constructors and input shapes.
+
+Benchmarks reference models by the names used in the paper's tables
+("vgg16_cifar", "resnet18_cifar", "vgg16_imagenet"); this registry keeps the
+mapping in one place together with the evaluation input shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from .resnet import resnet18_cifar, resnet18_imagenet
+from .simplecnn import patternnet
+from .vgg import vgg16_cifar, vgg16_imagenet
+
+__all__ = ["ModelSpec", "MODEL_REGISTRY", "create_model", "model_input_shape"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A named model: constructor + canonical input shape (C, H, W)."""
+
+    name: str
+    factory: Callable[..., nn.Module]
+    input_shape: Tuple[int, int, int]
+    description: str
+
+
+MODEL_REGISTRY: Dict[str, ModelSpec] = {
+    "vgg16_cifar": ModelSpec(
+        "vgg16_cifar", vgg16_cifar, (3, 32, 32), "VGG-16 with BN for CIFAR-10 (Tables I, IV, V, VIII)"
+    ),
+    "vgg16_imagenet": ModelSpec(
+        "vgg16_imagenet", vgg16_imagenet, (3, 224, 224), "VGG-16 for ImageNet (Tables III, VII)"
+    ),
+    "resnet18_cifar": ModelSpec(
+        "resnet18_cifar", resnet18_cifar, (3, 32, 32), "ResNet-18 for CIFAR-10 (Tables II, VI)"
+    ),
+    "resnet18_imagenet": ModelSpec(
+        "resnet18_imagenet", resnet18_imagenet, (3, 224, 224), "ResNet-18 with ImageNet stem"
+    ),
+    "patternnet": ModelSpec(
+        "patternnet", patternnet, (3, 16, 16), "PatternNet trainable proxy (accuracy trends)"
+    ),
+}
+
+
+def create_model(name: str, rng: Optional[np.random.Generator] = None, **kwargs) -> nn.Module:
+    """Instantiate a registered model by name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name].factory(rng=rng, **kwargs)
+
+
+def model_input_shape(name: str) -> Tuple[int, int, int]:
+    """Canonical (C, H, W) evaluation input shape for a registered model."""
+    return MODEL_REGISTRY[name].input_shape

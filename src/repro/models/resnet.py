@@ -1,0 +1,135 @@
+"""ResNet-18 model definitions (CIFAR-10 and ImageNet variants).
+
+The paper evaluates ResNet-18 [4] on CIFAR-10 (Tables II, VI). The CIFAR
+adaptation replaces the 7x7 stem with a 3x3 convolution and drops the max
+pool, giving 1.12e7 conv parameters and 5.55e8 conv MACs — the paper's
+baseline row.
+
+PCNN prunes only the 3x3 convolutions; the 1x1 downsample convolutions are
+"too accuracy-sensitive" (Sec. IV-B) and are left dense, which this module
+exposes through :meth:`ResNet18.prunable_conv_layers`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["BasicBlock", "ResNet18", "resnet18_cifar", "resnet18_imagenet"]
+
+
+class BasicBlock(nn.Module):
+    """Standard two-3x3-conv residual block with identity/projection skip."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(
+            in_channels, out_channels, kernel_size=3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(
+            out_channels, out_channels, kernel_size=3, stride=1, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(
+                    in_channels, out_channels, kernel_size=1, stride=stride, bias=False, rng=rng
+                ),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        identity = self.downsample(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + identity).relu()
+
+
+class ResNet18(nn.Module):
+    """ResNet-18: stem + 4 stages of 2 BasicBlocks + classifier.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes.
+    cifar_stem:
+        True (CIFAR) — 3x3 stride-1 stem, no max pool; False (ImageNet) —
+        7x7 stride-2 stem followed by a 3x3 stride-2 max pool.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        cifar_stem: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.cifar_stem = cifar_stem
+        if cifar_stem:
+            self.conv1 = nn.Conv2d(3, 64, kernel_size=3, stride=1, padding=1, bias=False, rng=rng)
+            self.maxpool = nn.Identity()
+        else:
+            self.conv1 = nn.Conv2d(3, 64, kernel_size=7, stride=2, padding=3, bias=False, rng=rng)
+            self.maxpool = nn.MaxPool2d(3, stride=2, padding=1)
+        self.bn1 = nn.BatchNorm2d(64)
+        self.layer1 = self._make_stage(64, 64, stride=1, rng=rng)
+        self.layer2 = self._make_stage(64, 128, stride=2, rng=rng)
+        self.layer3 = self._make_stage(128, 256, stride=2, rng=rng)
+        self.layer4 = self._make_stage(256, 512, stride=2, rng=rng)
+        self.avgpool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(512, num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(
+        in_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+    ) -> nn.Sequential:
+        return nn.Sequential(
+            BasicBlock(in_channels, out_channels, stride=stride, rng=rng),
+            BasicBlock(out_channels, out_channels, stride=1, rng=rng),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.bn1(self.conv1(x)).relu()
+        x = self.maxpool(x)
+        for stage in (self.layer1, self.layer2, self.layer3, self.layer4):
+            x = stage(x)
+        x = self.avgpool(x)
+        return self.fc(x)
+
+    def conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
+        """All convolution layers (including 1x1 projections)."""
+        return [
+            (name, module)
+            for name, module in self.named_modules()
+            if isinstance(module, nn.Conv2d)
+        ]
+
+    def prunable_conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
+        """Only the 3x3 convolutions — what PCNN actually prunes."""
+        return [(n, m) for n, m in self.conv_layers() if m.kernel_size == 3]
+
+
+def resnet18_cifar(num_classes: int = 10, rng: Optional[np.random.Generator] = None) -> ResNet18:
+    """ResNet-18 adapted for CIFAR-10 (3x3 stem, no max pool)."""
+    return ResNet18(num_classes=num_classes, cifar_stem=True, rng=rng)
+
+
+def resnet18_imagenet(num_classes: int = 1000, rng: Optional[np.random.Generator] = None) -> ResNet18:
+    """ResNet-18 with the ImageNet 7x7 stem."""
+    return ResNet18(num_classes=num_classes, cifar_stem=False, rng=rng)

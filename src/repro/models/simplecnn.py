@@ -1,0 +1,83 @@
+"""PatternNet — the trainable proxy CNN for accuracy experiments.
+
+Full VGG-16/ResNet-18 training to the paper's absolute Top-1 numbers needs
+GPU-days; the compression/FLOPs columns of Tables I-IV are reproduced
+exactly on the real graphs (see :mod:`repro.core.compression`), while the
+*accuracy* columns — whose claim is a trend ("PCNN loses <0.5% down to n=2;
+loss grows as n or |P| shrink; ADMM recovers most of it") — are reproduced
+with this small all-3x3 CNN on the synthetic dataset of
+:mod:`repro.data.synthetic`. Every kernel is 3x3 so the identical PCNN
+machinery (patterns, SPM, distillation, ADMM) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["PatternNet", "patternnet"]
+
+
+class PatternNet(nn.Module):
+    """A compact all-3x3 CNN: [conv-bn-relu] x L with pooling, then FC.
+
+    Parameters
+    ----------
+    channels:
+        Output channels of each conv layer; a max pool follows every layer
+        whose index is in ``pool_after``.
+    num_classes:
+        Classifier outputs.
+    in_channels:
+        Input image channels.
+    """
+
+    def __init__(
+        self,
+        channels: Tuple[int, ...] = (16, 32, 64),
+        num_classes: int = 10,
+        in_channels: int = 3,
+        pool_after: Tuple[int, ...] = (0, 1, 2),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.channels = tuple(channels)
+        layers: List[nn.Module] = []
+        previous = in_channels
+        for index, width in enumerate(channels):
+            layers.append(
+                nn.Conv2d(previous, width, kernel_size=3, padding=1, bias=False, rng=rng)
+            )
+            layers.append(nn.BatchNorm2d(width))
+            layers.append(nn.ReLU())
+            if index in pool_after:
+                layers.append(nn.MaxPool2d(2))
+            previous = width
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(previous, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.fc(self.pool(self.features(x)))
+
+    def conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
+        """All (3x3) convolution layers in network order."""
+        return [
+            (name, module)
+            for name, module in self.named_modules()
+            if isinstance(module, nn.Conv2d)
+        ]
+
+
+def patternnet(
+    channels: Tuple[int, ...] = (16, 32, 64),
+    num_classes: int = 10,
+    in_channels: int = 3,
+    rng: Optional[np.random.Generator] = None,
+) -> PatternNet:
+    """Construct the default PatternNet proxy model."""
+    return PatternNet(channels=channels, num_classes=num_classes, in_channels=in_channels, rng=rng)

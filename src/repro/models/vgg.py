@@ -1,0 +1,130 @@
+"""VGG-16 model definitions (CIFAR-10 and ImageNet variants).
+
+The paper evaluates PCNN on VGG-16 [5] for both CIFAR-10 (Tables I, IV, V,
+VIII) and ImageNet (Tables III, VII). The CIFAR variant follows the standard
+community adaptation (13 conv layers with batch norm, a single 512->classes
+classifier after global pooling of the 1x1 feature map); its conv parameter
+count is 1.47e7 and conv MAC count 3.13e8 — matching the paper's baseline
+row exactly.
+
+All convolutions are 3x3, which is the granularity PCNN's 9-bit patterns
+operate on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["VGG16", "vgg16_cifar", "vgg16_imagenet", "VGG16_CIFAR_PLAN", "VGG16_IMAGENET_PLAN"]
+
+# (channels, blocks-before-pool) expressed as the classic VGG-16 "D" plan.
+# 'M' entries are 2x2 max pools.
+_VGG16_PLAN: Tuple = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M")
+
+VGG16_CIFAR_PLAN = _VGG16_PLAN
+VGG16_IMAGENET_PLAN = _VGG16_PLAN
+
+
+class VGG16(nn.Module):
+    """VGG-16 with batch normalisation.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes (10 for CIFAR-10, 1000 for ImageNet).
+    input_size:
+        Input spatial resolution (32 for CIFAR, 224 for ImageNet).
+    classifier:
+        ``"cifar"`` — single Linear(512, classes) head used by the standard
+        CIFAR adaptation. ``"imagenet"`` — the original three-FC head
+        (4096-4096-classes). ``"light"`` — single Linear head even at
+        ImageNet resolution: the paper's evaluation only covers conv layers
+        (Sec. IV-A: "we mainly focus on convolution layers"), so benches use
+        this to avoid allocating the 120M-parameter FC stack. ``"none"`` —
+        features only.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        input_size: int = 32,
+        classifier: str = "cifar",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_classes = num_classes
+        self.input_size = input_size
+        self.classifier_kind = classifier
+
+        layers: List[nn.Module] = []
+        in_channels = 3
+        for entry in _VGG16_PLAN:
+            if entry == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            layers.append(
+                nn.Conv2d(in_channels, entry, kernel_size=3, padding=1, bias=False, rng=rng)
+            )
+            layers.append(nn.BatchNorm2d(entry))
+            layers.append(nn.ReLU())
+            in_channels = entry
+        self.features = nn.Sequential(*layers)
+
+        final_spatial = input_size // 32  # five 2x2 pools
+        if classifier == "cifar" or classifier == "light":
+            self.pool = nn.GlobalAvgPool2d()
+            self.head = nn.Linear(512, num_classes, rng=rng)
+        elif classifier == "imagenet":
+            self.pool = nn.Flatten()
+            flat = 512 * final_spatial * final_spatial
+            self.head = nn.Sequential(
+                nn.Linear(flat, 4096, rng=rng),
+                nn.ReLU(),
+                nn.Dropout(0.5),
+                nn.Linear(4096, 4096, rng=rng),
+                nn.ReLU(),
+                nn.Dropout(0.5),
+                nn.Linear(4096, num_classes, rng=rng),
+            )
+        elif classifier == "none":
+            self.pool = nn.Identity()
+            self.head = nn.Identity()
+        else:
+            raise ValueError(f"unknown classifier kind {classifier!r}")
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.features(x)
+        x = self.pool(x)
+        return self.head(x)
+
+    def conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
+        """All convolution layers in network order, with dotted names."""
+        return [
+            (name, module)
+            for name, module in self.named_modules()
+            if isinstance(module, nn.Conv2d)
+        ]
+
+
+def vgg16_cifar(num_classes: int = 10, rng: Optional[np.random.Generator] = None) -> VGG16:
+    """VGG-16 for CIFAR-10 (32x32 input, BN, single-FC head)."""
+    return VGG16(num_classes=num_classes, input_size=32, classifier="cifar", rng=rng)
+
+
+def vgg16_imagenet(
+    num_classes: int = 1000,
+    full_classifier: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> VGG16:
+    """VGG-16 for ImageNet (224x224 input).
+
+    ``full_classifier=False`` (default) uses the light head since the
+    paper's compression accounting covers conv layers only.
+    """
+    kind = "imagenet" if full_classifier else "light"
+    return VGG16(num_classes=num_classes, input_size=224, classifier=kind, rng=rng)

@@ -1,0 +1,63 @@
+"""repro.nn — from-scratch numpy neural network framework.
+
+This package substitutes for PyTorch in the PCNN reproduction (DESIGN.md):
+reverse-mode autograd (:mod:`repro.nn.tensor`), convolution and friends
+(:mod:`repro.nn.functional`), a module/layer system, optimisers, losses and
+checkpointing.
+"""
+
+from . import functional, init
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .loss import accuracy, cross_entropy, mse_loss
+from .optim import SGD, Adam, CosineLR, Optimizer, StepLR
+from .serialization import load_model, load_state, save_model, save_state
+from .tensor import Tensor, as_tensor, concatenate, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "cross_entropy",
+    "mse_loss",
+    "accuracy",
+    "save_state",
+    "load_state",
+    "save_model",
+    "load_model",
+]

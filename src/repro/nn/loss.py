@@ -1,0 +1,35 @@
+"""Loss functions for :mod:`repro.nn`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "accuracy"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets``.
+
+    Uses log-softmax for numerical stability; the gradient is the familiar
+    ``softmax(logits) - one_hot(targets)`` scaled by 1/N.
+    """
+    targets = np.asarray(targets)
+    n = logits.shape[0]
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    predictions = logits.data.argmax(axis=1)
+    return float((predictions == np.asarray(targets)).mean())

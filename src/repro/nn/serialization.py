@@ -1,0 +1,36 @@
+"""Model checkpoint save/load for :mod:`repro.nn` (``.npz`` based)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_model"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` as a compressed ``.npz`` archive."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    # npz keys cannot contain '/', but '.' is fine; keep names verbatim.
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_model(model: Module, path: str) -> None:
+    """Save a model's parameters and buffers."""
+    save_state(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load parameters and buffers into ``model`` in place and return it."""
+    model.load_state_dict(load_state(path))
+    return model

@@ -1,0 +1,517 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of :mod:`repro.nn`, the from-scratch neural
+network framework that substitutes for PyTorch in this reproduction (see
+DESIGN.md, substitution table). It provides a :class:`Tensor` wrapping an
+``numpy.ndarray`` together with a dynamically built computation graph, and a
+``backward`` pass that accumulates gradients via topological traversal.
+
+Only the operations needed by the PCNN training pipeline are implemented,
+but they are implemented completely: broadcasting-aware arithmetic, matrix
+multiplication, reductions, shape manipulation, indexing and the usual
+pointwise nonlinearities. Convolution and pooling live in
+:mod:`repro.nn.functional` and register their own backward closures through
+the same mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Mirrors ``torch.no_grad``: inside the block every produced tensor has
+    ``requires_grad=False`` and no parents, which keeps evaluation cheap.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the graph."""
+    return _grad_enabled
+
+
+def _as_array(value: Arrayable, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting.
+
+    Broadcasting may have added leading axes and/or stretched size-1 axes;
+    the adjoint of broadcasting is summation over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away extra leading dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    parents:
+        Graph predecessors (internal; set by operations).
+    backward_fn:
+        Closure mapping the output gradient to a tuple of parent gradients
+        (internal; set by operations).
+    name:
+        Optional debug label.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: Arrayable,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self._parents: Tuple[Tensor, ...] = tuple(parents) if self.requires_grad else ()
+        self._backward_fn = backward_fn if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor. Defaults to
+            1 for scalars (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward_fn is None or not node._parents:
+                # Leaf: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayable) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward_fn(g: np.ndarray):
+            return unbroadcast(g, self.shape), unbroadcast(g, other.shape)
+
+        return Tensor._make(data, (self, other), backward_fn)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward_fn(g: np.ndarray):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward_fn)
+
+    def __sub__(self, other: Arrayable) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward_fn(g: np.ndarray):
+            return unbroadcast(g, self.shape), unbroadcast(-g, other.shape)
+
+        return Tensor._make(data, (self, other), backward_fn)
+
+    def __rsub__(self, other: Arrayable) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: Arrayable) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+
+        def backward_fn(g: np.ndarray):
+            return (
+                unbroadcast(g * other.data, self.shape),
+                unbroadcast(g * self.data, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward_fn)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayable) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+
+        def backward_fn(g: np.ndarray):
+            return (
+                unbroadcast(g / other.data, self.shape),
+                unbroadcast(-g * self.data / (other.data**2), other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward_fn)
+
+    def __rtruediv__(self, other: Arrayable) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward_fn(g: np.ndarray):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other.data
+
+        def backward_fn(g: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 2 and b.ndim == 2:
+                return g @ b.T, a.T @ g
+            # General batched case.
+            ga = g @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ g
+            return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+        return Tensor._make(data, (self, other), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Pointwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward_fn(g: np.ndarray):
+            return (g * data,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward_fn(g: np.ndarray):
+            return (g / self.data,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward_fn(g: np.ndarray):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward_fn(g: np.ndarray):
+            return (g * (1.0 - data**2),)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward_fn(g: np.ndarray):
+            return (g * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        data = np.abs(self.data)
+
+        def backward_fn(g: np.ndarray):
+            return (g * sign,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        data = np.clip(self.data, low, high)
+
+        def backward_fn(g: np.ndarray):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward_fn(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, self.shape).copy(),)
+            g_expanded = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                for a in sorted(axes):
+                    g_expanded = np.expand_dims(g_expanded, a)
+            return (np.broadcast_to(g_expanded, self.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for a in axes:
+                count *= self.shape[a % self.ndim]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centred = self - mu
+        return (centred * centred).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward_fn(g: np.ndarray):
+            full = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == full).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g
+            if not keepdims and axis is not None:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for a in sorted(a % self.ndim for a in axes):
+                    g_expanded = np.expand_dims(g_expanded, a)
+            elif not keepdims and axis is None:
+                g_expanded = np.broadcast_to(g, ())
+            return (mask * g_expanded,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward_fn(g: np.ndarray):
+            return (g.reshape(original),)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        lead = self.shape[:start_dim]
+        tail = int(np.prod(self.shape[start_dim:])) if self.ndim > start_dim else 1
+        return self.reshape(*lead, tail)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward_fn(g: np.ndarray):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward_fn(g: np.ndarray):
+            out = np.zeros_like(self.data)
+            np.add.at(out, index, g)
+            return (out,)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the trailing two (spatial) dimensions symmetrically."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
+        data = np.pad(self.data, pad_width)
+
+        def backward_fn(g: np.ndarray):
+            slices = tuple(
+                [slice(None)] * (self.ndim - 2)
+                + [slice(padding, -padding), slice(padding, -padding)]
+            )
+            return (g[slices],)
+
+        return Tensor._make(data, (self,), backward_fn)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(g: np.ndarray):
+        grads = []
+        for i in range(len(tensors)):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(index)])
+        return tuple(grads)
+
+    return Tensor._make(data, tensors, backward_fn)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward_fn(g: np.ndarray):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tensors, backward_fn)
+
+
+def as_tensor(value: Arrayable, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

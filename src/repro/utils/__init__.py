@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG management, timing and logging."""
+
+from .rng import seeded_rng, spawn_rngs
+from .timing import Timer
+
+__all__ = ["seeded_rng", "spawn_rngs", "Timer"]

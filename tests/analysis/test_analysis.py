@@ -1,0 +1,112 @@
+"""Tests for table/figure rendering and experiment logging."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentLog,
+    ExperimentRecord,
+    Measurement,
+    format_compression_table,
+    format_markdown_table,
+    format_table,
+    histogram_ascii,
+    pattern_frequency_figure,
+    series_ascii,
+)
+from repro.core import PCNNConfig, pcnn_compression
+from repro.models import patternnet, profile_model
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 2]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(l) for l in lines[0:1] + lines[2:]}) <= 2
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[3.14159]])
+        assert "3.14" in table
+
+    def test_scientific_for_large(self):
+        table = format_table(["v"], [[1.23e8]])
+        assert "e+08" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = format_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_compression_table(self):
+        model = patternnet(channels=(4,), rng=np.random.default_rng(0))
+        profile = profile_model(model, (3, 8, 8))
+        report = pcnn_compression(profile, PCNNConfig.uniform(3, 1))
+        text = format_compression_table([report])
+        assert "Compr (weight)" in text
+        assert "3.0x" in text
+
+
+class TestFigures:
+    def test_histogram(self):
+        art = histogram_ascii([1, 5, 3], labels=["a", "b", "c"])
+        lines = art.splitlines()
+        assert lines[0].strip().startswith("b")  # tallest first
+        assert "#" in lines[0]
+
+    def test_histogram_max_rows(self):
+        art = histogram_ascii(list(range(10)), max_rows=3)
+        assert len(art.splitlines()) == 3
+
+    def test_pattern_frequency_figure(self):
+        freq = np.zeros(126, dtype=int)
+        freq[:5] = [100, 80, 60, 40, 20]
+        freq[5:20] = 2
+        art = pattern_frequency_figure(freq, top=5)
+        assert "126 candidate patterns" in art
+        assert "trivial tail" in art
+
+    def test_series(self):
+        art = series_ascii({"speedup": {1: 9.0, 2: 4.5}})
+        assert "speedup" in art
+        assert "9.00" in art
+
+
+class TestExperimentLog:
+    def test_measurement_relative_error(self):
+        m = Measurement("compression", paper=2.2, measured=2.17)
+        assert m.relative_error == pytest.approx(abs(2.17 - 2.2) / 2.2)
+
+    def test_relative_error_non_numeric(self):
+        assert Measurement("acc", paper="-", measured=1.0).relative_error is None
+
+    def test_relative_error_zero_paper(self):
+        assert Measurement("x", paper=0.0, measured=1.0).relative_error is None
+
+    def test_record_markdown(self):
+        record = ExperimentRecord("Table I", "VGG-16 compression")
+        record.add("weight compression n=4", 2.3, 2.25)
+        md = record.to_markdown()
+        assert md.startswith("### Table I")
+        assert "2.25" in md and "2.3" in md
+
+    def test_log_collects_records(self):
+        log = ExperimentLog()
+        rec = log.record("Fig. 2", "pattern distribution")
+        rec.add("candidates", 126, 126)
+        md = log.to_markdown()
+        assert "# Experiments" in md
+        assert "Fig. 2" in md
+        assert len(log.records) == 1

@@ -1,0 +1,86 @@
+"""Tests for the PCNN invariant validator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import assert_valid, validate_model
+from repro.core import PCNNConfig, PCNNPruner
+from repro.models import patternnet
+
+
+def pruned_model(seed=0, n=2, patterns=8):
+    model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(seed))
+    PCNNPruner(model, PCNNConfig.uniform(n, 2, num_patterns=patterns)).apply()
+    return model
+
+
+class TestValidateModel:
+    def test_valid_pruned_model(self):
+        model = pruned_model()
+        report = validate_model(model, max_patterns=8)
+        assert report.ok
+        for layer in report.layers:
+            assert layer.pruned
+            assert layer.n_nonzero == 2
+            assert layer.distinct_patterns <= 8
+
+    def test_dense_model_reported_dense(self):
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(0))
+        report = validate_model(model)
+        assert report.ok
+        assert not report.layers[0].pruned
+        assert "dense" in report.summary()
+
+    def test_unequal_kernels_flagged(self):
+        model = pruned_model(seed=1)
+        conv = model.conv_layers()[0][1]
+        broken = conv.weight_mask.copy()
+        broken[0, 0] = 1.0
+        conv.set_weight_mask(broken)
+        report = validate_model(model)
+        assert not report.ok
+        assert any("unequal" in p for p in report.problems)
+
+    def test_off_mask_weights_flagged(self):
+        model = pruned_model(seed=2)
+        conv = model.conv_layers()[0][1]
+        # Sneak a weight outside the mask.
+        mask = conv.weight_mask
+        zero_positions = np.argwhere(mask == 0)
+        i = tuple(zero_positions[0])
+        conv.weight.data[i] = 5.0
+        report = validate_model(model)
+        assert any("outside the mask" in p for p in report.problems)
+
+    def test_nan_weights_flagged(self):
+        model = pruned_model(seed=3)
+        conv = model.conv_layers()[0][1]
+        on = np.argwhere(conv.weight_mask == 1)
+        conv.weight.data[tuple(on[0])] = np.nan
+        report = validate_model(model)
+        assert any("non-finite" in p for p in report.problems)
+
+    def test_pattern_budget_flagged(self):
+        # Full-candidate pruning on a wide layer uses many patterns.
+        model = patternnet(channels=(16, 32), num_classes=4, rng=np.random.default_rng(4))
+        PCNNPruner(model, PCNNConfig.uniform(4, 2, num_patterns=126)).apply()
+        report = validate_model(model, max_patterns=4)
+        assert not report.ok
+        assert any("exceed the SPM budget" in p for p in report.problems)
+
+    def test_assert_valid_raises_with_details(self):
+        model = pruned_model(seed=5)
+        conv = model.conv_layers()[0][1]
+        broken = conv.weight_mask.copy()
+        broken[0, 0] = 1.0
+        conv.set_weight_mask(broken)
+        with pytest.raises(AssertionError, match="unequal"):
+            assert_valid(model)
+
+    def test_assert_valid_passes(self):
+        assert_valid(pruned_model(seed=6), max_patterns=8)
+
+    def test_summary_format(self):
+        report = validate_model(pruned_model(seed=7), max_patterns=8)
+        text = report.summary()
+        assert "n=2" in text and "OK" in text

@@ -1,0 +1,105 @@
+"""Tests for the bit-accurate int8 MAC datapath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import accumulate_width_bits, int8_conv2d, int8_mac, requantize
+from repro.core import quantize_per_kernel, quantize_symmetric
+from repro.nn import Tensor
+from repro.nn.functional import conv2d
+
+
+class TestAccumulatorWidth:
+    def test_paper_worst_case_fits_32_bits(self):
+        """9 positions x 512 channels of int8 products fit in 32 bits."""
+        assert accumulate_width_bits(9 * 512) <= 32
+
+    def test_width_grows_with_products(self):
+        assert accumulate_width_bits(2) < accumulate_width_bits(1 << 20)
+
+    def test_minimum_width(self):
+        assert accumulate_width_bits(1) == 16
+
+
+class TestInt8Mac:
+    def test_exact_integer_dot(self):
+        w = np.array([127, -128, 5], dtype=np.int8)
+        a = np.array([127, 127, -3], dtype=np.int8)
+        result = int8_mac(w, a)
+        assert result == 127 * 127 - 128 * 127 - 15
+
+    def test_no_overflow_at_scale(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-127, 128, size=9 * 512)
+        a = rng.integers(-127, 128, size=9 * 512)
+        exact = int(np.sum(w.astype(object) * a.astype(object)))
+        assert int8_mac(w, a) == exact
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25)
+    def test_property_batched_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-127, 128, size=(5, 16))
+        a = rng.integers(-127, 128, size=(5, 16))
+        out = int8_mac(w, a)
+        np.testing.assert_array_equal(out, (w.astype(np.int64) * a).sum(axis=1))
+
+
+class TestRequantize:
+    def test_scale_folding(self):
+        acc = np.array([100, -50])
+        out = requantize(acc, scale_product=0.01)
+        np.testing.assert_allclose(out, [1.0, -0.5])
+
+    def test_output_requantization_bounds_error(self):
+        rng = np.random.default_rng(1)
+        acc = rng.integers(-1000, 1000, size=100)
+        out = requantize(acc, 0.01, out_bits=8)
+        exact = acc * 0.01
+        step = np.abs(exact).max() / 127
+        assert np.abs(out - exact).max() <= step / 2 + 1e-12
+
+
+class TestInt8Conv:
+    def test_equals_float_conv_of_dequantized_operands(self):
+        """The integer path introduces zero additional error."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        x_q = quantize_symmetric(x, bits=8)
+        w_q = quantize_symmetric(w, bits=8)
+        integer_out = int8_conv2d(x_q, w_q, x.shape, w.shape, padding=1)
+        float_out = conv2d(
+            Tensor(x_q.dequantize()), Tensor(w_q.dequantize()), padding=1
+        ).data
+        np.testing.assert_allclose(integer_out, float_out, rtol=1e-12, atol=1e-12)
+
+    def test_close_to_full_precision(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        out = int8_conv2d(
+            quantize_symmetric(x), quantize_symmetric(w), x.shape, w.shape, padding=1
+        )
+        exact = conv2d(Tensor(x), Tensor(w), padding=1).data
+        rel = np.linalg.norm(out - exact) / np.linalg.norm(exact)
+        assert rel < 0.05
+
+    def test_rejects_per_kernel_scales(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(2, 2, 3, 3))
+        w_q = quantize_per_kernel(w.reshape(4, 9))
+        x = rng.normal(size=(1, 2, 5, 5))
+        with pytest.raises(ValueError):
+            int8_conv2d(quantize_symmetric(x), w_q, x.shape, w.shape)
+
+    def test_channel_mismatch(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 3, 5, 5))
+        w = rng.normal(size=(2, 4, 3, 3))
+        with pytest.raises(ValueError):
+            int8_conv2d(
+                quantize_symmetric(x), quantize_symmetric(w), x.shape, w.shape
+            )

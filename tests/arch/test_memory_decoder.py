@@ -1,0 +1,189 @@
+"""Tests for the memory system (Fig. 3) and the SPM decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchConfig,
+    KernelRegisterFile,
+    SPMDecoder,
+    fetch_geometry,
+    pack_nonzero_sequences,
+    sram_overheads,
+    unpack_nonzero_sequences,
+)
+from repro.core import SPMCodebook, enumerate_patterns
+
+
+class TestArchConfig:
+    def test_paper_defaults(self):
+        arch = ArchConfig()
+        assert arch.total_macs == 256
+        assert arch.peak_ops_per_second == pytest.approx(2 * 256 * 300e6)
+        assert arch.kernel_area == 9
+
+    def test_weight_sram_capacity_paper(self):
+        """Sec. IV-E: 128 KB holds 32768 kernels of 4 non-zeros at 8 bit."""
+        arch = ArchConfig()
+        assert arch.kernels_in_weight_sram(4) == 32768
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArchConfig(num_pes=0)
+        with pytest.raises(ValueError):
+            ArchConfig(activation_density=0.0)
+
+
+class TestFetchGeometry:
+    def test_paper_annotations(self):
+        """Fig. 3b: n=2 -> 4 filters/fetch; n=3 -> 8 filters / 3 fetches;
+        n=4 -> 2 filters/fetch."""
+        assert fetch_geometry(2) == (4, 1)
+        assert fetch_geometry(3) == (8, 3)
+        assert fetch_geometry(4) == (2, 1)
+
+    def test_other_sparsities(self):
+        assert fetch_geometry(1) == (8, 1)
+        assert fetch_geometry(8) == (1, 1)
+        assert fetch_geometry(5) == (8, 5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fetch_geometry(0)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(10, 3))
+        packed = pack_nonzero_sequences(values)
+        np.testing.assert_array_equal(unpack_nonzero_sequences(packed), values)
+
+    def test_row_geometry(self):
+        values = np.arange(8.0).reshape(4, 2)  # 4 kernels, n=2
+        packed = pack_nonzero_sequences(values, fetch_width=8)
+        assert packed.num_fetches == 1  # 4 filters per fetch (Fig. 3b case 1)
+        np.testing.assert_array_equal(packed.rows[0], np.arange(8.0))
+
+    def test_padding_accounting(self):
+        values = np.ones((3, 3))  # 9 payload words -> 2 fetches of 8
+        packed = pack_nonzero_sequences(values)
+        assert packed.num_fetches == 2
+        assert packed.payload_words == 9
+        assert packed.padding_words == 7
+
+    def test_kernel_locatable_by_arithmetic(self):
+        """Equal-length sequences: kernel k starts at word k*n."""
+        values = np.arange(12.0).reshape(4, 3)
+        packed = pack_nonzero_sequences(values)
+        flat = packed.rows.reshape(-1)
+        for k in range(4):
+            np.testing.assert_array_equal(flat[k * 3 : (k + 1) * 3], values[k])
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            pack_nonzero_sequences(np.zeros(5))
+
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=30)
+    def test_property_roundtrip(self, n, kernels):
+        rng = np.random.default_rng(n * 100 + kernels)
+        values = rng.normal(size=(kernels, n))
+        packed = pack_nonzero_sequences(values)
+        np.testing.assert_array_equal(unpack_nonzero_sequences(packed), values)
+
+
+class TestKernelRegisterFile:
+    def test_integral_storage_for_1_to_6(self):
+        """Sec. III-A: 60 words integrally store kernels with 1..6 non-zeros."""
+        rf = KernelRegisterFile(60)
+        for n in range(1, 7):
+            assert rf.padding_words(n) == 0
+            assert rf.capacity_kernels(n) == 60 // n
+
+    def test_padding_for_larger_n(self):
+        rf = KernelRegisterFile(60)
+        assert rf.padding_words(7) == 60 - 8 * 7  # 4 padded words
+        assert rf.padding_words(9) == 60 - 6 * 9  # 6 padded words
+
+    def test_load_and_fetch(self):
+        rf = KernelRegisterFile(60)
+        values = np.arange(20.0).reshape(5, 4)
+        loaded = rf.load(values)
+        assert loaded == 5
+        np.testing.assert_array_equal(rf.kernel_sequence(2), values[2])
+        assert rf.fetch(3, 1) == values[3, 1]
+
+    def test_load_truncates_to_capacity(self):
+        rf = KernelRegisterFile(12)
+        values = np.ones((10, 4))
+        assert rf.load(values) == 3
+
+    def test_fetch_out_of_range(self):
+        rf = KernelRegisterFile(60)
+        rf.load(np.ones((2, 4)))
+        with pytest.raises(IndexError):
+            rf.kernel_sequence(2)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            KernelRegisterFile(0)
+
+
+class TestSramOverheads:
+    def test_paper_overhead_3_percent(self):
+        """Sec. IV-E: 4 KB pattern SRAM / 128 KB weight SRAM = 3.1%."""
+        info = sram_overheads(ArchConfig())
+        assert info["index_overhead_fraction"] == pytest.approx(0.03125)
+
+    def test_eie_comparison(self):
+        """Paper: EIE needs 64 KB index SRAM to denote 128 K weights."""
+        info = sram_overheads(ArchConfig(), n_nonzero=4)
+        assert info["weights_capacity"] == 128 * 1024
+        assert info["eie_index_bytes_required"] == 64 * 1024
+
+    def test_spm_bits(self):
+        info = sram_overheads(ArchConfig(), num_patterns=16)
+        assert info["spm_bits_per_kernel"] == 4
+
+
+class TestSPMDecoder:
+    def make_decoder(self, n=4, count=16):
+        return SPMDecoder(SPMCodebook(enumerate_patterns(n)[:count]))
+
+    def test_decode_is_9bit_mask(self):
+        decoder = self.make_decoder()
+        mask = decoder.decode(3)
+        assert mask.shape == (9,)
+        assert set(np.unique(mask)).issubset({0, 1})
+        assert mask.sum() == 4
+
+    def test_decode_matches_codebook(self):
+        decoder = self.make_decoder()
+        for code in range(16):
+            pattern = decoder.codebook.pattern(code)
+            expected = [(pattern >> p) & 1 for p in range(9)]
+            np.testing.assert_array_equal(decoder.decode(code), expected)
+
+    def test_decode_batch(self):
+        decoder = self.make_decoder()
+        codes = np.array([0, 5, 5, 2])
+        batch = decoder.decode_batch(codes)
+        assert batch.shape == (4, 9)
+        np.testing.assert_array_equal(batch[1], batch[2])
+
+    def test_out_of_range(self):
+        decoder = self.make_decoder(count=8)
+        with pytest.raises(ValueError):
+            decoder.decode(8)
+        with pytest.raises(ValueError):
+            decoder.decode_batch(np.array([0, 9]))
+
+    def test_table_bits(self):
+        decoder = self.make_decoder(count=16)
+        assert decoder.table_bits == 16 * 9

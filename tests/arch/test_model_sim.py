@@ -1,0 +1,75 @@
+"""Tests for whole-model cycle-accurate simulation."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    capture_conv_workloads,
+    simulate_model_cycles,
+)
+from repro.core import PCNNConfig, PCNNPruner
+from repro.models import patternnet
+
+
+def make_model(seed=0, n=None):
+    model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(seed))
+    if n is not None:
+        PCNNPruner(model, PCNNConfig.uniform(n, 2)).apply()
+    return model
+
+
+class TestCapture:
+    def test_captures_every_conv(self):
+        model = make_model()
+        x = np.random.default_rng(0).normal(size=(1, 3, 8, 8))
+        workloads = capture_conv_workloads(model, x)
+        assert [w.name for w in workloads] == ["features.0", "features.4"]
+
+    def test_capture_restores_forward(self):
+        from repro import nn
+
+        model = make_model()
+        x = np.random.default_rng(0).normal(size=(1, 3, 8, 8))
+        capture_conv_workloads(model, x)
+        out = model(nn.Tensor(x))
+        assert out.shape == (1, 4)
+
+    def test_captured_weights_are_effective(self):
+        model = make_model(n=2)
+        x = np.random.default_rng(1).normal(size=(1, 3, 8, 8))
+        workloads = capture_conv_workloads(model, x)
+        for w in workloads:
+            counts = np.count_nonzero(w.weight.reshape(-1, 9), axis=1)
+            assert counts.max() <= 2
+
+    def test_second_layer_sees_post_relu_sparsity(self):
+        model = make_model()
+        x = np.random.default_rng(2).normal(size=(1, 3, 8, 8))
+        workloads = capture_conv_workloads(model, x)
+        # After BN+ReLU+pool roughly half the activations are zero.
+        assert workloads[1].activation_density < 0.95
+
+
+class TestModelCycles:
+    def test_pruned_model_speedup(self):
+        model = make_model(seed=3, n=2)
+        x = np.abs(np.random.default_rng(3).normal(size=(1, 3, 8, 8)))
+        report = simulate_model_cycles(model, x, ArchConfig(num_pes=8, macs_per_pe=4))
+        # n=2 should approach 9/2 = 4.5x, within granularity effects.
+        assert report.speedup == pytest.approx(4.5, rel=0.35)
+        assert report.total_cycles < report.dense_total_cycles
+
+    def test_unpruned_model_no_speedup(self):
+        model = make_model(seed=4)
+        x = np.abs(np.random.default_rng(4).normal(size=(1, 3, 8, 8)))
+        report = simulate_model_cycles(model, x, ArchConfig(num_pes=8, macs_per_pe=4))
+        assert report.speedup == pytest.approx(1.0)
+
+    def test_report_structure(self):
+        model = make_model(seed=5, n=4)
+        x = np.abs(np.random.default_rng(5).normal(size=(1, 3, 8, 8)))
+        report = simulate_model_cycles(model, x, ArchConfig(num_pes=8, macs_per_pe=4))
+        assert set(report.layer_stats) == {"features.0", "features.4"}
+        assert set(report.activation_densities) == set(report.layer_stats)
+        assert 0.0 < report.mean_utilization <= 1.0

@@ -1,0 +1,196 @@
+"""Tests for sparsity pointer generation (Fig. 4) and the PE group."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchConfig,
+    MACStats,
+    PatternAwarePE,
+    PEGroup,
+    PipelineModel,
+    compaction_pointers,
+    gather_plan,
+    pointers_from_offsets,
+    sparsity_mask,
+    zero_gap_offsets,
+)
+
+mask9 = st.lists(st.integers(min_value=0, max_value=1), min_size=9, max_size=9)
+
+
+class TestSparsityMask:
+    def test_and_of_masks(self):
+        weight = [1, 1, 1, 1, 0, 1, 0, 0, 0]
+        activation = [0, 1, 0, 1, 1, 1, 1, 1, 1]
+        np.testing.assert_array_equal(
+            sparsity_mask(weight, activation), [0, 1, 0, 1, 0, 1, 0, 0, 0]
+        )
+
+    def test_fig4b_example(self):
+        """The worked example of Fig. 4b."""
+        weight = [1, 1, 1, 1, 0, 1, 0, 0, 0]
+        activation = [0, 1, 0, 1, 1, 1, 1, 1, 1]
+        s = sparsity_mask(weight, activation)
+        assert s.sum() == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sparsity_mask([1, 0], [1, 0, 1])
+
+
+class TestPointers:
+    def test_compaction_pointers(self):
+        mask = np.array([1, 0, 1, 1, 0, 0, 1, 0, 0])
+        ptr = compaction_pointers(mask)
+        # Ones at positions 0,2,3,6 -> ranks 0,1,2,3.
+        assert ptr[0] == 0 and ptr[2] == 1 and ptr[3] == 2 and ptr[6] == 3
+
+    def test_zero_gap_offsets_example(self):
+        offsets = zero_gap_offsets([0, 1, 0, 1, 0, 1, 0, 0, 0])
+        np.testing.assert_array_equal(offsets, [1, 1, 1])
+
+    def test_head_offset(self):
+        """Fig. 4c's "head offset": zeros before the first non-zero."""
+        assert zero_gap_offsets([0, 0, 0, 1, 0, 0, 0, 0, 0])[0] == 3
+
+    def test_empty_mask(self):
+        assert len(zero_gap_offsets([0] * 9)) == 0
+
+    def test_pointers_from_offsets_reconstruct_positions(self):
+        mask = np.array([0, 1, 0, 1, 0, 1, 0, 0, 0])
+        offsets = zero_gap_offsets(mask)
+        positions = pointers_from_offsets(offsets)
+        np.testing.assert_array_equal(positions, np.flatnonzero(mask))
+
+    @given(mask9)
+    def test_property_offsets_reconstruct_any_mask(self, bits):
+        mask = np.array(bits)
+        positions = pointers_from_offsets(zero_gap_offsets(mask))
+        np.testing.assert_array_equal(positions, np.flatnonzero(mask))
+
+    @given(mask9)
+    def test_property_compaction_pointer_is_rank(self, bits):
+        mask = np.array(bits)
+        ptr = compaction_pointers(mask)
+        for rank, position in enumerate(np.flatnonzero(mask)):
+            assert ptr[position] == rank
+
+
+class TestGatherPlan:
+    def test_plan_selects_effectual_positions(self):
+        weight = np.array([1, 1, 0, 0, 1, 0, 0, 1, 0])
+        activation = np.array([1, 0, 1, 0, 1, 0, 0, 1, 1])
+        plan = gather_plan(weight, activation)
+        np.testing.assert_array_equal(plan.activation_positions, [0, 4, 7])
+        # Weight storage ranks of positions 0, 4, 7 within the weight mask.
+        np.testing.assert_array_equal(plan.weight_pointers, [0, 2, 3])
+        assert plan.num_macs == 3
+
+    @given(mask9, mask9)
+    @settings(max_examples=50)
+    def test_property_plan_equals_masked_dot(self, w_bits, a_bits):
+        """The pointer path computes exactly the masked dot product."""
+        rng = np.random.default_rng(42)
+        weight_mask = np.array(w_bits)
+        values = rng.normal(size=9) * weight_mask
+        activations = rng.normal(size=9) * np.array(a_bits)
+        compact = values[weight_mask.astype(bool)]
+        plan = gather_plan(weight_mask, (activations != 0).astype(int))
+        pe = PatternAwarePE()
+        result = pe.compute(compact, activations, plan)
+        assert result == pytest.approx(float(np.dot(values, activations)))
+
+
+class TestPE:
+    def test_cycles_for(self):
+        pe = PatternAwarePE(macs_per_pe=4)
+        assert pe.cycles_for(0) == 0
+        assert pe.cycles_for(4) == 1
+        assert pe.cycles_for(5) == 2
+        assert pe.cycles_for(9) == 3
+
+    def test_invalid_macs(self):
+        with pytest.raises(ValueError):
+            PatternAwarePE(0)
+
+    def test_empty_plan(self):
+        pe = PatternAwarePE()
+        plan = gather_plan(np.zeros(9), np.ones(9))
+        assert pe.compute(np.zeros(0), np.ones(9), plan) == 0.0
+
+
+class TestPEGroup:
+    def test_filter_assignment_round_robin(self):
+        group = PEGroup(ArchConfig(num_pes=4, macs_per_pe=2))
+        assignments = group.assign_filters(10)
+        np.testing.assert_array_equal(assignments[0], [0, 4, 8])
+        np.testing.assert_array_equal(assignments[3], [3, 7])
+
+    def test_balanced_workload_full_utilization(self):
+        """PCNN's core hardware claim: equal per-kernel work -> max util."""
+        arch = ArchConfig(num_pes=4, macs_per_pe=4)
+        group = PEGroup(arch)
+        stats = group.window_cycles(np.full(4, 4))  # 4 filters, 4 MACs each
+        assert stats.cycles == 1
+        assert stats.utilization == 1.0
+
+    def test_imbalanced_workload_poor_utilization(self):
+        arch = ArchConfig(num_pes=4, macs_per_pe=4)
+        group = PEGroup(arch)
+        stats = group.window_cycles(np.array([16, 1, 1, 1]))
+        assert stats.cycles == 4  # bound by the heavy PE
+        assert stats.utilization < 0.5
+
+    def test_zero_work(self):
+        group = PEGroup(ArchConfig(num_pes=2, macs_per_pe=2))
+        stats = group.window_cycles(np.zeros(2))
+        assert stats.cycles == 0
+        assert stats.utilization == 1.0
+
+    def test_compute_window_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        group = PEGroup(ArchConfig(num_pes=8, macs_per_pe=4))
+        acts = rng.normal(size=9)
+        acts[rng.random(9) < 0.3] = 0.0
+        weights = []
+        masks = []
+        expected = []
+        for _ in range(8):
+            mask = (rng.random(9) < 0.5).astype(np.int64)
+            values = rng.normal(size=9) * mask
+            weights.append(values[mask.astype(bool)])
+            masks.append(mask)
+            expected.append(float(np.dot(values, acts)))
+        out = group.compute_window(weights, masks, acts)
+        np.testing.assert_allclose(out, expected)
+
+
+class TestPipeline:
+    def test_four_stages(self):
+        model = PipelineModel()
+        assert model.num_stages == 4
+        assert model.fill_cycles == 3
+
+    def test_total_cycles(self):
+        model = PipelineModel()
+        assert model.total_cycles([1, 1, 1, 1]) == 3 + 4
+        assert model.total_cycles([2, 3]) == 3 + 5
+
+    def test_throughput(self):
+        model = PipelineModel()
+        assert model.throughput_items_per_cycle([1] * 97) == pytest.approx(0.97)
+
+
+class TestMACStats:
+    def test_merge(self):
+        a = MACStats(cycles=2, effectual_macs=8, issued_mac_slots=16)
+        b = MACStats(cycles=3, effectual_macs=12, issued_mac_slots=24)
+        a.merge(b)
+        assert a.cycles == 5 and a.effectual_macs == 20 and a.issued_mac_slots == 40
+        assert a.utilization == pytest.approx(0.5)
+
+    def test_empty_utilization(self):
+        assert MACStats().utilization == 1.0

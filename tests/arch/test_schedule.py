@@ -1,0 +1,77 @@
+"""Tests for the SRAM tiling scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, schedule_network
+from repro.core import PCNNConfig
+from repro.models import profile_model, vgg16_cifar
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return profile_model(vgg16_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+
+
+class TestLayerSchedule:
+    def test_dense_schedule(self, vgg_profile):
+        schedule = schedule_network(vgg_profile, None)
+        assert len(schedule.layers) == 13
+        for layer in schedule.layers:
+            assert layer.weight_tiles >= 1
+            assert layer.kernels_per_tile <= layer.kernels or layer.weight_tiles == 1
+
+    def test_pcnn_fits_more_kernels_per_tile(self, vgg_profile):
+        dense = schedule_network(vgg_profile, None).by_name()
+        pcnn = schedule_network(vgg_profile, PCNNConfig.uniform(4, 13)).by_name()
+        for name in dense:
+            assert pcnn[name].kernels_per_tile >= dense[name].kernels_per_tile
+
+    def test_pcnn_fewer_tiles_than_dense_on_big_layers(self, vgg_profile):
+        dense = schedule_network(vgg_profile, None)
+        pcnn = schedule_network(vgg_profile, PCNNConfig.uniform(2, 13))
+        assert pcnn.total_weight_tiles < dense.total_weight_tiles
+
+    def test_spm_beats_csc_tiling(self, vgg_profile):
+        cfg = PCNNConfig.uniform(4, 13)
+        spm = schedule_network(vgg_profile, cfg, index_format="spm")
+        csc = schedule_network(vgg_profile, cfg, index_format="csc")
+        assert spm.total_dram_bytes < csc.total_dram_bytes
+        assert spm.total_weight_tiles <= csc.total_weight_tiles
+
+    def test_unknown_index_format(self, vgg_profile):
+        with pytest.raises(ValueError):
+            schedule_network(vgg_profile, PCNNConfig.uniform(4, 13), index_format="coo")
+
+    def test_tile_capacity_paper_arithmetic(self, vgg_profile):
+        """n=4 at 8-bit + 4-bit SPM: 36 bits/kernel -> 29127 kernels/tile."""
+        cfg = PCNNConfig.uniform(4, 13, num_patterns=16)
+        schedule = schedule_network(vgg_profile, cfg).by_name()
+        expected = (128 * 1024 * 8) // 36
+        big_layer = schedule["features.37"]  # 512x512 kernels = 262144
+        assert big_layer.kernels_per_tile == expected
+        assert big_layer.weight_tiles == int(np.ceil(262144 / expected))
+
+    def test_activation_rereads_scale_with_tiles(self, vgg_profile):
+        schedule = schedule_network(vgg_profile, PCNNConfig.uniform(4, 13))
+        for layer in schedule.layers:
+            assert layer.activation_read_bytes == pytest.approx(
+                layer.weight_tiles * layer.input_bytes
+            )
+
+    def test_dram_traffic_totals_positive(self, vgg_profile):
+        schedule = schedule_network(vgg_profile, PCNNConfig.uniform(1, 13))
+        assert schedule.total_dram_bytes > 0
+        assert schedule.total_dram_bytes == pytest.approx(
+            sum(l.dram_bytes for l in schedule.layers)
+        )
+
+    def test_small_sram_forces_more_tiles(self, vgg_profile):
+        big = schedule_network(
+            vgg_profile, PCNNConfig.uniform(4, 13), arch=ArchConfig(weight_sram_bytes=128 * 1024)
+        )
+        small = schedule_network(
+            vgg_profile, PCNNConfig.uniform(4, 13), arch=ArchConfig(weight_sram_bytes=16 * 1024)
+        )
+        assert small.total_weight_tiles > big.total_weight_tiles
+        assert small.total_dram_bytes > big.total_dram_bytes

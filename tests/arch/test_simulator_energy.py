@@ -1,0 +1,237 @@
+"""Tests for the layer/network simulators, energy model, EIE baseline, layout."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    PAPER_TECH,
+    ArchConfig,
+    ComponentBudget,
+    ConvLayerSimulator,
+    IrregularCycleModel,
+    TechnologyProfile,
+    area_bar_chart,
+    efficiency_sweep,
+    eie_index_sram_bytes,
+    floorplan_ascii,
+    simulate_network_analytic,
+    tops_per_watt,
+)
+from repro.core import PCNNConfig, PCNNPruner, project_topn
+from repro.models import patternnet, profile_model, resnet18_cifar, vgg16_cifar
+from repro.nn import Tensor
+from repro.nn.functional import conv2d
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return profile_model(vgg16_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+
+
+class TestFunctionalEquivalence:
+    """The simulator's datapath must compute real convolutions."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sparse_conv_matches_nn(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 3, 6, 6))
+        x[x < 0] = 0.0  # post-ReLU activations (gives activation sparsity)
+        weight = project_topn(rng.normal(size=(4, 3, 3, 3)), 4)
+        sim = ConvLayerSimulator(ArchConfig(num_pes=4, macs_per_pe=4))
+        result = sim.functional_forward(x, weight, stride=1, padding=1)
+        reference = conv2d(Tensor(x), Tensor(weight), padding=1).data
+        np.testing.assert_allclose(result.output, reference, rtol=1e-10, atol=1e-12)
+
+    def test_dense_conv_matches_nn(self):
+        rng = np.random.default_rng(3)
+        x = np.abs(rng.normal(size=(1, 2, 5, 5)))
+        weight = rng.normal(size=(2, 2, 3, 3))
+        sim = ConvLayerSimulator(ArchConfig(num_pes=2, macs_per_pe=4))
+        result = sim.functional_forward(x, weight, padding=1)
+        reference = conv2d(Tensor(x), Tensor(weight), padding=1).data
+        np.testing.assert_allclose(result.output, reference, rtol=1e-10)
+
+    def test_strided_conv(self):
+        rng = np.random.default_rng(4)
+        x = np.abs(rng.normal(size=(1, 2, 8, 8)))
+        weight = project_topn(rng.normal(size=(2, 2, 3, 3)), 2)
+        sim = ConvLayerSimulator(ArchConfig(num_pes=2, macs_per_pe=4))
+        result = sim.functional_forward(x, weight, stride=2, padding=1)
+        reference = conv2d(Tensor(x), Tensor(weight), stride=2, padding=1).data
+        np.testing.assert_allclose(result.output, reference, rtol=1e-10)
+
+    def test_pruned_model_layer_through_simulator(self):
+        """End-to-end: PCNN-pruned PatternNet layer == simulator output."""
+        model = patternnet(channels=(4,), num_classes=2, rng=np.random.default_rng(5))
+        PCNNPruner(model, PCNNConfig.uniform(2, 1)).apply()
+        conv = model.conv_layers()[0][1]
+        x = np.abs(np.random.default_rng(6).normal(size=(1, 3, 6, 6)))
+        sim = ConvLayerSimulator(ArchConfig(num_pes=4, macs_per_pe=4))
+        result = sim.functional_forward(x, conv.effective_weight(), padding=1)
+        reference = conv2d(Tensor(x), Tensor(conv.effective_weight()), padding=1).data
+        np.testing.assert_allclose(result.output, reference, rtol=1e-10)
+
+
+class TestCycleModel:
+    def test_cycle_count_agrees_with_functional(self):
+        rng = np.random.default_rng(7)
+        x = np.abs(rng.normal(size=(1, 2, 5, 5)))
+        x[rng.random(x.shape) < 0.3] = 0.0
+        weight = project_topn(rng.normal(size=(4, 2, 3, 3)), 3)
+        arch = ArchConfig(num_pes=4, macs_per_pe=4)
+        sim = ConvLayerSimulator(arch)
+        functional = sim.functional_forward(x, weight, padding=1)
+        counted = sim.cycle_count(x, (weight != 0).astype(float), padding=1)
+        assert counted.stats.cycles == functional.stats.cycles
+        assert counted.stats.effectual_macs == functional.stats.effectual_macs
+
+    def test_fewer_nonzeros_fewer_cycles(self):
+        rng = np.random.default_rng(8)
+        x = np.abs(rng.normal(size=(1, 4, 8, 8)))
+        arch = ArchConfig(num_pes=8, macs_per_pe=4)
+        sim = ConvLayerSimulator(arch)
+        cycles = []
+        for n in (9, 4, 2, 1):
+            weight = project_topn(rng.normal(size=(8, 4, 3, 3)), n)
+            cycles.append(sim.cycle_count(x, (weight != 0).astype(float), padding=1).cycles)
+        assert cycles[0] > cycles[1] > cycles[2] > cycles[3]
+
+    def test_activation_sparsity_reduces_cycles(self):
+        rng = np.random.default_rng(9)
+        weight = project_topn(rng.normal(size=(8, 4, 3, 3)), 4)
+        mask = (weight != 0).astype(float)
+        arch = ArchConfig(num_pes=8, macs_per_pe=4)
+        sim = ConvLayerSimulator(arch)
+        dense_x = np.abs(rng.normal(size=(1, 4, 8, 8))) + 0.1
+        sparse_x = dense_x.copy()
+        sparse_x[rng.random(sparse_x.shape) < 0.5] = 0.0
+        assert (
+            sim.cycle_count(sparse_x, mask, padding=1).cycles
+            < sim.cycle_count(dense_x, mask, padding=1).cycles
+        )
+
+
+class TestNetworkAnalytic:
+    @pytest.mark.parametrize("n,paper", [(4, 2.3), (3, 3.1), (2, 4.5), (1, 9.0)])
+    def test_vgg_speedups_section4e(self, vgg_profile, n, paper):
+        """Sec. IV-E: 2.3x / 3.1x / 4.5x / 9.0x for n=4..1."""
+        result = simulate_network_analytic(vgg_profile, PCNNConfig.uniform(n, 13))
+        assert result.speedup == pytest.approx(9.0 / n, rel=1e-9)
+        assert result.speedup == pytest.approx(paper, rel=0.05)
+
+    def test_resnet_speedup_diluted_by_1x1(self):
+        profile = profile_model(resnet18_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+        result = simulate_network_analytic(profile, PCNNConfig.uniform(1, 17))
+        assert 6.0 < result.speedup < 9.0
+
+    def test_activation_density_cancels_in_speedup(self, vgg_profile):
+        cfg = PCNNConfig.uniform(2, 13)
+        a = simulate_network_analytic(vgg_profile, cfg, activation_density=1.0)
+        b = simulate_network_analytic(vgg_profile, cfg, activation_density=0.5)
+        assert a.speedup == pytest.approx(b.speedup)
+        assert b.total_cycles == pytest.approx(a.total_cycles * 0.5)
+
+    def test_per_layer_cycles_recorded(self, vgg_profile):
+        result = simulate_network_analytic(vgg_profile, PCNNConfig.uniform(4, 13))
+        assert len(result.layer_cycles) == 13
+        assert all(c > 0 for c in result.layer_cycles.values())
+
+
+class TestEnergyModel:
+    def test_table9_totals(self):
+        """Table IX: 8.00 mm^2, 48.7 mW overall."""
+        assert PAPER_TECH.total_area_mm2 == pytest.approx(8.00)
+        assert PAPER_TECH.total_power_mw == pytest.approx(48.7)
+
+    @pytest.mark.parametrize(
+        "name,area_share,power_share",
+        [
+            ("Data SRAM", 0.406, 0.282),
+            ("Weight SRAM", 0.310, 0.321),
+            ("Pattern SRAM", 0.024, 0.019),
+            ("Register File", 0.198, 0.274),
+            ("PE group", 0.062, 0.100),
+        ],
+    )
+    def test_table9_shares(self, name, area_share, power_share):
+        # abs=0.006 absorbs the paper's own rounding (its Register File row
+        # prints 27.4% although 13.6/48.7 = 27.9%).
+        assert PAPER_TECH.area_share(name) == pytest.approx(area_share, abs=0.002)
+        assert PAPER_TECH.power_share(name) == pytest.approx(power_share, abs=0.006)
+
+    def test_dense_tops_per_watt(self):
+        """Sec. IV-E: 3.15 TOPS/W with no sparsity."""
+        assert tops_per_watt() == pytest.approx(3.15, abs=0.01)
+
+    def test_peak_tops_per_watt(self):
+        """Sec. IV-E: 28.39 TOPS/W at 88.9% sparsity (9x effectual)."""
+        assert tops_per_watt(effective_speedup=9.0) == pytest.approx(28.39, abs=0.05)
+
+    def test_efficiency_sweep(self):
+        sweep = efficiency_sweep()
+        assert sweep[9] < sweep[4] < sweep[3] < sweep[2] < sweep[1]
+        assert sweep[1] == pytest.approx(28.39, abs=0.05)
+
+    def test_power_scaling(self):
+        scaled = PAPER_TECH.scaled(frequency_hz=600e6, voltage_v=1.0)
+        assert scaled.total_power_mw == pytest.approx(2 * 48.7)
+        assert scaled.total_area_mm2 == pytest.approx(8.00)
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            PAPER_TECH.by_name("NPU")
+
+    def test_table_rows(self):
+        rows = PAPER_TECH.table_rows()
+        assert rows[0]["component"] == "Overall"
+        assert len(rows) == 6
+
+
+class TestEIEBaseline:
+    def test_index_sram_paper_quote(self):
+        """Paper: 64 KB index SRAM to denote 128 K weights."""
+        assert eie_index_sram_bytes(128 * 1024) == 64 * 1024
+
+    def test_irregular_pays_imbalance_penalty(self):
+        model = IrregularCycleModel(ArchConfig(num_pes=16, macs_per_pe=4))
+        result = model.compare(
+            num_filters=64, num_channels=16, num_windows=32, n_average=4,
+            rng=np.random.default_rng(0),
+        )
+        assert result.imbalance_penalty > 1.0
+        assert result.irregular_utilization < result.regular_utilization
+
+    def test_regular_workload_high_utilization(self):
+        model = IrregularCycleModel(ArchConfig(num_pes=16, macs_per_pe=4))
+        result = model.compare(
+            num_filters=64, num_channels=16, num_windows=8, n_average=4,
+            rng=np.random.default_rng(1),
+        )
+        assert result.regular_utilization == pytest.approx(1.0)
+
+    def test_activation_thinning(self):
+        model = IrregularCycleModel(ArchConfig(num_pes=8, macs_per_pe=4))
+        dense = model.compare(32, 8, 8, 4, rng=np.random.default_rng(2))
+        thin = model.compare(
+            32, 8, 8, 4, rng=np.random.default_rng(2), activation_density=0.5
+        )
+        assert thin.regular_cycles < dense.regular_cycles
+
+
+class TestLayout:
+    def test_bar_chart_contains_all_components(self):
+        chart = area_bar_chart()
+        for component in PAPER_TECH.components:
+            assert component.name in chart
+
+    def test_floorplan_renders(self):
+        plan = floorplan_ascii()
+        assert "Data SRAM" in plan
+        assert plan.startswith("+")
+        widths = {len(line) for line in plan.splitlines()}
+        assert len(widths) == 1  # rectangular drawing
+
+    def test_custom_profile(self):
+        tech = TechnologyProfile([ComponentBudget("A", 1.0, 1.0), ComponentBudget("B", 3.0, 1.0)])
+        chart = area_bar_chart(tech)
+        assert chart.index("B") < chart.index("A")  # sorted by area

@@ -1,0 +1,54 @@
+"""Tests for the DRAM traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import dram_traffic
+from repro.core import PCNNConfig
+from repro.models import profile_model, resnet18_cifar, vgg16_cifar
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return profile_model(vgg16_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+
+
+class TestDramTraffic:
+    def test_pcnn_beats_csc_beats_dense(self, vgg_profile):
+        report = dram_traffic(vgg_profile, PCNNConfig.uniform(4, 13))
+        assert report.pcnn_weight_bytes < report.csc_weight_bytes < report.dense_weight_bytes
+
+    def test_weight_saving_tracks_compression(self, vgg_profile):
+        """At 8-bit weights, n=4 / |P|=32: 72 / (32 + 5) = 1.95x."""
+        report = dram_traffic(vgg_profile, PCNNConfig.uniform(4, 13), weight_bits=8)
+        assert report.pcnn_weight_saving == pytest.approx(72 / 37, rel=0.01)
+
+    def test_csc_saving(self, vgg_profile):
+        """CSC at 8-bit: 72 / (4 x 12) = 1.5x (the EIE regime)."""
+        report = dram_traffic(vgg_profile, PCNNConfig.uniform(4, 13), weight_bits=8)
+        assert report.csc_weight_saving == pytest.approx(1.5, rel=0.01)
+
+    def test_dense_weight_bytes(self, vgg_profile):
+        report = dram_traffic(vgg_profile, PCNNConfig.uniform(4, 13), weight_bits=8)
+        assert report.dense_weight_bytes == pytest.approx(vgg_profile.conv_params, rel=1e-6)
+
+    def test_activation_traffic_pruning_invariant(self, vgg_profile):
+        a = dram_traffic(vgg_profile, PCNNConfig.uniform(4, 13))
+        b = dram_traffic(vgg_profile, PCNNConfig.uniform(1, 13))
+        assert a.activation_bytes == b.activation_bytes
+
+    def test_total_saving_below_weight_saving(self, vgg_profile):
+        """Activations bound the end-to-end saving (honesty check)."""
+        report = dram_traffic(vgg_profile, PCNNConfig.uniform(1, 13))
+        assert 1.0 < report.pcnn_total_saving < report.pcnn_weight_saving
+
+    def test_resnet_1x1_layers_carried_dense(self):
+        profile = profile_model(resnet18_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+        report = dram_traffic(profile, PCNNConfig.uniform(1, 17), weight_bits=8)
+        # 1x1 weights cap the saving below the pure 3x3 rate.
+        assert report.pcnn_weight_saving < 72 / (8 + 3)
+
+    def test_energy_ordering(self, vgg_profile):
+        report = dram_traffic(vgg_profile, PCNNConfig.uniform(2, 13))
+        assert report.energy_mj("pcnn") < report.energy_mj("csc") < report.energy_mj("dense")
+        assert report.energy_mj("pcnn") > 0

@@ -1,0 +1,54 @@
+"""Shared pytest fixtures and numerical-gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def numerical_grad(
+    fn: Callable[[], Tensor], param: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn().data.item() if hasattr(fn(), "data") else float(fn())
+        flat[i] = original - eps
+        down = fn().data.item() if hasattr(fn(), "data") else float(fn())
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of ``fn`` match central differences.
+
+    ``fn`` must rebuild the graph on every call (so perturbed parameter
+    values are observed) and return a scalar Tensor.
+    """
+    for param in params:
+        param.zero_grad()
+    out = fn()
+    out.backward()
+    for param in params:
+        expected = numerical_grad(fn, param)
+        assert param.grad is not None, "missing analytic gradient"
+        np.testing.assert_allclose(param.grad, expected, atol=atol, rtol=rtol)

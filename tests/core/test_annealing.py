@@ -1,0 +1,65 @@
+"""Tests for the simulated-annealing pattern selector."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    anneal_patterns,
+    distill_patterns,
+    enumerate_patterns,
+    exhaustive_optimal_patterns,
+    popcount,
+    projection_error,
+)
+
+
+def random_weight(seed=0, shape=(12, 4, 3, 3)):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestAnnealPatterns:
+    def test_returns_budget_patterns_uniform_sparsity(self):
+        weight = random_weight()
+        result = anneal_patterns(weight, n=4, num_patterns=6, rng=np.random.default_rng(0))
+        assert len(result.patterns) == 6
+        assert np.all(popcount(result.patterns) == 4)
+        assert len(np.unique(result.patterns)) == 6
+
+    def test_never_worse_than_greedy(self):
+        """Annealing is initialised from greedy and keeps the best state."""
+        for seed in range(3):
+            weight = random_weight(seed)
+            greedy = distill_patterns(weight, 4, 6, method="frequency")
+            annealed = anneal_patterns(
+                weight, 4, 6, rng=np.random.default_rng(seed), iterations=500
+            )
+            assert annealed.residual <= greedy.residual + 1e-9
+
+    def test_residual_consistent_with_projection(self):
+        weight = random_weight(1)
+        result = anneal_patterns(weight, 3, 4, rng=np.random.default_rng(1))
+        assert result.residual == pytest.approx(
+            projection_error(weight, result.patterns), rel=1e-9
+        )
+
+    def test_matches_exhaustive_on_tiny_instance(self):
+        weight = random_weight(2, shape=(5, 2, 3, 3))
+        candidates = enumerate_patterns(2)[:12]
+        annealed = anneal_patterns(
+            weight, 2, 3, candidates=candidates,
+            rng=np.random.default_rng(0), iterations=3000,
+        )
+        _, optimal = exhaustive_optimal_patterns(weight, 2, 3, candidates=candidates)
+        assert annealed.residual <= optimal * 1.05 + 1e-9
+
+    def test_budget_clipped(self):
+        weight = random_weight(3)
+        result = anneal_patterns(weight, 1, 50, rng=np.random.default_rng(0), iterations=50)
+        assert len(result.patterns) == 9  # C(9,1)
+
+    def test_deterministic_given_seed(self):
+        weight = random_weight(4)
+        a = anneal_patterns(weight, 4, 5, rng=np.random.default_rng(7), iterations=300)
+        b = anneal_patterns(weight, 4, 5, rng=np.random.default_rng(7), iterations=300)
+        np.testing.assert_array_equal(a.patterns, b.patterns)
+        assert a.residual == b.residual

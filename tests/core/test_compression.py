@@ -1,0 +1,175 @@
+"""Tests for compression accounting — regenerates Table I-IV columns."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CSC_INDEX_BITS,
+    PCNNConfig,
+    irregular_compression,
+    pcnn_compression,
+    spm_index_bits,
+)
+from repro.models import profile_model, resnet18_cifar, vgg16_cifar
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return profile_model(vgg16_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+
+
+@pytest.fixture(scope="module")
+def resnet_profile():
+    return profile_model(resnet18_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+
+
+class TestSpmIndexBits:
+    @pytest.mark.parametrize(
+        "patterns,bits", [(126, 7), (36, 6), (32, 5), (16, 4), (8, 3), (4, 2), (2, 1), (1, 1)]
+    )
+    def test_bit_widths(self, patterns, bits):
+        assert spm_index_bits(patterns) == bits
+
+
+class TestTable1VGG:
+    """Table I: VGG-16 on CIFAR-10."""
+
+    @pytest.mark.parametrize(
+        "n,paper_weight,paper_weight_idx,paper_pruned_pct",
+        [
+            (4, 2.3, 2.2, 56.5),
+            (3, 3.0, 2.9, 66.7),
+            (2, 4.5, 4.1, 77.8),
+            (1, 9.0, 8.4, 88.9),
+        ],
+    )
+    def test_uniform_rows(self, vgg_profile, n, paper_weight, paper_weight_idx, paper_pruned_pct):
+        report = pcnn_compression(vgg_profile, PCNNConfig.uniform(n, 13))
+        # Weight-only compression is exactly 9/n.
+        assert report.weight_compression == pytest.approx(9.0 / n, rel=1e-6)
+        assert report.weight_compression == pytest.approx(paper_weight, rel=0.05)
+        # weight+idx within 5% of the paper's printed value.
+        assert report.weight_idx_compression == pytest.approx(paper_weight_idx, rel=0.05)
+        # FLOPs pruned percentage within 1.5 points (paper rounding differs).
+        assert 100 * report.flops_pruned_fraction == pytest.approx(paper_pruned_pct, abs=1.5)
+
+    def test_baseline_totals(self, vgg_profile):
+        report = pcnn_compression(vgg_profile, PCNNConfig.uniform(4, 13))
+        assert report.dense_params == pytest.approx(1.47e7, rel=0.01)
+        assert report.dense_macs == pytest.approx(3.13e8, rel=0.01)
+
+    def test_various_setting_row(self, vgg_profile):
+        """Footnote config 2-1-...-1: paper reports 88.8% pruned, 9.0x/8.4x."""
+        cfg = PCNNConfig.from_string("2-1-1-1-1-1-1-1-1-1-1-1-1")
+        report = pcnn_compression(vgg_profile, cfg)
+        assert 100 * report.flops_pruned_fraction == pytest.approx(88.8, abs=0.2)
+        assert report.weight_compression == pytest.approx(9.0, abs=0.1)
+        assert report.weight_idx_compression == pytest.approx(8.4, rel=0.05)
+
+    def test_n4_params_column(self, vgg_profile):
+        report = pcnn_compression(vgg_profile, PCNNConfig.uniform(4, 13))
+        assert report.pruned_params == pytest.approx(0.65e7, rel=0.02)
+
+
+class TestTable2ResNet:
+    """Table II: ResNet-18 on CIFAR-10 (1x1 layers stay dense)."""
+
+    @pytest.mark.parametrize(
+        "n,paper_weight,paper_params",
+        [(4, 2.2, 0.51e7), (3, 3.0, 0.38e7), (2, 4.3, 0.26e7), (1, 7.9, 0.14e7)],
+    )
+    def test_uniform_rows(self, resnet_profile, n, paper_weight, paper_params):
+        report = pcnn_compression(resnet_profile, PCNNConfig.uniform(n, 17))
+        assert report.weight_compression == pytest.approx(paper_weight, rel=0.05)
+        assert report.pruned_params == pytest.approx(paper_params, rel=0.05)
+
+    def test_weight_compression_below_9_over_n(self, resnet_profile):
+        """Dense 1x1 projections cap ResNet compression below 9/n."""
+        report = pcnn_compression(resnet_profile, PCNNConfig.uniform(1, 17))
+        assert report.weight_compression < 9.0
+        assert report.weight_compression == pytest.approx(7.9, rel=0.03)
+
+    def test_unpruned_layers_counted_dense(self, resnet_profile):
+        report = pcnn_compression(resnet_profile, PCNNConfig.uniform(2, 17))
+        dense_layers = [l for l in report.layers if not l.pruned]
+        assert len(dense_layers) == 3  # three 1x1 projections
+        assert all(l.index_bits_per_kernel == 0 for l in dense_layers)
+
+    def test_flops_pruned_fraction(self, resnet_profile):
+        """Paper n=4 row: 54.5% FLOPs pruned (1x1s dilute the 55.6%)."""
+        report = pcnn_compression(resnet_profile, PCNNConfig.uniform(4, 17))
+        assert 100 * report.flops_pruned_fraction == pytest.approx(54.5, abs=1.5)
+
+
+class TestTable4PatternCountSweep:
+    """Table IV: compression (weight+idx) vs |P_n| for VGG-16."""
+
+    @pytest.mark.parametrize(
+        "n,budget,paper",
+        [
+            (4, 126, 2.14),
+            (4, 32, 2.18),
+            (4, 16, 2.20),
+            (4, 8, 2.21),
+            (4, 4, 2.23),
+            (2, 36, 4.08),
+            (2, 32, 4.13),
+            (2, 16, 4.19),
+            (2, 8, 4.26),
+            (2, 4, 4.32),
+        ],
+    )
+    def test_sweep(self, vgg_profile, n, budget, paper):
+        cfg = PCNNConfig.uniform(n, 13, num_patterns=budget)
+        report = pcnn_compression(vgg_profile, cfg)
+        assert report.weight_idx_compression == pytest.approx(paper, rel=0.02)
+
+    def test_fewer_patterns_higher_compression(self, vgg_profile):
+        rates = [
+            pcnn_compression(
+                vgg_profile, PCNNConfig.uniform(4, 13, num_patterns=v)
+            ).weight_idx_compression
+            for v in (126, 32, 16, 8, 4)
+        ]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+
+class TestIrregularComparison:
+    def test_paper_irregular_strawman(self, vgg_profile):
+        """Sec. IV-B: irregular VGG-16 n=4-equivalent gives only ~2.0x."""
+        report = irregular_compression(vgg_profile, 4)
+        assert report.weight_idx_compression == pytest.approx(2.0, rel=0.02)
+
+    def test_pcnn_beats_irregular_on_index_overhead(self, vgg_profile):
+        pcnn = pcnn_compression(vgg_profile, PCNNConfig.uniform(4, 13))
+        irregular = irregular_compression(vgg_profile, 4)
+        assert pcnn.weight_idx_compression > irregular.weight_idx_compression
+        # Same weight-only compression, different index cost.
+        assert pcnn.weight_compression == pytest.approx(irregular.weight_compression)
+
+    def test_csc_index_bits_constant(self):
+        assert CSC_INDEX_BITS == 4
+
+
+class TestReportMechanics:
+    def test_summary_row_keys(self, vgg_profile):
+        row = pcnn_compression(vgg_profile, PCNNConfig.uniform(2, 13)).summary_row()
+        assert set(row) == {
+            "benchmark",
+            "conv_flops",
+            "flops_pruned_pct",
+            "conv_params",
+            "compression_weight",
+            "compression_weight_idx",
+        }
+
+    def test_config_length_mismatch(self, vgg_profile):
+        with pytest.raises(ValueError):
+            pcnn_compression(vgg_profile, PCNNConfig.uniform(2, 5))
+
+    def test_weight_bits_scaling(self, vgg_profile):
+        """Lower weight precision makes index overhead relatively larger."""
+        cfg = PCNNConfig.uniform(4, 13)
+        at32 = pcnn_compression(vgg_profile, cfg, weight_bits=32)
+        at8 = pcnn_compression(vgg_profile, cfg, weight_bits=8)
+        assert at8.weight_idx_compression < at32.weight_idx_compression

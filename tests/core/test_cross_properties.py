@@ -1,0 +1,108 @@
+"""Cross-cutting property-based tests over the PCNN core.
+
+These encode the paper's structural identities as hypothesis properties,
+independent of any specific table: compression arithmetic, pruner
+invariants, and bundle round-trips over randomly drawn configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DeploymentBundle,
+    PCNNConfig,
+    PCNNPruner,
+    bundle_from_pruner,
+    kernel_nonzeros,
+    pcnn_compression,
+    spm_index_bits,
+)
+from repro.models import patternnet, profile_model
+
+
+@st.composite
+def small_model_config(draw):
+    """A random PatternNet shape + a matching PCNN config."""
+    num_layers = draw(st.integers(min_value=1, max_value=3))
+    channels = tuple(
+        draw(st.sampled_from([4, 8, 12])) for _ in range(num_layers)
+    )
+    n = draw(st.integers(min_value=1, max_value=8))
+    budget = draw(st.sampled_from([2, 4, 8, 32]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return channels, n, budget, seed
+
+
+class TestCompressionIdentities:
+    @given(st.integers(min_value=1, max_value=9))
+    def test_all_3x3_weight_compression_is_9_over_n(self, n):
+        model = patternnet(channels=(8, 8), num_classes=4, rng=np.random.default_rng(0))
+        profile = profile_model(model, (3, 8, 8))
+        report = pcnn_compression(profile, PCNNConfig.uniform(n, 2))
+        assert report.weight_compression == pytest.approx(9.0 / n)
+        assert report.flops_pruned_fraction == pytest.approx(1.0 - n / 9.0)
+
+    @given(st.integers(min_value=1, max_value=9), st.sampled_from([2, 4, 8, 16, 32]))
+    def test_weight_idx_below_weight_only(self, n, budget):
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(0))
+        profile = profile_model(model, (3, 8, 8))
+        report = pcnn_compression(profile, PCNNConfig.uniform(n, 1, num_patterns=budget))
+        assert report.weight_idx_compression < report.weight_compression
+        # Closed form for an all-3x3 model at 32-bit weights.
+        bits = spm_index_bits(min(budget, report.layers[0].kernel_area and budget))
+        expected = 9 * 32 / (n * 32 + report.layers[0].index_bits_per_kernel)
+        assert report.weight_idx_compression == pytest.approx(expected)
+
+    @given(st.integers(min_value=2, max_value=9))
+    def test_compression_monotone_in_n(self, n):
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(0))
+        profile = profile_model(model, (3, 8, 8))
+        harder = pcnn_compression(profile, PCNNConfig.uniform(n - 1, 1))
+        softer = pcnn_compression(profile, PCNNConfig.uniform(n, 1))
+        assert harder.weight_compression > softer.weight_compression
+
+
+class TestPrunerProperties:
+    @given(small_model_config())
+    @settings(max_examples=15, deadline=None)
+    def test_pruner_always_regular(self, params):
+        channels, n, budget, seed = params
+        model = patternnet(channels=channels, num_classes=4, rng=np.random.default_rng(seed))
+        config = PCNNConfig.uniform(n, len(channels), num_patterns=budget)
+        pruner = PCNNPruner(model, config)
+        pruner.apply()
+        pruner.verify_regularity()
+        for _, module in pruner.layers:
+            counts = kernel_nonzeros(module.weight_mask)
+            assert np.all(counts == min(n, 9))
+
+    @given(small_model_config())
+    @settings(max_examples=10, deadline=None)
+    def test_projection_never_increases_energy(self, params):
+        channels, n, budget, seed = params
+        model = patternnet(channels=channels, num_classes=4, rng=np.random.default_rng(seed))
+        before = [float((m.weight.data**2).sum()) for _, m in model.conv_layers()]
+        config = PCNNConfig.uniform(n, len(channels), num_patterns=budget)
+        PCNNPruner(model, config).apply()
+        after = [float((m.weight.data**2).sum()) for _, m in model.conv_layers()]
+        for b, a in zip(before, after):
+            assert a <= b + 1e-9
+
+    @given(params=small_model_config())
+    @settings(max_examples=10, deadline=None)
+    def test_bundle_roundtrip_property(self, tmp_path_factory, params):
+        channels, n, budget, seed = params
+        model = patternnet(channels=channels, num_classes=4, rng=np.random.default_rng(seed))
+        config = PCNNConfig.uniform(n, len(channels), num_patterns=budget)
+        pruner = PCNNPruner(model, config)
+        pruner.apply()
+        bundle = bundle_from_pruner(pruner)
+        path = str(tmp_path_factory.mktemp("bundles") / f"b{seed}.npz")
+        bundle.save(path)
+        loaded = DeploymentBundle.load(path)
+        for name, module in pruner.layers:
+            np.testing.assert_allclose(
+                loaded.layers[name].dense_weight(), module.effective_weight()
+            )

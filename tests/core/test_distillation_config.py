@@ -1,0 +1,165 @@
+"""Tests for Algorithm 1 (pattern distillation) and PCNNConfig parsing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_PATTERN_BUDGET,
+    LayerConfig,
+    PCNNConfig,
+    distill_layer,
+    distill_patterns,
+    enumerate_patterns,
+    exhaustive_optimal_patterns,
+    pattern_frequencies,
+    popcount,
+    projection_error,
+)
+
+
+def biased_weight(rng, favored_patterns, n, kernels=200):
+    """Weights whose kernels concentrate on a few patterns (Fig. 2 shape)."""
+    from repro.core import patterns_to_bit_matrix
+
+    bits = patterns_to_bit_matrix(np.asarray(favored_patterns))
+    choices = rng.integers(0, len(favored_patterns), size=kernels)
+    base = rng.normal(size=(kernels, 9)) * 0.05
+    signal = bits[choices] * rng.normal(2.0, 0.2, size=(kernels, 9))
+    return (base + signal).reshape(kernels, 1, 3, 3)
+
+
+class TestPatternFrequencies:
+    def test_histogram_sums_to_kernels(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        candidates = enumerate_patterns(4)
+        freq = pattern_frequencies(weight, candidates)
+        assert freq.sum() == 32
+        assert len(freq) == 126
+
+    def test_dominant_patterns_detected(self):
+        rng = np.random.default_rng(1)
+        favored = enumerate_patterns(4)[[3, 70]]
+        weight = biased_weight(rng, favored, 4)
+        freq = pattern_frequencies(weight, enumerate_patterns(4))
+        top2 = np.argsort(-freq)[:2]
+        assert set(enumerate_patterns(4)[top2]) == set(favored)
+
+
+class TestAlgorithm1:
+    def test_selects_budget_patterns(self):
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(16, 8, 3, 3))
+        result = distill_layer(weight, n=4, num_patterns=8)
+        assert len(result.patterns) == 8
+        assert np.all(popcount(result.patterns) == 4)
+        assert result.candidate_count == 126
+
+    def test_budget_clipped_to_candidates(self):
+        rng = np.random.default_rng(3)
+        weight = rng.normal(size=(4, 4, 3, 3))
+        result = distill_layer(weight, n=1, num_patterns=50)
+        assert len(result.patterns) == 9  # C(9,1)
+
+    def test_frequencies_sorted_descending(self):
+        rng = np.random.default_rng(4)
+        weight = rng.normal(size=(32, 8, 3, 3))
+        result = distill_layer(weight, n=2, num_patterns=8)
+        assert np.all(np.diff(result.frequencies.astype(int)) <= 0)
+
+    def test_recovers_planted_patterns(self):
+        """Kernels drawn from 4 planted patterns -> Algorithm 1 finds them."""
+        rng = np.random.default_rng(5)
+        favored = enumerate_patterns(3)[[0, 17, 40, 77]]
+        weight = biased_weight(rng, favored, 3, kernels=400)
+        result = distill_layer(weight, n=3, num_patterns=4)
+        assert set(result.patterns.tolist()) == set(favored.tolist())
+        assert result.residual < projection_error(weight, favored[:2])
+
+    def test_more_patterns_never_hurt(self):
+        rng = np.random.default_rng(6)
+        weight = rng.normal(size=(16, 4, 3, 3))
+        residuals = [
+            distill_layer(weight, n=4, num_patterns=v).residual for v in (4, 8, 16, 32, 126)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(residuals, residuals[1:]))
+        assert residuals[-1] == pytest.approx(
+            projection_error(weight, enumerate_patterns(4)), abs=1e-9
+        )
+
+    def test_greedy_near_optimal_small_instance(self):
+        """Greedy (Algorithm 1) vs exhaustive MKP-1 on a tiny instance."""
+        rng = np.random.default_rng(7)
+        candidates = enumerate_patterns(2)[:10]
+        weight = rng.normal(size=(6, 2, 3, 3))
+        greedy = distill_patterns(weight, 2, 3, method="frequency", candidates=candidates)
+        _, optimal_residual = exhaustive_optimal_patterns(weight, 2, 3, candidates=candidates)
+        assert greedy.residual >= optimal_residual - 1e-12
+        # The greedy solution should be within 50% extra residual here.
+        assert greedy.residual <= optimal_residual * 1.5 + 1e-9
+
+    def test_frequency_beats_random_on_structured_weights(self):
+        """On pattern-structured weights (the realistic case, Fig. 2),
+        Algorithm 1 clearly beats random selection on average."""
+        rng = np.random.default_rng(8)
+        favored = enumerate_patterns(4)[[5, 30, 60, 90]]
+        weight = biased_weight(rng, favored, 4, kernels=300)
+        greedy = distill_patterns(weight, 4, 4, method="frequency")
+        random_residuals = [
+            distill_patterns(
+                weight, 4, 4, method="random", rng=np.random.default_rng(s)
+            ).residual
+            for s in range(5)
+        ]
+        assert greedy.residual < np.mean(random_residuals)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            distill_patterns(np.zeros((1, 1, 3, 3)), 2, 2, method="bogus")
+
+
+class TestPCNNConfig:
+    def test_uniform(self):
+        cfg = PCNNConfig.uniform(4, 13)
+        assert len(cfg) == 13
+        assert cfg.ns == [4] * 13
+        assert all(layer.num_patterns == 32 for layer in cfg)
+
+    def test_uniform_n1_budget(self):
+        """Sec. IV-B: at most 8 patterns for n=1."""
+        cfg = PCNNConfig.uniform(1, 5)
+        assert all(layer.num_patterns == 8 for layer in cfg)
+
+    def test_uniform_budget_clip(self):
+        cfg = PCNNConfig.uniform(1, 3, num_patterns=100)
+        assert all(layer.num_patterns == 9 for layer in cfg)
+
+    def test_from_string_table1_footnote(self):
+        cfg = PCNNConfig.from_string("2-1-1-1-1-1-1-1-1-1-1-1-1")
+        assert len(cfg) == 13
+        assert cfg[0] == LayerConfig(2, 32)
+        assert cfg[1] == LayerConfig(1, 8)
+
+    def test_from_string_custom_budgets(self):
+        cfg = PCNNConfig.from_string("3-3", num_patterns={3: 16})
+        assert all(layer.num_patterns == 16 for layer in cfg)
+
+    def test_validate(self):
+        cfg = PCNNConfig.uniform(2, 5)
+        cfg.validate_for(5)
+        with pytest.raises(ValueError):
+            cfg.validate_for(13)
+
+    def test_describe(self):
+        assert PCNNConfig.from_string("2-1").describe() == "n=2-1 |P|=32-8"
+
+    def test_invalid_layer_config(self):
+        with pytest.raises(ValueError):
+            LayerConfig(0, 8)
+        with pytest.raises(ValueError):
+            LayerConfig(2, 0)
+
+    def test_default_budgets_match_paper(self):
+        assert DEFAULT_PATTERN_BUDGET[1] == 8
+        assert DEFAULT_PATTERN_BUDGET[2] == 32
+        assert DEFAULT_PATTERN_BUDGET[4] == 32

@@ -1,0 +1,155 @@
+"""Tests for pattern geometry (D4 symmetry) and progressive pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PCNNConfig,
+    ProgressivePruner,
+    canonical_pattern,
+    center_hit,
+    centrality,
+    dihedral_orbit,
+    enumerate_patterns,
+    evaluate,
+    fit,
+    flip_pattern,
+    kernel_nonzeros,
+    orbit_decomposition,
+    popcount,
+    rotate_pattern,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet
+
+pattern_strategy = st.integers(min_value=0, max_value=511)
+
+
+class TestRotationsAndFlips:
+    def test_rotation_example(self):
+        # Top row (positions 0,1,2) rotates CW onto the right column.
+        top_row = 0b000000111
+        right_col = rotate_pattern(top_row, 1)
+        assert right_col == 0b100100100  # positions 2, 5, 8
+
+    def test_flip_example(self):
+        left_col = 0b001001001  # positions 0, 3, 6
+        assert flip_pattern(left_col, "horizontal") == 0b100100100
+
+    def test_flip_vertical(self):
+        top_row = 0b000000111
+        assert flip_pattern(top_row, "vertical") == 0b111000000
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            flip_pattern(1, "diagonal")
+
+    @given(pattern_strategy)
+    def test_property_four_rotations_identity(self, pattern):
+        assert rotate_pattern(pattern, 4) == pattern
+
+    @given(pattern_strategy)
+    def test_property_double_flip_identity(self, pattern):
+        assert flip_pattern(flip_pattern(pattern)) == pattern
+
+    @given(pattern_strategy, st.integers(min_value=0, max_value=3))
+    def test_property_rotation_preserves_popcount(self, pattern, turns):
+        rotated = rotate_pattern(pattern, turns)
+        assert popcount(np.array([rotated]))[0] == popcount(np.array([pattern]))[0]
+
+    def test_center_fixed_under_d4(self):
+        centre_only = 0b000010000
+        assert dihedral_orbit(centre_only) == {centre_only}
+
+
+class TestOrbits:
+    @given(pattern_strategy)
+    @settings(max_examples=50)
+    def test_property_orbit_size_divides_8(self, pattern):
+        size = len(dihedral_orbit(pattern))
+        assert size in (1, 2, 4, 8)
+
+    @given(pattern_strategy)
+    @settings(max_examples=50)
+    def test_property_canonical_is_orbit_invariant(self, pattern):
+        label = canonical_pattern(pattern)
+        for member in dihedral_orbit(pattern):
+            assert canonical_pattern(member) == label
+
+    def test_orbit_decomposition_partitions(self):
+        patterns = enumerate_patterns(2)
+        groups = orbit_decomposition(patterns)
+        members = sorted(p for group in groups.values() for p in group)
+        assert members == sorted(patterns.tolist())
+
+    def test_orbit_count_n1(self):
+        """n=1 patterns fall into 3 orbits: centre, edge-mid, corner."""
+        groups = orbit_decomposition(enumerate_patterns(1))
+        assert len(groups) == 3
+
+
+class TestCentrality:
+    def test_center_pattern_zero(self):
+        assert centrality(0b000010000) == 0.0
+
+    def test_corner_pattern_one(self):
+        assert centrality(0b000000001) == 1.0
+
+    def test_cross_pattern(self):
+        # Centre + 4 edge-mids: mean distance = 4/5.
+        cross = 0b010111010
+        assert centrality(cross) == pytest.approx(4 / 5)
+
+    def test_center_hit(self):
+        assert center_hit(0b000010000)
+        assert not center_hit(0b000000001)
+
+    def test_empty_pattern(self):
+        assert centrality(0) == 0.0
+
+
+class TestProgressivePruner:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        x_train, y_train, x_test, y_test = make_synthetic_images(
+            n_train=192, n_test=96, num_classes=4, image_size=8, seed=0
+        )
+        loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=0)
+        return loader, (x_test, y_test)
+
+    def test_requires_decreasing_schedule(self):
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ProgressivePruner(model, schedule=(2, 4))
+
+    def test_stages_recorded_and_final_sparsity(self, setup):
+        loader, eval_data = setup
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(1))
+        fit(model, loader, epochs=2, lr=0.01)
+        pruner = ProgressivePruner(model, schedule=(4, 2))
+        stages = pruner.run(loader, eval_data, epochs_per_stage=1)
+        assert [s.n for s in stages] == [4, 2]
+        # Final masks have exactly 2 non-zeros per kernel.
+        for _, module in model.named_modules():
+            if hasattr(module, "weight_mask") and module.weight_mask is not None:
+                assert np.all(kernel_nonzeros(module.weight_mask) == 2)
+
+    def test_retraining_never_below_prune_accuracy(self, setup):
+        loader, eval_data = setup
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(2))
+        fit(model, loader, epochs=2, lr=0.01)
+        pruner = ProgressivePruner(model, schedule=(4, 2, 1))
+        stages = pruner.run(loader, eval_data, epochs_per_stage=2)
+        for stage in stages:
+            assert stage.accuracy_after_retrain >= stage.accuracy_after_prune - 0.15
+
+    def test_final_accuracy_property(self, setup):
+        loader, eval_data = setup
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(3))
+        pruner = ProgressivePruner(model, schedule=(2,))
+        with pytest.raises(RuntimeError):
+            _ = pruner.final_accuracy
+        pruner.run(loader, eval_data, epochs_per_stage=1)
+        assert pruner.final_accuracy == pruner.stages[-1].accuracy_after_retrain

@@ -1,0 +1,208 @@
+"""Tests for orthogonal (kernel/channel) pruning fusion and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PCNNConfig,
+    PCNNPruner,
+    apply_channel_pruning,
+    apply_kernel_pruning,
+    channel_keep_for_rate,
+    channel_pruning_mask,
+    combine_masks,
+    filter_prune_l1,
+    fused_channel_report,
+    fused_kernel_report,
+    kernel_pruning_mask,
+    magnitude_prune_irregular,
+    model_conv_density,
+    network_slimming,
+    pcnn_compression,
+    snip_prune,
+)
+from repro.data import make_synthetic_images
+from repro.models import patternnet, profile_model, vgg16_cifar
+
+
+def fresh_model(seed=0):
+    return patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return profile_model(vgg16_cifar(rng=np.random.default_rng(0)), (3, 32, 32))
+
+
+class TestKernelPruningMask:
+    def test_keeps_requested_fraction(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        mask = kernel_pruning_mask(weight, 0.5)
+        kept_kernels = mask.reshape(-1, 9).max(axis=1).sum()
+        assert kept_kernels == 16  # half of 32
+
+    def test_keeps_largest_norm_kernels(self):
+        weight = np.zeros((2, 1, 3, 3))
+        weight[0] = 10.0
+        weight[1] = 0.1
+        mask = kernel_pruning_mask(weight, 0.5)
+        assert mask[0].sum() == 9 and mask[1].sum() == 0
+
+    def test_whole_kernels_only(self):
+        rng = np.random.default_rng(1)
+        mask = kernel_pruning_mask(rng.normal(size=(4, 4, 3, 3)), 0.3)
+        per_kernel = mask.reshape(-1, 9).sum(axis=1)
+        assert set(per_kernel.tolist()).issubset({0.0, 9.0})
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            kernel_pruning_mask(np.zeros((1, 1, 3, 3)), 0.0)
+
+
+class TestChannelPruningMask:
+    def test_whole_channels_only(self):
+        rng = np.random.default_rng(2)
+        mask = channel_pruning_mask(rng.normal(size=(8, 4, 3, 3)), 0.5)
+        per_channel = mask.reshape(8, -1).sum(axis=1)
+        assert set(per_channel.tolist()).issubset({0.0, 36.0})
+        assert (per_channel > 0).sum() == 4
+
+    def test_keeps_largest_l1(self):
+        weight = np.zeros((3, 1, 3, 3))
+        weight[1] = 5.0
+        mask = channel_pruning_mask(weight, 1 / 3)
+        assert mask[1].sum() == 9 and mask[0].sum() == 0 and mask[2].sum() == 0
+
+
+class TestMaskComposition:
+    def test_combine_masks(self):
+        a = np.array([1.0, 1.0, 0.0])
+        b = np.array([1.0, 0.0, 0.0])
+        np.testing.assert_array_equal(combine_masks(a, b), [1.0, 0.0, 0.0])
+        np.testing.assert_array_equal(combine_masks(None, a), a)
+        assert combine_masks(None, None) is None
+
+    def test_pcnn_then_kernel_pruning_composes(self):
+        """Sec. IV-D orthogonality: fused mask = pattern mask AND kernel mask."""
+        model = fresh_model(seed=3)
+        pruner = PCNNPruner(model, PCNNConfig.uniform(4, 2))
+        pruner.apply()
+        masks = apply_kernel_pruning(model, keep_fraction=0.5)
+        for name, module in pruner.layers:
+            per_kernel = masks[name].reshape(-1, 9).sum(axis=1)
+            # Kernels are either fully removed or hold exactly n=4 weights.
+            assert set(per_kernel.tolist()).issubset({0.0, 4.0})
+
+    def test_pcnn_then_channel_pruning_composes(self):
+        model = fresh_model(seed=4)
+        pruner = PCNNPruner(model, PCNNConfig.uniform(3, 2))
+        pruner.apply()
+        masks = apply_channel_pruning(model, keep_fraction=0.5)
+        for name, module in pruner.layers:
+            per_channel = masks[name].reshape(masks[name].shape[0], -1).sum(axis=1)
+            surviving = per_channel[per_channel > 0]
+            # Surviving channels hold n=3 weights per kernel.
+            assert np.all(surviving == 3 * module.in_channels)
+
+
+class TestFusedAccounting:
+    def test_table7_kernel_fusion(self, vgg_profile):
+        """Table VII: PCNN n=5 (1.8x) + 2.4x kernel pruning -> ~4.4x."""
+        cfg = PCNNConfig.uniform(5, 13)
+        base = pcnn_compression(vgg_profile, cfg)
+        assert base.weight_compression == pytest.approx(1.8, abs=0.02)
+        fused_a = fused_kernel_report(vgg_profile, cfg, kernel_keep_fraction=1 / 2.4)
+        assert fused_a.weight_compression == pytest.approx(1.8 * 2.4, rel=0.02)
+        assert fused_a.weight_compression == pytest.approx(4.4, rel=0.05)
+
+    def test_table7_kernel_fusion_b(self, vgg_profile):
+        """Table VII row B: 4.1x kernel pruning -> ~7.3x fused."""
+        cfg = PCNNConfig.uniform(5, 13)
+        fused_b = fused_kernel_report(vgg_profile, cfg, kernel_keep_fraction=1 / 4.1)
+        assert fused_b.weight_compression == pytest.approx(7.3, rel=0.05)
+
+    def test_table8_channel_fusion(self, vgg_profile):
+        """Table VIII: 3.75x PCNN x 9x channel pruning -> 34.4x fused.
+
+        3.75x PCNN corresponds to n=2.4 average; we use the paper's stated
+        product structure with n=2/3 mix approximated by keep fractions.
+        """
+        # PCNN delivering 3.75x on 3x3-only VGG means n = 9/3.75 = 2.4;
+        # model it as the compression-equivalent fractional keep.
+        keep = channel_keep_for_rate(9.0)
+        cfg = PCNNConfig.uniform(2, 13)  # n=2 -> 4.5x PCNN
+        fused = fused_channel_report(vgg_profile, cfg, channel_keep_fraction=keep)
+        # Product structure: first layer keeps its input side, so slightly
+        # under 4.5 * 9; must be far above either factor alone.
+        assert fused.weight_compression > 30.0
+        assert fused.weight_compression == pytest.approx(4.5 * 9.0, rel=0.15)
+
+    def test_channel_keep_for_rate(self):
+        assert channel_keep_for_rate(9.0) == pytest.approx(1 / 3)
+        assert channel_keep_for_rate(1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            channel_keep_for_rate(0.5)
+
+    def test_fused_flops_track_kernel_keep(self, vgg_profile):
+        cfg = PCNNConfig.uniform(4, 13)
+        fused = fused_kernel_report(vgg_profile, cfg, kernel_keep_fraction=0.5)
+        base = pcnn_compression(vgg_profile, cfg)
+        assert fused.pruned_macs == pytest.approx(base.pruned_macs * 0.5, rel=0.01)
+
+
+class TestBaselines:
+    def test_magnitude_prune_global_density(self):
+        model = fresh_model(seed=5)
+        magnitude_prune_irregular(model, density=0.25)
+        assert model_conv_density(model) == pytest.approx(0.25, abs=0.02)
+
+    def test_magnitude_prune_layer_scope(self):
+        model = fresh_model(seed=6)
+        masks = magnitude_prune_irregular(model, density=0.5, scope="layer")
+        for mask in masks.values():
+            assert np.count_nonzero(mask) / mask.size == pytest.approx(0.5, abs=0.05)
+
+    def test_magnitude_prune_irregular_kernels_unequal(self):
+        """Irregular pruning yields unequal per-kernel counts — the workload
+        imbalance PCNN eliminates."""
+        model = fresh_model(seed=7)
+        masks = magnitude_prune_irregular(model, density=0.3)
+        counts = np.concatenate(
+            [np.count_nonzero(m.reshape(-1, 9), axis=1) for m in masks.values()]
+        )
+        assert len(np.unique(counts)) > 1
+
+    def test_magnitude_invalid_args(self):
+        model = fresh_model(seed=8)
+        with pytest.raises(ValueError):
+            magnitude_prune_irregular(model, density=0.0)
+        with pytest.raises(ValueError):
+            magnitude_prune_irregular(model, density=0.5, scope="bogus")
+
+    def test_filter_prune(self):
+        model = fresh_model(seed=9)
+        masks = filter_prune_l1(model, keep_fraction=0.5)
+        for mask in masks.values():
+            per_filter = mask.reshape(mask.shape[0], -1).max(axis=1)
+            assert per_filter.sum() == mask.shape[0] // 2
+
+    def test_network_slimming_uses_gamma(self):
+        model = fresh_model(seed=10)
+        # Make one BN scale dominant per layer so selection is predictable.
+        bn_layers = [m for m in model.modules() if hasattr(m, "gamma")]
+        for bn in bn_layers:
+            bn.gamma.data[...] = 0.01
+            bn.gamma.data[0] = 1.0
+        masks = network_slimming(model, keep_fraction=0.1)
+        for mask in masks.values():
+            assert mask[0].sum() > 0  # dominant channel kept
+
+    def test_snip_density(self):
+        x, y, _, _ = make_synthetic_images(n_train=32, n_test=8, num_classes=4, image_size=8)
+        model = fresh_model(seed=11)
+        snip_prune(model, x, y, density=0.3)
+        assert model_conv_density(model) == pytest.approx(0.3, abs=0.05)
+
+    def test_density_of_unmasked_model(self):
+        assert model_conv_density(fresh_model(seed=12)) == 1.0

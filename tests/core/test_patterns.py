@@ -1,0 +1,150 @@
+"""Tests for pattern bitmask math, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    best_pattern_indices,
+    enumerate_patterns,
+    format_pattern,
+    full_pattern_count,
+    kernel_to_pattern,
+    mask_to_pattern,
+    pattern_count,
+    pattern_energy,
+    pattern_positions,
+    pattern_to_mask,
+    patterns_to_bit_matrix,
+    popcount,
+    positions_to_pattern,
+)
+
+
+class TestCounts:
+    def test_full_pattern_count_paper(self):
+        """Sec. II-A: sum over i of C(9, i) = 512 total patterns."""
+        assert full_pattern_count(3) == 512
+        assert sum(pattern_count(i, 3) for i in range(10)) == 512
+
+    def test_max_pattern_count_paper(self):
+        """Sec. II-A: max_i C(9, i) = 126 (reached at n=4 and n=5)."""
+        assert max(pattern_count(i, 3) for i in range(10)) == 126
+        assert pattern_count(4, 3) == 126
+        assert pattern_count(5, 3) == 126
+
+    def test_n2_count_table4(self):
+        """Table IV: the full set for n=2 has C(9,2) = 36 patterns."""
+        assert pattern_count(2, 3) == 36
+
+    def test_n1_count(self):
+        assert pattern_count(1, 3) == 9
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", range(0, 10))
+    def test_enumeration_size(self, n):
+        patterns = enumerate_patterns(n)
+        assert len(patterns) == pattern_count(n, 3)
+        assert len(np.unique(patterns)) == len(patterns)
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_enumeration_popcounts(self, n):
+        assert np.all(popcount(enumerate_patterns(n)) == n)
+
+    def test_enumeration_sorted(self):
+        patterns = enumerate_patterns(3)
+        assert np.all(np.diff(patterns) > 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            enumerate_patterns(10)
+        with pytest.raises(ValueError):
+            enumerate_patterns(-1)
+
+    def test_5x5_kernels_supported(self):
+        assert len(enumerate_patterns(1, kernel_size=5)) == 25
+
+
+class TestConversions:
+    def test_mask_roundtrip(self):
+        for pattern in enumerate_patterns(3):
+            assert mask_to_pattern(pattern_to_mask(int(pattern))) == pattern
+
+    def test_positions_roundtrip(self):
+        pattern = 0b101000101
+        assert positions_to_pattern(pattern_positions(pattern)) == pattern
+
+    def test_pattern_to_mask_layout(self):
+        # Bit 0 is (row 0, col 0); bit 8 is (row 2, col 2) — row-major.
+        mask = pattern_to_mask(0b100000001)
+        assert mask[0, 0] == 1 and mask[2, 2] == 1
+        assert mask.sum() == 2
+
+    def test_bit_matrix_matches_masks(self):
+        patterns = enumerate_patterns(2)
+        bits = patterns_to_bit_matrix(patterns)
+        for row, pattern in zip(bits, patterns):
+            np.testing.assert_array_equal(row.reshape(3, 3), pattern_to_mask(int(pattern)))
+
+    def test_format_pattern(self):
+        art = format_pattern(0b000000111)
+        assert art.splitlines() == ["X X X", ". . .", ". . ."]
+
+
+class TestEnergyAndMatching:
+    def test_energy_formula(self):
+        kernel = np.arange(9, dtype=float).reshape(1, 9)
+        pattern = np.array([0b110000000])  # positions 7, 8
+        energy = pattern_energy(kernel, pattern)
+        assert energy[0, 0] == pytest.approx(49.0 + 64.0)
+
+    def test_best_pattern_is_topn(self):
+        """With the full candidate set F_n, the nearest pattern is the one
+        covering the top-n magnitudes."""
+        rng = np.random.default_rng(0)
+        kernels = rng.normal(size=(50, 9))
+        candidates = enumerate_patterns(3)
+        best = best_pattern_indices(kernels, candidates)
+        for kernel, index in zip(kernels, best):
+            expected = kernel_to_pattern(kernel.reshape(3, 3), 3)
+            assert int(candidates[index]) == expected
+
+    def test_kernel_to_pattern_edges(self):
+        kernel = np.ones((3, 3))
+        assert kernel_to_pattern(kernel, 0) == 0
+        assert kernel_to_pattern(kernel, 9) == 511
+        assert kernel_to_pattern(kernel, 12) == 511
+
+    def test_kernel_to_pattern_deterministic_ties(self):
+        kernel = np.ones((3, 3))
+        assert kernel_to_pattern(kernel, 2) == 0b000000011  # lowest positions win
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=511))
+    def test_popcount_matches_python(self, pattern):
+        assert popcount(np.array([pattern]))[0] == bin(pattern).count("1")
+
+    @given(st.integers(min_value=0, max_value=511))
+    def test_mask_pattern_roundtrip(self, pattern):
+        assert mask_to_pattern(pattern_to_mask(pattern)) == pattern
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=9, unique=True)
+    )
+    def test_positions_pattern_roundtrip(self, positions):
+        pattern = positions_to_pattern(positions)
+        assert pattern_positions(pattern) == sorted(positions)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_projection_energy_bound(self, n, seed):
+        """Retained energy of the best pattern >= energy of any single one."""
+        rng = np.random.default_rng(seed)
+        kernel = rng.normal(size=(1, 9))
+        candidates = enumerate_patterns(n)
+        energies = pattern_energy(kernel, candidates)
+        best = best_pattern_indices(kernel, candidates)[0]
+        assert energies[0, best] == energies.max()

@@ -1,0 +1,137 @@
+"""Tests for sensitivity analysis and the pattern-grouped sparse conv."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PCNNConfig,
+    SPMCodebook,
+    dense_conv_flops,
+    encode_layer,
+    enumerate_patterns,
+    fit,
+    pattern_sparse_conv2d,
+    project_to_patterns,
+    sensitivity_scan,
+    sparse_conv_flops,
+    suggest_config,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet
+from repro.nn import Tensor
+from repro.nn.functional import conv2d
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def trained_setup(self):
+        x_train, y_train, x_test, y_test = make_synthetic_images(
+            n_train=192, n_test=96, num_classes=4, image_size=8, seed=0
+        )
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(0))
+        loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=0)
+        fit(model, loader, epochs=3, lr=0.01)
+        return model, x_test, y_test
+
+    def test_scan_covers_all_layers(self, trained_setup):
+        model, x, y = trained_setup
+        results = sensitivity_scan(model, x, y, ns=(1, 4))
+        assert len(results) == 2
+        for r in results:
+            assert set(r.accuracy_drop) == {1, 4}
+
+    def test_model_restored_after_scan(self, trained_setup):
+        model, x, y = trained_setup
+        before = [m.weight.data.copy() for _, m in model.conv_layers()]
+        sensitivity_scan(model, x, y, ns=(1,))
+        for (_, module), saved in zip(model.conv_layers(), before):
+            np.testing.assert_array_equal(module.weight.data, saved)
+
+    def test_milder_pruning_hurts_less(self, trained_setup):
+        model, x, y = trained_setup
+        results = sensitivity_scan(model, x, y, ns=(1, 4))
+        for r in results:
+            assert r.accuracy_drop[4] <= r.accuracy_drop[1] + 1e-9
+
+    def test_max_tolerable_n(self):
+        from repro.core import LayerSensitivity
+
+        s = LayerSensitivity("layer", {1: 0.5, 2: 0.1, 4: 0.0})
+        assert s.max_tolerable_n(budget=0.02) == 4
+        assert s.max_tolerable_n(budget=0.2) == 2
+        assert s.max_tolerable_n(budget=0.9) == 1
+
+    def test_suggest_config_shape(self, trained_setup):
+        model, x, y = trained_setup
+        results = sensitivity_scan(model, x, y, ns=(1, 2, 4))
+        config = suggest_config(results, budget=0.05, candidates=(1, 2, 4))
+        assert len(config) == len(results)
+        # Larger budget -> ns never increase.
+        loose = suggest_config(results, budget=0.5, candidates=(1, 2, 4))
+        assert all(a <= b for a, b in zip(loose.ns, config.ns))
+
+
+class TestPatternSparseConv:
+    def make_encoded(self, rng, n=2, shape=(8, 4, 3, 3), num_patterns=4):
+        patterns = enumerate_patterns(n)[:num_patterns]
+        weight = project_to_patterns(rng.normal(size=shape), patterns)
+        return weight, encode_layer(weight, SPMCodebook(patterns))
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (1, 0)])
+    def test_matches_dense_conv(self, stride, padding):
+        rng = np.random.default_rng(0)
+        weight, encoded = self.make_encoded(rng)
+        x = rng.normal(size=(2, 4, 8, 8))
+        sparse = pattern_sparse_conv2d(x, encoded, stride=stride, padding=padding)
+        dense = conv2d(Tensor(x), Tensor(weight), stride=stride, padding=padding).data
+        np.testing.assert_allclose(sparse, dense, rtol=1e-10, atol=1e-12)
+
+    def test_with_bias(self):
+        rng = np.random.default_rng(1)
+        weight, encoded = self.make_encoded(rng)
+        bias = rng.normal(size=8)
+        x = rng.normal(size=(1, 4, 6, 6))
+        sparse = pattern_sparse_conv2d(x, encoded, bias=bias, padding=1)
+        dense = conv2d(Tensor(x), Tensor(weight), Tensor(bias), padding=1).data
+        np.testing.assert_allclose(sparse, dense, rtol=1e-10)
+
+    def test_channel_mismatch(self):
+        rng = np.random.default_rng(2)
+        _, encoded = self.make_encoded(rng)
+        with pytest.raises(ValueError):
+            pattern_sparse_conv2d(rng.normal(size=(1, 5, 6, 6)), encoded)
+
+    def test_flops_reduction(self):
+        rng = np.random.default_rng(3)
+        _, encoded = self.make_encoded(rng, n=2)
+        sparse = sparse_conv_flops(encoded, (8, 8))
+        dense = dense_conv_flops(encoded, (8, 8))
+        assert dense / sparse == pytest.approx(9 / 2)
+
+    def test_single_pattern_codebook(self):
+        rng = np.random.default_rng(4)
+        weight, encoded = self.make_encoded(rng, n=3, num_patterns=1)
+        x = rng.normal(size=(1, 4, 5, 5))
+        sparse = pattern_sparse_conv2d(x, encoded, padding=1)
+        dense = conv2d(Tensor(x), Tensor(weight), padding=1).data
+        np.testing.assert_allclose(sparse, dense, rtol=1e-10)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_equivalence(self, n, num_patterns, seed):
+        rng = np.random.default_rng(seed)
+        patterns = enumerate_patterns(n)
+        take = min(num_patterns, len(patterns))
+        chosen = patterns[rng.choice(len(patterns), size=take, replace=False)]
+        weight = project_to_patterns(rng.normal(size=(4, 3, 3, 3)), chosen)
+        encoded = encode_layer(weight, SPMCodebook(chosen))
+        x = rng.normal(size=(1, 3, 5, 5))
+        sparse = pattern_sparse_conv2d(x, encoded, padding=1)
+        dense = conv2d(Tensor(x), Tensor(weight), padding=1).data
+        np.testing.assert_allclose(sparse, dense, rtol=1e-9, atol=1e-10)

@@ -1,0 +1,200 @@
+"""Tests for SPM encoding/decoding and the projection operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SPMCodebook,
+    decode_layer,
+    encode_layer,
+    enumerate_patterns,
+    project_to_patterns,
+    project_topn,
+    projection_error,
+)
+
+
+class TestSPMCodebook:
+    def test_basic_properties(self):
+        codebook = SPMCodebook(enumerate_patterns(4)[:32])
+        assert len(codebook) == 32
+        assert codebook.n_nonzero == 4
+        assert codebook.index_bits == 5
+
+    def test_index_bits_paper_values(self):
+        """Fig-2 / Table-IV codebook sizes and SPM widths."""
+        full_n4 = SPMCodebook(enumerate_patterns(4))
+        assert len(full_n4) == 126 and full_n4.index_bits == 7
+        eight = SPMCodebook(enumerate_patterns(1)[:8])
+        assert eight.index_bits == 3
+        four = SPMCodebook(enumerate_patterns(2)[:4])
+        assert four.index_bits == 2
+
+    def test_single_pattern_codebook(self):
+        codebook = SPMCodebook([0b000000111])
+        assert codebook.index_bits == 1
+
+    def test_code_pattern_roundtrip(self):
+        patterns = enumerate_patterns(2)[:16]
+        codebook = SPMCodebook(patterns)
+        for pattern in patterns:
+            assert codebook.pattern(codebook.code(int(pattern))) == pattern
+
+    def test_contains(self):
+        codebook = SPMCodebook([0b11, 0b101])
+        assert 0b11 in codebook
+        assert 0b110 not in codebook
+
+    def test_mixed_sparsity_rejected(self):
+        """PCNN's invariant: one sparsity per layer."""
+        with pytest.raises(ValueError):
+            SPMCodebook([0b1, 0b11])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SPMCodebook([0b11, 0b11])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SPMCodebook([])
+
+    def test_decode_mask(self):
+        codebook = SPMCodebook([0b000000111])
+        np.testing.assert_array_equal(codebook.decode_mask(0), [1, 1, 1, 0, 0, 0, 0, 0, 0])
+
+
+class TestEncodeDecode:
+    def make_pruned_weight(self, rng, patterns, shape=(4, 3, 3, 3)):
+        weight = rng.normal(size=shape)
+        return project_to_patterns(weight, patterns)
+
+    def test_roundtrip_lossless_on_pruned_weights(self):
+        rng = np.random.default_rng(0)
+        patterns = enumerate_patterns(4)[:16]
+        weight = self.make_pruned_weight(rng, patterns)
+        codebook = SPMCodebook(patterns)
+        encoded = encode_layer(weight, codebook)
+        decoded = decode_layer(encoded)
+        np.testing.assert_allclose(decoded, weight)
+
+    def test_equal_length_sequences(self):
+        """Fig. 1 / Sec. II-A: all non-zero sequences have length n."""
+        rng = np.random.default_rng(1)
+        patterns = enumerate_patterns(3)[:8]
+        weight = self.make_pruned_weight(rng, patterns, shape=(8, 2, 3, 3))
+        encoded = encode_layer(weight, SPMCodebook(patterns))
+        assert encoded.values.shape == (16, 3)
+        assert encoded.codes.shape == (16,)
+
+    def test_storage_bits(self):
+        patterns = enumerate_patterns(4)[:32]  # 5-bit SPM
+        rng = np.random.default_rng(2)
+        weight = self.make_pruned_weight(rng, patterns, shape=(2, 2, 3, 3))
+        encoded = encode_layer(weight, SPMCodebook(patterns))
+        # 4 kernels x (4 weights x 32 bits + 5 index bits)
+        assert encoded.storage_bits(weight_bits=32) == 4 * (4 * 32 + 5)
+
+    def test_encode_dense_weight_is_projection(self):
+        """Encoding a dense weight keeps exactly the best-pattern values."""
+        rng = np.random.default_rng(3)
+        patterns = enumerate_patterns(4)
+        weight = rng.normal(size=(2, 2, 3, 3))
+        encoded = encode_layer(weight, SPMCodebook(patterns))
+        decoded = decode_layer(encoded)
+        np.testing.assert_allclose(decoded, project_to_patterns(weight, patterns))
+
+    def test_kernel_size_mismatch(self):
+        codebook = SPMCodebook(enumerate_patterns(2))
+        with pytest.raises(ValueError):
+            encode_layer(np.zeros((1, 1, 5, 5)), codebook)
+
+
+class TestProjectTopN:
+    def test_keeps_largest(self):
+        weight = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = project_topn(weight, 3)
+        assert np.count_nonzero(out) == 3
+        np.testing.assert_array_equal(np.sort(out.reshape(-1))[-3:], [6, 7, 8])
+
+    def test_respects_sign(self):
+        weight = np.array([[-5.0, 1.0, 0.5, 0.1, 0, 0, 0, 0, 0]]).reshape(1, 1, 3, 3)
+        out = project_topn(weight, 1)
+        assert out.reshape(-1)[0] == -5.0
+
+    def test_n_zero_and_full(self):
+        weight = np.ones((2, 2, 3, 3))
+        assert np.count_nonzero(project_topn(weight, 0)) == 0
+        np.testing.assert_array_equal(project_topn(weight, 9), weight)
+        np.testing.assert_array_equal(project_topn(weight, 50), weight)
+
+    @given(st.integers(min_value=1, max_value=9), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_property_per_kernel_counts(self, n, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(3, 2, 3, 3))
+        out = project_topn(weight, n)
+        counts = np.count_nonzero(out.reshape(-1, 9), axis=1)
+        assert np.all(counts == n)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_property_topn_is_best_nonexpansive(self, n, seed):
+        """Top-n keeps at least as much energy as any fixed pattern."""
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(1, 1, 3, 3))
+        out = project_topn(weight, n)
+        kept = (out**2).sum()
+        for pattern in enumerate_patterns(n)[:20]:
+            masked = project_to_patterns(weight, np.array([pattern]))
+            assert kept >= (masked**2).sum() - 1e-12
+
+
+class TestProjectToPatterns:
+    def test_projection_idempotent(self):
+        rng = np.random.default_rng(5)
+        patterns = enumerate_patterns(3)[:8]
+        weight = rng.normal(size=(4, 2, 3, 3))
+        once = project_to_patterns(weight, patterns)
+        twice = project_to_patterns(once, patterns)
+        np.testing.assert_allclose(once, twice)
+
+    def test_projection_reduces_norm(self):
+        rng = np.random.default_rng(6)
+        patterns = enumerate_patterns(2)[:4]
+        weight = rng.normal(size=(4, 4, 3, 3))
+        projected = project_to_patterns(weight, patterns)
+        assert (projected**2).sum() <= (weight**2).sum()
+
+    def test_return_indices(self):
+        patterns = np.array([0b000000011, 0b110000000])
+        weight = np.zeros((2, 1, 3, 3))
+        weight[0, 0, 0, 0] = weight[0, 0, 0, 1] = 5.0  # positions 0,1
+        weight[1, 0, 2, 1] = weight[1, 0, 2, 2] = 5.0  # positions 7,8
+        projected, indices = project_to_patterns(weight, patterns, return_indices=True)
+        np.testing.assert_array_equal(indices, [0, 1])
+        np.testing.assert_allclose(projected, weight)
+
+    def test_projection_error_zero_for_conforming(self):
+        rng = np.random.default_rng(7)
+        patterns = enumerate_patterns(4)[:8]
+        weight = project_to_patterns(rng.normal(size=(2, 2, 3, 3)), patterns)
+        assert projection_error(weight, patterns) == pytest.approx(0.0, abs=1e-12)
+
+    def test_projection_error_positive_for_dense(self):
+        rng = np.random.default_rng(8)
+        weight = rng.normal(size=(2, 2, 3, 3))
+        assert projection_error(weight, enumerate_patterns(2)[:4]) > 0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25)
+    def test_property_full_candidate_set_equals_topn(self, seed):
+        """Projecting onto the full F_n equals the top-n projection."""
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(2, 2, 3, 3))
+        n = int(rng.integers(1, 9))
+        full = enumerate_patterns(n)
+        np.testing.assert_allclose(
+            project_to_patterns(weight, full), project_topn(weight, n)
+        )

@@ -1,0 +1,113 @@
+"""Tests for the shared training loops (repro.core.train)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import evaluate, fit, train_epoch
+from repro.core.train import TrainHistory
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet
+
+
+@pytest.fixture(scope="module")
+def setup():
+    x_train, y_train, x_test, y_test = make_synthetic_images(
+        n_train=96, n_test=48, num_classes=4, image_size=8, seed=0
+    )
+    loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=0)
+    return loader, x_test, y_test
+
+
+def make_model(seed=0):
+    return patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(seed))
+
+
+class TestTrainEpoch:
+    def test_returns_mean_loss(self, setup):
+        loader, _, _ = setup
+        model = make_model()
+        loss = train_epoch(model, loader, nn.Adam(model.parameters(), lr=0.01))
+        assert np.isfinite(loss) and loss > 0
+
+    def test_loss_decreases_over_epochs(self, setup):
+        loader, _, _ = setup
+        model = make_model(1)
+        optimizer = nn.Adam(model.parameters(), lr=0.02)
+        first = train_epoch(model, loader, optimizer)
+        for _ in range(4):
+            last = train_epoch(model, loader, optimizer)
+        assert last < first
+
+    def test_grad_hook_called_per_batch(self, setup):
+        loader, _, _ = setup
+        model = make_model(2)
+        calls = []
+        train_epoch(
+            model, loader, nn.Adam(model.parameters(), lr=0.01),
+            grad_hook=lambda: calls.append(1),
+        )
+        assert len(calls) == len(loader)
+
+    def test_sets_train_mode(self, setup):
+        loader, _, _ = setup
+        model = make_model(3)
+        model.eval()
+        train_epoch(model, loader, nn.Adam(model.parameters(), lr=0.01))
+        assert model.training
+
+
+class TestEvaluate:
+    def test_eval_mode_used(self, setup):
+        _, x_test, y_test = setup
+        model = make_model(4)
+        model.train()
+        evaluate(model, x_test, y_test)
+        assert not model.training
+
+    def test_batched_equals_full(self, setup):
+        _, x_test, y_test = setup
+        model = make_model(5)
+        full = evaluate(model, x_test, y_test, batch_size=1000)
+        batched = evaluate(model, x_test, y_test, batch_size=7)
+        assert full == batched
+
+    def test_range(self, setup):
+        _, x_test, y_test = setup
+        model = make_model(6)
+        acc = evaluate(model, x_test, y_test)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestFit:
+    def test_history_lengths(self, setup):
+        loader, x_test, y_test = setup
+        model = make_model(7)
+        history = fit(model, loader, epochs=3, lr=0.01, eval_data=(x_test, y_test))
+        assert len(history.losses) == 3
+        assert len(history.accuracies) == 3
+        assert history.final_accuracy == history.accuracies[-1]
+
+    def test_no_eval_data(self, setup):
+        loader, _, _ = setup
+        model = make_model(8)
+        history = fit(model, loader, epochs=2, lr=0.01)
+        assert history.accuracies == []
+        assert history.final_accuracy == 0.0
+
+    def test_epoch_hook(self, setup):
+        loader, _, _ = setup
+        model = make_model(9)
+        seen = []
+        fit(model, loader, epochs=3, lr=0.01, epoch_hook=seen.append)
+        assert seen == [0, 1, 2]
+
+    def test_custom_optimizer(self, setup):
+        loader, _, _ = setup
+        model = make_model(10)
+        optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        history = fit(model, loader, epochs=2, optimizer=optimizer)
+        assert len(history.losses) == 2
+
+    def test_empty_history(self):
+        assert TrainHistory().final_accuracy == 0.0

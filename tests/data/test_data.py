@@ -1,0 +1,153 @@
+"""Tests for synthetic data generation, datasets, loaders, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    SyntheticImages,
+    SyntheticSpec,
+    compose,
+    gaussian_noise,
+    make_synthetic_images,
+    random_crop,
+    random_flip,
+)
+
+
+class TestSyntheticImages:
+    def test_shapes_and_label_range(self):
+        x_train, y_train, x_test, y_test = make_synthetic_images(
+            n_train=64, n_test=32, num_classes=5, image_size=12
+        )
+        assert x_train.shape == (64, 3, 12, 12)
+        assert x_test.shape == (32, 3, 12, 12)
+        assert set(np.unique(y_train)).issubset(set(range(5)))
+
+    def test_determinism(self):
+        a = make_synthetic_images(n_train=16, n_test=8, seed=7)
+        b = make_synthetic_images(n_train=16, n_test=8, seed=7)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_different_seeds_differ(self):
+        a, _, _, _ = make_synthetic_images(n_train=16, n_test=8, seed=1)
+        b, _, _, _ = make_synthetic_images(n_train=16, n_test=8, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_train_test_disjoint_streams(self):
+        gen = SyntheticImages(SyntheticSpec(num_classes=3, image_size=8), seed=0)
+        x_train, _, x_test, _ = gen.train_test(32, 32)
+        assert not np.array_equal(x_train, x_test)
+
+    def test_classes_are_separable_by_prototype(self):
+        """Nearest-prototype classification beats chance by a wide margin."""
+        spec = SyntheticSpec(num_classes=4, image_size=12, noise_std=0.2, max_shift=0)
+        gen = SyntheticImages(spec, seed=3)
+        x, y = gen.sample(200, seed=42)
+        protos = gen.prototypes.reshape(4, -1)
+        flat = x.reshape(len(x), -1)
+        pred = np.argmax(flat @ protos.T, axis=1)
+        assert (pred == y).mean() > 0.9
+
+    def test_noise_free_samples_match_prototypes(self):
+        spec = SyntheticSpec(
+            num_classes=2, image_size=8, noise_std=0.0, max_shift=0, contrast_jitter=0.0
+        )
+        gen = SyntheticImages(spec, seed=0)
+        x, y = gen.sample(10, seed=1)
+        for img, label in zip(x, y):
+            np.testing.assert_allclose(img, gen.prototypes[label])
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        data = ArrayDataset(np.zeros((10, 1, 4, 4)), np.arange(10))
+        assert len(data) == 10
+        img, label = data[3]
+        assert label == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((10, 1, 4, 4)), np.arange(9))
+
+    def test_split(self):
+        data = ArrayDataset(np.arange(100).reshape(100, 1, 1, 1), np.arange(100))
+        first, second = data.split(0.8, seed=0)
+        assert len(first) == 80 and len(second) == 20
+        combined = np.sort(np.concatenate([first.labels, second.labels]))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_split_bad_fraction(self):
+        data = ArrayDataset(np.zeros((4, 1, 1, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            data.split(1.5)
+
+
+class TestDataLoader:
+    def make_data(self, n=20):
+        return ArrayDataset(np.arange(n, dtype=float).reshape(n, 1, 1, 1), np.arange(n))
+
+    def test_batch_count(self):
+        loader = DataLoader(self.make_data(20), batch_size=8)
+        assert len(loader) == 3
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [8, 8, 4]
+
+    def test_drop_last(self):
+        loader = DataLoader(self.make_data(20), batch_size=8, drop_last=True)
+        assert len(loader) == 2
+        assert all(len(b[0]) == 8 for b in loader)
+
+    def test_covers_all_samples_when_shuffled(self):
+        loader = DataLoader(self.make_data(20), batch_size=6, shuffle=True, seed=1)
+        labels = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(np.sort(labels), np.arange(20))
+
+    def test_shuffle_changes_order_across_epochs(self):
+        loader = DataLoader(self.make_data(32), batch_size=32, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_augment_hook_applied(self):
+        def double(images, rng):
+            return images * 2
+
+        loader = DataLoader(self.make_data(4), batch_size=4, augment=double)
+        images, _ = next(iter(loader))
+        np.testing.assert_array_equal(images.reshape(-1), [0, 2, 4, 6])
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self.make_data(4), batch_size=0)
+
+
+class TestAugment:
+    def test_flip_preserves_shape_and_content_set(self):
+        rng = np.random.default_rng(0)
+        images = np.arange(2 * 1 * 2 * 3, dtype=float).reshape(2, 1, 2, 3)
+        out = random_flip(images, rng, p=1.0)
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_crop_shape(self):
+        rng = np.random.default_rng(0)
+        images = np.random.default_rng(1).normal(size=(4, 3, 8, 8))
+        out = random_crop(images, rng, padding=2)
+        assert out.shape == images.shape
+
+    def test_noise_changes_values(self):
+        rng = np.random.default_rng(0)
+        images = np.zeros((2, 1, 4, 4))
+        out = gaussian_noise(images, rng, std=1.0)
+        assert np.abs(out).sum() > 0
+
+    def test_compose(self):
+        rng = np.random.default_rng(0)
+        pipeline = compose(
+            lambda x, r: x + 1,
+            lambda x, r: x * 2,
+        )
+        out = pipeline(np.zeros((1, 1, 2, 2)), rng)
+        np.testing.assert_array_equal(out, 2 * np.ones((1, 1, 2, 2)))

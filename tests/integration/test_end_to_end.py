@@ -1,0 +1,180 @@
+"""Integration tests spanning the whole stack.
+
+These exercise the real user journeys: train -> prune -> fine-tune ->
+bundle -> deploy -> simulate, with cross-module equivalence assertions at
+each handoff (software conv == SPM-decoded conv == PE-datapath conv).
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.arch import (
+    ArchConfig,
+    ConvLayerSimulator,
+    KernelRegisterFile,
+    SPMDecoder,
+    pack_nonzero_sequences,
+    simulate_network_analytic,
+    unpack_nonzero_sequences,
+)
+from repro.core import (
+    ADMMFineTuner,
+    DeploymentBundle,
+    PCNNConfig,
+    PCNNPruner,
+    SPMCodebook,
+    bundle_from_pruner,
+    evaluate,
+    fit,
+    irregular_compression,
+    magnitude_prune_irregular,
+    model_conv_density,
+    pcnn_compression,
+)
+from repro.data import ArrayDataset, DataLoader, make_synthetic_images
+from repro.models import patternnet, profile_model
+from repro.nn import Tensor
+from repro.nn.functional import conv2d
+
+
+@pytest.fixture(scope="module")
+def training_setup():
+    x_train, y_train, x_test, y_test = make_synthetic_images(
+        n_train=192, n_test=96, num_classes=4, image_size=8, seed=0
+    )
+    loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=0)
+    return loader, (x_test, y_test)
+
+
+class TestTrainPruneDeployFlow:
+    def test_full_pipeline_preserves_predictions_through_bundle(self, training_setup, tmp_path):
+        """train -> prune -> ADMM -> bundle -> disk -> restore: the restored
+        model must predict identically to the pruned original."""
+        loader, (x_test, y_test) = training_setup
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(0))
+        fit(model, loader, epochs=2, lr=0.01)
+
+        pruner = PCNNPruner(model, PCNNConfig.uniform(2, 2, num_patterns=8))
+        patterns = {name: r.patterns for name, r in pruner.distill().items()}
+        tuner = ADMMFineTuner(model, patterns, rho=0.05)
+        tuner.run(loader, epochs=1, optimizer=nn.SGD(model.parameters(), lr=0.05))
+        tuner.finalize()
+        fit(model, loader, epochs=1, lr=0.01)
+        pruned_acc = evaluate(model, x_test, y_test)
+
+        # Re-wrap in a pruner so encode() sees the final weights.
+        pruner2 = PCNNPruner(model, PCNNConfig.uniform(2, 2, num_patterns=8))
+        pruner2.apply()
+        bundle = bundle_from_pruner(pruner2)
+        path = str(tmp_path / "deploy.npz")
+        bundle.save(path)
+
+        fresh = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(123))
+        # Copy the non-conv parameters (BN, FC) — the bundle carries convs.
+        fresh.load_state_dict(model.state_dict())
+        DeploymentBundle.load(path).restore_into(fresh)
+        restored_acc = evaluate(fresh, x_test, y_test)
+
+        assert restored_acc == pruned_acc
+        logits_a = model(Tensor(x_test[:8])).data
+        logits_b = fresh(Tensor(x_test[:8])).data
+        np.testing.assert_allclose(logits_a, logits_b, atol=1e-10)
+
+    def test_pruned_accuracy_above_chance(self, training_setup):
+        loader, (x_test, y_test) = training_setup
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(1))
+        fit(model, loader, epochs=3, lr=0.01)
+        PCNNPruner(model, PCNNConfig.uniform(2, 2)).apply()
+        fit(model, loader, epochs=2, lr=0.01)
+        assert evaluate(model, x_test, y_test) > 0.5
+
+
+class TestSoftwareHardwareEquivalence:
+    def test_conv_equals_spm_decode_equals_pe_datapath(self):
+        """Three computations of the same pruned layer agree exactly:
+        (1) software conv on masked weights, (2) conv on weights rebuilt
+        from SPM storage via register file, (3) the PE-group datapath."""
+        rng = np.random.default_rng(2)
+        model = patternnet(channels=(4,), num_classes=2, rng=rng)
+        pruner = PCNNPruner(model, PCNNConfig.uniform(3, 1, num_patterns=8))
+        info = pruner.apply()
+        name, conv = pruner.layers[0]
+        weight = conv.effective_weight()
+        x = np.abs(rng.normal(size=(1, 3, 6, 6)))
+
+        # (1) software reference.
+        reference = conv2d(Tensor(x), Tensor(weight), padding=1).data
+
+        # (2) SPM encode -> pack -> unpack -> register file -> rebuild.
+        encoded = pruner.encode()[name]
+        packed = pack_nonzero_sequences(encoded.values)
+        values = unpack_nonzero_sequences(packed)
+        decoder = SPMDecoder(encoded.codebook)
+        rebuilt = np.zeros_like(weight).reshape(-1, 9)
+        register = KernelRegisterFile(60)
+        n = encoded.codebook.n_nonzero
+        for start in range(0, len(values), register.capacity_kernels(n)):
+            chunk = values[start : start + register.capacity_kernels(n)]
+            loaded = register.load(chunk)
+            for k in range(loaded):
+                mask = decoder.decode(int(encoded.codes[start + k])).astype(bool)
+                rebuilt[start + k][mask] = register.kernel_sequence(k)
+        rebuilt = rebuilt.reshape(weight.shape)
+        np.testing.assert_allclose(rebuilt, weight)
+
+        # (3) the PE datapath.
+        sim = ConvLayerSimulator(ArchConfig(num_pes=4, macs_per_pe=4))
+        result = sim.functional_forward(x, rebuilt, padding=1)
+        np.testing.assert_allclose(result.output, reference, rtol=1e-10)
+
+    def test_compression_and_speedup_consistent(self):
+        """FLOPs ratio from the compression report equals the simulator's
+        cycle ratio (same underlying effectual-work model)."""
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(3))
+        profile = profile_model(model, (3, 8, 8))
+        config = PCNNConfig.uniform(3, 2)
+        report = pcnn_compression(profile, config)
+        sim = simulate_network_analytic(profile, config)
+        flops_ratio = report.dense_macs / report.pruned_macs
+        assert sim.speedup == pytest.approx(flops_ratio, rel=1e-9)
+
+
+class TestPCNNvsIrregularEndToEnd:
+    def test_equal_density_different_index_cost(self):
+        """PCNN and irregular pruning at the same density: equal weight
+        compression, but PCNN's index overhead is far smaller and its
+        per-kernel counts are uniform."""
+        model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(4))
+        profile = profile_model(model, (3, 8, 8))
+
+        pcnn_model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(4))
+        pruner = PCNNPruner(pcnn_model, PCNNConfig.uniform(3, 2))
+        pruner.apply()
+        pcnn_density = model_conv_density(pcnn_model)
+
+        magnitude_prune_irregular(model, density=3 / 9)
+        irregular_density = model_conv_density(model)
+        assert pcnn_density == pytest.approx(irregular_density, abs=0.01)
+
+        pcnn_report = pcnn_compression(profile, PCNNConfig.uniform(3, 2))
+        irr_report = irregular_compression(profile, 3)
+        assert pcnn_report.weight_compression == pytest.approx(
+            irr_report.weight_compression
+        )
+        assert pcnn_report.index_bits_total < irr_report.index_bits_total
+        assert pcnn_report.weight_idx_compression > irr_report.weight_idx_compression
+
+    def test_pcnn_kernels_uniform_irregular_not(self):
+        from repro.core import kernel_nonzeros
+
+        pcnn_model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(5))
+        pruner = PCNNPruner(pcnn_model, PCNNConfig.uniform(3, 2))
+        pruner.apply()
+        for _, module in pruner.layers:
+            assert len(np.unique(kernel_nonzeros(module.weight_mask))) == 1
+
+        irr_model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(5))
+        masks = magnitude_prune_irregular(irr_model, density=3 / 9)
+        counts = np.concatenate([kernel_nonzeros(m) for m in masks.values()])
+        assert len(np.unique(counts)) > 1

@@ -1,0 +1,137 @@
+"""Failure-injection tests: the library must fail loudly and precisely."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    DeploymentBundle,
+    PCNNConfig,
+    PCNNPruner,
+    SPMCodebook,
+    bundle_from_pruner,
+    encode_layer,
+    enumerate_patterns,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.models import patternnet
+
+
+def pruned_model(seed=0):
+    model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(seed))
+    pruner = PCNNPruner(model, PCNNConfig.uniform(2, 1))
+    pruner.apply()
+    return model, pruner
+
+
+class TestCorruptedBundles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DeploymentBundle.load(str(tmp_path / "missing.npz"))
+
+    def test_truncated_archive(self, tmp_path):
+        model, pruner = pruned_model()
+        bundle = bundle_from_pruner(pruner)
+        path = str(tmp_path / "bundle.npz")
+        bundle.save(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(100)
+        with pytest.raises(Exception):
+            DeploymentBundle.load(path)
+
+    def test_shape_mismatch_on_restore(self, tmp_path):
+        model, pruner = pruned_model()
+        bundle = bundle_from_pruner(pruner)
+        # Corrupt the recorded shape.
+        for layer in bundle.layers.values():
+            layer.shape = (2, 2, 3, 3)
+        with pytest.raises(ValueError):
+            bundle.restore_into(model)
+
+    def test_unknown_layer_on_restore(self):
+        model, pruner = pruned_model()
+        bundle = bundle_from_pruner(pruner)
+        bundle.layers["no.such.layer"] = next(iter(bundle.layers.values()))
+        other = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(1))
+        with pytest.raises(KeyError):
+            bundle.restore_into(other)
+
+
+class TestDegenerateWeights:
+    def test_pruner_handles_all_zero_layer(self):
+        """A zeroed layer still prunes (mask exact, weights stay zero)."""
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(0))
+        conv = model.conv_layers()[0][1]
+        conv.weight.data[...] = 0.0
+        pruner = PCNNPruner(model, PCNNConfig.uniform(2, 1))
+        pruner.apply()
+        pruner.verify_regularity()
+        np.testing.assert_array_equal(conv.effective_weight(), 0.0)
+
+    def test_pruner_handles_constant_weights(self):
+        model = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(0))
+        conv = model.conv_layers()[0][1]
+        conv.weight.data[...] = 1.0
+        pruner = PCNNPruner(model, PCNNConfig.uniform(3, 1))
+        info = pruner.apply()
+        pruner.verify_regularity()
+        # Ties broken deterministically -> a valid 3-pattern per kernel.
+        counts = np.count_nonzero(conv.effective_weight().reshape(-1, 9), axis=1)
+        assert np.all(counts == 3)
+
+    def test_encode_layer_with_nan_raises_nothing_silent(self):
+        """NaNs must not be silently laundered into valid encodings."""
+        patterns = enumerate_patterns(2)[:4]
+        weight = np.full((1, 1, 3, 3), np.nan)
+        encoded = encode_layer(weight, SPMCodebook(patterns))
+        assert np.isnan(encoded.values).any()  # NaNs survive, visibly
+
+
+class TestEmptyAndTinyData:
+    def test_empty_loader_epoch(self):
+        model = patternnet(channels=(4,), num_classes=2, rng=np.random.default_rng(0))
+        data = ArrayDataset(np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=int))
+        loader = DataLoader(data, batch_size=4)
+        from repro.core import train_epoch
+
+        optimizer = nn.Adam(model.parameters(), lr=0.01)
+        assert train_epoch(model, loader, optimizer) == 0.0
+
+    def test_single_sample_batch(self):
+        model = patternnet(channels=(4,), num_classes=2, rng=np.random.default_rng(0))
+        data = ArrayDataset(np.random.default_rng(0).normal(size=(1, 3, 8, 8)), np.array([1]))
+        loader = DataLoader(data, batch_size=4)
+        from repro.core import train_epoch
+
+        loss = train_epoch(model, loader, nn.Adam(model.parameters(), lr=0.01))
+        assert np.isfinite(loss)
+
+
+class TestMaskIntegrity:
+    def test_mask_survives_save_load_cycle(self, tmp_path):
+        """state_dict round-trips must not clobber or carry masks."""
+        model, pruner = pruned_model()
+        state = model.state_dict()
+        assert not any("mask" in key for key in state)
+        fresh = patternnet(channels=(8,), num_classes=4, rng=np.random.default_rng(9))
+        fresh.load_state_dict(state)
+        # Fresh model has the weights but no masks (masks ship via bundles).
+        conv = fresh.conv_layers()[0][1]
+        assert conv.weight_mask is None
+
+    def test_double_apply_is_idempotent(self):
+        model, pruner = pruned_model()
+        first = model.conv_layers()[0][1].effective_weight().copy()
+        pruner2 = PCNNPruner(model, PCNNConfig.uniform(2, 1))
+        pruner2.apply()
+        second = model.conv_layers()[0][1].effective_weight()
+        np.testing.assert_allclose(first, second)
+
+    def test_regularity_violation_detected(self):
+        model, pruner = pruned_model()
+        _, conv = pruner.layers[0]
+        broken = conv.weight_mask.copy()
+        broken[0, 0] = 1.0  # give one kernel 9 non-zeros
+        conv.set_weight_mask(broken)
+        with pytest.raises(AssertionError):
+            pruner.verify_regularity()

@@ -1,0 +1,64 @@
+"""Tests for the ImageNet-resolution model variants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import profile_model, resnet18_imagenet, vgg16_imagenet
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestVGG16ImageNet:
+    def test_full_classifier_head_structure(self, rng):
+        model = vgg16_imagenet(full_classifier=True, rng=rng)
+        # The original 4096-4096-1000 stack.
+        linears = [m for m in model.modules() if isinstance(m, nn.Linear)]
+        assert [l.out_features for l in linears] == [4096, 4096, 1000]
+        assert linears[0].in_features == 512 * 7 * 7
+
+    def test_light_head_parameter_savings(self, rng):
+        light = vgg16_imagenet(rng=rng)
+        linears = [m for m in light.modules() if isinstance(m, nn.Linear)]
+        assert len(linears) == 1  # single head: the conv-focused variant
+
+    def test_imagenet_macs_standard_value(self, rng):
+        profile = profile_model(vgg16_imagenet(rng=rng), (3, 224, 224))
+        # Standard VGG-16 conv MACs at 224x224 is ~15.3e9. (The paper's
+        # printed 6.82e9 baseline is inconsistent with its own layer plan;
+        # see EXPERIMENTS.md.)
+        assert profile.conv_macs == pytest.approx(1.53e10, rel=0.01)
+
+    def test_spatial_plan(self, rng):
+        profile = profile_model(vgg16_imagenet(rng=rng), (3, 224, 224))
+        assert profile.convs[0].output_hw == (224, 224)
+        assert profile.convs[-1].output_hw == (14, 14)
+
+
+class TestResNet18ImageNet:
+    def test_stem_downsampling(self, rng):
+        profile = profile_model(resnet18_imagenet(rng=rng), (3, 224, 224))
+        by_name = profile.by_name()
+        assert by_name["conv1"].kernel_size == 7
+        assert by_name["conv1"].output_hw == (112, 112)
+        # Padded 3x3/2 max pool -> stage 1 at 56x56 (torchvision layout).
+        assert by_name["layer1.0.conv1"].input_hw == (56, 56)
+
+    def test_standard_macs(self, rng):
+        profile = profile_model(resnet18_imagenet(rng=rng), (3, 224, 224))
+        assert profile.conv_macs == pytest.approx(1.81e9, rel=0.01)
+        assert profile.conv_params == pytest.approx(1.12e7, rel=0.01)
+
+    def test_forward_shape(self, rng):
+        model = resnet18_imagenet(num_classes=1000, rng=rng)
+        out = model(nn.Tensor(np.zeros((1, 3, 64, 64))))  # small input, same graph
+        assert out.shape == (1, 1000)
+
+    def test_prunable_excludes_stem_7x7(self, rng):
+        model = resnet18_imagenet(rng=rng)
+        prunable = model.prunable_conv_layers()
+        assert all(m.kernel_size == 3 for _, m in prunable)
+        assert len(prunable) == 16  # 7x7 stem and 1x1 projections excluded

@@ -1,0 +1,152 @@
+"""Tests for the model zoo: shapes, layer inventories, paper baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MODEL_REGISTRY,
+    create_model,
+    model_input_shape,
+    patternnet,
+    profile_model,
+    resnet18_cifar,
+    vgg16_cifar,
+    vgg16_imagenet,
+)
+from repro.models.resnet import BasicBlock
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestVGG16:
+    def test_cifar_forward_shape(self, rng):
+        model = vgg16_cifar(rng=rng)
+        out = model(nn.Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_thirteen_conv_layers(self, rng):
+        model = vgg16_cifar(rng=rng)
+        convs = model.conv_layers()
+        assert len(convs) == 13
+        assert all(m.kernel_size == 3 for _, m in convs)
+
+    def test_conv_channel_plan(self, rng):
+        model = vgg16_cifar(rng=rng)
+        widths = [m.out_channels for _, m in model.conv_layers()]
+        assert widths == [64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512]
+
+    def test_paper_baseline_params_and_macs(self, rng):
+        """Table I baseline: 1.47e7 conv params, 3.13e8 conv MACs."""
+        profile = profile_model(vgg16_cifar(rng=rng), (3, 32, 32))
+        assert profile.conv_params == pytest.approx(1.47e7, rel=0.01)
+        assert profile.conv_macs == pytest.approx(3.13e8, rel=0.01)
+
+    def test_imagenet_light_head(self, rng):
+        model = vgg16_imagenet(rng=rng)
+        profile = profile_model(model, (3, 224, 224))
+        assert profile.conv_params == pytest.approx(1.47e7, rel=0.01)
+        assert len(profile.convs) == 13
+
+    def test_invalid_classifier_kind(self, rng):
+        from repro.models.vgg import VGG16
+
+        with pytest.raises(ValueError):
+            VGG16(classifier="bogus", rng=rng)
+
+
+class TestResNet18:
+    def test_forward_shape(self, rng):
+        model = resnet18_cifar(rng=rng)
+        out = model(nn.Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_conv_inventory(self, rng):
+        model = resnet18_cifar(rng=rng)
+        all_convs = model.conv_layers()
+        prunable = model.prunable_conv_layers()
+        assert len(all_convs) == 20  # stem + 16 block convs + 3 projections
+        assert len(prunable) == 17  # 1x1 projections excluded
+        assert all(m.kernel_size == 3 for _, m in prunable)
+
+    def test_paper_baseline_params_and_macs(self, rng):
+        """Table II baseline: 1.12e7 conv params, 5.55e8 conv MACs."""
+        profile = profile_model(resnet18_cifar(rng=rng), (3, 32, 32))
+        assert profile.conv_params == pytest.approx(1.12e7, rel=0.01)
+        assert profile.conv_macs == pytest.approx(5.55e8, rel=0.01)
+
+    def test_residual_identity_path(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert isinstance(block.downsample, nn.Identity)
+
+    def test_residual_projection_path(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        out = block(nn.Tensor(np.zeros((1, 8, 8, 8))))
+        assert out.shape == (1, 16, 4, 4)
+
+    def test_stage_downsampling(self, rng):
+        model = resnet18_cifar(rng=rng)
+        profile = profile_model(model, (3, 32, 32))
+        by_name = profile.by_name()
+        assert by_name["layer2.0.conv1"].output_hw == (16, 16)
+        assert by_name["layer4.1.conv2"].output_hw == (4, 4)
+
+
+class TestPatternNet:
+    def test_forward_shape(self, rng):
+        model = patternnet(rng=rng)
+        out = model(nn.Tensor(np.zeros((4, 3, 16, 16))))
+        assert out.shape == (4, 10)
+
+    def test_all_convs_3x3(self, rng):
+        model = patternnet(channels=(8, 16), rng=rng)
+        assert all(m.kernel_size == 3 for _, m in model.conv_layers())
+
+    def test_custom_channels(self, rng):
+        model = patternnet(channels=(4, 8, 12), rng=rng)
+        assert [m.out_channels for _, m in model.conv_layers()] == [4, 8, 12]
+
+
+class TestProfiler:
+    def test_macs_formula(self, rng):
+        model = patternnet(channels=(8,), rng=rng)
+        profile = profile_model(model, (3, 16, 16))
+        conv = profile.convs[0]
+        # 8 out x 3 in x 9 positions x 16x16 output
+        assert conv.macs == 8 * 3 * 9 * 16 * 16
+        assert conv.params == 8 * 3 * 9
+        assert conv.kernels == 24
+
+    def test_profiler_restores_forward(self, rng):
+        model = patternnet(channels=(4,), rng=rng)
+        profile_model(model, (3, 16, 16))
+        # The real forward must work again after profiling.
+        out = model(nn.Tensor(np.zeros((1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_prunable_excludes_1x1(self, rng):
+        profile = profile_model(resnet18_cifar(rng=rng), (3, 32, 32))
+        assert len(profile.prunable()) == 17
+        assert all(c.is_3x3 for c in profile.prunable())
+
+
+class TestRegistry:
+    def test_all_entries_constructible(self):
+        for name in ("vgg16_cifar", "resnet18_cifar", "patternnet"):
+            model = create_model(name, rng=np.random.default_rng(0))
+            assert isinstance(model, nn.Module)
+
+    def test_input_shapes(self):
+        assert model_input_shape("vgg16_cifar") == (3, 32, 32)
+        assert model_input_shape("vgg16_imagenet") == (3, 224, 224)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            create_model("alexnet")
+
+    def test_registry_descriptions(self):
+        for spec in MODEL_REGISTRY.values():
+            assert spec.description

@@ -1,0 +1,208 @@
+"""Unit tests for repro.nn.functional (conv, pooling, norm, softmax)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from tests.conftest import check_gradients
+
+
+def reference_conv2d(x, w, b=None, stride=1, padding=1):
+    """Naive direct convolution used as ground truth."""
+    n, c_in, h, wd = x.shape
+    c_out, _, kh, kw = w.shape
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (wd + 2 * padding - kw) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, c_out, oh, ow))
+    for ni in range(n):
+        for co in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    window = xp[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[ni, co, i, j] = np.sum(window * w[co])
+            if b is not None:
+                out[ni, co] += b[co]
+    return out
+
+
+class TestIm2col:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_stride(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8))
+        cols, (oh, ow) = F.im2col(x, (3, 3), stride=2, padding=1)
+        assert (oh, ow) == (4, 4)
+
+    def test_column_ordering_row_major(self):
+        # Kernel position p = row*KW + col must map to column index p for C=1.
+        x = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        cols, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=0)
+        assert (oh, ow) == (1, 1)
+        np.testing.assert_array_equal(cols[0], np.arange(9))
+
+    def test_col2im_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — adjoint property."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = F.im2col(x, (3, 3), stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        back = F.col2im(y, x.shape, (3, 3), stride=1, padding=1)
+        np.testing.assert_allclose((cols * y).sum(), (x * back).sum(), rtol=1e-10)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (1, 0), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-10, atol=1e-12)
+
+    def test_1x1_kernel(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        w = rng.normal(size=(2, 4, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0)
+        expected = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out.data, expected, rtol=1e-10)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradients(
+            lambda: (F.conv2d(x, w, b, stride=1, padding=1) ** 2).sum(), [x, w, b]
+        )
+
+    def test_gradients_strided(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        check_gradients(
+            lambda: (F.conv2d(x, w, stride=2, padding=1) ** 2).sum(), [x, w]
+        )
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_sparse_kernel_equivalence(self, rng):
+        """Zeroed kernel positions contribute nothing — PCNN's core premise."""
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        mask = np.zeros((3, 3))
+        mask[0, 1] = mask[2, 2] = 1.0  # a 2-non-zero pattern
+        w_masked = w * mask
+        out_full = F.conv2d(Tensor(x), Tensor(w_masked), padding=1)
+        expected = reference_conv2d(x, w_masked, padding=1)
+        np.testing.assert_allclose(out_full.data, expected, rtol=1e-10)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel=2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda: (F.max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), kernel=2)
+        np.testing.assert_array_equal(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda: (F.avg_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 4, 5, 5)))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        rm, rv = np.zeros(4), np.ones(4)
+        out = F.batch_norm2d(x, gamma, beta, rm, rv, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.normal(5.0, 1.0, size=(16, 2, 4, 4)))
+        gamma, beta = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        rm, rv = np.zeros(2), np.ones(2)
+        F.batch_norm2d(x, gamma, beta, rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.data.mean(axis=(0, 2, 3)), rtol=1e-6)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        gamma, beta = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        rm, rv = np.array([1.0, -1.0]), np.array([4.0, 9.0])
+        out = F.batch_norm2d(x, gamma, beta, rm, rv, training=False)
+        expected = (x.data - rm.reshape(1, 2, 1, 1)) / np.sqrt(
+            rv.reshape(1, 2, 1, 1) + 1e-5
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        gamma = Tensor(rng.uniform(0.5, 1.5, size=2), requires_grad=True)
+        beta = Tensor(rng.normal(size=2), requires_grad=True)
+        rm, rv = np.zeros(2), np.ones(2)
+
+        def fn():
+            return (
+                F.batch_norm2d(x, gamma, beta, rm.copy(), rv.copy(), training=True) ** 2
+            ).sum()
+
+        check_gradients(fn, [x, gamma, beta], atol=1e-4, rtol=1e-3)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 10)))
+        out = F.softmax(x, axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-10)
+
+    def test_softmax_stability(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        out = F.softmax(x, axis=1)
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x, axis=1).data, np.log(F.softmax(x, axis=1).data), rtol=1e-9
+        )
+
+    def test_log_softmax_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        check_gradients(lambda: (F.log_softmax(x, axis=1) * Tensor(np.ones((2, 4)))).sum(), [x])
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_scaling_in_train(self, rng):
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert abs(out.data.mean() - 1.0) < 0.1

@@ -1,0 +1,80 @@
+"""Tests for weight initialisation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFanComputation:
+    def test_linear_shape(self, rng):
+        # (out, in) = (50, 100): fan_in = 100.
+        w = init.kaiming_normal((50, 100), rng)
+        assert w.shape == (50, 100)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 100), rel=0.15)
+
+    def test_conv_shape(self, rng):
+        # (out, in, kh, kw) = (64, 32, 3, 3): fan_in = 32*9 = 288.
+        w = init.kaiming_normal((64, 32, 3, 3), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 288), rel=0.1)
+
+    def test_unsupported_shape(self, rng):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((3, 3, 3), rng)
+
+
+class TestDistributions:
+    def test_kaiming_uniform_bounds(self, rng):
+        w = init.kaiming_uniform((32, 64, 3, 3), rng)
+        bound = np.sqrt(6.0 / (64 * 9))
+        assert np.abs(w).max() <= bound
+        assert np.abs(w).max() > 0.8 * bound  # actually fills the range
+
+    def test_xavier_uniform_bounds(self, rng):
+        w = init.xavier_uniform((100, 200), rng)
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= bound
+
+    def test_zeros_and_ones(self):
+        np.testing.assert_array_equal(init.zeros((3, 4)), 0.0)
+        np.testing.assert_array_equal(init.ones((5,)), 1.0)
+
+    def test_deterministic_with_seed(self):
+        a = init.kaiming_normal((8, 8), np.random.default_rng(7))
+        b = init.kaiming_normal((8, 8), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMaxPoolPadding:
+    def test_padded_maxpool_shape_and_values(self):
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, kernel=3, stride=2, padding=1)
+        assert out.shape == (1, 1, 2, 2)
+        # Top-left 3x3 window over the padded image peaks at x[1,1]=5.
+        np.testing.assert_array_equal(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_padding_never_wins(self):
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+
+        x = Tensor(-np.ones((1, 1, 4, 4)))
+        out = F.max_pool2d(x, kernel=3, stride=2, padding=1)
+        # All-negative input: padded -inf cells must not produce zeros.
+        assert (out.data == -1.0).all()
+
+    def test_padded_maxpool_gradient(self):
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 1, 4, 4)), requires_grad=True)
+        out = F.max_pool2d(x, kernel=3, stride=2, padding=1)
+        (out * out).sum().backward()
+        assert np.isfinite(x.grad).all()

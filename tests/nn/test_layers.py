@@ -1,0 +1,193 @@
+"""Unit tests for the module/layer system (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+def make_rng():
+    return np.random.default_rng(7)
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered(self):
+        conv = Conv2d(3, 4, 3, rng=make_rng())
+        names = dict(conv.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameters(self):
+        model = Sequential(Conv2d(3, 4, 3, rng=make_rng()), ReLU(), Linear(4, 2, rng=make_rng()))
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.weight" in names
+        assert len(model.parameters()) == 4
+
+    def test_buffers_discovered(self):
+        bn = BatchNorm2d(8)
+        buffer_names = {n for n, _ in bn.named_buffers()}
+        assert buffer_names == {"running_mean", "running_var"}
+
+    def test_named_modules(self):
+        model = Sequential(Conv2d(1, 1, 3, rng=make_rng()), ReLU())
+        names = {n for n, _ in model.named_modules()}
+        assert "" in names and "0" in names and "1" in names
+
+    def test_train_eval_propagates(self):
+        model = Sequential(BatchNorm2d(2), Sequential(Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(3, 2, rng=make_rng())
+        out = layer(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = Sequential(Conv2d(2, 3, 3, rng=make_rng()), BatchNorm2d(3))
+        state = model.state_dict()
+        model2 = Sequential(Conv2d(2, 3, 3, rng=np.random.default_rng(99)), BatchNorm2d(3))
+        model2.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(model.named_parameters(), model2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_shape_mismatch_raises(self):
+        layer = Linear(3, 2, rng=make_rng())
+        with pytest.raises(ValueError):
+            layer.load_state_dict({"weight": np.zeros((5, 5)), "bias": np.zeros(2)})
+
+    def test_unknown_key_raises(self):
+        layer = Linear(3, 2, rng=make_rng())
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nonsense": np.zeros(1)})
+
+
+class TestConv2dLayer:
+    def test_output_shape(self):
+        conv = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=make_rng())
+        out = conv(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_no_bias(self):
+        conv = Conv2d(1, 1, 3, bias=False, rng=make_rng())
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_weight_mask_zeroes_output_contribution(self):
+        rng = make_rng()
+        conv = Conv2d(1, 1, 3, padding=1, bias=False, rng=rng)
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        mask = np.zeros_like(conv.weight.data)
+        conv.set_weight_mask(mask)
+        out = conv(x)
+        np.testing.assert_array_equal(out.data, 0.0)
+
+    def test_weight_mask_blocks_gradient(self):
+        rng = make_rng()
+        conv = Conv2d(1, 2, 3, padding=1, bias=False, rng=rng)
+        mask = np.ones_like(conv.weight.data)
+        mask[0] = 0.0  # prune the entire first filter
+        conv.set_weight_mask(mask)
+        out = conv(Tensor(rng.normal(size=(1, 1, 4, 4))))
+        (out**2).sum().backward()
+        np.testing.assert_array_equal(conv.weight.grad[0], 0.0)
+        assert np.abs(conv.weight.grad[1]).sum() > 0
+
+    def test_effective_weight(self):
+        conv = Conv2d(1, 1, 3, rng=make_rng())
+        mask = np.zeros_like(conv.weight.data)
+        mask[0, 0, 1, 1] = 1.0
+        conv.set_weight_mask(mask)
+        eff = conv.effective_weight()
+        assert eff[0, 0, 1, 1] == conv.weight.data[0, 0, 1, 1]
+        assert np.count_nonzero(eff) <= 1
+
+    def test_mask_shape_validation(self):
+        conv = Conv2d(1, 1, 3, rng=make_rng())
+        with pytest.raises(ValueError):
+            conv.set_weight_mask(np.ones((2, 2)))
+
+    def test_clear_mask(self):
+        conv = Conv2d(1, 1, 3, rng=make_rng())
+        conv.set_weight_mask(np.zeros_like(conv.weight.data))
+        conv.set_weight_mask(None)
+        assert conv.weight_mask is None
+
+
+class TestOtherLayers:
+    def test_linear_shapes(self):
+        layer = Linear(10, 5, rng=make_rng())
+        out = layer(Tensor(np.zeros((3, 10))))
+        assert out.shape == (3, 5)
+
+    def test_linear_mask(self):
+        layer = Linear(4, 2, rng=make_rng())
+        layer.set_weight_mask(np.zeros((2, 4)))
+        out = layer(Tensor(np.ones((1, 4))))
+        np.testing.assert_array_equal(out.data, 0.0)
+
+    def test_batchnorm_running_stats_only_in_train(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 1.0, size=(8, 2, 4, 4)))
+        bn.eval()
+        bn(x)
+        np.testing.assert_array_equal(bn.running_mean, 0.0)
+        bn.train()
+        bn(x)
+        assert np.abs(bn.running_mean).sum() > 0
+
+    def test_maxpool(self):
+        pool = MaxPool2d(2)
+        out = pool(Tensor(np.zeros((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_global_avg_pool(self):
+        assert GlobalAvgPool2d()(Tensor(np.zeros((2, 3, 4, 4)))).shape == (2, 3)
+
+    def test_identity(self):
+        x = Tensor(np.ones((2, 2)))
+        assert Identity()(x) is x
+
+    def test_dropout_eval_identity(self):
+        drop = Dropout(0.9)
+        drop.eval()
+        x = Tensor(np.ones((4,)))
+        assert drop(x) is x
+
+    def test_sequential_iteration_and_indexing(self):
+        relu = ReLU()
+        flat = Flatten()
+        seq = Sequential(relu, flat)
+        assert list(seq) == [relu, flat]
+        assert seq[0] is relu
+        assert len(seq) == 2
+
+    def test_sequential_append(self):
+        seq = Sequential(ReLU())
+        seq.append(Flatten())
+        assert len(seq) == 2
+        assert len(list(seq.named_modules())) == 3

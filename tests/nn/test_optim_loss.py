@@ -1,0 +1,179 @@
+"""Unit tests for optimisers, LR schedules, losses and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CosineLR,
+    Linear,
+    Parameter,
+    StepLR,
+    Tensor,
+    accuracy,
+    cross_entropy,
+    load_state,
+    mse_loss,
+    save_state,
+)
+from repro.nn import functional as F
+
+
+def quadratic_loss(param):
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [1.0, -2.0, 3.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.zeros(3))
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(param).backward()
+                opt.step()
+            return quadratic_loss(param).item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (param * 0).sum().backward()
+        opt.step()
+        assert param.data[0] == pytest.approx(9.0)
+
+    def test_skips_params_without_grad(self):
+        a, b = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = SGD([a, b], lr=0.1)
+        (a * 2).backward()
+        opt.step()
+        assert b.data[0] == 1.0
+        assert a.data[0] != 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_first_step_magnitude(self):
+        # Bias correction makes the first Adam step ~lr in magnitude.
+        param = Parameter(np.array([5.0]))
+        opt = Adam([param], lr=0.01)
+        (param * 1.0).sum().backward()
+        opt.step()
+        assert param.data[0] == pytest.approx(5.0 - 0.01, abs=1e-6)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_lr_endpoints(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], lr=1.0)
+        sched = CosineLR(opt, t_max=10)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_cross_entropy_gradient_form(self):
+        rng = np.random.default_rng(3)
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        targets = np.array([0, 1, 2, 1, 0])
+        cross_entropy(logits, targets).backward()
+        probs = F.softmax(Tensor(logits.data), axis=1).data
+        expected = probs.copy()
+        expected[np.arange(5), targets] -= 1.0
+        expected /= 5.0
+        np.testing.assert_allclose(logits.grad, expected, rtol=1e-8)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"layer.weight": np.arange(6.0).reshape(2, 3), "bn.running_mean": np.ones(3)}
+        path = str(tmp_path / "ckpt.npz")
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_model_roundtrip(self, tmp_path):
+        from repro.nn import load_model, save_model
+
+        rng = np.random.default_rng(0)
+        model = Linear(4, 2, rng=rng)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        model2 = Linear(4, 2, rng=np.random.default_rng(1))
+        load_model(model2, path)
+        np.testing.assert_array_equal(model.weight.data, model2.weight.data)
+
+
+class TestEndToEndTraining:
+    def test_small_mlp_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        from repro.nn import ReLU, Sequential
+
+        model = Sequential(Linear(2, 16, rng=rng), ReLU(), Linear(16, 2, rng=rng))
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert accuracy(model(Tensor(x)), y) == 1.0

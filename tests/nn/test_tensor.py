@@ -1,0 +1,289 @@
+"""Unit tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, no_grad, stack
+from repro.nn.tensor import unbroadcast
+
+from tests.conftest import check_gradients
+
+
+class TestBasicOps:
+    def test_add(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_scalar(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradients(lambda: (a + 2.5).sum(), [a])
+        check_gradients(lambda: (2.5 + a).sum(), [a])
+
+    def test_sub(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+        check_gradients(lambda: (1.0 - a).sum(), [a])
+
+    def test_mul(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(3, 1, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.uniform(1.0, 2.0, size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_rdiv(self, rng):
+        a = Tensor(rng.uniform(1.0, 2.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: (1.0 / a).sum(), [a])
+
+    def test_neg(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradients(lambda: (-a).sum(), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a**3).sum(), [a])
+        check_gradients(lambda: (a**-0.5).sum(), [a])
+
+    def test_matmul_2d(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_values(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+
+class TestPointwise:
+    def test_exp(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_relu(self, rng):
+        a = Tensor(rng.normal(size=(10,)) + 0.05, requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_relu_values(self):
+        a = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(a.relu().data, [0.0, 0.0, 2.0])
+
+    def test_tanh(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.normal(size=(6,)) + 0.1, requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_clip(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.3, 1.7]), requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        np.testing.assert_array_equal(out.data, [-1.0, -0.5, 0.3, 1.0])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = Tensor(rng.normal(size=(3, 4, 5)), requires_grad=True)
+        check_gradients(lambda: a.sum(axis=1).sum(), [a])
+        check_gradients(lambda: a.sum(axis=(0, 2)).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        out = a.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 4)
+        check_gradients(lambda: a.sum(axis=0, keepdims=True).sum(), [a])
+
+    def test_mean(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.mean(), [a])
+        check_gradients(lambda: a.mean(axis=1).sum(), [a])
+
+    def test_var(self, rng):
+        a = Tensor(rng.normal(size=(8,)), requires_grad=True)
+        np.testing.assert_allclose(a.var().data, np.var(a.data))
+        check_gradients(lambda: a.var(), [a])
+
+    def test_max_all(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert a.max().data == a.data.max()
+        check_gradients(lambda: a.max(), [a])
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert a.reshape(12).shape == (12,)
+        assert a.reshape(2, 6).shape == (2, 6)
+        check_gradients(lambda: (a.reshape(12) ** 2).sum(), [a])
+
+    def test_flatten(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4, 5)))
+        assert a.flatten().shape == (2, 60)
+
+    def test_transpose(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert a.transpose().shape == (4, 3)
+        check_gradients(lambda: (a.transpose() ** 2).sum(), [a])
+
+    def test_transpose_axes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+        check_gradients(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_getitem(self, rng):
+        a = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        out = a[1:3]
+        assert out.shape == (2, 4)
+        check_gradients(lambda: (a[1:3] ** 2).sum(), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_pad2d(self, rng):
+        a = Tensor(rng.normal(size=(1, 2, 3, 3)), requires_grad=True)
+        out = a.pad2d(1)
+        assert out.shape == (1, 2, 5, 5)
+        check_gradients(lambda: (a.pad2d(1) ** 2).sum(), [a])
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        check_gradients(lambda: (concatenate([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+        check_gradients(lambda: (stack([a, b]) ** 2).sum(), [a, b])
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_over_reuse(self, rng):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a  # d/da = 2a + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_backward_twice_accumulates_on_leaf(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a * 2).backward()
+        (a * 2).backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_no_grad_context(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_detach(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_backward_requires_scalar(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_grad(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a * 2).backward(np.ones(3))
+        np.testing.assert_allclose(a.grad, 2 * np.ones(3))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_diamond_graph(self):
+        # a -> b, c -> d: gradient must flow through both branches once.
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3
+        c = a * 4
+        d = b * c  # d = 12 a^2, d' = 24 a = 48
+        d.backward()
+        np.testing.assert_allclose(a.grad, [48.0])
+
+    def test_deep_chain_no_recursion_limit(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 0.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axis(self):
+        g = np.ones((5, 3, 4))
+        np.testing.assert_array_equal(unbroadcast(g, (3, 4)), 5 * np.ones((3, 4)))
+
+    def test_kept_axis(self):
+        g = np.ones((3, 4))
+        np.testing.assert_array_equal(unbroadcast(g, (3, 1)), 4 * np.ones((3, 1)))
+
+    def test_scalar(self):
+        g = np.ones((2, 2))
+        assert unbroadcast(g, ()) == 4.0

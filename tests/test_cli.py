@@ -1,0 +1,55 @@
+"""Tests for the pcnn-repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import DeploymentBundle
+
+
+class TestCLI:
+    def test_report(self, capsys):
+        assert main(["report", "--model", "patternnet", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Compr (weight)" in out
+        assert "4.5x" in out
+
+    def test_report_layers_string(self, capsys):
+        assert main(["report", "--model", "patternnet", "--layers", "2-1-1"]) == 0
+        out = capsys.readouterr().out
+        assert "n=2-1-1" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--model", "patternnet"]) == 0
+        out = capsys.readouterr().out
+        assert "n = 4" in out and "n = 1" in out
+
+    def test_speedup(self, capsys):
+        assert main(["speedup", "--model", "patternnet", "--n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "9.00x" in out
+        assert "TOPS/W" in out
+
+    def test_prune_writes_bundle(self, tmp_path, capsys):
+        out_path = str(tmp_path / "bundle.npz")
+        assert main(
+            ["prune", "--model", "patternnet", "--n", "2", "--out", out_path,
+             "--quantize", "8"]
+        ) == 0
+        bundle = DeploymentBundle.load(out_path)
+        assert len(bundle.layers) == 3
+        assert all(layer.quantized for layer in bundle.layers.values())
+        assert "bundle written" in capsys.readouterr().out
+
+    def test_chip(self, capsys):
+        assert main(["chip"]) == 0
+        out = capsys.readouterr().out
+        assert "Pattern SRAM" in out
+        assert "8.00" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--model", "alexnet"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.arch.memory
+import repro.arch.pointer
+import repro.core.config
+import repro.core.patterns
+import repro.utils.timing
+
+MODULES = [
+    repro.core.patterns,
+    repro.core.config,
+    repro.arch.memory,
+    repro.arch.pointer,
+    repro.utils.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run and print their key results.
+
+The two training-heavy examples (train_prune_retrain,
+sensitivity_and_deployment) are exercised in quick form by the benchmark
+suite; here we cover the fast ones end to end via subprocess, exactly as
+a user would run them.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "examples", name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "round-trip is lossless" in out
+        assert "Compression accounting" in out
+        assert "28.39 TOPS/W" in out or "28.39" in out
+
+    def test_vgg16_compression_sweep(self):
+        out = run_example("vgg16_compression_sweep.py")
+        assert "Table I reproduction" in out
+        assert "9.0x" in out
+        assert "2.0x" in out  # irregular strawman
+
+    def test_accelerator_simulation(self):
+        out = run_example("accelerator_simulation.py")
+        assert "functional output equals nn.functional.conv2d: True" in out
+        assert "imbalance penalty" in out
+        assert "3.1%" in out
+
+    def test_orthogonal_fusion(self):
+        out = run_example("orthogonal_fusion.py")
+        assert "Table VII" in out and "Table VIII" in out
+        assert "kernels kept 50%" in out
+
+
+class TestCLISubprocess:
+    def test_cli_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "chip"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0
+        assert "Pattern SRAM" in result.stdout

@@ -1,0 +1,45 @@
+"""Tests for shared utilities (RNG, timing)."""
+
+import numpy as np
+
+from repro.utils import Timer, seeded_rng, spawn_rngs
+
+
+class TestRng:
+    def test_seeded_rng_deterministic(self):
+        a = seeded_rng(42).normal(size=5)
+        b = seeded_rng(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = seeded_rng(1).normal(size=5)
+        b = seeded_rng(2).normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [rng.normal(size=4) for rng in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_deterministic(self):
+        a = [rng.normal() for rng in spawn_rngs(7, 2)]
+        b = [rng.normal() for rng in spawn_rngs(7, 2)]
+        assert a == b
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(100000))
+        assert t.elapsed >= 0.0 and t.elapsed != first or t.elapsed >= first
