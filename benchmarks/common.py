@@ -4,10 +4,16 @@ Each ``bench_*.py`` regenerates one table or figure of the paper (see the
 per-experiment index in DESIGN.md). Benchmarks print the paper's rows —
 run with ``pytest benchmarks/ --benchmark-only -s`` to see them — and
 assert the paper-shape claims (who wins, by roughly what factor).
+
+``python benchmarks/common.py --smoke`` runs a seconds-scale smoke of the
+perf-critical paths (runtime engine backends, plan cache, batched
+predict, analytic speedup) for CI, so a regression in the hot paths fails
+fast without the full benchmark suite.
 """
 
 from __future__ import annotations
 
+import sys
 from functools import lru_cache
 
 import numpy as np
@@ -92,3 +98,67 @@ PAPER_TABLE8_LITERATURE = [
     ("SNIP [24]", "-0.45%", 20.0),
     ("Synaptic Strength [25]", "+0.43%", 25.0),
 ]
+
+
+# ---------------------------------------------------------------------
+# CI smoke target
+# ---------------------------------------------------------------------
+def smoke() -> int:
+    """Fast perf-path smoke: engine backends, plan cache, predict, sim."""
+    from repro import runtime
+    from repro.core import (
+        PCNNConfig,
+        PCNNPruner,
+        SPMCodebook,
+        encode_layer,
+        enumerate_patterns,
+        project_to_patterns,
+    )
+    from repro.models import patternnet
+    from repro.nn import Tensor
+    from repro.nn.functional import conv2d
+
+    rng = np.random.default_rng(SEED)
+
+    # 1. All registered backends match the conv2d reference.
+    patterns = enumerate_patterns(2)[:8]
+    weight = project_to_patterns(rng.normal(size=(16, 8, 3, 3)), patterns)
+    encoded = encode_layer(weight, SPMCodebook(patterns))
+    x = rng.normal(size=(2, 8, 10, 10))
+    reference = conv2d(Tensor(x), Tensor(weight), padding=1).data
+    for backend in runtime.available_backends():
+        out = runtime.dispatch(x, weight, encoded=encoded, padding=1, backend=backend)
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-10)
+    print(f"smoke: backends {runtime.available_backends()} match conv2d")
+
+    # 2. Plan cache hits on repeated forwards.
+    cache = runtime.PlanCache()
+    for _ in range(3):
+        runtime.dispatch(x, encoded=encoded, padding=1, cache=cache)
+    assert cache.stats.hits == 2 and cache.stats.misses == 1, cache.stats
+    print(f"smoke: plan cache {cache.stats.hits} hits / {cache.stats.misses} misses")
+
+    # 3. Batched predict over a pruned model, micro-batch equivalence.
+    model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(SEED))
+    PCNNPruner(model, PCNNConfig.uniform(2, 2)).apply()
+    images = rng.normal(size=(4, 3, 12, 12))
+    full = runtime.predict(model, images)
+    split = runtime.predict(model, images, micro_batch=2)
+    np.testing.assert_allclose(split, full, rtol=1e-9, atol=1e-10)
+    print(f"smoke: predict ok, output {full.shape}")
+
+    # 4. Analytic architecture speedup still tracks 9/n on VGG-16.
+    from repro.arch import simulate_network_analytic
+
+    result = simulate_network_analytic(vgg16_cifar_profile(), PCNNConfig.uniform(2, 13))
+    assert abs(result.speedup - 4.5) < 0.1, result.speedup
+    print(f"smoke: analytic VGG-16 speedup n=2 -> {result.speedup:.2f}x")
+    print("smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(smoke())
+    print("usage: python benchmarks/common.py --smoke", file=sys.stderr)
+    sys.exit(2)

@@ -9,6 +9,9 @@ Accelerators. The package is organised as:
 - :mod:`repro.core` — the PCNN algorithm: patterns, SPM encoding,
   KP-based pattern distillation, ADMM fine-tuning, compression accounting,
   orthogonal (kernel/channel) pruning and baselines.
+- :mod:`repro.runtime` — unified conv execution engine: pluggable
+  backends (dense GEMM / pattern-sparse / tiled), cached execution plans
+  and the batched ``predict()`` inference API.
 - :mod:`repro.arch` — the pattern-aware accelerator: memory layout, SPM
   decoder, sparsity pointer generation, PE group, cycle-level simulator and
   area/power model.
@@ -20,4 +23,4 @@ EXPERIMENTS.md for paper-vs-measured results.
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "models", "data", "core", "arch", "analysis", "utils"]
+__all__ = ["nn", "models", "data", "core", "runtime", "arch", "analysis", "utils"]

@@ -2,11 +2,13 @@
 
 Two fidelity levels:
 
-- :class:`ConvLayerSimulator` — window-by-window simulation of one conv
-  layer. ``functional_forward`` routes every multiply through the real
-  datapath model (SPM decode -> sparsity pointers -> PE MACs) and is
-  asserted equal to :func:`repro.nn.functional.conv2d` in the tests;
-  ``cycle_count`` is the vectorised cycle/utilisation model with
+- :class:`ConvLayerSimulator` — per-layer simulation. ``functional_forward``
+  computes the numeric output through the shared runtime engine
+  (:func:`repro.runtime.dispatch`) and the cycle/utilisation stats through
+  the vectorised model; ``datapath_forward`` additionally routes every
+  multiply through the explicit datapath (SPM decode -> sparsity pointers
+  -> PE MACs) and is asserted equal to :func:`repro.nn.functional.conv2d`
+  in the tests; ``cycle_count`` is the vectorised cycle model with
   per-window PE synchronisation (the source of irregular-pruning's
   imbalance penalty).
 - :func:`simulate_network_analytic` — closed-form network-level model
@@ -70,6 +72,31 @@ class ConvLayerSimulator:
         return cols.reshape(n * oh * ow, c, kernel * kernel), (oh, ow)
 
     def functional_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        stride: int = 1,
+        padding: int = 1,
+    ) -> LayerSimResult:
+        """Conv output + cycle stats for one layer.
+
+        The numeric output runs through the runtime engine
+        (:func:`repro.runtime.dispatch`) — the datapath is value-exact by
+        construction, so simulation only needs the engine's result plus
+        the vectorised cycle/utilisation model (identical accounting to
+        :meth:`cycle_count`). Use :meth:`datapath_forward` to push every
+        multiply through the explicit SPM-decode -> pointer -> PE model
+        instead (slow; for validation).
+        """
+        from ..runtime.engine import dispatch
+
+        counted = self.cycle_count(
+            x, (weight != 0).astype(np.int64), stride=stride, padding=padding
+        )
+        out = dispatch(x, weight, stride=stride, padding=padding)
+        return LayerSimResult(stats=counted.stats, windows=counted.windows, output=out)
+
+    def datapath_forward(
         self,
         x: np.ndarray,
         weight: np.ndarray,

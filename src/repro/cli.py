@@ -7,6 +7,8 @@ Gives downstream users the paper's numbers without writing code:
 - ``pcnn-repro speedup --model vgg16_cifar --n 1`` — Sec. IV-E estimates;
 - ``pcnn-repro prune --model patternnet --n 2 --out bundle.npz`` — prune a
   model and write a deployment bundle (optionally 8-bit quantized);
+- ``pcnn-repro predict --model patternnet --n 2 --batch 16`` — batched
+  inference through the runtime engine (micro-batching, backend choice);
 - ``pcnn-repro chip`` — Table IX breakdown + Fig. 6 floorplan.
 """
 
@@ -23,6 +25,7 @@ from .arch import PAPER_TECH, floorplan_ascii, simulate_network_analytic, tops_p
 from .core import PCNNConfig, PCNNPruner, pcnn_compression
 from .core.deploy import bundle_from_pruner
 from .models import MODEL_REGISTRY, create_model, model_input_shape, profile_model
+from .utils.timing import Timer
 
 __all__ = ["main"]
 
@@ -94,6 +97,62 @@ def cmd_prune(args) -> int:
     return 0
 
 
+def cmd_predict(args) -> int:
+    from . import runtime
+
+    if args.repeat < 1 or args.batch < 1:
+        print("error: --repeat and --batch must be >= 1", file=sys.stderr)
+        return 2
+    model, profile = _profile(args.model)
+    if args.n or args.layers:
+        config = _config_for(args, len(profile.prunable()))
+        pruner = PCNNPruner(model, config)
+        pruner.apply()
+        # With encodings attached, pruned convs execute straight from
+        # SPM storage (pattern backend) on the inference fast path.
+        pruner.attach_encodings()
+        setting = config.describe()
+    else:
+        setting = "dense"
+
+    shape = model_input_shape(args.model)
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=(args.batch, *shape))
+
+    runtime.default_cache.clear()
+    # Warm-up pass builds the execution plans; the timed passes then run
+    # entirely on cached plans — the engine's steady-state throughput.
+    try:
+        runtime.predict(model, x, micro_batch=args.micro_batch, backend=args.backend)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with Timer() as timer:
+        for _ in range(args.repeat):
+            out = runtime.predict(
+                model, x, micro_batch=args.micro_batch, backend=args.backend
+            )
+    cache = runtime.default_cache.stats
+    print(
+        format_table(
+            ["setting", "backend", "batch", "micro-batch", "latency (ms)",
+             "images/s", "plan cache"],
+            [[
+                setting,
+                args.backend or "auto",
+                str(args.batch),
+                str(args.micro_batch or args.batch),
+                f"{timer.elapsed / args.repeat * 1e3:.1f}",
+                f"{args.batch * args.repeat / timer.elapsed:.1f}",
+                f"{cache.hits} hits / {cache.misses} misses",
+            ]],
+            title=f"{args.model}: runtime.predict ({args.repeat} timed runs)",
+        )
+    )
+    print(f"output shape: {out.shape}")
+    return 0
+
+
 def cmd_chip(args) -> int:
     rows = PAPER_TECH.table_rows()
     print(
@@ -153,6 +212,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="quantize values to this many bits (e.g. 8)",
     )
     p_prune.set_defaults(func=cmd_prune)
+
+    p_pred = sub.add_parser(
+        "predict", help="batched inference through the runtime engine"
+    )
+    p_pred.add_argument(
+        "--model", default="patternnet", choices=sorted(MODEL_REGISTRY),
+        help="registered model name",
+    )
+    p_pred.add_argument(
+        "--n", type=int, default=None,
+        help="prune with this many non-zeros per kernel (default: stay dense)",
+    )
+    p_pred.add_argument("--patterns", type=int, default=None, help="pattern budget |P|")
+    p_pred.add_argument(
+        "--layers", default=None,
+        help="per-layer n string, e.g. 2-1-1-... (overrides --n)",
+    )
+    p_pred.add_argument("--batch", type=int, default=8, help="input batch size")
+    p_pred.add_argument(
+        "--micro-batch", type=int, default=None,
+        help="split the batch into chunks of this size",
+    )
+    p_pred.add_argument(
+        "--backend", default=None,
+        help="force a conv backend (default: auto-select per layer)",
+    )
+    p_pred.add_argument("--repeat", type=int, default=3, help="timed repetitions")
+    p_pred.add_argument("--seed", type=int, default=0, help="input RNG seed")
+    p_pred.set_defaults(func=cmd_predict)
 
     p_chip = sub.add_parser("chip", help="Table IX breakdown and floorplan")
     p_chip.set_defaults(func=cmd_chip)

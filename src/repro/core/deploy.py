@@ -36,6 +36,7 @@ class LayerBundle:
     patterns: np.ndarray  # codebook bitmasks
     shape: tuple
     weight_bits: int
+    _encoded: Optional[EncodedLayer] = field(default=None, repr=False, compare=False)
 
     @property
     def quantized(self) -> bool:
@@ -60,17 +61,52 @@ class LayerBundle:
             + table_bits
         )
 
+    def encoded_layer(self) -> EncodedLayer:
+        """SPM view of this layer (dequantized), cached for reuse.
+
+        Caching matters: the runtime engine memoizes pattern gather
+        indices on the :class:`EncodedLayer`, so repeated
+        :meth:`conv_forward` calls plan once and then only execute.
+        """
+        if self._encoded is None:
+            codebook = SPMCodebook(self.patterns, kernel_size=self.shape[-1])
+            if self.quantized:
+                values = self.values.astype(np.float64) * self.scales
+            else:
+                values = self.values
+            self._encoded = EncodedLayer(
+                codes=self.codes, values=values, codebook=codebook, shape=self.shape
+            )
+        return self._encoded
+
+    def conv_forward(
+        self,
+        x: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        stride: int = 1,
+        padding: int = 1,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Run this layer's convolution straight from bundle storage.
+
+        Routes through :func:`repro.runtime.dispatch`; by default the
+        pattern backend computes from the SPM encoding without ever
+        materialising the dense weight.
+        """
+        from ..runtime.engine import dispatch
+
+        return dispatch(
+            x,
+            encoded=self.encoded_layer(),
+            bias=bias,
+            stride=stride,
+            padding=padding,
+            backend=backend,
+        )
+
     def dense_weight(self) -> np.ndarray:
         """Reconstruct the dense pruned weight tensor."""
-        codebook = SPMCodebook(self.patterns, kernel_size=self.shape[-1])
-        if self.quantized:
-            values = self.values.astype(np.float64) * self.scales
-        else:
-            values = self.values
-        encoded = EncodedLayer(
-            codes=self.codes, values=values, codebook=codebook, shape=self.shape
-        )
-        return decode_layer(encoded)
+        return decode_layer(self.encoded_layer())
 
 
 @dataclass

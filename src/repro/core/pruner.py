@@ -142,6 +142,19 @@ class PCNNPruner:
             encoded[name] = encode_layer(module.effective_weight(), codebook)
         return encoded
 
+    def attach_encodings(self) -> Dict[str, EncodedLayer]:
+        """SPM-encode every pruned layer and attach the encodings.
+
+        After this, the runtime engine's no-grad fast path executes each
+        pruned conv straight from SPM storage through the pattern-sparse
+        backend (see :meth:`repro.nn.Conv2d.attach_encoding`). Returns
+        the encodings, keyed by layer name.
+        """
+        encoded = self.encode()
+        for name, module in self.layers:
+            module.attach_encoding(encoded[name])
+        return encoded
+
     def compression_report(
         self, profile: ModelProfile, setting: Optional[str] = None
     ) -> CompressionReport:

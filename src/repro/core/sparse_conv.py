@@ -7,12 +7,14 @@ so the layer decomposes into |P_l| grouped contractions over ``n`` columns
 each — exactly ``n/9`` of the dense multiplies, with no per-weight index
 decoding.
 
-An honest note the ``bench_software_sparse_conv`` benchmark quantifies: on
-commodity CPUs the dense path runs on highly tuned BLAS GEMM, so the 9/n
-*multiply* reduction does not translate into wall-clock wins at these
-sizes — which is precisely the paper's argument for building a
-pattern-aware accelerator rather than relying on general-purpose hardware
-(Sec. I). The cycle-level win is measured by :mod:`repro.arch.simulator`.
+Execution lives in :mod:`repro.runtime`: the ``pattern`` backend turns
+the grouped structure into a single BLAS GEMM against a cached grouped
+weight matrix (an order of magnitude over a per-pattern gather loop —
+``bench_software_sparse_conv`` quantifies it). An honest note remains: at
+CIFAR-era sizes dense BLAS GEMM is still roughly on par wall-clock, which
+is precisely the paper's argument for building a pattern-aware
+accelerator rather than relying on general-purpose hardware (Sec. I).
+The cycle-level win is measured by :mod:`repro.arch.simulator`.
 """
 
 from __future__ import annotations
@@ -21,8 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..nn.functional import im2col
-from .patterns import pattern_positions
+from ..runtime.engine import dispatch
 from .spm import EncodedLayer
 
 __all__ = ["pattern_sparse_conv2d", "sparse_conv_flops", "dense_conv_flops"]
@@ -51,43 +52,19 @@ def pattern_sparse_conv2d(
     """Convolution computed directly from SPM storage.
 
     Equivalent to ``conv2d(x, decode_layer(encoded))`` but never
-    materialises the zeros: kernels are grouped by SPM code, each group
-    gathers only its pattern's ``n`` im2col columns, and per-filter
-    partial sums are segment-reduced.
+    materialises the zeros. Thin wrapper over
+    :func:`repro.runtime.dispatch` with the ``pattern`` backend: the
+    layer's cached gather plan maps each stored value to its im2col
+    column, one fused gather + contraction computes every kernel's
+    partial sum, and per-filter segment reduction assembles the output.
+    The output dtype follows ``np.result_type(x, encoded.values)`` so
+    float32 pipelines stay float32 end-to-end.
     """
-    c_out, c_in, kh, kw = encoded.shape
-    batch = x.shape[0]
-    if x.shape[1] != c_in:
-        raise ValueError(f"channel mismatch: input {x.shape[1]} vs weights {c_in}")
-
-    cols, (oh, ow) = im2col(x, (kh, kw), stride, padding)  # (W, C*k2)
-    num_windows = cols.shape[0]
-    k2 = kh * kw
-    out = np.zeros((num_windows, c_out))
-
-    codes = encoded.codes
-    values = encoded.values
-    # Kernel index k corresponds to (filter f, channel c) = divmod(k, c_in).
-    kernel_filters, kernel_channels = np.divmod(np.arange(len(codes)), c_in)
-
-    for code in np.unique(codes):
-        positions = np.array(
-            pattern_positions(encoded.codebook.pattern(int(code)), kh), dtype=np.int64
-        )
-        members = np.flatnonzero(codes == code)
-        # Sort group members by filter so per-filter sums are contiguous.
-        order = members[np.argsort(kernel_filters[members], kind="stable")]
-        filters_sorted = kernel_filters[order]
-        col_idx = kernel_channels[order][:, None] * k2 + positions[None, :]
-        gathered = cols[:, col_idx]  # (W, m, n)
-        contributions = np.einsum("wmn,mn->wm", gathered, values[order])
-        # Segment-sum runs of equal filter index.
-        boundaries = np.flatnonzero(
-            np.concatenate(([True], filters_sorted[1:] != filters_sorted[:-1]))
-        )
-        sums = np.add.reduceat(contributions, boundaries, axis=1)
-        out[:, filters_sorted[boundaries]] += sums
-
-    if bias is not None:
-        out = out + bias
-    return out.reshape(batch, oh, ow, c_out).transpose(0, 3, 1, 2)
+    return dispatch(
+        x,
+        encoded=encoded,
+        bias=bias,
+        stride=stride,
+        padding=padding,
+        backend="pattern",
+    )

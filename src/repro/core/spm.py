@@ -13,19 +13,26 @@ the hardware's Pattern Config block provides to the decoder (Fig. 3a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import ceil, log2
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .patterns import (
     best_pattern_indices,
+    pattern_positions,
     patterns_to_bit_matrix,
     popcount,
 )
 
-__all__ = ["SPMCodebook", "EncodedLayer", "encode_layer", "decode_layer"]
+__all__ = [
+    "SPMCodebook",
+    "PatternGatherPlan",
+    "EncodedLayer",
+    "encode_layer",
+    "decode_layer",
+]
 
 
 class SPMCodebook:
@@ -84,6 +91,33 @@ class SPMCodebook:
 
 
 @dataclass
+class PatternGatherPlan:
+    """Precomputed im2col gather geometry for one encoded layer.
+
+    ``positions_by_code[g]`` holds pattern ``g``'s ``n`` kernel positions
+    (decoded once per code, never per forward call) — the index state the
+    grouped-contraction backend reads on every execution. ``col_idx()``
+    expands it to the per-kernel view for gather-style consumers:
+    ``col_idx[k, j]`` is the im2col column holding the activation that
+    multiplies ``values[k, j]``, i.e. ``channel(k) * k^2 +
+    positions_by_code[code_k, j]`` (kernel ``k`` is ``(filter, channel) =
+    divmod(k, C_in)``). It is derived on demand — a pure function of the
+    cached fields, so there is no second cache to keep in sync.
+    """
+
+    positions_by_code: np.ndarray  # (|P|, n) int64 kernel positions per code
+    codes: np.ndarray  # (kernels,) SPM code per kernel
+    c_in: int
+    n: int
+    k2: int
+
+    def col_idx(self) -> np.ndarray:
+        """(kernels, n) int64 im2col gather column per stored value."""
+        channels = np.arange(len(self.codes), dtype=np.int64) % self.c_in
+        return channels[:, None] * self.k2 + self.positions_by_code[self.codes]
+
+
+@dataclass
 class EncodedLayer:
     """A layer's weights in PCNN storage format.
 
@@ -104,10 +138,88 @@ class EncodedLayer:
     values: np.ndarray
     codebook: SPMCodebook
     shape: Tuple[int, int, int, int]
+    _gather_plan: Optional[PatternGatherPlan] = field(
+        default=None, repr=False, compare=False
+    )
+    _grouped_weights: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _decoded: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def num_kernels(self) -> int:
         return len(self.codes)
+
+    def decoded_weight(self) -> np.ndarray:
+        """Dense (pruned) weight tensor, decoded once and memoized.
+
+        The runtime engine's dense/tiled backends (and the pattern
+        backend's diverse-codebook fallback) read this on repeated
+        forwards; treat the returned array as read-only.
+        """
+        if self._decoded is None:
+            self._decoded = decode_layer(self)
+        return self._decoded
+
+    def gather_plan(self) -> PatternGatherPlan:
+        """Cached im2col gather indices for the pattern-sparse conv.
+
+        Pattern positions are decoded once per *code* and broadcast to
+        kernels through the codes array; the result is memoized on the
+        layer so repeated forward passes (the runtime engine's hot path)
+        never repeat the index math. The layer treats codes, values and
+        codebook as immutable after encoding; if you mutate them anyway,
+        call :meth:`invalidate_caches`.
+        """
+        if self._gather_plan is None:
+            c_out, c_in, kh, kw = self.shape
+            k2 = kh * kw
+            n = self.codebook.n_nonzero
+            positions_by_code = np.array(
+                [
+                    pattern_positions(self.codebook.pattern(code), kh)
+                    for code in range(len(self.codebook))
+                ],
+                dtype=np.int64,
+            ).reshape(len(self.codebook), n)
+            self._gather_plan = PatternGatherPlan(
+                positions_by_code=positions_by_code,
+                codes=self.codes,
+                c_in=c_in,
+                n=n,
+                k2=k2,
+            )
+        return self._gather_plan
+
+    def grouped_weight_matrix(self) -> np.ndarray:
+        """Cached ``(|P| * C_in * n, C_out)`` grouped-contraction weights.
+
+        The paper's central regularity claim, in matrix form: because all
+        kernels sharing an SPM code read the same ``n`` positions, the
+        layer's convolution is ``A @ B`` where ``A`` gathers the
+        ``|P| * n`` pattern positions per input channel from the im2col
+        matrix and ``B`` scatters each kernel's non-zero sequence into
+        its ``(code, channel)`` block — zeros everywhere a kernel belongs
+        to a different group. One BLAS GEMM replaces per-pattern Python
+        loops; built once per layer and memoized.
+        """
+        if self._grouped_weights is None:
+            c_out, c_in, kh, kw = self.shape
+            n = self.codebook.n_nonzero
+            num_patterns = len(self.codebook)
+            kernels = np.arange(self.num_kernels)
+            grouped = np.zeros(
+                (num_patterns, c_in, n, c_out), dtype=self.values.dtype
+            )
+            grouped[self.codes, kernels % c_in, :, kernels // c_in] = self.values
+            self._grouped_weights = grouped.reshape(num_patterns * c_in * n, c_out)
+        return self._grouped_weights
+
+    def invalidate_caches(self) -> None:
+        """Drop cached gather/weight state after mutating the layer."""
+        self._gather_plan = None
+        self._grouped_weights = None
+        self._decoded = None
 
     @property
     def weight_bits_per_kernel(self) -> int:
@@ -134,9 +246,10 @@ def encode_layer(weight: np.ndarray, codebook: SPMCodebook) -> EncodedLayer:
     indices = best_pattern_indices(kernels, codebook.patterns, codebook.kernel_size)
     bits = patterns_to_bit_matrix(codebook.patterns, codebook.kernel_size).astype(bool)
     n = codebook.n_nonzero
-    values = np.zeros((len(kernels), n))
-    for i, (kernel, code) in enumerate(zip(kernels, indices)):
-        values[i] = kernel[bits[code]]
+    # Boolean-mask selection walks rows in order and each row's True
+    # positions in kernel-position order — exactly the non-zero sequence
+    # layout, with no per-kernel Python loop.
+    values = kernels[bits[indices]].reshape(len(kernels), n).astype(weight.dtype, copy=False)
     return EncodedLayer(
         codes=indices.astype(np.int64),
         values=values,
@@ -154,7 +267,6 @@ def decode_layer(encoded: EncodedLayer) -> np.ndarray:
     """
     c_out, c_in, kh, kw = encoded.shape
     bits = patterns_to_bit_matrix(encoded.codebook.patterns, kh).astype(bool)
-    kernels = np.zeros((encoded.num_kernels, kh * kw))
-    for i, code in enumerate(encoded.codes):
-        kernels[i][bits[code]] = encoded.values[i]
+    kernels = np.zeros((encoded.num_kernels, kh * kw), dtype=encoded.values.dtype)
+    kernels[bits[encoded.codes]] = encoded.values.ravel()
     return kernels.reshape(c_out, c_in, kh, kw)

@@ -115,12 +115,24 @@ def conv2d(
     if c_in != c_in_w:
         raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
 
-    cols, (oh, ow) = im2col(x.data, (kh, kw), stride, padding)
-    w_mat = weight.data.reshape(c_out, -1)
-    out = cols @ w_mat.T  # (N*OH*OW, C_out)
-    if bias is not None:
-        out = out + bias.data
-    out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+    # The forward computation runs through the runtime engine's dense
+    # backend (identical im2col + GEMM math); the workspace hands back the
+    # column matrix the backward pass needs. Imported lazily because the
+    # runtime package itself builds on this module.
+    from ..runtime import engine as _engine
+
+    workspace: dict = {}
+    out = _engine.dispatch(
+        x.data,
+        weight.data,
+        bias=bias.data if bias is not None else None,
+        stride=stride,
+        padding=padding,
+        backend="dense",
+        workspace=workspace,
+    )
+    cols = workspace["cols"]
+    w_mat = workspace["w_mat"]
 
     parents = [x, weight] + ([bias] if bias is not None else [])
 

@@ -138,6 +138,10 @@ class Module:
                 buffers[name][...] = value
             else:
                 raise KeyError(f"unexpected key in state dict: {name}")
+        # Restored weights invalidate any attached SPM encodings.
+        for module in self.modules():
+            if isinstance(module, Conv2d) and module.encoded is not None:
+                module.attach_encoding(None)
 
     # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
@@ -165,6 +169,7 @@ class Conv2d(Module):
         padding: int = 0,
         bias: bool = True,
         rng: Optional[np.random.Generator] = None,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
@@ -173,10 +178,14 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        # Runtime-engine backend override for inference ("dense", "tiled",
+        # ...); None lets repro.runtime.dispatch auto-select per input.
+        self.backend = backend
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng), name="conv.weight")
         self.bias = Parameter(init.zeros((out_channels,)), name="conv.bias") if bias else None
         self._weight_mask: Optional[np.ndarray] = None
+        self._encoded = None
 
     @property
     def weight_mask(self) -> Optional[np.ndarray]:
@@ -197,6 +206,32 @@ class Conv2d(Module):
                 )
         object.__setattr__(self, "_weight_mask", mask)
         self._buffers.pop("_weight_mask", None)
+        # A new mask invalidates any attached SPM encoding.
+        object.__setattr__(self, "_encoded", None)
+
+    @property
+    def encoded(self):
+        return self._encoded
+
+    def attach_encoding(self, encoded) -> None:
+        """Attach (or clear with ``None``) an SPM encoding of this layer.
+
+        Inference-time state for the runtime engine: with an encoding
+        attached, the no-grad fast path hands it to
+        ``repro.runtime.dispatch`` so the pattern-sparse backend can
+        compute straight from SPM storage. The encoding clears
+        automatically on the events the framework can see: installing a
+        new weight mask, a gradient-mode forward (training updates the
+        dense weights the snapshot came from), and ``load_state_dict``.
+        Direct in-place surgery on ``weight.data`` is invisible to the
+        layer — clear or re-attach manually after it.
+        """
+        if encoded is not None and tuple(encoded.shape) != self.weight.data.shape:
+            raise ValueError(
+                f"encoding shape {tuple(encoded.shape)} != weight shape "
+                f"{self.weight.data.shape}"
+            )
+        object.__setattr__(self, "_encoded", encoded)
 
     def effective_weight(self) -> np.ndarray:
         """Weight array as used in forward (mask applied)."""
@@ -205,6 +240,31 @@ class Conv2d(Module):
         return self.weight.data * self._weight_mask
 
     def forward(self, x: Tensor) -> Tensor:
+        from .tensor import is_grad_enabled
+
+        if not is_grad_enabled():
+            # Inference fast path: no autograd graph to build, so go
+            # straight through the runtime engine (which may pick a
+            # sparse or tiled backend) instead of the training conv.
+            # With an encoding attached the dense weight is never read,
+            # so skip materialising it.
+            from ..runtime import engine as _engine
+
+            out = _engine.dispatch(
+                x.data,
+                self.effective_weight() if self._encoded is None else None,
+                encoded=self._encoded,
+                bias=self.bias.data if self.bias is not None else None,
+                stride=self.stride,
+                padding=self.padding,
+                backend=self.backend,
+            )
+            return Tensor(out)
+        if self._encoded is not None:
+            # A gradient-mode forward means the weights are about to be
+            # (or may already have been) updated; drop the deployment
+            # encoding rather than risk stale SPM inference later.
+            object.__setattr__(self, "_encoded", None)
         weight = self.weight
         if self._weight_mask is not None:
             weight = weight * Tensor(self._weight_mask)

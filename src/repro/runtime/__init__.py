@@ -1,0 +1,51 @@
+"""repro.runtime — unified conv execution engine.
+
+One shared, plan-caching execution layer for every convolution in the
+reproduction (nn forward passes, SPM-encoded inference, deployment
+bundles, the accelerator simulator's functional path):
+
+- :func:`dispatch` — single entry point; selects a backend from layer
+  shape + encoding and executes through a cached
+  :class:`ExecutionPlan`.
+- :class:`ConvBackend` registry — ``dense`` (im2col + GEMM reference),
+  ``pattern`` (fused gather over SPM storage), ``tiled`` (bounded-memory
+  GEMM for large inputs); :func:`register_backend` adds more.
+- :class:`PlanCache` — memoizes per-geometry planning; pattern gather
+  indices are additionally cached on each
+  :class:`~repro.core.spm.EncodedLayer`.
+- :func:`predict` — batched inference with configurable micro-batch
+  splitting.
+"""
+
+from .backends import (
+    ConvBackend,
+    DenseGemmBackend,
+    PatternSparseBackend,
+    TiledBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .engine import ConvRequest, default_cache, dispatch, select_backend
+from .plan import ExecutionPlan, PlanCache, PlanCacheStats
+from .predict import PredictStats, conv_backend_override, predict
+
+__all__ = [
+    "ConvBackend",
+    "DenseGemmBackend",
+    "PatternSparseBackend",
+    "TiledBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "ConvRequest",
+    "dispatch",
+    "select_backend",
+    "default_cache",
+    "ExecutionPlan",
+    "PlanCache",
+    "PlanCacheStats",
+    "PredictStats",
+    "predict",
+    "conv_backend_override",
+]

@@ -1,0 +1,275 @@
+"""Pluggable convolution backends for the runtime engine.
+
+Every conv in the repo — training forward passes, SPM-encoded inference,
+the accelerator simulator's functional path — reduces to the same
+contract: turn ``(x, weight-or-encoding, stride, padding)`` into a
+``(windows, C_out)`` output matrix. A :class:`ConvBackend` implements
+that contract one way; the registry lets :func:`repro.runtime.dispatch`
+pick the right implementation from the request's shape and encoding, and
+lets downstream code (tests, benchmarks, future accelerator bindings)
+register new ones without touching call-sites.
+
+Built-in backends:
+
+- :class:`DenseGemmBackend` — im2col + BLAS GEMM, the reference path
+  (numerically identical to :func:`repro.nn.functional.conv2d`).
+- :class:`PatternSparseBackend` — computes directly from SPM storage as
+  one grouped-contraction GEMM against the layer's cached gather plan
+  and grouped weight matrix (possible because PCNN keeps ``n`` equal
+  across a layer's kernels).
+- :class:`TiledBackend` — im2col + GEMM over output-row tiles, bounding
+  workspace memory for large inputs (ImageNet-scale activations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..nn.functional import im2col
+from .plan import ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ConvRequest
+
+__all__ = [
+    "ConvBackend",
+    "DenseGemmBackend",
+    "PatternSparseBackend",
+    "TiledBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+# Workspace bound (elements) per im2col / gather slab: above this, the
+# tiled and pattern backends split the work over output-row slabs, and
+# auto-selection prefers "tiled" over "dense".
+TILE_THRESHOLD_ELEMENTS = 1 << 22
+# Above this ratio of grouped-matrix size to dense-weight size
+# (|P| * n / k^2), the pattern backend decodes and runs a dense GEMM.
+GROUPED_EXPANSION_LIMIT = 4.0
+
+
+@runtime_checkable
+class ConvBackend(Protocol):
+    """Protocol every registered conv backend satisfies."""
+
+    name: str
+
+    def supports(self, request: "ConvRequest") -> bool:
+        """Whether this backend can execute the request at all."""
+        ...
+
+    def execute(
+        self,
+        request: "ConvRequest",
+        plan: ExecutionPlan,
+        workspace: Optional[dict] = None,
+    ) -> np.ndarray:
+        """Run the convolution, returning a ``(windows, C_out)`` matrix.
+
+        ``workspace``, when a dict, asks the backend to stash reusable
+        intermediates (the dense backend stores ``cols`` for autograd).
+        """
+        ...
+
+
+def _dense_weight(request: "ConvRequest") -> np.ndarray:
+    """Dense weight tensor of a request, decoding SPM storage if needed.
+
+    Decoding is memoized on the ``EncodedLayer``, so repeated forwards
+    pay it once.
+    """
+    if request.weight is not None:
+        return request.weight
+    return request.encoded.decoded_weight()
+
+
+def _iter_im2col_row_slabs(x: np.ndarray, plan: ExecutionPlan, workspace_per_row: int):
+    """Yield ``(r0, r1, cols)`` output-row slabs of the im2col matrix.
+
+    Pads once, then materialises columns slab-by-slab so peak workspace
+    stays under ``TILE_THRESHOLD_ELEMENTS`` (``workspace_per_row`` is the
+    caller's worst per-output-row element count). Small geometries come
+    out as a single slab — the monolithic fast path.
+    """
+    kh, kw = plan.kernel
+    stride, padding = plan.stride, plan.padding
+    oh, _ = plan.out_hw
+    rows = max(1, min(oh, TILE_THRESHOLD_ELEMENTS // max(1, workspace_per_row)))
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    for r0 in range(0, oh, rows):
+        r1 = min(r0 + rows, oh)
+        x_slab = x[:, :, r0 * stride : (r1 - 1) * stride + kh, :]
+        cols, _ = im2col(x_slab, (kh, kw), stride, 0)
+        yield r0, r1, cols
+
+
+class DenseGemmBackend:
+    """Reference im2col + GEMM path (what ``nn.functional.conv2d`` runs)."""
+
+    name = "dense"
+
+    def supports(self, request: "ConvRequest") -> bool:
+        return request.weight is not None or request.encoded is not None
+
+    def execute(
+        self,
+        request: "ConvRequest",
+        plan: ExecutionPlan,
+        workspace: Optional[dict] = None,
+    ) -> np.ndarray:
+        weight = _dense_weight(request)
+        cols, _ = im2col(request.x, plan.kernel, plan.stride, plan.padding)
+        w_mat = weight.reshape(plan.out_channels, -1)
+        out = cols @ w_mat.T
+        if workspace is not None:
+            workspace["cols"] = cols
+            workspace["w_mat"] = w_mat
+        return out
+
+
+class PatternSparseBackend:
+    """Grouped-contraction conv straight from SPM storage.
+
+    The paper's regularity argument executed literally: kernels sharing
+    an SPM code read the same ``n`` positions, so the layer collapses to
+    ``A @ B`` — ``A`` gathers the ``|P| * n`` cached pattern positions
+    per input channel from the im2col matrix (a cheap slice, not a
+    per-kernel fancy gather) and ``B`` is the layer's memoized grouped
+    weight matrix (:meth:`~repro.core.spm.EncodedLayer.grouped_weight_matrix`).
+    One BLAS GEMM of ``|P| * n / k^2`` relative width replaces the seed's
+    per-pattern Python loop. When the codebook is so diverse that the
+    grouped matrix would exceed ``GROUPED_EXPANSION_LIMIT`` times the
+    dense weight, the backend falls back to decode + dense GEMM (still
+    zero per-call index math). Both paths run over bounded output-row
+    slabs, so large inputs never materialise a monolithic im2col.
+    """
+
+    name = "pattern"
+
+    def supports(self, request: "ConvRequest") -> bool:
+        return request.encoded is not None
+
+    def execute(
+        self,
+        request: "ConvRequest",
+        plan: ExecutionPlan,
+        workspace: Optional[dict] = None,
+    ) -> np.ndarray:
+        encoded = request.encoded
+        kh, kw = plan.kernel
+        c_in = plan.in_channels
+        c_out = plan.out_channels
+        k2 = kh * kw
+        oh, ow = plan.out_hw
+        batch = plan.batch
+        n = encoded.codebook.n_nonzero
+        num_patterns = len(encoded.codebook)
+
+        if num_patterns * n / k2 > GROUPED_EXPANSION_LIMIT:
+            # Diverse codebook: the grouped matrix would dwarf the dense
+            # weight, so run a GEMM against the memoized decoded weight.
+            gather = None
+            w_mat = encoded.decoded_weight().reshape(c_out, -1)
+            per_row = batch * ow * c_in * k2
+        else:
+            gather = encoded.gather_plan()
+            grouped = encoded.grouped_weight_matrix()  # (|P| * C_in * n, C_out)
+            # Worst per-output-row workspace: im2col columns or the
+            # gathered A matrix, whichever is wider.
+            per_row = batch * ow * max(c_in * k2, grouped.shape[0])
+
+        out = np.empty(
+            (batch, oh, ow, c_out),
+            dtype=np.result_type(request.x.dtype, encoded.values.dtype),
+        )
+        for r0, r1, cols in _iter_im2col_row_slabs(request.x, plan, per_row):
+            if gather is None:
+                tile = cols @ w_mat.T
+            else:
+                # (slab, C_in, |P|, n) -> (slab, |P| * C_in * n), matching
+                # the grouped weight matrix's (code, channel, slot) layout.
+                cols_r = cols.reshape(-1, c_in, k2)
+                gathered = cols_r[:, :, gather.positions_by_code]
+                a_mat = gathered.transpose(0, 2, 1, 3).reshape(len(cols_r), -1)
+                tile = a_mat @ grouped
+            out[:, r0:r1] = tile.reshape(batch, r1 - r0, ow, c_out)
+        return out.reshape(batch * oh * ow, c_out)
+
+
+class TiledBackend:
+    """im2col + GEMM over output-row tiles with bounded workspace.
+
+    Pads once, then materialises the column matrix tile-by-tile so the
+    peak workspace stays under ``TILE_THRESHOLD_ELEMENTS`` even for
+    ImageNet-scale activations where a monolithic im2col would be
+    hundreds of megabytes.
+    """
+
+    name = "tiled"
+
+    def supports(self, request: "ConvRequest") -> bool:
+        return request.weight is not None or request.encoded is not None
+
+    def execute(
+        self,
+        request: "ConvRequest",
+        plan: ExecutionPlan,
+        workspace: Optional[dict] = None,
+    ) -> np.ndarray:
+        weight = _dense_weight(request)
+        kh, kw = plan.kernel
+        oh, ow = plan.out_hw
+        batch = plan.batch
+
+        w_mat = weight.reshape(plan.out_channels, -1)
+        out = np.empty(
+            (batch, oh, ow, plan.out_channels),
+            dtype=np.result_type(request.x.dtype, weight.dtype),
+        )
+        per_row = batch * ow * plan.in_channels * kh * kw
+        for r0, r1, cols in _iter_im2col_row_slabs(request.x, plan, per_row):
+            tile = cols @ w_mat.T  # (batch * rows * ow, C_out)
+            out[:, r0:r1] = tile.reshape(batch, r1 - r0, ow, plan.out_channels)
+        return out.reshape(batch * oh * ow, plan.out_channels)
+
+
+# ---------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------
+_REGISTRY: Dict[str, ConvBackend] = {}
+
+
+def register_backend(backend: ConvBackend, overwrite: bool = False) -> ConvBackend:
+    """Register a backend under ``backend.name``; returns it for chaining."""
+    name = backend.name
+    if not name:
+        raise ValueError("backend needs a non-empty name")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {name!r} already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ConvBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown conv backend {name!r}; registered: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends, in registration order."""
+    return list(_REGISTRY)
+
+
+register_backend(PatternSparseBackend())
+register_backend(DenseGemmBackend())
+register_backend(TiledBackend())

@@ -1,0 +1,153 @@
+"""Unified conv execution engine — the single entry point for every
+convolution in the repo.
+
+:func:`dispatch` selects a registered :class:`~repro.runtime.backends.ConvBackend`
+from the request's shape and encoding (explicit override wins), pulls the
+memoized :class:`~repro.runtime.plan.ExecutionPlan` for the geometry from
+the process-wide :data:`default_cache`, executes, and applies bias +
+NCHW reshape uniformly so all backends are bit-comparable.
+
+Selection policy (first match):
+
+1. an SPM encoding is present → ``pattern`` (compute from sparse storage);
+2. the monolithic im2col workspace would exceed the tiling threshold →
+   ``tiled``;
+3. otherwise → ``dense`` (BLAS GEMM reference path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from .backends import TILE_THRESHOLD_ELEMENTS, get_backend
+from .plan import ExecutionPlan, PlanCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.spm import EncodedLayer
+
+__all__ = ["ConvRequest", "dispatch", "select_backend", "default_cache"]
+
+#: Process-wide plan cache shared by every dispatch() call that does not
+#: bring its own. Keys are pure geometry, so it never goes stale.
+default_cache = PlanCache()
+
+
+@dataclass
+class ConvRequest:
+    """One convolution to execute: input + (weight | SPM encoding)."""
+
+    x: np.ndarray
+    weight: Optional[np.ndarray] = None
+    encoded: Optional["EncodedLayer"] = None
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight is None and self.encoded is None:
+            raise ValueError("ConvRequest needs a weight or an encoded layer")
+        if self.x.ndim != 4:
+            raise ValueError(f"input must be (N, C, H, W), got shape {self.x.shape}")
+        c_in = self.weight_shape[1]
+        if self.x.shape[1] != c_in:
+            raise ValueError(
+                f"channel mismatch: input {self.x.shape[1]} vs weights {c_in}"
+            )
+
+    @property
+    def weight_shape(self) -> Tuple[int, int, int, int]:
+        if self.weight is not None:
+            return tuple(self.weight.shape)  # type: ignore[return-value]
+        return self.encoded.shape
+
+
+def select_backend(request: ConvRequest) -> str:
+    """Pick a backend name from the request's encoding and geometry."""
+    if request.encoded is not None:
+        return "pattern"
+    n, c_in, h, w = request.x.shape
+    _, _, kh, kw = request.weight_shape
+    from ..nn.functional import conv_output_size
+
+    oh = conv_output_size(h, kh, request.stride, request.padding)
+    ow = conv_output_size(w, kw, request.stride, request.padding)
+    if n * oh * ow * c_in * kh * kw > TILE_THRESHOLD_ELEMENTS:
+        return "tiled"
+    return "dense"
+
+
+def _plan_key(request: ConvRequest, backend_name: str) -> tuple:
+    return (
+        backend_name,
+        request.x.shape,
+        request.weight_shape,
+        request.stride,
+        request.padding,
+    )
+
+
+def dispatch(
+    x: np.ndarray,
+    weight: Optional[np.ndarray] = None,
+    *,
+    encoded: Optional["EncodedLayer"] = None,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+    backend: Optional[str] = None,
+    cache: Optional[PlanCache] = None,
+    workspace: Optional[dict] = None,
+) -> np.ndarray:
+    """Execute a convolution through the engine.
+
+    Parameters
+    ----------
+    x:
+        Input activations ``(N, C_in, H, W)``.
+    weight:
+        Dense filters ``(C_out, C_in, KH, KW)``; optional when
+        ``encoded`` is given (backends decode on demand).
+    encoded:
+        SPM-encoded layer; routes to the pattern backend by default.
+    bias:
+        Optional per-output-channel bias ``(C_out,)``.
+    backend:
+        Explicit backend name (overrides auto-selection).
+    cache:
+        Plan cache to use; defaults to the process-wide one.
+    workspace:
+        Dict to receive backend intermediates (e.g. ``cols`` for the
+        autograd backward pass); only honoured by the dense backend.
+
+    Returns
+    -------
+    Output activations ``(N, C_out, OH, OW)``.
+    """
+    request = ConvRequest(
+        x=x, weight=weight, encoded=encoded, stride=stride, padding=padding
+    )
+    name = backend or select_backend(request)
+    impl = get_backend(name)
+    if not impl.supports(request):
+        raise ValueError(f"backend {name!r} does not support this request")
+
+    plans = default_cache if cache is None else cache
+    key = _plan_key(request, name)
+    plan = plans.get_or_build(
+        key,
+        lambda: ExecutionPlan.build(
+            key, request.x.shape, request.weight_shape, stride, padding
+        ),
+    )
+
+    out = impl.execute(request, plan, workspace=workspace)
+    if bias is not None:
+        # Harmonise dtype so a float64 bias cannot silently promote a
+        # float32 activation path.
+        out = out + np.asarray(bias).astype(out.dtype, copy=False)
+    oh, ow = plan.out_hw
+    return (
+        out.reshape(plan.batch, oh, ow, plan.out_channels).transpose(0, 3, 1, 2)
+    )

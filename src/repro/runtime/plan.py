@@ -1,0 +1,155 @@
+"""Execution plans and the plan cache for the conv runtime engine.
+
+Planning a convolution — output geometry, tiling splits, gather-index
+layout — depends only on *shapes* (input shape, weight shape, stride,
+padding), never on the values flowing through. The engine therefore
+separates the two: a :class:`PlanCache` memoizes one
+:class:`ExecutionPlan` per distinct geometry (output size validated and
+computed once), so repeated forward passes — batched inference,
+compression sweeps, benchmark loops — pay the planning cost exactly
+once.
+
+Pattern *gather* indices (the ``col_idx`` arrays derived from SPM codes)
+additionally depend on a layer's codes/codebook; those are cached on the
+:class:`repro.core.spm.EncodedLayer` itself (see ``gather_plan()``), so
+the plan cache here can stay purely geometric and never worries about
+weight mutation or object identity reuse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from ..nn.functional import conv_output_size
+
+__all__ = ["ExecutionPlan", "PlanCache", "PlanCacheStats"]
+
+PlanKey = Tuple[Any, ...]
+
+
+@dataclass
+class ExecutionPlan:
+    """Memoized per-geometry convolution plan.
+
+    Holds the validated im2col geometry shared by every backend. Plans
+    are shared by every request with the same key, so any state added
+    here must be derivable from the key's shapes alone — never from a
+    particular layer's codebook or values (layer-dependent caches belong
+    on the ``EncodedLayer``).
+    """
+
+    key: PlanKey
+    batch: int
+    in_channels: int
+    out_channels: int
+    kernel: Tuple[int, int]
+    stride: int
+    padding: int
+    out_hw: Tuple[int, int]
+
+    @property
+    def windows(self) -> int:
+        oh, ow = self.out_hw
+        return self.batch * oh * ow
+
+    @property
+    def im2col_elements(self) -> int:
+        """Size of the full im2col matrix this geometry implies."""
+        kh, kw = self.kernel
+        return self.windows * self.in_channels * kh * kw
+
+    @classmethod
+    def build(
+        cls,
+        key: PlanKey,
+        x_shape: Tuple[int, int, int, int],
+        weight_shape: Tuple[int, int, int, int],
+        stride: int,
+        padding: int,
+    ) -> "ExecutionPlan":
+        n, c_in, h, w = x_shape
+        c_out, _, kh, kw = weight_shape
+        oh = conv_output_size(h, kh, stride, padding)
+        ow = conv_output_size(w, kw, stride, padding)
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"convolution geometry collapses: input {h}x{w}, kernel "
+                f"{kh}x{kw}, stride {stride}, padding {padding} -> {oh}x{ow}"
+            )
+        return cls(
+            key=key,
+            batch=n,
+            in_channels=c_in,
+            out_channels=c_out,
+            kernel=(kh, kw),
+            stride=stride,
+            padding=padding,
+            out_hw=(oh, ow),
+        )
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting for a :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """LRU cache of :class:`ExecutionPlan` keyed by geometry.
+
+    Keys are pure value tuples (backend name + shapes + stride/padding),
+    so a cached plan can never go stale through weight mutation — only
+    through an explicit :meth:`invalidate` / :meth:`clear`, which exist
+    for callers that want deterministic re-planning (tests, benchmarks).
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def get_or_build(
+        self, key: PlanKey, builder: Callable[[], ExecutionPlan]
+    ) -> ExecutionPlan:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.stats.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.stats.misses += 1
+        plan = builder()
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+        return plan
+
+    def invalidate(self, key: PlanKey) -> bool:
+        """Drop one plan; returns whether it was present."""
+        return self._plans.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every plan and reset the statistics."""
+        self._plans.clear()
+        self.stats = PlanCacheStats()

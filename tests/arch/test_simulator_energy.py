@@ -60,6 +60,20 @@ class TestFunctionalEquivalence:
         reference = conv2d(Tensor(x), Tensor(weight), stride=2, padding=1).data
         np.testing.assert_allclose(result.output, reference, rtol=1e-10)
 
+    def test_datapath_forward_matches_engine(self):
+        """The explicit SPM-decode -> pointer -> PE path stays value-exact
+        and cycle-identical to the vectorised functional_forward."""
+        rng = np.random.default_rng(10)
+        x = np.abs(rng.normal(size=(1, 2, 5, 5)))
+        x[rng.random(x.shape) < 0.3] = 0.0
+        weight = project_topn(rng.normal(size=(4, 2, 3, 3)), 3)
+        sim = ConvLayerSimulator(ArchConfig(num_pes=4, macs_per_pe=4))
+        datapath = sim.datapath_forward(x, weight, padding=1)
+        functional = sim.functional_forward(x, weight, padding=1)
+        np.testing.assert_allclose(datapath.output, functional.output, rtol=1e-10)
+        assert datapath.stats.cycles == functional.stats.cycles
+        assert datapath.stats.effectual_macs == functional.stats.effectual_macs
+
     def test_pruned_model_layer_through_simulator(self):
         """End-to-end: PCNN-pruned PatternNet layer == simulator output."""
         model = patternnet(channels=(4,), num_classes=2, rng=np.random.default_rng(5))

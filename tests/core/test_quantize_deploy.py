@@ -147,6 +147,31 @@ class TestDeploymentBundle:
                 loaded.layers[name].dense_weight(), bundle.layers[name].dense_weight()
             )
 
+    def test_layer_conv_forward_through_engine(self):
+        """Bundle layers execute straight from SPM storage via dispatch()."""
+        model, pruner = fresh_pruned_model(seed=3)
+        bundle = bundle_from_pruner(pruner)
+        rng = np.random.default_rng(4)
+        name, layer = next(iter(bundle.layers.items()))
+        x = rng.normal(size=(2, layer.shape[1], 8, 8))
+        out = layer.conv_forward(x, padding=1)
+        reference = conv2d(
+            Tensor(x), Tensor(layer.dense_weight()), padding=1
+        ).data
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+        # The cached EncodedLayer (and its gather plan) is reused.
+        assert layer.encoded_layer() is layer.encoded_layer()
+
+    def test_quantized_layer_conv_forward(self):
+        model, pruner = fresh_pruned_model(seed=5)
+        bundle = bundle_from_pruner(pruner, quantize_bits=8)
+        rng = np.random.default_rng(6)
+        name, layer = next(iter(bundle.layers.items()))
+        x = rng.normal(size=(1, layer.shape[1], 6, 6))
+        out = layer.conv_forward(x, padding=1)
+        reference = conv2d(Tensor(x), Tensor(layer.dense_weight()), padding=1).data
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+
     def test_restore_into_wrong_model_raises(self):
         model, pruner = fresh_pruned_model(seed=6)
         bundle = bundle_from_pruner(pruner)

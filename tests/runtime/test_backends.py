@@ -1,0 +1,220 @@
+"""Backend-equivalence tests: every registered backend must match conv2d."""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.core import (
+    SPMCodebook,
+    encode_layer,
+    enumerate_patterns,
+    pattern_sparse_conv2d,
+    project_to_patterns,
+)
+from repro.nn import Tensor
+from repro.nn.functional import conv2d
+from repro.runtime import (
+    ConvRequest,
+    available_backends,
+    dispatch,
+    get_backend,
+    register_backend,
+    select_backend,
+)
+
+
+def make_layer(rng, n=2, shape=(8, 4, 3, 3), num_patterns=4, dtype=np.float64):
+    patterns = enumerate_patterns(n)[:num_patterns]
+    weight = project_to_patterns(rng.normal(size=shape), patterns).astype(dtype)
+    encoded = encode_layer(weight, SPMCodebook(patterns))
+    return weight, encoded
+
+
+class TestBackendEquivalence:
+    """Every backend pins to the nn.functional.conv2d reference."""
+
+    @pytest.mark.parametrize("backend", ["dense", "pattern", "tiled"])
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (1, 0), (2, 0)])
+    @pytest.mark.parametrize("n,num_patterns", [(1, 4), (2, 8), (4, 2)])
+    def test_matches_conv2d(self, backend, stride, padding, n, num_patterns):
+        backend_id = {"dense": 0, "pattern": 1, "tiled": 2}[backend]
+        rng = np.random.default_rng(backend_id * 1000 + stride * 100 + padding * 10 + n)
+        weight, encoded = make_layer(rng, n=n, num_patterns=num_patterns)
+        x = rng.normal(size=(2, 4, 9, 9))
+        reference = conv2d(Tensor(x), Tensor(weight), stride=stride, padding=padding).data
+        kwargs = dict(stride=stride, padding=padding, backend=backend)
+        if backend == "pattern":
+            out = dispatch(x, encoded=encoded, **kwargs)
+        else:
+            out = dispatch(x, weight, **kwargs)
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", ["dense", "pattern", "tiled"])
+    def test_backends_accept_encoded_only(self, backend):
+        """dense/tiled decode SPM storage on demand; pattern uses it natively."""
+        rng = np.random.default_rng(7)
+        weight, encoded = make_layer(rng)
+        x = rng.normal(size=(1, 4, 6, 6))
+        reference = conv2d(Tensor(x), Tensor(weight), padding=1).data
+        out = dispatch(x, encoded=encoded, padding=1, backend=backend)
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", ["dense", "pattern", "tiled"])
+    def test_bias(self, backend):
+        rng = np.random.default_rng(11)
+        weight, encoded = make_layer(rng)
+        bias = rng.normal(size=8)
+        x = rng.normal(size=(1, 4, 6, 6))
+        reference = conv2d(Tensor(x), Tensor(weight), Tensor(bias), padding=1).data
+        out = dispatch(x, weight, encoded=encoded, bias=bias, padding=1, backend=backend)
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+
+    def test_pattern_grouped_fallback_for_diverse_codebooks(self):
+        """|P| * n far above k^2 routes to the decode + GEMM fallback."""
+        rng = np.random.default_rng(13)
+        # 126 patterns of n=4: expansion 126*4/9 = 56 >> limit.
+        weight, encoded = make_layer(rng, n=4, num_patterns=126)
+        x = rng.normal(size=(1, 4, 6, 6))
+        reference = conv2d(Tensor(x), Tensor(weight), padding=1).data
+        out = dispatch(x, encoded=encoded, padding=1, backend="pattern")
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+
+    def test_pattern_sparse_conv2d_routes_through_engine(self):
+        rng = np.random.default_rng(17)
+        weight, encoded = make_layer(rng)
+        x = rng.normal(size=(1, 4, 6, 6))
+        via_wrapper = pattern_sparse_conv2d(x, encoded, padding=1)
+        via_engine = dispatch(x, encoded=encoded, padding=1, backend="pattern")
+        np.testing.assert_array_equal(via_wrapper, via_engine)
+
+
+class TestDtype:
+    """float32 inputs stay float32 end-to-end (the seed hardcoded float64)."""
+
+    @pytest.mark.parametrize("backend", ["dense", "pattern", "tiled"])
+    def test_float32_stays_float32(self, backend):
+        rng = np.random.default_rng(23)
+        weight, encoded = make_layer(rng, dtype=np.float32)
+        assert encoded.values.dtype == np.float32
+        x = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        out = dispatch(x, weight.astype(np.float32), encoded=encoded,
+                       padding=1, backend=backend)
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize("backend", ["dense", "pattern", "tiled"])
+    def test_float64_bias_does_not_promote_float32(self, backend):
+        rng = np.random.default_rng(27)
+        weight, encoded = make_layer(rng, dtype=np.float32)
+        bias = rng.normal(size=8)  # float64, like nn.init.zeros biases
+        x = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        out = dispatch(x, weight.astype(np.float32), encoded=encoded,
+                       bias=bias, padding=1, backend=backend)
+        assert out.dtype == np.float32
+
+    def test_pattern_sparse_conv2d_float32(self):
+        rng = np.random.default_rng(29)
+        weight, encoded = make_layer(rng, dtype=np.float32)
+        x = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        out = pattern_sparse_conv2d(x, encoded, padding=1)
+        assert out.dtype == np.float32
+        reference = conv2d(Tensor(x.astype(np.float64)),
+                           Tensor(weight.astype(np.float64)), padding=1).data
+        np.testing.assert_allclose(out, reference, rtol=1e-4, atol=1e-5)
+
+
+class TestSelectionAndRegistry:
+    def test_encoded_selects_pattern(self):
+        rng = np.random.default_rng(31)
+        _, encoded = make_layer(rng)
+        request = ConvRequest(x=rng.normal(size=(1, 4, 6, 6)), encoded=encoded, padding=1)
+        assert select_backend(request) == "pattern"
+
+    def test_small_dense_selects_dense(self):
+        rng = np.random.default_rng(37)
+        request = ConvRequest(
+            x=rng.normal(size=(1, 4, 6, 6)), weight=rng.normal(size=(8, 4, 3, 3))
+        )
+        assert select_backend(request) == "dense"
+
+    def test_large_input_selects_tiled(self):
+        rng = np.random.default_rng(41)
+        request = ConvRequest(
+            x=np.zeros((8, 64, 112, 112)), weight=rng.normal(size=(8, 64, 3, 3)),
+            padding=1,
+        )
+        assert select_backend(request) == "tiled"
+
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert {"dense", "pattern", "tiled"} <= set(names)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown conv backend"):
+            get_backend("cudnn")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(runtime.DenseGemmBackend())
+
+    def test_register_custom_backend(self):
+        class NegatingBackend:
+            """Toy backend: dense result with flipped sign."""
+
+            name = "test-negate"
+
+            def supports(self, request):
+                return request.weight is not None
+
+            def execute(self, request, plan, workspace=None):
+                return -runtime.DenseGemmBackend().execute(request, plan)
+
+        register_backend(NegatingBackend())
+        try:
+            rng = np.random.default_rng(43)
+            weight = rng.normal(size=(8, 4, 3, 3))
+            x = rng.normal(size=(1, 4, 6, 6))
+            out = dispatch(x, weight, padding=1, backend="test-negate")
+            reference = dispatch(x, weight, padding=1, backend="dense")
+            np.testing.assert_allclose(out, -reference)
+        finally:
+            runtime.backends._REGISTRY.pop("test-negate", None)
+
+    def test_missing_weight_and_encoding_rejected(self):
+        with pytest.raises(ValueError, match="weight or an encoded layer"):
+            ConvRequest(x=np.zeros((1, 4, 6, 6)))
+
+    def test_channel_mismatch_rejected(self):
+        rng = np.random.default_rng(47)
+        with pytest.raises(ValueError, match="channel mismatch"):
+            dispatch(rng.normal(size=(1, 5, 6, 6)), rng.normal(size=(8, 4, 3, 3)))
+
+    def test_pattern_backend_requires_encoding(self):
+        rng = np.random.default_rng(53)
+        with pytest.raises(ValueError, match="does not support"):
+            dispatch(rng.normal(size=(1, 4, 6, 6)), rng.normal(size=(8, 4, 3, 3)),
+                     backend="pattern")
+
+
+class TestSlabTiling:
+    def test_tile_boundaries_exact(self, monkeypatch):
+        """Forcing one-row slabs still assembles the exact output."""
+        rng = np.random.default_rng(59)
+        weight = rng.normal(size=(6, 3, 3, 3))
+        x = rng.normal(size=(2, 3, 11, 11))
+        reference = dispatch(x, weight, stride=2, padding=1, backend="dense")
+        out = dispatch(x, weight, stride=2, padding=1, backend="tiled")
+        np.testing.assert_allclose(out, reference, rtol=1e-12)
+        # Shrink the workspace bound so every backend slabs row-by-row.
+        monkeypatch.setattr(runtime.backends, "TILE_THRESHOLD_ELEMENTS", 1)
+        out_tiny = dispatch(x, weight, stride=2, padding=1, backend="tiled")
+        np.testing.assert_allclose(out_tiny, reference, rtol=1e-12)
+
+    def test_pattern_backend_slabs_large_inputs(self, monkeypatch):
+        """Encoded requests also run in bounded slabs, and exactly."""
+        rng = np.random.default_rng(61)
+        weight, encoded = make_layer(rng)
+        x = rng.normal(size=(2, 4, 9, 9))
+        reference = dispatch(x, weight, padding=1, backend="dense")
+        monkeypatch.setattr(runtime.backends, "TILE_THRESHOLD_ELEMENTS", 1)
+        out = dispatch(x, encoded=encoded, padding=1, backend="pattern")
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,145 @@
+"""Plan-cache hit/invalidation and EncodedLayer gather-plan caching tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPMCodebook, encode_layer, enumerate_patterns, project_to_patterns
+from repro.runtime import ExecutionPlan, PlanCache, dispatch
+
+
+def make_encoded(rng, n=2, shape=(8, 4, 3, 3), num_patterns=4):
+    patterns = enumerate_patterns(n)[:num_patterns]
+    weight = project_to_patterns(rng.normal(size=shape), patterns)
+    return weight, encode_layer(weight, SPMCodebook(patterns))
+
+
+class TestPlanCache:
+    def test_repeated_dispatch_hits(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        cache = PlanCache()
+        for _ in range(5):
+            dispatch(rng.normal(size=(2, 4, 8, 8)), weight, padding=1, cache=cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 4
+        assert len(cache) == 1
+
+    def test_distinct_geometry_distinct_plans(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        cache = PlanCache()
+        dispatch(rng.normal(size=(1, 4, 8, 8)), weight, padding=1, cache=cache)
+        dispatch(rng.normal(size=(1, 4, 8, 8)), weight, padding=0, cache=cache)
+        dispatch(rng.normal(size=(1, 4, 10, 10)), weight, padding=1, cache=cache)
+        dispatch(rng.normal(size=(2, 4, 8, 8)), weight, padding=1, cache=cache)
+        assert cache.stats.misses == 4
+        assert cache.stats.hits == 0
+
+    def test_backend_is_part_of_the_key(self):
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        x = rng.normal(size=(1, 4, 8, 8))
+        cache = PlanCache()
+        dispatch(x, weight, padding=1, backend="dense", cache=cache)
+        dispatch(x, weight, padding=1, backend="tiled", cache=cache)
+        assert cache.stats.misses == 2
+
+    def test_invalidate_and_clear(self):
+        rng = np.random.default_rng(3)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        x = rng.normal(size=(1, 4, 8, 8))
+        cache = PlanCache()
+        dispatch(x, weight, padding=1, cache=cache)
+        (key,) = list(cache._plans)
+        assert cache.invalidate(key)
+        assert not cache.invalidate(key)  # already gone
+        dispatch(x, weight, padding=1, cache=cache)
+        assert cache.stats.misses == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_lru_eviction(self):
+        rng = np.random.default_rng(4)
+        weight = rng.normal(size=(4, 2, 3, 3))
+        cache = PlanCache(maxsize=2)
+        for h in (6, 7, 8):
+            dispatch(rng.normal(size=(1, 2, h, h)), weight, padding=1, cache=cache)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # Oldest geometry (h=6) was evicted: dispatching it misses again.
+        dispatch(rng.normal(size=(1, 2, 6, 6)), weight, padding=1, cache=cache)
+        assert cache.stats.misses == 4
+
+    def test_plan_geometry(self):
+        plan = ExecutionPlan.build(
+            key=("k",), x_shape=(2, 3, 8, 8), weight_shape=(4, 3, 3, 3),
+            stride=2, padding=1,
+        )
+        assert plan.out_hw == (4, 4)
+        assert plan.windows == 2 * 4 * 4
+        assert plan.im2col_elements == plan.windows * 3 * 9
+
+    def test_collapsed_geometry_rejected(self):
+        with pytest.raises(ValueError, match="collapses"):
+            ExecutionPlan.build(
+                key=("k",), x_shape=(1, 3, 2, 2), weight_shape=(4, 3, 3, 3),
+                stride=1, padding=0,
+            )
+
+
+class TestEncodedLayerCaches:
+    def test_gather_plan_computed_once(self):
+        rng = np.random.default_rng(5)
+        _, encoded = make_encoded(rng)
+        plan_a = encoded.gather_plan()
+        plan_b = encoded.gather_plan()
+        assert plan_a is plan_b
+        assert plan_a.col_idx().shape == (encoded.num_kernels, encoded.values.shape[1])
+
+    def test_gather_plan_matches_codes(self):
+        rng = np.random.default_rng(6)
+        _, encoded = make_encoded(rng)
+        plan = encoded.gather_plan()
+        c_out, c_in, kh, kw = encoded.shape
+        col_idx = plan.col_idx()
+        for k in (0, encoded.num_kernels // 2, encoded.num_kernels - 1):
+            positions = plan.positions_by_code[encoded.codes[k]]
+            np.testing.assert_array_equal(
+                col_idx[k], (k % c_in) * kh * kw + positions
+            )
+
+    def test_grouped_weight_matrix_cached_and_shaped(self):
+        rng = np.random.default_rng(7)
+        _, encoded = make_encoded(rng, num_patterns=4)
+        grouped = encoded.grouped_weight_matrix()
+        c_out, c_in, _, _ = encoded.shape
+        assert grouped.shape == (4 * c_in * encoded.values.shape[1], c_out)
+        assert encoded.grouped_weight_matrix() is grouped
+
+    def test_decoded_weight_cached(self):
+        rng = np.random.default_rng(10)
+        weight, encoded = make_encoded(rng)
+        decoded = encoded.decoded_weight()
+        assert encoded.decoded_weight() is decoded
+        np.testing.assert_array_equal(decoded, weight)
+
+    def test_invalidate_caches(self):
+        rng = np.random.default_rng(8)
+        _, encoded = make_encoded(rng)
+        plan = encoded.gather_plan()
+        grouped = encoded.grouped_weight_matrix()
+        decoded = encoded.decoded_weight()
+        encoded.invalidate_caches()
+        assert encoded.gather_plan() is not plan
+        assert encoded.grouped_weight_matrix() is not grouped
+        assert encoded.decoded_weight() is not decoded
+
+    def test_stale_cache_detected_by_invalidation(self):
+        """Mutating values + invalidating re-derives the grouped matrix."""
+        rng = np.random.default_rng(9)
+        _, encoded = make_encoded(rng)
+        before = encoded.grouped_weight_matrix().copy()
+        encoded.values[...] *= 2.0
+        encoded.invalidate_caches()
+        np.testing.assert_allclose(encoded.grouped_weight_matrix(), before * 2.0)

@@ -1,0 +1,138 @@
+"""Tests for the batched runtime.predict() inference API."""
+
+import numpy as np
+import pytest
+
+from repro import nn, runtime
+from repro.core import PCNNConfig, PCNNPruner
+from repro.models import patternnet
+
+
+@pytest.fixture(scope="module")
+def model():
+    return patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(1).normal(size=(6, 3, 12, 12))
+
+
+class TestPredict:
+    def test_matches_direct_forward(self, model, batch):
+        direct = model.eval()(nn.Tensor(batch)).data
+        out = runtime.predict(model, batch)
+        np.testing.assert_allclose(out, direct, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("micro_batch", [1, 2, 4, 6, 100])
+    def test_micro_batching_is_equivalent(self, model, batch, micro_batch):
+        full = runtime.predict(model, batch)
+        split = runtime.predict(model, batch, micro_batch=micro_batch)
+        np.testing.assert_allclose(split, full, rtol=1e-9, atol=1e-12)
+
+    def test_backend_override_is_equivalent_and_restored(self, model, batch):
+        full = runtime.predict(model, batch)
+        tiled = runtime.predict(model, batch, backend="tiled")
+        np.testing.assert_allclose(tiled, full, rtol=1e-9, atol=1e-10)
+        assert all(
+            conv.backend is None
+            for conv in model.modules()
+            if isinstance(conv, nn.Conv2d)
+        )
+
+    def test_training_mode_restored(self, model, batch):
+        model.train()
+        runtime.predict(model, batch[:2])
+        assert model.training
+        model.eval()
+        runtime.predict(model, batch[:2])
+        assert not model.training
+
+    def test_stats_populated(self, model, batch):
+        stats = runtime.PredictStats()
+        runtime.predict(model, batch, micro_batch=2, stats=stats)
+        assert stats.batch == 6
+        assert stats.chunks == 3
+        assert len(stats.chunk_seconds) == 3
+        assert stats.seconds > 0
+        assert stats.images_per_second > 0
+
+    def test_pruned_model(self, batch):
+        pruned = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(2))
+        PCNNPruner(pruned, PCNNConfig.uniform(2, 2)).apply()
+        direct = pruned.eval()(nn.Tensor(batch)).data
+        out = runtime.predict(pruned, batch, micro_batch=3)
+        np.testing.assert_allclose(out, direct, rtol=1e-9, atol=1e-12)
+
+    def test_pruned_model_with_attached_encodings(self, batch):
+        """attach_encodings() routes pruned convs through the pattern
+        backend on the fast path — and forcing it explicitly works too."""
+        pruned = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(3))
+        pruner = PCNNPruner(pruned, PCNNConfig.uniform(2, 2))
+        pruner.apply()
+        reference = runtime.predict(pruned, batch)  # dense weights, no encoding
+        encoded = pruner.attach_encodings()
+        assert set(encoded) == {name for name, _ in pruner.layers}
+        auto = runtime.predict(pruned, batch)
+        forced = runtime.predict(pruned, batch, backend="pattern")
+        np.testing.assert_allclose(auto, reference, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(forced, reference, rtol=1e-9, atol=1e-12)
+
+    def test_attach_encoding_validates_and_clears(self):
+        conv = nn.Conv2d(3, 4, kernel_size=3, rng=np.random.default_rng(4))
+        with pytest.raises(ValueError, match="encoding shape"):
+            from repro.core import SPMCodebook, encode_layer, enumerate_patterns
+
+            wrong = encode_layer(
+                np.zeros((4, 2, 3, 3)), SPMCodebook(enumerate_patterns(2)[:2])
+            )
+            conv.attach_encoding(wrong)
+        pruned = patternnet(channels=(8,), num_classes=2, rng=np.random.default_rng(5))
+        pruner = PCNNPruner(pruned, PCNNConfig.uniform(2, 1))
+        pruner.apply()
+        pruner.attach_encodings()
+        name, module = pruner.layers[0]
+        assert module.encoded is not None
+        # Re-masking invalidates the attached encoding.
+        module.set_weight_mask(module.weight_mask)
+        assert module.encoded is None
+
+    def test_load_state_dict_drops_encoding(self, batch):
+        pruned = patternnet(channels=(8,), num_classes=2, rng=np.random.default_rng(7))
+        pruner = PCNNPruner(pruned, PCNNConfig.uniform(2, 1))
+        pruner.apply()
+        pruner.attach_encodings()
+        name, module = pruner.layers[0]
+        assert module.encoded is not None
+        pruned.load_state_dict(pruned.state_dict())
+        assert module.encoded is None
+
+    def test_grad_mode_forward_drops_encoding(self, batch):
+        """Training forwards clear the deployment encoding, so a later
+        no-grad eval never computes from stale SPM values."""
+        pruned = patternnet(channels=(8,), num_classes=2, rng=np.random.default_rng(6))
+        pruner = PCNNPruner(pruned, PCNNConfig.uniform(2, 1))
+        pruner.apply()
+        pruner.attach_encodings()
+        name, module = pruner.layers[0]
+        pruned.train()(nn.Tensor(batch))  # gradient-mode forward
+        assert module.encoded is None
+        # Simulated fine-tune step: predict must see the new weights.
+        module.weight.data[...] *= 2.0
+        direct = pruned.eval()(nn.Tensor(batch)).data
+        out = runtime.predict(pruned, batch)
+        np.testing.assert_allclose(out, direct, rtol=1e-9, atol=1e-12)
+
+    def test_plan_cache_reused_across_chunks(self, model, batch):
+        runtime.default_cache.clear()
+        runtime.predict(model, batch, micro_batch=2)
+        stats = runtime.default_cache.stats
+        # 3 equal chunks x 2 conv layers: first chunk plans, rest hit.
+        assert stats.misses == 2
+        assert stats.hits == 4
+
+    def test_bad_inputs_rejected(self, model):
+        with pytest.raises(ValueError, match="micro_batch"):
+            runtime.predict(model, np.zeros((2, 3, 12, 12)), micro_batch=0)
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            runtime.predict(model, np.zeros((3, 12, 12)))

@@ -40,6 +40,38 @@ class TestCLI:
         assert all(layer.quantized for layer in bundle.layers.values())
         assert "bundle written" in capsys.readouterr().out
 
+    def test_predict_dense(self, capsys):
+        assert main(["predict", "--model", "patternnet", "--batch", "4",
+                     "--micro-batch", "2", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.predict" in out
+        assert "output shape: (4, 10)" in out
+        assert "hits" in out
+
+    def test_predict_pruned_with_backend(self, capsys):
+        assert main(["predict", "--model", "patternnet", "--n", "2",
+                     "--batch", "2", "--repeat", "1", "--backend", "dense"]) == 0
+        out = capsys.readouterr().out
+        assert "n=2-2-2" in out
+        assert "dense" in out
+
+    def test_predict_pruned_pattern_backend(self, capsys):
+        """Pruned models carry SPM encodings, so forcing the pattern
+        backend executes straight from sparse storage."""
+        assert main(["predict", "--model", "patternnet", "--n", "2",
+                     "--batch", "2", "--repeat", "1", "--backend", "pattern"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern" in out
+        assert "output shape: (2, 10)" in out
+
+    def test_predict_bad_args_exit_cleanly(self, capsys):
+        assert main(["predict", "--model", "patternnet", "--batch", "2",
+                     "--repeat", "0"]) == 2
+        assert main(["predict", "--model", "patternnet", "--batch", "2",
+                     "--repeat", "1", "--backend", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
     def test_chip(self, capsys):
         assert main(["chip"]) == 0
         out = capsys.readouterr().out
