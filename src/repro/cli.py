@@ -8,7 +8,9 @@ Gives downstream users the paper's numbers without writing code:
 - ``pcnn-repro prune --model patternnet --n 2 --out bundle.npz`` — prune a
   model and write a deployment bundle (optionally 8-bit quantized);
 - ``pcnn-repro predict --model patternnet --n 2 --batch 16`` — batched
-  inference through the runtime engine (micro-batching, backend choice);
+  inference through the runtime engine (micro-batching, backend choice;
+  ``--compile`` for the fused float32 pipeline, ``--workers N`` for
+  parallel micro-batch serving);
 - ``pcnn-repro chip`` — Table IX breakdown + Fig. 6 floorplan.
 """
 
@@ -103,6 +105,9 @@ def cmd_predict(args) -> int:
     if args.repeat < 1 or args.batch < 1:
         print("error: --repeat and --batch must be >= 1", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     model, profile = _profile(args.model)
     if args.n or args.layers:
         config = _config_for(args, len(profile.prunable()))
@@ -119,29 +124,44 @@ def cmd_predict(args) -> int:
     rng = np.random.default_rng(args.seed)
     x = rng.normal(size=(args.batch, *shape))
 
+    if args.compile:
+        # Compile once up front: BN folding, fused epilogues, float32
+        # parameters and buffer arenas; the timed loop then serves from
+        # the compiled pipeline.
+        model = runtime.compile_model(model)
+        setting += " [compiled]"
+
     runtime.default_cache.clear()
-    # Warm-up pass builds the execution plans; the timed passes then run
-    # entirely on cached plans — the engine's steady-state throughput.
+    # Warm-up pass builds the execution plans (and compiled-path arena
+    # buffers); the timed passes then run the steady-state throughput.
+    warm_stats = runtime.PredictStats()
     try:
-        runtime.predict(model, x, micro_batch=args.micro_batch, backend=args.backend)
+        runtime.predict(
+            model, x, micro_batch=args.micro_batch, backend=args.backend,
+            workers=args.workers, stats=warm_stats,
+        )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     with Timer() as timer:
         for _ in range(args.repeat):
             out = runtime.predict(
-                model, x, micro_batch=args.micro_batch, backend=args.backend
+                model, x, micro_batch=args.micro_batch, backend=args.backend,
+                workers=args.workers,
             )
-    cache = runtime.default_cache.stats
+    cache = (model.plans if args.compile else runtime.default_cache).stats
     print(
         format_table(
-            ["setting", "backend", "batch", "micro-batch", "latency (ms)",
-             "images/s", "plan cache"],
+            ["setting", "backend", "batch", "micro-batch", "workers",
+             "latency (ms)", "images/s", "plan cache"],
             [[
                 setting,
                 args.backend or "auto",
                 str(args.batch),
-                str(args.micro_batch or args.batch),
+                # The effective chunk size (predict derives one chunk per
+                # worker when --micro-batch is not given).
+                str(warm_stats.micro_batch or args.batch),
+                str(args.workers or 1),
                 f"{timer.elapsed / args.repeat * 1e3:.1f}",
                 f"{args.batch * args.repeat / timer.elapsed:.1f}",
                 f"{cache.hits} hits / {cache.misses} misses",
@@ -237,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument(
         "--backend", default=None,
         help="force a conv backend (default: auto-select per layer)",
+    )
+    p_pred.add_argument(
+        "--compile", action="store_true",
+        help="serve through the compiled pipeline (BN folding, fused "
+        "epilogues, float32, buffer arenas)",
+    )
+    p_pred.add_argument(
+        "--workers", type=int, default=None,
+        help="run micro-batches on a thread pool of this size",
     )
     p_pred.add_argument("--repeat", type=int, default=3, help="timed repetitions")
     p_pred.add_argument("--seed", type=int, default=0, help="input RNG seed")

@@ -59,6 +59,22 @@ class BasicBlock(nn.Module):
         out = self.bn2(self.conv2(out))
         return (out + identity).relu()
 
+    def lowering_branches(
+        self,
+    ) -> Tuple[List[nn.Module], List[nn.Module], bool]:
+        """``(body, shortcut, post_relu)`` for
+        :func:`repro.runtime.compile_model`.
+
+        Mirrors :meth:`forward`: conv1→bn1→relu→conv2→bn2 on the body,
+        the projection (or identity) on the shortcut, ReLU after the add
+        (``post_relu=True`` — this is a post-activation block).
+        """
+        return (
+            [self.conv1, self.bn1, nn.ReLU(), self.conv2, self.bn2],
+            [self.downsample],
+            True,
+        )
+
 
 class ResNet18(nn.Module):
     """ResNet-18: stem + 4 stages of 2 BasicBlocks + classifier.
@@ -111,6 +127,21 @@ class ResNet18(nn.Module):
             x = stage(x)
         x = self.avgpool(x)
         return self.fc(x)
+
+    def lowering_sequence(self) -> List[nn.Module]:
+        """Ordered submodules for :func:`repro.runtime.compile_model`."""
+        return [
+            self.conv1,
+            self.bn1,
+            nn.ReLU(),
+            self.maxpool,
+            self.layer1,
+            self.layer2,
+            self.layer3,
+            self.layer4,
+            self.avgpool,
+            self.fc,
+        ]
 
     def conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
         """All convolution layers (including 1x1 projections)."""

@@ -64,6 +64,10 @@ class PatternNet(nn.Module):
     def forward(self, x: nn.Tensor) -> nn.Tensor:
         return self.fc(self.pool(self.features(x)))
 
+    def lowering_sequence(self) -> List[nn.Module]:
+        """Ordered submodules for :func:`repro.runtime.compile_model`."""
+        return [self.features, self.pool, self.fc]
+
     def conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
         """All (3x3) convolution layers in network order."""
         return [

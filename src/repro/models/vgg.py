@@ -102,6 +102,10 @@ class VGG16(nn.Module):
         x = self.pool(x)
         return self.head(x)
 
+    def lowering_sequence(self) -> List[nn.Module]:
+        """Ordered submodules for :func:`repro.runtime.compile_model`."""
+        return [self.features, self.pool, self.head]
+
     def conv_layers(self) -> List[Tuple[str, nn.Conv2d]]:
         """All convolution layers in network order, with dotted names."""
         return [

@@ -17,9 +17,12 @@ from .tensor import Tensor
 
 __all__ = [
     "im2col",
+    "im2col_nhwc",
     "col2im",
     "conv2d",
     "conv_output_size",
+    "pool_windows",
+    "pool_windows_nhwc",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",
@@ -38,7 +41,11 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+    out: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Unfold ``x`` (N, C, H, W) into convolution columns.
 
@@ -46,6 +53,15 @@ def im2col(
     spatial size ``(OH, OW)``. Column ordering matches the row-major kernel
     position convention used throughout the PCNN pattern code (position
     ``p = row * KW + col``).
+
+    ``out``, when given, must be a C-contiguous ``(N * OH * OW, C * KH * KW)``
+    buffer of ``x``'s dtype; the columns are materialised directly into it so
+    steady-state callers (the runtime arenas) never allocate. Note that
+    ``padding > 0`` still allocates a padded copy of ``x``; allocation-free
+    callers pre-pad into their own buffer and pass ``padding=0``.
+    (The NHWC variant additionally accepts strided ``out`` sub-views for
+    bias-augmented column buffers; this NCHW reference path keeps the
+    strict contiguity contract.)
     """
     n, c, h, w = x.shape
     kh, kw = kernel
@@ -62,8 +78,70 @@ def im2col(
         strides=(sn, sc, sh * stride, sw * stride, sh, sw),
         writeable=False,
     )
+    if out is not None:
+        if out.shape != (n * oh * ow, c * kh * kw) or not out.flags.c_contiguous:
+            raise ValueError(
+                f"im2col out buffer must be C-contiguous with shape "
+                f"{(n * oh * ow, c * kh * kw)}, got {out.shape}"
+            )
+        # Copy straight into the caller's buffer through a 6-D view of it.
+        out.reshape(n, oh, ow, c, kh, kw)[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+        return out, (oh, ow)
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), (oh, ow)
+    if not cols.flags.c_contiguous:
+        cols = np.ascontiguousarray(cols)
+    return cols, (oh, ow)
+
+
+def im2col_nhwc(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    out: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold channels-last ``x`` (N, H, W, C) into convolution columns.
+
+    Returns ``(N * OH * OW, KH * KW * C)`` columns in *kernel-position
+    major* order (position ``p = row * KW + col``, then channel) — the
+    layout the compiled pipeline's NHWC weight matrices expect. Because
+    the channel axis is innermost and contiguous, the window copy runs as
+    long contiguous block moves instead of the per-element gathers the
+    NCHW unfold degenerates into; this is why the compiled executor keeps
+    activations channels-last end to end. Padding is the caller's job
+    (pre-pad into an arena buffer) — callers on this path never want the
+    per-call ``np.pad``.
+    """
+    n, h, w, c = x.shape
+    kh, kw = kernel
+    oh = conv_output_size(h, kh, stride, 0)
+    ow = conv_output_size(w, kw, stride, 0)
+    sn, sh, sw, sc = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+    if out is not None:
+        if out.shape != (n * oh * ow, kh * kw * c):
+            raise ValueError(
+                f"im2col_nhwc out buffer must have shape "
+                f"{(n * oh * ow, kh * kw * c)}, got {out.shape}"
+            )
+        # A strided 6-D view of `out` (works for contiguous buffers and
+        # for column sub-views of a bias-augmented (M, K+1) buffer alike).
+        so_row, so_el = out.strides
+        out_view = np.lib.stride_tricks.as_strided(
+            out,
+            shape=(n, oh, ow, kh, kw, c),
+            strides=(oh * ow * so_row, ow * so_row, so_row, kw * c * so_el, c * so_el, so_el),
+        )
+        out_view[...] = windows
+        return out, (oh, ow)
+    cols = windows.reshape(n * oh * ow, kh * kw * c)
+    if not cols.flags.c_contiguous:
+        cols = np.ascontiguousarray(cols)
+    return cols, (oh, ow)
 
 
 def col2im(
@@ -149,6 +227,47 @@ def conv2d(
     return Tensor._make(out, parents, backward_fn)
 
 
+def pool_windows(
+    x: np.ndarray, kernel: int, stride: int, writeable: bool = False
+) -> np.ndarray:
+    """Strided ``(N, C, OH, OW, kernel, kernel)`` pooling-window view of ``x``.
+
+    Shared by max/avg pooling (forward and backward) and the runtime's
+    compiled pool ops. ``writeable=True`` returns a writable view for
+    scatter-style backward passes — only safe when the windows do not
+    overlap (``stride >= kernel``), because overlapping windows alias.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=writeable,
+    )
+
+
+def pool_windows_nhwc(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Channels-last ``(N, OH, OW, kernel, kernel, C)`` pooling windows.
+
+    The NHWC counterpart of :func:`pool_windows` for the compiled
+    pipeline: reductions over the two kernel axes leave the contiguous
+    channel axis innermost, so they vectorise.
+    """
+    n, h, w, c = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    sn, sh, sw, sc = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, kernel, kernel, c),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+
+
 def max_pool2d(
     x: Tensor, kernel: int = 2, stride: Optional[int] = None, padding: int = 0
 ) -> Tensor:
@@ -165,13 +284,7 @@ def max_pool2d(
     oh = conv_output_size(h, kernel, stride, 0)
     ow = conv_output_size(w, kernel, stride, 0)
 
-    sn, sc, sh, sw = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, oh, ow, kernel, kernel),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
+    windows = pool_windows(x.data, kernel, stride)
     flat = windows.reshape(n, c, oh, ow, kernel * kernel)
     argmax = flat.argmax(axis=-1)
     out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
@@ -195,22 +308,33 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
     oh = conv_output_size(h, kernel, stride, 0)
     ow = conv_output_size(w, kernel, stride, 0)
 
-    sn, sc, sh, sw = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, oh, ow, kernel, kernel),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
+    windows = pool_windows(x.data, kernel, stride)
     out = windows.mean(axis=(-1, -2))
     scale = 1.0 / (kernel * kernel)
 
     def backward_fn(g: np.ndarray):
         grad_x = np.zeros_like(x.data)
         g_scaled = g * scale
-        for i in range(kernel):
-            for j in range(kernel):
-                grad_x[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += g_scaled
+        if stride >= kernel:
+            # Non-overlapping windows: every input cell appears in at most
+            # one window, so the scatter is a single broadcast assignment
+            # into the writable window view.
+            gw = pool_windows(grad_x, kernel, stride, writeable=True)
+            gw[...] = g_scaled[..., None, None]
+        else:
+            # Overlapping windows alias, so accumulate with one unbuffered
+            # scatter-add over broadcast window indices.
+            n_idx = np.arange(n)[:, None, None, None, None, None]
+            c_idx = np.arange(c)[None, :, None, None, None, None]
+            rows = (
+                (np.arange(oh) * stride)[None, None, :, None, None, None]
+                + np.arange(kernel)[None, None, None, None, :, None]
+            )
+            cols_ = (
+                (np.arange(ow) * stride)[None, None, None, :, None, None]
+                + np.arange(kernel)[None, None, None, None, None, :]
+            )
+            np.add.at(grad_x, (n_idx, c_idx, rows, cols_), g_scaled[..., None, None])
         return (grad_x,)
 
     return Tensor._make(out, (x,), backward_fn)

@@ -239,6 +239,23 @@ class Conv2d(Module):
             return self.weight.data
         return self.weight.data * self._weight_mask
 
+    def inference_params(self) -> dict:
+        """Fold-ready snapshot of this conv for the compiled pipeline.
+
+        Returns a dict with ``weight`` (mask applied), ``bias``,
+        ``encoded``, ``stride``, ``padding`` and ``backend`` — everything
+        :func:`repro.runtime.compile_model` needs to lower the layer
+        without reaching into private attributes.
+        """
+        return {
+            "weight": self.effective_weight(),
+            "bias": self.bias.data if self.bias is not None else None,
+            "encoded": self._encoded,
+            "stride": self.stride,
+            "padding": self.padding,
+            "backend": self.backend,
+        }
+
     def forward(self, x: Tensor) -> Tensor:
         from .tensor import is_grad_enabled
 
@@ -259,7 +276,9 @@ class Conv2d(Module):
                 padding=self.padding,
                 backend=self.backend,
             )
-            return Tensor(out)
+            # dtype=None keeps a float32 engine result float32 instead of
+            # re-promoting to the training default of float64.
+            return Tensor(out, dtype=None)
         if self._encoded is not None:
             # A gradient-mode forward means the weights are about to be
             # (or may already have been) updated; drop the deployment
@@ -340,6 +359,17 @@ class BatchNorm2d(Module):
             momentum=self.momentum,
             eps=self.eps,
         )
+
+    def fold_params(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-channel ``(scale, shift)`` of eval-mode BN as an affine map.
+
+        ``BN(x) == x * scale + shift`` with the current running statistics,
+        which is exactly what BN folding multiplies into the preceding
+        conv's weights and bias (:func:`repro.runtime.compile_model`).
+        """
+        scale = self.gamma.data / np.sqrt(self.running_var + self.eps)
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift
 
     def __repr__(self) -> str:
         return f"BatchNorm2d({self.num_features})"

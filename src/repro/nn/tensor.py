@@ -16,13 +16,28 @@ the same mechanism.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_grad_enabled = True
+
+class _GradMode(threading.local):
+    """Per-thread autograd switch (default: recording enabled).
+
+    Thread-local (as in PyTorch) so concurrent inference workers —
+    ``runtime.predict(..., workers=N)`` and compiled-pipeline fallbacks —
+    can enter/exit ``no_grad`` independently; a process-global flag would
+    let one worker's ``__exit__`` re-enable recording in the middle of
+    another worker's forward pass.
+    """
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
@@ -30,27 +45,35 @@ class no_grad:
 
     Mirrors ``torch.no_grad``: inside the block every produced tensor has
     ``requires_grad=False`` and no parents, which keeps evaluation cheap.
+    The switch is per-thread; entering it on one thread does not affect
+    forwards running on others.
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_mode.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded on the graph."""
-    return _grad_enabled
+    return _grad_mode.enabled
 
 
 def _as_array(value: Arrayable, dtype=np.float64) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
+    if dtype is None:
+        # Dtype-preserving path (inference): keep whatever float precision
+        # the caller computed in (float32 stays float32) instead of the
+        # training default of promoting everything to float64.
+        array = np.asarray(value)
+        if not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float64)
+        return array
     return np.asarray(value, dtype=dtype)
 
 
@@ -101,10 +124,11 @@ class Tensor:
         parents: Sequence["Tensor"] = (),
         backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
         name: Optional[str] = None,
+        dtype=np.float64,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.requires_grad = bool(requires_grad) and _grad_mode.enabled
         self._parents: Tuple[Tensor, ...] = tuple(parents) if self.requires_grad else ()
         self._backward_fn = backward_fn if self.requires_grad else None
         self.name = name
@@ -159,8 +183,11 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward_fn: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
     ) -> "Tensor":
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
+        # Op results already carry the numerically correct dtype (float64
+        # throughout training, float32 on the no-grad float32 fast path);
+        # preserve it rather than re-promoting to the float64 default.
+        out = Tensor(data, requires_grad=requires, dtype=None)
         if requires:
             out._parents = tuple(parents)
             out._backward_fn = backward_fn

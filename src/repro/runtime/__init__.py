@@ -14,30 +14,43 @@ bundles, the accelerator simulator's functional path):
   indices are additionally cached on each
   :class:`~repro.core.spm.EncodedLayer`.
 - :func:`predict` — batched inference with configurable micro-batch
-  splitting.
+  splitting, thread-pool ``workers=``, and ``compile=True``.
+- :func:`compile_model` / :class:`CompiledModel` — the compiled serving
+  pipeline: BN folding, fused bias/ReLU epilogues
+  (:class:`Epilogue`), one-time float32 cast, and per-thread
+  zero-allocation buffer :class:`Arena` workspaces.
 """
 
+from .arena import Arena, ArenaStats
 from .backends import (
     ConvBackend,
     DenseGemmBackend,
+    Epilogue,
     PatternSparseBackend,
     TiledBackend,
     available_backends,
     get_backend,
     register_backend,
 )
+from .compile import CompiledModel, compile_model, fold_batchnorm
 from .engine import ConvRequest, default_cache, dispatch, select_backend
 from .plan import ExecutionPlan, PlanCache, PlanCacheStats
 from .predict import PredictStats, conv_backend_override, predict
 
 __all__ = [
+    "Arena",
+    "ArenaStats",
     "ConvBackend",
+    "Epilogue",
     "DenseGemmBackend",
     "PatternSparseBackend",
     "TiledBackend",
     "register_backend",
     "get_backend",
     "available_backends",
+    "CompiledModel",
+    "compile_model",
+    "fold_batchnorm",
     "ConvRequest",
     "dispatch",
     "select_backend",

@@ -23,11 +23,13 @@ Built-in backends:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
 from ..nn.functional import im2col
+from .arena import Arena
 from .plan import ExecutionPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ConvBackend",
+    "Epilogue",
     "DenseGemmBackend",
     "PatternSparseBackend",
     "TiledBackend",
@@ -52,6 +55,32 @@ TILE_THRESHOLD_ELEMENTS = 1 << 22
 GROUPED_EXPANSION_LIMIT = 4.0
 
 
+@dataclass
+class Epilogue:
+    """Fused post-GEMM work applied in place to the output matrix.
+
+    The classic inference-runtime epilogue: per-output-channel bias add
+    and/or ReLU folded into the convolution's GEMM output while the tile
+    is still cache-hot, instead of as separate full-tensor passes. The
+    engine builds one for every ``bias=`` dispatch; the compiled pipeline
+    (:func:`repro.runtime.compile_model`) builds them with the folded BN
+    bias and the fused activation.
+    """
+
+    bias: Optional[np.ndarray] = None  # (C_out,), added per output channel
+    relu: bool = False
+
+    def apply(self, mat: np.ndarray) -> np.ndarray:
+        """Apply to a ``(windows, C_out)`` matrix (or row tile) in place."""
+        if self.bias is not None:
+            # Harmonise dtype so a float64 bias cannot silently promote a
+            # float32 activation path; += keeps the add allocation-free.
+            mat += self.bias.astype(mat.dtype, copy=False)
+        if self.relu:
+            np.maximum(mat, 0.0, out=mat)
+        return mat
+
+
 @runtime_checkable
 class ConvBackend(Protocol):
     """Protocol every registered conv backend satisfies."""
@@ -67,13 +96,26 @@ class ConvBackend(Protocol):
         request: "ConvRequest",
         plan: ExecutionPlan,
         workspace: Optional[dict] = None,
+        epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
         """Run the convolution, returning a ``(windows, C_out)`` matrix.
 
         ``workspace``, when a dict, asks the backend to stash reusable
-        intermediates (the dense backend stores ``cols`` for autograd).
+        intermediates (the dense backend stores ``cols`` for autograd);
+        ``workspace["arena"]`` + ``workspace["tag"]`` hand the backend an
+        :class:`~repro.runtime.arena.Arena` to draw its scratch buffers
+        from instead of allocating. ``epilogue`` is applied in place to
+        the output matrix (tile-by-tile in the slab backends) before it
+        is returned.
         """
         ...
+
+
+def _arena_from(workspace: Optional[dict]) -> Tuple[Optional[Arena], str]:
+    """Extract the (arena, tag) pair a caller smuggled in via workspace."""
+    if not workspace:
+        return None, ""
+    return workspace.get("arena"), workspace.get("tag", "conv")
 
 
 def _dense_weight(request: "ConvRequest") -> np.ndarray:
@@ -87,24 +129,41 @@ def _dense_weight(request: "ConvRequest") -> np.ndarray:
     return request.encoded.decoded_weight()
 
 
-def _iter_im2col_row_slabs(x: np.ndarray, plan: ExecutionPlan, workspace_per_row: int):
+def _iter_im2col_row_slabs(
+    x: np.ndarray,
+    plan: ExecutionPlan,
+    workspace_per_row: int,
+    arena: Optional[Arena] = None,
+    tag: str = "conv",
+):
     """Yield ``(r0, r1, cols)`` output-row slabs of the im2col matrix.
 
     Pads once, then materialises columns slab-by-slab so peak workspace
     stays under ``TILE_THRESHOLD_ELEMENTS`` (``workspace_per_row`` is the
     caller's worst per-output-row element count). Small geometries come
-    out as a single slab — the monolithic fast path.
+    out as a single slab — the monolithic fast path. With an ``arena``,
+    the padded input and every slab's column matrix live in reused
+    buffers, so the steady-state loop allocates nothing.
     """
     kh, kw = plan.kernel
     stride, padding = plan.stride, plan.padding
-    oh, _ = plan.out_hw
+    oh, ow = plan.out_hw
     rows = max(1, min(oh, TILE_THRESHOLD_ELEMENTS // max(1, workspace_per_row)))
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if arena is not None:
+            x = arena.padded(f"{tag}:pad", x, padding)
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c = x.shape[0], x.shape[1]
     for r0 in range(0, oh, rows):
         r1 = min(r0 + rows, oh)
         x_slab = x[:, :, r0 * stride : (r1 - 1) * stride + kh, :]
-        cols, _ = im2col(x_slab, (kh, kw), stride, 0)
+        out = None
+        if arena is not None:
+            out = arena.take(
+                f"{tag}:cols", (n * (r1 - r0) * ow, c * kh * kw), x.dtype
+            )
+        cols, _ = im2col(x_slab, (kh, kw), stride, 0, out=out)
         yield r0, r1, cols
 
 
@@ -121,11 +180,28 @@ class DenseGemmBackend:
         request: "ConvRequest",
         plan: ExecutionPlan,
         workspace: Optional[dict] = None,
+        epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
         weight = _dense_weight(request)
-        cols, _ = im2col(request.x, plan.kernel, plan.stride, plan.padding)
+        arena, tag = _arena_from(workspace)
         w_mat = weight.reshape(plan.out_channels, -1)
-        out = cols @ w_mat.T
+        if arena is not None:
+            x = arena.padded(f"{tag}:pad", request.x, plan.padding)
+            cols_buf = arena.take(
+                f"{tag}:cols", (plan.windows, w_mat.shape[1]), x.dtype
+            )
+            cols, _ = im2col(x, plan.kernel, plan.stride, 0, out=cols_buf)
+            out = arena.take(
+                f"{tag}:out",
+                (plan.windows, plan.out_channels),
+                np.result_type(cols.dtype, w_mat.dtype),
+            )
+            np.matmul(cols, w_mat.T, out=out)
+        else:
+            cols, _ = im2col(request.x, plan.kernel, plan.stride, plan.padding)
+            out = cols @ w_mat.T
+        if epilogue is not None:
+            epilogue.apply(out)
         if workspace is not None:
             workspace["cols"] = cols
             workspace["w_mat"] = w_mat
@@ -159,6 +235,7 @@ class PatternSparseBackend:
         request: "ConvRequest",
         plan: ExecutionPlan,
         workspace: Optional[dict] = None,
+        epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
         encoded = request.encoded
         kh, kw = plan.kernel
@@ -169,6 +246,7 @@ class PatternSparseBackend:
         batch = plan.batch
         n = encoded.codebook.n_nonzero
         num_patterns = len(encoded.codebook)
+        arena, tag = _arena_from(workspace)
 
         if num_patterns * n / k2 > GROUPED_EXPANSION_LIMIT:
             # Diverse codebook: the grouped matrix would dwarf the dense
@@ -183,20 +261,28 @@ class PatternSparseBackend:
             # gathered A matrix, whichever is wider.
             per_row = batch * ow * max(c_in * k2, grouped.shape[0])
 
-        out = np.empty(
-            (batch, oh, ow, c_out),
-            dtype=np.result_type(request.x.dtype, encoded.values.dtype),
-        )
-        for r0, r1, cols in _iter_im2col_row_slabs(request.x, plan, per_row):
+        dtype = np.result_type(request.x.dtype, encoded.values.dtype)
+        if arena is not None:
+            out = arena.take(f"{tag}:out", (batch, oh, ow, c_out), dtype)
+        else:
+            out = np.empty((batch, oh, ow, c_out), dtype=dtype)
+        for r0, r1, cols in _iter_im2col_row_slabs(
+            request.x, plan, per_row, arena=arena, tag=tag
+        ):
             if gather is None:
                 tile = cols @ w_mat.T
             else:
                 # (slab, C_in, |P|, n) -> (slab, |P| * C_in * n), matching
                 # the grouped weight matrix's (code, channel, slot) layout.
+                # The gather itself still allocates its A matrix — the
+                # fancy index has no out= form — but the tile GEMM result
+                # is fresh either way, so the epilogue mutates safely.
                 cols_r = cols.reshape(-1, c_in, k2)
                 gathered = cols_r[:, :, gather.positions_by_code]
                 a_mat = gathered.transpose(0, 2, 1, 3).reshape(len(cols_r), -1)
                 tile = a_mat @ grouped
+            if epilogue is not None:
+                epilogue.apply(tile)
             out[:, r0:r1] = tile.reshape(batch, r1 - r0, ow, c_out)
         return out.reshape(batch * oh * ow, c_out)
 
@@ -220,20 +306,31 @@ class TiledBackend:
         request: "ConvRequest",
         plan: ExecutionPlan,
         workspace: Optional[dict] = None,
+        epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
         weight = _dense_weight(request)
         kh, kw = plan.kernel
         oh, ow = plan.out_hw
         batch = plan.batch
+        arena, tag = _arena_from(workspace)
 
         w_mat = weight.reshape(plan.out_channels, -1)
-        out = np.empty(
-            (batch, oh, ow, plan.out_channels),
-            dtype=np.result_type(request.x.dtype, weight.dtype),
-        )
+        dtype = np.result_type(request.x.dtype, weight.dtype)
+        if arena is not None:
+            out = arena.take(f"{tag}:out", (batch, oh, ow, plan.out_channels), dtype)
+        else:
+            out = np.empty((batch, oh, ow, plan.out_channels), dtype=dtype)
         per_row = batch * ow * plan.in_channels * kh * kw
-        for r0, r1, cols in _iter_im2col_row_slabs(request.x, plan, per_row):
-            tile = cols @ w_mat.T  # (batch * rows * ow, C_out)
+        for r0, r1, cols in _iter_im2col_row_slabs(
+            request.x, plan, per_row, arena=arena, tag=tag
+        ):
+            if arena is not None:
+                tile = arena.take(f"{tag}:tile", (len(cols), plan.out_channels), dtype)
+                np.matmul(cols, w_mat.T, out=tile)
+            else:
+                tile = cols @ w_mat.T  # (batch * rows * ow, C_out)
+            if epilogue is not None:
+                epilogue.apply(tile)
             out[:, r0:r1] = tile.reshape(batch, r1 - r0, ow, plan.out_channels)
         return out.reshape(batch * oh * ow, plan.out_channels)
 

@@ -1,0 +1,970 @@
+"""Graph lowering: compile a module tree into a flat inference pipeline.
+
+:func:`compile_model` performs the autograd→inference split real serving
+runtimes make. It walks a model's module tree once and lowers it to a
+flat list of inference ops over raw numpy arrays:
+
+- **BN folding** — every eval-mode ``BatchNorm2d`` collapses into the
+  preceding conv's weights and bias (``w' = w * scale``,
+  ``b' = shift + b * scale`` with the per-channel affine map from
+  :meth:`~repro.nn.layers.BatchNorm2d.fold_params`), including convs that
+  carry an SPM encoding: scaling a kernel's non-zero sequence never moves
+  its pattern, so the encoding stays valid with scaled values.
+- **Fused epilogues** — bias add and a following ``ReLU`` run in place on
+  the conv's GEMM output (:class:`~repro.runtime.backends.Epilogue`)
+  while the tile is cache-hot, instead of as separate full-tensor passes.
+- **One-time float32 cast** — parameters are cast once at compile time
+  (``dtype=None`` keeps the training precision), halving memory traffic
+  on every GEMM.
+- **Channels-last layout** — activations flow NHWC between ops. The conv
+  GEMM's ``(N·OH·OW, C_out)`` output *is* the next layer's channels-last
+  activation, im2col unfolds as contiguous block copies
+  (:func:`~repro.nn.functional.im2col_nhwc`), and pooling reduces with
+  the contiguous channel axis innermost — eliminating the strided-view
+  traffic that dominates the NCHW eager path. Input is converted once at
+  entry; outputs convert back only if they leave the pipeline spatial.
+- **Workspace arenas** — each op draws its scratch buffers (padded
+  inputs, im2col columns, GEMM outputs, pooling outputs) from a
+  per-thread :class:`~repro.runtime.arena.Arena`, so the steady-state
+  loop does zero large allocations; activations are updated in place
+  where legal (epilogues, the residual add).
+
+Residual topologies lower through two small model-side hooks instead of
+tracing: ``lowering_sequence()`` (an ordered list of submodules — VGG16,
+ResNet18, PatternNet) and ``lowering_branches()``
+(``(body, shortcut[, post_relu])`` — BasicBlock). Anything the lowerer
+does not recognise falls back to a
+:class:`ModuleOp` that runs the original module under ``no_grad`` (with
+layout conversions inserted around it), so ``compile_model`` is total:
+unknown models still compile, they just skip the fused fast path for
+those ops.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.functional import conv_output_size, im2col_nhwc, pool_windows_nhwc
+from .arena import Arena
+from .backends import Epilogue
+from .engine import dispatch
+from .plan import ExecutionPlan, PlanCache
+
+__all__ = ["compile_model", "CompiledModel", "fold_batchnorm"]
+
+# Per-conv workspace budget (bytes) for the compiled executor's im2col
+# slabs. Byte-based rather than element-based so the float32 pipeline
+# gets twice the rows of a float64 one for the same memory footprint;
+# larger monolithic slabs measurably beat many small GEMMs until the
+# workspace falls out of cache.
+SLAB_BYTES = 64 * 2**20
+
+# SPM lowering policy: the grouped-contraction gather reads |P|*n columns
+# per input channel where the dense GEMM reads k^2. The compiled pipeline
+# exists to serve fast, so it takes the gather only when that is the
+# *narrower* contraction (|P|*n <= k^2 — e.g. the paper's n=1/|P|=4
+# setting) and otherwise decodes once at compile time and runs the dense
+# GEMM. (The eager `pattern` backend keeps its wider
+# GROUPED_EXPANSION_LIMIT because its job is demonstrating SPM-regular
+# execution, not minimum latency.)
+GATHER_WIDTH_LIMIT = 1.0
+
+
+# ---------------------------------------------------------------------
+# Folding helpers
+# ---------------------------------------------------------------------
+def fold_batchnorm(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    bn: "nn.BatchNorm2d",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an eval-mode BN into the preceding conv's weight and bias.
+
+    Returns ``(weight', bias')`` with
+    ``conv(x, w') + b' == BN(conv(x, w) + b)`` for the BN's current
+    running statistics.
+    """
+    scale, shift = bn.fold_params()
+    folded_weight = weight * scale[:, None, None, None]
+    folded_bias = shift if bias is None else shift + bias * scale
+    return folded_weight, folded_bias
+
+
+def _fold_encoded(encoded, scale: np.ndarray, dtype):
+    """Scale an SPM-encoded layer's values per output filter.
+
+    Kernels are stored in ``(filter, channel)`` row-major order, so
+    kernel ``k`` belongs to filter ``k // C_in``; scaling the non-zero
+    sequences leaves codes and codebook untouched.
+    """
+    from ..core.spm import EncodedLayer
+
+    c_out, c_in, kh, kw = encoded.shape
+    filters = np.arange(encoded.num_kernels) // c_in
+    values = encoded.values * scale[filters][:, None]
+    if dtype is not None:
+        values = values.astype(dtype, copy=False)
+    return EncodedLayer(
+        codes=encoded.codes,
+        values=values,
+        codebook=encoded.codebook,
+        shape=encoded.shape,
+    )
+
+
+def _cast_encoded(encoded, dtype):
+    """Re-wrap an encoding with values cast to the compile dtype."""
+    from ..core.spm import EncodedLayer
+
+    if dtype is None or encoded.values.dtype == np.dtype(dtype):
+        return encoded
+    return EncodedLayer(
+        codes=encoded.codes,
+        values=encoded.values.astype(dtype),
+        codebook=encoded.codebook,
+        shape=encoded.shape,
+    )
+
+
+# ---------------------------------------------------------------------
+# Execution state + ops
+# ---------------------------------------------------------------------
+@dataclass
+class _ExecState:
+    """Per-thread execution resources (arena is not thread-safe)."""
+
+    arena: Arena
+    plans: PlanCache
+
+
+class _InferenceOp:
+    """One step of the compiled pipeline: ndarray in, ndarray out."""
+
+    tag: str = ""
+
+    def run(
+        self, x: np.ndarray, state: _ExecState, backend: Optional[str]
+    ) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ToNHWC(_InferenceOp):
+    """NCHW → channels-last, copied once into a reused buffer."""
+
+    tag: str
+
+    def run(self, x, state, backend):
+        n, c, h, w = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, h, w, c), x.dtype)
+        out[...] = x.transpose(0, 2, 3, 1)
+        return out
+
+    def describe(self) -> str:
+        return "to-nhwc"
+
+
+@dataclass
+class ToNCHW(_InferenceOp):
+    """Channels-last → NCHW, for fallbacks and the public output."""
+
+    tag: str
+
+    def run(self, x, state, backend):
+        n, h, w, c = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, c, h, w), x.dtype)
+        out[...] = x.transpose(0, 3, 1, 2)
+        return out
+
+    def describe(self) -> str:
+        return "to-nchw"
+
+
+@dataclass
+class ConvOp(_InferenceOp):
+    """Channels-last convolution with folded BN and a fused epilogue.
+
+    ``weight_t`` is the NHWC GEMM operand ``(KH*KW*C_in, C_out)`` built
+    once at compile time — with the bias appended as an extra row when
+    the layer has one, so the bias add rides inside the GEMM against an
+    all-ones column of the (bias-augmented) column buffer instead of as
+    a separate pass over the output. SPM-encoded layers keep their
+    encoding and run the grouped-contraction gather natively on NHWC
+    columns when that is the narrower contraction
+    (``GATHER_WIDTH_LIMIT``), decoding once at compile time into a dense
+    GEMM otherwise. A forced ``backend=`` routes through
+    :func:`repro.runtime.dispatch` with layout conversions on both sides
+    — correct for any registered backend, just slower.
+
+    ``halo`` (set by the lowering's :func:`_link_halo` pass) names the
+    direct consumer's padded input buffer: the monolithic dense path
+    then writes its activation straight into that buffer's interior, so
+    the consumer skips its pad copy entirely.
+    """
+
+    weight_t: Optional[np.ndarray]
+    bias_rows: int  # 1 when the bias is folded into weight_t, else 0
+    encoded: Optional[object]
+    use_gather: bool
+    epilogue: Epilogue  # bias+relu, used by the gather/engine paths
+    relu: bool
+    stride: int
+    padding: int
+    backend: Optional[str]
+    kernel: Tuple[int, int]
+    c_in: int
+    c_out: int
+    tag: str
+    halo: Optional[Tuple[str, int]] = None  # (consumer tag, consumer padding)
+    _weight_nchw: Optional[np.ndarray] = field(default=None, repr=False)
+    _decoded_t: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def run(self, x, state, backend):
+        override = backend or self.backend
+        if override is not None:
+            return self._run_via_engine(x, state, override)
+        if self.use_gather:
+            return self._run_gather(x, state)
+        return self._run_dense(x, state)
+
+    # -- shared geometry ----------------------------------------------
+    def _plan(self, x: np.ndarray, state: _ExecState) -> ExecutionPlan:
+        n, h, w, c = x.shape
+        kh, kw = self.kernel
+        key = ("nhwc", (n, h, w, c), (self.c_out, c, kh, kw), self.stride, self.padding)
+        return state.plans.get_or_build(
+            key,
+            lambda: ExecutionPlan.build(
+                key, (n, c, h, w), (self.c_out, c, kh, kw), self.stride, self.padding
+            ),
+        )
+
+    def _slab_rows(self, plan: ExecutionPlan, per_row: int, itemsize: int) -> int:
+        oh, _ = plan.out_hw
+        budget = SLAB_BYTES // max(1, itemsize)
+        return max(1, min(oh, budget // max(1, per_row)))
+
+    def _padded_input(self, x: np.ndarray, arena: Arena) -> np.ndarray:
+        """Zero-padded input, skipping the copy when the producer already
+        wrote into this op's pad buffer interior (halo fusion)."""
+        if self.padding <= 0:
+            return x
+        n, h, w, c = x.shape
+        p = self.padding
+        buffer = arena.take_filled(
+            f"{self.tag}:pad", (n, h + 2 * p, w + 2 * p, c), x.dtype, 0.0
+        )
+        if x.base is buffer:
+            return buffer
+        buffer[:, p : p + h, p : p + w, :] = x
+        return buffer
+
+    def _store(self, out4: np.ndarray, arena: Arena) -> np.ndarray:
+        """Activation hand-off: relu (+copy into the consumer's halo)."""
+        if self.halo is not None:
+            consumer_tag, p = self.halo
+            n, oh, ow, c = out4.shape
+            buffer = arena.take_filled(
+                f"{consumer_tag}:pad", (n, oh + 2 * p, ow + 2 * p, c), out4.dtype, 0.0
+            )
+            interior = buffer[:, p : p + oh, p : p + ow, :]
+            if self.relu:
+                np.maximum(out4, 0.0, out=interior)
+            else:
+                np.copyto(interior, out4)
+            return interior
+        if self.relu:
+            np.maximum(out4, 0.0, out=out4)
+        return out4
+
+    # -- dense GEMM path ----------------------------------------------
+    def _run_dense(self, x, state):
+        arena = state.arena
+        plan = self._plan(x, state)
+        n = plan.batch
+        kh, kw = self.kernel
+        oh, ow = plan.out_hw
+        k = kh * kw * self.c_in
+        if self.weight_t is not None:
+            weight_t = self.weight_t
+        else:
+            # Diverse-codebook SPM conv lowered to decode + dense GEMM.
+            weight_t = self._decoded_weight_t()
+        gemm_dtype = np.result_type(x.dtype, weight_t.dtype)
+        xp = self._padded_input(x, arena)
+        out = arena.take(f"{self.tag}:out", (n, oh, ow, self.c_out), gemm_dtype)
+        rows = self._slab_rows(plan, n * ow * (k + self.bias_rows), x.dtype.itemsize)
+        if rows >= oh:
+            # The ones column multiplying the appended bias row is set by
+            # take_filled exactly once; im2col rewrites only the first k
+            # columns each call.
+            cols = arena.take_filled(
+                f"{self.tag}:cols", (n * oh * ow, k + self.bias_rows), x.dtype, 1.0
+            )
+            im2col_nhwc(xp, self.kernel, self.stride, out=cols[:, :k])
+            out_mat = out.reshape(n * oh * ow, self.c_out)
+            np.matmul(cols, weight_t, out=out_mat)
+            return self._store(out, arena)
+        for r0 in range(0, oh, rows):
+            r1 = min(r0 + rows, oh)
+            x_slab = xp[:, r0 * self.stride : (r1 - 1) * self.stride + kh, :, :]
+            cols = arena.take_filled(
+                f"{self.tag}:cols",
+                (n * (r1 - r0) * ow, k + self.bias_rows),
+                x.dtype,
+                1.0,
+            )
+            im2col_nhwc(x_slab, self.kernel, self.stride, out=cols[:, :k])
+            tile = arena.take(f"{self.tag}:tile", (len(cols), self.c_out), gemm_dtype)
+            np.matmul(cols, weight_t, out=tile)
+            if self.relu:
+                np.maximum(tile, 0.0, out=tile)
+            out[:, r0:r1] = tile.reshape(n, r1 - r0, ow, self.c_out)
+        return out
+
+    # -- grouped-contraction SPM path ---------------------------------
+    def _run_gather(self, x, state):
+        arena = state.arena
+        plan = self._plan(x, state)
+        n = plan.batch
+        kh, kw = self.kernel
+        k2 = kh * kw
+        oh, ow = plan.out_hw
+        gather = self.encoded.gather_plan()
+        grouped = self.encoded.grouped_weight_matrix()  # (|P|*C_in*n, C_out)
+        gemm_dtype = np.result_type(x.dtype, grouped.dtype)
+        xp = self._padded_input(x, arena)
+        out = arena.take(f"{self.tag}:out", (n, oh, ow, self.c_out), gemm_dtype)
+        per_row = n * ow * max(k2 * self.c_in, grouped.shape[0])
+        rows = self._slab_rows(plan, per_row, x.dtype.itemsize)
+        for r0 in range(0, oh, rows):
+            r1 = min(r0 + rows, oh)
+            x_slab = xp[:, r0 * self.stride : (r1 - 1) * self.stride + kh, :, :]
+            cols, _ = im2col_nhwc(
+                x_slab,
+                self.kernel,
+                self.stride,
+                out=arena.take(
+                    f"{self.tag}:cols", (n * (r1 - r0) * ow, k2 * self.c_in), x.dtype
+                ),
+            )
+            # NHWC columns are (position, channel); gather the |P| pattern
+            # position sets, then order (code, channel, slot) to match the
+            # grouped weight matrix's layout.
+            cols_r = cols.reshape(-1, k2, self.c_in)
+            gathered = cols_r[:, gather.positions_by_code, :]  # (W, |P|, n, C)
+            a_mat = gathered.transpose(0, 1, 3, 2).reshape(len(cols_r), -1)
+            tile = a_mat @ grouped
+            self.epilogue.apply(tile)
+            out[:, r0:r1] = tile.reshape(n, r1 - r0, ow, self.c_out)
+        return out
+
+    # -- forced-backend fallback through the engine -------------------
+    def _dense_weight_nchw(self) -> Optional[np.ndarray]:
+        if self._weight_nchw is None and self.weight_t is not None:
+            kh, kw = self.kernel
+            k = kh * kw * self.c_in
+            self._weight_nchw = np.ascontiguousarray(
+                self.weight_t[:k].T.reshape(self.c_out, kh, kw, self.c_in).transpose(
+                    0, 3, 1, 2
+                )
+            )
+        return self._weight_nchw
+
+    def _decoded_weight_t(self) -> np.ndarray:
+        """Memoized NHWC GEMM weight decoded from a diverse-codebook SPM
+        (bias row appended when the layer carries one, as for dense)."""
+        if self._decoded_t is None:
+            decoded = (
+                self.encoded.decoded_weight()
+                .transpose(0, 2, 3, 1)
+                .reshape(self.c_out, -1)
+                .T
+            )
+            if self.bias_rows:
+                decoded = np.vstack(
+                    [decoded, self.epilogue.bias.astype(decoded.dtype)[None, :]]
+                )
+            self._decoded_t = np.ascontiguousarray(decoded)
+        return self._decoded_t
+
+    def _run_via_engine(self, x, state, override):
+        arena = state.arena
+        n, h, w, c = x.shape
+        x_nchw = arena.take(f"{self.tag}:nchw-in", (n, c, h, w), x.dtype)
+        x_nchw[...] = x.transpose(0, 3, 1, 2)
+        out_nchw = dispatch(
+            x_nchw,
+            self._dense_weight_nchw() if self.encoded is None else None,
+            encoded=self.encoded,
+            stride=self.stride,
+            padding=self.padding,
+            backend=override,
+            cache=state.plans,
+            workspace={"arena": arena, "tag": f"{self.tag}:engine"},
+            epilogue=self.epilogue,
+        )
+        n2, c2, oh, ow = out_nchw.shape
+        out = arena.take(f"{self.tag}:nhwc-out", (n2, oh, ow, c2), out_nchw.dtype)
+        out[...] = out_nchw.transpose(0, 2, 3, 1)
+        return out
+
+    def describe(self) -> str:
+        kind = "spm-conv" if self.encoded is not None else "conv"
+        fused = []
+        if self.epilogue.bias is not None:
+            fused.append("bias")
+        if self.epilogue.relu:
+            fused.append("relu")
+        return f"{kind}" + (f"+{'+'.join(fused)}" if fused else "")
+
+
+@dataclass
+class LinearOp(_InferenceOp):
+    """Affine head with optional fused ReLU (outputs are small)."""
+
+    weight: np.ndarray
+    bias: Optional[np.ndarray]
+    relu: bool
+    tag: str
+
+    def run(self, x, state, backend):
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out += self.bias.astype(out.dtype, copy=False)
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def describe(self) -> str:
+        return "linear+relu" if self.relu else "linear"
+
+
+@dataclass
+class BatchNormOp(_InferenceOp):
+    """Standalone eval-mode BN (only when no conv precedes it)."""
+
+    scale4: np.ndarray  # (1, 1, 1, C), channels-last
+    shift4: np.ndarray
+    relu: bool
+    tag: str
+
+    def run(self, x, state, backend):
+        out = state.arena.take(
+            f"{self.tag}:out", x.shape, np.result_type(x.dtype, self.scale4.dtype)
+        )
+        np.multiply(x, self.scale4, out=out)
+        out += self.shift4
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def describe(self) -> str:
+        return "batchnorm+relu" if self.relu else "batchnorm"
+
+
+@dataclass
+class ReluOp(_InferenceOp):
+    """Standalone ReLU into an op-private arena buffer (never aliases)."""
+
+    tag: str
+
+    def run(self, x, state, backend):
+        out = state.arena.take(f"{self.tag}:out", x.shape, x.dtype)
+        return np.maximum(x, 0.0, out=out)
+
+    def describe(self) -> str:
+        return "relu"
+
+
+def _pool_out(arena: Arena, tag: str, halo, shape, dtype) -> np.ndarray:
+    """Pool output buffer — the consumer's pad interior under halo fusion."""
+    if halo is not None:
+        consumer_tag, p = halo
+        n, oh, ow, c = shape
+        buffer = arena.take_filled(
+            f"{consumer_tag}:pad", (n, oh + 2 * p, ow + 2 * p, c), dtype, 0.0
+        )
+        return buffer[:, p : p + oh, p : p + ow, :]
+    return arena.take(f"{tag}:out", shape, dtype)
+
+
+@dataclass
+class MaxPoolOp(_InferenceOp):
+    kernel: int
+    stride: int
+    padding: int
+    tag: str
+    halo: Optional[Tuple[str, int]] = None
+
+    def run(self, x, state, backend):
+        if self.padding > 0:
+            # -inf borders so padded cells never win; filled once at
+            # allocation, only the interior is copied per call.
+            n, h, w, c = x.shape
+            p = self.padding
+            buf = state.arena.take_filled(
+                f"{self.tag}:pad", (n, h + 2 * p, w + 2 * p, c), x.dtype, -np.inf
+            )
+            buf[:, p : p + h, p : p + w, :] = x
+            x = buf
+        windows = pool_windows_nhwc(x, self.kernel, self.stride)
+        n, oh, ow = windows.shape[:3]
+        out = _pool_out(
+            state.arena, self.tag, self.halo, (n, oh, ow, x.shape[3]), x.dtype
+        )
+        return np.max(windows, axis=(3, 4), out=out)
+
+    def describe(self) -> str:
+        return f"maxpool{self.kernel}"
+
+
+@dataclass
+class AvgPoolOp(_InferenceOp):
+    kernel: int
+    stride: int
+    tag: str
+    halo: Optional[Tuple[str, int]] = None
+
+    def run(self, x, state, backend):
+        windows = pool_windows_nhwc(x, self.kernel, self.stride)
+        n, oh, ow = windows.shape[:3]
+        out = _pool_out(
+            state.arena, self.tag, self.halo, (n, oh, ow, x.shape[3]), x.dtype
+        )
+        return np.mean(windows, axis=(3, 4), out=out)
+
+    def describe(self) -> str:
+        return f"avgpool{self.kernel}"
+
+
+@dataclass
+class GlobalAvgPoolOp(_InferenceOp):
+    tag: str
+
+    def run(self, x, state, backend):
+        return x.mean(axis=(1, 2))  # NHWC -> (N, C)
+
+    def describe(self) -> str:
+        return "globalavgpool"
+
+
+@dataclass
+class FlattenOp(_InferenceOp):
+    """NCHW-ordered flatten of a channels-last activation."""
+
+    tag: str
+
+    def run(self, x, state, backend):
+        n, h, w, c = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, c * h * w), x.dtype)
+        out.reshape(n, c, h, w)[...] = x.transpose(0, 3, 1, 2)
+        return out
+
+    def describe(self) -> str:
+        return "flatten"
+
+
+@dataclass
+class ResidualOp(_InferenceOp):
+    """Body + shortcut with the post-add ReLU applied in place."""
+
+    body: List[_InferenceOp]
+    shortcut: List[_InferenceOp]
+    relu: bool
+    tag: str
+
+    def run(self, x, state, backend):
+        out = x
+        for op in self.body:
+            out = op.run(out, state, backend)
+        identity = x
+        for op in self.shortcut:
+            identity = op.run(identity, state, backend)
+        if out is x:  # degenerate empty body: do not mutate the input
+            out = x.copy()
+        np.add(out, identity, out=out)
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def describe(self) -> str:
+        body = " ".join(op.describe() for op in self.body)
+        down = " ".join(op.describe() for op in self.shortcut) or "identity"
+        return f"residual[{body} | {down}]"
+
+
+@dataclass
+class ModuleOp(_InferenceOp):
+    """Fallback: run an unlowered module under no_grad in eval mode."""
+
+    module: nn.Module
+    tag: str
+
+    def run(self, x, state, backend):
+        was_training = self.module.training
+        self.module.eval()
+        try:
+            with nn.no_grad():
+                return self.module(nn.Tensor(x, dtype=None)).data
+        finally:
+            self.module.train(was_training)
+
+    def describe(self) -> str:
+        return f"module:{type(self.module).__name__}"
+
+
+# ---------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------
+@dataclass
+class _Residual:
+    """Intermediate marker for a two-branch residual step."""
+
+    body: List[object]
+    shortcut: List[object]
+    relu: bool
+
+
+def _expand(module: nn.Module) -> List[object]:
+    """Expand a module tree into primitive steps and residual markers."""
+    if isinstance(module, (nn.Dropout, nn.Identity)):
+        return []  # eval-mode no-ops
+    if isinstance(module, nn.Sequential):
+        return [step for child in module for step in _expand(child)]
+    branches = getattr(module, "lowering_branches", None)
+    if branches is not None:
+        # Hook contract: (body, shortcut) applies ReLU after the add
+        # (the classic post-activation block); a 3-tuple
+        # (body, shortcut, post_relu) makes the activation explicit for
+        # pre-activation-style blocks.
+        parts = branches()
+        body, shortcut = parts[0], parts[1]
+        relu = parts[2] if len(parts) > 2 else True
+        return [
+            _Residual(
+                body=[s for m in body for s in _expand(m)],
+                shortcut=[s for m in shortcut for s in _expand(m)],
+                relu=relu,
+            )
+        ]
+    sequence = getattr(module, "lowering_sequence", None)
+    if sequence is not None:
+        return [step for child in sequence() for step in _expand(child)]
+    return [module]
+
+
+def _cast(array: Optional[np.ndarray], dtype) -> Optional[np.ndarray]:
+    if array is None or dtype is None:
+        return array
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+def _make_conv_op(step: nn.Conv2d, bn, relu: bool, dtype, tag: str) -> ConvOp:
+    """Lower one conv (with optional BN to fold and fused ReLU)."""
+    params = step.inference_params()
+    weight, bias, encoded = params["weight"], params["bias"], params["encoded"]
+    if bn is not None:
+        if encoded is not None:
+            scale, shift = bn.fold_params()
+            encoded = _fold_encoded(encoded, scale, dtype)
+            bias = shift if bias is None else shift + bias * scale
+        else:
+            weight, bias = fold_batchnorm(weight, bias, bn)
+    elif encoded is not None:
+        encoded = _cast_encoded(encoded, dtype)
+
+    kh = kw = step.kernel_size
+    k2 = kh * kw
+    use_gather = False
+    weight_t = None
+    bias = _cast(bias, dtype)
+    bias_rows = 0
+    if encoded is not None:
+        # FLOP-optimal policy: gather only when the grouped contraction
+        # is narrower than the dense one (see GATHER_WIDTH_LIMIT).
+        n_nonzero = encoded.codebook.n_nonzero
+        use_gather = len(encoded.codebook) * n_nonzero / k2 <= GATHER_WIDTH_LIMIT
+        if not use_gather and bias is not None:
+            bias_rows = 1  # the lazily decoded dense weight appends it
+    else:
+        weight = _cast(weight, dtype)
+        weight_t = np.ascontiguousarray(
+            weight.transpose(0, 2, 3, 1).reshape(step.out_channels, -1).T
+        )
+        if bias is not None:
+            # Append the bias as a GEMM row; the column buffer carries a
+            # matching all-ones column, so the bias add costs one extra
+            # GEMM row instead of a pass over the output.
+            weight_t = np.ascontiguousarray(
+                np.vstack([weight_t, bias.astype(weight_t.dtype)[None, :]])
+            )
+            bias_rows = 1
+    return ConvOp(
+        weight_t=weight_t,
+        bias_rows=bias_rows,
+        encoded=encoded,
+        use_gather=use_gather,
+        epilogue=Epilogue(bias=bias, relu=relu),
+        relu=relu,
+        stride=step.stride,
+        padding=step.padding,
+        backend=params["backend"],
+        kernel=(kh, kw),
+        c_in=step.in_channels,
+        c_out=step.out_channels,
+        tag=tag,
+    )
+
+
+def _build_ops(
+    steps: Sequence[object], dtype, tags: Iterator[int], entry_fmt: str = "nchw"
+) -> Tuple[List[_InferenceOp], str]:
+    """Turn expanded steps into ops, fusing conv→BN→ReLU peepholes.
+
+    Tracks the activation layout (``nchw`` / ``nhwc`` / ``flat``) and
+    inserts :class:`ToNHWC` / :class:`ToNCHW` conversions where an op's
+    native layout differs; returns ``(ops, exit_format)``.
+    """
+    ops: List[_InferenceOp] = []
+    fmt = entry_fmt
+
+    def ensure(want: str) -> None:
+        nonlocal fmt
+        if fmt == want or fmt == "flat":
+            if fmt == "flat" and want != "flat":
+                raise TypeError(
+                    "cannot lower: a spatial op follows a flattened activation"
+                )
+            return
+        if want == "nhwc":
+            ops.append(ToNHWC(tag=f"op{next(tags)}"))
+        else:
+            ops.append(ToNCHW(tag=f"op{next(tags)}"))
+        fmt = want
+
+    i = 0
+    while i < len(steps):
+        step = steps[i]
+        tag = f"op{next(tags)}"
+        if isinstance(step, _Residual):
+            ensure("nhwc")
+            body, body_fmt = _build_ops(step.body, dtype, tags, entry_fmt="nhwc")
+            if body_fmt == "nchw":
+                body.append(ToNHWC(tag=f"op{next(tags)}"))
+            shortcut, short_fmt = _build_ops(step.shortcut, dtype, tags, entry_fmt="nhwc")
+            if short_fmt == "nchw":
+                shortcut.append(ToNHWC(tag=f"op{next(tags)}"))
+            ops.append(ResidualOp(body=body, shortcut=shortcut, relu=step.relu, tag=tag))
+            i += 1
+            continue
+        if isinstance(step, nn.Conv2d):
+            i += 1
+            bn = None
+            if i < len(steps) and isinstance(steps[i], nn.BatchNorm2d):
+                bn = steps[i]
+                i += 1
+            relu = i < len(steps) and isinstance(steps[i], nn.ReLU)
+            if relu:
+                i += 1
+            ensure("nhwc")
+            ops.append(_make_conv_op(step, bn, relu, dtype, tag))
+            continue
+        if isinstance(step, nn.Linear):
+            weight = step.weight.data
+            if step._weight_mask is not None:
+                weight = weight * step._weight_mask
+            bias = step.bias.data if step.bias is not None else None
+            i += 1
+            relu = i < len(steps) and isinstance(steps[i], nn.ReLU)
+            if relu:
+                i += 1
+            ops.append(
+                LinearOp(
+                    weight=_cast(weight, dtype),
+                    bias=_cast(bias, dtype),
+                    relu=relu,
+                    tag=tag,
+                )
+            )
+            fmt = "flat"
+            continue
+        if isinstance(step, nn.BatchNorm2d):
+            scale, shift = step.fold_params()
+            i += 1
+            relu = i < len(steps) and isinstance(steps[i], nn.ReLU)
+            if relu:
+                i += 1
+            ensure("nhwc")
+            c = step.num_features
+            ops.append(
+                BatchNormOp(
+                    scale4=_cast(scale, dtype).reshape(1, 1, 1, c),
+                    shift4=_cast(shift, dtype).reshape(1, 1, 1, c),
+                    relu=relu,
+                    tag=tag,
+                )
+            )
+            continue
+        i += 1
+        if isinstance(step, nn.ReLU):
+            ops.append(ReluOp(tag=tag))  # elementwise: any layout
+        elif isinstance(step, nn.MaxPool2d):
+            ensure("nhwc")
+            ops.append(
+                MaxPoolOp(
+                    kernel=step.kernel_size,
+                    stride=step.stride,
+                    padding=step.padding,
+                    tag=tag,
+                )
+            )
+        elif isinstance(step, nn.AvgPool2d):
+            ensure("nhwc")
+            ops.append(AvgPoolOp(kernel=step.kernel_size, stride=step.stride, tag=tag))
+        elif isinstance(step, nn.GlobalAvgPool2d):
+            ensure("nhwc")
+            ops.append(GlobalAvgPoolOp(tag=tag))
+            fmt = "flat"
+        elif isinstance(step, nn.Flatten):
+            ensure("nhwc")
+            ops.append(FlattenOp(tag=tag))
+            fmt = "flat"
+        elif isinstance(step, nn.Module):
+            if fmt == "nhwc":
+                ops.append(ToNCHW(tag=f"op{next(tags)}"))
+                fmt = "nchw"
+            ops.append(ModuleOp(module=step, tag=tag))
+        else:  # pragma: no cover - lowering hooks only yield modules
+            raise TypeError(f"cannot lower step {step!r}")
+    return ops, fmt
+
+
+def _link_halo(ops: List[_InferenceOp]) -> None:
+    """Connect producers to their consumer's padded input buffer.
+
+    When op ``i+1`` is a padded :class:`ConvOp` and op ``i`` is a conv or
+    pool feeding it directly, op ``i`` writes its activation straight
+    into the interior of the consumer's zero-bordered pad buffer — the
+    consumer's :meth:`ConvOp._padded_input` then recognises its own
+    buffer (``x.base is buffer``) and skips the pad copy entirely. The
+    hand-off is best-effort: any producer path that cannot honour it
+    (slab tiling, gather, forced backends) simply returns its own buffer
+    and the consumer copies as usual.
+    """
+    for a, b in zip(ops, ops[1:]):
+        if (
+            isinstance(b, ConvOp)
+            and b.padding > 0
+            and isinstance(a, (ConvOp, MaxPoolOp, AvgPoolOp))
+        ):
+            a.halo = (b.tag, b.padding)
+    for op in ops:
+        if isinstance(op, ResidualOp):
+            _link_halo(op.body)
+            _link_halo(op.shortcut)
+
+
+class CompiledModel:
+    """Flat inference pipeline produced by :func:`compile_model`.
+
+    Callable on ``(N, C, H, W)`` numpy batches; inputs are cast once to
+    the compile dtype, converted to channels-last at entry, and outputs
+    are returned in the eager model's layout. Execution resources
+    (buffer arena) are thread-local, so one compiled model serves
+    micro-batches from a thread pool concurrently
+    (``predict(..., workers=N)``); the plan cache is shared and
+    lock-protected.
+    """
+
+    def __init__(self, ops: List[_InferenceOp], dtype, source: str = "") -> None:
+        self.ops = ops
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self.source = source
+        self.plans = PlanCache()
+        self._local = threading.local()
+
+    # -- resources -----------------------------------------------------
+    def _state(self) -> _ExecState:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = _ExecState(arena=Arena(), plans=self.plans)
+            self._local.state = state
+        return state
+
+    @property
+    def arena(self) -> Arena:
+        """The calling thread's buffer arena (stats/introspection)."""
+        return self._state().arena
+
+    # -- execution -----------------------------------------------------
+    def __call__(self, x: np.ndarray, *, backend: Optional[str] = None) -> np.ndarray:
+        """Run the compiled pipeline over a batch.
+
+        ``backend`` forces every conv onto one engine backend, mirroring
+        ``predict(..., backend=...)`` on eager models.
+        """
+        x = np.asarray(x)
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) inputs, got shape {x.shape}")
+        if self.dtype is not None and x.dtype != self.dtype:
+            x = x.astype(self.dtype)
+        state = self._state()
+        out = x
+        for op in self.ops:
+            out = op.run(out, state, backend)
+        # The last op's result may be a view into an arena buffer that the
+        # next call will overwrite; hand back an owned copy (outputs are
+        # head-sized, so this is cheap).
+        return np.array(out, copy=True)
+
+    def describe(self) -> str:
+        """One line per op — what got folded and fused where."""
+        header = f"CompiledModel({self.source or 'model'}, dtype={self.dtype})"
+        lines = [f"  {i}: {op.describe()}" for i, op in enumerate(self.ops)]
+        return "\n".join([header] + lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledModel(ops={len(self.ops)}, dtype={self.dtype}, "
+            f"source={self.source!r})"
+        )
+
+
+def compile_model(model: nn.Module, dtype=np.float32) -> CompiledModel:
+    """Lower ``model`` to a :class:`CompiledModel` inference pipeline.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module`. Known structures (Sequential
+        chains, modules exposing ``lowering_sequence`` /
+        ``lowering_branches``) lower to fused channels-last ops; anything
+        else runs via a :class:`ModuleOp` fallback, so compilation always
+        succeeds.
+    dtype:
+        Inference dtype, cast once at compile time. ``np.float32``
+        (default) halves GEMM memory traffic vs the float64 training
+        graph; ``None`` keeps each parameter's own dtype.
+
+    Notes
+    -----
+    The compiled pipeline snapshots weights, masks, BN statistics and SPM
+    encodings *at compile time* — mutating the source model afterwards
+    (fine-tuning, ``load_state_dict``) requires compiling again.
+    """
+    ops, fmt = _build_ops(_expand(model), dtype, count())
+    if fmt == "nhwc":
+        # Features-only models must hand back the eager NCHW layout.
+        ops.append(ToNCHW(tag="out"))
+    _link_halo(ops)
+    return CompiledModel(ops, dtype=dtype, source=type(model).__name__)

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from .backends import TILE_THRESHOLD_ELEMENTS, get_backend
+from .backends import TILE_THRESHOLD_ELEMENTS, Epilogue, get_backend
 from .plan import ExecutionPlan, PlanCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,6 +78,27 @@ def select_backend(request: ConvRequest) -> str:
     return "dense"
 
 
+def _accepts_epilogue(impl) -> bool:
+    """Whether a backend's ``execute`` takes the ``epilogue=`` hook.
+
+    Checked once per backend instance (memoized on the instance) so
+    pre-hook backends registered by downstream code keep working.
+    """
+    cached = getattr(impl, "_accepts_epilogue", None)
+    if cached is None:
+        import inspect
+
+        try:
+            cached = "epilogue" in inspect.signature(impl.execute).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            cached = False
+        try:
+            impl._accepts_epilogue = cached
+        except AttributeError:  # pragma: no cover - slotted backends
+            pass
+    return cached
+
+
 def _plan_key(request: ConvRequest, backend_name: str) -> tuple:
     return (
         backend_name,
@@ -99,6 +120,7 @@ def dispatch(
     backend: Optional[str] = None,
     cache: Optional[PlanCache] = None,
     workspace: Optional[dict] = None,
+    epilogue: Optional[Epilogue] = None,
 ) -> np.ndarray:
     """Execute a convolution through the engine.
 
@@ -112,14 +134,21 @@ def dispatch(
     encoded:
         SPM-encoded layer; routes to the pattern backend by default.
     bias:
-        Optional per-output-channel bias ``(C_out,)``.
+        Optional per-output-channel bias ``(C_out,)``; folded into the
+        backend epilogue so the add happens in place on the GEMM output
+        instead of allocating a second output-sized array.
     backend:
         Explicit backend name (overrides auto-selection).
     cache:
         Plan cache to use; defaults to the process-wide one.
     workspace:
         Dict to receive backend intermediates (e.g. ``cols`` for the
-        autograd backward pass); only honoured by the dense backend.
+        autograd backward pass; only honoured by the dense backend) and,
+        via ``workspace["arena"]``/``workspace["tag"]``, to hand the
+        backend a reusable buffer arena.
+    epilogue:
+        Pre-built :class:`~repro.runtime.backends.Epilogue` (compiled
+        pipeline); mutually exclusive with ``bias``, which builds one.
 
     Returns
     -------
@@ -132,6 +161,10 @@ def dispatch(
     impl = get_backend(name)
     if not impl.supports(request):
         raise ValueError(f"backend {name!r} does not support this request")
+    if bias is not None:
+        if epilogue is not None and epilogue.bias is not None:
+            raise ValueError("pass bias either directly or in the epilogue, not both")
+        epilogue = Epilogue(bias=np.asarray(bias), relu=epilogue.relu if epilogue else False)
 
     plans = default_cache if cache is None else cache
     key = _plan_key(request, name)
@@ -142,11 +175,14 @@ def dispatch(
         ),
     )
 
-    out = impl.execute(request, plan, workspace=workspace)
-    if bias is not None:
-        # Harmonise dtype so a float64 bias cannot silently promote a
-        # float32 activation path.
-        out = out + np.asarray(bias).astype(out.dtype, copy=False)
+    if _accepts_epilogue(impl):
+        out = impl.execute(request, plan, workspace=workspace, epilogue=epilogue)
+    else:
+        # Legacy backend registered without the epilogue hook: run it
+        # as-is and apply the epilogue on its output matrix here.
+        out = impl.execute(request, plan, workspace=workspace)
+        if epilogue is not None:
+            epilogue.apply(out)
     oh, ow = plan.out_hw
     return (
         out.reshape(plan.batch, oh, ow, plan.out_channels).transpose(0, 3, 1, 2)

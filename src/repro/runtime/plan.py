@@ -18,6 +18,7 @@ weight mutation or object identity reuse.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Tuple
@@ -122,6 +123,12 @@ class PlanCache:
         self.maxsize = maxsize
         self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
         self.stats = PlanCacheStats()
+        # Plan caches are shared across the thread pool that
+        # predict(workers=N) runs micro-batches on; the lock keeps the
+        # LRU bookkeeping consistent (planning itself is pure, so a rare
+        # duplicate build would only waste a few microseconds — the lock
+        # mainly protects the OrderedDict reordering).
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -132,24 +139,27 @@ class PlanCache:
     def get_or_build(
         self, key: PlanKey, builder: Callable[[], ExecutionPlan]
     ) -> ExecutionPlan:
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.stats.hits += 1
-            self._plans.move_to_end(key)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.stats.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.stats.misses += 1
+            plan = builder()
+            self._plans[key] = plan
+            if len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
             return plan
-        self.stats.misses += 1
-        plan = builder()
-        self._plans[key] = plan
-        if len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
-            self.stats.evictions += 1
-        return plan
 
     def invalidate(self, key: PlanKey) -> bool:
         """Drop one plan; returns whether it was present."""
-        return self._plans.pop(key, None) is not None
+        with self._lock:
+            return self._plans.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every plan and reset the statistics."""
-        self._plans.clear()
-        self.stats = PlanCacheStats()
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()

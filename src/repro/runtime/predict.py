@@ -1,4 +1,4 @@
-"""Batched inference API — the runtime engine's first scenario win.
+"""Batched inference API — the runtime engine's serving entry point.
 
 :func:`predict` runs a model forward in eval/no-grad mode over a batch of
 inputs, optionally split into micro-batches. Micro-batching keeps every
@@ -6,20 +6,56 @@ chunk's im2col workspace resident in cache (and bounded in memory) while
 the engine's plan cache guarantees the per-geometry planning cost is
 paid once for the whole run — the serving-style loop the ROADMAP's
 "heavy traffic" north star asks for.
+
+Two throughput levers stack on top:
+
+- ``compile=True`` (or passing a
+  :class:`~repro.runtime.compile.CompiledModel` directly) runs the
+  lowered pipeline — BN folded into convs, fused bias/ReLU epilogues,
+  float32 parameters, zero-allocation buffer arenas — instead of the
+  float64 module graph.
+- ``workers=N`` fans micro-batches out over a thread pool. The GEMMs
+  dominating the compiled path run inside BLAS, which releases the GIL,
+  so the chunks genuinely overlap; compiled execution state is
+  thread-local, so one compiled model serves all workers.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from .. import nn
+from .compile import CompiledModel, compile_model
 
 __all__ = ["PredictStats", "predict", "conv_backend_override"]
+
+# Worker threads are shared across predict() calls: compiled-model
+# execution state is keyed by thread identity (thread-local arenas), so
+# persistent threads are what make repeated predict(..., workers=N)
+# serving loops allocation-free after warm-up — a fresh pool per call
+# would rebuild every arena every call. One pool per distinct size,
+# never shut down (a handful of sizes in practice): replacing a live
+# pool would race concurrent predict() calls still holding it.
+_pool_lock = threading.Lock()
+_pools: dict = {}
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    with _pool_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-predict-{workers}"
+            )
+            _pools[workers] = pool
+        return pool
 
 
 @dataclass
@@ -29,6 +65,8 @@ class PredictStats:
     batch: int = 0
     micro_batch: Optional[int] = None
     chunks: int = 0
+    workers: int = 1
+    compiled: bool = False
     seconds: float = 0.0
     chunk_seconds: List[float] = field(default_factory=list)
 
@@ -53,11 +91,13 @@ def conv_backend_override(model: nn.Module, backend: Optional[str]) -> Iterator[
 
 
 def predict(
-    model: nn.Module,
+    model: Union[nn.Module, CompiledModel],
     x: np.ndarray,
     *,
     micro_batch: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    compile: bool = False,
     stats: Optional[PredictStats] = None,
 ) -> np.ndarray:
     """Run ``model`` over a batch of inputs through the runtime engine.
@@ -65,16 +105,27 @@ def predict(
     Parameters
     ----------
     model:
-        Any :class:`repro.nn.Module`; put into eval mode for the call and
-        restored to its previous mode afterwards.
+        Any :class:`repro.nn.Module` (put into eval mode for the call and
+        restored afterwards) or an already-lowered
+        :class:`~repro.runtime.compile.CompiledModel`.
     x:
         Inputs ``(N, C, H, W)``.
     micro_batch:
-        Split size along the batch axis; ``None`` runs one chunk. The
-        last chunk may be smaller.
+        Split size along the batch axis; ``None`` runs one chunk (or,
+        with ``workers``, one chunk per worker). The last chunk may be
+        smaller.
     backend:
         Force a specific conv backend for the whole call (e.g.
         ``"tiled"``); ``None`` lets the engine auto-select per layer.
+    workers:
+        Run micro-batches on a thread pool of this size. BLAS releases
+        the GIL during the GEMMs that dominate inference, so chunks
+        overlap on real cores. ``None``/``1`` keeps the sequential loop.
+    compile:
+        Lower the model with :func:`~repro.runtime.compile.compile_model`
+        for this call (BN folding, fused epilogues, float32, arenas).
+        Compilation snapshots the weights, so repeated serving loops
+        should compile once themselves and pass the compiled model in.
     stats:
         Optional :class:`PredictStats` filled in with timings.
 
@@ -87,30 +138,63 @@ def predict(
         raise ValueError(f"expected (N, C, H, W) inputs, got shape {x.shape}")
     if micro_batch is not None and micro_batch < 1:
         raise ValueError("micro_batch must be >= 1")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
     if x.shape[0] == 0:
         raise ValueError("empty batch: predict() needs at least one input")
-    batch = x.shape[0]
-    step = batch if micro_batch is None else micro_batch
 
-    was_training = model.training
-    model.eval()
-    outputs = []
+    if compile and not isinstance(model, CompiledModel):
+        model = compile_model(model)
+    compiled = model if isinstance(model, CompiledModel) else None
+
+    batch = x.shape[0]
+    workers = workers or 1
+    if micro_batch is None and workers > 1:
+        # One chunk per worker keeps every thread busy exactly once.
+        micro_batch = -(-batch // workers)
+    step = batch if micro_batch is None else micro_batch
+    chunks = [x[lo : lo + step] for lo in range(0, batch, step)]
+    chunk_seconds = [0.0] * len(chunks)
+
+    def run_chunk(index: int) -> np.ndarray:
+        chunk_start = time.perf_counter()
+        if compiled is not None:
+            out = compiled(chunks[index], backend=backend)
+        else:
+            # Grad mode is per-thread, so each (possibly pooled) worker
+            # disables recording for its own chunk.
+            with nn.no_grad():
+                out = model(nn.Tensor(chunks[index], dtype=None)).data
+        chunk_seconds[index] = time.perf_counter() - chunk_start
+        return out
+
+    def run_all() -> List[np.ndarray]:
+        if workers > 1:
+            return list(_shared_pool(workers).map(run_chunk, range(len(chunks))))
+        return [run_chunk(i) for i in range(len(chunks))]
+
     start = time.perf_counter()
-    try:
-        with nn.no_grad(), conv_backend_override(model, backend):
-            for lo in range(0, batch, step):
-                chunk_start = time.perf_counter()
-                out = model(nn.Tensor(x[lo : lo + step]))
-                outputs.append(out.data)
-                if stats is not None:
-                    stats.chunk_seconds.append(time.perf_counter() - chunk_start)
-    finally:
-        model.train(was_training)
+    if compiled is not None:
+        outputs = run_all()
+    else:
+        was_training = model.training
+        model.eval()
+        try:
+            # This outer no_grad covers the sequential path (run_chunk
+            # adds a per-thread one for pooled workers, since grad mode
+            # is thread-local).
+            with nn.no_grad(), conv_backend_override(model, backend):
+                outputs = run_all()
+        finally:
+            model.train(was_training)
 
     result = outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
     if stats is not None:
         stats.batch = batch
         stats.micro_batch = micro_batch
         stats.chunks = len(outputs)
+        stats.workers = workers
+        stats.compiled = compiled is not None
         stats.seconds = time.perf_counter() - start
+        stats.chunk_seconds = chunk_seconds
     return result

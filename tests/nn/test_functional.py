@@ -206,3 +206,78 @@ class TestDropout:
         kept = out.data[out.data > 0]
         np.testing.assert_allclose(kept, 2.0)
         assert abs(out.data.mean() - 1.0) < 0.1
+
+
+class TestIm2colOutBuffer:
+    """im2col's out= path and contiguity fast path (runtime arenas)."""
+
+    def test_out_buffer_matches_allocating_path(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, _ = F.im2col(x, (3, 3), stride=1, padding=0)
+        out = np.empty_like(cols)
+        cols_buf, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=0, out=out)
+        assert cols_buf is out
+        np.testing.assert_array_equal(cols_buf, cols)
+
+    def test_out_buffer_shape_validated(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        with pytest.raises(ValueError, match="out buffer"):
+            F.im2col(x, (3, 3), stride=1, padding=0, out=np.empty((1, 1)))
+
+    def test_out_buffer_contiguity_validated(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        cols, _ = F.im2col(x, (3, 3), stride=1, padding=0)
+        fortran = np.asfortranarray(np.empty_like(cols))
+        with pytest.raises(ValueError, match="out buffer"):
+            F.im2col(x, (3, 3), stride=1, padding=0, out=fortran)
+
+    def test_result_always_contiguous(self, rng):
+        for kernel, stride in [((3, 3), 1), ((1, 1), 1), ((2, 2), 2)]:
+            cols, _ = F.im2col(rng.normal(size=(2, 3, 6, 6)), kernel, stride, 0)
+            assert cols.flags.c_contiguous
+
+    def test_nhwc_matches_nchw_column_permutation(self, rng):
+        """im2col_nhwc yields the same windows with (position, channel)
+        column order instead of (channel, position)."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols_nchw, (oh, ow) = F.im2col(x, (3, 3), stride=1, padding=0)
+        nhwc = np.ascontiguousarray(x.transpose(0, 2, 3, 1))
+        cols_nhwc, (oh2, ow2) = F.im2col_nhwc(nhwc, (3, 3), stride=1)
+        assert (oh, ow) == (oh2, ow2)
+        # (C, K2) -> (K2, C) permutation of each row.
+        perm = cols_nchw.reshape(-1, 3, 9).transpose(0, 2, 1).reshape(-1, 27)
+        np.testing.assert_allclose(cols_nhwc, perm)
+
+    def test_nhwc_out_buffer(self, rng):
+        nhwc = np.ascontiguousarray(rng.normal(size=(1, 6, 6, 2)))
+        cols, _ = F.im2col_nhwc(nhwc, (3, 3), stride=1)
+        out = np.empty_like(cols)
+        cols_buf, _ = F.im2col_nhwc(nhwc, (3, 3), stride=1, out=out)
+        assert cols_buf is out
+        np.testing.assert_array_equal(cols_buf, cols)
+
+
+class TestPoolWindows:
+    def test_shared_window_view(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        windows = F.pool_windows(x, kernel=2, stride=2)
+        assert windows.shape == (2, 3, 3, 3, 2, 2)
+        np.testing.assert_array_equal(windows[0, 0, 1, 1], x[0, 0, 2:4, 2:4])
+
+    def test_nhwc_window_view(self, rng):
+        x = np.ascontiguousarray(rng.normal(size=(1, 6, 6, 3)))
+        windows = F.pool_windows_nhwc(x, kernel=2, stride=2)
+        assert windows.shape == (1, 3, 3, 2, 2, 3)
+        np.testing.assert_array_equal(windows[0, 2, 0], x[0, 4:6, 0:2].transpose(0, 1, 2))
+
+    def test_avg_pool_overlapping_grad(self, rng):
+        """stride < kernel exercises the scatter-add backward branch."""
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        check_gradients(lambda: (F.avg_pool2d(x, kernel=3, stride=1) ** 2).sum(), [x])
+
+    def test_avg_pool_non_overlapping_grad_exact(self, rng):
+        """Vectorised non-overlapping backward equals the analytic value:
+        each input cell receives grad/k^2 of its window's output grad."""
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, kernel=2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
