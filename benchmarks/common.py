@@ -10,8 +10,10 @@ perf-critical paths (runtime engine backends, plan cache, batched
 predict, compiled pipeline, analytic speedup) for CI, so a regression in
 the hot paths fails fast without the full benchmark suite. It also
 measures eager vs compiled serving throughput on the VGG-16 CIFAR shape
-and writes the numbers to ``BENCH_runtime.json``, so the serving-path
-perf trajectory is tracked from PR 2 on.
+and writes the numbers to ``BENCH_runtime.json`` (tracked from PR 2 on),
+plus a dynamic-batching serving record — in-process Batcher under
+concurrent clients, dense + PCNN configs — to ``BENCH_serving.json``
+(tracked from PR 3 on).
 """
 
 from __future__ import annotations
@@ -214,6 +216,85 @@ def bench_runtime(path: str = "BENCH_runtime.json", batch: int = 32) -> dict:
 
 
 # ---------------------------------------------------------------------
+# Serving-layer throughput record (BENCH_serving.json)
+# ---------------------------------------------------------------------
+def _serve_one_config(model, requests: int, clients: int, input_shape) -> dict:
+    """Fire concurrent single-image traffic at an in-process server."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro import runtime
+    from repro.serving import ModelServer
+
+    server = ModelServer(max_batch=16, max_latency_ms=10.0)
+    served = server.add_model("m", model, input_shape)
+    server.warmup()
+    rng = np.random.default_rng(SEED + 2)
+    images = rng.normal(size=(requests,) + tuple(input_shape))
+    reference = runtime.predict(served.model, images)
+
+    with server:
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = list(pool.map(lambda i: server.submit(images[i]), range(requests)))
+        outputs = np.stack([f.result(timeout=120) for f in futures])
+        elapsed = time.perf_counter() - start
+
+    max_abs_diff = float(np.abs(outputs - reference).max())
+    snap = served.stats.snapshot()
+    return {
+        "requests": requests,
+        "requests_per_sec": round(requests / elapsed, 2),
+        "mean_batch": snap["mean_batch"],
+        "batches": snap["batches"],
+        "batch_histogram": snap["batch_histogram"],
+        "p50_ms": snap["p50_ms"],
+        "p95_ms": snap["p95_ms"],
+        "p99_ms": snap["p99_ms"],
+        "max_abs_diff_vs_predict": max_abs_diff,
+    }
+
+
+def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
+    """Serving smoke: in-process Batcher under concurrent clients.
+
+    Two PatternNet configs mirror BENCH_runtime.json's pair — ``dense``
+    and the PCNN flagship density (n=2, |P|=4, SPM encodings attached so
+    the compiled pipeline serves the pattern gather path). The record
+    tracks coalescing (mean batch), latency percentiles and end-to-end
+    correctness of the batched path vs plain ``predict``.
+    """
+    from repro.core import PCNNConfig, PCNNPruner
+    from repro.models import patternnet
+
+    shape = (3, 16, 16)
+    clients = min(16, 4 * (os.cpu_count() or 1))
+
+    dense_model = patternnet(rng=np.random.default_rng(SEED))
+    dense = _serve_one_config(dense_model, requests, clients, shape)
+
+    pruned_model = patternnet(rng=np.random.default_rng(SEED))
+    pruner = PCNNPruner(pruned_model, PCNNConfig.uniform(2, 3, num_patterns=4))
+    pruner.apply()
+    pruner.attach_encodings()
+    pcnn = _serve_one_config(pruned_model, requests, clients, shape)
+
+    record = {
+        "benchmark": "dynamic_batching_serving",
+        "model": "patternnet",
+        "input_shape": list(shape),
+        "concurrent_clients": clients,
+        "max_batch": 16,
+        "max_latency_ms": 10.0,
+        "configs": {"pcnn_n2_p4": pcnn, "dense": dense},
+        "cpu_count": os.cpu_count(),
+    }
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    return record
+
+
+# ---------------------------------------------------------------------
 # CI smoke target
 # ---------------------------------------------------------------------
 def smoke() -> int:
@@ -300,6 +381,21 @@ def smoke() -> int:
         assert row["speedup_compiled_vs_eager"] >= 2.0, (
             f"compiled serving should be well ahead of eager predict; "
             f"got {row['speedup_compiled_vs_eager']}x on {name}"
+        )
+
+    # 7. Dynamic-batching serving record: in-process Batcher under
+    #    concurrent clients, dense + PCNN flagship density.
+    serving = bench_serving()
+    for name, row in serving["configs"].items():
+        print(
+            f"smoke: BENCH_serving.json [{name}] -> "
+            f"{row['requests_per_sec']} req/s, mean batch {row['mean_batch']}, "
+            f"p50 {row['p50_ms']:.1f} ms / p99 {row['p99_ms']:.1f} ms"
+        )
+        assert row["max_abs_diff_vs_predict"] < 1e-4, (name, row)
+        assert row["mean_batch"] > 1.0, (
+            f"dynamic batching should coalesce concurrent requests; "
+            f"histogram {row['batch_histogram']} on {name}"
         )
     print("smoke: OK")
     return 0

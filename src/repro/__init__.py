@@ -12,6 +12,9 @@ Accelerators. The package is organised as:
 - :mod:`repro.runtime` — unified conv execution engine: pluggable
   backends (dense GEMM / pattern-sparse / tiled), cached execution plans
   and the batched ``predict()`` inference API.
+- :mod:`repro.serving` — dynamic-batching model server: request
+  coalescing, multi-model registry (bundles or registry names), JSON
+  endpoint, latency/batch statistics.
 - :mod:`repro.arch` — the pattern-aware accelerator: memory layout, SPM
   decoder, sparsity pointer generation, PE group, cycle-level simulator and
   area/power model.
@@ -23,4 +26,14 @@ EXPERIMENTS.md for paper-vs-measured results.
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "models", "data", "core", "runtime", "arch", "analysis", "utils"]
+__all__ = [
+    "nn",
+    "models",
+    "data",
+    "core",
+    "runtime",
+    "serving",
+    "arch",
+    "analysis",
+    "utils",
+]

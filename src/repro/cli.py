@@ -11,6 +11,10 @@ Gives downstream users the paper's numbers without writing code:
   inference through the runtime engine (micro-batching, backend choice;
   ``--compile`` for the fused float32 pipeline, ``--workers N`` for
   parallel micro-batch serving);
+- ``pcnn-repro serve --model patternnet --n 2 --port 8100`` — dynamic-
+  batching JSON model server on the compiled pipeline (``--bundle`` to
+  serve a deployment bundle; ``--max-batch``/``--max-latency-ms`` tune
+  the coalescing policy);
 - ``pcnn-repro chip`` — Table IX breakdown + Fig. 6 floorplan.
 """
 
@@ -173,6 +177,87 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def build_model_server(args):
+    """Build, load and warm the :class:`ModelServer` for ``serve``.
+
+    Separated from :func:`cmd_serve` so tests can stand the server up
+    without entering the blocking accept loop.
+    """
+    from .serving import ModelServer
+
+    server = ModelServer(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        compile=not args.no_compile,
+    )
+    if args.bundle:
+        served = server.load_bundle(args.bundle, args.model)
+    elif args.n is not None:
+        served = server.load_registry(args.model, n=args.n, patterns=args.patterns)
+    else:
+        served = server.load_registry(args.model)
+    server.warmup()
+    return server, served
+
+
+def cmd_serve(args) -> int:
+    from .serving import ServingHTTPServer
+
+    if args.list_models:
+        from .models import registered_models
+
+        for name, info in registered_models().items():
+            shape = "x".join(str(s) for s in info["input_shape"])
+            print(f"{name}  ({shape})  {info['description']}")
+        return 0
+    if args.max_batch < 1 or args.max_latency_ms < 0:
+        print(
+            "error: --max-batch must be >= 1 and --max-latency-ms >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.patterns is not None and args.n is None and not args.bundle:
+        print("error: --patterns requires --n (the pruning density)", file=sys.stderr)
+        return 2
+    try:
+        server, served = build_model_server(args)
+    except (KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server.start()
+    try:
+        httpd = ServingHTTPServer(server, args.host, args.port)
+    except (OSError, OverflowError) as error:
+        # EADDRINUSE, or a port outside 0-65535 (OverflowError from
+        # socket.bind): exit the same clean way as load errors.
+        server.stop()
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {served.name!r} ({served.meta.get('setting', served.source)}) "
+        f"at {httpd.url}"
+    )
+    print(
+        f"  batching: max_batch={args.max_batch}, "
+        f"max_latency_ms={args.max_latency_ms}, workers={args.workers or 1}, "
+        f"{'eager' if args.no_compile else 'compiled'} pipeline (warm)"
+    )
+    print("  POST /predict | GET /stats /models /healthz   (Ctrl-C stops)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        server.stop()
+        print(server.render_stats())
+    return 0
+
+
 def cmd_chip(args) -> int:
     rows = PAPER_TECH.table_rows()
     print(
@@ -270,6 +355,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--repeat", type=int, default=3, help="timed repetitions")
     p_pred.add_argument("--seed", type=int, default=0, help="input RNG seed")
     p_pred.set_defaults(func=cmd_predict)
+
+    p_serve = sub.add_parser(
+        "serve", help="dynamic-batching JSON model server (compiled pipeline)"
+    )
+    p_serve.add_argument(
+        "--model", default="patternnet", choices=sorted(MODEL_REGISTRY),
+        help="registered model name (also the bundle's architecture)",
+    )
+    p_serve.add_argument(
+        "--bundle", default=None,
+        help="serve a deployment bundle .npz restored into --model "
+        "(weights, masks and SPM encodings)",
+    )
+    p_serve.add_argument(
+        "--n", type=int, default=None,
+        help="prune with this many non-zeros per kernel before serving "
+        "(ignored with --bundle; default: stay dense)",
+    )
+    p_serve.add_argument("--patterns", type=int, default=None, help="pattern budget |P|")
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width each coalesced flush fans out over",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="largest coalesced micro-batch (default: 32)",
+    )
+    p_serve.add_argument(
+        "--max-latency-ms", type=float, default=2.0,
+        help="how long a flush waits for more requests (default: 2.0)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8100, help="bind port")
+    p_serve.add_argument(
+        "--no-compile", action="store_true",
+        help="serve the eager float64 module graph instead of the "
+        "compiled pipeline",
+    )
+    p_serve.add_argument(
+        "--list-models", action="store_true",
+        help="list servable registry models and exit",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_chip = sub.add_parser("chip", help="Table IX breakdown and floorplan")
     p_chip.set_defaults(func=cmd_chip)

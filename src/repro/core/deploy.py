@@ -171,7 +171,15 @@ class DeploymentBundle:
 
     # ------------------------------------------------------------------
     def restore_into(self, model: nn.Module) -> None:
-        """Install bundle weights and pattern masks into ``model``."""
+        """Install bundle weights, pattern masks and SPM encodings.
+
+        Each restored conv also gets the bundle's cached
+        :meth:`LayerBundle.encoded_layer` attached, so the runtime
+        engine's no-grad fast path serves it through the pattern backend
+        straight from SPM storage — without the encoding, a restored
+        PCNN model would silently fall back to the dense backend and
+        lose the pattern-GEMM speedup.
+        """
         modules = dict(model.named_modules())
         for name, layer in self.layers.items():
             module = modules.get(name)
@@ -184,7 +192,10 @@ class DeploymentBundle:
                     f"{module.weight.data.shape}"
                 )
             module.weight.data[...] = weight
+            # Order matters: installing a mask clears any attached
+            # encoding, so the encoding goes on afterwards.
             module.set_weight_mask((weight != 0).astype(np.float64))
+            module.attach_encoding(layer.encoded_layer())
 
 
 def bundle_from_pruner(

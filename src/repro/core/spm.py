@@ -14,7 +14,6 @@ the hardware's Pattern Config block provides to the decoder (Fig. 3a).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import ceil, log2
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -73,8 +72,15 @@ class SPMCodebook:
 
     @property
     def index_bits(self) -> int:
-        """Bits per SPM code: ``ceil(log2(|P_l|))``, minimum 1."""
-        return max(1, ceil(log2(len(self.patterns)))) if len(self.patterns) > 1 else 1
+        """Bits per SPM code: ``ceil(log2(|P_l|))``, minimum 1.
+
+        Delegates to :func:`repro.core.compression.spm_index_bits` — the
+        single definition of the formula, so the codebook and the
+        compression accounting can never drift apart.
+        """
+        from .compression import spm_index_bits
+
+        return spm_index_bits(len(self.patterns))
 
     def code(self, pattern: int) -> int:
         """SPM code of a pattern (KeyError if not in the codebook)."""

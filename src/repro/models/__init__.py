@@ -6,7 +6,13 @@ trainable proxy for the accuracy columns (see DESIGN.md substitutions).
 """
 
 from .flops import ConvProfile, ModelProfile, profile_model
-from .registry import MODEL_REGISTRY, ModelSpec, create_model, model_input_shape
+from .registry import (
+    MODEL_REGISTRY,
+    ModelSpec,
+    create_model,
+    model_input_shape,
+    registered_models,
+)
 from .resnet import BasicBlock, ResNet18, resnet18_cifar, resnet18_imagenet
 from .simplecnn import PatternNet, patternnet
 from .vgg import VGG16, vgg16_cifar, vgg16_imagenet
@@ -28,4 +34,5 @@ __all__ = [
     "MODEL_REGISTRY",
     "create_model",
     "model_input_shape",
+    "registered_models",
 ]

@@ -17,7 +17,13 @@ from .resnet import resnet18_cifar, resnet18_imagenet
 from .simplecnn import patternnet
 from .vgg import vgg16_cifar, vgg16_imagenet
 
-__all__ = ["ModelSpec", "MODEL_REGISTRY", "create_model", "model_input_shape"]
+__all__ = [
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "create_model",
+    "model_input_shape",
+    "registered_models",
+]
 
 
 @dataclass(frozen=True)
@@ -59,3 +65,18 @@ def create_model(name: str, rng: Optional[np.random.Generator] = None, **kwargs)
 def model_input_shape(name: str) -> Tuple[int, int, int]:
     """Canonical (C, H, W) evaluation input shape for a registered model."""
     return MODEL_REGISTRY[name].input_shape
+
+
+def registered_models() -> Dict[str, Dict[str, object]]:
+    """JSON-ready registry listing: name -> input shape + description.
+
+    ``pcnn-repro serve --list-models`` uses this to enumerate what can
+    be loaded without constructing anything.
+    """
+    return {
+        name: {
+            "input_shape": list(spec.input_shape),
+            "description": spec.description,
+        }
+        for name, spec in MODEL_REGISTRY.items()
+    }

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -90,6 +91,44 @@ def conv_backend_override(model: nn.Module, backend: Optional[str]) -> Iterator[
             conv.backend = previous
 
 
+# Memoized empty-batch output geometry, keyed weakly by model object ->
+# {(compile?, input shape, input dtype): (output shape, output dtype)}.
+# Output geometry is a function of the architecture and input geometry
+# alone (weight *values* never move it), so a hot serving loop that
+# polls with empty flushes pays the one-image probe forward exactly once
+# per model and geometry.
+_probe_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _probe_output(
+    model: Union[nn.Module, CompiledModel], want_compiled: bool, x: np.ndarray
+) -> Tuple[Tuple[int, ...], np.dtype]:
+    """Output (shape-tail, dtype) via a cached one-image probe forward."""
+    key = (want_compiled, x.shape[1:], np.dtype(x.dtype))
+    try:
+        cache = _probe_cache.setdefault(model, {})
+    except TypeError:  # un-weakref-able model: probe without memoizing
+        cache = {}
+    entry = cache.get(key)
+    if entry is None:
+        probe = np.zeros((1,) + x.shape[1:], dtype=x.dtype)
+        if want_compiled and not isinstance(model, CompiledModel):
+            out = compile_model(model)(probe)
+        elif isinstance(model, CompiledModel):
+            out = model(probe)
+        else:
+            was_training = model.training
+            model.eval()
+            try:
+                with nn.no_grad():
+                    out = model(nn.Tensor(probe, dtype=None)).data
+            finally:
+                model.train(was_training)
+        entry = (out.shape[1:], out.dtype)
+        cache[key] = entry
+    return entry
+
+
 def predict(
     model: Union[nn.Module, CompiledModel],
     x: np.ndarray,
@@ -140,8 +179,24 @@ def predict(
         raise ValueError("micro_batch must be >= 1")
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
+    want_compiled = compile or isinstance(model, CompiledModel)
     if x.shape[0] == 0:
-        raise ValueError("empty batch: predict() needs at least one input")
+        # A batcher flush or a drained queue legitimately produces N=0:
+        # answer with a correctly-shaped (0, ...) output. The output
+        # geometry depends on the model, so derive it from a one-image
+        # probe, memoized per model and geometry (checked before the
+        # compile step so repeated empty calls never lower the model).
+        shape_tail, dtype = _probe_output(model, want_compiled, x)
+        result = np.empty((0,) + shape_tail, dtype=dtype)
+        if stats is not None:
+            stats.batch = 0
+            stats.micro_batch = micro_batch
+            stats.chunks = 0
+            stats.workers = workers or 1
+            stats.compiled = want_compiled
+            stats.seconds = 0.0
+            stats.chunk_seconds = []
+        return result
 
     if compile and not isinstance(model, CompiledModel):
         model = compile_model(model)
@@ -154,6 +209,17 @@ def predict(
         micro_batch = -(-batch // workers)
     step = batch if micro_batch is None else micro_batch
     chunks = [x[lo : lo + step] for lo in range(0, batch, step)]
+    # Ragged tail chunk on the compiled path: pad it up to the uniform
+    # chunk size (rows are independent in inference, so the padding rows
+    # are computed and discarded). One chunk geometry means one set of
+    # execution plans and arena buffers, instead of the compiled model
+    # keeping a second full buffer set alive for every distinct tail
+    # size a serving loop happens to produce.
+    tail_rows = chunks[-1].shape[0]
+    pad_tail = compiled is not None and len(chunks) > 1 and tail_rows < step
+    if pad_tail:
+        pad = np.zeros((step - tail_rows,) + x.shape[1:], dtype=x.dtype)
+        chunks[-1] = np.concatenate([chunks[-1], pad])
     chunk_seconds = [0.0] * len(chunks)
 
     def run_chunk(index: int) -> np.ndarray:
@@ -188,6 +254,8 @@ def predict(
         finally:
             model.train(was_training)
 
+    if pad_tail:
+        outputs[-1] = outputs[-1][:tail_rows]
     result = outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
     if stats is not None:
         stats.batch = batch

@@ -1,0 +1,32 @@
+"""repro.serving — dynamic-batching model serving on the compiled pipeline.
+
+The layer that turns ``runtime.predict`` into a service:
+
+- :class:`Batcher` — queues single-image requests and coalesces them
+  into micro-batches under a ``max_batch`` / ``max_latency_ms`` policy
+  (power-of-two flush buckets keep the compiled pipeline's plan/arena
+  geometry set small and warmable).
+- :class:`ModelServer` — multi-model registry: load by model-registry
+  name (optionally PCNN-pruned) or from a ``DeploymentBundle`` ``.npz``
+  (restore attaches SPM encodings, so pruned convs serve through the
+  pattern path), compile once, warm every bucket at startup.
+- :class:`ServerStats` — p50/p95/p99 latency, queue depth, coalesced
+  batch-size histogram and throughput, exposed at ``/stats``.
+- :class:`ServingHTTPServer` / :func:`serve_http` — stdlib JSON
+  endpoint; ``pcnn-repro serve`` is the CLI wrapper.
+"""
+
+from .batcher import Batcher, bucket_sizes
+from .http import ServingHTTPServer, serve_http
+from .server import ModelServer, ServedModel
+from .stats import ServerStats
+
+__all__ = [
+    "Batcher",
+    "bucket_sizes",
+    "ModelServer",
+    "ServedModel",
+    "ServerStats",
+    "ServingHTTPServer",
+    "serve_http",
+]

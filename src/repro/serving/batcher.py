@@ -1,0 +1,273 @@
+"""Dynamic request batching: coalesce single images into micro-batches.
+
+Single-image requests are the unit of traffic a model server receives;
+micro-batches are the unit the compiled pipeline is fast at (one GEMM
+amortises im2col, plan lookup and Python dispatch over every image in
+the chunk — the batching discipline accelerator papers assume at
+deployment). :class:`Batcher` bridges the two: requests enqueue, a
+worker thread coalesces them under a ``max_batch`` / ``max_latency_ms``
+policy, and one runner call serves the whole flush.
+
+Two details matter for the compiled pipeline underneath:
+
+- **Bucketed flush sizes.** Arena buffers and execution plans are keyed
+  by batch geometry, so every distinct flush size a serving loop
+  produces would keep its own full buffer set alive. The batcher
+  therefore pads each flush up to the next power-of-two bucket (capped
+  at ``max_batch``) and slices the result — a handful of geometries
+  total, all of which :meth:`warmup` can prebuild before traffic
+  arrives.
+- **Latency is bounded by the first request.** The flush deadline
+  starts when the *first* request of a batch arrives; a lone request
+  never waits longer than ``max_latency_ms`` for company.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .stats import ServerStats
+
+__all__ = ["Batcher", "bucket_sizes"]
+
+#: Sentinel pushed on the queue to wake the worker up for shutdown.
+_STOP = object()
+
+
+def bucket_sizes(max_batch: int) -> List[int]:
+    """Power-of-two flush buckets up to and including ``max_batch``."""
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    sizes = []
+    b = 1
+    while b < max_batch:
+        sizes.append(b)
+        b *= 2
+    sizes.append(max_batch)
+    return sizes
+
+
+@dataclass
+class _Request:
+    """One queued image plus its completion future."""
+
+    x: np.ndarray
+    future: "Future[np.ndarray]" = field(default_factory=Future)
+    submitted: float = field(default_factory=time.perf_counter)
+
+
+class Batcher:
+    """Queue single-image requests and serve them in coalesced batches.
+
+    Parameters
+    ----------
+    runner:
+        Callable taking a stacked ``(B, ...)`` batch and returning the
+        ``(B, ...)`` outputs — typically
+        ``lambda x: runtime.predict(compiled, x, workers=N)``.
+    max_batch:
+        Largest coalesced batch; also the largest bucket geometry.
+    max_latency_ms:
+        How long the worker waits for more requests after the first one
+        of a batch arrives.
+    stats:
+        Optional shared :class:`ServerStats`; one is created otherwise.
+    bucket:
+        Pad flushes to power-of-two buckets (see module docstring).
+        Disable only when the runner is geometry-insensitive.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[np.ndarray], np.ndarray],
+        *,
+        max_batch: int = 32,
+        max_latency_ms: float = 2.0,
+        stats: Optional[ServerStats] = None,
+        bucket: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be >= 0")
+        self.runner = runner
+        self.max_batch = max_batch
+        self.max_latency = max_latency_ms / 1e3
+        self.stats = stats if stats is not None else ServerStats()
+        self.bucket = bucket
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "Batcher":
+        with self._lock:
+            if self.running:
+                return self
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._loop, name="repro-batcher", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; by default serve everything already queued."""
+        with self._lock:
+            worker = self._worker
+            if worker is None:
+                return
+            self._stopping = True
+            self._queue.put(_STOP)
+        worker.join()
+        with self._lock:
+            self._worker = None
+        if drain:
+            self._drain_pending()
+        else:
+            self._fail_pending(RuntimeError("batcher stopped"))
+
+    def __enter__(self) -> "Batcher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client API ----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a flush (approximate)."""
+        return self._queue.qsize()
+
+    def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue one image; resolves to its single output row."""
+        # The check and the put happen under the same lock stop() takes,
+        # so a request can never slip onto the queue after stop() has
+        # drained it (which would leave its future unresolved forever).
+        with self._lock:
+            if self._stopping or not self.running:
+                raise RuntimeError("batcher is not running (call start())")
+            request = _Request(x=np.asarray(x))
+            self._queue.put(request)
+        return request.future
+
+    def __call__(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(x).result(timeout=timeout)
+
+    # -- worker --------------------------------------------------------
+    def _bucket_size(self, size: int) -> int:
+        if not self.bucket or size >= self.max_batch:
+            return size
+        # Single source of truth with warmup: the smallest bucket from
+        # bucket_sizes() that fits, so every flush geometry is one the
+        # server prebuilt.
+        return min(b for b in bucket_sizes(self.max_batch) if b >= size)
+
+    def _collect(self, first: _Request) -> List[_Request]:
+        """Coalesce: wait up to the deadline for up to max_batch peers.
+
+        The deadline is anchored to when the first request was
+        *submitted*, not dequeued — a request that already waited out
+        its latency budget behind a slow flush is served immediately
+        (plus whatever is already queued, which rides along for free).
+        """
+        batch = [first]
+        deadline = first.submitted + self.max_latency
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                # Deadline passed, but anything already queued rides
+                # along for free (no wait).
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is _STOP:
+                # Re-queue the sentinel so the worker loop still sees it
+                # after this flush (and serves anything queued before it).
+                self._queue.put(_STOP)
+                break
+            batch.append(item)
+        return batch
+
+    def _flush(self, batch: List[_Request]) -> None:
+        # Transition every future to RUNNING first: a future cancelled
+        # while queued is dropped here, and the rest can no longer be
+        # cancelled — so the set_result/set_exception calls below can
+        # never raise InvalidStateError and kill the worker thread.
+        batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        size = len(batch)
+        try:
+            x = np.stack([r.x for r in batch])
+            target = self._bucket_size(size)
+            if target > size:
+                pad = np.zeros((target - size,) + x.shape[1:], dtype=x.dtype)
+                x = np.concatenate([x, pad])
+            start = time.perf_counter()
+            out = self.runner(x)
+            seconds = time.perf_counter() - start
+            if out.shape[0] != x.shape[0]:
+                raise RuntimeError(
+                    f"runner returned {out.shape[0]} rows for a "
+                    f"{x.shape[0]}-image batch"
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            self.stats.record_error(size)
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        self.stats.record_batch(size, seconds)
+        done = time.perf_counter()
+        for index, request in enumerate(batch):
+            request.future.set_result(out[index])
+            self.stats.record_request(done - request.submitted)
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            self._flush(self._collect(item))
+
+    def _drain_pending(self) -> None:
+        """Serve whatever is still queued after the worker exited."""
+        pending: List[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                pending.append(item)
+        for lo in range(0, len(pending), self.max_batch):
+            self._flush(pending[lo : lo + self.max_batch])
+
+    def _fail_pending(self, error: BaseException) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _STOP and item.future.set_running_or_notify_cancel():
+                self.stats.record_error()
+                item.future.set_exception(error)

@@ -1,0 +1,166 @@
+"""Stdlib JSON endpoint in front of a :class:`ModelServer`.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough: each
+connection gets a handler thread that blocks on the batcher future,
+which is exactly the concurrency shape dynamic batching wants (many
+waiting clients, one worker coalescing them).
+
+Routes
+------
+- ``POST /predict`` — body ``{"input": [[..C,H,W..]]}`` (one image) or
+  ``{"inputs": [image, ...]}`` (each image submitted separately, so a
+  multi-image request coalesces with everyone else's traffic), plus an
+  optional ``"model"`` name when more than one model is served.
+- ``GET /stats`` — per-model :meth:`ServerStats.snapshot` JSON.
+- ``GET /models`` — the served-model registry.
+- ``GET /healthz`` — liveness probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+from .server import ModelServer
+
+__all__ = ["ServingHTTPServer", "serve_http"]
+
+#: Reject absurd request bodies before json.loads allocates for them.
+MAX_BODY_BYTES = 256 * 2**20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServingHTTPServer"
+
+    # -- plumbing ------------------------------------------------------
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        model_server = self.server.model_server
+        if self.path == "/stats":
+            self._reply(200, model_server.stats())
+        elif self.path == "/models":
+            self._reply(
+                200,
+                {name: m.describe() for name, m in model_server.models.items()},
+            )
+        elif self.path == "/healthz":
+            self._reply(200, {"status": "ok", "models": sorted(model_server.models)})
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/predict":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0 or length > MAX_BODY_BYTES:
+                raise ValueError(f"bad Content-Length {length}")
+            request = json.loads(self.rfile.read(length))
+            if "input" in request:
+                images = [request["input"]]
+            elif "inputs" in request:
+                images = list(request["inputs"])
+                if not images:
+                    raise ValueError("'inputs' must hold at least one image")
+            else:
+                raise ValueError("request needs an 'input' or 'inputs' field")
+            name = request.get("model")
+        except (ValueError, TypeError, json.JSONDecodeError) as error:
+            self._reply(400, {"error": str(error)})
+            return
+        model_server = self.server.model_server
+        try:
+            resolved = model_server.get(name)
+        except KeyError as error:
+            self._reply(404, {"error": str(error)})
+            return
+        try:
+            # Validate every image before submitting any, so a bad one
+            # rejects the whole request without burning model forwards
+            # on its valid siblings.
+            arrays = [resolved.validate(np.asarray(img)) for img in images]
+        except (ValueError, TypeError) as error:
+            self._reply(400, {"error": str(error)})
+            return
+        try:
+            # Submit everything first so a multi-image request coalesces
+            # into shared flushes, then wait.
+            futures = [resolved.batcher.submit(array) for array in arrays]
+            outputs = [f.result(timeout=self.server.request_timeout) for f in futures]
+        except Exception as error:  # noqa: BLE001 - surfaced as 500
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._reply(
+            200,
+            {
+                "model": resolved.name,
+                "outputs": np.stack(outputs).tolist(),
+            },
+        )
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP front-end bound to a :class:`ModelServer`.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    available as ``server_address`` afterwards.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        model_server: ModelServer,
+        host: str = "127.0.0.1",
+        port: int = 8100,
+        *,
+        request_timeout: Optional[float] = 60.0,
+        verbose: bool = False,
+    ) -> None:
+        self.model_server = model_server
+        self.request_timeout = request_timeout
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (in-process serving)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve_http(
+    model_server: ModelServer,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    **kwargs,
+) -> ServingHTTPServer:
+    """Start batchers + HTTP server; returns the (running) HTTP server."""
+    model_server.start()
+    httpd = ServingHTTPServer(model_server, host, port, **kwargs)
+    httpd.serve_in_background()
+    return httpd

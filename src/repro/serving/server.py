@@ -1,0 +1,280 @@
+"""Multi-model serving registry on top of the compiled pipeline.
+
+:class:`ModelServer` owns everything between "a model artifact exists"
+and "requests get answers": it loads models by registry name (optionally
+PCNN-pruning them first) or from a :class:`~repro.core.deploy.DeploymentBundle`
+``.npz`` (whose :meth:`restore_into` installs weights, masks *and* SPM
+encodings, so pruned convs serve through the pattern path), compiles each
+model once (:func:`~repro.runtime.compile_model`), warms plans and arena
+buffers for every batch bucket before traffic arrives, and runs one
+dynamic :class:`~repro.serving.batcher.Batcher` per model that flushes
+into ``runtime.predict(compiled, workers=N)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import runtime
+from ..core.deploy import DeploymentBundle
+from ..models import create_model, model_input_shape
+from .batcher import Batcher, bucket_sizes
+from .stats import ServerStats
+
+__all__ = ["ServedModel", "ModelServer"]
+
+
+@dataclass
+class ServedModel:
+    """One endpoint: eager source model, compiled pipeline, batcher."""
+
+    name: str
+    model: object  # the eager nn.Module (encodings attached when pruned)
+    compiled: Optional[runtime.CompiledModel]
+    input_shape: Tuple[int, int, int]  # (C, H, W)
+    batcher: Batcher
+    stats: ServerStats
+    source: str = "registry"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def target(self) -> object:
+        """What predict() serves: the compiled pipeline when available."""
+        return self.compiled if self.compiled is not None else self.model
+
+    def validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != self.input_shape:
+            raise ValueError(
+                f"model {self.name!r} expects one {self.input_shape} image, "
+                f"got shape {x.shape}"
+            )
+        return x
+
+    def describe(self) -> dict:
+        """JSON-ready row for the /models endpoint."""
+        return {
+            "input_shape": list(self.input_shape),
+            "compiled": self.compiled is not None,
+            "source": self.source,
+            **self.meta,
+        }
+
+
+class ModelServer:
+    """Registry of served models with per-model dynamic batching.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool width each flush fans out over
+        (``runtime.predict(compiled, workers=N)``); ``None``/1 keeps
+        flushes single-threaded.
+    max_batch / max_latency_ms:
+        Default coalescing policy for every model's batcher.
+    compile:
+        Lower each model with :func:`runtime.compile_model` at load time
+        (``False`` serves the eager module graph — mainly for tests and
+        bit-exact float64 comparisons).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        max_batch: int = 32,
+        max_latency_ms: float = 2.0,
+        compile: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.workers = workers
+        self.max_batch = max_batch
+        self.max_latency_ms = max_latency_ms
+        self.compile = compile
+        self.models: Dict[str, ServedModel] = {}
+        self._lock = threading.Lock()
+
+    # -- loading -------------------------------------------------------
+    def add_model(
+        self,
+        name: str,
+        model,
+        input_shape: Tuple[int, int, int],
+        *,
+        source: str = "custom",
+        meta: Optional[dict] = None,
+    ) -> ServedModel:
+        """Register an already-built model under ``name``."""
+        with self._lock:
+            if name in self.models:
+                raise KeyError(f"model {name!r} is already registered")
+            compiled = runtime.compile_model(model) if self.compile else None
+            stats = ServerStats()
+            target = compiled if compiled is not None else model
+            runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
+            served = ServedModel(
+                name=name,
+                model=model,
+                compiled=compiled,
+                input_shape=tuple(input_shape),
+                batcher=Batcher(
+                    runner,
+                    max_batch=self.max_batch,
+                    max_latency_ms=self.max_latency_ms,
+                    stats=stats,
+                ),
+                stats=stats,
+                source=source,
+                meta=dict(meta or {}),
+            )
+            self.models[name] = served
+            return served
+
+    def load_registry(
+        self,
+        model_name: str,
+        *,
+        name: Optional[str] = None,
+        n: Optional[int] = None,
+        patterns: Optional[int] = None,
+        seed: int = 0,
+    ) -> ServedModel:
+        """Load a registered model, optionally PCNN-pruned before serving.
+
+        With ``n`` given, the model is pruned (``PCNNPruner``) and the
+        SPM encodings are attached, so its convs serve from pattern
+        storage exactly as a bundle-restored model would.
+        """
+        from ..core import PCNNConfig, PCNNPruner
+        from ..models import profile_model
+
+        model = create_model(model_name, rng=np.random.default_rng(seed))
+        meta = {"model": model_name, "setting": "dense"}
+        if n is not None:
+            profile = profile_model(
+                model, model_input_shape(model_name), model_name=model_name
+            )
+            config = PCNNConfig.uniform(
+                n, len(profile.prunable()), num_patterns=patterns
+            )
+            pruner = PCNNPruner(model, config)
+            pruner.apply()
+            pruner.attach_encodings()
+            meta["setting"] = config.describe()
+        return self.add_model(
+            name or model_name,
+            model,
+            model_input_shape(model_name),
+            source="registry",
+            meta=meta,
+        )
+
+    def load_bundle(
+        self,
+        bundle_path: str,
+        model_name: str,
+        *,
+        name: Optional[str] = None,
+        seed: int = 0,
+    ) -> ServedModel:
+        """Serve a :class:`DeploymentBundle` ``.npz`` on a registry model.
+
+        The bundle's :meth:`~DeploymentBundle.restore_into` installs the
+        pruned weights, masks and SPM encodings into a freshly built
+        model, so the compiled pipeline lowers the pruned convs from
+        their encodings (pattern serving) rather than dense weights.
+        """
+        model = create_model(model_name, rng=np.random.default_rng(seed))
+        bundle = DeploymentBundle.load(bundle_path)
+        bundle.restore_into(model)
+        return self.add_model(
+            name or model_name,
+            model,
+            model_input_shape(model_name),
+            source="bundle",
+            meta={
+                "model": model_name,
+                "bundle": bundle_path,
+                "layers": len(bundle.layers),
+                "storage_bits": bundle.storage_bits(),
+            },
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def get(self, name: Optional[str] = None) -> ServedModel:
+        """Look up a served model; ``None`` resolves a sole registration."""
+        if name is None:
+            if len(self.models) == 1:
+                return next(iter(self.models.values()))
+            raise KeyError(
+                f"model name required; serving {sorted(self.models) or 'nothing'}"
+            )
+        served = self.models.get(name)
+        if served is None:
+            raise KeyError(f"unknown model {name!r}; serving {sorted(self.models)}")
+        return served
+
+    def warmup(self) -> None:
+        """Prebuild plans and arena buffers for every batch bucket.
+
+        Runs one zero batch per bucket geometry through each model's
+        runner, so the first real request never pays plan construction
+        or a large allocation.
+        """
+        for served in self.models.values():
+            for size in bucket_sizes(self.max_batch):
+                x = np.zeros((size,) + served.input_shape)
+                served.batcher.runner(x)
+
+    def start(self) -> "ModelServer":
+        for served in self.models.values():
+            served.batcher.start()
+        return self
+
+    def stop(self) -> None:
+        for served in self.models.values():
+            served.batcher.stop()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving -------------------------------------------------------
+    def submit(self, x: np.ndarray, model: Optional[str] = None):
+        """Enqueue one ``(C, H, W)`` image; returns its Future."""
+        served = self.get(model)
+        return served.batcher.submit(served.validate(x))
+
+    def predict(
+        self, x: np.ndarray, model: Optional[str] = None, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Synchronous single-image prediction through the batcher."""
+        return self.submit(x, model).result(timeout=timeout)
+
+    # -- observability -------------------------------------------------
+    def stats(self) -> dict:
+        """Per-model stats snapshots (the /stats payload)."""
+        return {
+            name: served.stats.snapshot(queue_depth=served.batcher.queue_depth)
+            for name, served in self.models.items()
+        }
+
+    def render_stats(self) -> str:
+        """Shutdown summary, one block per served model."""
+        return "\n".join(
+            served.stats.render(title=name) for name, served in self.models.items()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelServer(models={sorted(self.models)}, "
+            f"max_batch={self.max_batch}, max_latency_ms={self.max_latency_ms}, "
+            f"workers={self.workers})"
+        )

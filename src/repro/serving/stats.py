@@ -1,0 +1,142 @@
+"""Serving-side observability: latency percentiles, batch histograms.
+
+:class:`ServerStats` is the accounting object every served model carries.
+The batcher feeds it one record per coalesced flush (batch size + model
+seconds) and one record per request (end-to-end latency, queue wait
+included); snapshots expose the numbers a capacity planner actually
+reads — p50/p95/p99 latency, request throughput, and the coalesced
+batch-size histogram that shows whether dynamic batching is doing
+anything at all (mean batch 1.0 means it is not).
+
+All methods are thread-safe: the batcher worker, HTTP handler threads
+and stats scrapers all touch the same object.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ServerStats"]
+
+#: Latency reservoir size. Percentiles are computed over the most recent
+#: window rather than all-time, so a warm-up spike ages out of p99.
+DEFAULT_WINDOW = 8192
+
+
+class ServerStats:
+    """Rolling serving statistics for one batched endpoint."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._completions: Deque[float] = deque(maxlen=window)
+        self._batch_hist: Dict[int, int] = {}
+        self.requests = 0
+        self.batches = 0
+        self.errors = 0
+        self.model_seconds = 0.0
+
+    # -- recording -----------------------------------------------------
+    def record_batch(self, size: int, seconds: float) -> None:
+        """One coalesced flush: ``size`` requests served in ``seconds``."""
+        with self._lock:
+            self.batches += 1
+            self.model_seconds += seconds
+            self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
+
+    def record_request(self, latency_seconds: float) -> None:
+        """One completed request's end-to-end latency (queueing included)."""
+        with self._lock:
+            self.requests += 1
+            self._latencies.append(latency_seconds)
+            self._completions.append(time.perf_counter())
+
+    def record_error(self, count: int = 1) -> None:
+        with self._lock:
+            self.errors += count
+
+    # -- derived numbers -----------------------------------------------
+    @property
+    def mean_batch(self) -> float:
+        """Mean coalesced batch size — > 1 iff batching actually happens."""
+        with self._lock:
+            total = sum(size * n for size, n in self._batch_hist.items())
+            count = sum(self._batch_hist.values())
+        return total / count if count else 0.0
+
+    @property
+    def batch_histogram(self) -> Dict[int, int]:
+        """Coalesced batch size -> number of flushes (sorted copy)."""
+        with self._lock:
+            return dict(sorted(self._batch_hist.items()))
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over the recent latency window, in milliseconds."""
+        with self._lock:
+            window = list(self._latencies)
+        if not window:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        p50, p95, p99 = np.percentile(window, [50.0, 95.0, 99.0])
+        return {
+            "p50_ms": float(p50) * 1e3,
+            "p95_ms": float(p95) * 1e3,
+            "p99_ms": float(p99) * 1e3,
+        }
+
+    @property
+    def requests_per_second(self) -> float:
+        """Throughput over the recent completion window.
+
+        Measured across the window's completion timestamps — not since
+        server start — so compile/warmup time and idle stretches after a
+        burst do not dilute the figure capacity planning reads.
+        """
+        with self._lock:
+            if len(self._completions) < 2:
+                return 0.0
+            span = self._completions[-1] - self._completions[0]
+            count = len(self._completions)
+        return (count - 1) / span if span > 0 else 0.0
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self, queue_depth: Optional[int] = None) -> dict:
+        """JSON-ready view of the current counters (the /stats payload)."""
+        report = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "errors": self.errors,
+            "mean_batch": round(self.mean_batch, 3),
+            "batch_histogram": {str(k): v for k, v in self.batch_histogram.items()},
+            "requests_per_second": round(self.requests_per_second, 2),
+            "model_seconds": round(self.model_seconds, 4),
+            **{k: round(v, 3) for k, v in self.latency_percentiles().items()},
+        }
+        if queue_depth is not None:
+            report["queue_depth"] = queue_depth
+        return report
+
+    def render(self, title: str = "serving") -> str:
+        """Human-readable summary (printed on server shutdown)."""
+        snap = self.snapshot()
+        hist = " ".join(f"{k}x{v}" for k, v in snap["batch_histogram"].items())
+        return (
+            f"[{title}] {snap['requests']} requests in {snap['batches']} batches "
+            f"(mean batch {snap['mean_batch']}, errors {snap['errors']})\n"
+            f"[{title}] latency p50 {snap['p50_ms']:.2f} ms / "
+            f"p95 {snap['p95_ms']:.2f} ms / p99 {snap['p99_ms']:.2f} ms, "
+            f"{snap['requests_per_second']:.1f} req/s\n"
+            f"[{title}] batch histogram: {hist or '-'}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerStats(requests={self.requests}, batches={self.batches}, "
+            f"mean_batch={self.mean_batch:.2f})"
+        )

@@ -178,3 +178,118 @@ class TestDeploymentBundle:
         wrong = patternnet(channels=(4, 4), num_classes=4, rng=np.random.default_rng(0))
         with pytest.raises((KeyError, ValueError)):
             bundle.restore_into(wrong)
+
+
+class TestRestoreAttachesEncodings:
+    """Regression: restore_into used to install weights and masks but
+    never attach_encoding, so a restored PCNN bundle silently served
+    through the dense backend."""
+
+    def test_restored_convs_select_pattern_backend(self, tmp_path):
+        from repro.nn import Conv2d
+        from repro.runtime.engine import ConvRequest, select_backend
+
+        model, pruner = fresh_pruned_model(seed=7, n=2)
+        bundle = bundle_from_pruner(pruner)
+        path = str(tmp_path / "bundle.npz")
+        bundle.save(path)
+        fresh = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(8))
+        DeploymentBundle.load(path).restore_into(fresh)
+        convs = [m for m in fresh.modules() if isinstance(m, Conv2d)]
+        assert convs
+        for conv in convs:
+            assert conv.encoded is not None
+            x = np.zeros((1, conv.in_channels, 8, 8))
+            request = ConvRequest(x=x, encoded=conv.encoded, padding=1)
+            assert select_backend(request) == "pattern"
+
+    def test_restore_reuses_bundle_cached_encoding(self):
+        model, pruner = fresh_pruned_model(seed=9)
+        bundle = bundle_from_pruner(pruner)
+        fresh = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(10))
+        bundle.restore_into(fresh)
+        for name, module in pruner.layers:
+            restored = dict(fresh.named_modules())[name]
+            assert restored.encoded is bundle.layers[name].encoded_layer()
+
+    def test_restored_model_predicts_like_source(self):
+        """Pattern-path predictions on the restored model match the
+        source pruned model (same non-conv parameters by construction)."""
+        from repro import runtime
+
+        model, pruner = fresh_pruned_model(seed=11, n=2)
+        bundle = bundle_from_pruner(pruner)
+        fresh, _ = fresh_pruned_model(seed=11, n=2)  # same seed: same BN/FC
+        bundle.restore_into(fresh)
+        x = np.random.default_rng(12).normal(size=(4, 3, 16, 16))
+        reference = runtime.predict(model, x)
+        out = runtime.predict(fresh, x)
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+
+    def test_quantized_restore_attaches_dequantized_encoding(self):
+        model, pruner = fresh_pruned_model(seed=13)
+        bundle = bundle_from_pruner(pruner, quantize_bits=8)
+        fresh = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(14))
+        bundle.restore_into(fresh)
+        for name, module in pruner.layers:
+            restored = dict(fresh.named_modules())[name]
+            assert restored.encoded is not None
+            np.testing.assert_allclose(
+                restored.effective_weight(),
+                bundle.layers[name].dense_weight(),
+            )
+
+
+class TestQuantizedBundleRoundTrip:
+    """save -> load -> encoded_layer()/conv_forward for the 8-bit format."""
+
+    def test_conv_forward_matches_unquantized_within_error_bound(self, tmp_path):
+        model, pruner = fresh_pruned_model(seed=20, n=2)
+        exact_bundle = bundle_from_pruner(pruner)
+        quant_bundle = bundle_from_pruner(pruner, quantize_bits=8)
+        path = str(tmp_path / "q.npz")
+        quant_bundle.save(path)
+        loaded = DeploymentBundle.load(path)
+        rng = np.random.default_rng(21)
+        for name, layer in exact_bundle.layers.items():
+            x = rng.normal(size=(2, layer.shape[1], 8, 8))
+            exact = layer.conv_forward(x, padding=1)
+            quant = loaded.layers[name].conv_forward(x, padding=1)
+            # Per-kernel symmetric 8-bit: the weight error is bounded by
+            # step/2 per weight, so the conv error stays tiny relative
+            # to the activation magnitude.
+            denom = np.linalg.norm(exact)
+            assert np.linalg.norm(quant - exact) / denom < 0.02
+            # And the loaded encoding matches the pre-save one exactly.
+            np.testing.assert_allclose(
+                loaded.layers[name].encoded_layer().values,
+                quant_bundle.layers[name].encoded_layer().values,
+            )
+
+    def test_storage_report_survives_round_trip(self, tmp_path):
+        model, pruner = fresh_pruned_model(seed=22, n=2)
+        bundle = bundle_from_pruner(pruner, quantize_bits=8)
+        path = str(tmp_path / "q.npz")
+        bundle.save(path)
+        loaded = DeploymentBundle.load(path)
+        original = bundle.storage_report()
+        restored = loaded.storage_report()
+        assert set(original) == set(restored)
+        for name in original:
+            assert original[name] == restored[name]
+        assert loaded.storage_bits() == bundle.storage_bits()
+
+    def test_codes_preserve_exact_integers(self, tmp_path):
+        model, pruner = fresh_pruned_model(seed=23)
+        bundle = bundle_from_pruner(pruner, quantize_bits=8)
+        path = str(tmp_path / "q.npz")
+        bundle.save(path)
+        loaded = DeploymentBundle.load(path)
+        for name in bundle.layers:
+            np.testing.assert_array_equal(
+                loaded.layers[name].values, bundle.layers[name].values
+            )
+            np.testing.assert_array_equal(
+                loaded.layers[name].scales, bundle.layers[name].scales
+            )
+            assert loaded.layers[name].weight_bits == 8

@@ -36,6 +36,24 @@ class TestSPMCodebook:
         codebook = SPMCodebook([0b000000111])
         assert codebook.index_bits == 1
 
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=32)
+    def test_property_index_bits_delegates_to_compression(self, num_patterns):
+        """The codebook and the accounting module share one formula.
+
+        ``SPMCodebook.index_bits`` must equal ``spm_index_bits(|P|)`` for
+        every codebook size — the two used to be duplicated definitions
+        that had to be kept in sync by hand.
+        """
+        from math import ceil, log2
+
+        from repro.core import spm_index_bits
+
+        codebook = SPMCodebook(enumerate_patterns(2)[:num_patterns])
+        assert codebook.index_bits == spm_index_bits(num_patterns)
+        expected = max(1, ceil(log2(num_patterns))) if num_patterns > 1 else 1
+        assert codebook.index_bits == expected
+
     def test_code_pattern_roundtrip(self):
         patterns = enumerate_patterns(2)[:16]
         codebook = SPMCodebook(patterns)

@@ -136,3 +136,88 @@ class TestPredict:
             runtime.predict(model, np.zeros((2, 3, 12, 12)), micro_batch=0)
         with pytest.raises(ValueError, match="N, C, H, W"):
             runtime.predict(model, np.zeros((3, 12, 12)))
+
+
+class TestEmptyBatch:
+    """A batcher flush / drained queue legitimately produces N=0."""
+
+    def test_eager_empty_batch_shape_and_dtype(self, model):
+        out = runtime.predict(model, np.zeros((0, 3, 12, 12)))
+        assert out.shape == (0, 4)
+        assert out.dtype == np.float64
+
+    def test_compiled_empty_batch_shape_and_dtype(self, model):
+        compiled = runtime.compile_model(model)
+        out = runtime.predict(compiled, np.zeros((0, 3, 12, 12)))
+        assert out.shape == (0, 4)
+        assert out.dtype == np.float32
+
+    def test_empty_batch_concatenates_with_real_outputs(self, model, batch):
+        """The (0, ...) result is shape-compatible with real outputs."""
+        empty = runtime.predict(model, batch[:0])
+        full = runtime.predict(model, batch)
+        merged = np.concatenate([empty, full])
+        np.testing.assert_array_equal(merged, full)
+
+    def test_empty_batch_stats(self, model):
+        stats = runtime.PredictStats()
+        out = runtime.predict(model, np.zeros((0, 3, 12, 12)), stats=stats)
+        assert out.shape[0] == 0
+        assert stats.batch == 0
+        assert stats.chunks == 0
+        assert stats.chunk_seconds == []
+
+    def test_empty_batch_restores_training_mode(self, model):
+        model.train()
+        runtime.predict(model, np.zeros((0, 3, 12, 12)))
+        assert model.training
+        model.eval()
+
+    def test_empty_batch_probe_is_memoized(self):
+        """Repeated empty calls answer from the cached geometry instead
+        of re-running the one-image probe forward."""
+        m = patternnet(channels=(8,), num_classes=2, rng=np.random.default_rng(42))
+        runtime.predict(m, np.zeros((0, 3, 12, 12)))  # probe forward runs once
+        runtime.default_cache.clear()
+        out = runtime.predict(m, np.zeros((0, 3, 12, 12)))
+        assert out.shape == (0, 2)
+        # An eager forward would have gone through the engine (and the
+        # default plan cache); zero lookups means no forward ran.
+        assert runtime.default_cache.stats.lookups == 0
+
+    def test_empty_batch_compile_flag_keeps_compiled_dtype(self):
+        m = patternnet(channels=(8,), num_classes=2, rng=np.random.default_rng(43))
+        out = runtime.predict(m, np.zeros((0, 3, 12, 12)), compile=True)
+        assert out.shape == (0, 2)
+        assert out.dtype == np.float32
+
+
+class TestRaggedChunks:
+    def test_compiled_ragged_tail_is_equivalent(self, model, batch):
+        compiled = runtime.compile_model(model)
+        full = runtime.predict(compiled, batch)
+        ragged = runtime.predict(compiled, batch, micro_batch=4)  # 4 + 2
+        np.testing.assert_allclose(ragged, full, rtol=1e-6, atol=1e-7)
+
+    def test_compiled_ragged_tail_reuses_chunk_geometry(self, model, batch):
+        """The padded tail runs through the same plans/arena buffers as
+        the full chunks — no second geometry set for the tail size."""
+        compiled = runtime.compile_model(model)
+        runtime.predict(compiled, batch, micro_batch=4)
+        batch_sizes = {
+            key[1][0]
+            for key in compiled.plans._plans
+            if isinstance(key[1], tuple)
+        }
+        assert batch_sizes == {4}
+
+    def test_eager_ragged_tail_stays_exact(self, model, batch):
+        full = runtime.predict(model, batch)
+        ragged = runtime.predict(model, batch, micro_batch=4)
+        np.testing.assert_allclose(ragged, full, rtol=1e-12, atol=0)
+
+    def test_ragged_tail_with_workers(self, model, batch):
+        compiled = runtime.compile_model(model)
+        full = runtime.predict(compiled, batch)
+        out = runtime.predict(compiled, batch, micro_batch=4, workers=2)
+        np.testing.assert_allclose(out, full, rtol=1e-6, atol=1e-7)

@@ -1,0 +1,204 @@
+"""Tests for the dynamic-batching request coalescer."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import Batcher, ServerStats, bucket_sizes
+
+
+def double_runner(x):
+    return x * 2.0
+
+
+class TestBucketSizes:
+    def test_powers_of_two_capped(self):
+        assert bucket_sizes(1) == [1]
+        assert bucket_sizes(8) == [1, 2, 4, 8]
+        assert bucket_sizes(12) == [1, 2, 4, 8, 12]
+        assert bucket_sizes(32) == [1, 2, 4, 8, 16, 32]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bucket_sizes(0)
+
+
+class TestBatcher:
+    def test_single_request_roundtrip(self):
+        with Batcher(double_runner, max_batch=4, max_latency_ms=1.0) as batcher:
+            x = np.arange(6.0).reshape(2, 3)
+            out = batcher(x, timeout=10)
+        np.testing.assert_array_equal(out, x * 2.0)
+
+    def test_burst_coalesces(self):
+        """A burst of queued requests is served in few, large batches."""
+        stats = ServerStats()
+        batcher = Batcher(double_runner, max_batch=8, max_latency_ms=50.0, stats=stats)
+        images = np.random.default_rng(0).normal(size=(24, 2, 3))
+        # Submits are microseconds apart while the 50 ms window is open,
+        # so the worker coalesces the burst into few, large flushes.
+        with batcher:
+            futures = [batcher.submit(images[i]) for i in range(24)]
+            outs = np.stack([f.result(timeout=10) for f in futures])
+        np.testing.assert_allclose(outs, images * 2.0)
+        assert stats.requests == 24
+        assert stats.mean_batch > 1.0
+        assert max(int(k) for k in stats.batch_histogram) <= 8
+
+    def test_bucket_padding_rounds_flush_sizes(self):
+        """Flushes hit the runner at power-of-two sizes only."""
+        seen = []
+
+        def recording_runner(x):
+            seen.append(x.shape[0])
+            return x + 1.0
+
+        batcher = Batcher(recording_runner, max_batch=8, max_latency_ms=30.0)
+        images = np.random.default_rng(1).normal(size=(3, 4))
+        with batcher:
+            futures = [batcher.submit(images[i]) for i in range(3)]
+            outs = np.stack([f.result(timeout=10) for f in futures])
+        np.testing.assert_allclose(outs, images + 1.0)
+        assert all(size in bucket_sizes(8) for size in seen)
+
+    def test_unbucketed_keeps_exact_sizes(self):
+        seen = []
+
+        def recording_runner(x):
+            seen.append(x.shape[0])
+            return x
+
+        batcher = Batcher(recording_runner, max_batch=8, max_latency_ms=30.0, bucket=False)
+        images = np.zeros((3, 2))
+        with batcher:
+            futures = [batcher.submit(images[i]) for i in range(3)]
+            for f in futures:
+                f.result(timeout=10)
+        assert sum(seen) == 3  # no padding rows ever reached the runner
+
+    def test_max_latency_bounds_lone_request(self):
+        """A lone request is not held for long after max_latency_ms."""
+        batcher = Batcher(double_runner, max_batch=64, max_latency_ms=5.0)
+        with batcher:
+            start = time.perf_counter()
+            batcher(np.zeros((1,)), timeout=10)
+            elapsed = time.perf_counter() - start
+        assert elapsed < 5.0  # far below any full-batch wait, CI-safe bound
+
+    def test_runner_error_propagates_to_all_requests(self):
+        def failing_runner(x):
+            raise RuntimeError("backend exploded")
+
+        stats = ServerStats()
+        batcher = Batcher(failing_runner, max_batch=4, max_latency_ms=20.0, stats=stats)
+        with batcher:
+            futures = [batcher.submit(np.zeros((2,))) for _ in range(3)]
+            for f in futures:
+                with pytest.raises(RuntimeError, match="backend exploded"):
+                    f.result(timeout=10)
+        assert stats.errors == 3
+        assert stats.requests == 0
+
+    def test_wrong_row_count_rejected(self):
+        batcher = Batcher(lambda x: x[:0], max_batch=2, max_latency_ms=1.0)
+        with batcher:
+            future = batcher.submit(np.zeros((2,)))
+            with pytest.raises(RuntimeError, match="rows"):
+                future.result(timeout=10)
+
+    def test_cancelled_future_does_not_kill_worker(self):
+        """A future cancelled while queued is dropped at flush time;
+        the worker must survive and keep serving later requests."""
+        release = threading.Event()
+
+        def gated_runner(x):
+            release.wait(5.0)
+            return x
+
+        batcher = Batcher(gated_runner, max_batch=1, max_latency_ms=0.0)
+        with batcher:
+            in_flight = batcher.submit(np.zeros((1,)))
+            time.sleep(0.05)  # worker is now blocked inside the runner
+            doomed = batcher.submit(np.ones((1,)))
+            assert doomed.cancel()  # still queued: cancel wins
+            survivor = batcher.submit(np.full((1,), 2.0))
+            release.set()
+            np.testing.assert_array_equal(survivor.result(timeout=10), [2.0])
+            np.testing.assert_array_equal(in_flight.result(timeout=10), [0.0])
+        assert doomed.cancelled()
+
+    def test_submit_after_stop_raises(self):
+        batcher = Batcher(double_runner).start()
+        batcher.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            batcher.submit(np.zeros((1,)))
+
+    def test_stop_drains_queued_requests(self):
+        release = threading.Event()
+
+        def slow_runner(x):
+            release.wait(5.0)
+            return x
+
+        batcher = Batcher(slow_runner, max_batch=1, max_latency_ms=0.0)
+        batcher.start()
+        futures = [batcher.submit(np.full((1,), float(i))) for i in range(4)]
+        release.set()
+        batcher.stop()  # drain=True serves everything already queued
+        results = [f.result(timeout=10) for f in futures]
+        np.testing.assert_allclose(np.concatenate(results), [0.0, 1.0, 2.0, 3.0])
+
+    def test_start_is_idempotent(self):
+        batcher = Batcher(double_runner)
+        assert batcher.start() is batcher
+        worker = batcher._worker
+        batcher.start()
+        assert batcher._worker is worker
+        batcher.stop()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Batcher(double_runner, max_batch=0)
+        with pytest.raises(ValueError):
+            Batcher(double_runner, max_latency_ms=-1.0)
+
+
+class TestServerStats:
+    def test_percentiles_and_histogram(self):
+        stats = ServerStats()
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            stats.record_request(latency)
+        stats.record_batch(4, 0.01)
+        stats.record_batch(2, 0.01)
+        snap = stats.snapshot(queue_depth=3)
+        assert snap["requests"] == 4
+        assert snap["batches"] == 2
+        assert snap["mean_batch"] == 3.0
+        assert snap["batch_histogram"] == {"2": 1, "4": 1}
+        assert snap["queue_depth"] == 3
+        assert 0 < snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"] <= 40.1
+
+    def test_empty_stats_snapshot(self):
+        snap = ServerStats().snapshot()
+        assert snap["requests"] == 0
+        assert snap["p99_ms"] == 0.0
+        assert snap["mean_batch"] == 0.0
+
+    def test_render_mentions_counts(self):
+        stats = ServerStats()
+        stats.record_batch(2, 0.001)
+        stats.record_request(0.002)
+        stats.record_request(0.002)
+        text = stats.render(title="demo")
+        assert "demo" in text and "2 requests" in text and "2x1" in text
+
+    def test_window_bounds_reservoir(self):
+        stats = ServerStats(window=4)
+        for _ in range(100):
+            stats.record_request(1.0)
+        stats.record_request(0.5)
+        assert len(stats._latencies) == 4
+        with pytest.raises(ValueError):
+            ServerStats(window=0)
