@@ -5,21 +5,29 @@ Shows the workflow a deployment engineer would run:
 1. train a model;
 2. scan per-layer pruning sensitivity and auto-derive a "various" config
    (the paper's Table I/II footnote style: milder n where it hurts);
-3. prune + retrain with that config;
-4. quantize to the accelerator's 8-bit format, write a deployment bundle,
-   and report latency/energy on the pattern-aware architecture.
+3. prune + retrain with that config, evaluating through the runtime
+   engine (``runtime.predict`` — the batched serving entry point, not a
+   hand-rolled eval loop);
+4. quantize to the accelerator's 8-bit format, write a deployment
+   bundle, and report latency/energy on the pattern-aware architecture;
+5. serve the bundle with the dynamic-batching ``ModelServer`` on the
+   compiled int8 pipeline (see docs/SERVING.md) and verify the served
+   outputs.
 
 Run:  python examples/sensitivity_and_deployment.py
+(REPRO_EXAMPLES_SCALE=small shrinks the run for CI.)
 """
+
+import os
 
 import numpy as np
 
+from repro import runtime
 from repro.analysis import format_table
 from repro.arch import inference_cost
 from repro.core import (
     PCNNPruner,
     bundle_from_pruner,
-    evaluate,
     fit,
     pcnn_compression,
     sensitivity_scan,
@@ -27,19 +35,31 @@ from repro.core import (
 )
 from repro.data import ArrayDataset, DataLoader, make_synthetic_images
 from repro.models import patternnet, profile_model
+from repro.serving import ModelServer
+
+SMALL = os.environ.get("REPRO_EXAMPLES_SCALE") == "small"
+
+
+def accuracy(model, images: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy via the runtime engine's batched predict."""
+    logits = runtime.predict(model, images, micro_batch=64)
+    return float((logits.argmax(axis=1) == labels).mean())
 
 
 def main() -> None:
     seed = 0
+    n_train, n_test = (256, 128) if SMALL else (512, 256)
+    epochs = 3 if SMALL else 6
     x_train, y_train, x_test, y_test = make_synthetic_images(
-        n_train=512, n_test=256, num_classes=10, image_size=12, seed=seed, noise_std=0.5
+        n_train=n_train, n_test=n_test, num_classes=10, image_size=12, seed=seed,
+        noise_std=0.5,
     )
     loader = DataLoader(ArrayDataset(x_train, y_train), batch_size=32, shuffle=True, seed=seed)
     model = patternnet(channels=(12, 24, 24), num_classes=10, rng=np.random.default_rng(seed))
 
     print("[1] training ...")
-    fit(model, loader, epochs=6, lr=0.01)
-    dense_acc = evaluate(model, x_test, y_test)
+    fit(model, loader, epochs=epochs, lr=0.01)
+    dense_acc = accuracy(model, x_test, y_test)
     print(f"    dense accuracy {dense_acc:.3f}")
 
     print("[2] per-layer sensitivity scan ...")
@@ -55,8 +75,8 @@ def main() -> None:
     print("[3] pruning + masked retraining ...")
     pruner = PCNNPruner(model, config)
     pruner.apply()
-    fit(model, loader, epochs=3, lr=0.01)
-    pruned_acc = evaluate(model, x_test, y_test)
+    fit(model, loader, epochs=max(2, epochs // 2), lr=0.01)
+    pruned_acc = accuracy(model, x_test, y_test)
     print(f"    pruned accuracy {pruned_acc:.3f} (dense {dense_acc:.3f})")
 
     print("[4] deployment bundle + accelerator cost ...")
@@ -68,12 +88,39 @@ def main() -> None:
     profile = profile_model(model, (3, 12, 12), model_name="PatternNet")
     report = pcnn_compression(profile, config)
     cost = inference_cost(profile, config)
-    print(f"    bundle: /tmp/pcnn_bundle.npz ({bundle.storage_bits() / 8 / 1024:.1f} KiB)")
+    print(f"    bundle: /tmp/pcnn_bundle.npz ({bundle.storage_bits() / 8 / 1024:.1f} KiB, "
+          f"8-bit quantized: {bundle.quantized})")
     print(f"    compression: {report.weight_compression:.1f}x weight, "
           f"{report.weight_idx_compression:.1f}x weight+idx")
     print(f"    accelerator: {cost.latency_ms * 1e3:.3f} us/image, "
           f"{cost.energy_mj * 1e3:.4f} uJ/image, "
           f"{cost.speedup_vs_dense:.2f}x vs dense")
+
+    print("[5] serving the bundle (compiled int8 pipeline) ...")
+    # The served model is rebuilt from the bundle alone — weights, masks
+    # and SPM encodings all come from the .npz; quantize="int8" compiles
+    # it to the int8 execution path, calibrated on test images.
+    from repro.core.deploy import DeploymentBundle
+
+    fresh = patternnet(
+        channels=(12, 24, 24), num_classes=10, rng=np.random.default_rng(seed)
+    )
+    DeploymentBundle.load("/tmp/pcnn_bundle.npz").restore_into(fresh)
+    server = ModelServer(max_batch=16, max_latency_ms=5.0, quantize="int8")
+    served = server.add_model(
+        "patternnet-int8", fresh, (3, 12, 12),
+        source="bundle", calibration=x_test[:8],
+        meta={"bundle": "/tmp/pcnn_bundle.npz"},
+    )
+    server.warmup()
+    with server:
+        # Submit everything first so the batcher can coalesce the burst.
+        futures = [server.submit(image) for image in x_test[:32]]
+        outputs = np.stack([f.result(timeout=30) for f in futures])
+    served_acc = float((outputs.argmax(axis=1) == y_test[:32]).mean())
+    print(f"    served: {served.meta['quantized_layers']} int8 convs, "
+          f"accuracy on 32 test images {served_acc:.3f}")
+    print(f"    {server.render_stats()}")
 
 
 if __name__ == "__main__":

@@ -6,9 +6,11 @@ synthetic dataset (CIFAR-10 substitute — see DESIGN.md). Prints test
 accuracy at every stage and the dense-vs-pruned accounting.
 
 Run:  python examples/train_prune_retrain.py  [--quick]
+(REPRO_EXAMPLES_SCALE=small also selects the quick run — CI uses this.)
 """
 
 import argparse
+import os
 
 import numpy as np
 
@@ -88,4 +90,5 @@ def main(quick: bool = False) -> None:
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller/faster run")
-    main(parser.parse_args().quick)
+    args = parser.parse_args()
+    main(args.quick or os.environ.get("REPRO_EXAMPLES_SCALE") == "small")

@@ -9,12 +9,13 @@ Gives downstream users the paper's numbers without writing code:
   model and write a deployment bundle (optionally 8-bit quantized);
 - ``pcnn-repro predict --model patternnet --n 2 --batch 16`` — batched
   inference through the runtime engine (micro-batching, backend choice;
-  ``--compile`` for the fused float32 pipeline, ``--workers N`` for
-  parallel micro-batch serving);
+  ``--compile`` for the fused float32 pipeline, ``--quantize`` for the
+  int8 execution path, ``--workers N`` for parallel micro-batch
+  serving);
 - ``pcnn-repro serve --model patternnet --n 2 --port 8100`` — dynamic-
   batching JSON model server on the compiled pipeline (``--bundle`` to
-  serve a deployment bundle; ``--max-batch``/``--max-latency-ms`` tune
-  the coalescing policy);
+  serve a deployment bundle, ``--quantize`` to serve it int8;
+  ``--max-batch``/``--max-latency-ms`` tune the coalescing policy);
 - ``pcnn-repro chip`` — Table IX breakdown + Fig. 6 floorplan.
 """
 
@@ -128,12 +129,17 @@ def cmd_predict(args) -> int:
     rng = np.random.default_rng(args.seed)
     x = rng.normal(size=(args.batch, *shape))
 
-    if args.compile:
+    if args.compile or args.quantize:
         # Compile once up front: BN folding, fused epilogues, float32
         # parameters and buffer arenas; the timed loop then serves from
-        # the compiled pipeline.
-        model = runtime.compile_model(model)
-        setting += " [compiled]"
+        # the compiled pipeline. --quantize additionally lowers the conv
+        # trunk to int8 codes, calibrating on the benchmark inputs.
+        model = runtime.compile_model(
+            model,
+            quantize="int8" if args.quantize else None,
+            calibration=x if args.quantize else None,
+        )
+        setting += " [compiled int8]" if args.quantize else " [compiled]"
 
     runtime.default_cache.clear()
     # Warm-up pass builds the execution plans (and compiled-path arena
@@ -153,7 +159,9 @@ def cmd_predict(args) -> int:
                 model, x, micro_batch=args.micro_batch, backend=args.backend,
                 workers=args.workers,
             )
-    cache = (model.plans if args.compile else runtime.default_cache).stats
+    cache = (
+        model.plans if isinstance(model, runtime.CompiledModel) else runtime.default_cache
+    ).stats
     print(
         format_table(
             ["setting", "backend", "batch", "micro-batch", "workers",
@@ -190,6 +198,7 @@ def build_model_server(args):
         max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         compile=not args.no_compile,
+        quantize="int8" if args.quantize else None,
     )
     if args.bundle:
         served = server.load_bundle(args.bundle, args.model)
@@ -241,10 +250,13 @@ def cmd_serve(args) -> int:
         f"serving {served.name!r} ({served.meta.get('setting', served.source)}) "
         f"at {httpd.url}"
     )
+    pipeline = "eager" if args.no_compile else (
+        "compiled int8" if args.quantize else "compiled"
+    )
     print(
         f"  batching: max_batch={args.max_batch}, "
         f"max_latency_ms={args.max_latency_ms}, workers={args.workers or 1}, "
-        f"{'eager' if args.no_compile else 'compiled'} pipeline (warm)"
+        f"{pipeline} pipeline (warm)"
     )
     print("  POST /predict | GET /stats /models /healthz   (Ctrl-C stops)")
     try:
@@ -349,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
         "epilogues, float32, buffer arenas)",
     )
     p_pred.add_argument(
+        "--quantize", action="store_true",
+        help="compile to the int8 execution path (int8 weight/activation "
+        "codes, requantizing epilogues; implies --compile)",
+    )
+    p_pred.add_argument(
         "--workers", type=int, default=None,
         help="run micro-batches on a thread pool of this size",
     )
@@ -392,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compile", action="store_true",
         help="serve the eager float64 module graph instead of the "
         "compiled pipeline",
+    )
+    p_serve.add_argument(
+        "--quantize", action="store_true",
+        help="compile served models to the int8 execution path "
+        "(incompatible with --no-compile)",
     )
     p_serve.add_argument(
         "--list-models", action="store_true",

@@ -67,6 +67,13 @@ class LayerBundle:
         Caching matters: the runtime engine memoizes pattern gather
         indices on the :class:`EncodedLayer`, so repeated
         :meth:`conv_forward` calls plan once and then only execute.
+
+        For a quantized bundle only the ``(kernels, n)`` non-zero
+        sequences are scaled back to float here — never the dense
+        ``k^2`` tensor. Downstream int8 serving
+        (``compile_model(quantize=...)`` on a bundle-restored model)
+        re-quantizes those same sequences per output filter, so the
+        bundle-to-GEMM path stays free of dense float weights.
         """
         if self._encoded is None:
             codebook = SPMCodebook(self.patterns, kernel_size=self.shape[-1])
@@ -115,7 +122,15 @@ class DeploymentBundle:
 
     layers: Dict[str, LayerBundle] = field(default_factory=dict)
 
+    @property
+    def quantized(self) -> bool:
+        """Whether every layer carries reduced-precision integer values."""
+        return bool(self.layers) and all(
+            layer.quantized for layer in self.layers.values()
+        )
+
     def storage_bits(self) -> int:
+        """Total bundle payload in bits, summed over layers."""
         return sum(layer.storage_bits() for layer in self.layers.values())
 
     def storage_report(self) -> Dict[str, dict]:

@@ -19,6 +19,11 @@ bundles, the accelerator simulator's functional path):
   pipeline: BN folding, fused bias/ReLU epilogues
   (:class:`Epilogue`), one-time float32 cast, and per-thread
   zero-allocation buffer :class:`Arena` workspaces.
+- :mod:`repro.runtime.quant` — the int8 execution path:
+  ``compile_model(quantize="int8", calibration=batch)`` runs the conv
+  trunk on integer weight/activation codes with requantizing epilogues
+  and per-layer float fallback (:class:`QuantizationConfig`); the
+  ``"quant"`` engine backend is the zero-setup eager variant.
 """
 
 from .arena import Arena, ArenaStats
@@ -36,6 +41,12 @@ from .compile import CompiledModel, compile_model, fold_batchnorm
 from .engine import ConvRequest, default_cache, dispatch, select_backend
 from .plan import ExecutionPlan, PlanCache, PlanCacheStats
 from .predict import PredictStats, conv_backend_override, predict
+from .quant import (
+    QuantizationConfig,
+    QuantizationReport,
+    QuantizedBackend,
+    resolve_quantization,
+)
 
 __all__ = [
     "Arena",
@@ -61,4 +72,8 @@ __all__ = [
     "PredictStats",
     "predict",
     "conv_backend_override",
+    "QuantizationConfig",
+    "QuantizationReport",
+    "QuantizedBackend",
+    "resolve_quantization",
 ]

@@ -41,10 +41,13 @@ class ArenaStats:
 
     @property
     def requests(self) -> int:
+        """Total buffer requests served (allocations + reuses)."""
         return self.allocations + self.reuses
 
     @property
     def reuse_rate(self) -> float:
+        """Fraction of requests served from an existing buffer;
+        approaches 1.0 once a serving loop is warm."""
         return self.reuses / self.requests if self.requests else 0.0
 
 

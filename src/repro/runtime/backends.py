@@ -19,6 +19,10 @@ Built-in backends:
   across a layer's kernels).
 - :class:`TiledBackend` — im2col + GEMM over output-row tiles, bounding
   workspace memory for large inputs (ImageNet-scale activations).
+- :class:`~repro.runtime.quant.QuantizedBackend` (``"quant"``, defined
+  in :mod:`repro.runtime.quant`, registered here) — int8 execution:
+  integer weight/activation codes, wide accumulation, scales folded per
+  output column. Explicit opt-in only; never auto-selected.
 """
 
 from __future__ import annotations
@@ -173,6 +177,7 @@ class DenseGemmBackend:
     name = "dense"
 
     def supports(self, request: "ConvRequest") -> bool:
+        """Dense weights or an encoding (decoded on demand) both work."""
         return request.weight is not None or request.encoded is not None
 
     def execute(
@@ -182,6 +187,7 @@ class DenseGemmBackend:
         workspace: Optional[dict] = None,
         epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
+        """Monolithic im2col + one BLAS GEMM (+ in-place epilogue)."""
         weight = _dense_weight(request)
         arena, tag = _arena_from(workspace)
         w_mat = weight.reshape(plan.out_channels, -1)
@@ -228,6 +234,7 @@ class PatternSparseBackend:
     name = "pattern"
 
     def supports(self, request: "ConvRequest") -> bool:
+        """Requires SPM storage — dense-only requests have no codes."""
         return request.encoded is not None
 
     def execute(
@@ -237,6 +244,7 @@ class PatternSparseBackend:
         workspace: Optional[dict] = None,
         epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
+        """Grouped-contraction GEMM over output-row slabs (see class doc)."""
         encoded = request.encoded
         kh, kw = plan.kernel
         c_in = plan.in_channels
@@ -299,6 +307,7 @@ class TiledBackend:
     name = "tiled"
 
     def supports(self, request: "ConvRequest") -> bool:
+        """Dense weights or an encoding (decoded on demand) both work."""
         return request.weight is not None or request.encoded is not None
 
     def execute(
@@ -308,6 +317,7 @@ class TiledBackend:
         workspace: Optional[dict] = None,
         epilogue: Optional[Epilogue] = None,
     ) -> np.ndarray:
+        """im2col + GEMM tile by tile, epilogue applied per tile."""
         weight = _dense_weight(request)
         kh, kw = plan.kernel
         oh, ow = plan.out_hw
@@ -370,3 +380,11 @@ def available_backends() -> List[str]:
 register_backend(PatternSparseBackend())
 register_backend(DenseGemmBackend())
 register_backend(TiledBackend())
+
+# The int8 backend lives in quant.py (it needs the compiled-pipeline op
+# machinery) but registers here so the registry is complete for anyone
+# importing this module alone. Import last: quant.py imports this
+# module's names, all of which are defined by this point.
+from .quant import QuantizedBackend  # noqa: E402  (deliberate tail import)
+
+register_backend(QuantizedBackend())

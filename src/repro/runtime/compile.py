@@ -891,6 +891,9 @@ class CompiledModel:
         self.dtype = np.dtype(dtype) if dtype is not None else None
         self.source = source
         self.plans = PlanCache()
+        #: :class:`~repro.runtime.quant.QuantizationReport` when the
+        #: pipeline was compiled with ``quantize=``, else ``None``.
+        self.quantization = None
         self._local = threading.local()
 
     # -- resources -----------------------------------------------------
@@ -931,6 +934,8 @@ class CompiledModel:
         """One line per op — what got folded and fused where."""
         header = f"CompiledModel({self.source or 'model'}, dtype={self.dtype})"
         lines = [f"  {i}: {op.describe()}" for i, op in enumerate(self.ops)]
+        if self.quantization is not None:
+            lines.append("  quantization: " + self.quantization.describe())
         return "\n".join([header] + lines)
 
     def __repr__(self) -> str:
@@ -940,7 +945,13 @@ class CompiledModel:
         )
 
 
-def compile_model(model: nn.Module, dtype=np.float32) -> CompiledModel:
+def compile_model(
+    model: nn.Module,
+    dtype=np.float32,
+    *,
+    quantize=None,
+    calibration: Optional[np.ndarray] = None,
+) -> CompiledModel:
     """Lower ``model`` to a :class:`CompiledModel` inference pipeline.
 
     Parameters
@@ -955,6 +966,17 @@ def compile_model(model: nn.Module, dtype=np.float32) -> CompiledModel:
         Inference dtype, cast once at compile time. ``np.float32``
         (default) halves GEMM memory traffic vs the float64 training
         graph; ``None`` keeps each parameter's own dtype.
+    quantize:
+        Lower eligible convolutions to the int8 execution path
+        (:mod:`repro.runtime.quant`): ``"int8"``/``True`` for the
+        defaults, an int bit width, or a full
+        :class:`~repro.runtime.quant.QuantizationConfig`. Requires
+        ``calibration``. The resulting pipeline records what happened on
+        ``CompiledModel.quantization``.
+    calibration:
+        Small ``(N, C, H, W)`` batch used to calibrate activation scales
+        when ``quantize`` is given (a handful of representative images
+        is enough; see ``QuantizationConfig.calibration_images``).
 
     Notes
     -----
@@ -966,5 +988,20 @@ def compile_model(model: nn.Module, dtype=np.float32) -> CompiledModel:
     if fmt == "nhwc":
         # Features-only models must hand back the eager NCHW layout.
         ops.append(ToNCHW(tag="out"))
+    report = None
+    config = None
+    if quantize is not None:
+        from .quant import quantize_pipeline, resolve_quantization
+
+        config = resolve_quantization(quantize)
+    if config is not None:
+        if calibration is None:
+            raise ValueError(
+                "compile_model(quantize=...) needs a calibration= batch "
+                "to derive activation scales from"
+            )
+        ops, report = quantize_pipeline(ops, dtype, calibration, config)
     _link_halo(ops)
-    return CompiledModel(ops, dtype=dtype, source=type(model).__name__)
+    compiled = CompiledModel(ops, dtype=dtype, source=type(model).__name__)
+    compiled.quantization = report
+    return compiled

@@ -58,6 +58,7 @@ class ConvRequest:
 
     @property
     def weight_shape(self) -> Tuple[int, int, int, int]:
+        """Filter shape ``(C_out, C_in, KH, KW)``, from weight or encoding."""
         if self.weight is not None:
             return tuple(self.weight.shape)  # type: ignore[return-value]
         return self.encoded.shape

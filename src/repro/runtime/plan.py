@@ -52,6 +52,7 @@ class ExecutionPlan:
 
     @property
     def windows(self) -> int:
+        """Output rows of the im2col GEMM: ``N * OH * OW``."""
         oh, ow = self.out_hw
         return self.batch * oh * ow
 
@@ -70,6 +71,8 @@ class ExecutionPlan:
         stride: int,
         padding: int,
     ) -> "ExecutionPlan":
+        """Validate a conv geometry and build its plan (raises on a
+        collapsed output size)."""
         n, c_in, h, w = x_shape
         c_out, _, kh, kw = weight_shape
         oh = conv_output_size(h, kh, stride, padding)
@@ -101,10 +104,12 @@ class PlanCacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total cache probes (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of probes answered from cache (1.0 when warm)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -139,6 +144,8 @@ class PlanCache:
     def get_or_build(
         self, key: PlanKey, builder: Callable[[], ExecutionPlan]
     ) -> ExecutionPlan:
+        """Return the cached plan for ``key``, building (and caching)
+        it via ``builder`` on a miss; thread-safe, LRU-evicting."""
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:

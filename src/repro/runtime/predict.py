@@ -73,6 +73,7 @@ class PredictStats:
 
     @property
     def images_per_second(self) -> float:
+        """End-to-end throughput of the call (batch / wall seconds)."""
         return self.batch / self.seconds if self.seconds > 0 else float("inf")
 
 
@@ -137,6 +138,8 @@ def predict(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     compile: bool = False,
+    quantize=None,
+    calibration: Optional[np.ndarray] = None,
     stats: Optional[PredictStats] = None,
 ) -> np.ndarray:
     """Run ``model`` over a batch of inputs through the runtime engine.
@@ -165,6 +168,16 @@ def predict(
         for this call (BN folding, fused epilogues, float32, arenas).
         Compilation snapshots the weights, so repeated serving loops
         should compile once themselves and pass the compiled model in.
+    quantize:
+        Compile to the int8 execution path
+        (:mod:`repro.runtime.quant`): ``"int8"``, a bit width, or a
+        :class:`~repro.runtime.quant.QuantizationConfig`. Implies
+        ``compile=True``. Activation scales calibrate on
+        ``calibration`` when given, else on the leading images of ``x``
+        itself (fine for one-shot calls; serving loops should
+        ``compile_model(quantize=...)`` once with a held-out batch).
+    calibration:
+        Optional ``(N, C, H, W)`` batch for ``quantize`` calibration.
     stats:
         Optional :class:`PredictStats` filled in with timings.
 
@@ -179,6 +192,16 @@ def predict(
         raise ValueError("micro_batch must be >= 1")
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
+    if quantize is not None and isinstance(model, CompiledModel):
+        # An already-lowered model cannot be re-quantized here; serving
+        # float while the caller believes they measured int8 would be
+        # worse than failing.
+        if model.quantization is None:
+            raise ValueError(
+                "quantize= has no effect on an already-compiled model; "
+                "pass the eager model, or compile_model(quantize=...) yourself"
+            )
+    compile = compile or quantize is not None
     want_compiled = compile or isinstance(model, CompiledModel)
     if x.shape[0] == 0:
         # A batcher flush or a drained queue legitimately produces N=0:
@@ -199,7 +222,11 @@ def predict(
         return result
 
     if compile and not isinstance(model, CompiledModel):
-        model = compile_model(model)
+        model = compile_model(
+            model,
+            quantize=quantize,
+            calibration=calibration if calibration is not None else x,
+        )
     compiled = model if isinstance(model, CompiledModel) else None
 
     batch = x.shape[0]

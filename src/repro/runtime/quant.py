@@ -1,0 +1,814 @@
+"""INT8 quantized execution: the paper's 8-bit storage format, run for real.
+
+Sections IV-E of the paper (and :mod:`repro.core.quantize` /
+:mod:`repro.arch.fixed_point` in this repo) describe weights stored at
+8-bit precision with integer multiply-accumulate. Until this module,
+every serving path dequantized those weights back to float before the
+GEMM, so quantization only ever bought *storage*, never runtime. This
+module closes that gap with two execution paths:
+
+- :class:`QuantizedBackend` — an engine-level
+  :class:`~repro.runtime.backends.ConvBackend` (name ``"quant"``,
+  explicit-opt-in only) that quantizes weights per call, dynamically
+  quantizes the activation batch, and runs the convolution as a GEMM on
+  integer codes. The reference/demo path: it makes
+  ``dispatch(..., backend="quant")`` and ``predict(model, x,
+  backend="quant")`` work on any model with zero setup.
+- :func:`quantize_pipeline` — the serving path.
+  ``compile_model(model, quantize="int8", calibration=batch)`` lowers
+  the model to float ops first, then this pass calibrates per-edge
+  activation scales from a small batch, converts eligible convolutions
+  to :class:`QuantConvOp` (int8 weight codes, SPM-aware so only the
+  non-zero sequences are quantized, bias folded in code space) and
+  keeps the whole conv trunk in int8 activation codes: each conv's
+  epilogue *requantizes* its output directly to the next layer's codes,
+  and max-pool/ReLU run on codes unchanged (both commute with a
+  positive per-tensor scale). Layers whose weight-quantization error
+  exceeds :attr:`QuantizationConfig.error_threshold` stay float, with
+  :class:`QuantizeOp`/:class:`DequantizeOp` boundaries inserted
+  automatically.
+
+**Arithmetic model.** Codes are held in float arrays and the GEMM runs
+through BLAS, but both operands are integer-valued (the weight codes
+and activation codes), so the accumulation is bit-identical to the
+int32 datapath of :func:`repro.arch.fixed_point.int8_mac` whenever the
+accumulator magnitude stays within float's exact-integer range — float64
+(the eager backend) is exact for every realisable int8 conv, float32
+(the compiled pipeline) to ~2^-24 relative, orders of magnitude below
+the int8 quantization error itself. :func:`int8_gemm_int32` provides
+the exact integer-dtype reference the tests compare against. This is
+the honest numpy rendering of the hardware story: int8 storage, integer
+operands, wide accumulation, scales folded in the epilogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from .arena import Arena
+from .backends import Epilogue
+from .compile import ConvOp, MaxPoolOp, ReluOp, _ExecState, _InferenceOp
+from .plan import ExecutionPlan, PlanCache
+
+__all__ = [
+    "QuantizationConfig",
+    "QuantizationReport",
+    "QuantizedBackend",
+    "QuantConvOp",
+    "QuantizeOp",
+    "DequantizeOp",
+    "quantize_weight_codes",
+    "quantize_encoded_values",
+    "int8_gemm_int32",
+    "quantize_pipeline",
+    "resolve_quantization",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Policy knobs for the int8 execution path.
+
+    Parameters
+    ----------
+    bits:
+        Weight/activation precision (symmetric signed); 8 is the
+        hardware format, anything >= 2 works.
+    granularity:
+        ``"per_kernel"`` gives every output filter its own weight scale
+        (one scale per GEMM output column — the finest granularity that
+        still folds into a per-column epilogue multiply);
+        ``"per_tensor"`` uses a single scale per layer.
+    mode:
+        ``"requantize"`` (default) keeps activations as int8 codes
+        between quantized convs — each conv's epilogue rounds straight
+        into the next layer's code space. ``"dequantize"`` returns every
+        conv output to float and re-quantizes at the next conv's input;
+        strictly more work, useful for isolating epilogue effects.
+    error_threshold:
+        Per-layer float fallback: a conv whose relative L2
+        weight-quantization error exceeds this stays float (boundaries
+        are inserted automatically).
+    calibration_images:
+        How many images of the calibration batch are actually used
+        (scales saturate quickly; keeping this small keeps
+        ``compile_model(quantize=...)`` cheap).
+    """
+
+    bits: int = 8
+    granularity: str = "per_kernel"
+    mode: str = "requantize"
+    error_threshold: float = 0.1
+    calibration_images: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError("need at least 2 bits for signed quantization")
+        if self.granularity not in ("per_kernel", "per_tensor"):
+            raise ValueError(
+                f"granularity must be 'per_kernel' or 'per_tensor', "
+                f"got {self.granularity!r}"
+            )
+        if self.mode not in ("requantize", "dequantize"):
+            raise ValueError(
+                f"mode must be 'requantize' or 'dequantize', got {self.mode!r}"
+            )
+        if not 0 <= self.error_threshold:
+            raise ValueError("error_threshold must be >= 0")
+        if self.calibration_images < 1:
+            raise ValueError("calibration_images must be >= 1")
+
+    @property
+    def qmax(self) -> int:
+        """Largest code magnitude: ``2^(bits-1) - 1`` (127 for int8)."""
+        return 2 ** (self.bits - 1) - 1
+
+
+def resolve_quantization(
+    quantize: Union[None, bool, str, int, QuantizationConfig]
+) -> Optional[QuantizationConfig]:
+    """Normalise the public ``quantize=`` argument to a config.
+
+    Accepts ``None``/``False`` (off), ``True`` or ``"int8"`` (defaults),
+    an integer bit width, or a full :class:`QuantizationConfig`.
+    """
+    if quantize is None or quantize is False:
+        return None
+    if isinstance(quantize, QuantizationConfig):
+        return quantize
+    if quantize is True:
+        return QuantizationConfig()
+    if isinstance(quantize, int):
+        return QuantizationConfig(bits=quantize)
+    if isinstance(quantize, str):
+        name = quantize.lower()
+        if name.startswith("int") and name[3:].isdigit():
+            return QuantizationConfig(bits=int(name[3:]))
+        raise ValueError(f"unknown quantization spec {quantize!r} (try 'int8')")
+    raise TypeError(f"cannot interpret quantize={quantize!r}")
+
+
+# ---------------------------------------------------------------------
+# Quantizers
+# ---------------------------------------------------------------------
+def _scales_from_peaks(peaks: np.ndarray, qmax: int) -> np.ndarray:
+    """Symmetric scales from absolute peaks (zero peak -> scale 1.0)."""
+    peaks = np.asarray(peaks, dtype=np.float64)
+    return np.where(peaks > 0, peaks / qmax, 1.0)
+
+
+def quantize_weight_codes(
+    w_mat: np.ndarray, config: QuantizationConfig
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Quantize a ``(C_out, K)`` weight matrix to integer codes.
+
+    Returns ``(codes, scales, error)`` with ``codes`` int-valued (stored
+    as int8 when ``bits <= 8``), ``scales`` of shape ``(C_out,)`` (one
+    per output kernel, or a broadcast single scale for per-tensor), and
+    ``error`` the *worst per-output-kernel* relative L2 reconstruction
+    error — the per-layer float fallback thresholds on this rather than
+    the whole-layer norm, because a whole-layer figure lets one huge
+    (exactly-represented) outlier mask every small weight that
+    underflowed to code zero.
+    """
+    w_mat = np.asarray(w_mat, dtype=np.float64)
+    qmax = config.qmax
+    if config.granularity == "per_kernel":
+        peaks = np.abs(w_mat).max(axis=1)
+    else:
+        peaks = np.full(w_mat.shape[0], np.abs(w_mat).max() if w_mat.size else 0.0)
+    scales = _scales_from_peaks(peaks, qmax)
+    codes = np.clip(np.round(w_mat / scales[:, None]), -qmax, qmax)
+    if config.bits <= 8:
+        codes = codes.astype(np.int8)
+    else:
+        codes = codes.astype(np.int32)
+    recon = codes.astype(np.float64) * scales[:, None]
+    row_norm = np.linalg.norm(w_mat, axis=1)
+    row_err = np.linalg.norm(w_mat - recon, axis=1)
+    rel = np.divide(row_err, row_norm, out=np.zeros_like(row_err), where=row_norm > 0)
+    error = float(rel.max()) if rel.size else 0.0
+    return codes, scales, error
+
+
+def quantize_encoded_values(
+    encoded, config: QuantizationConfig
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Quantize an SPM layer's non-zero sequences — never the dense tensor.
+
+    ``encoded.values`` is ``(kernels, n)`` in ``(filter, channel)``
+    row-major kernel order, so per-kernel granularity groups the
+    ``C_in`` rows of each output filter (all scatter into the same GEMM
+    column and therefore must share a scale). Returns
+    ``(value_codes, scales, error)`` with ``value_codes`` shaped like
+    ``encoded.values`` and ``scales`` of shape ``(C_out,)``.
+    """
+    c_out, c_in, _, _ = encoded.shape
+    values = np.asarray(encoded.values, dtype=np.float64)
+    per_filter = values.reshape(c_out, -1)
+    codes_f, scales, error = quantize_weight_codes(per_filter, config)
+    return codes_f.reshape(values.shape), scales, error
+
+
+def quantize_activation_codes(
+    x: np.ndarray, config: QuantizationConfig
+) -> Tuple[np.ndarray, float]:
+    """Dynamically quantize an activation array with one per-tensor scale."""
+    peak = float(np.abs(x).max()) if x.size else 0.0
+    scale = peak / config.qmax if peak > 0 else 1.0
+    codes = np.clip(np.round(x / scale), -config.qmax, config.qmax)
+    return codes, scale
+
+
+def int8_gemm_int32(a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+    """Exact integer-dtype reference GEMM: ``a_codes @ b_codes`` in int32.
+
+    ``np.matmul`` on integer dtypes bypasses BLAS and loops in C — far
+    too slow to serve with, which is exactly why the execution paths
+    carry codes in float arrays instead. Tests use this to prove the
+    float-carried accumulation is bit-identical to the int32 datapath.
+    """
+    return np.matmul(
+        np.asarray(a_codes, dtype=np.int32), np.asarray(b_codes, dtype=np.int32)
+    )
+
+
+# ---------------------------------------------------------------------
+# Eager engine backend
+# ---------------------------------------------------------------------
+class QuantizedBackend:
+    """Engine backend running convs as GEMMs on int8 codes (``"quant"``).
+
+    The zero-setup int8 path: weights (dense or SPM-decoded) are
+    quantized on every call with the configured granularity, the
+    activation batch is quantized dynamically with one per-tensor scale,
+    and the GEMM multiplies the two integer-code matrices with the scale
+    product folded back per output column afterwards — the epilogue
+    (bias/ReLU) then applies in float exactly like every other backend,
+    so outputs are drop-in comparable. Never auto-selected
+    (:func:`~repro.runtime.engine.select_backend` ignores it): per-call
+    weight quantization is reference-grade, not serving-grade — serving
+    uses ``compile_model(quantize=...)``, which quantizes once at
+    compile time.
+    """
+
+    name = "quant"
+
+    def __init__(self, config: Optional[QuantizationConfig] = None) -> None:
+        self.config = config or QuantizationConfig()
+
+    def supports(self, request) -> bool:
+        """Any dense-weight or SPM-encoded request can run quantized."""
+        return request.weight is not None or request.encoded is not None
+
+    def execute(
+        self,
+        request,
+        plan: ExecutionPlan,
+        workspace: Optional[dict] = None,
+        epilogue: Optional[Epilogue] = None,
+    ) -> np.ndarray:
+        """Quantize operands, run the code GEMM, fold scales, epilogue."""
+        from ..nn.functional import im2col
+
+        config = self.config
+        if request.weight is not None:
+            weight = request.weight
+        else:
+            weight = request.encoded.decoded_weight()
+        w_mat = weight.reshape(plan.out_channels, -1)
+        w_codes, w_scales, _ = quantize_weight_codes(w_mat, config)
+        x_codes, a_scale = quantize_activation_codes(request.x, config)
+        cols, _ = im2col(x_codes, plan.kernel, plan.stride, plan.padding)
+        # Integer codes carried in float64: BLAS dgemm accumulates every
+        # realisable int8 conv exactly (products < 2^15, sums < 2^53).
+        out = cols @ w_codes.T.astype(np.float64)
+        out *= w_scales[None, :] * a_scale
+        if epilogue is not None:
+            epilogue.apply(out)
+        return out
+
+
+# ---------------------------------------------------------------------
+# Compiled-pipeline ops
+# ---------------------------------------------------------------------
+@dataclass
+class QuantizeOp(_InferenceOp):
+    """Float activations -> int8 codes at a quantized-region entry."""
+
+    scale: float
+    qmax: int
+    tag: str
+
+    def run(self, x, state, backend):
+        """Scale, round and clip the activation into code space."""
+        out = state.arena.take(f"{self.tag}:out", x.shape, x.dtype)
+        np.multiply(x, 1.0 / self.scale, out=out)
+        np.rint(out, out=out)
+        np.clip(out, -self.qmax, self.qmax, out=out)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable op label for ``CompiledModel.describe``."""
+        return f"quantize(x{1.0 / self.scale:.3g})"
+
+
+@dataclass
+class DequantizeOp(_InferenceOp):
+    """Int8 codes -> float activations at a quantized-region exit."""
+
+    scale: float
+    tag: str
+
+    def run(self, x, state, backend):
+        """Multiply codes by their scale, back into float activations."""
+        out = state.arena.take(f"{self.tag}:out", x.shape, x.dtype)
+        np.multiply(x, self.scale, out=out)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable op label for ``CompiledModel.describe``."""
+        return f"dequantize(x{self.scale:.3g})"
+
+
+@dataclass
+class QuantConvOp(ConvOp):
+    """Channels-last convolution executed on int8 codes.
+
+    Subclasses :class:`~repro.runtime.compile.ConvOp` for its geometry
+    plumbing (plan lookup, slab sizing, padded-input reuse, halo
+    linking) and replaces the arithmetic: ``weight_t`` holds integer
+    weight codes (float-carried, bias folded in as an appended code-space
+    row against the column buffer's ones column), inputs are activation
+    codes at ``in_scale``, and the epilogue folds
+    ``w_scale * in_scale`` back per output column. With ``out_scale``
+    set the epilogue *requantizes* — rounds straight into the consumer's
+    code space, the clip's lower bound doubling as the fused ReLU — so
+    a chain of quantized convs never touches float activations; with
+    ``out_scale=None`` it dequantizes to float (region exit).
+
+    The int8 artifact (``codes_int8``, per-filter ``w_scale``, and for
+    SPM layers only the non-zero sequence codes) is what the op *owns*;
+    the float-carried GEMM operand is derived working state.
+    """
+
+    w_scale: Optional[np.ndarray] = None  # (1, C_out) float
+    in_scale: float = 1.0
+    out_scale: Optional[float] = None  # None -> dequantize epilogue
+    qmax: int = 127
+    codes_int8: Optional[np.ndarray] = None  # storage-format weight codes
+    bias_q: Optional[np.ndarray] = None  # (1, C_out) bias in code space (gather path)
+    _mult_cache: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def _multiplier(self, dtype) -> np.ndarray:
+        """Per-column scale folding the int32-style accumulator back."""
+        if self._mult_cache is None or self._mult_cache.dtype != dtype:
+            mult = self.w_scale * self.in_scale
+            if self.out_scale is not None:
+                mult = mult / self.out_scale
+            self._mult_cache = mult.astype(dtype)
+        return self._mult_cache
+
+    def _fold_and_clip(self, mat: np.ndarray) -> None:
+        """Fold scales in place; clip into code space when requantizing.
+
+        Clip-then-round equals round-then-clip here because the clip
+        bounds are integers, so callers can run the final rounding pass
+        separately — straight into a hand-off destination if they have
+        one. The clip's lower bound doubles as the fused ReLU.
+        """
+        mat *= self._multiplier(mat.dtype)
+        if self.out_scale is not None:
+            np.clip(mat, 0.0 if self.relu else -self.qmax, self.qmax, out=mat)
+
+    def _requant(self, mat: np.ndarray) -> np.ndarray:
+        """Slab-path epilogue: fold scales, then round (or ReLU) in place."""
+        self._fold_and_clip(mat)
+        if self.out_scale is not None:
+            np.rint(mat, out=mat)
+        elif self.relu:
+            np.maximum(mat, 0.0, out=mat)
+        return mat
+
+    def _finish(self, out4: np.ndarray, arena: Arena) -> np.ndarray:
+        """Monolithic-path epilogue: requantize + consumer hand-off.
+
+        Same arithmetic as :meth:`_requant`, but with a halo consumer
+        the final pass (rounding, or the dequant ReLU) writes directly
+        into the consumer's padded-buffer interior, so the hand-off
+        costs no extra copy.
+        """
+        interior = None
+        if self.halo is not None:
+            consumer_tag, p = self.halo
+            n, oh, ow, c = out4.shape
+            buffer = arena.take_filled(
+                f"{consumer_tag}:pad", (n, oh + 2 * p, ow + 2 * p, c), out4.dtype, 0.0
+            )
+            interior = buffer[:, p : p + oh, p : p + ow, :]
+        self._fold_and_clip(out4)
+        if self.out_scale is not None:
+            dest = interior if interior is not None else out4
+            np.rint(out4, out=dest)
+            return dest
+        if interior is not None:
+            if self.relu:
+                np.maximum(out4, 0.0, out=interior)
+            else:
+                np.copyto(interior, out4)
+            return interior
+        if self.relu:
+            np.maximum(out4, 0.0, out=out4)
+        return out4
+
+    def run(self, x, state, backend):
+        """Execute on activation codes (no engine backend overrides —
+        the quantized lowering is the backend)."""
+        if backend or self.backend:
+            raise ValueError(
+                "quantized compiled pipelines do not support conv backend "
+                "overrides; compile without quantize= to force a backend"
+            )
+        if self.use_gather:
+            return self._run_gather_q(x, state)
+        return self._run_dense_q(x, state)
+
+    def _run_dense_q(self, x, state):
+        from ..nn.functional import im2col_nhwc
+
+        arena = state.arena
+        plan = self._plan(x, state)
+        n = plan.batch
+        kh, kw = self.kernel
+        oh, ow = plan.out_hw
+        k = kh * kw * self.c_in
+        gemm_dtype = np.result_type(x.dtype, self.weight_t.dtype)
+        xp = self._padded_input(x, arena)
+        out = arena.take(f"{self.tag}:out", (n, oh, ow, self.c_out), gemm_dtype)
+        rows = self._slab_rows(plan, n * ow * (k + self.bias_rows), x.dtype.itemsize)
+        if rows >= oh:
+            cols = arena.take_filled(
+                f"{self.tag}:cols", (n * oh * ow, k + self.bias_rows), x.dtype, 1.0
+            )
+            im2col_nhwc(xp, self.kernel, self.stride, out=cols[:, :k])
+            out_mat = out.reshape(n * oh * ow, self.c_out)
+            np.matmul(cols, self.weight_t, out=out_mat)
+            return self._finish(out, arena)
+        for r0 in range(0, oh, rows):
+            r1 = min(r0 + rows, oh)
+            x_slab = xp[:, r0 * self.stride : (r1 - 1) * self.stride + kh, :, :]
+            cols = arena.take_filled(
+                f"{self.tag}:cols",
+                (n * (r1 - r0) * ow, k + self.bias_rows),
+                x.dtype,
+                1.0,
+            )
+            im2col_nhwc(x_slab, self.kernel, self.stride, out=cols[:, :k])
+            tile = arena.take(f"{self.tag}:tile", (len(cols), self.c_out), gemm_dtype)
+            np.matmul(cols, self.weight_t, out=tile)
+            self._requant(tile)
+            out[:, r0:r1] = tile.reshape(n, r1 - r0, ow, self.c_out)
+        return out
+
+    def _run_gather_q(self, x, state):
+        from ..nn.functional import im2col_nhwc
+
+        arena = state.arena
+        plan = self._plan(x, state)
+        n = plan.batch
+        kh, kw = self.kernel
+        k2 = kh * kw
+        oh, ow = plan.out_hw
+        # self.encoded carries the CODE values, so the memoized gather
+        # plan / grouped matrix machinery serves the int8 path untouched.
+        gather = self.encoded.gather_plan()
+        grouped = self.encoded.grouped_weight_matrix()
+        gemm_dtype = np.result_type(x.dtype, grouped.dtype)
+        xp = self._padded_input(x, arena)
+        out = arena.take(f"{self.tag}:out", (n, oh, ow, self.c_out), gemm_dtype)
+        per_row = n * ow * max(k2 * self.c_in, grouped.shape[0])
+        rows = self._slab_rows(plan, per_row, x.dtype.itemsize)
+        for r0 in range(0, oh, rows):
+            r1 = min(r0 + rows, oh)
+            x_slab = xp[:, r0 * self.stride : (r1 - 1) * self.stride + kh, :, :]
+            cols, _ = im2col_nhwc(
+                x_slab,
+                self.kernel,
+                self.stride,
+                out=arena.take(
+                    f"{self.tag}:cols", (n * (r1 - r0) * ow, k2 * self.c_in), x.dtype
+                ),
+            )
+            cols_r = cols.reshape(-1, k2, self.c_in)
+            gathered = cols_r[:, gather.positions_by_code, :]
+            a_mat = gathered.transpose(0, 1, 3, 2).reshape(len(cols_r), -1)
+            tile = a_mat @ grouped
+            if self.bias_q is not None:
+                tile += self.bias_q.astype(tile.dtype, copy=False)
+            self._requant(tile)
+            out[:, r0:r1] = tile.reshape(n, r1 - r0, ow, self.c_out)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable op label, e.g. ``qconv+bias+relu->int8``."""
+        kind = "spm-qconv" if self.encoded is not None else "qconv"
+        dest = "float" if self.out_scale is None else f"int{_bits_of(self.qmax)}"
+        fused = []
+        if self.bias_rows or self.bias_q is not None:
+            fused.append("bias")
+        if self.relu:
+            fused.append("relu")
+        return f"{kind}" + (f"+{'+'.join(fused)}" if fused else "") + f"->{dest}"
+
+
+def _bits_of(qmax: int) -> int:
+    """Bit width whose symmetric signed range ends at ``qmax``."""
+    return int(qmax + 1).bit_length()
+
+
+# ---------------------------------------------------------------------
+# The compile-time quantization pass
+# ---------------------------------------------------------------------
+@dataclass
+class QuantizationReport:
+    """What the quantization pass did to one compiled pipeline."""
+
+    bits: int
+    granularity: str
+    mode: str
+    error_threshold: float
+    layers: List[dict] = field(default_factory=list)
+
+    @property
+    def quantized_layers(self) -> int:
+        """How many convs execute on int8 codes."""
+        return sum(1 for row in self.layers if row["quantized"])
+
+    @property
+    def fallback_layers(self) -> int:
+        """How many convs stayed float (error threshold or policy)."""
+        return sum(1 for row in self.layers if not row["quantized"])
+
+    def describe(self) -> str:
+        """One line per conv: quantized or why not."""
+        lines = [
+            f"int{self.bits} {self.granularity} ({self.mode}), "
+            f"{self.quantized_layers} quantized / {self.fallback_layers} float"
+        ]
+        for row in self.layers:
+            status = "int8" if row["quantized"] else f"float ({row['reason']})"
+            lines.append(f"  {row['tag']}: {status}, w_err={row['error']:.4f}")
+        return "\n".join(lines)
+
+
+#: Ops that commute with a positive per-tensor activation scale, so int8
+#: codes flow through them unchanged: max-pool (max of codes is the code
+#: of the max) and ReLU (clipping codes at zero).
+_SCALE_TRANSPARENT = (MaxPoolOp, ReluOp)
+
+
+def _calibrate_edges(
+    ops: List[_InferenceOp], x: np.ndarray, dtype
+) -> List[float]:
+    """Run one float forward, recording each inter-op edge's |x| peak.
+
+    ``edge[i]`` is the absolute peak of the activation flowing *into*
+    ``ops[i]`` (so a conv at position ``i`` reads its input range at
+    ``edge[i]`` and its output range at ``edge[i + 1]``).
+    """
+    state = _ExecState(arena=Arena(), plans=PlanCache())
+    if dtype is not None and x.dtype != np.dtype(dtype):
+        x = x.astype(dtype)
+    edges: List[float] = []
+    cur = x
+    for op in ops:
+        edges.append(float(np.abs(cur).max()) if cur.size else 0.0)
+        cur = op.run(cur, state, None)
+    edges.append(float(np.abs(cur).max()) if cur.size else 0.0)
+    return edges
+
+
+@dataclass
+class _LayerQuant:
+    """One conv's eligibility verdict plus its (reused) weight codes."""
+
+    ok: bool
+    reason: str
+    error: float
+    codes: Optional[np.ndarray] = None  # weight or SPM-value codes
+    scales: Optional[np.ndarray] = None  # (C_out,)
+
+
+def _assess(op: _InferenceOp, config: QuantizationConfig) -> _LayerQuant:
+    """Quantize a conv's weights once: eligibility verdict + the codes.
+
+    The codes/scales computed for the error check are the same ones the
+    lowering needs, so they ride along instead of being recomputed.
+    """
+    if not isinstance(op, ConvOp) or isinstance(op, QuantConvOp):
+        return _LayerQuant(False, "not a conv", 0.0)
+    if op.backend is not None:
+        return _LayerQuant(False, "forced backend", 0.0)
+    if op.encoded is not None:
+        codes, scales, error = quantize_encoded_values(op.encoded, config)
+    else:
+        k = op.weight_t.shape[0] - op.bias_rows
+        codes, scales, error = quantize_weight_codes(op.weight_t[:k].T, config)
+    if error > config.error_threshold:
+        return _LayerQuant(
+            False, f"weight error {error:.4f} > {config.error_threshold}", error
+        )
+    return _LayerQuant(True, "", error, codes=codes, scales=scales)
+
+
+def _quantize_conv(
+    op: ConvOp,
+    config: QuantizationConfig,
+    quant: _LayerQuant,
+    in_scale: float,
+    out_scale: Optional[float],
+    dtype,
+) -> QuantConvOp:
+    """Build the :class:`QuantConvOp` replacing a float :class:`ConvOp`.
+
+    ``quant`` carries the weight codes/scales already computed by
+    :func:`_assess`, so the weights are quantized exactly once.
+    """
+    carry = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+    scales = quant.scales
+    if op.encoded is not None:
+        from ..core.spm import EncodedLayer
+
+        value_codes = quant.codes
+        # Re-wrap the CODES as an EncodedLayer: the memoized gather plan
+        # and grouped/decoded matrices then serve the int8 path, and the
+        # dense float weight tensor is never materialised.
+        q_encoded = EncodedLayer(
+            codes=op.encoded.codes,
+            values=value_codes.astype(carry),
+            codebook=op.encoded.codebook,
+            shape=op.encoded.shape,
+        )
+        bias = op.epilogue.bias
+        if op.use_gather:
+            weight_t = None
+            bias_rows = 0
+            bias_q = None
+            if bias is not None:
+                bias_q = (bias / (scales * in_scale)).astype(carry)[None, :]
+            codes_store = value_codes.astype(np.int8 if config.bits <= 8 else np.int32)
+        else:
+            decoded_codes = (
+                q_encoded.decoded_weight()
+                .transpose(0, 2, 3, 1)
+                .reshape(op.c_out, -1)
+                .T
+            )
+            weight_t = np.ascontiguousarray(decoded_codes, dtype=carry)
+            bias_rows = 0
+            bias_q = None
+            if bias is not None:
+                row = (bias / (scales * in_scale)).astype(carry)[None, :]
+                weight_t = np.ascontiguousarray(np.vstack([weight_t, row]))
+                bias_rows = 1
+            codes_store = None  # SPM artifact is the value codes on q_encoded
+        encoded = q_encoded
+    else:
+        codes = quant.codes
+        weight_t = np.ascontiguousarray(codes.T, dtype=carry)
+        bias_rows = 0
+        bias_q = None
+        bias = op.epilogue.bias
+        if bias is not None:
+            # Bias rides in the GEMM as a code-space row (real bias
+            # divided by the column's fold-back scale) against the
+            # column buffer's ones column, exactly like the float path.
+            row = (bias / (scales * in_scale)).astype(carry)[None, :]
+            weight_t = np.ascontiguousarray(np.vstack([weight_t, row]))
+            bias_rows = 1
+        encoded = None
+        codes_store = codes
+    return QuantConvOp(
+        weight_t=weight_t,
+        bias_rows=bias_rows,
+        encoded=encoded,
+        use_gather=op.use_gather,
+        epilogue=op.epilogue,
+        relu=op.relu,
+        stride=op.stride,
+        padding=op.padding,
+        backend=None,
+        kernel=op.kernel,
+        c_in=op.c_in,
+        c_out=op.c_out,
+        tag=op.tag,
+        w_scale=np.asarray(scales, dtype=np.float64)[None, :],
+        in_scale=in_scale,
+        out_scale=out_scale,
+        qmax=config.qmax,
+        codes_int8=codes_store,
+        bias_q=bias_q,
+    )
+
+
+def quantize_pipeline(
+    ops: List[_InferenceOp],
+    dtype,
+    calibration: np.ndarray,
+    config: QuantizationConfig,
+) -> Tuple[List[_InferenceOp], QuantizationReport]:
+    """Rewrite a lowered float op list into its int8 execution form.
+
+    Runs the calibration batch through the float ops once to record
+    per-edge activation peaks, then walks the top-level op list tracking
+    the activation domain (float vs codes): eligible convs become
+    :class:`QuantConvOp` (requantizing straight to the next conv's code
+    space in ``"requantize"`` mode), scale-transparent ops (max-pool,
+    ReLU) pass codes through unchanged, and everything else — linears,
+    average pools, residual blocks, module fallbacks, error-threshold
+    fallbacks — gets :class:`QuantizeOp`/:class:`DequantizeOp`
+    boundaries inserted around it. Returns the new op list and a
+    :class:`QuantizationReport`.
+    """
+    calibration = np.asarray(calibration)
+    if calibration.ndim != 4 or calibration.shape[0] == 0:
+        raise ValueError(
+            "quantize= needs a non-empty (N, C, H, W) calibration batch "
+            "to derive activation scales from"
+        )
+    calibration = calibration[: config.calibration_images]
+    edges = _calibrate_edges(ops, calibration, dtype)
+    qmax = config.qmax
+
+    assessed = {}
+    report = QuantizationReport(
+        bits=config.bits,
+        granularity=config.granularity,
+        mode=config.mode,
+        error_threshold=config.error_threshold,
+    )
+    for i, op in enumerate(ops):
+        if isinstance(op, ConvOp):
+            quant = _assess(op, config)
+            assessed[i] = quant
+            report.layers.append(
+                {
+                    "tag": op.tag,
+                    "quantized": quant.ok,
+                    "reason": quant.reason,
+                    "error": quant.error,
+                }
+            )
+
+    def scale_at(i: int) -> float:
+        peak = edges[i]
+        return peak / qmax if peak > 0 else 1.0
+
+    def next_is_quant_conv(i: int) -> bool:
+        j = i + 1
+        while j < len(ops) and isinstance(ops[j], _SCALE_TRANSPARENT):
+            j += 1
+        return j < len(ops) and j in assessed and assessed[j].ok
+
+    new_ops: List[_InferenceOp] = []
+    domain_scale: Optional[float] = None  # None -> float domain
+    boundary = 0
+    for i, op in enumerate(ops):
+        if i in assessed and assessed[i].ok:
+            if domain_scale is None:
+                in_scale = scale_at(i)
+                new_ops.append(
+                    QuantizeOp(scale=in_scale, qmax=qmax, tag=f"q{boundary}")
+                )
+                boundary += 1
+            else:
+                in_scale = domain_scale
+            requant = config.mode == "requantize" and next_is_quant_conv(i)
+            out_scale = scale_at(i + 1) if requant else None
+            new_ops.append(
+                _quantize_conv(op, config, assessed[i], in_scale, out_scale, dtype)
+            )
+            domain_scale = out_scale
+            continue
+        if isinstance(op, _SCALE_TRANSPARENT) and domain_scale is not None:
+            new_ops.append(op)  # codes flow through unchanged
+            continue
+        if domain_scale is not None:
+            # Leaving the quantized region (requantize-mode tails only
+            # reach here if a transparent op trails the last conv).
+            new_ops.append(
+                DequantizeOp(scale=domain_scale, tag=f"q{boundary}")
+            )
+            boundary += 1
+            domain_scale = None
+        new_ops.append(op)
+    if domain_scale is not None:
+        new_ops.append(DequantizeOp(scale=domain_scale, tag=f"q{boundary}"))
+    return new_ops, report
+
+
+# Registration lives in backends.py (bottom-of-module import) so the
+# registry is complete for anyone importing repro.runtime.backends alone.

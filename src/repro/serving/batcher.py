@@ -110,9 +110,11 @@ class Batcher:
     # -- lifecycle -----------------------------------------------------
     @property
     def running(self) -> bool:
+        """Whether the coalescing worker thread is alive."""
         return self._worker is not None and self._worker.is_alive()
 
     def start(self) -> "Batcher":
+        """Start the coalescing worker (idempotent); returns self."""
         with self._lock:
             if self.running:
                 return self

@@ -141,6 +141,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
 
     @property
     def url(self) -> str:
+        """``http://host:port`` of the bound socket (ephemeral-safe)."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 

@@ -5,10 +5,11 @@ and "requests get answers": it loads models by registry name (optionally
 PCNN-pruning them first) or from a :class:`~repro.core.deploy.DeploymentBundle`
 ``.npz`` (whose :meth:`restore_into` installs weights, masks *and* SPM
 encodings, so pruned convs serve through the pattern path), compiles each
-model once (:func:`~repro.runtime.compile_model`), warms plans and arena
-buffers for every batch bucket before traffic arrives, and runs one
-dynamic :class:`~repro.serving.batcher.Batcher` per model that flushes
-into ``runtime.predict(compiled, workers=N)``.
+model once (:func:`~repro.runtime.compile_model`, optionally to the int8
+execution path via ``quantize=``), warms plans and arena buffers for
+every batch bucket before traffic arrives, and runs one dynamic
+:class:`~repro.serving.batcher.Batcher` per model that flushes into
+``runtime.predict(compiled, workers=N)``.
 """
 
 from __future__ import annotations
@@ -47,6 +48,7 @@ class ServedModel:
         return self.compiled if self.compiled is not None else self.model
 
     def validate(self, x: np.ndarray) -> np.ndarray:
+        """Coerce one image to float64 and check it matches input_shape."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != self.input_shape:
             raise ValueError(
@@ -80,6 +82,12 @@ class ModelServer:
         Lower each model with :func:`runtime.compile_model` at load time
         (``False`` serves the eager module graph — mainly for tests and
         bit-exact float64 comparisons).
+    quantize:
+        Compile every loaded model to the int8 execution path
+        (:mod:`repro.runtime.quant`): ``"int8"``, a bit width, or a
+        :class:`~repro.runtime.QuantizationConfig`. Activation scales
+        calibrate on a deterministic synthetic batch unless the loader
+        is given a real ``calibration=`` batch. Requires ``compile``.
     """
 
     def __init__(
@@ -89,17 +97,32 @@ class ModelServer:
         max_batch: int = 32,
         max_latency_ms: float = 2.0,
         compile: bool = True,
+        quantize=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if quantize is not None and not compile:
+            raise ValueError("quantize= requires the compiled pipeline (compile=True)")
         self.workers = workers
         self.max_batch = max_batch
         self.max_latency_ms = max_latency_ms
         self.compile = compile
+        self.quantize = quantize
         self.models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
 
     # -- loading -------------------------------------------------------
+    def _calibration_batch(self, input_shape: Tuple[int, int, int]) -> np.ndarray:
+        """Deterministic synthetic batch for int8 activation calibration.
+
+        Serving real traffic, pass a real ``calibration=`` batch to the
+        loader instead — synthetic normal images bound activation ranges
+        well enough for randomly-initialised reproduction models, but
+        say nothing about a trained model's real input distribution.
+        """
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(8,) + tuple(input_shape))
+
     def add_model(
         self,
         name: str,
@@ -108,15 +131,34 @@ class ModelServer:
         *,
         source: str = "custom",
         meta: Optional[dict] = None,
+        calibration: Optional[np.ndarray] = None,
     ) -> ServedModel:
-        """Register an already-built model under ``name``."""
+        """Register an already-built model under ``name``.
+
+        ``calibration`` (only meaningful with the server's ``quantize=``)
+        overrides the synthetic activation-calibration batch.
+        """
         with self._lock:
             if name in self.models:
                 raise KeyError(f"model {name!r} is already registered")
-            compiled = runtime.compile_model(model) if self.compile else None
+            compiled = None
+            if self.compile:
+                if self.quantize is not None and calibration is None:
+                    calibration = self._calibration_batch(input_shape)
+                compiled = runtime.compile_model(
+                    model, quantize=self.quantize, calibration=calibration
+                )
             stats = ServerStats()
             target = compiled if compiled is not None else model
             runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
+            served_meta = dict(meta or {})
+            if compiled is not None and compiled.quantization is not None:
+                report = compiled.quantization
+                served_meta.update(
+                    quantized=f"int{report.bits}",
+                    quantized_layers=report.quantized_layers,
+                    fallback_layers=report.fallback_layers,
+                )
             served = ServedModel(
                 name=name,
                 model=model,
@@ -130,7 +172,7 @@ class ModelServer:
                 ),
                 stats=stats,
                 source=source,
-                meta=dict(meta or {}),
+                meta=served_meta,
             )
             self.models[name] = served
             return served
@@ -143,12 +185,15 @@ class ModelServer:
         n: Optional[int] = None,
         patterns: Optional[int] = None,
         seed: int = 0,
+        calibration: Optional[np.ndarray] = None,
     ) -> ServedModel:
         """Load a registered model, optionally PCNN-pruned before serving.
 
         With ``n`` given, the model is pruned (``PCNNPruner``) and the
         SPM encodings are attached, so its convs serve from pattern
         storage exactly as a bundle-restored model would.
+        ``calibration`` feeds int8 activation calibration when the
+        server was built with ``quantize=``.
         """
         from ..core import PCNNConfig, PCNNPruner
         from ..models import profile_model
@@ -172,6 +217,7 @@ class ModelServer:
             model_input_shape(model_name),
             source="registry",
             meta=meta,
+            calibration=calibration,
         )
 
     def load_bundle(
@@ -181,6 +227,7 @@ class ModelServer:
         *,
         name: Optional[str] = None,
         seed: int = 0,
+        calibration: Optional[np.ndarray] = None,
     ) -> ServedModel:
         """Serve a :class:`DeploymentBundle` ``.npz`` on a registry model.
 
@@ -188,6 +235,11 @@ class ModelServer:
         pruned weights, masks and SPM encodings into a freshly built
         model, so the compiled pipeline lowers the pruned convs from
         their encodings (pattern serving) rather than dense weights.
+        With the server's ``quantize=`` set, an 8-bit bundle serves int8
+        end to end: the quantization pass re-quantizes the encoding's
+        non-zero sequences directly (``(kernels, n)`` values, per output
+        filter), so the dense float weight tensor is never materialised
+        between bundle storage and the int8 GEMM operand.
         """
         model = create_model(model_name, rng=np.random.default_rng(seed))
         bundle = DeploymentBundle.load(bundle_path)
@@ -202,7 +254,11 @@ class ModelServer:
                 "bundle": bundle_path,
                 "layers": len(bundle.layers),
                 "storage_bits": bundle.storage_bits(),
+                "bundle_weight_bits": sorted(
+                    {layer.weight_bits for layer in bundle.layers.values()}
+                ),
             },
+            calibration=calibration,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -232,11 +288,13 @@ class ModelServer:
                 served.batcher.runner(x)
 
     def start(self) -> "ModelServer":
+        """Start every model's batcher worker; returns self."""
         for served in self.models.values():
             served.batcher.start()
         return self
 
     def stop(self) -> None:
+        """Stop every batcher, draining queued requests first."""
         for served in self.models.values():
             served.batcher.stop()
 

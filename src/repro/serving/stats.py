@@ -59,6 +59,7 @@ class ServerStats:
             self._completions.append(time.perf_counter())
 
     def record_error(self, count: int = 1) -> None:
+        """Count ``count`` failed requests (runner raised or rejected)."""
         with self._lock:
             self.errors += count
 

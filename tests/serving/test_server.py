@@ -167,3 +167,65 @@ class TestEndToEndAcceptance:
         assert sum(stats.batch_histogram.values()) < 64
         percentiles = stats.latency_percentiles()
         assert percentiles["p50_ms"] <= percentiles["p99_ms"]
+
+
+class TestQuantizedServing:
+    def test_quantized_bundle_serves_int8_end_to_end(self, tmp_path):
+        """ISSUE 4 acceptance path: an 8-bit deployment bundle loads into
+        a ModelServer(quantize=...), compiles to QuantConvOps (no dense
+        float weights between bundle storage and the GEMM operand), and
+        serves concurrent traffic that matches float predict() within
+        the quantization error budget with full top-1 agreement."""
+        from repro.models import create_model
+        from repro.core.deploy import DeploymentBundle
+        from repro.runtime.quant import QuantConvOp
+
+        model = patternnet(rng=np.random.default_rng(21))
+        pruner = PCNNPruner(model, PCNNConfig.uniform(2, 3, num_patterns=4))
+        pruner.apply()
+        bundle = bundle_from_pruner(pruner, quantize_bits=8)
+        assert bundle.quantized
+        path = str(tmp_path / "int8.npz")
+        bundle.save(path)
+
+        server = ModelServer(max_batch=16, max_latency_ms=25.0, quantize="int8")
+        served = server.load_bundle(path, "patternnet", name="q")
+        assert served.meta["quantized"] == "int8"
+        assert served.meta["quantized_layers"] == 3
+        assert served.meta["bundle_weight_bits"] == [8]
+        qconvs = [op for op in served.compiled.ops if isinstance(op, QuantConvOp)]
+        assert len(qconvs) == 3
+        # SPM-aware storage: the op's artifact is the encoded (kernels, n)
+        # code values, not a dense tensor.
+        assert all(op.encoded is not None for op in qconvs)
+
+        server.warmup()
+        rng = np.random.default_rng(22)
+        images = rng.normal(size=(48, 3, 16, 16))
+        reference_model = create_model("patternnet", rng=np.random.default_rng(0))
+        DeploymentBundle.load(path).restore_into(reference_model)
+        reference = runtime.predict(reference_model, images)
+
+        with server:
+            futures = [server.submit(images[i], "q") for i in range(48)]
+            outputs = np.stack([f.result(timeout=60) for f in futures])
+
+        rel = np.linalg.norm(outputs - reference) / np.linalg.norm(reference)
+        assert rel < 0.05, rel
+        agree = (outputs.argmax(axis=1) == reference.argmax(axis=1)).mean()
+        assert agree >= 0.99
+        assert served.stats.requests == 48
+
+    def test_quantize_requires_compile(self):
+        with pytest.raises(ValueError, match="compile"):
+            ModelServer(compile=False, quantize="int8")
+
+    def test_registry_quantized_meta_and_stats_roundtrip(self):
+        server = ModelServer(max_batch=4, max_latency_ms=1.0, quantize="int8")
+        served = server.load_registry("patternnet", n=2, patterns=4)
+        assert served.meta["quantized"] == "int8"
+        assert served.describe()["quantized"] == "int8"
+        x = np.random.default_rng(23).normal(size=(3, 16, 16))
+        with server:
+            out = server.predict(x)
+        assert out.shape == (10,)

@@ -1,0 +1,78 @@
+"""Pydocstyle-lite: the public runtime/serving API must stay documented.
+
+Walks every module under ``repro.runtime`` and ``repro.serving`` and
+asserts that (a) the module has a docstring, (b) every ``__all__``
+symbol has a real docstring (not a one-word stub), and (c) every public
+method/property *defined on* an ``__all__`` class is documented too.
+PR 2-3 grew these packages quickly and several additions shipped with
+thin or stale docs; this check is what keeps the next growth spurt
+honest. Scoped to the serving-facing packages on purpose — the research
+code under core/arch documents itself against the paper instead.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+#: Packages whose public API the docstring contract covers.
+PACKAGES = ["repro.runtime", "repro.serving"]
+
+#: Shortest acceptable docstring — long enough to force a sentence.
+MIN_LENGTH = 20
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package_name, package
+        for info in pkgutil.iter_modules(package.__path__):
+            name = f"{package_name}.{info.name}"
+            yield name, importlib.import_module(name)
+
+
+MODULES = dict(_iter_modules())
+
+
+def _docstring_problems(qualname, obj):
+    doc = inspect.getdoc(obj)
+    if not doc or len(doc.strip()) < MIN_LENGTH:
+        return [f"{qualname}: missing or stub docstring"]
+    return []
+
+
+def _public_members(cls):
+    """Callables and properties defined on the class itself (not bases,
+    not dunders, not private helpers)."""
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            yield name, member.fget
+        elif inspect.isfunction(member):
+            yield name, member
+        elif isinstance(member, (classmethod, staticmethod)):
+            yield name, member.__func__
+
+
+@pytest.mark.parametrize("module_name", sorted(MODULES))
+def test_module_docstring(module_name):
+    assert _docstring_problems(module_name, MODULES[module_name]) == []
+
+
+@pytest.mark.parametrize("module_name", sorted(MODULES))
+def test_public_api_docstrings(module_name):
+    module = MODULES[module_name]
+    problems = []
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if not (inspect.isclass(obj) or callable(obj)):
+            continue  # module-level constants document themselves inline
+        problems += _docstring_problems(f"{module_name}.{symbol}", obj)
+        if inspect.isclass(obj):
+            for name, member in _public_members(obj):
+                problems += _docstring_problems(
+                    f"{module_name}.{symbol}.{name}", member
+                )
+    assert problems == [], "\n".join(problems)
