@@ -1,0 +1,182 @@
+"""Benchmark-regression guard for CI.
+
+Compares freshly generated benchmark records (``benchmarks/common.py
+--smoke`` writes ``BENCH_runtime.json`` / ``BENCH_serving.json`` /
+``BENCH_quant.json`` into the working tree) against the baselines
+committed in git, and fails when a tracked throughput figure drops more
+than the allowed fraction.
+
+Policy:
+
+- ``BENCH_runtime.json`` — **hard fail** when any config's compiled
+  (or tuned/static-compiled) images/sec drops > 25% below baseline.
+  This is the repo's headline serving number; CI-runner noise is
+  absorbed by the slack, a structural regression is not. Absolute
+  images/sec only transfer between like machines, so when the records'
+  ``cpu_count`` fields differ the absolute metrics downgrade to
+  warnings and the machine-invariant *ratio* metrics (compiled/eager,
+  tuned/static speedups — same-run, same-host by construction) carry
+  the hard-fail alone.
+- ``BENCH_serving.json`` / ``BENCH_quant.json`` — **warn only**: the
+  dynamic-batching and int8 records depend on thread scheduling and are
+  noisier; a drop prints a loud warning without failing the build.
+
+Usage::
+
+    cp BENCH_*.json /tmp/bench-baseline/      # before regenerating
+    python benchmarks/common.py --smoke       # writes fresh records
+    python scripts/bench_guard.py --baseline-dir /tmp/bench-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+#: Allowed fractional drop before a tracked metric counts as regressed.
+DEFAULT_TOLERANCE = 0.25
+
+#: Per-file policy: metric paths to compare and whether a drop fails CI.
+#: Paths are dotted, with ``*`` matching every key at that level.
+#: ``same_machine_only`` metrics are absolute throughputs — they hard-
+#: fail only when baseline and fresh record agree on ``cpu_count``
+#: (otherwise they downgrade to warnings); ``metrics`` entries are
+#: within-run ratios and compare across machines.
+TRACKED = {
+    "BENCH_runtime.json": {
+        "hard_fail": True,
+        "metrics": [
+            "configs.*.speedup_compiled_vs_eager",
+            "configs.*.speedup_tuned_vs_static",
+        ],
+        "same_machine_only": [
+            "configs.*.compiled_images_per_sec",
+            "configs.*.tuned_images_per_sec",
+            "configs.*.static_images_per_sec",
+        ],
+    },
+    "BENCH_serving.json": {
+        "hard_fail": False,
+        "metrics": ["configs.*.requests_per_sec"],
+    },
+    "BENCH_quant.json": {
+        "hard_fail": False,
+        "metrics": ["float32_images_per_sec", "int8_images_per_sec"],
+    },
+}
+
+
+def _resolve(record: dict, path: str) -> Iterator[Tuple[str, float]]:
+    """Yield ``(concrete_path, value)`` for a dotted path with ``*``."""
+    parts = path.split(".")
+
+    def walk(node, parts: List[str], trail: List[str]):
+        if not parts:
+            if isinstance(node, (int, float)):
+                yield ".".join(trail), float(node)
+            return
+        head, rest = parts[0], parts[1:]
+        if head == "*":
+            if isinstance(node, dict):
+                for key, child in node.items():
+                    yield from walk(child, rest, trail + [key])
+        elif isinstance(node, dict) and head in node:
+            yield from walk(node[head], rest, trail + [head])
+
+    yield from walk(record, parts, [])
+
+
+def compare(
+    baseline: dict, fresh: dict, metrics: List[str], tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Return (regressions, notes) comparing tracked metrics."""
+    regressions, notes = [], []
+    fresh_values: Dict[str, float] = {}
+    for metric in metrics:
+        fresh_values.update(dict(_resolve(fresh, metric)))
+    for metric in metrics:
+        for path, base_value in _resolve(baseline, metric):
+            new_value = fresh_values.get(path)
+            if new_value is None:
+                notes.append(f"{path}: present in baseline, missing fresh")
+                continue
+            if base_value <= 0:
+                continue
+            ratio = new_value / base_value
+            line = f"{path}: {base_value:.2f} -> {new_value:.2f} ({ratio:.2f}x)"
+            if ratio < 1.0 - tolerance:
+                regressions.append(line)
+            else:
+                notes.append(line)
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", required=True, help="directory holding the committed records"
+    )
+    parser.add_argument(
+        "--fresh-dir", default=".", help="directory holding the regenerated records"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for name, policy in TRACKED.items():
+        base_path = os.path.join(args.baseline_dir, name)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(base_path):
+            print(f"[bench-guard] {name}: no baseline, skipping")
+            continue
+        if not os.path.exists(fresh_path):
+            print(f"[bench-guard] {name}: no fresh record, skipping")
+            continue
+        with open(base_path) as fh:
+            baseline = json.load(fh)
+        with open(fresh_path) as fh:
+            fresh = json.load(fh)
+        same_machine = baseline.get("cpu_count") == fresh.get("cpu_count")
+        metrics = list(policy["metrics"])
+        absolute = list(policy.get("same_machine_only", ()))
+        if same_machine:
+            metrics += absolute
+            absolute = []
+        regressions, notes = compare(baseline, fresh, metrics, args.tolerance)
+        if absolute:
+            # Different hardware: absolute throughput does not transfer,
+            # so these drops warn instead of failing.
+            abs_regressions, abs_notes = compare(
+                baseline, fresh, absolute, args.tolerance
+            )
+            notes += abs_notes
+            for line in abs_regressions:
+                print(
+                    f"[bench-guard] {name}: WARN regression (cpu_count "
+                    f"differs, absolute ips not comparable) {line}"
+                )
+        for line in notes:
+            print(f"[bench-guard] {name}: {line}")
+        severity = "FAIL" if policy["hard_fail"] else "WARN"
+        for line in regressions:
+            print(f"[bench-guard] {name}: {severity} regression {line}")
+        if regressions and policy["hard_fail"]:
+            failed = True
+    if failed:
+        print(
+            f"[bench-guard] compiled throughput dropped more than "
+            f"{args.tolerance:.0%} below the committed baseline"
+        )
+        return 1
+    print("[bench-guard] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

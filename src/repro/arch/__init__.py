@@ -42,14 +42,21 @@ from .simulator import (
     NetworkSimResult,
     simulate_network_analytic,
 )
-from .latency import InferenceCost, inference_cost, inference_cost_sweep
+from .latency import (
+    InferenceCost,
+    LayerCost,
+    conv_layer_cost,
+    inference_cost,
+    inference_cost_by_layer,
+    inference_cost_sweep,
+)
 from .model_sim import (
     ConvWorkload,
     ModelCycleReport,
     capture_conv_workloads,
     simulate_model_cycles,
 )
-from .schedule import LayerSchedule, NetworkSchedule, schedule_network
+from .schedule import LayerSchedule, NetworkSchedule, schedule_layer, schedule_network
 from .traffic import TrafficReport, dram_traffic
 
 __all__ = [
@@ -93,8 +100,12 @@ __all__ = [
     "NetworkSchedule",
     "schedule_network",
     "InferenceCost",
+    "LayerCost",
+    "conv_layer_cost",
     "inference_cost",
+    "inference_cost_by_layer",
     "inference_cost_sweep",
+    "schedule_layer",
     "ConvWorkload",
     "ModelCycleReport",
     "capture_conv_workloads",

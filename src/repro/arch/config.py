@@ -31,12 +31,17 @@ class ArchConfig:
     pattern_sram_bytes: int = 4 * 1024
     data_sram_bytes: int = 256 * 1024
     activation_density: float = 0.8  # paper: "average activation sparsity is 0.8"
+    # Memory-side roofline for the per-layer cost model: bytes the DRAM
+    # interface moves per cycle (64-bit DDR at the core clock).
+    dram_bytes_per_cycle: float = 8.0
 
     def __post_init__(self) -> None:
         if self.num_pes < 1 or self.macs_per_pe < 1:
             raise ValueError("need at least one PE and one MAC per PE")
         if not 0.0 < self.activation_density <= 1.0:
             raise ValueError("activation_density must be in (0, 1]")
+        if self.dram_bytes_per_cycle <= 0:
+            raise ValueError("dram_bytes_per_cycle must be > 0")
 
     @property
     def total_macs(self) -> int:

@@ -20,7 +20,7 @@ from ..core.config import PCNNConfig
 from ..models.flops import ConvProfile, ModelProfile
 from .config import ArchConfig
 
-__all__ = ["LayerSchedule", "NetworkSchedule", "schedule_network"]
+__all__ = ["LayerSchedule", "NetworkSchedule", "schedule_layer", "schedule_network"]
 
 
 @dataclass(frozen=True)
@@ -64,12 +64,19 @@ class NetworkSchedule:
         return {layer.name: layer for layer in self.layers}
 
 
-def _layer_schedule(
+def schedule_layer(
     conv: ConvProfile,
     bits_per_kernel: float,
-    arch: ArchConfig,
-    activation_bits: int,
+    arch: Optional[ArchConfig] = None,
+    activation_bits: int = 8,
 ) -> LayerSchedule:
+    """Tile one conv layer under the weight-SRAM capacity.
+
+    The per-layer unit :func:`schedule_network` aggregates — exposed so
+    callers (benchmarks, the runtime schedule tuner) can cost a single
+    layer without building a whole-network profile.
+    """
+    arch = arch or ArchConfig()
     capacity = max(1, int((arch.weight_sram_bytes * 8) // bits_per_kernel))
     tiles = ceil(conv.kernels / capacity)
     ih, iw = conv.input_hw
@@ -108,7 +115,7 @@ def schedule_network(
     if config is None:
         for conv in profile.convs:
             bits = conv.kernel_size**2 * arch.weight_bits
-            layers.append(_layer_schedule(conv, bits, arch, activation_bits))
+            layers.append(schedule_layer(conv, bits, arch, activation_bits))
         return NetworkSchedule(layers)
 
     prunable = {c.name for c in profile.prunable(kernel_size=config.kernel_size)}
@@ -126,5 +133,5 @@ def schedule_network(
             bits = layer_cfg.n * arch.weight_bits + index_bits
         else:
             bits = conv.kernel_size**2 * arch.weight_bits
-        layers.append(_layer_schedule(conv, bits, arch, activation_bits))
+        layers.append(schedule_layer(conv, bits, arch, activation_bits))
     return NetworkSchedule(layers)

@@ -16,9 +16,17 @@ bundles, the accelerator simulator's functional path):
 - :func:`predict` — batched inference with configurable micro-batch
   splitting, thread-pool ``workers=``, and ``compile=True``.
 - :func:`compile_model` / :class:`CompiledModel` — the compiled serving
-  pipeline: BN folding, fused bias/ReLU epilogues
-  (:class:`Epilogue`), one-time float32 cast, and per-thread
-  zero-allocation buffer :class:`Arena` workspaces.
+  pipeline: the model lowers onto a small graph IR
+  (:class:`Graph`, :mod:`repro.runtime.ir`) transformed by a validated
+  :class:`PassManager` sequence (``lower → fold_bn → fuse_epilogues →
+  [tune] → [quantize] → link_halos → assign_arenas → finalize``) into
+  BN-folded, epilogue-fused, channels-last ops over per-thread
+  zero-allocation :class:`Arena` workspaces.
+- :mod:`repro.runtime.tune` — backend-selection policy and the
+  cost-model/autotune pass: ``compile_model(tune="cost")`` ranks
+  per-layer schedules with the analytic accelerator model,
+  ``tune="measure"`` times the top candidates and persists winners in
+  the :class:`TuningCache` (``~/.cache/repro-tune.json``).
 - :mod:`repro.runtime.quant` — the int8 execution path:
   ``compile_model(quantize="int8", calibration=batch)`` runs the conv
   trunk on integer weight/activation codes with requantizing epilogues
@@ -39,6 +47,15 @@ from .backends import (
 )
 from .compile import CompiledModel, compile_model, fold_batchnorm
 from .engine import ConvRequest, default_cache, dispatch, select_backend
+from .ir import Graph, GraphError, Node, TensorMeta
+from .passes import (
+    PASS_REGISTRY,
+    CompileContext,
+    Pass,
+    PassManager,
+    PassRecord,
+    default_passes,
+)
 from .plan import ExecutionPlan, PlanCache, PlanCacheStats
 from .predict import PredictStats, conv_backend_override, predict
 from .quant import (
@@ -46,6 +63,13 @@ from .quant import (
     QuantizationReport,
     QuantizedBackend,
     resolve_quantization,
+)
+from .tune import (
+    ConvSchedule,
+    TuningCache,
+    TuningCacheStats,
+    TuningReport,
+    get_tuning_cache,
 )
 
 __all__ = [
@@ -76,4 +100,19 @@ __all__ = [
     "QuantizationReport",
     "QuantizedBackend",
     "resolve_quantization",
+    "Graph",
+    "GraphError",
+    "Node",
+    "TensorMeta",
+    "Pass",
+    "PassManager",
+    "PassRecord",
+    "PASS_REGISTRY",
+    "CompileContext",
+    "default_passes",
+    "ConvSchedule",
+    "TuningCache",
+    "TuningCacheStats",
+    "TuningReport",
+    "get_tuning_cache",
 ]

@@ -50,13 +50,14 @@ __all__ = [
     "available_backends",
 ]
 
-# Workspace bound (elements) per im2col / gather slab: above this, the
-# tiled and pattern backends split the work over output-row slabs, and
-# auto-selection prefers "tiled" over "dense".
-TILE_THRESHOLD_ELEMENTS = 1 << 22
-# Above this ratio of grouped-matrix size to dense-weight size
-# (|P| * n / k^2), the pattern backend decodes and runs a dense GEMM.
-GROUPED_EXPANSION_LIMIT = 4.0
+# The selection policy constants live in repro.runtime.tune (the single
+# home of every backend-eligibility rule); re-exported here because the
+# slab backends and historical callers read them from this module.
+from .tune import (  # noqa: E402  (policy import, see comment above)
+    GROUPED_EXPANSION_LIMIT,
+    TILE_THRESHOLD_ELEMENTS,
+    gather_width_ratio,
+)
 
 
 @dataclass
@@ -256,7 +257,7 @@ class PatternSparseBackend:
         num_patterns = len(encoded.codebook)
         arena, tag = _arena_from(workspace)
 
-        if num_patterns * n / k2 > GROUPED_EXPANSION_LIMIT:
+        if gather_width_ratio(num_patterns, n, k2) > GROUPED_EXPANSION_LIMIT:
             # Diverse codebook: the grouped matrix would dwarf the dense
             # weight, so run a GEMM against the memoized decoded weight.
             gather = None

@@ -1,60 +1,66 @@
-"""Graph lowering: compile a module tree into a flat inference pipeline.
+"""Compiled inference pipeline: ops, the compiled model, and its entry point.
 
 :func:`compile_model` performs the autograd→inference split real serving
-runtimes make. It walks a model's module tree once and lowers it to a
-flat list of inference ops over raw numpy arrays:
+runtimes make — but since PR 5 it no longer does so in one monolithic
+walk. The model lowers to a small graph IR (:mod:`repro.runtime.ir`:
+ops with explicit producer/consumer links and per-edge tensor metadata)
+and a :class:`~repro.runtime.passes.PassManager` transforms that graph
+through named, independently-testable passes::
+
+    lower → fold_bn → fuse_epilogues → [tune] → [quantize]
+          → link_halos → assign_arenas → finalize
+
+What the pipeline ends up with (see :mod:`repro.runtime.passes` for the
+per-pass detail):
 
 - **BN folding** — every eval-mode ``BatchNorm2d`` collapses into the
-  preceding conv's weights and bias (``w' = w * scale``,
-  ``b' = shift + b * scale`` with the per-channel affine map from
-  :meth:`~repro.nn.layers.BatchNorm2d.fold_params`), including convs that
-  carry an SPM encoding: scaling a kernel's non-zero sequence never moves
-  its pattern, so the encoding stays valid with scaled values.
-- **Fused epilogues** — bias add and a following ``ReLU`` run in place on
-  the conv's GEMM output (:class:`~repro.runtime.backends.Epilogue`)
-  while the tile is cache-hot, instead of as separate full-tensor passes.
-- **One-time float32 cast** — parameters are cast once at compile time
-  (``dtype=None`` keeps the training precision), halving memory traffic
-  on every GEMM.
-- **Channels-last layout** — activations flow NHWC between ops. The conv
-  GEMM's ``(N·OH·OW, C_out)`` output *is* the next layer's channels-last
-  activation, im2col unfolds as contiguous block copies
-  (:func:`~repro.nn.functional.im2col_nhwc`), and pooling reduces with
-  the contiguous channel axis innermost — eliminating the strided-view
-  traffic that dominates the NCHW eager path. Input is converted once at
-  entry; outputs convert back only if they leave the pipeline spatial.
-- **Workspace arenas** — each op draws its scratch buffers (padded
-  inputs, im2col columns, GEMM outputs, pooling outputs) from a
+  preceding conv's weights and bias, including convs that carry an SPM
+  encoding (scaling a kernel's non-zero sequence never moves its
+  pattern).
+- **Fused epilogues** — bias add and a following ``ReLU`` run in place
+  on the conv's GEMM output while the tile is cache-hot, the bias
+  itself riding inside the GEMM as an appended weight row against an
+  all-ones column.
+- **One-time float32 cast** — parameters are cast once when the ops are
+  finalized (``dtype=None`` keeps the training precision).
+- **Channels-last layout** — activations flow NHWC between ops; the
+  conv GEMM's output *is* the next layer's channels-last activation.
+- **Workspace arenas** — each op draws scratch buffers from a
   per-thread :class:`~repro.runtime.arena.Arena`, so the steady-state
-  loop does zero large allocations; activations are updated in place
-  where legal (epilogues, the residual add).
+  loop does zero large allocations.
+- **Halo linking** — producers write activations straight into the
+  consumer's padded-buffer interior, skipping the pad copy.
+- **Per-layer schedules** — SPM convs gather natively from pattern
+  storage when the grouped contraction is narrower than the dense GEMM
+  (the static rule in :mod:`repro.runtime.tune`), and
+  ``compile_model(tune="cost"|"measure")`` replaces that heuristic with
+  the analytic accelerator cost model or short empirical measurements
+  persisted in a :class:`~repro.runtime.tune.TuningCache`.
 
 Residual topologies lower through two small model-side hooks instead of
 tracing: ``lowering_sequence()`` (an ordered list of submodules — VGG16,
 ResNet18, PatternNet) and ``lowering_branches()``
 (``(body, shortcut[, post_relu])`` — BasicBlock). Anything the lowerer
-does not recognise falls back to a
-:class:`ModuleOp` that runs the original module under ``no_grad`` (with
-layout conversions inserted around it), so ``compile_model`` is total:
-unknown models still compile, they just skip the fused fast path for
-those ops.
+does not recognise falls back to a :class:`ModuleOp` that runs the
+original module under ``no_grad``, so ``compile_model`` is total.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from itertools import count
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import nn
-from ..nn.functional import conv_output_size, im2col_nhwc, pool_windows_nhwc
+from ..nn.functional import im2col_nhwc, pool_windows_nhwc
 from .arena import Arena
 from .backends import Epilogue
 from .engine import dispatch
+from .ir import Graph, TensorMeta
 from .plan import ExecutionPlan, PlanCache
+from .tune import GATHER_WIDTH_LIMIT  # noqa: F401  (canonical home: tune.py)
 
 __all__ = ["compile_model", "CompiledModel", "fold_batchnorm"]
 
@@ -62,18 +68,10 @@ __all__ = ["compile_model", "CompiledModel", "fold_batchnorm"]
 # slabs. Byte-based rather than element-based so the float32 pipeline
 # gets twice the rows of a float64 one for the same memory footprint;
 # larger monolithic slabs measurably beat many small GEMMs until the
-# workspace falls out of cache.
+# workspace falls out of cache. A tuned ``ConvOp.slab_bytes`` overrides
+# this budget per layer (still batch-adaptive: rows are derived from the
+# budget at each call's geometry).
 SLAB_BYTES = 64 * 2**20
-
-# SPM lowering policy: the grouped-contraction gather reads |P|*n columns
-# per input channel where the dense GEMM reads k^2. The compiled pipeline
-# exists to serve fast, so it takes the gather only when that is the
-# *narrower* contraction (|P|*n <= k^2 — e.g. the paper's n=1/|P|=4
-# setting) and otherwise decodes once at compile time and runs the dense
-# GEMM. (The eager `pattern` backend keeps its wider
-# GROUPED_EXPANSION_LIMIT because its job is demonstrating SPM-regular
-# execution, not minimum latency.)
-GATHER_WIDTH_LIMIT = 1.0
 
 
 # ---------------------------------------------------------------------
@@ -91,6 +89,16 @@ def fold_batchnorm(
     running statistics.
     """
     scale, shift = bn.fold_params()
+    return fold_batchnorm_params(weight, bias, scale, shift)
+
+
+def fold_batchnorm_params(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    scale: np.ndarray,
+    shift: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold a BN's affine map ``(scale, shift)`` into conv parameters."""
     folded_weight = weight * scale[:, None, None, None]
     folded_bias = shift if bias is None else shift + bias * scale
     return folded_weight, folded_bias
@@ -132,6 +140,12 @@ def _cast_encoded(encoded, dtype):
     )
 
 
+def _cast(array: Optional[np.ndarray], dtype) -> Optional[np.ndarray]:
+    if array is None or dtype is None:
+        return array
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
 # ---------------------------------------------------------------------
 # Execution state + ops
 # ---------------------------------------------------------------------
@@ -144,9 +158,18 @@ class _ExecState:
 
 
 class _InferenceOp:
-    """One step of the compiled pipeline: ndarray in, ndarray out."""
+    """One step of the compiled pipeline: ndarray in, ndarray out.
+
+    ``layout_in`` / ``layout_out`` declare the op's activation-layout
+    contract for :meth:`repro.runtime.ir.Graph.verify` (``"any"`` /
+    ``"same"`` for elementwise ops); ``spatial_only`` marks ops that can
+    never follow a flattened edge.
+    """
 
     tag: str = ""
+    layout_in: str = "any"
+    layout_out: str = "same"
+    spatial_only: bool = False
 
     def run(
         self, x: np.ndarray, state: _ExecState, backend: Optional[str]
@@ -162,6 +185,8 @@ class ToNHWC(_InferenceOp):
     """NCHW → channels-last, copied once into a reused buffer."""
 
     tag: str
+    layout_in = "nchw"
+    layout_out = "nhwc"
 
     def run(self, x, state, backend):
         n, c, h, w = x.shape
@@ -178,6 +203,8 @@ class ToNCHW(_InferenceOp):
     """Channels-last → NCHW, for fallbacks and the public output."""
 
     tag: str
+    layout_in = "nhwc"
+    layout_out = "nchw"
 
     def run(self, x, state, backend):
         n, h, w, c = x.shape
@@ -193,42 +220,126 @@ class ToNCHW(_InferenceOp):
 class ConvOp(_InferenceOp):
     """Channels-last convolution with folded BN and a fused epilogue.
 
-    ``weight_t`` is the NHWC GEMM operand ``(KH*KW*C_in, C_out)`` built
-    once at compile time — with the bias appended as an extra row when
-    the layer has one, so the bias add rides inside the GEMM against an
-    all-ones column of the (bias-augmented) column buffer instead of as
-    a separate pass over the output. SPM-encoded layers keep their
-    encoding and run the grouped-contraction gather natively on NHWC
-    columns when that is the narrower contraction
-    (``GATHER_WIDTH_LIMIT``), decoding once at compile time into a dense
-    GEMM otherwise. A forced ``backend=`` routes through
-    :func:`repro.runtime.dispatch` with layout conversions on both sides
-    — correct for any registered backend, just slower.
+    The op is created by the ``lower`` pass with its *source*
+    parameters — the raw ``weight``/``bias`` (or SPM ``encoded``) plus
+    geometry — and mutated by later passes: ``fold_bn`` rewrites the
+    parameters, ``fuse_epilogues`` sets ``relu``, ``tune`` picks
+    ``use_gather``/``slab_bytes``, ``link_halos`` sets ``halo``. The
+    *derived* GEMM state (``weight_t`` — the ``(KH*KW*C_in[+1], C_out)``
+    NHWC operand with the bias folded in as an extra row against an
+    all-ones column — plus the :class:`Epilogue`) is built by
+    :meth:`prepare`, which the ``finalize`` pass runs eagerly and
+    :meth:`run` on demand; a pass that changes source parameters calls
+    :meth:`invalidate` to force a rebuild.
 
-    ``halo`` (set by the lowering's :func:`_link_halo` pass) names the
-    direct consumer's padded input buffer: the monolithic dense path
-    then writes its activation straight into that buffer's interior, so
-    the consumer skips its pad copy entirely.
+    SPM-encoded layers keep their encoding and run the
+    grouped-contraction gather natively on NHWC columns when
+    ``use_gather`` (the static rule compares contraction widths; the
+    tune pass may override it per layer), decoding once into a dense
+    GEMM otherwise. A forced ``backend=`` routes through
+    :func:`repro.runtime.dispatch` with layout conversions on both
+    sides — correct for any registered backend, just slower.
+
+    ``halo`` names the direct consumer's padded input buffer: the
+    monolithic dense path then writes its activation straight into that
+    buffer's interior, so the consumer skips its pad copy entirely.
     """
 
-    weight_t: Optional[np.ndarray]
-    bias_rows: int  # 1 when the bias is folded into weight_t, else 0
-    encoded: Optional[object]
-    use_gather: bool
-    epilogue: Epilogue  # bias+relu, used by the gather/engine paths
-    relu: bool
     stride: int
     padding: int
-    backend: Optional[str]
     kernel: Tuple[int, int]
     c_in: int
     c_out: int
     tag: str
+    weight: Optional[np.ndarray] = None
+    bias: Optional[np.ndarray] = None
+    encoded: Optional[object] = None
+    relu: bool = False
+    backend: Optional[str] = None
+    dtype: Optional[object] = None
+    use_gather: bool = False
+    slab_bytes: Optional[int] = None  # tuned per-layer workspace budget
+    schedule: Optional[object] = None  # ConvSchedule annotation (tune pass)
     halo: Optional[Tuple[str, int]] = None  # (consumer tag, consumer padding)
+    # Derived GEMM state, built by prepare():
+    weight_t: Optional[np.ndarray] = field(default=None, repr=False)
+    bias_rows: int = 0  # 1 when the bias is folded into weight_t, else 0
+    epilogue: Optional[Epilogue] = field(default=None, repr=False)
     _weight_nchw: Optional[np.ndarray] = field(default=None, repr=False)
     _decoded_t: Optional[np.ndarray] = field(default=None, repr=False)
+    _prepared: bool = field(default=False, repr=False)
+
+    layout_in = "nhwc"
+    layout_out = "nhwc"
+    spatial_only = True
+
+    # -- derived-state lifecycle --------------------------------------
+    def prepare(self) -> None:
+        """Build the GEMM operands from the current source parameters.
+
+        Idempotent; run eagerly by the ``finalize`` pass and lazily by
+        :meth:`run` (measurement clones execute before finalize).
+        """
+        if self._prepared:
+            return
+        dtype = self.dtype
+        bias = _cast(self.bias, dtype)
+        self.bias_rows = 0
+        if self.encoded is not None:
+            self.encoded = _cast_encoded(self.encoded, dtype)
+            self.weight_t = None
+            if not self.use_gather and bias is not None:
+                self.bias_rows = 1  # the lazily decoded dense weight appends it
+        else:
+            weight = _cast(self.weight, dtype)
+            weight_t = np.ascontiguousarray(
+                weight.transpose(0, 2, 3, 1).reshape(self.c_out, -1).T
+            )
+            if bias is not None:
+                # Append the bias as a GEMM row; the column buffer carries
+                # a matching all-ones column, so the bias add costs one
+                # extra GEMM row instead of a pass over the output.
+                weight_t = np.ascontiguousarray(
+                    np.vstack([weight_t, bias.astype(weight_t.dtype)[None, :]])
+                )
+                self.bias_rows = 1
+            self.weight_t = weight_t
+        self.epilogue = Epilogue(bias=bias, relu=self.relu)
+        self._prepared = True
+
+    def invalidate(self) -> None:
+        """Drop derived GEMM state after a pass mutated source params."""
+        self.weight_t = None
+        self.bias_rows = 0
+        self.epilogue = None
+        self._weight_nchw = None
+        self._decoded_t = None
+        self._prepared = False
+
+    def clone_with(
+        self, *, use_gather: Optional[bool] = None, slab_bytes: Optional[int] = None
+    ) -> "ConvOp":
+        """Fresh unprepared copy with an overridden schedule (tuner probes)."""
+        return ConvOp(
+            stride=self.stride,
+            padding=self.padding,
+            kernel=self.kernel,
+            c_in=self.c_in,
+            c_out=self.c_out,
+            tag=self.tag,
+            weight=self.weight,
+            bias=self.bias,
+            encoded=self.encoded,
+            relu=self.relu,
+            backend=None,
+            dtype=self.dtype,
+            use_gather=self.use_gather if use_gather is None else use_gather,
+            slab_bytes=slab_bytes,
+        )
 
     def run(self, x, state, backend):
+        if not self._prepared:
+            self.prepare()
         override = backend or self.backend
         if override is not None:
             return self._run_via_engine(x, state, override)
@@ -250,7 +361,10 @@ class ConvOp(_InferenceOp):
 
     def _slab_rows(self, plan: ExecutionPlan, per_row: int, itemsize: int) -> int:
         oh, _ = plan.out_hw
-        budget = SLAB_BYTES // max(1, itemsize)
+        # A tuned schedule replaces the budget, not the row count, so the
+        # workspace footprint it was measured at holds for every batch.
+        budget_bytes = SLAB_BYTES if self.slab_bytes is None else self.slab_bytes
+        budget = budget_bytes // max(1, itemsize)
         return max(1, min(oh, budget // max(1, per_row)))
 
     def _padded_input(self, x: np.ndarray, arena: Arena) -> np.ndarray:
@@ -297,7 +411,7 @@ class ConvOp(_InferenceOp):
         if self.weight_t is not None:
             weight_t = self.weight_t
         else:
-            # Diverse-codebook SPM conv lowered to decode + dense GEMM.
+            # SPM conv lowered to decode + dense GEMM.
             weight_t = self._decoded_weight_t()
         gemm_dtype = np.result_type(x.dtype, weight_t.dtype)
         xp = self._padded_input(x, arena)
@@ -381,8 +495,8 @@ class ConvOp(_InferenceOp):
         return self._weight_nchw
 
     def _decoded_weight_t(self) -> np.ndarray:
-        """Memoized NHWC GEMM weight decoded from a diverse-codebook SPM
-        (bias row appended when the layer carries one, as for dense)."""
+        """Memoized NHWC GEMM weight decoded from an SPM encoding (bias
+        row appended when the layer carries one, as for dense)."""
         if self._decoded_t is None:
             decoded = (
                 self.encoded.decoded_weight()
@@ -421,11 +535,14 @@ class ConvOp(_InferenceOp):
     def describe(self) -> str:
         kind = "spm-conv" if self.encoded is not None else "conv"
         fused = []
-        if self.epilogue.bias is not None:
+        if self.bias is not None:
             fused.append("bias")
-        if self.epilogue.relu:
+        if self.relu:
             fused.append("relu")
-        return f"{kind}" + (f"+{'+'.join(fused)}" if fused else "")
+        label = f"{kind}" + (f"+{'+'.join(fused)}" if fused else "")
+        if self.schedule is not None:
+            label += f" [{self.schedule.describe()}]"
+        return label
 
 
 @dataclass
@@ -434,8 +551,11 @@ class LinearOp(_InferenceOp):
 
     weight: np.ndarray
     bias: Optional[np.ndarray]
-    relu: bool
     tag: str
+    relu: bool = False
+
+    layout_in = "flat"
+    layout_out = "flat"
 
     def run(self, x, state, backend):
         out = x @ self.weight.T
@@ -453,12 +573,27 @@ class LinearOp(_InferenceOp):
 class BatchNormOp(_InferenceOp):
     """Standalone eval-mode BN (only when no conv precedes it)."""
 
-    scale4: np.ndarray  # (1, 1, 1, C), channels-last
-    shift4: np.ndarray
-    relu: bool
+    scale: np.ndarray  # (C,), the BN's folded affine map
+    shift: np.ndarray
     tag: str
+    relu: bool = False
+    dtype: Optional[object] = None
+    scale4: Optional[np.ndarray] = field(default=None, repr=False)
+    shift4: Optional[np.ndarray] = field(default=None, repr=False)
+
+    layout_in = "nhwc"
+    layout_out = "nhwc"
+    spatial_only = True
+
+    def prepare(self) -> None:
+        """Build the broadcastable channels-last affine operands."""
+        if self.scale4 is None:
+            c = self.scale.shape[0]
+            self.scale4 = _cast(self.scale, self.dtype).reshape(1, 1, 1, c)
+            self.shift4 = _cast(self.shift, self.dtype).reshape(1, 1, 1, c)
 
     def run(self, x, state, backend):
+        self.prepare()
         out = state.arena.take(
             f"{self.tag}:out", x.shape, np.result_type(x.dtype, self.scale4.dtype)
         )
@@ -506,6 +641,10 @@ class MaxPoolOp(_InferenceOp):
     tag: str
     halo: Optional[Tuple[str, int]] = None
 
+    layout_in = "nhwc"
+    layout_out = "nhwc"
+    spatial_only = True
+
     def run(self, x, state, backend):
         if self.padding > 0:
             # -inf borders so padded cells never win; filled once at
@@ -535,6 +674,10 @@ class AvgPoolOp(_InferenceOp):
     tag: str
     halo: Optional[Tuple[str, int]] = None
 
+    layout_in = "nhwc"
+    layout_out = "nhwc"
+    spatial_only = True
+
     def run(self, x, state, backend):
         windows = pool_windows_nhwc(x, self.kernel, self.stride)
         n, oh, ow = windows.shape[:3]
@@ -551,6 +694,10 @@ class AvgPoolOp(_InferenceOp):
 class GlobalAvgPoolOp(_InferenceOp):
     tag: str
 
+    layout_in = "nhwc"
+    layout_out = "flat"
+    spatial_only = True
+
     def run(self, x, state, backend):
         return x.mean(axis=(1, 2))  # NHWC -> (N, C)
 
@@ -564,6 +711,10 @@ class FlattenOp(_InferenceOp):
 
     tag: str
 
+    layout_in = "nhwc"
+    layout_out = "flat"
+    spatial_only = True
+
     def run(self, x, state, backend):
         n, h, w, c = x.shape
         out = state.arena.take(f"{self.tag}:out", (n, c * h * w), x.dtype)
@@ -576,12 +727,32 @@ class FlattenOp(_InferenceOp):
 
 @dataclass
 class ResidualOp(_InferenceOp):
-    """Body + shortcut with the post-add ReLU applied in place."""
+    """Body + shortcut with the post-add ReLU applied in place.
 
-    body: List[_InferenceOp]
-    shortcut: List[_InferenceOp]
+    The two branches are nested :class:`~repro.runtime.ir.Graph`
+    pipelines (both consuming this op's input edge), so graph passes
+    recurse into them like any other ops; execution reads the cached
+    linearisation.
+    """
+
+    body_graph: Graph
+    shortcut_graph: Graph
     relu: bool
     tag: str
+
+    layout_in = "nhwc"
+    layout_out = "nhwc"
+    spatial_only = True
+
+    @property
+    def body(self) -> List[_InferenceOp]:
+        """The body branch's executable ops, in order."""
+        return self.body_graph.op_list()
+
+    @property
+    def shortcut(self) -> List[_InferenceOp]:
+        """The shortcut branch's executable ops, in order."""
+        return self.shortcut_graph.op_list()
 
     def run(self, x, state, backend):
         out = x
@@ -610,6 +781,12 @@ class ModuleOp(_InferenceOp):
     module: nn.Module
     tag: str
 
+    # The lowerer converts spatial activations to NCHW before a fallback
+    # module runs; the contract stays "any"/"same" because flat inputs
+    # pass through untouched.
+    layout_in = "any"
+    layout_out = "same"
+
     def run(self, x, state, backend):
         was_training = self.module.training
         self.module.eval()
@@ -624,256 +801,8 @@ class ModuleOp(_InferenceOp):
 
 
 # ---------------------------------------------------------------------
-# Lowering
+# The compiled model
 # ---------------------------------------------------------------------
-@dataclass
-class _Residual:
-    """Intermediate marker for a two-branch residual step."""
-
-    body: List[object]
-    shortcut: List[object]
-    relu: bool
-
-
-def _expand(module: nn.Module) -> List[object]:
-    """Expand a module tree into primitive steps and residual markers."""
-    if isinstance(module, (nn.Dropout, nn.Identity)):
-        return []  # eval-mode no-ops
-    if isinstance(module, nn.Sequential):
-        return [step for child in module for step in _expand(child)]
-    branches = getattr(module, "lowering_branches", None)
-    if branches is not None:
-        # Hook contract: (body, shortcut) applies ReLU after the add
-        # (the classic post-activation block); a 3-tuple
-        # (body, shortcut, post_relu) makes the activation explicit for
-        # pre-activation-style blocks.
-        parts = branches()
-        body, shortcut = parts[0], parts[1]
-        relu = parts[2] if len(parts) > 2 else True
-        return [
-            _Residual(
-                body=[s for m in body for s in _expand(m)],
-                shortcut=[s for m in shortcut for s in _expand(m)],
-                relu=relu,
-            )
-        ]
-    sequence = getattr(module, "lowering_sequence", None)
-    if sequence is not None:
-        return [step for child in sequence() for step in _expand(child)]
-    return [module]
-
-
-def _cast(array: Optional[np.ndarray], dtype) -> Optional[np.ndarray]:
-    if array is None or dtype is None:
-        return array
-    return np.ascontiguousarray(array, dtype=dtype)
-
-
-def _make_conv_op(step: nn.Conv2d, bn, relu: bool, dtype, tag: str) -> ConvOp:
-    """Lower one conv (with optional BN to fold and fused ReLU)."""
-    params = step.inference_params()
-    weight, bias, encoded = params["weight"], params["bias"], params["encoded"]
-    if bn is not None:
-        if encoded is not None:
-            scale, shift = bn.fold_params()
-            encoded = _fold_encoded(encoded, scale, dtype)
-            bias = shift if bias is None else shift + bias * scale
-        else:
-            weight, bias = fold_batchnorm(weight, bias, bn)
-    elif encoded is not None:
-        encoded = _cast_encoded(encoded, dtype)
-
-    kh = kw = step.kernel_size
-    k2 = kh * kw
-    use_gather = False
-    weight_t = None
-    bias = _cast(bias, dtype)
-    bias_rows = 0
-    if encoded is not None:
-        # FLOP-optimal policy: gather only when the grouped contraction
-        # is narrower than the dense one (see GATHER_WIDTH_LIMIT).
-        n_nonzero = encoded.codebook.n_nonzero
-        use_gather = len(encoded.codebook) * n_nonzero / k2 <= GATHER_WIDTH_LIMIT
-        if not use_gather and bias is not None:
-            bias_rows = 1  # the lazily decoded dense weight appends it
-    else:
-        weight = _cast(weight, dtype)
-        weight_t = np.ascontiguousarray(
-            weight.transpose(0, 2, 3, 1).reshape(step.out_channels, -1).T
-        )
-        if bias is not None:
-            # Append the bias as a GEMM row; the column buffer carries a
-            # matching all-ones column, so the bias add costs one extra
-            # GEMM row instead of a pass over the output.
-            weight_t = np.ascontiguousarray(
-                np.vstack([weight_t, bias.astype(weight_t.dtype)[None, :]])
-            )
-            bias_rows = 1
-    return ConvOp(
-        weight_t=weight_t,
-        bias_rows=bias_rows,
-        encoded=encoded,
-        use_gather=use_gather,
-        epilogue=Epilogue(bias=bias, relu=relu),
-        relu=relu,
-        stride=step.stride,
-        padding=step.padding,
-        backend=params["backend"],
-        kernel=(kh, kw),
-        c_in=step.in_channels,
-        c_out=step.out_channels,
-        tag=tag,
-    )
-
-
-def _build_ops(
-    steps: Sequence[object], dtype, tags: Iterator[int], entry_fmt: str = "nchw"
-) -> Tuple[List[_InferenceOp], str]:
-    """Turn expanded steps into ops, fusing conv→BN→ReLU peepholes.
-
-    Tracks the activation layout (``nchw`` / ``nhwc`` / ``flat``) and
-    inserts :class:`ToNHWC` / :class:`ToNCHW` conversions where an op's
-    native layout differs; returns ``(ops, exit_format)``.
-    """
-    ops: List[_InferenceOp] = []
-    fmt = entry_fmt
-
-    def ensure(want: str) -> None:
-        nonlocal fmt
-        if fmt == want or fmt == "flat":
-            if fmt == "flat" and want != "flat":
-                raise TypeError(
-                    "cannot lower: a spatial op follows a flattened activation"
-                )
-            return
-        if want == "nhwc":
-            ops.append(ToNHWC(tag=f"op{next(tags)}"))
-        else:
-            ops.append(ToNCHW(tag=f"op{next(tags)}"))
-        fmt = want
-
-    i = 0
-    while i < len(steps):
-        step = steps[i]
-        tag = f"op{next(tags)}"
-        if isinstance(step, _Residual):
-            ensure("nhwc")
-            body, body_fmt = _build_ops(step.body, dtype, tags, entry_fmt="nhwc")
-            if body_fmt == "nchw":
-                body.append(ToNHWC(tag=f"op{next(tags)}"))
-            shortcut, short_fmt = _build_ops(step.shortcut, dtype, tags, entry_fmt="nhwc")
-            if short_fmt == "nchw":
-                shortcut.append(ToNHWC(tag=f"op{next(tags)}"))
-            ops.append(ResidualOp(body=body, shortcut=shortcut, relu=step.relu, tag=tag))
-            i += 1
-            continue
-        if isinstance(step, nn.Conv2d):
-            i += 1
-            bn = None
-            if i < len(steps) and isinstance(steps[i], nn.BatchNorm2d):
-                bn = steps[i]
-                i += 1
-            relu = i < len(steps) and isinstance(steps[i], nn.ReLU)
-            if relu:
-                i += 1
-            ensure("nhwc")
-            ops.append(_make_conv_op(step, bn, relu, dtype, tag))
-            continue
-        if isinstance(step, nn.Linear):
-            weight = step.weight.data
-            if step._weight_mask is not None:
-                weight = weight * step._weight_mask
-            bias = step.bias.data if step.bias is not None else None
-            i += 1
-            relu = i < len(steps) and isinstance(steps[i], nn.ReLU)
-            if relu:
-                i += 1
-            ops.append(
-                LinearOp(
-                    weight=_cast(weight, dtype),
-                    bias=_cast(bias, dtype),
-                    relu=relu,
-                    tag=tag,
-                )
-            )
-            fmt = "flat"
-            continue
-        if isinstance(step, nn.BatchNorm2d):
-            scale, shift = step.fold_params()
-            i += 1
-            relu = i < len(steps) and isinstance(steps[i], nn.ReLU)
-            if relu:
-                i += 1
-            ensure("nhwc")
-            c = step.num_features
-            ops.append(
-                BatchNormOp(
-                    scale4=_cast(scale, dtype).reshape(1, 1, 1, c),
-                    shift4=_cast(shift, dtype).reshape(1, 1, 1, c),
-                    relu=relu,
-                    tag=tag,
-                )
-            )
-            continue
-        i += 1
-        if isinstance(step, nn.ReLU):
-            ops.append(ReluOp(tag=tag))  # elementwise: any layout
-        elif isinstance(step, nn.MaxPool2d):
-            ensure("nhwc")
-            ops.append(
-                MaxPoolOp(
-                    kernel=step.kernel_size,
-                    stride=step.stride,
-                    padding=step.padding,
-                    tag=tag,
-                )
-            )
-        elif isinstance(step, nn.AvgPool2d):
-            ensure("nhwc")
-            ops.append(AvgPoolOp(kernel=step.kernel_size, stride=step.stride, tag=tag))
-        elif isinstance(step, nn.GlobalAvgPool2d):
-            ensure("nhwc")
-            ops.append(GlobalAvgPoolOp(tag=tag))
-            fmt = "flat"
-        elif isinstance(step, nn.Flatten):
-            ensure("nhwc")
-            ops.append(FlattenOp(tag=tag))
-            fmt = "flat"
-        elif isinstance(step, nn.Module):
-            if fmt == "nhwc":
-                ops.append(ToNCHW(tag=f"op{next(tags)}"))
-                fmt = "nchw"
-            ops.append(ModuleOp(module=step, tag=tag))
-        else:  # pragma: no cover - lowering hooks only yield modules
-            raise TypeError(f"cannot lower step {step!r}")
-    return ops, fmt
-
-
-def _link_halo(ops: List[_InferenceOp]) -> None:
-    """Connect producers to their consumer's padded input buffer.
-
-    When op ``i+1`` is a padded :class:`ConvOp` and op ``i`` is a conv or
-    pool feeding it directly, op ``i`` writes its activation straight
-    into the interior of the consumer's zero-bordered pad buffer — the
-    consumer's :meth:`ConvOp._padded_input` then recognises its own
-    buffer (``x.base is buffer``) and skips the pad copy entirely. The
-    hand-off is best-effort: any producer path that cannot honour it
-    (slab tiling, gather, forced backends) simply returns its own buffer
-    and the consumer copies as usual.
-    """
-    for a, b in zip(ops, ops[1:]):
-        if (
-            isinstance(b, ConvOp)
-            and b.padding > 0
-            and isinstance(a, (ConvOp, MaxPoolOp, AvgPoolOp))
-        ):
-            a.halo = (b.tag, b.padding)
-    for op in ops:
-        if isinstance(op, ResidualOp):
-            _link_halo(op.body)
-            _link_halo(op.shortcut)
-
-
 class CompiledModel:
     """Flat inference pipeline produced by :func:`compile_model`.
 
@@ -884,16 +813,37 @@ class CompiledModel:
     micro-batches from a thread pool concurrently
     (``predict(..., workers=N)``); the plan cache is shared and
     lock-protected.
+
+    ``graph`` holds the pass-transformed IR the op list was linearised
+    from, ``passes`` the :class:`~repro.runtime.passes.PassRecord` trace
+    of what each pass did, ``quantization``/``tuning`` the optional
+    reports — all rendered by :meth:`describe`.
     """
 
-    def __init__(self, ops: List[_InferenceOp], dtype, source: str = "") -> None:
-        self.ops = ops
+    def __init__(
+        self,
+        graph: Union[Graph, List[_InferenceOp]],
+        dtype,
+        source: str = "",
+        passes: Optional[List[object]] = None,
+    ) -> None:
+        if isinstance(graph, Graph):
+            self.graph: Optional[Graph] = graph
+            self.ops = list(graph.op_list())
+        else:
+            self.graph = None
+            self.ops = list(graph)
         self.dtype = np.dtype(dtype) if dtype is not None else None
         self.source = source
         self.plans = PlanCache()
+        #: Per-pass trace (:class:`~repro.runtime.passes.PassRecord`).
+        self.passes = list(passes or [])
         #: :class:`~repro.runtime.quant.QuantizationReport` when the
         #: pipeline was compiled with ``quantize=``, else ``None``.
         self.quantization = None
+        #: :class:`~repro.runtime.tune.TuningReport` when compiled with
+        #: ``tune=``, else ``None``.
+        self.tuning = None
         self._local = threading.local()
 
     # -- resources -----------------------------------------------------
@@ -931,12 +881,21 @@ class CompiledModel:
         return np.array(out, copy=True)
 
     def describe(self) -> str:
-        """One line per op — what got folded and fused where."""
+        """The pass-annotated pipeline: trace, ops, and reports."""
         header = f"CompiledModel({self.source or 'model'}, dtype={self.dtype})"
-        lines = [f"  {i}: {op.describe()}" for i, op in enumerate(self.ops)]
+        lines = [header]
+        if self.passes:
+            trace = " -> ".join(record.name for record in self.passes)
+            lines.append(f"  passes: {trace}")
+            for record in self.passes:
+                if record.note:
+                    lines.append(f"    {record.name}: {record.note}")
+        lines.extend(f"  {i}: {op.describe()}" for i, op in enumerate(self.ops))
+        if self.tuning is not None:
+            lines.append("  tuning: " + self.tuning.describe().replace("\n", "\n  "))
         if self.quantization is not None:
             lines.append("  quantization: " + self.quantization.describe())
-        return "\n".join([header] + lines)
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (
@@ -951,6 +910,10 @@ def compile_model(
     *,
     quantize=None,
     calibration: Optional[np.ndarray] = None,
+    tune: Optional[str] = None,
+    input_shape: Optional[Sequence[int]] = None,
+    tuning_cache=None,
+    passes: Optional[Sequence[object]] = None,
 ) -> CompiledModel:
     """Lower ``model`` to a :class:`CompiledModel` inference pipeline.
 
@@ -971,12 +934,29 @@ def compile_model(
         (:mod:`repro.runtime.quant`): ``"int8"``/``True`` for the
         defaults, an int bit width, or a full
         :class:`~repro.runtime.quant.QuantizationConfig`. Requires
-        ``calibration``. The resulting pipeline records what happened on
-        ``CompiledModel.quantization``.
+        ``calibration``.
     calibration:
         Small ``(N, C, H, W)`` batch used to calibrate activation scales
-        when ``quantize`` is given (a handful of representative images
-        is enough; see ``QuantizationConfig.calibration_images``).
+        when ``quantize`` is given.
+    tune:
+        Pick per-layer conv schedules instead of the static heuristic:
+        ``"cost"`` ranks candidates with the analytic accelerator cost
+        model (:func:`repro.arch.conv_layer_cost`, zero measurement);
+        ``"measure"`` additionally times the top candidates and persists
+        the winners in the :class:`~repro.runtime.tune.TuningCache`
+        (``~/.cache/repro-tune.json``), so later compiles of the same
+        geometry skip the measurement. Requires ``input_shape``.
+    input_shape:
+        ``(C, H, W)`` of one input image — needed by ``tune`` to derive
+        per-layer geometry (``predict``/serving/CLI fill it in).
+    tuning_cache:
+        Explicit :class:`~repro.runtime.tune.TuningCache` (tests,
+        hermetic builds); defaults to the process-wide persisted one.
+    passes:
+        Override the pass list (names or
+        :class:`~repro.runtime.passes.Pass` objects); the default is the
+        standard sequence with ``tune``/``quantize`` included when
+        requested. Ordering constraints are validated either way.
 
     Notes
     -----
@@ -984,24 +964,30 @@ def compile_model(
     encodings *at compile time* — mutating the source model afterwards
     (fine-tuning, ``load_state_dict``) requires compiling again.
     """
-    ops, fmt = _build_ops(_expand(model), dtype, count())
-    if fmt == "nhwc":
-        # Features-only models must hand back the eager NCHW layout.
-        ops.append(ToNCHW(tag="out"))
-    report = None
-    config = None
-    if quantize is not None:
-        from .quant import quantize_pipeline, resolve_quantization
+    from .passes import CompileContext, PassManager, default_passes
+    from .quant import resolve_quantization
 
-        config = resolve_quantization(quantize)
-    if config is not None:
-        if calibration is None:
-            raise ValueError(
-                "compile_model(quantize=...) needs a calibration= batch "
-                "to derive activation scales from"
-            )
-        ops, report = quantize_pipeline(ops, dtype, calibration, config)
-    _link_halo(ops)
-    compiled = CompiledModel(ops, dtype=dtype, source=type(model).__name__)
-    compiled.quantization = report
+    config = resolve_quantization(quantize) if quantize is not None else None
+    if config is not None and calibration is None:
+        raise ValueError(
+            "compile_model(quantize=...) needs a calibration= batch "
+            "to derive activation scales from"
+        )
+    ctx = CompileContext(
+        model=model,
+        dtype=np.dtype(dtype) if dtype is not None else None,
+        quantize=config,
+        calibration=calibration,
+        tune=tune,
+        input_shape=tuple(input_shape) if input_shape is not None else None,
+        tuning_cache=tuning_cache,
+    )
+    graph = Graph(TensorMeta("nchw"), name=type(model).__name__)
+    manager = PassManager(passes if passes is not None else default_passes(ctx))
+    manager.run(graph, ctx)
+    compiled = CompiledModel(
+        graph, dtype=dtype, source=type(model).__name__, passes=manager.records
+    )
+    compiled.quantization = ctx.quant_report
+    compiled.tuning = ctx.tuning_report
     return compiled

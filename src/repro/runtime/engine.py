@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from .backends import TILE_THRESHOLD_ELEMENTS, Epilogue, get_backend
+from .backends import Epilogue, get_backend
 from .plan import ExecutionPlan, PlanCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,18 +65,15 @@ class ConvRequest:
 
 
 def select_backend(request: ConvRequest) -> str:
-    """Pick a backend name from the request's encoding and geometry."""
-    if request.encoded is not None:
-        return "pattern"
-    n, c_in, h, w = request.x.shape
-    _, _, kh, kw = request.weight_shape
-    from ..nn.functional import conv_output_size
+    """Pick a backend name from the request's encoding and geometry.
 
-    oh = conv_output_size(h, kh, request.stride, request.padding)
-    ow = conv_output_size(w, kw, request.stride, request.padding)
-    if n * oh * ow * c_in * kh * kw > TILE_THRESHOLD_ELEMENTS:
-        return "tiled"
-    return "dense"
+    Delegates to :func:`repro.runtime.tune.select_backend` — the single
+    home of every backend-selection rule (kept as an alias here because
+    this is where callers historically imported it from).
+    """
+    from .tune import select_backend as _select
+
+    return _select(request)
 
 
 def _accepts_epilogue(impl) -> bool:

@@ -137,9 +137,12 @@ def predict(
     micro_batch: Optional[int] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
     compile: bool = False,
     quantize=None,
     calibration: Optional[np.ndarray] = None,
+    tune: Optional[str] = None,
+    tuning_cache=None,
     stats: Optional[PredictStats] = None,
 ) -> np.ndarray:
     """Run ``model`` over a batch of inputs through the runtime engine.
@@ -163,6 +166,13 @@ def predict(
         Run micro-batches on a thread pool of this size. BLAS releases
         the GIL during the GEMMs that dominate inference, so chunks
         overlap on real cores. ``None``/``1`` keeps the sequential loop.
+        Pools are created lazily and shared across calls (one per
+        distinct size), so repeated serving loops never pay pool (or
+        thread-local arena) startup per call.
+    executor:
+        Bring-your-own ``ThreadPoolExecutor`` used instead of the shared
+        pool when ``workers > 1`` — for callers that already own a pool
+        (embedding servers) or want bounded lifetimes in tests.
     compile:
         Lower the model with :func:`~repro.runtime.compile.compile_model`
         for this call (BN folding, fused epilogues, float32, arenas).
@@ -178,6 +188,16 @@ def predict(
         ``compile_model(quantize=...)`` once with a held-out batch).
     calibration:
         Optional ``(N, C, H, W)`` batch for ``quantize`` calibration.
+    tune:
+        Compile with per-layer schedule tuning (``"cost"`` for the
+        analytic model, ``"measure"`` for measured schedules persisted
+        in the :class:`~repro.runtime.tune.TuningCache`). Implies
+        ``compile=True``; the input geometry is taken from ``x``. A
+        tuned micro-batch chunk size (measure mode) applies when neither
+        ``micro_batch`` nor ``workers`` pins the chunking.
+    tuning_cache:
+        Explicit :class:`~repro.runtime.tune.TuningCache` for ``tune``
+        (defaults to the persisted process-wide one).
     stats:
         Optional :class:`PredictStats` filled in with timings.
 
@@ -201,7 +221,14 @@ def predict(
                 "quantize= has no effect on an already-compiled model; "
                 "pass the eager model, or compile_model(quantize=...) yourself"
             )
-    compile = compile or quantize is not None
+    if tune is not None and isinstance(model, CompiledModel) and model.tuning is None:
+        # Same contract for tuning: an untuned compiled model cannot be
+        # re-scheduled here.
+        raise ValueError(
+            "tune= has no effect on an already-compiled model; "
+            "pass the eager model, or compile_model(tune=...) yourself"
+        )
+    compile = compile or quantize is not None or tune is not None
     want_compiled = compile or isinstance(model, CompiledModel)
     if x.shape[0] == 0:
         # A batcher flush or a drained queue legitimately produces N=0:
@@ -226,6 +253,9 @@ def predict(
             model,
             quantize=quantize,
             calibration=calibration if calibration is not None else x,
+            tune=tune,
+            input_shape=x.shape[1:],
+            tuning_cache=tuning_cache,
         )
     compiled = model if isinstance(model, CompiledModel) else None
 
@@ -234,6 +264,12 @@ def predict(
     if micro_batch is None and workers > 1:
         # One chunk per worker keeps every thread busy exactly once.
         micro_batch = -(-batch // workers)
+    elif micro_batch is None and compiled is not None and compiled.tuning is not None:
+        # A measured tuning run recorded the winning chunk size; apply
+        # it when the caller pinned neither chunking nor workers.
+        tuned_chunk = compiled.tuning.micro_batch
+        if tuned_chunk is not None and tuned_chunk < batch:
+            micro_batch = tuned_chunk
     step = batch if micro_batch is None else micro_batch
     chunks = [x[lo : lo + step] for lo in range(0, batch, step)]
     # Ragged tail chunk on the compiled path: pad it up to the uniform
@@ -263,7 +299,8 @@ def predict(
 
     def run_all() -> List[np.ndarray]:
         if workers > 1:
-            return list(_shared_pool(workers).map(run_chunk, range(len(chunks))))
+            pool = executor if executor is not None else _shared_pool(workers)
+            return list(pool.map(run_chunk, range(len(chunks))))
         return [run_chunk(i) for i in range(len(chunks))]
 
     start = time.perf_counter()

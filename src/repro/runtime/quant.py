@@ -303,6 +303,8 @@ class QuantizeOp(_InferenceOp):
     qmax: int
     tag: str
 
+    domain_out = "codes"
+
     def run(self, x, state, backend):
         """Scale, round and clip the activation into code space."""
         out = state.arena.take(f"{self.tag}:out", x.shape, x.dtype)
@@ -322,6 +324,8 @@ class DequantizeOp(_InferenceOp):
 
     scale: float
     tag: str
+
+    domain_out = "float"
 
     def run(self, x, state, backend):
         """Multiply codes by their scale, back into float activations."""
@@ -362,6 +366,11 @@ class QuantConvOp(ConvOp):
     codes_int8: Optional[np.ndarray] = None  # storage-format weight codes
     bias_q: Optional[np.ndarray] = None  # (1, C_out) bias in code space (gather path)
     _mult_cache: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def domain_out(self) -> str:
+        """Edge domain this conv produces: codes while requantizing."""
+        return "codes" if self.out_scale is not None else "float"
 
     def _multiplier(self, dtype) -> np.ndarray:
         """Per-column scale folding the int32-style accumulator back."""
@@ -612,6 +621,7 @@ def _assess(op: _InferenceOp, config: QuantizationConfig) -> _LayerQuant:
         return _LayerQuant(False, "not a conv", 0.0)
     if op.backend is not None:
         return _LayerQuant(False, "forced backend", 0.0)
+    op.prepare()  # codes quantize from the (folded, cast) GEMM operand
     if op.encoded is not None:
         codes, scales, error = quantize_encoded_values(op.encoded, config)
     else:
@@ -696,6 +706,8 @@ def _quantize_conv(
         bias_rows=bias_rows,
         encoded=encoded,
         use_gather=op.use_gather,
+        slab_bytes=op.slab_bytes,
+        schedule=op.schedule,
         epilogue=op.epilogue,
         relu=op.relu,
         stride=op.stride,
@@ -705,6 +717,8 @@ def _quantize_conv(
         c_in=op.c_in,
         c_out=op.c_out,
         tag=op.tag,
+        dtype=op.dtype,
+        _prepared=True,  # the int8 operands above ARE the derived state
         w_scale=np.asarray(scales, dtype=np.float64)[None, :],
         in_scale=in_scale,
         out_scale=out_scale,

@@ -88,6 +88,13 @@ class ModelServer:
         :class:`~repro.runtime.QuantizationConfig`. Activation scales
         calibrate on a deterministic synthetic batch unless the loader
         is given a real ``calibration=`` batch. Requires ``compile``.
+    tune:
+        Compile every loaded model with per-layer schedule tuning
+        (``"cost"`` — analytic, zero measurement; ``"measure"`` — timed
+        schedules persisted in the
+        :class:`~repro.runtime.TuningCache`, so a server restart with a
+        warm cache applies the winners without re-measuring and
+        :meth:`warmup` stays fast). Requires ``compile``.
     """
 
     def __init__(
@@ -98,16 +105,20 @@ class ModelServer:
         max_latency_ms: float = 2.0,
         compile: bool = True,
         quantize=None,
+        tune: Optional[str] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if quantize is not None and not compile:
             raise ValueError("quantize= requires the compiled pipeline (compile=True)")
+        if tune is not None and not compile:
+            raise ValueError("tune= requires the compiled pipeline (compile=True)")
         self.workers = workers
         self.max_batch = max_batch
         self.max_latency_ms = max_latency_ms
         self.compile = compile
         self.quantize = quantize
+        self.tune = tune
         self.models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
 
@@ -146,18 +157,46 @@ class ModelServer:
                 if self.quantize is not None and calibration is None:
                     calibration = self._calibration_batch(input_shape)
                 compiled = runtime.compile_model(
-                    model, quantize=self.quantize, calibration=calibration
+                    model,
+                    quantize=self.quantize,
+                    calibration=calibration,
+                    tune=self.tune,
+                    input_shape=input_shape,
                 )
             stats = ServerStats()
             target = compiled if compiled is not None else model
             runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
             served_meta = dict(meta or {})
+            if compiled is not None:
+                # Cache observability: plan-reuse regressions (a cold
+                # plan cache on every flush) and tuning-cache behaviour
+                # show up on GET /stats instead of only in profiles.
+                plans = compiled.plans
+                stats.attach_cache(
+                    "plans",
+                    lambda: {
+                        "hits": plans.stats.hits,
+                        "misses": plans.stats.misses,
+                        "evictions": plans.stats.evictions,
+                        "hit_rate": round(plans.stats.hit_rate, 3),
+                        "size": len(plans),
+                    },
+                )
+                if self.tune is not None:
+                    tuning_cache = runtime.get_tuning_cache()
+                    stats.attach_cache("tuning", tuning_cache.stats.snapshot)
             if compiled is not None and compiled.quantization is not None:
                 report = compiled.quantization
                 served_meta.update(
                     quantized=f"int{report.bits}",
                     quantized_layers=report.quantized_layers,
                     fallback_layers=report.fallback_layers,
+                )
+            if compiled is not None and compiled.tuning is not None:
+                served_meta.update(
+                    tuned=compiled.tuning.mode,
+                    tuned_layers=compiled.tuning.tuned_layers,
+                    tuned_changed=compiled.tuning.changed_layers,
                 )
             served = ServedModel(
                 name=name,

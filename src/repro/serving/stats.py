@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
 import numpy as np
 
@@ -42,6 +42,21 @@ class ServerStats:
         self.batches = 0
         self.errors = 0
         self.model_seconds = 0.0
+        self._caches: Dict[str, Callable[[], dict]] = {}
+
+    # -- cache observability -------------------------------------------
+    def attach_cache(self, name: str, snapshot: Callable[[], dict]) -> None:
+        """Expose a cache's hit/miss counters on this model's snapshot.
+
+        ``snapshot`` is a zero-arg callable returning a JSON-ready dict
+        (e.g. a :class:`~repro.runtime.PlanCacheStats` or
+        :class:`~repro.runtime.TuningCacheStats` view). The server
+        attaches the compiled model's plan cache and the tuning cache at
+        load time, so ``GET /stats`` makes plan-reuse regressions
+        observable without code changes.
+        """
+        with self._lock:
+            self._caches[name] = snapshot
 
     # -- recording -----------------------------------------------------
     def record_batch(self, size: int, seconds: float) -> None:
@@ -121,6 +136,10 @@ class ServerStats:
         }
         if queue_depth is not None:
             report["queue_depth"] = queue_depth
+        with self._lock:
+            caches = dict(self._caches)
+        if caches:
+            report["caches"] = {name: fn() for name, fn in caches.items()}
         return report
 
     def render(self, title: str = "serving") -> str:

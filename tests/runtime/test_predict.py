@@ -221,3 +221,35 @@ class TestRaggedChunks:
         full = runtime.predict(compiled, batch)
         out = runtime.predict(compiled, batch, micro_batch=4, workers=2)
         np.testing.assert_allclose(out, full, rtol=1e-6, atol=1e-7)
+
+
+class TestExecutorSeam:
+    """predict(executor=) uses the caller's pool instead of the shared one."""
+
+    def test_external_executor_is_used_and_not_shut_down(self, model, batch):
+        from concurrent.futures import ThreadPoolExecutor
+
+        reference = runtime.predict(model, batch)
+        ran_on = set()
+
+        class RecordingPool(ThreadPoolExecutor):
+            def map(self, fn, *iterables):
+                ran_on.add("external")
+                return super().map(fn, *iterables)
+
+        with RecordingPool(max_workers=2) as pool:
+            out = runtime.predict(
+                model, batch, micro_batch=2, workers=2, executor=pool
+            )
+            np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-12)
+            assert ran_on == {"external"}
+            # The pool stays usable for the caller afterwards.
+            assert list(pool.map(lambda v: v + 1, [1])) == [2]
+
+    def test_sequential_path_ignores_executor(self, model, batch):
+        # workers<=1 never touches the executor at all.
+        sentinel = object()
+        out = runtime.predict(model, batch, executor=sentinel)
+        np.testing.assert_allclose(
+            out, runtime.predict(model, batch), rtol=1e-12, atol=1e-12
+        )

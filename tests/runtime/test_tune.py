@@ -1,0 +1,240 @@
+"""Tests for the cost-model/autotune pass and the tuning cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.core import PCNNConfig, PCNNPruner
+from repro.models import patternnet
+from repro.runtime import tune as tune_mod
+from repro.runtime.compile import ConvOp
+from repro.runtime.tune import TuningCache
+
+
+def pruned_model(n=1, patterns=4, seed=0):
+    model = patternnet(channels=(8, 16), num_classes=4, rng=np.random.default_rng(seed))
+    pruner = PCNNPruner(model, PCNNConfig.uniform(n, 2, num_patterns=patterns))
+    pruner.apply()
+    pruner.attach_encodings()
+    return model
+
+
+SHAPE = (3, 16, 16)
+
+
+def reference_for(model, x):
+    return runtime.predict(model, x)
+
+
+class TestCostTuning:
+    def test_cost_mode_measures_nothing_and_stays_correct(self, tmp_path):
+        model = pruned_model()
+        x = np.random.default_rng(1).normal(size=(4, *SHAPE))
+        reference = reference_for(model, x)
+        cache = TuningCache(path=str(tmp_path / "tune.json"))
+        compiled = runtime.compile_model(
+            model, tune="cost", input_shape=SHAPE, tuning_cache=cache
+        )
+        np.testing.assert_allclose(compiled(x), reference, rtol=1e-4, atol=1e-5)
+        assert compiled.tuning.mode == "cost"
+        assert all(row["source"] == "cost" for row in compiled.tuning.layers)
+        # Zero measurement: the cost model never probes the cache either.
+        assert cache.stats.lookups == 0 and len(cache) == 0
+
+    def test_cost_model_overrides_gather_heuristic(self):
+        """n=1/|P|=4 passes the static width rule (4 <= 9), but the
+        analytic roofline charges the gathered A matrix's traffic and
+        picks the dense decode — the documented disagreement."""
+        model = pruned_model(n=1, patterns=4)
+        static = runtime.compile_model(model)
+        static_convs = [op for op in static.ops if isinstance(op, ConvOp)]
+        assert all(op.use_gather for op in static_convs)
+        tuned = runtime.compile_model(model, tune="cost", input_shape=SHAPE)
+        tuned_convs = [op for op in tuned.ops if isinstance(op, ConvOp)]
+        assert not any(op.use_gather for op in tuned_convs)
+        assert tuned.tuning.changed_layers == len(tuned_convs)
+
+    def test_tune_requires_input_shape(self):
+        with pytest.raises(ValueError, match="input_shape"):
+            runtime.compile_model(pruned_model(), tune="cost")
+
+    def test_invalid_tune_mode_rejected(self):
+        with pytest.raises(ValueError, match="'cost' or 'measure'"):
+            runtime.compile_model(pruned_model(), tune="fastest", input_shape=SHAPE)
+
+    def test_forced_backend_convs_are_left_alone(self):
+        model = pruned_model()
+        for module in model.modules():
+            if hasattr(module, "backend") and module.backend is None:
+                module.backend = "pattern"
+                break
+        compiled = runtime.compile_model(model, tune="cost", input_shape=SHAPE)
+        assert compiled.tuning.tuned_layers < 2  # the forced conv skipped
+
+
+class TestMeasuredTuning:
+    def test_measure_persists_and_second_compile_hits(self, tmp_path):
+        model = pruned_model()
+        x = np.random.default_rng(2).normal(size=(4, *SHAPE))
+        reference = reference_for(model, x)
+        path = str(tmp_path / "tune.json")
+        cache = TuningCache(path=path)
+        first = runtime.compile_model(
+            model, tune="measure", input_shape=SHAPE, tuning_cache=cache
+        )
+        np.testing.assert_allclose(first(x), reference, rtol=1e-4, atol=1e-5)
+        assert first.tuning.cache_hits == 0 and first.tuning.cache_misses > 0
+        stores_after_first = cache.stats.stores
+        assert stores_after_first > 0
+
+        # The persisted file is valid JSON holding the measured schedules.
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["version"] == 1 and payload["entries"]
+
+        # Second compile of the same model: every schedule comes from the
+        # cache, nothing is re-measured or re-stored.
+        second = runtime.compile_model(
+            model, tune="measure", input_shape=SHAPE, tuning_cache=cache
+        )
+        assert second.tuning.cache_misses == 0
+        assert second.tuning.cache_hits == first.tuning.cache_misses
+        assert cache.stats.stores == stores_after_first
+        assert all(row["source"] == "cache" for row in second.tuning.layers)
+        np.testing.assert_allclose(second(x), reference, rtol=1e-4, atol=1e-5)
+
+    def test_fresh_cache_object_reads_persisted_file(self, tmp_path):
+        model = pruned_model()
+        path = str(tmp_path / "tune.json")
+        runtime.compile_model(
+            model, tune="measure", input_shape=SHAPE, tuning_cache=TuningCache(path)
+        )
+        reread = TuningCache(path)
+        compiled = runtime.compile_model(
+            model, tune="measure", input_shape=SHAPE, tuning_cache=reread
+        )
+        assert compiled.tuning.cache_misses == 0
+
+    def test_corrupt_cache_file_behaves_empty(self, tmp_path):
+        path = tmp_path / "tune.json"
+        path.write_text("{not json")
+        cache = TuningCache(str(path))
+        assert cache.get("anything") is None
+        cache.put("k", {"mode": "dense"})
+        assert TuningCache(str(path)).get("k") == {"mode": "dense"}
+
+    def test_predict_tune_end_to_end(self, tmp_path):
+        model = pruned_model()
+        x = np.random.default_rng(3).normal(size=(6, *SHAPE))
+        reference = reference_for(model, x)
+        out = runtime.predict(
+            model,
+            x,
+            tune="measure",
+            tuning_cache=TuningCache(str(tmp_path / "tune.json")),
+        )
+        np.testing.assert_allclose(out, reference, rtol=1e-4, atol=1e-5)
+
+    def test_tuned_schedule_carries_onto_quantized_pipeline(self, tmp_path):
+        from repro.runtime.quant import QuantConvOp
+
+        model = pruned_model()
+        x = np.random.default_rng(4).normal(size=(8, *SHAPE))
+        compiled = runtime.compile_model(
+            model,
+            tune="cost",
+            input_shape=SHAPE,
+            quantize="int8",
+            calibration=x,
+        )
+        qconvs = [op for op in compiled.ops if isinstance(op, QuantConvOp)]
+        assert qconvs and all(op.schedule is not None for op in qconvs)
+        assert all(op.use_gather == (op.schedule.mode == "gather") for op in qconvs)
+
+
+class TestSlabOverride:
+    def test_slab_bytes_override_is_numerically_identical(self):
+        model = pruned_model(n=2, patterns=4)
+        x = np.random.default_rng(5).normal(size=(2, *SHAPE))
+        compiled = runtime.compile_model(model)
+        baseline = compiled(x)
+        conv = next(op for op in compiled.ops if isinstance(op, ConvOp))
+        # A tiny budget forces multi-slab tiling at any batch (the
+        # budget is batch-adaptive: rows derive from it per call).
+        variant = conv.clone_with(slab_bytes=4096)
+        from repro.runtime.arena import Arena
+        from repro.runtime.compile import _ExecState
+        from repro.runtime.plan import PlanCache
+
+        state = _ExecState(arena=Arena(), plans=PlanCache())
+        probe = np.random.default_rng(6).normal(size=(2, 16, 16, 3)).astype(np.float32)
+        default_out = conv.run(probe, state, None).copy()
+        state2 = _ExecState(arena=Arena(), plans=PlanCache())
+        slab_out = variant.run(probe, state2, None)
+        np.testing.assert_allclose(slab_out, default_out, rtol=1e-5, atol=1e-6)
+        assert baseline.shape[0] == 2  # compiled model unaffected
+
+
+class TestSelectionConsolidation:
+    """The gather-eligibility rule lives in tune.py, imported elsewhere."""
+
+    def test_engine_select_backend_delegates(self):
+        from repro.runtime.engine import ConvRequest, select_backend
+
+        x = np.zeros((1, 3, 8, 8))
+        w = np.zeros((4, 3, 3, 3))
+        request = ConvRequest(x=x, weight=w, padding=1)
+        assert select_backend(request) == tune_mod.select_backend(request) == "dense"
+        big = ConvRequest(x=np.zeros((8, 64, 64, 64)), weight=np.zeros((64, 64, 3, 3)), padding=1)
+        assert select_backend(big) == "tiled"
+
+    def test_constants_have_one_home(self):
+        from repro.runtime import backends, compile as compile_mod
+
+        assert compile_mod.GATHER_WIDTH_LIMIT is tune_mod.GATHER_WIDTH_LIMIT
+        assert backends.GROUPED_EXPANSION_LIMIT is tune_mod.GROUPED_EXPANSION_LIMIT
+        assert backends.TILE_THRESHOLD_ELEMENTS is tune_mod.TILE_THRESHOLD_ELEMENTS
+
+    def test_prefer_gather_drives_lowering(self):
+        narrow = pruned_model(n=1, patterns=4)  # 4 <= 9 -> gather
+        wide = pruned_model(n=2, patterns=8)  # 16 > 9 -> decode
+        narrow_ops = [
+            op for op in runtime.compile_model(narrow).ops if isinstance(op, ConvOp)
+        ]
+        wide_ops = [
+            op for op in runtime.compile_model(wide).ops if isinstance(op, ConvOp)
+        ]
+        assert all(op.use_gather for op in narrow_ops)
+        assert not any(op.use_gather for op in wide_ops)
+        for op in narrow_ops:
+            assert tune_mod.prefer_gather(op.encoded, 9)
+        for op in wide_ops:
+            assert not tune_mod.prefer_gather(op.encoded, 9)
+
+
+class TestArchPerLayerCost:
+    def test_layer_costs_sum_to_network_cost(self):
+        from repro.arch import inference_cost, inference_cost_by_layer
+        from repro.models import profile_model, vgg16_cifar
+
+        model = vgg16_cifar(rng=np.random.default_rng(0))
+        profile = profile_model(model, (3, 32, 32), model_name="vgg")
+        config = PCNNConfig.uniform(2, 13)
+        whole = inference_cost(profile, config)
+        layers = inference_cost_by_layer(profile, config)
+        assert len(layers) == 13
+        total_ms = sum(c.latency_ms for c in layers.values())
+        np.testing.assert_allclose(total_ms, whole.latency_ms, rtol=1e-9)
+
+    def test_conv_layer_cost_roofline(self):
+        from repro.arch import conv_layer_cost
+
+        small = conv_layer_cost(out_hw=(4, 4), c_in=8, c_out=8, kernel_size=3)
+        assert small.cycles == max(small.compute_cycles, small.memory_cycles)
+        wide = conv_layer_cost(
+            out_hw=(4, 4), c_in=8, c_out=8, kernel_size=3, contraction_width=8 * 18
+        )
+        assert wide.macs == 2 * small.macs  # double-width contraction
+        assert wide.latency_ms >= small.latency_ms

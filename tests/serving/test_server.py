@@ -229,3 +229,39 @@ class TestQuantizedServing:
         with server:
             out = server.predict(x)
         assert out.shape == (10,)
+
+
+class TestCacheObservability:
+    """PlanCache / TuningCache stats ride the /stats payload."""
+
+    def test_plan_cache_stats_in_snapshot(self):
+        server = ModelServer(max_batch=4, max_latency_ms=1.0)
+        served = server.load_registry("patternnet")
+        with server:
+            server.predict(np.zeros((3, 16, 16)))
+            server.predict(np.zeros((3, 16, 16)))
+        snap = served.stats.snapshot()
+        caches = snap["caches"]
+        assert caches["plans"]["misses"] > 0  # first request planned
+        assert caches["plans"]["hits"] > 0  # second reused every plan
+        assert 0.0 <= caches["plans"]["hit_rate"] <= 1.0
+        assert server.stats()["patternnet"]["caches"]["plans"] == caches["plans"]
+
+    def test_tuning_cache_stats_when_tuned(self):
+        server = ModelServer(max_batch=4, max_latency_ms=1.0, tune="cost")
+        served = server.load_registry("patternnet", n=1, patterns=4)
+        assert served.meta["tuned"] == "cost"
+        assert served.meta["tuned_layers"] == 3
+        snap = served.stats.snapshot()
+        assert set(snap["caches"]) == {"plans", "tuning"}
+        for key in ("hits", "misses", "stores", "hit_rate"):
+            assert key in snap["caches"]["tuning"]
+
+    def test_tune_requires_compile(self):
+        with pytest.raises(ValueError, match="tune="):
+            ModelServer(compile=False, tune="cost")
+
+    def test_eager_server_has_no_cache_section(self):
+        server = ModelServer(max_batch=4, max_latency_ms=1.0, compile=False)
+        served = server.load_registry("patternnet")
+        assert "caches" not in served.stats.snapshot()
