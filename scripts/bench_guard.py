@@ -20,6 +20,15 @@ Policy:
 - ``BENCH_serving.json`` / ``BENCH_quant.json`` — **warn only**: the
   dynamic-batching and int8 records depend on thread scheduling and are
   noisier; a drop prints a loud warning without failing the build.
+- ``BENCH_serving.json`` worker-pool check — **hard fail**, within-run
+  and therefore machine-invariant (no baseline needed): the
+  ``pcnn_n2_p4_procs2`` row's interleaved paired ratio must hold
+  ``procs2 >= 0.9x`` single-process on a 1-core host (ring overhead
+  bounded) and ``>= 1.5x`` with 2 or more cores (the past-the-GIL
+  scaling actually materialises). The paired metric times both servers
+  back-to-back per round and takes the round-ratio median, so host load
+  spikes cannot produce a false failure. The row's shared-image attach
+  counters must also show every worker attached (``image_copied == 0``).
 
 Usage::
 
@@ -114,6 +123,64 @@ def compare(
     return regressions, notes
 
 
+#: Paired-ratio floors for the worker-pool serving row, keyed by "does
+#: the host have real parallelism to exploit".
+PROCS_RATIO_FLOOR_1CORE = 0.9
+PROCS_RATIO_FLOOR_MULTICORE = 1.5
+
+
+def check_worker_pool(fresh: dict) -> Tuple[List[str], List[str]]:
+    """Within-run worker-pool checks on a fresh BENCH_serving.json.
+
+    Machine-invariant by construction — every number compared here was
+    produced in one run on one host — so these hard-fail even when no
+    baseline record exists or the hardware changed.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    row = fresh.get("configs", {}).get("pcnn_n2_p4_procs2")
+    if row is None:
+        failures.append("pcnn_n2_p4_procs2: row missing from fresh record")
+        return failures, notes
+
+    copied = row.get("image_copied")
+    attached = row.get("image_attached")
+    if copied != 0:
+        failures.append(
+            f"pcnn_n2_p4_procs2: workers copied the weight image "
+            f"(copied={copied}, attached={attached}) — shared mapping broken"
+        )
+    else:
+        notes.append(
+            f"pcnn_n2_p4_procs2: image attached {attached} arrays, copied 0"
+        )
+    alive, procs = row.get("workers_alive"), row.get("worker_procs")
+    if alive != procs:
+        failures.append(
+            f"pcnn_n2_p4_procs2: only {alive}/{procs} workers alive at "
+            f"end of run"
+        )
+
+    paired = row.get("paired", {})
+    ratio = paired.get("throughput_ratio_p50")
+    if ratio is None:
+        failures.append("pcnn_n2_p4_procs2: paired ratio missing from fresh record")
+        return failures, notes
+    cpus = fresh.get("effective_cpus") or fresh.get("cpu_count") or 1
+    floor = PROCS_RATIO_FLOOR_1CORE if cpus < 2 else PROCS_RATIO_FLOOR_MULTICORE
+    line = (
+        f"pcnn_n2_p4_procs2: paired ratio {ratio:.3f}x vs single-process "
+        f"(floor {floor}x on {cpus} cpu{'s' if cpus != 1 else ''}, "
+        f"single {paired.get('single_ms_p50')} ms / "
+        f"procs {paired.get('procs_ms_p50')} ms per flush)"
+    )
+    if ratio < floor:
+        failures.append(line)
+    else:
+        notes.append(line)
+    return failures, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -168,10 +235,24 @@ def main(argv=None) -> int:
             print(f"[bench-guard] {name}: {severity} regression {line}")
         if regressions and policy["hard_fail"]:
             failed = True
+    # Within-run worker-pool invariants need only the fresh record.
+    serving_fresh = os.path.join(args.fresh_dir, "BENCH_serving.json")
+    if os.path.exists(serving_fresh):
+        with open(serving_fresh) as fh:
+            fresh = json.load(fh)
+        pool_failures, pool_notes = check_worker_pool(fresh)
+        for line in pool_notes:
+            print(f"[bench-guard] BENCH_serving.json: {line}")
+        for line in pool_failures:
+            print(f"[bench-guard] BENCH_serving.json: FAIL {line}")
+            failed = True
+    else:
+        print("[bench-guard] BENCH_serving.json: no fresh record, worker-pool check skipped")
     if failed:
         print(
-            f"[bench-guard] compiled throughput dropped more than "
-            f"{args.tolerance:.0%} below the committed baseline"
+            f"[bench-guard] hard-fail: compiled throughput dropped more "
+            f"than {args.tolerance:.0%} below the committed baseline, or "
+            f"a within-run worker-pool invariant broke"
         )
         return 1
     print("[bench-guard] OK")

@@ -15,7 +15,9 @@ Gives downstream users the paper's numbers without writing code:
 - ``pcnn-repro serve --model patternnet --n 2 --port 8100`` — dynamic-
   batching JSON model server on the compiled pipeline (``--bundle`` to
   serve a deployment bundle, ``--quantize`` to serve it int8;
-  ``--max-batch``/``--max-latency-ms`` tune the coalescing policy);
+  ``--max-batch``/``--max-latency-ms`` tune the coalescing policy;
+  ``--worker-procs N`` fans flushes out to inference worker processes
+  over shared-memory rings — the multi-core configuration);
 - ``pcnn-repro chip`` — Table IX breakdown + Fig. 6 floorplan.
 """
 
@@ -208,6 +210,7 @@ def build_model_server(args):
 
     server = ModelServer(
         workers=args.workers,
+        worker_procs=getattr(args, "worker_procs", None),
         max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         compile=not args.no_compile,
@@ -243,6 +246,16 @@ def cmd_serve(args) -> int:
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.worker_procs is not None and args.worker_procs < 1:
+        print("error: --worker-procs must be >= 1", file=sys.stderr)
+        return 2
+    if args.worker_procs is not None and args.no_compile:
+        print(
+            "error: --worker-procs requires the compiled pipeline "
+            "(drop --no-compile)",
+            file=sys.stderr,
+        )
+        return 2
     if args.patterns is not None and args.n is None and not args.bundle:
         print("error: --patterns requires --n (the pruning density)", file=sys.stderr)
         return 2
@@ -267,12 +280,17 @@ def cmd_serve(args) -> int:
     pipeline = "eager" if args.no_compile else (
         "compiled int8" if args.quantize else "compiled"
     )
+    execution = (
+        f"worker_procs={args.worker_procs} (shared-memory rings)"
+        if args.worker_procs
+        else f"workers={args.workers or 1}"
+    )
     print(
         f"  batching: max_batch={args.max_batch}, "
-        f"max_latency_ms={args.max_latency_ms}, workers={args.workers or 1}, "
+        f"max_latency_ms={args.max_latency_ms}, {execution}, "
         f"{pipeline} pipeline (warm)"
     )
-    print("  POST /predict | GET /stats /models /healthz   (Ctrl-C stops)")
+    print("  POST /predict | GET /stats /workers /models /healthz   (Ctrl-C stops)")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -414,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=None,
         help="thread-pool width each coalesced flush fans out over",
+    )
+    p_serve.add_argument(
+        "--worker-procs", type=int, default=None,
+        help="serve flushes through this many inference worker *processes* "
+        "over shared-memory rings (compiled weights mapped once, "
+        "read-only, into every worker); scales past the GIL on "
+        "multi-core hosts (incompatible with --no-compile)",
     )
     p_serve.add_argument(
         "--max-batch", type=int, default=32,

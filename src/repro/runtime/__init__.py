@@ -64,13 +64,16 @@ from .quant import (
     QuantizedBackend,
     resolve_quantization,
 )
+from .shm import SharedModelImage, TensorRing
 from .tune import (
     ConvSchedule,
     TuningCache,
     TuningCacheStats,
     TuningReport,
+    effective_cpu_count,
     get_tuning_cache,
 )
+from .workerpool import BrokenWorkerPool, WorkerCrashed, WorkerPool
 
 __all__ = [
     "Arena",
@@ -114,5 +117,11 @@ __all__ = [
     "TuningCache",
     "TuningCacheStats",
     "TuningReport",
+    "effective_cpu_count",
     "get_tuning_cache",
+    "SharedModelImage",
+    "TensorRing",
+    "WorkerPool",
+    "WorkerCrashed",
+    "BrokenWorkerPool",
 ]

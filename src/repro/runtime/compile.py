@@ -845,6 +845,10 @@ class CompiledModel:
         #: ``tune=``, else ``None``.
         self.tuning = None
         self._local = threading.local()
+        # Observed (input tail, input dtype) -> (output tail, output
+        # dtype), recorded by __call__ and served by output_geometry()
+        # so empty-batch calls never need a probe forward.
+        self._geometry: dict = {}
 
     # -- resources -----------------------------------------------------
     def _state(self) -> _ExecState:
@@ -869,16 +873,103 @@ class CompiledModel:
         x = np.asarray(x)
         if x.ndim != 4:
             raise ValueError(f"expected (N, C, H, W) inputs, got shape {x.shape}")
+        geometry_key = (x.shape[1:], np.dtype(x.dtype))
         if self.dtype is not None and x.dtype != self.dtype:
             x = x.astype(self.dtype)
         state = self._state()
         out = x
         for op in self.ops:
             out = op.run(out, state, backend)
+        if geometry_key not in self._geometry:
+            self._geometry[geometry_key] = (out.shape[1:], np.dtype(out.dtype))
         # The last op's result may be a view into an arena buffer that the
         # next call will overwrite; hand back an owned copy (outputs are
         # head-sized, so this is cheap).
         return np.array(out, copy=True)
+
+    def output_geometry(self, input_tail, input_dtype):
+        """``(output shape tail, dtype)`` for ``(N,) + input_tail`` inputs.
+
+        Answers from geometry a real call already recorded, else derives
+        it analytically by walking the op list's shape rules — no probe
+        forward, no arena allocation, no worker-pool dispatch, which is
+        what lets ``predict`` answer empty batches for free. Returns
+        ``None`` when the pipeline's geometry cannot be derived
+        statically (a :class:`ModuleOp` fallback hides its spatial
+        behaviour, and ``dtype=None`` pipelines track parameter dtypes
+        the walk does not model) — callers fall back to the probe.
+        """
+        key = (tuple(input_tail), np.dtype(input_dtype))
+        entry = self._geometry.get(key)
+        if entry is not None:
+            return entry
+        if self.dtype is None:
+            return None
+        tail = self._walk_geometry(self.ops, key[0])
+        if tail is None:
+            return None
+        entry = (tail, self.dtype)
+        self._geometry[key] = entry
+        return entry
+
+    @staticmethod
+    def _walk_geometry(ops, tail):
+        """Symbolically push a shape tail through ``ops`` (None = punt)."""
+        from ..nn.functional import conv_output_size
+        from .quant import DequantizeOp, QuantizeOp
+
+        for op in ops:
+            if isinstance(op, ToNHWC):
+                if len(tail) != 3:
+                    return None
+                c, h, w = tail
+                tail = (h, w, c)
+            elif isinstance(op, ToNCHW):
+                if len(tail) != 3:
+                    return None
+                h, w, c = tail
+                tail = (c, h, w)
+            elif isinstance(op, ConvOp):  # QuantConvOp included
+                if len(tail) != 3:
+                    return None
+                h, w, _ = tail
+                oh = conv_output_size(h, op.kernel[0], op.stride, op.padding)
+                ow = conv_output_size(w, op.kernel[1], op.stride, op.padding)
+                tail = (oh, ow, op.c_out)
+            elif isinstance(op, MaxPoolOp):
+                if len(tail) != 3:
+                    return None
+                h, w, c = tail
+                oh = conv_output_size(h, op.kernel, op.stride, op.padding)
+                ow = conv_output_size(w, op.kernel, op.stride, op.padding)
+                tail = (oh, ow, c)
+            elif isinstance(op, AvgPoolOp):
+                if len(tail) != 3:
+                    return None
+                h, w, c = tail
+                oh = conv_output_size(h, op.kernel, op.stride, 0)
+                ow = conv_output_size(w, op.kernel, op.stride, 0)
+                tail = (oh, ow, c)
+            elif isinstance(op, GlobalAvgPoolOp):
+                if len(tail) != 3:
+                    return None
+                tail = (tail[2],)
+            elif isinstance(op, FlattenOp):
+                if len(tail) != 3:
+                    return None
+                h, w, c = tail
+                tail = (c * h * w,)
+            elif isinstance(op, LinearOp):
+                tail = (op.weight.shape[0],)
+            elif isinstance(op, ResidualOp):
+                tail = CompiledModel._walk_geometry(op.body, tail)
+                if tail is None:
+                    return None
+            elif isinstance(op, (BatchNormOp, ReluOp, QuantizeOp, DequantizeOp)):
+                pass  # shape-preserving
+            else:  # ModuleOp or an op this walk does not know
+                return None
+        return tail
 
     def describe(self) -> str:
         """The pass-annotated pipeline: trace, ops, and reports."""

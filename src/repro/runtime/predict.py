@@ -170,9 +170,17 @@ def predict(
         distinct size), so repeated serving loops never pay pool (or
         thread-local arena) startup per call.
     executor:
-        Bring-your-own ``ThreadPoolExecutor`` used instead of the shared
-        pool when ``workers > 1`` — for callers that already own a pool
-        (embedding servers) or want bounded lifetimes in tests.
+        Bring-your-own pool used instead of the shared thread pool — a
+        ``ThreadPoolExecutor`` (callers that already own a pool or want
+        bounded lifetimes in tests), or a
+        :class:`~repro.runtime.workerpool.WorkerPool` of inference
+        *processes*, recognised by its ``is_process_pool`` marker:
+        chunks then travel over shared-memory rings to workers holding
+        read-only views of the same weights, which is what scales past
+        the GIL. A process pool is bound to one compiled model, so
+        ``model`` must be that exact :class:`CompiledModel`; ``workers``
+        defaults to the pool's process count and ``backend=`` overrides
+        are rejected (workers run the pipeline as compiled).
     compile:
         Lower the model with :func:`~repro.runtime.compile.compile_model`
         for this call (BN folding, fused epilogues, float32, arenas).
@@ -230,13 +238,43 @@ def predict(
         )
     compile = compile or quantize is not None or tune is not None
     want_compiled = compile or isinstance(model, CompiledModel)
+    process_pool = executor is not None and getattr(executor, "is_process_pool", False)
+    if process_pool:
+        if backend is not None:
+            raise ValueError(
+                "backend= cannot be combined with a process-pool executor "
+                "(workers run the pipeline exactly as compiled)"
+            )
+        if not isinstance(model, CompiledModel) or model is not executor.compiled:
+            raise ValueError(
+                "a process-pool executor serves the compiled model it was "
+                "built from; pass that CompiledModel as model="
+            )
+        if workers is None:
+            # Split by the parallelism the machine actually has, not the
+            # pool width: on a 1-core host, chunking a flush across every
+            # worker only multiplies ring round-trips and shrinks the
+            # per-chunk batch with no concurrency to gain — one full
+            # chunk to one (least-loaded) worker is strictly cheaper.
+            from .tune import effective_cpu_count
+
+            workers = max(1, min(executor.procs, effective_cpu_count()))
     if x.shape[0] == 0:
         # A batcher flush or a drained queue legitimately produces N=0:
-        # answer with a correctly-shaped (0, ...) output. The output
-        # geometry depends on the model, so derive it from a one-image
-        # probe, memoized per model and geometry (checked before the
-        # compile step so repeated empty calls never lower the model).
-        shape_tail, dtype = _probe_output(model, want_compiled, x)
+        # answer with a correctly-shaped (0, ...) output. A compiled
+        # model knows (or can derive) its output geometry from metadata
+        # — no forward pass, so a worker pool is never spun up for an
+        # empty flush; otherwise fall back to a one-image probe,
+        # memoized per model and geometry (checked before the compile
+        # step so repeated empty calls never lower the model).
+        entry = (
+            model.output_geometry(x.shape[1:], x.dtype)
+            if isinstance(model, CompiledModel)
+            else None
+        )
+        shape_tail, dtype = entry if entry is not None else _probe_output(
+            model, want_compiled, x
+        )
         result = np.empty((0,) + shape_tail, dtype=dtype)
         if stats is not None:
             stats.batch = 0
@@ -298,6 +336,11 @@ def predict(
         return out
 
     def run_all() -> List[np.ndarray]:
+        if process_pool:
+            # Chunks cross the process boundary as shared-memory tensor
+            # records (a closure cannot); chunk timings come back from
+            # the workers' own enqueue->response stamps.
+            return executor.run_chunks(chunks, chunk_seconds)
         if workers > 1:
             pool = executor if executor is not None else _shared_pool(workers)
             return list(pool.map(run_chunk, range(len(chunks))))

@@ -1,0 +1,578 @@
+"""Shared-memory primitives for multi-process serving.
+
+Two building blocks live here, both consumed by
+:mod:`repro.runtime.workerpool`:
+
+- :class:`SharedModelImage` — a compiled model's parameters (dense
+  weights, SPM grouped matrices, int8 code bundles — every ndarray the
+  op list references) serialized once into a single
+  :class:`multiprocessing.shared_memory.SharedMemory` slab. Workers
+  :meth:`~SharedModelImage.attach` the slab and rebuild a
+  :class:`~repro.runtime.compile.CompiledModel` whose arrays are
+  *read-only views into the mapping* — the weights exist once in
+  physical memory no matter how many workers serve them. The image
+  counts how many arrays resolved as views vs. copies
+  (:attr:`attach_stats`), which is what ``/stats`` surfaces to prove
+  workers attach rather than copy.
+- :class:`TensorRing` — a lock-free single-producer/single-consumer
+  byte ring over a shared-memory slice, carrying length-prefixed
+  records (struct-packed tensor headers + raw activation bytes, no
+  pickling on the hot path). Head/tail are monotonic u64 counters on
+  separate cache lines; a producer that dies never leaves a lock for
+  the consumer to deadlock on, which is what makes worker crashes
+  recoverable.
+
+Python 3.11's ``SharedMemory`` registers *every* mapping — attached
+ones included — with the ``resource_tracker``, which would unlink
+segments still in use when a worker exits. :func:`attach_segment`
+deregisters after attaching, so only the creating process owns cleanup.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import pickle
+import struct
+import time
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedModelImage",
+    "TensorRing",
+    "RingTimeout",
+    "attach_segment",
+    "create_segment",
+    "pack_tensor",
+    "unpack_tensor",
+    "KIND_REQUEST",
+    "KIND_RESULT",
+    "KIND_ERROR",
+    "KIND_CONTROL",
+    "KIND_STOP",
+]
+
+#: Every segment this runtime creates is named ``repro-...`` so tests
+#: (and operators) can scan ``/dev/shm`` for leaks unambiguously.
+SHM_PREFIX = "repro"
+
+_IMAGE_MAGIC = 0x5250_494D  # "RPIM"
+_IMAGE_HEADER = struct.Struct("<QQQQQQ")  # magic, data_off, manifest_off,
+#                                           manifest_len, spec_off, spec_len
+_ALIGN = 64
+
+
+def _segment_name(kind: str) -> str:
+    import os
+    import secrets
+
+    return f"{SHM_PREFIX}-{kind}-{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+def create_segment(kind: str, nbytes: int) -> shared_memory.SharedMemory:
+    """Create a fresh named segment; the caller owns close+unlink."""
+    return shared_memory.SharedMemory(
+        name=_segment_name(kind), create=True, size=max(1, int(nbytes))
+    )
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting cleanup ownership.
+
+    Python 3.11 registers *every* mapping with the ``resource_tracker``,
+    attach included. That only matters when this process runs its own
+    tracker (a *spawned* worker): its tracker would unlink the segment
+    when the worker exits, yanking it out from under the router. Forked
+    workers and same-process attaches share the creator's tracker, where
+    the duplicate registration is an idempotent no-op — and deregistering
+    there would instead erase the creator's crash-cleanup backstop. So:
+    unregister only when the attach itself started a fresh tracker.
+    """
+    tracker = resource_tracker._resource_tracker  # noqa: SLF001
+    had_tracker = getattr(tracker, "_fd", None) is not None
+    shm = shared_memory.SharedMemory(name=name)
+    if not had_tracker:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker not running
+            pass
+    return shm
+
+
+def destroy_segment(shm: Optional[shared_memory.SharedMemory]) -> None:
+    """Close and unlink, tolerating repeats and races (idempotent)."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - exported views alive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _align(offset: int, alignment: int = _ALIGN) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+# ---------------------------------------------------------------------
+# Shared model image
+# ---------------------------------------------------------------------
+class _ArrayExtractor(pickle.Pickler):
+    """Pickler that lifts every ndarray out into a shared-array table.
+
+    The pickle stream keeps a persistent-id reference per array; the
+    arrays themselves land contiguously in the image slab, deduplicated
+    by object identity so a tensor referenced from two ops (e.g. a
+    conv's raw weight and its GEMM operand's base) is stored once.
+    """
+
+    def __init__(self, file: io.BytesIO) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: List[np.ndarray] = []
+        self._index: Dict[int, int] = {}
+        self._keepalive: List[np.ndarray] = []
+
+    def persistent_id(self, obj):  # noqa: D102 - pickle API
+        if type(obj) is np.ndarray:
+            index = self._index.get(id(obj))
+            if index is None:
+                index = len(self.arrays)
+                self.arrays.append(np.ascontiguousarray(obj))
+                self._index[id(obj)] = index
+                self._keepalive.append(obj)
+            return ("repro-shm-array", index)
+        return None
+
+
+class _ArrayResolver(pickle.Unpickler):
+    """Unpickler resolving persistent ids to views into the image slab."""
+
+    def __init__(self, file, arrays: Sequence[np.ndarray]) -> None:
+        super().__init__(file)
+        self._arrays = arrays
+
+    def persistent_load(self, pid):  # noqa: D102 - pickle API
+        tag, index = pid
+        if tag != "repro-shm-array":
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self._arrays[index]
+
+
+@dataclass
+class AttachStats:
+    """How an attached image's arrays materialised in this process."""
+
+    arrays: int = 0
+    attached: int = 0  # zero-copy views into the shared mapping
+    copied: int = 0  # private copies (alignment fallback; normally 0)
+    nbytes: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "arrays": self.arrays,
+            "attached": self.attached,
+            "copied": self.copied,
+            "bytes": self.nbytes,
+        }
+
+
+class SharedModelImage:
+    """A compiled model frozen into one shared-memory slab.
+
+    Layout: ``header | array data (64-byte aligned) | manifest pickle |
+    spec pickle``. The manifest lists ``(dtype, shape, offset)`` per
+    array; the spec is the op list pickled with every ndarray replaced
+    by a persistent reference into the manifest. :meth:`export` builds
+    the slab from a live :class:`CompiledModel`; :meth:`attach` +
+    :meth:`model` rebuild an equivalent model whose parameters are
+    read-only views into the mapping.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        *,
+        owner: bool,
+        stats: Optional[AttachStats] = None,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.attach_stats = stats if stats is not None else AttachStats()
+
+    @property
+    def name(self) -> str:
+        """Segment name workers pass to :meth:`attach`."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Total slab size: header + arrays + manifest + spec."""
+        return self._shm.size
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def export(cls, compiled) -> "SharedModelImage":
+        """Serialize ``compiled``'s op list into a fresh shared slab."""
+        from .compile import CompiledModel
+
+        if not isinstance(compiled, CompiledModel):
+            raise TypeError(f"expected a CompiledModel, got {type(compiled).__name__}")
+        spec_buf = io.BytesIO()
+        extractor = _ArrayExtractor(spec_buf)
+        spec = {
+            "ops": compiled.ops,
+            "dtype": compiled.dtype.name if compiled.dtype is not None else None,
+            "source": compiled.source,
+        }
+        try:
+            extractor.dump(spec)
+        except Exception as error:
+            raise ValueError(
+                f"compiled model {compiled.source!r} cannot be shared across "
+                f"processes (op state failed to serialize: {error})"
+            ) from error
+        spec_bytes = spec_buf.getvalue()
+
+        manifest = []
+        offset = _align(_IMAGE_HEADER.size)
+        for array in extractor.arrays:
+            offset = _align(offset)
+            manifest.append((array.dtype.str, array.shape, offset))
+            offset += array.nbytes
+        manifest_bytes = pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest_off = _align(offset)
+        spec_off = manifest_off + len(manifest_bytes)
+        total = spec_off + len(spec_bytes)
+
+        shm = create_segment("image", total)
+        try:
+            _IMAGE_HEADER.pack_into(
+                shm.buf,
+                0,
+                _IMAGE_MAGIC,
+                _align(_IMAGE_HEADER.size),
+                manifest_off,
+                len(manifest_bytes),
+                spec_off,
+                len(spec_bytes),
+            )
+            for array, (_, _, off) in zip(extractor.arrays, manifest):
+                dest = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf[off:])
+                dest[...] = array
+            shm.buf[manifest_off : manifest_off + len(manifest_bytes)] = manifest_bytes
+            shm.buf[spec_off : spec_off + len(spec_bytes)] = spec_bytes
+        except BaseException:
+            destroy_segment(shm)
+            raise
+        stats = AttachStats(
+            arrays=len(manifest),
+            nbytes=sum(a.nbytes for a in extractor.arrays),
+        )
+        return cls(shm, owner=True, stats=stats)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedModelImage":
+        """Map an exported image created by another process, read-only."""
+        shm = attach_segment(name)
+        magic = _IMAGE_HEADER.unpack_from(shm.buf, 0)[0]
+        if magic != _IMAGE_MAGIC:
+            shm.close()
+            raise ValueError(f"segment {name!r} is not a repro model image")
+        return cls(shm, owner=False)
+
+    # -- materialisation -----------------------------------------------
+    def _read_parts(self) -> Tuple[list, bytes]:
+        (_, _, manifest_off, manifest_len, spec_off, spec_len) = _IMAGE_HEADER.unpack_from(
+            self._shm.buf, 0
+        )
+        manifest = pickle.loads(
+            bytes(self._shm.buf[manifest_off : manifest_off + manifest_len])
+        )
+        spec_bytes = bytes(self._shm.buf[spec_off : spec_off + spec_len])
+        return manifest, spec_bytes
+
+    def arrays(self) -> List[np.ndarray]:
+        """Read-only array views into the mapping, manifest order."""
+        manifest, _ = self._read_parts()
+        stats = self.attach_stats
+        stats.arrays = len(manifest)
+        stats.attached = 0
+        stats.copied = 0
+        stats.nbytes = 0
+        views = []
+        for dtype_str, shape, off in manifest:
+            view = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=self._shm.buf[off:])
+            view.flags.writeable = False
+            stats.attached += 1
+            stats.nbytes += view.nbytes
+            views.append(view)
+        return views
+
+    def model(self):
+        """Rebuild a :class:`CompiledModel` over the shared arrays.
+
+        Every parameter tensor in the result is a read-only view into
+        the shared mapping — verify with :attr:`attach_stats` (``copied``
+        stays 0). Per-process execution state (arenas, plan cache) is
+        created fresh and private, so halo writes never false-share.
+        """
+        from .compile import CompiledModel
+
+        views = self.arrays()
+        _, spec_bytes = self._read_parts()
+        spec = _ArrayResolver(io.BytesIO(spec_bytes), views).load()
+        return CompiledModel(spec["ops"], dtype=spec["dtype"], source=spec["source"])
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (arrays from it become invalid)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # views still alive; mapping leaks
+            pass  # until process exit, but the segment itself is unlinked
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only); safe to repeat."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedModelImage(name={self.name!r}, nbytes={self.nbytes}, "
+            f"owner={self._owner})"
+        )
+
+
+# ---------------------------------------------------------------------
+# SPSC tensor rings
+# ---------------------------------------------------------------------
+class RingTimeout(TimeoutError):
+    """A ring write (full) or read (empty) exceeded its deadline."""
+
+
+#: Record kinds. Requests/results carry a tensor header + raw bytes;
+#: control/error records carry small pickled payloads (cold path only).
+KIND_REQUEST = 1
+KIND_RESULT = 2
+KIND_ERROR = 3
+KIND_CONTROL = 4
+KIND_STOP = 5
+
+_REC_HEADER = struct.Struct("<II")  # payload length, kind
+_WRAP_MARKER = 0xFFFFFFFF
+
+#: req id, enqueue stamp, done stamp, ndim, dtype (8s), dims (6 x u32)
+_TENSOR_HEADER = struct.Struct("<QddI8s6I")
+
+
+def pack_tensor(
+    req_id: int, t_start: float, t_done: float, array: np.ndarray
+) -> Tuple[bytes, memoryview]:
+    """Tensor record payload: packed header + the raw C-order bytes."""
+    array = np.ascontiguousarray(array)
+    if array.ndim > 6:
+        raise ValueError(f"tensor rank {array.ndim} exceeds ring header capacity")
+    dims = tuple(array.shape) + (0,) * (6 - array.ndim)
+    header = _TENSOR_HEADER.pack(
+        req_id, t_start, t_done, array.ndim, array.dtype.str.encode(), *dims
+    )
+    return header, memoryview(array).cast("B")
+
+
+def unpack_tensor(payload: memoryview) -> Tuple[int, float, float, np.ndarray]:
+    """Inverse of :func:`pack_tensor`; the array is a view into ``payload``."""
+    req_id, t_start, t_done, ndim, dtype_bytes, *dims = _TENSOR_HEADER.unpack_from(
+        payload, 0
+    )
+    dtype = np.dtype(dtype_bytes.rstrip(b"\x00").decode())
+    shape = tuple(dims[:ndim])
+    array = np.frombuffer(
+        payload, dtype=dtype, count=math.prod(shape),
+        offset=_TENSOR_HEADER.size,
+    ).reshape(shape)
+    return req_id, t_start, t_done, array
+
+
+class TensorRing:
+    """Lock-free SPSC byte ring over a shared-memory slice.
+
+    One writer process, one reader process. ``head``/``tail`` are
+    monotonically increasing u64 byte counters (never wrapped), each on
+    its own cache line so the two sides never false-share; the data
+    region is ``capacity`` bytes, a multiple of 8. Records are
+    ``[u32 length | u32 kind | payload]`` rounded up to 8 bytes; a
+    ``0xFFFFFFFF`` length is a wrap marker telling the reader to skip to
+    the ring start. Progress needs no locks, so a peer dying at any
+    point leaves the survivor free to time out and inspect liveness.
+    """
+
+    CONTROL_BYTES = 128  # head line + tail line
+
+    def __init__(self, buf, offset: int, capacity: int) -> None:
+        if capacity % 8 != 0 or capacity < 64:
+            raise ValueError("ring capacity must be a multiple of 8, >= 64")
+        self._buf = buf
+        self._head_off = offset
+        self._tail_off = offset + 64
+        self._data_off = offset + self.CONTROL_BYTES
+        self.capacity = capacity
+
+    @classmethod
+    def footprint(cls, capacity: int) -> int:
+        """Slab bytes one ring of ``capacity`` data bytes occupies."""
+        return cls.CONTROL_BYTES + capacity
+
+    # -- counters ------------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Producer cursor: total bytes ever written (never wraps)."""
+        return struct.unpack_from("<Q", self._buf, self._head_off)[0]
+
+    @head.setter
+    def head(self, value: int) -> None:
+        struct.pack_into("<Q", self._buf, self._head_off, value)
+
+    @property
+    def tail(self) -> int:
+        """Consumer cursor: total bytes ever consumed (never wraps)."""
+        return struct.unpack_from("<Q", self._buf, self._tail_off)[0]
+
+    @tail.setter
+    def tail(self, value: int) -> None:
+        struct.pack_into("<Q", self._buf, self._tail_off, value)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently enqueued (occupancy, for /stats)."""
+        return max(0, self.head - self.tail)
+
+    def has_data(self) -> bool:
+        """Whether at least one unconsumed record (or marker) exists."""
+        return self.head != self.tail
+
+    # -- producer side -------------------------------------------------
+    def write(
+        self,
+        kind: int,
+        parts: Sequence,
+        *,
+        timeout: Optional[float] = None,
+        should_abort=None,
+    ) -> None:
+        """Append one record; blocks (polling) while the ring is full.
+
+        ``parts`` is a sequence of bytes-like payload pieces, written
+        back-to-back. Raises :class:`RingTimeout` on deadline, or
+        ``should_abort``'s exception if the liveness callback raises
+        (e.g. the consumer process died).
+        """
+        payload_len = sum(len(memoryview(p).cast("B")) for p in parts)
+        record = _align(_REC_HEADER.size + payload_len, 8)
+        if record + 8 > self.capacity:
+            raise ValueError(
+                f"record of {record} bytes exceeds ring capacity "
+                f"{self.capacity} (resize the ring)"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        while True:
+            head = self.head
+            tail = self.tail
+            free = self.capacity - (head - tail)
+            pos = head % self.capacity
+            contiguous = self.capacity - pos
+            if contiguous < record:
+                # Not enough room before the edge: burn the remainder
+                # with a wrap marker and restart from offset 0.
+                if free >= contiguous + record:
+                    struct.pack_into(
+                        "<I", self._buf, self._data_off + pos, _WRAP_MARKER
+                    )
+                    self.head = head + contiguous
+                    continue
+            elif free >= record:
+                base = self._data_off + pos
+                _REC_HEADER.pack_into(self._buf, base, payload_len, kind)
+                cursor = base + _REC_HEADER.size
+                for part in parts:
+                    view = memoryview(part).cast("B")
+                    self._buf[cursor : cursor + len(view)] = view
+                    cursor += len(view)
+                self.head = head + record
+                return
+            spins = _backoff(spins)
+            if should_abort is not None:
+                should_abort()
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(
+                    f"ring full for {timeout:.3f}s "
+                    f"({self.used_bytes}/{self.capacity} bytes queued)"
+                )
+
+    # -- consumer side -------------------------------------------------
+    def try_read(self) -> Optional[Tuple[int, memoryview, int]]:
+        """Non-blocking: ``(kind, payload view, record bytes)`` or None.
+
+        The payload is a view into the ring — fully consume (or copy) it
+        before calling :meth:`consume`, which frees the slot for reuse.
+        """
+        while True:
+            head = self.head
+            tail = self.tail
+            if head == tail:
+                return None
+            pos = tail % self.capacity
+            length = struct.unpack_from("<I", self._buf, self._data_off + pos)[0]
+            if length == _WRAP_MARKER:
+                self.tail = tail + (self.capacity - pos)
+                continue
+            kind = struct.unpack_from("<I", self._buf, self._data_off + pos + 4)[0]
+            base = self._data_off + pos + _REC_HEADER.size
+            payload = memoryview(self._buf)[base : base + length]
+            return kind, payload, _align(_REC_HEADER.size + length, 8)
+
+    def read(
+        self, *, timeout: Optional[float] = None, should_abort=None
+    ) -> Tuple[int, memoryview, int]:
+        """Blocking :meth:`try_read`; raises :class:`RingTimeout`."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        while True:
+            item = self.try_read()
+            if item is not None:
+                return item
+            spins = _backoff(spins)
+            if should_abort is not None:
+                should_abort()
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(f"ring empty for {timeout:.3f}s")
+
+    def consume(self, record_bytes: int) -> None:
+        """Release one record returned by :meth:`try_read`/:meth:`read`."""
+        self.tail = self.tail + record_bytes
+
+
+def _backoff(spins: int) -> int:
+    """Poll pacing: yield the core first, then sleep in small steps.
+
+    The yield phase (``sleep(0)``) matters on single-core machines,
+    where the peer only runs when we give up the core; the capped sleep
+    keeps an idle ring from burning CPU against the compute it waits on.
+    """
+    if spins < 100:
+        time.sleep(0)
+    elif spins < 200:
+        time.sleep(50e-6)
+    else:
+        time.sleep(500e-6)
+    return spins + 1

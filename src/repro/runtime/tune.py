@@ -52,6 +52,7 @@ __all__ = [
     "TuningCache",
     "TuningCacheStats",
     "TuningReport",
+    "effective_cpu_count",
     "get_tuning_cache",
     "tune_graph",
 ]
@@ -123,7 +124,35 @@ def select_backend(request) -> str:
 # ---------------------------------------------------------------------
 #: Environment variable overriding the persisted tuning-cache path.
 TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
+#: Environment variable pinning the CPU count used in tuning-cache keys.
+#: Worker-pool processes inherit the router's resolved count through it,
+#: so a pool never re-probes under a different affinity view.
+TUNE_CPUS_ENV = "REPRO_TUNE_CPUS"
 _CACHE_VERSION = 1
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process can actually run on — the tuning-cache key.
+
+    ``os.cpu_count()`` reports the machine, not the process: under CPU
+    affinity or cgroup limits (containers, ``taskset``) the router and
+    its workers could disagree and key separate cache entries for the
+    same hardware budget. Resolution order: the :data:`TUNE_CPUS_ENV`
+    override (how pool workers inherit the router's resolved value),
+    then ``len(os.sched_getaffinity(0))``, then ``os.cpu_count()``.
+    """
+    override = os.environ.get(TUNE_CPUS_ENV)
+    if override:
+        try:
+            value = int(override)
+        except ValueError:
+            value = 0
+        if value > 0:
+            return value
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def default_cache_path() -> str:
@@ -618,7 +647,7 @@ def tune_graph(graph, ctx) -> TuningReport:
             "(predict/serving/CLI fill it in automatically)"
         )
     cache = ctx.tuning_cache if ctx.tuning_cache is not None else get_tuning_cache()
-    cpus = os.cpu_count() or 1
+    cpus = effective_cpu_count()
     itemsize = np.dtype(ctx.dtype).itemsize if ctx.dtype is not None else 8
     report = TuningReport(mode=mode)
 

@@ -226,6 +226,8 @@ class Batcher:
                 pad = np.zeros((target - size,) + x.shape[1:], dtype=x.dtype)
                 x = np.concatenate([x, pad])
             start = time.perf_counter()
+            for request in batch:
+                self.stats.record_queue_wait(start - request.submitted)
             out = self.runner(x)
             seconds = time.perf_counter() - start
             if out.shape[0] != x.shape[0]:

@@ -11,7 +11,11 @@ Routes
   ``{"inputs": [image, ...]}`` (each image submitted separately, so a
   multi-image request coalesces with everyone else's traffic), plus an
   optional ``"model"`` name when more than one model is served.
-- ``GET /stats`` — per-model :meth:`ServerStats.snapshot` JSON.
+- ``GET /stats`` — per-model :meth:`ServerStats.snapshot` JSON (models
+  served by a worker-process pool include a ``workers`` block).
+- ``GET /workers`` — just the per-model worker-pool breakdown (per-worker
+  req/s, ring occupancy, shared-image attach/copy counters); models
+  served in-process are omitted.
 - ``GET /models`` — the served-model registry.
 - ``GET /healthz`` — liveness probe.
 """
@@ -54,6 +58,15 @@ class _Handler(BaseHTTPRequestHandler):
         model_server = self.server.model_server
         if self.path == "/stats":
             self._reply(200, model_server.stats())
+        elif self.path == "/workers":
+            self._reply(
+                200,
+                {
+                    name: m.pool.stats_snapshot()
+                    for name, m in model_server.models.items()
+                    if m.pool is not None
+                },
+            )
         elif self.path == "/models":
             self._reply(
                 200,

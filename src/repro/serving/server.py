@@ -10,6 +10,15 @@ execution path via ``quantize=``), warms plans and arena buffers for
 every batch bucket before traffic arrives, and runs one dynamic
 :class:`~repro.serving.batcher.Batcher` per model that flushes into
 ``runtime.predict(compiled, workers=N)``.
+
+With ``worker_procs=N`` the flush fans out over a
+:class:`~repro.runtime.WorkerPool` of inference *processes* instead of
+threads: the compiled model is exported once into a shared-memory
+weight image every worker maps read-only, and each flush bucket travels
+to a worker over a shared-memory tensor ring (no pickling of image
+payloads on the hot path). That is the configuration that scales past
+the GIL on multi-core hosts; ``GET /stats`` grows a ``workers`` block
+whose attach counters prove the workers attached rather than copied.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ class ServedModel:
     stats: ServerStats
     source: str = "registry"
     meta: dict = field(default_factory=dict)
+    pool: Optional[runtime.WorkerPool] = None
 
     @property
     def target(self) -> object:
@@ -75,7 +85,15 @@ class ModelServer:
     workers:
         Thread-pool width each flush fans out over
         (``runtime.predict(compiled, workers=N)``); ``None``/1 keeps
-        flushes single-threaded.
+        flushes single-threaded. Ignored for models served through a
+        worker-process pool (``worker_procs``).
+    worker_procs:
+        Serve flushes through a :class:`~repro.runtime.WorkerPool` of
+        this many inference *processes* over shared-memory rings, with
+        the compiled weights mapped once into a shared image every
+        worker attaches read-only. ``None`` (default) keeps in-process
+        serving. Requires ``compile``; each loaded model gets its own
+        pool, shut down by :meth:`stop`.
     max_batch / max_latency_ms:
         Default coalescing policy for every model's batcher.
     compile:
@@ -101,6 +119,7 @@ class ModelServer:
         self,
         *,
         workers: Optional[int] = None,
+        worker_procs: Optional[int] = None,
         max_batch: int = 32,
         max_latency_ms: float = 2.0,
         compile: bool = True,
@@ -113,7 +132,16 @@ class ModelServer:
             raise ValueError("quantize= requires the compiled pipeline (compile=True)")
         if tune is not None and not compile:
             raise ValueError("tune= requires the compiled pipeline (compile=True)")
+        if worker_procs is not None:
+            if worker_procs < 1:
+                raise ValueError("worker_procs must be >= 1")
+            if not compile:
+                raise ValueError(
+                    "worker_procs= requires the compiled pipeline (compile=True): "
+                    "workers serve a shared-memory image of the compiled model"
+                )
         self.workers = workers
+        self.worker_procs = worker_procs
         self.max_batch = max_batch
         self.max_latency_ms = max_latency_ms
         self.compile = compile
@@ -133,6 +161,28 @@ class ModelServer:
         """
         rng = np.random.default_rng(0)
         return rng.normal(size=(8,) + tuple(input_shape))
+
+    def _chunk_rows(self) -> int:
+        """Largest chunk a flush sends one worker (predict's split).
+
+        Mirrors predict's process-pool chunking: flushes split across
+        ``min(worker_procs, effective cpus)`` — on a 1-core host the
+        whole bucket travels as one chunk.
+        """
+        ways = max(1, min(self.worker_procs or 1, runtime.effective_cpu_count()))
+        return -(-self.max_batch // ways)
+
+    def _pool_ring_bytes(self, input_shape: Tuple[int, int, int]) -> int:
+        """Size each worker's rings for this model's largest chunk.
+
+        A request record is one float64 chunk of ``_chunk_rows`` images
+        plus fixed headers; four of those (rounded up to 1 MiB) leave a
+        queued chunk in flight while another is being served without the
+        router ever blocking on ring backpressure in steady state.
+        """
+        image_bytes = 8 * int(np.prod(input_shape))
+        record = self._chunk_rows() * image_bytes + 256
+        return max(1 << 20, 4 * record)
 
     def add_model(
         self,
@@ -165,8 +215,23 @@ class ModelServer:
                 )
             stats = ServerStats()
             target = compiled if compiled is not None else model
-            runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
+            pool = None
+            if self.worker_procs is not None:
+                # One pool per model: the compiled weights are exported
+                # into a shared image once, and every flush travels to a
+                # worker process over that model's shared-memory rings.
+                pool = runtime.WorkerPool(
+                    compiled,
+                    self.worker_procs,
+                    ring_bytes=self._pool_ring_bytes(input_shape),
+                )
+                runner = lambda x: runtime.predict(target, x, executor=pool)  # noqa: E731
+                stats.attach_workers(pool.stats_snapshot)
+            else:
+                runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
             served_meta = dict(meta or {})
+            if pool is not None:
+                served_meta["worker_procs"] = self.worker_procs
             if compiled is not None:
                 # Cache observability: plan-reuse regressions (a cold
                 # plan cache on every flush) and tuning-cache behaviour
@@ -212,6 +277,7 @@ class ModelServer:
                 stats=stats,
                 source=source,
                 meta=served_meta,
+                pool=pool,
             )
             self.models[name] = served
             return served
@@ -319,9 +385,21 @@ class ModelServer:
 
         Runs one zero batch per bucket geometry through each model's
         runner, so the first real request never pays plan construction
-        or a large allocation.
+        or a large allocation. Models served by a worker-process pool
+        additionally warm every *worker* on every chunk geometry —
+        bucket runs dispatch least-loaded, so without the targeted pass
+        some worker's first real chunk would still build plans cold.
         """
         for served in self.models.values():
+            if served.pool is not None:
+                ways = max(
+                    1, min(served.pool.procs, runtime.effective_cpu_count())
+                )
+                chunk_shapes = {
+                    (-(-size // ways),) + served.input_shape
+                    for size in bucket_sizes(self.max_batch)
+                }
+                served.pool.warmup(sorted(chunk_shapes))
             for size in bucket_sizes(self.max_batch):
                 x = np.zeros((size,) + served.input_shape)
                 served.batcher.runner(x)
@@ -333,9 +411,18 @@ class ModelServer:
         return self
 
     def stop(self) -> None:
-        """Stop every batcher, draining queued requests first."""
+        """Stop every batcher (draining queued requests), then pools.
+
+        Order matters: the drain still needs live workers to serve the
+        leftover flushes, so each model's pool shuts down only after its
+        batcher has stopped. Pool shutdown unlinks the shared-memory
+        segments — nothing is left in ``/dev/shm`` afterwards.
+        """
         for served in self.models.values():
             served.batcher.stop()
+        for served in self.models.values():
+            if served.pool is not None:
+                served.pool.shutdown()
 
     def __enter__(self) -> "ModelServer":
         return self.start()
@@ -373,5 +460,5 @@ class ModelServer:
         return (
             f"ModelServer(models={sorted(self.models)}, "
             f"max_batch={self.max_batch}, max_latency_ms={self.max_latency_ms}, "
-            f"workers={self.workers})"
+            f"workers={self.workers}, worker_procs={self.worker_procs})"
         )

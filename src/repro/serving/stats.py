@@ -36,6 +36,7 @@ class ServerStats:
             raise ValueError("window must be >= 1")
         self._lock = threading.Lock()
         self._latencies: Deque[float] = deque(maxlen=window)
+        self._queue_waits: Deque[float] = deque(maxlen=window)
         self._completions: Deque[float] = deque(maxlen=window)
         self._batch_hist: Dict[int, int] = {}
         self.requests = 0
@@ -43,6 +44,7 @@ class ServerStats:
         self.errors = 0
         self.model_seconds = 0.0
         self._caches: Dict[str, Callable[[], dict]] = {}
+        self._workers_fn: Optional[Callable[[], dict]] = None
 
     # -- cache observability -------------------------------------------
     def attach_cache(self, name: str, snapshot: Callable[[], dict]) -> None:
@@ -58,6 +60,20 @@ class ServerStats:
         with self._lock:
             self._caches[name] = snapshot
 
+    def attach_workers(self, snapshot: Callable[[], dict]) -> None:
+        """Expose a worker pool's per-process view on this snapshot.
+
+        ``snapshot`` is a zero-arg callable returning the pool's
+        JSON-ready breakdown (per-worker req/s, ring occupancy,
+        shared-image attach/copy counters —
+        :meth:`~repro.runtime.workerpool.WorkerPool.stats_snapshot`).
+        Shown as the ``workers`` block of ``GET /stats``, which is how
+        an operator verifies every worker attached the shared weight
+        image (``copied`` stays 0) and traffic spreads across processes.
+        """
+        with self._lock:
+            self._workers_fn = snapshot
+
     # -- recording -----------------------------------------------------
     def record_batch(self, size: int, seconds: float) -> None:
         """One coalesced flush: ``size`` requests served in ``seconds``."""
@@ -72,6 +88,17 @@ class ServerStats:
             self.requests += 1
             self._latencies.append(latency_seconds)
             self._completions.append(time.perf_counter())
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Time one request sat queued before its flush started.
+
+        Splitting this out of the end-to-end latency makes the snapshot
+        auditable: end-to-end p50 ≈ queue-wait p50 + flush time, so a
+        percentile that silently excluded ring/worker time (measured
+        inside the flush) would show up as an impossible gap.
+        """
+        with self._lock:
+            self._queue_waits.append(max(0.0, seconds))
 
     def record_error(self, count: int = 1) -> None:
         """Count ``count`` failed requests (runner raised or rejected)."""
@@ -106,6 +133,15 @@ class ServerStats:
             "p99_ms": float(p99) * 1e3,
         }
 
+    def queue_wait_percentiles(self) -> Dict[str, float]:
+        """p50/p95 time-in-queue over the recent window, in milliseconds."""
+        with self._lock:
+            window = list(self._queue_waits)
+        if not window:
+            return {"queue_p50_ms": 0.0, "queue_p95_ms": 0.0}
+        p50, p95 = np.percentile(window, [50.0, 95.0])
+        return {"queue_p50_ms": float(p50) * 1e3, "queue_p95_ms": float(p95) * 1e3}
+
     @property
     def requests_per_second(self) -> float:
         """Throughput over the recent completion window.
@@ -133,13 +169,17 @@ class ServerStats:
             "requests_per_second": round(self.requests_per_second, 2),
             "model_seconds": round(self.model_seconds, 4),
             **{k: round(v, 3) for k, v in self.latency_percentiles().items()},
+            **{k: round(v, 3) for k, v in self.queue_wait_percentiles().items()},
         }
         if queue_depth is not None:
             report["queue_depth"] = queue_depth
         with self._lock:
             caches = dict(self._caches)
+            workers_fn = self._workers_fn
         if caches:
             report["caches"] = {name: fn() for name, fn in caches.items()}
+        if workers_fn is not None:
+            report["workers"] = workers_fn()
         return report
 
     def render(self, title: str = "serving") -> str:

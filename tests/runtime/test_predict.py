@@ -191,6 +191,24 @@ class TestEmptyBatch:
         assert out.shape == (0, 2)
         assert out.dtype == np.float32
 
+    def test_empty_batch_compiled_answers_from_metadata(self, monkeypatch):
+        """A CompiledModel that has seen the geometry derives the empty
+        result from recorded metadata — no probe forward at all."""
+        import importlib
+
+        predict_mod = importlib.import_module("repro.runtime.predict")
+        m = patternnet(channels=(8,), num_classes=2, rng=np.random.default_rng(44))
+        compiled = runtime.compile_model(m)
+        compiled(np.zeros((1, 3, 12, 12)))  # record output geometry
+        monkeypatch.setattr(
+            predict_mod,
+            "_probe_output",
+            lambda *a, **k: pytest.fail("probe forward ran for an empty batch"),
+        )
+        out = runtime.predict(compiled, np.zeros((0, 3, 12, 12)))
+        assert out.shape == (0, 2)
+        assert out.dtype == np.float32
+
 
 class TestRaggedChunks:
     def test_compiled_ragged_tail_is_equivalent(self, model, batch):

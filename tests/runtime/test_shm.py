@@ -1,0 +1,197 @@
+"""Tests for the shared-memory primitives behind multi-process serving:
+the :class:`SharedModelImage` weight slab, the SPSC :class:`TensorRing`,
+and the length-prefixed tensor record format. Every test asserts the
+``/dev/shm`` namespace is left clean."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.models import patternnet
+from repro.runtime.shm import (
+    KIND_REQUEST,
+    RingTimeout,
+    SharedModelImage,
+    TensorRing,
+    pack_tensor,
+    unpack_tensor,
+)
+
+
+def repro_segments():
+    """Names of live repro-owned shared-memory segments on this host."""
+    return sorted(glob.glob("/dev/shm/repro-*"))
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = repro_segments()
+    yield
+    assert repro_segments() == before
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    model = patternnet(rng=np.random.default_rng(7))
+    return runtime.compile_model(model, input_shape=(3, 16, 16))
+
+
+class TestSharedModelImage:
+    def test_attach_round_trip_is_equivalent(self, compiled):
+        x = np.random.default_rng(1).standard_normal((4, 3, 16, 16))
+        want = compiled(x)
+        image = SharedModelImage.export(compiled)
+        try:
+            attached = SharedModelImage.attach(image.name)
+            twin = attached.model()
+            np.testing.assert_allclose(twin(x), want, atol=1e-5, rtol=1e-5)
+            attached.close()
+        finally:
+            image.close()
+            image.unlink()
+
+    def test_attached_arrays_are_readonly_views(self, compiled):
+        image = SharedModelImage.export(compiled)
+        try:
+            attached = SharedModelImage.attach(image.name)
+            views = attached.arrays()
+            assert views
+            for view in views:
+                assert not view.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                views[0][...] = 0.0
+            del views
+            attached.close()
+        finally:
+            image.close()
+            image.unlink()
+
+    def test_attach_stats_count_views_not_copies(self, compiled):
+        image = SharedModelImage.export(compiled)
+        try:
+            attached = SharedModelImage.attach(image.name)
+            attached.model()
+            stats = attached.attach_stats.snapshot()
+            assert stats["arrays"] > 0
+            assert stats["attached"] == stats["arrays"]
+            assert stats["copied"] == 0
+            assert stats["bytes"] > 0
+            attached.close()
+        finally:
+            image.close()
+            image.unlink()
+
+    def test_export_rejects_non_compiled(self):
+        with pytest.raises(TypeError):
+            SharedModelImage.export(object())
+
+    def test_attach_rejects_foreign_segment(self):
+        from repro.runtime.shm import create_segment, destroy_segment
+
+        shm = create_segment("pool", 4096)  # no image header
+        try:
+            with pytest.raises(ValueError, match="not a repro model image"):
+                SharedModelImage.attach(shm.name)
+        finally:
+            destroy_segment(shm)
+
+    def test_unlink_is_idempotent(self, compiled):
+        image = SharedModelImage.export(compiled)
+        image.close()
+        image.unlink()
+        image.unlink()  # second unlink must not raise
+
+
+class TestTensorRing:
+    """Rings need no real shared memory — any mutable buffer works."""
+
+    def ring(self, capacity=512):
+        return TensorRing(bytearray(TensorRing.footprint(capacity)), 0, capacity)
+
+    def test_write_read_round_trip(self):
+        ring = self.ring()
+        ring.write(KIND_REQUEST, [b"hello", b"-", b"world"])
+        kind, payload, record = ring.try_read()
+        assert kind == KIND_REQUEST
+        assert bytes(payload) == b"hello-world"
+        del payload
+        ring.consume(record)
+        assert not ring.has_data()
+
+    def test_wraparound_preserves_every_record(self):
+        """Far more traffic than capacity: the wrap marker path works."""
+        ring = self.ring(capacity=256)
+        for i in range(200):
+            body = bytes([i % 251]) * (17 + i % 64)
+            ring.write(KIND_REQUEST, [body], timeout=1.0)
+            kind, payload, record = ring.try_read()
+            assert bytes(payload) == body
+            del payload
+            ring.consume(record)
+        assert ring.used_bytes == 0
+
+    def test_backpressure_times_out_when_full(self):
+        ring = self.ring(capacity=128)
+        ring.write(KIND_REQUEST, [b"x" * 80])
+        with pytest.raises(RingTimeout):
+            ring.write(KIND_REQUEST, [b"y" * 80], timeout=0.05)
+        # Consuming the first record frees the space again.
+        _, payload, record = ring.try_read()
+        del payload
+        ring.consume(record)
+        ring.write(KIND_REQUEST, [b"y" * 80], timeout=1.0)
+
+    def test_oversize_record_rejected_outright(self):
+        ring = self.ring(capacity=128)
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.write(KIND_REQUEST, [b"z" * 1024])
+
+    def test_empty_ring_reads_none(self):
+        assert self.ring().try_read() is None
+
+    def test_used_bytes_tracks_occupancy(self):
+        ring = self.ring()
+        assert ring.used_bytes == 0
+        ring.write(KIND_REQUEST, [b"abcd"])
+        assert ring.used_bytes > 0
+        _, payload, record = ring.try_read()
+        del payload
+        ring.consume(record)
+        assert ring.used_bytes == 0
+
+
+class TestTensorRecords:
+    def test_pack_unpack_round_trip(self):
+        array = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        header, data = pack_tensor(9, 1.25, 2.5, array)
+        payload = memoryview(bytes(header) + bytes(data))
+        req_id, t_start, t_done, out = unpack_tensor(payload)
+        assert (req_id, t_start, t_done) == (9, 1.25, 2.5)
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, array)
+
+    def test_non_contiguous_input_is_packed_correctly(self):
+        array = np.arange(32, dtype=np.float64).reshape(4, 8)[:, ::2]
+        header, data = pack_tensor(1, 0.0, 0.0, array)
+        payload = memoryview(bytes(header) + bytes(data))
+        _, _, _, out = unpack_tensor(payload)
+        np.testing.assert_array_equal(out, array)
+
+    def test_rank_above_header_capacity_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            pack_tensor(1, 0.0, 0.0, np.zeros((1,) * 7))
+
+    def test_ring_transport_of_tensor_records(self):
+        ring = TensorRing(bytearray(TensorRing.footprint(4096)), 0, 4096)
+        array = np.random.default_rng(3).standard_normal((2, 5))
+        header, data = pack_tensor(4, 0.5, 0.75, array)
+        ring.write(KIND_REQUEST, [header, data])
+        kind, payload, record = ring.try_read()
+        req_id, _, _, out = unpack_tensor(payload)
+        assert (kind, req_id) == (KIND_REQUEST, 4)
+        np.testing.assert_array_equal(np.array(out), array)
+        del out, payload
+        ring.consume(record)

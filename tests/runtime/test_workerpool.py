@@ -1,0 +1,206 @@
+"""Tests for the process-pool executor: numerical equivalence through
+the shared-memory rings, crash recovery, clean shutdown (no ``/dev/shm``
+leaks), and the ``predict(executor=)`` seam."""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.models import patternnet
+from repro.runtime import BrokenWorkerPool, WorkerPool
+
+
+def repro_segments():
+    return sorted(glob.glob("/dev/shm/repro-*"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def no_module_leaks():
+    """The whole module — shared pool included — must unlink everything."""
+    before = repro_segments()
+    yield
+    assert repro_segments() == before
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    model = patternnet(rng=np.random.default_rng(11))
+    return runtime.compile_model(model, input_shape=(3, 16, 16))
+
+
+@pytest.fixture(scope="module")
+def pool(compiled):
+    with WorkerPool(compiled, 2, ring_bytes=1 << 21) as pool:
+        pool.warmup([(4, 3, 16, 16)])
+        yield pool
+
+
+@pytest.fixture()
+def batch():
+    return np.random.default_rng(5).standard_normal((8, 3, 16, 16))
+
+
+class TestEquivalence:
+    def test_run_chunks_matches_in_process(self, compiled, pool, batch):
+        want = compiled(batch)
+        got = pool.run_chunks([batch])
+        np.testing.assert_allclose(got[0], want, atol=1e-5, rtol=1e-5)
+
+    def test_multi_chunk_order_is_submission_order(self, compiled, pool, batch):
+        chunks = [batch[:4], batch[4:]]
+        got = pool.run_chunks(chunks)
+        for chunk, out in zip(chunks, got):
+            np.testing.assert_allclose(out, compiled(chunk), atol=1e-5, rtol=1e-5)
+
+    def test_chunk_seconds_filled_with_ring_rtt(self, pool, batch):
+        seconds = [0.0]
+        pool.run_chunks([batch], seconds)
+        assert seconds[0] > 0.0
+
+    def test_predict_executor_seam(self, compiled, pool, batch):
+        want = runtime.predict(compiled, batch)
+        got = runtime.predict(compiled, batch, executor=pool)
+        np.testing.assert_allclose(got, want, atol=1e-5, rtol=1e-5)
+
+    def test_submit_chunk_future_resolves_to_output(self, compiled, pool, batch):
+        future = pool.submit_chunk(batch[:4])
+        np.testing.assert_allclose(
+            future.result(timeout=30), compiled(batch[:4]), atol=1e-5, rtol=1e-5
+        )
+
+    def test_traffic_spreads_across_workers(self, pool, batch):
+        for _ in range(4):
+            pool.run_chunks([batch[:2], batch[2:4], batch[4:6], batch[6:]])
+        snap = pool.stats_snapshot()
+        busy_workers = [
+            w for w in snap["per_worker"].values() if w["chunks"] > 0
+        ]
+        assert len(busy_workers) == pool.procs
+
+
+class TestObservability:
+    def test_stats_snapshot_structure(self, pool, batch):
+        pool.run_chunks([batch])
+        snap = pool.stats_snapshot()
+        assert snap["procs"] == 2
+        assert snap["alive"] == 2
+        image = snap["image"]
+        assert image["copied_total"] == 0
+        assert image["attached_total"] == 2 * image["arrays"]
+        for worker in snap["per_worker"].values():
+            assert worker["alive"]
+            assert worker["ring"]["capacity"] == pool.ring_bytes
+            assert worker["attach"]["copied"] == 0
+
+    def test_image_shared_once_not_per_worker(self, pool):
+        """The weight slab exists once; both workers map the same bytes."""
+        snap = pool.stats_snapshot()
+        image_segments = [s for s in repro_segments() if "-image-" in s]
+        assert len(image_segments) == 1
+        assert snap["image"]["segment"] in image_segments[0]
+
+
+class TestCrashRecovery:
+    """Each test builds its own pool — killing the shared one would
+    poison every later test."""
+
+    def test_sigkill_survivor_keeps_serving(self, compiled, batch):
+        before = repro_segments()
+        with WorkerPool(compiled, 2, ring_bytes=1 << 21) as pool:
+            pool.warmup([(8, 3, 16, 16)])
+            victim = pool._workers[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(5.0)
+            deadline = time.monotonic() + 5.0
+            while pool.stats_snapshot()["alive"] > 1:
+                assert time.monotonic() < deadline, "death never detected"
+                time.sleep(0.02)
+            got = pool.run_chunks([batch])
+            np.testing.assert_allclose(got[0], compiled(batch), atol=1e-5, rtol=1e-5)
+        assert repro_segments() == before
+
+    def test_sigterm_mid_burst_redispatches_in_flight(self, compiled, batch):
+        """Chunks queued on a SIGTERM'd worker finish on the survivor."""
+        before = repro_segments()
+        with WorkerPool(compiled, 2, ring_bytes=1 << 21) as pool:
+            pool.warmup([(2, 3, 16, 16)])
+            futures = [pool.submit_chunk(batch[i : i + 2]) for i in range(0, 8, 2)]
+            os.kill(pool._workers[1].process.pid, signal.SIGTERM)
+            for i, future in enumerate(futures):
+                out = future.result(timeout=30)
+                np.testing.assert_allclose(
+                    out, compiled(batch[2 * i : 2 * i + 2]), atol=1e-5, rtol=1e-5
+                )
+        assert repro_segments() == before
+
+    def test_all_workers_dead_breaks_pool(self, compiled, batch):
+        before = repro_segments()
+        with WorkerPool(compiled, 1, ring_bytes=1 << 21) as pool:
+            pool.warmup([(8, 3, 16, 16)])
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            pool._workers[0].process.join(5.0)
+            with pytest.raises((BrokenWorkerPool, RuntimeError)):
+                # Death may surface during submit or via the resolved
+                # future, depending on when the collector notices.
+                for future in [pool.submit_chunk(batch)]:
+                    future.result(timeout=30)
+        assert repro_segments() == before
+
+
+class TestLifecycle:
+    def test_shutdown_unlinks_segments_and_is_idempotent(self, compiled):
+        before = repro_segments()
+        pool = WorkerPool(compiled, 2, ring_bytes=1 << 21)
+        assert len(repro_segments()) == len(before) + 2  # image + rings
+        pool.shutdown()
+        assert repro_segments() == before
+        pool.shutdown()  # second call is a no-op
+
+    def test_submit_after_shutdown_raises(self, compiled, batch):
+        pool = WorkerPool(compiled, 1, ring_bytes=1 << 21)
+        pool.shutdown()
+        with pytest.raises(BrokenWorkerPool):
+            pool.submit_chunk(batch)
+
+    def test_stats_snapshot_safe_after_shutdown(self, compiled):
+        pool = WorkerPool(compiled, 1, ring_bytes=1 << 21)
+        pool.shutdown()
+        snap = pool.stats_snapshot()
+        assert snap["alive"] == 0
+        for worker in snap["per_worker"].values():
+            assert worker["ring"]["request_used"] == 0
+
+    def test_invalid_proc_count_rejected(self, compiled):
+        with pytest.raises(ValueError):
+            WorkerPool(compiled, 0)
+
+
+class TestEffectiveCpuCount:
+    """The tuning-cache key workers inherit from the router."""
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_CPUS", "3")
+        assert runtime.effective_cpu_count() == 3
+
+    def test_invalid_override_falls_back_to_affinity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_CPUS", "zero")
+        assert runtime.effective_cpu_count() >= 1
+        monkeypatch.setenv("REPRO_TUNE_CPUS", "-2")
+        assert runtime.effective_cpu_count() >= 1
+
+    def test_pool_pins_worker_key_to_router_view(self, compiled, monkeypatch):
+        """The pool passes the router's *resolved* CPU count into each
+        worker's REPRO_TUNE_CPUS, so a worker re-running
+        effective_cpu_count() can never key a different tuning-cache
+        entry than the router that spawned it."""
+        monkeypatch.setenv("REPRO_TUNE_CPUS", "5")
+        with WorkerPool(compiled, 1, ring_bytes=1 << 21) as pool:
+            pool.warmup([(1, 3, 16, 16)])
+            # The router resolved 5; the worker was handed that literal.
+            assert runtime.effective_cpu_count() == 5
+            assert pool._workers[0].process.is_alive()

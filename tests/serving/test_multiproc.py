@@ -1,0 +1,128 @@
+"""End-to-end tests for multi-process serving: ``ModelServer`` routing
+flushes to worker processes over shared-memory rings, the ``/stats``
+``workers`` block, the ``/workers`` HTTP route, and clean teardown."""
+
+import glob
+import json
+import urllib.request
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.core import PCNNConfig, PCNNPruner
+from repro.models import patternnet
+from repro.serving import ModelServer, serve_http
+
+
+def repro_segments():
+    return sorted(glob.glob("/dev/shm/repro-*"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def no_module_leaks():
+    before = repro_segments()
+    yield
+    assert repro_segments() == before
+
+
+def pruned_patternnet(seed=0):
+    model = patternnet(rng=np.random.default_rng(seed))
+    PCNNPruner(model, PCNNConfig.uniform(2, 3, num_patterns=4)).apply()
+    return model
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A 2-worker ModelServer + HTTP endpoint, torn down leak-free."""
+    server = ModelServer(max_batch=8, max_latency_ms=5.0, worker_procs=2)
+    served = server.add_model("patternnet", pruned_patternnet(), (3, 16, 16))
+    server.warmup()
+    httpd = serve_http(server, port=0)
+    yield server, served, httpd.url
+    httpd.shutdown()
+    httpd.server_close()
+    server.stop()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+class TestEndToEnd:
+    def test_batched_pool_results_match_single_process(self, stack):
+        server, served, _ = stack
+        images = np.random.default_rng(2).standard_normal((24, 3, 16, 16))
+        futures = [server.submit(image) for image in images]
+        wait(futures, timeout=60)
+        got = np.stack([f.result() for f in futures])
+        want = runtime.predict(served.compiled, images)
+        np.testing.assert_allclose(got, want, atol=1e-5, rtol=1e-5)
+
+    def test_pool_metadata_recorded(self, stack):
+        _, served, _ = stack
+        assert served.meta["worker_procs"] == 2
+        assert served.pool is not None
+        assert served.pool.procs == 2
+
+    def test_workers_attach_never_copy(self, stack):
+        _, served, _ = stack
+        snap = served.pool.stats_snapshot()
+        assert snap["image"]["attached_total"] == 2 * snap["image"]["arrays"]
+        assert snap["image"]["copied_total"] == 0
+
+    def test_stats_carry_workers_block_and_queue_waits(self, stack):
+        server, _, _ = stack
+        server.submit(np.zeros((3, 16, 16))).result(timeout=30)
+        report = server.get("patternnet").stats.snapshot()
+        assert "queue_p50_ms" in report
+        assert "queue_p95_ms" in report
+        workers = report["workers"]
+        assert workers["procs"] == 2
+        assert set(workers["per_worker"]) == {"0", "1"}
+
+    def test_http_stats_and_workers_routes(self, stack):
+        server, _, url = stack
+        server.submit(np.zeros((3, 16, 16))).result(timeout=30)
+        status, stats = get_json(url + "/stats")
+        assert status == 200
+        assert stats["patternnet"]["workers"]["procs"] == 2
+        status, workers = get_json(url + "/workers")
+        assert status == 200
+        assert workers["patternnet"]["image"]["copied_total"] == 0
+        ring = workers["patternnet"]["per_worker"]["0"]["ring"]
+        assert ring["capacity"] > 0
+
+
+class TestValidation:
+    def test_worker_procs_requires_compile(self):
+        with pytest.raises(ValueError, match="compile"):
+            ModelServer(worker_procs=2, compile=False)
+
+    def test_worker_procs_must_be_positive(self):
+        with pytest.raises(ValueError, match="worker_procs"):
+            ModelServer(worker_procs=0)
+
+
+class TestTeardown:
+    def test_stop_unlinks_all_segments(self):
+        before = repro_segments()
+        server = ModelServer(max_batch=4, max_latency_ms=2.0, worker_procs=2)
+        server.add_model("m", pruned_patternnet(seed=3), (3, 16, 16))
+        with server:
+            server.submit(np.zeros((3, 16, 16))).result(timeout=30)
+            assert len(repro_segments()) == len(before) + 2
+        assert repro_segments() == before
+
+    def test_stop_drains_queue_before_pool_shutdown(self):
+        """Requests in flight at stop() still resolve — the batcher
+        drains against live workers before the pool goes away."""
+        server = ModelServer(max_batch=4, max_latency_ms=50.0, worker_procs=2)
+        server.add_model("m", pruned_patternnet(seed=4), (3, 16, 16))
+        server.start()
+        futures = [server.submit(np.zeros((3, 16, 16))) for _ in range(6)]
+        server.stop()
+        for future in futures:
+            assert future.result(timeout=30).shape == (10,)
