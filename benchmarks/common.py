@@ -470,6 +470,67 @@ def _paired_procs_ratio(
     }
 
 
+def _serve_chaos_config(model, requests: int, input_shape) -> dict:
+    """Kill one of two workers mid-burst; count what survived.
+
+    The row's contract (checked by ``scripts/bench_guard.py`` within the
+    run, no baseline needed): every admitted request completes with the
+    exact ``predict`` answer — ``dropped`` must be 0 — and the
+    supervisor heals the pool back to full width. ``REPRO_CHAOS_SEED``
+    pins the inputs and the victim for reproducibility.
+    """
+    import os as _os
+    import signal as _signal
+
+    from repro import runtime
+    from repro.serving import ModelServer, Supervisor
+
+    seed = int(_os.environ.get("REPRO_CHAOS_SEED", "0"))
+    server = ModelServer(
+        max_batch=16, max_latency_ms=10.0, worker_procs=2,
+        supervisor=Supervisor(interval=0.05),
+    )
+    served = server.add_model("m", model, input_shape)
+    server.warmup()
+    rng = np.random.default_rng(seed)
+    images = rng.normal(size=(requests,) + tuple(input_shape))
+    victim_slot = int(rng.integers(0, 2))
+    reference = runtime.predict(served.compiled, images)
+
+    with server:
+        victim = served.pool.worker_health()[victim_slot]["pid"]
+        futures = [server.submit(images[i]) for i in range(requests // 2)]
+        _os.kill(victim, _signal.SIGKILL)
+        futures += [server.submit(images[i]) for i in range(requests // 2, requests)]
+        outputs, dropped = [], 0
+        for future in futures:
+            try:
+                outputs.append(future.result(timeout=120))
+            except Exception:  # noqa: BLE001 - a drop, counted against the guard
+                dropped += 1
+        max_abs_diff = (
+            float(np.abs(np.stack(outputs) - reference).max())
+            if dropped == 0 else float("inf")
+        )
+        deadline = time.perf_counter() + 30.0
+        while served.pool.alive_workers < 2 and time.perf_counter() < deadline:
+            time.sleep(0.05)
+        workers_alive_end = served.pool.alive_workers
+        status = server.supervisor.model_status()["m"]
+    return {
+        "chaos_seed": seed,
+        "admitted": requests,
+        "completed": len(outputs),
+        "dropped": dropped,
+        "shed": served.stats.shed_total,
+        "crashes": status["crashes"],
+        "restarts": status["restarts"],
+        "degraded": status["degraded"],
+        "workers_alive_end": workers_alive_end,
+        "max_abs_diff_vs_predict": max_abs_diff,
+    }
+
+
 def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     """Serving smoke: in-process Batcher under concurrent clients.
 
@@ -485,6 +546,12 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     overhead (guarded at >= 0.9x the in-process row by
     ``scripts/bench_guard.py``); with 2+ cores it shows the past-the-GIL
     scaling.
+
+    A fourth row, ``pcnn_n2_p4_chaos``, SIGKILLs one of the two workers
+    mid-burst and records the zero-drop invariant (every admitted
+    request completes with the exact ``predict`` answer) plus the
+    supervisor's heal-back; ``bench_guard.py`` hard-fails if any
+    admitted request dropped or the pool ended short-handed.
     """
     from repro.core import PCNNConfig, PCNNPruner
     from repro.models import patternnet
@@ -501,6 +568,7 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     pruner.attach_encodings()
     pcnn = _serve_one_config(pruned_model, requests, clients, shape)
     procs2 = _serve_one_config(pruned_model, requests, clients, shape, worker_procs=2)
+    chaos = _serve_chaos_config(pruned_model, requests, shape)
 
     # Guard metric: interleaved flush timing, robust to host load spikes
     # (see _paired_procs_ratio). Both servers serve the same pruned
@@ -528,7 +596,12 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
         "concurrent_clients": clients,
         "max_batch": 16,
         "max_latency_ms": 10.0,
-        "configs": {"pcnn_n2_p4": pcnn, "dense": dense, "pcnn_n2_p4_procs2": procs2},
+        "configs": {
+            "pcnn_n2_p4": pcnn,
+            "dense": dense,
+            "pcnn_n2_p4_procs2": procs2,
+            "pcnn_n2_p4_chaos": chaos,
+        },
         "cpu_count": os.cpu_count(),
         "effective_cpus": effective_cpu_count(),
     }

@@ -29,6 +29,12 @@ Policy:
   back-to-back per round and takes the round-ratio median, so host load
   spikes cannot produce a false failure. The row's shared-image attach
   counters must also show every worker attached (``image_copied == 0``).
+- ``BENCH_serving.json`` chaos check — **hard fail**, within-run: the
+  ``pcnn_n2_p4_chaos`` row SIGKILLs one of two workers mid-burst, so
+  zero admitted requests may be dropped (``dropped == 0``,
+  ``completed == admitted``), every answer must match ``predict``
+  exactly, and the supervisor must heal the pool back to both workers
+  without exhausting its restart budget.
 
 Usage::
 
@@ -181,6 +187,60 @@ def check_worker_pool(fresh: dict) -> Tuple[List[str], List[str]]:
     return failures, notes
 
 
+def check_chaos(fresh: dict) -> Tuple[List[str], List[str]]:
+    """Within-run chaos invariants on a fresh BENCH_serving.json.
+
+    The chaos row already injected the fault (one of two workers
+    SIGKILLed mid-burst); this check asserts what production cares
+    about — no admitted request was dropped, answers stayed exact, and
+    the pool healed — all from a single run, no baseline needed.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    row = fresh.get("configs", {}).get("pcnn_n2_p4_chaos")
+    if row is None:
+        failures.append("pcnn_n2_p4_chaos: row missing from fresh record")
+        return failures, notes
+
+    admitted = row.get("admitted")
+    completed = row.get("completed")
+    dropped = row.get("dropped")
+    if dropped != 0 or completed != admitted:
+        failures.append(
+            f"pcnn_n2_p4_chaos: {dropped} of {admitted} admitted requests "
+            f"dropped under a worker kill ({completed} completed) — "
+            f"admitted traffic must always be served"
+        )
+    else:
+        notes.append(
+            f"pcnn_n2_p4_chaos: all {admitted} admitted requests served "
+            f"through a worker SIGKILL (0 dropped)"
+        )
+    diff = row.get("max_abs_diff_vs_predict")
+    if diff is None or diff > 1e-5:
+        failures.append(
+            f"pcnn_n2_p4_chaos: replayed answers diverged from predict "
+            f"(max_abs_diff={diff})"
+        )
+    alive = row.get("workers_alive_end")
+    if alive != 2:
+        failures.append(
+            f"pcnn_n2_p4_chaos: pool did not heal back to 2 workers "
+            f"(alive={alive}, restarts={row.get('restarts')})"
+        )
+    else:
+        notes.append(
+            f"pcnn_n2_p4_chaos: pool healed to {alive}/2 workers "
+            f"({row.get('restarts')} restart(s), degraded={row.get('degraded')})"
+        )
+    if row.get("degraded"):
+        failures.append(
+            "pcnn_n2_p4_chaos: a single kill exhausted the restart budget "
+            "(pool marked degraded)"
+        )
+    return failures, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -240,12 +300,13 @@ def main(argv=None) -> int:
     if os.path.exists(serving_fresh):
         with open(serving_fresh) as fh:
             fresh = json.load(fh)
-        pool_failures, pool_notes = check_worker_pool(fresh)
-        for line in pool_notes:
-            print(f"[bench-guard] BENCH_serving.json: {line}")
-        for line in pool_failures:
-            print(f"[bench-guard] BENCH_serving.json: FAIL {line}")
-            failed = True
+        for check in (check_worker_pool, check_chaos):
+            check_failures, check_notes = check(fresh)
+            for line in check_notes:
+                print(f"[bench-guard] BENCH_serving.json: {line}")
+            for line in check_failures:
+                print(f"[bench-guard] BENCH_serving.json: FAIL {line}")
+                failed = True
     else:
         print("[bench-guard] BENCH_serving.json: no fresh record, worker-pool check skipped")
     if failed:

@@ -216,6 +216,8 @@ def build_model_server(args):
         compile=not args.no_compile,
         quantize="int8" if args.quantize else None,
         tune=args.tune,
+        max_queue=getattr(args, "max_queue", None),
+        slo_ms=getattr(args, "slo_ms", None),
     )
     if args.bundle:
         served = server.load_bundle(args.bundle, args.model)
@@ -248,6 +250,12 @@ def cmd_serve(args) -> int:
         return 2
     if args.worker_procs is not None and args.worker_procs < 1:
         print("error: --worker-procs must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_queue is not None and args.max_queue < 1:
+        print("error: --max-queue must be >= 1", file=sys.stderr)
+        return 2
+    if args.slo_ms is not None and args.slo_ms <= 0:
+        print("error: --slo-ms must be > 0", file=sys.stderr)
         return 2
     if args.worker_procs is not None and args.no_compile:
         print(
@@ -290,7 +298,16 @@ def cmd_serve(args) -> int:
         f"max_latency_ms={args.max_latency_ms}, {execution}, "
         f"{pipeline} pipeline (warm)"
     )
-    print("  POST /predict | GET /stats /workers /models /healthz   (Ctrl-C stops)")
+    if args.max_queue is not None or args.slo_ms is not None:
+        print(
+            f"  admission: max_queue={args.max_queue} (429 past the mark), "
+            f"slo_ms={args.slo_ms} (503 when blown)"
+        )
+    print(
+        "  POST /predict /models | DELETE /models/<name> | "
+        "GET /stats /metrics /incidents /workers /models /healthz   "
+        "(Ctrl-C stops)"
+    )
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -447,6 +464,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-latency-ms", type=float, default=2.0,
         help="how long a flush waits for more requests (default: 2.0)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission-control high-water mark: shed requests with "
+        "HTTP 429 + Retry-After once this many are queued "
+        "(default: unbounded queue)",
+    )
+    p_serve.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="per-request latency SLO: flushes fire early to make the "
+        "oldest request's deadline, and requests that blew the SLO "
+        "while queued are shed with HTTP 503 (default: no SLO)",
     )
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8100, help="bind port")

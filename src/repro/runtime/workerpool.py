@@ -69,8 +69,11 @@ __all__ = ["WorkerPool", "WorkerCrashed", "BrokenWorkerPool", "DEFAULT_RING_BYTE
 DEFAULT_RING_BYTES = 4 * 2**20
 
 #: Per-worker live-counter slot in the pool segment (written by the
-#: worker, read lock-free by the router's /stats snapshots).
-_STATS_SLOT = struct.Struct("<QQQQ")  # chunks, images, busy_ns, spare
+#: worker, read lock-free by the router's /stats snapshots and the
+#: supervisor's wedge detector). The heartbeat is a CLOCK_MONOTONIC
+#: nanosecond stamp — shared across processes on Linux, so the router
+#: can age it against its own ``time.monotonic_ns()``.
+_STATS_SLOT = struct.Struct("<QQQQ")  # chunks, images, busy_ns, heartbeat_ns
 _STATS_SLOT_BYTES = 64
 
 
@@ -101,6 +104,12 @@ class _WorkerHandle:
     doorbell: object  # ctx.Semaphore(0) waking the worker's request loop
     ring_lock: threading.Lock = field(default_factory=threading.Lock)
     alive: bool = True
+    #: Deliberately stopped via retire_worker() — not a crash, so the
+    #: supervisor must not resurrect it.
+    retired: bool = False
+    #: Set when the worker's KIND_CONTROL ready record has been read
+    #: (initial startup and every respawn).
+    ready: threading.Event = field(default_factory=threading.Event)
     attach: dict = field(default_factory=dict)
     #: (completion stamp, enqueue->response-write seconds), recent window
     completions: "deque" = field(default_factory=lambda: deque(maxlen=512))
@@ -170,10 +179,24 @@ def _worker_main(
     response_doorbell.release()
 
     chunks = images = busy_ns = 0
+
+    def beat() -> None:
+        # Heartbeat + counters in one 32-byte write. Stamped every loop
+        # iteration (idle ticks included) and right before compute, so a
+        # wedged worker — SIGSTOPped, deadlocked, stuck in a syscall —
+        # shows a stale stamp within one supervisor interval while a
+        # merely busy worker shows the stamp of its compute start.
+        _STATS_SLOT.pack_into(
+            segment.buf, stats_offset, chunks, images, busy_ns,
+            time.monotonic_ns(),
+        )
+
+    beat()
     try:
         while True:
             if not _wait_for_data(request_ring, doorbell, 0.25):
                 router_gone()
+                beat()
                 continue
             item = request_ring.try_read()
             if item is None:
@@ -190,6 +213,7 @@ def _worker_main(
                 continue
             req_id, enqueued, _, x = unpack_tensor(payload)
             received = time.monotonic()
+            beat()
             try:
                 out = model(x)  # owned copy; the ring slot is free after this
             except BaseException as error:  # noqa: BLE001 - forwarded
@@ -207,7 +231,7 @@ def _worker_main(
             chunks += 1
             images += x.shape[0]
             busy_ns += int((done - received) * 1e9)
-            _STATS_SLOT.pack_into(segment.buf, stats_offset, chunks, images, busy_ns, 0)
+            beat()
             header, data = pack_tensor(req_id, enqueued, time.monotonic(), out)
             response_ring.write(
                 KIND_RESULT, [header, data], timeout=60.0, should_abort=router_gone
@@ -299,6 +323,11 @@ class WorkerPool:
         self._outstanding: List[int] = [0] * procs
         self._next_id = 0
         self._submit_timeout = 30.0
+        #: Optional crash hook (set by the serving supervisor): called
+        #: with ``(worker_id, exitcode, orphaned, redispatched)`` from
+        #: the collector thread whenever a worker death is detected.
+        #: Must not block — it runs inside the response-drain sweep.
+        self.on_worker_death = None
 
         self.image = SharedModelImage.export(compiled)
         per_worker = 2 * TensorRing.footprint(ring_bytes) + _STATS_SLOT_BYTES
@@ -308,8 +337,12 @@ class WorkerPool:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         ctx = multiprocessing.get_context(start_method)
+        # Kept for respawn_worker(): resurrected workers must start the
+        # same way (and share the same doorbell semantics) as originals.
+        self._ctx = ctx
         self._response_doorbell = ctx.Semaphore(0)
         cpus = effective_cpu_count()
+        self._cpus = cpus
 
         self._workers: List[_WorkerHandle] = []
         try:
@@ -318,22 +351,7 @@ class WorkerPool:
                     self._segment.buf, worker_id, ring_bytes
                 )
                 doorbell = ctx.Semaphore(0)
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        self.image.name,
-                        self._segment.name,
-                        worker_id,
-                        ring_bytes,
-                        cpus,
-                        doorbell,
-                        self._response_doorbell,
-                        os.getpid(),
-                    ),
-                    name=f"repro-worker-{worker_id}",
-                    daemon=True,
-                )
-                process.start()
+                process = self._spawn_process(worker_id, doorbell)
                 self._workers.append(
                     _WorkerHandle(
                         process=process,
@@ -362,33 +380,53 @@ class WorkerPool:
         self._collector.start()
 
     # -- startup -------------------------------------------------------
+    def _spawn_process(self, worker_id: int, doorbell) -> multiprocessing.process.BaseProcess:
+        """Start one worker process on worker ``worker_id``'s rings."""
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self.image.name,
+                self._segment.name,
+                worker_id,
+                self.ring_bytes,
+                self._cpus,
+                doorbell,
+                self._response_doorbell,
+                os.getpid(),
+            ),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return process
+
     def _await_ready(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
         for worker in self._workers:
-            while True:
-                item = worker.response_ring.try_read()
-                if item is not None:
-                    break
-                if not worker.process.is_alive():
-                    raise BrokenWorkerPool(
-                        f"worker {worker.process.name} died during startup "
-                        f"(exitcode {worker.process.exitcode})"
-                    )
-                if time.monotonic() > deadline:
-                    raise BrokenWorkerPool(
-                        f"worker {worker.process.name} not ready after {timeout:.0f}s"
-                    )
-                _wait_for_data(
-                    worker.response_ring, self._response_doorbell, 0.05
-                )
-            kind, payload, record = item
-            if kind != KIND_CONTROL:
+            self._await_worker_ready(worker, deadline - time.monotonic())
+
+    def _await_worker_ready(self, worker: _WorkerHandle, timeout: float) -> None:
+        """Block until ``worker``'s KIND_CONTROL ready record arrives.
+
+        The record may be consumed by this thread's own drain sweep or —
+        during a respawn, when the pool is already live — by the
+        background collector; either path lands in
+        :meth:`_handle_record`, which stores the attach info and sets
+        ``worker.ready``.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        while not worker.ready.is_set():
+            if not worker.process.is_alive():
                 raise BrokenWorkerPool(
-                    f"unexpected startup record kind {kind} from "
-                    f"{worker.process.name}"
+                    f"worker {worker.process.name} died during startup "
+                    f"(exitcode {worker.process.exitcode})"
                 )
-            worker.attach = pickle.loads(bytes(payload))
-            worker.response_ring.consume(record)
+            if time.monotonic() > deadline:
+                raise BrokenWorkerPool(
+                    f"worker {worker.process.name} not ready after {timeout:.0f}s"
+                )
+            _wait_for_data(worker.response_ring, self._response_doorbell, 0.05)
+            self._drain_responses(liveness=False)
 
     # -- dispatch ------------------------------------------------------
     def _pick_worker(self) -> int:
@@ -522,6 +560,171 @@ class WorkerPool:
         for future in futures:
             future.result()
 
+    # -- dynamic membership (supervision) ------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has run (pool can no longer serve)."""
+        return self._closed
+
+    @property
+    def alive_workers(self) -> int:
+        """Workers currently accepting dispatch (not dead, not retired)."""
+        return sum(1 for w in self._workers if w.alive)
+
+    def worker_health(self) -> Dict[int, dict]:
+        """Supervisor-facing liveness view, one row per worker slot.
+
+        ``heartbeat_age_s`` ages the worker's shared-clock heartbeat
+        stamp against the router's monotonic clock; a live-but-wedged
+        worker (SIGSTOP, deadlock) shows a growing age while
+        ``process_alive`` stays true — the signal :class:`~repro.serving.supervisor.Supervisor`
+        uses to kill and resurrect it. ``alive`` is the *dispatch* flag:
+        False once a crash was observed (or the worker was retired),
+        which is the supervisor's cue to respawn.
+        """
+        health: Dict[int, dict] = {}
+        now_ns = time.monotonic_ns()
+        with self._lock:
+            closed = self._closed
+            outstanding = list(self._outstanding)
+        for worker_id, worker in enumerate(self._workers):
+            heartbeat_age = None
+            if not closed:
+                _, _, stats_offset = _pool_layout(
+                    self._segment.buf, worker_id, self.ring_bytes
+                )
+                _, _, _, beat_ns = _STATS_SLOT.unpack_from(
+                    self._segment.buf, stats_offset
+                )
+                if beat_ns:
+                    heartbeat_age = max(0.0, (now_ns - beat_ns) / 1e9)
+            health[worker_id] = {
+                "alive": worker.alive,
+                "retired": worker.retired,
+                "process_alive": worker.process.is_alive(),
+                "pid": worker.process.pid,
+                "exitcode": worker.process.exitcode,
+                "outstanding": outstanding[worker_id],
+                "heartbeat_age_s": heartbeat_age,
+            }
+        return health
+
+    def kill_worker(self, worker_id: int, sig: int = signal.SIGKILL) -> None:
+        """Send ``sig`` to one worker process (wedge recovery, chaos tests).
+
+        The death is *not* processed here — the collector's next sweep
+        notices it, redispatches in-flight chunks and fires the
+        ``on_worker_death`` hook exactly as for an external kill.
+        """
+        worker = self._workers[worker_id]
+        if worker.process.pid is not None and worker.process.is_alive():
+            os.kill(worker.process.pid, sig)
+
+    def retire_worker(self, worker_id: int, timeout: float = 10.0) -> None:
+        """Gracefully remove one worker from the dispatch set.
+
+        New chunks stop routing to it immediately; its in-flight chunks
+        drain normally, then it receives a STOP record and exits. The
+        slot stays in the pool (``retired``) and can be brought back
+        with :meth:`respawn_worker`.
+        """
+        with self._lock:
+            if self._closed:
+                raise BrokenWorkerPool("worker pool is shut down")
+            worker = self._workers[worker_id]
+            if not worker.alive:
+                raise ValueError(f"worker {worker_id} is not serving")
+            if self.alive_workers <= 1:
+                raise ValueError(
+                    "cannot retire the last live worker (shut the pool down "
+                    "instead)"
+                )
+            worker.alive = False
+            worker.retired = True
+        deadline = time.monotonic() + timeout
+        while (
+            self._outstanding[worker_id] > 0
+            and worker.process.is_alive()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        if worker.process.is_alive():
+            try:
+                with worker.ring_lock:
+                    worker.request_ring.write(KIND_STOP, [], timeout=1.0)
+                worker.doorbell.release()
+            except (RingTimeout, ValueError):
+                worker.process.terminate()
+        worker.process.join(max(0.1, deadline - time.monotonic()))
+        if worker.process.is_alive():  # pragma: no cover - last resort
+            worker.process.kill()
+            worker.process.join(1.0)
+
+    def respawn_worker(self, worker_id: int, *, ready_timeout: float = 60.0) -> int:
+        """Resurrect a dead or retired worker slot; returns the new pid.
+
+        The replacement process attaches the *same*
+        :class:`SharedModelImage` and serves over the slot's existing
+        rings, which are drained of any responses the old worker wrote
+        before dying and then reset — the old process can no longer
+        touch them (it is dead and joined), so the reset is race-free.
+        Requires the slot's crash to have been observed already
+        (``alive`` False): in-flight chunk replay happens at death
+        detection, not here.
+        """
+        with self._lock:
+            if self._closed:
+                raise BrokenWorkerPool("worker pool is shut down")
+            old = self._workers[worker_id]
+        if old.alive:
+            # Maybe the death simply has not been swept yet; one probe
+            # sweep settles it (and replays the orphaned chunks).
+            self._drain_responses()
+            if old.alive:
+                raise ValueError(f"worker {worker_id} is still serving")
+        old.process.join(5.0)
+        if old.process.is_alive():
+            raise ValueError(
+                f"worker {worker_id} process (pid {old.process.pid}) has not "
+                f"exited; kill it before respawning"
+            )
+        with self._drain_lock, old.ring_lock:
+            # Collect responses the dead worker finished before it died
+            # (they are still valid results), then reset both rings and
+            # the stats slot to a clean state for the replacement.
+            while True:
+                item = old.response_ring.try_read()
+                if item is None:
+                    break
+                self._handle_record(worker_id, old, item)
+            old.request_ring.head = 0
+            old.request_ring.tail = 0
+            old.response_ring.head = 0
+            old.response_ring.tail = 0
+            _, _, stats_offset = _pool_layout(
+                self._segment.buf, worker_id, self.ring_bytes
+            )
+            _STATS_SLOT.pack_into(self._segment.buf, stats_offset, 0, 0, 0, 0)
+            with self._lock:
+                self._outstanding[worker_id] = 0
+            doorbell = self._ctx.Semaphore(0)
+            handle = _WorkerHandle(
+                process=self._spawn_process(worker_id, doorbell),
+                request_ring=old.request_ring,
+                response_ring=old.response_ring,
+                doorbell=doorbell,
+                alive=False,  # no dispatch until the ready handshake lands
+            )
+            self._workers[worker_id] = handle
+        try:
+            self._await_worker_ready(handle, ready_timeout)
+        except BaseException:
+            handle.process.terminate()
+            handle.process.join(1.0)
+            raise
+        handle.alive = True
+        return handle.process.pid
+
     # -- result collection ---------------------------------------------
     def _drain_responses(self, liveness: bool = True) -> bool:
         """One sweep over every response ring (+ death detection).
@@ -585,7 +788,12 @@ class WorkerPool:
             self._resolve(
                 req_id, worker_id, error=RuntimeError(f"worker {worker_id}: {message}")
             )
-        else:  # stray control record
+        elif kind == KIND_CONTROL:
+            # Ready handshake (initial startup or a supervisor respawn).
+            worker.attach = pickle.loads(bytes(payload))
+            worker.response_ring.consume(record)
+            worker.ready.set()
+        else:  # stray record
             worker.response_ring.consume(record)
 
     def _resolve(self, req_id, worker_id, result=None, error=None) -> None:
@@ -615,6 +823,7 @@ class WorkerPool:
             f"{worker.process.name} died (exitcode {worker.process.exitcode}) "
             f"with {len(orphaned)} chunk(s) in flight"
         )
+        redispatched = 0
         for _, pending in orphaned:
             if pending.redispatched:
                 pending.future.set_exception(crash)
@@ -626,6 +835,7 @@ class WorkerPool:
             except BaseException:  # noqa: BLE001 - no capacity left
                 pending.future.set_exception(crash)
                 continue
+            redispatched += 1
             with self._lock:
                 for req_id, entry in self._pending.items():
                     if entry.future is replacement:
@@ -636,6 +846,14 @@ class WorkerPool:
                     replacement.add_done_callback(
                         _forward_future(pending.future)
                     )
+        callback = self.on_worker_death
+        if callback is not None:
+            try:
+                callback(
+                    worker_id, worker.process.exitcode, len(orphaned), redispatched
+                )
+            except Exception:  # noqa: BLE001 - a hook must not kill the drain
+                pass
 
     # -- observability -------------------------------------------------
     def stats_snapshot(self) -> dict:

@@ -5,28 +5,48 @@ The layer that turns ``runtime.predict`` into a service:
 - :class:`Batcher` — queues single-image requests and coalesces them
   into micro-batches under a ``max_batch`` / ``max_latency_ms`` policy
   (power-of-two flush buckets keep the compiled pipeline's plan/arena
-  geometry set small and warmable).
+  geometry set small and warmable). Bounded queues shed overload with
+  :class:`QueueFull` (HTTP 429 + ``Retry-After``), SLO deadlines shed
+  stale requests with :class:`SLOExpired` (HTTP 503), and a stopped
+  batcher rejects submits with :class:`BatcherClosed`.
 - :class:`ModelServer` — multi-model registry: load by model-registry
   name (optionally PCNN-pruned) or from a ``DeploymentBundle`` ``.npz``
   (restore attaches SPM encodings, so pruned convs serve through the
-  pattern path), compile once, warm every bucket at startup.
+  pattern path), compile once, warm every bucket at startup. Entries
+  hot-swap (``add_model(replace=True)`` / ``remove_model``) without
+  dropping accepted requests.
+- :class:`Supervisor` — heals worker-process pools: heartbeat/liveness
+  monitoring, crashed/wedged-worker respawn within a restart budget,
+  and the incident log behind ``GET /incidents``.
 - :class:`ServerStats` — p50/p95/p99 latency, queue depth, coalesced
-  batch-size histogram and throughput, exposed at ``/stats``.
+  batch-size histogram and throughput, exposed at ``/stats``;
+  :func:`render_metrics` renders the same counters (plus supervision
+  state) in Prometheus text format for ``GET /metrics``.
 - :class:`ServingHTTPServer` / :func:`serve_http` — stdlib JSON
   endpoint; ``pcnn-repro serve`` is the CLI wrapper.
 """
 
-from .batcher import Batcher, bucket_sizes
+from .batcher import Batcher, BatcherClosed, QueueFull, SLOExpired, bucket_sizes
 from .http import ServingHTTPServer, serve_http
+from .metrics import render_metrics
 from .server import ModelServer, ServedModel
-from .stats import ServerStats
+from .stats import LATENCY_BUCKETS, ServerStats
+from .supervisor import Incident, RestartBudget, Supervisor
 
 __all__ = [
     "Batcher",
+    "BatcherClosed",
+    "QueueFull",
+    "SLOExpired",
     "bucket_sizes",
     "ModelServer",
     "ServedModel",
     "ServerStats",
+    "LATENCY_BUCKETS",
+    "Incident",
+    "RestartBudget",
+    "Supervisor",
+    "render_metrics",
     "ServingHTTPServer",
     "serve_http",
 ]

@@ -20,22 +20,72 @@ Two details matter for the compiled pipeline underneath:
 - **Latency is bounded by the first request.** The flush deadline
   starts when the *first* request of a batch arrives; a lone request
   never waits longer than ``max_latency_ms`` for company.
+
+Production robustness lives here too:
+
+- **Admission control** (``max_queue``): an unbounded queue turns
+  overload into unbounded latency — every request is eventually served,
+  long after its caller gave up. A bounded queue turns it into fast
+  rejection instead: past the high-water mark :meth:`submit` raises
+  :class:`QueueFull` carrying a ``retry_after`` hint derived from the
+  current drain rate, which HTTP maps to ``429 + Retry-After``.
+- **SLO deadlines** (``slo_ms``): each request carries an admission
+  timestamp; the coalescing deadline tightens so a flush fires before
+  the *oldest* request's deadline (minus the recent flush cost), and
+  requests that already blew their SLO while queued are failed with
+  :class:`SLOExpired` (HTTP 503) at flush assembly instead of wasting a
+  batch slot on an answer nobody is waiting for.
+- **Degraded fallback** (``fallback_runner``): when the primary runner
+  fails with a worker-pool error (every worker dead mid-flush), the
+  batch is re-served through the fallback — in-process ``predict`` —
+  so accepted requests complete while the supervisor heals the pool.
 """
 
 from __future__ import annotations
 
+import logging
+import math
 import queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple, Type
 
 import numpy as np
 
 from .stats import ServerStats
 
-__all__ = ["Batcher", "bucket_sizes"]
+__all__ = [
+    "Batcher",
+    "BatcherClosed",
+    "QueueFull",
+    "SLOExpired",
+    "bucket_sizes",
+]
+
+logger = logging.getLogger("repro.serving")
+
+
+class BatcherClosed(RuntimeError):
+    """Submit on a stopped (or stopping) batcher — nothing will flush it."""
+
+
+class QueueFull(RuntimeError):
+    """Admission control shed the request: queue past its high-water mark.
+
+    ``retry_after`` is the estimated seconds until the queue drains back
+    below the mark at the current service rate — the value behind the
+    HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class SLOExpired(RuntimeError):
+    """The request's latency SLO expired while it waited in the queue."""
 
 #: Sentinel pushed on the queue to wake the worker up for shutdown.
 _STOP = object()
@@ -56,11 +106,16 @@ def bucket_sizes(max_batch: int) -> List[int]:
 
 @dataclass
 class _Request:
-    """One queued image plus its completion future."""
+    """One queued image plus its completion future.
+
+    ``deadline`` is the absolute SLO deadline on the ``perf_counter``
+    clock (``inf`` when the batcher has no SLO), fixed at admission.
+    """
 
     x: np.ndarray
     future: "Future[np.ndarray]" = field(default_factory=Future)
     submitted: float = field(default_factory=time.perf_counter)
+    deadline: float = math.inf
 
 
 class Batcher:
@@ -82,6 +137,23 @@ class Batcher:
     bucket:
         Pad flushes to power-of-two buckets (see module docstring).
         Disable only when the runner is geometry-insensitive.
+    max_queue:
+        Admission-control high-water mark: :meth:`submit` raises
+        :class:`QueueFull` (HTTP 429) once this many requests are
+        already waiting. ``None`` (default) keeps the queue unbounded.
+    slo_ms:
+        Per-request latency SLO. Flushes fire early so the oldest queued
+        request still makes its deadline, and requests that blew the SLO
+        while queued are failed with :class:`SLOExpired` (HTTP 503) at
+        flush assembly. ``None`` disables deadline handling.
+    fallback_runner:
+        Degraded-mode runner (typically in-process ``predict``) used
+        when ``runner`` raises one of ``fallback_on``; the fallback's
+        flushes are counted in ``stats.degraded_flushes``.
+    fallback_on:
+        Exception types that trigger the fallback (worker-pool errors —
+        the serving layer passes ``BrokenWorkerPool``/``WorkerCrashed``/
+        ``RingTimeout``). Other runner errors still fail the batch.
     """
 
     def __init__(
@@ -92,20 +164,35 @@ class Batcher:
         max_latency_ms: float = 2.0,
         stats: Optional[ServerStats] = None,
         bucket: bool = True,
+        max_queue: Optional[int] = None,
+        slo_ms: Optional[float] = None,
+        fallback_runner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        fallback_on: Tuple[Type[BaseException], ...] = (),
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_latency_ms < 0:
             raise ValueError("max_latency_ms must be >= 0")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError("slo_ms must be > 0 (or None to disable)")
         self.runner = runner
         self.max_batch = max_batch
         self.max_latency = max_latency_ms / 1e3
         self.stats = stats if stats is not None else ServerStats()
         self.bucket = bucket
+        self.max_queue = max_queue
+        self.slo = None if slo_ms is None else slo_ms / 1e3
+        self.fallback_runner = fallback_runner
+        self.fallback_on = tuple(fallback_on)
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._stopping = False
         self._lock = threading.Lock()
+        #: EMA of recent flush wall time, used to fire SLO flushes early
+        #: enough that the flush itself still fits inside the deadline.
+        self._flush_cost = 0.0
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -139,7 +226,7 @@ class Batcher:
         if drain:
             self._drain_pending()
         else:
-            self._fail_pending(RuntimeError("batcher stopped"))
+            self._fail_pending(BatcherClosed("batcher stopped"))
 
     def __enter__(self) -> "Batcher":
         return self.start()
@@ -153,15 +240,44 @@ class Batcher:
         """Requests currently waiting for a flush (approximate)."""
         return self._queue.qsize()
 
+    def retry_after_estimate(self) -> float:
+        """Seconds until the queue drains below the high-water mark.
+
+        Derived from the recent completion-rate window: ``depth / rate``
+        is how long the backlog takes to serve at the current pace. With
+        no observed rate yet (cold server) the coalescing latency bound
+        is the only honest guess.
+        """
+        depth = self._queue.qsize()
+        rate = self.stats.requests_per_second
+        if rate > 0:
+            estimate = depth / rate
+        else:
+            estimate = max(self.max_latency * 2, 0.05)
+        return min(30.0, max(0.05, estimate))
+
     def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
-        """Enqueue one image; resolves to its single output row."""
+        """Enqueue one image; resolves to its single output row.
+
+        Raises :class:`BatcherClosed` on a stopped/stopping batcher
+        (nothing would ever flush the request) and :class:`QueueFull`
+        when admission control sheds it (queue past ``max_queue``).
+        """
         # The check and the put happen under the same lock stop() takes,
         # so a request can never slip onto the queue after stop() has
         # drained it (which would leave its future unresolved forever).
         with self._lock:
             if self._stopping or not self.running:
-                raise RuntimeError("batcher is not running (call start())")
+                raise BatcherClosed("batcher is not running (call start())")
+            if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+                self.stats.record_shed("queue_full")
+                raise QueueFull(
+                    f"queue at high-water mark ({self.max_queue} waiting)",
+                    retry_after=self.retry_after_estimate(),
+                )
             request = _Request(x=np.asarray(x))
+            if self.slo is not None:
+                request.deadline = request.submitted + self.slo
             self._queue.put(request)
         return request.future
 
@@ -188,6 +304,11 @@ class Batcher:
         """
         batch = [first]
         deadline = first.submitted + self.max_latency
+        if self.slo is not None:
+            # Fire early enough that the flush itself (recent-cost EMA)
+            # still lands inside the oldest request's SLO. ``first`` is
+            # the oldest — the queue is FIFO.
+            deadline = min(deadline, first.deadline - self._flush_cost)
         while len(batch) < self.max_batch:
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
@@ -210,12 +331,60 @@ class Batcher:
             batch.append(item)
         return batch
 
+    def _shed_expired(self, batch: List[_Request]) -> List[_Request]:
+        """Fail SLO-blown requests with 503 before they cost a batch slot.
+
+        A request whose deadline passed while it queued has a caller
+        that (per the SLO contract) already gave up — serving it wastes
+        a slot a live request could use. Runs at flush assembly, so the
+        shed happens *before* the stack/pad/GEMM work.
+        """
+        if self.slo is None:
+            return batch
+        now = time.perf_counter()
+        live = []
+        for request in batch:
+            if request.deadline < now:
+                self.stats.record_shed("slo")
+                request.future.set_exception(
+                    SLOExpired(
+                        f"request exceeded its {self.slo * 1e3:.0f} ms SLO "
+                        f"after {(now - request.submitted) * 1e3:.0f} ms queued"
+                    )
+                )
+            else:
+                live.append(request)
+        return live
+
+    def _run_batch(self, x: np.ndarray, size: int) -> np.ndarray:
+        """Primary runner, falling back in-process on pool errors.
+
+        A dead worker pool must fail *closed*: the requests were already
+        admitted, so they are re-served through ``fallback_runner``
+        (degraded mode — slower, but correct) rather than surfaced as
+        errors while the supervisor heals the pool.
+        """
+        try:
+            return self.runner(x)
+        except self.fallback_on as error:
+            if self.fallback_runner is None:
+                raise
+            logger.warning(
+                "worker pool failed a %d-image flush (%s: %s); "
+                "re-serving in-process (degraded mode)",
+                size, type(error).__name__, error,
+            )
+            out = self.fallback_runner(x)
+            self.stats.record_degraded(size)
+            return out
+
     def _flush(self, batch: List[_Request]) -> None:
         # Transition every future to RUNNING first: a future cancelled
         # while queued is dropped here, and the rest can no longer be
         # cancelled — so the set_result/set_exception calls below can
         # never raise InvalidStateError and kill the worker thread.
         batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        batch = self._shed_expired(batch)
         if not batch:
             return
         size = len(batch)
@@ -228,7 +397,7 @@ class Batcher:
             start = time.perf_counter()
             for request in batch:
                 self.stats.record_queue_wait(start - request.submitted)
-            out = self.runner(x)
+            out = self._run_batch(x, size)
             seconds = time.perf_counter() - start
             if out.shape[0] != x.shape[0]:
                 raise RuntimeError(
@@ -241,6 +410,10 @@ class Batcher:
                 request.future.set_exception(error)
             return
         self.stats.record_batch(size, seconds)
+        self._flush_cost = (
+            seconds if self._flush_cost == 0.0
+            else 0.8 * self._flush_cost + 0.2 * seconds
+        )
         done = time.perf_counter()
         for index, request in enumerate(batch):
             request.future.set_result(out[index])

@@ -11,24 +11,60 @@ Routes
   ``{"inputs": [image, ...]}`` (each image submitted separately, so a
   multi-image request coalesces with everyone else's traffic), plus an
   optional ``"model"`` name when more than one model is served.
+- ``POST /models`` — hot model lifecycle: add (or, with
+  ``"reload": true``, atomically replace) a model from the registry or
+  a bundle; compiles and warms off the serving path.
+- ``DELETE /models/<name>`` — unregister a model, draining accepted
+  requests before teardown.
 - ``GET /stats`` — per-model :meth:`ServerStats.snapshot` JSON (models
   served by a worker-process pool include a ``workers`` block).
+- ``GET /metrics`` — the same counters in Prometheus text format
+  (scraper-ready: shed/restart counters, queue depth, latency buckets).
+- ``GET /incidents`` — the supervisor's incident log + per-model
+  healing status (restarts, crashes, wedges, degraded flags).
 - ``GET /workers`` — just the per-model worker-pool breakdown (per-worker
   req/s, ring occupancy, shared-image attach/copy counters); models
   served in-process are omitted.
 - ``GET /models`` — the served-model registry.
-- ``GET /healthz`` — liveness probe.
+- ``GET /healthz`` — liveness probe; reports ``degraded`` when any
+  pool exhausted its restart budget (still HTTP 200 — degraded serving
+  answers requests through the in-process fallback).
+
+Error contract
+--------------
+Every non-200 body is ``{"error": {"kind": ..., "message": ...}}`` so
+clients can branch on a stable machine-readable ``kind`` instead of
+parsing prose:
+
+- ``400 bad_request`` — malformed body or wrong image shape.
+- ``404 not_found`` — unknown route or model.
+- ``409 conflict`` — ``POST /models`` on an existing name without
+  ``"reload": true``.
+- ``429 queue_full`` — admission control shed the request; the
+  ``Retry-After`` header (seconds) is derived from the queue's current
+  drain rate.
+- ``503 slo_expired | batcher_closed | worker_pool`` — the request was
+  accepted but could not be served within its SLO / the endpoint is
+  shutting down / the worker pool failed without a fallback.
+- ``504 timeout`` — the server-side ``request_timeout`` expired first.
+- ``500 internal`` — anything else (a bug, by definition).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
+from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 import numpy as np
 
+from ..runtime import BrokenWorkerPool, WorkerCrashed
+from .batcher import BatcherClosed, QueueFull, SLOExpired
+from .metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from .metrics import render_metrics
 from .server import ModelServer
 
 __all__ = ["ServingHTTPServer", "serve_http"]
@@ -41,13 +77,59 @@ class _Handler(BaseHTTPRequestHandler):
     server: "ServingHTTPServer"
 
     # -- plumbing ------------------------------------------------------
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict, headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        headers: Optional[dict] = None,
+    ) -> None:
+        """Structured error body: clients branch on ``error.kind``."""
+        self._reply(
+            status, {"error": {"kind": kind, "message": message}}, headers
+        )
+
+    def _serving_error(self, error: BaseException) -> None:
+        """Map a submit/result exception onto the HTTP error contract."""
+        if isinstance(error, QueueFull):
+            self._error(
+                429, "queue_full", str(error),
+                headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))},
+            )
+        elif isinstance(error, SLOExpired):
+            self._error(503, "slo_expired", str(error))
+        elif isinstance(error, BatcherClosed):
+            self._error(503, "batcher_closed", str(error))
+        elif isinstance(error, (BrokenWorkerPool, WorkerCrashed)):
+            self._error(
+                503, "worker_pool", f"{type(error).__name__}: {error}"
+            )
+        elif isinstance(error, FutureTimeout):
+            self._error(
+                504, "timeout",
+                f"request did not complete within the server's "
+                f"{self.server.request_timeout}s request_timeout",
+            )
+        else:
+            self._error(500, "internal", f"{type(error).__name__}: {error}")
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
@@ -58,6 +140,12 @@ class _Handler(BaseHTTPRequestHandler):
         model_server = self.server.model_server
         if self.path == "/stats":
             self._reply(200, model_server.stats())
+        elif self.path == "/metrics":
+            self._reply_text(
+                200, render_metrics(model_server), METRICS_CONTENT_TYPE
+            )
+        elif self.path == "/incidents":
+            self._reply(200, model_server.supervisor.snapshot())
         elif self.path == "/workers":
             self._reply(
                 200,
@@ -73,19 +161,54 @@ class _Handler(BaseHTTPRequestHandler):
                 {name: m.describe() for name, m in model_server.models.items()},
             )
         elif self.path == "/healthz":
-            self._reply(200, {"status": "ok", "models": sorted(model_server.models)})
+            status = model_server.supervisor.model_status()
+            degraded = sorted(
+                name for name, row in status.items() if row["degraded"]
+            )
+            payload = {
+                "status": "degraded" if degraded else "ok",
+                "models": sorted(model_server.models),
+            }
+            if degraded:
+                payload["degraded"] = degraded
+            self._reply(200, payload)
         else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            self._error(404, "not_found", f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/predict":
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        if self.path == "/predict":
+            self._post_predict()
+        elif self.path == "/models":
+            self._post_models()
+        else:
+            self._error(404, "not_found", f"unknown path {self.path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        if not self.path.startswith("/models/"):
+            self._error(404, "not_found", f"unknown path {self.path!r}")
             return
+        name = self.path[len("/models/"):]
+        model_server = self.server.model_server
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length <= 0 or length > MAX_BODY_BYTES:
-                raise ValueError(f"bad Content-Length {length}")
-            request = json.loads(self.rfile.read(length))
+            model_server.remove_model(name)
+        except KeyError as error:
+            self._error(404, "not_found", str(error))
+            return
+        self._reply(200, {"removed": name, "models": sorted(model_server.models)})
+
+    # -- route bodies --------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > MAX_BODY_BYTES:
+            raise ValueError(f"bad Content-Length {length}")
+        request = json.loads(self.rfile.read(length))
+        if not isinstance(request, dict):
+            raise ValueError("request body must be a JSON object")
+        return request
+
+    def _post_predict(self) -> None:
+        try:
+            request = self._read_json()
             if "input" in request:
                 images = [request["input"]]
             elif "inputs" in request:
@@ -96,13 +219,13 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ValueError("request needs an 'input' or 'inputs' field")
             name = request.get("model")
         except (ValueError, TypeError, json.JSONDecodeError) as error:
-            self._reply(400, {"error": str(error)})
+            self._error(400, "bad_request", str(error))
             return
         model_server = self.server.model_server
         try:
             resolved = model_server.get(name)
         except KeyError as error:
-            self._reply(404, {"error": str(error)})
+            self._error(404, "not_found", str(error))
             return
         try:
             # Validate every image before submitting any, so a bad one
@@ -110,21 +233,86 @@ class _Handler(BaseHTTPRequestHandler):
             # on its valid siblings.
             arrays = [resolved.validate(np.asarray(img)) for img in images]
         except (ValueError, TypeError) as error:
-            self._reply(400, {"error": str(error)})
+            self._error(400, "bad_request", str(error))
             return
         try:
             # Submit everything first so a multi-image request coalesces
             # into shared flushes, then wait.
             futures = [resolved.batcher.submit(array) for array in arrays]
             outputs = [f.result(timeout=self.server.request_timeout) for f in futures]
-        except Exception as error:  # noqa: BLE001 - surfaced as 500
-            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        except Exception as error:  # noqa: BLE001 - mapped to the contract
+            self._serving_error(error)
             return
         self._reply(
             200,
             {
                 "model": resolved.name,
                 "outputs": np.stack(outputs).tolist(),
+            },
+        )
+
+    def _post_models(self) -> None:
+        """Hot add/reload: compile+warm off-path, then atomic swap.
+
+        Body: ``{"model": <registry name>}`` plus optional ``"name"``
+        (serving alias), ``"n"``/``"patterns"`` (PCNN pruning setting),
+        ``"seed"``, ``"bundle"`` (serve a DeploymentBundle ``.npz``
+        instead of registry weights) and ``"reload": true`` to replace
+        an existing registration (without it, a collision is a 409).
+        """
+        try:
+            request = self._read_json()
+            model_name = request.get("model")
+            if not isinstance(model_name, str) or not model_name:
+                raise ValueError("request needs a 'model' registry name")
+            reload_flag = bool(request.get("reload", False))
+        except (ValueError, TypeError, json.JSONDecodeError) as error:
+            self._error(400, "bad_request", str(error))
+            return
+        model_server = self.server.model_server
+        try:
+            if request.get("bundle"):
+                served = model_server.load_bundle(
+                    str(request["bundle"]),
+                    model_name,
+                    name=request.get("name"),
+                    seed=int(request.get("seed", 0)),
+                    replace=reload_flag,
+                    warm=True,
+                )
+            else:
+                n = request.get("n")
+                patterns = request.get("patterns")
+                served = model_server.load_registry(
+                    model_name,
+                    name=request.get("name"),
+                    n=None if n is None else int(n),
+                    patterns=None if patterns is None else int(patterns),
+                    seed=int(request.get("seed", 0)),
+                    replace=reload_flag,
+                    warm=True,
+                )
+        except KeyError as error:
+            # add_model raises KeyError both for "already registered"
+            # (conflict) and unknown registry names (not found).
+            message = str(error)
+            if "already registered" in message:
+                self._error(409, "conflict", message)
+            else:
+                self._error(404, "not_found", message)
+            return
+        except (ValueError, TypeError, FileNotFoundError) as error:
+            self._error(400, "bad_request", str(error))
+            return
+        except Exception as error:  # noqa: BLE001 - surfaced as 500
+            self._error(500, "internal", f"{type(error).__name__}: {error}")
+            return
+        self._reply(
+            200,
+            {
+                **served.describe(),
+                "name": served.name,
+                "reloaded": reload_flag,
             },
         )
 
@@ -137,6 +325,10 @@ class ServingHTTPServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    #: Deep accept backlog: an overload burst must reach admission
+    #: control (429 + Retry-After) rather than die as kernel-level
+    #: connection resets on the default 5-entry listen queue.
+    request_queue_size = 128
 
     def __init__(
         self,

@@ -1,0 +1,217 @@
+"""Prometheus text-format exposition for ``GET /metrics``.
+
+``/stats`` is for humans (nested JSON, rounded numbers, windows);
+``/metrics`` is for machines. This module renders the serving counters
+in the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# HELP`` / ``# TYPE`` headers, one ``name{labels} value`` sample per
+line — using only the standard library, so any Prometheus-compatible
+scraper can alert on shed rate, queue depth, worker restarts and
+latency buckets without an adapter.
+
+Conventions honoured:
+
+- Counters end in ``_total`` and never decrease (the latency histogram
+  uses the never-windowed cumulative counts from
+  :meth:`~repro.serving.stats.ServerStats.latency_histogram`, not the
+  percentile reservoir).
+- Histogram buckets are cumulative with ``le`` upper bounds and an
+  explicit ``+Inf`` bucket equal to ``_count``.
+- Every sample carries a ``model`` label so a multi-model server
+  exports one coherent family per metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = ["render_metrics", "CONTENT_TYPE"]
+
+#: Content-Type of the exposition (text format, version 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample-value formatting (``+Inf``, trimmed floats)."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Writer:
+    """Accumulates one metric family at a time (HELP/TYPE then samples)."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict, value: float) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape(str(val))}"' for key, val in labels.items()
+            )
+            self._lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+        else:
+            self._lines.append(f"{name} {_fmt(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def render_metrics(model_server) -> str:
+    """Render a :class:`~repro.serving.ModelServer` as Prometheus text.
+
+    One pass over the served models (request/batch/shed/latency
+    counters, queue depth) plus the supervisor's healing state
+    (restarts, crashes, wedges, degraded flags, per-worker liveness).
+    """
+    models = dict(model_server.models)
+    supervisor = getattr(model_server, "supervisor", None)
+    status = supervisor.model_status() if supervisor is not None else {}
+
+    w = _Writer()
+
+    w.family("repro_requests_total", "counter", "Requests served to completion.")
+    for name, served in models.items():
+        w.sample("repro_requests_total", {"model": name}, served.stats.requests)
+
+    w.family("repro_errors_total", "counter", "Requests failed by the runner.")
+    for name, served in models.items():
+        w.sample("repro_errors_total", {"model": name}, served.stats.errors)
+
+    w.family("repro_batches_total", "counter", "Coalesced flushes executed.")
+    for name, served in models.items():
+        w.sample("repro_batches_total", {"model": name}, served.stats.batches)
+
+    w.family(
+        "repro_shed_total", "counter",
+        "Requests shed by admission control, by reason "
+        "(queue_full=429, slo=503).",
+    )
+    for name, served in models.items():
+        shed = dict(served.stats.shed)
+        for reason in ("queue_full", "slo"):
+            shed.setdefault(reason, 0)
+        for reason, count in sorted(shed.items()):
+            w.sample(
+                "repro_shed_total", {"model": name, "reason": reason}, count
+            )
+
+    w.family(
+        "repro_degraded_flushes_total", "counter",
+        "Flushes the worker pool failed but the in-process fallback served.",
+    )
+    for name, served in models.items():
+        w.sample(
+            "repro_degraded_flushes_total", {"model": name},
+            served.stats.degraded_flushes,
+        )
+
+    w.family(
+        "repro_degraded_requests_total", "counter",
+        "Requests served through the degraded-mode fallback.",
+    )
+    for name, served in models.items():
+        w.sample(
+            "repro_degraded_requests_total", {"model": name},
+            served.stats.degraded_requests,
+        )
+
+    w.family(
+        "repro_queue_depth", "gauge", "Requests waiting in the batcher queue."
+    )
+    for name, served in models.items():
+        w.sample("repro_queue_depth", {"model": name}, served.batcher.queue_depth)
+
+    w.family(
+        "repro_requests_per_second", "gauge",
+        "Throughput over the recent completion window.",
+    )
+    for name, served in models.items():
+        w.sample(
+            "repro_requests_per_second", {"model": name},
+            served.stats.requests_per_second,
+        )
+
+    w.family(
+        "repro_request_latency_seconds", "histogram",
+        "End-to-end request latency (queueing included).",
+    )
+    for name, served in models.items():
+        hist = served.stats.latency_histogram()
+        for bound, cumulative in hist["buckets"]:
+            w.sample(
+                "repro_request_latency_seconds_bucket",
+                {"model": name, "le": _fmt(bound)},
+                cumulative,
+            )
+        w.sample("repro_request_latency_seconds_sum", {"model": name}, hist["sum"])
+        w.sample(
+            "repro_request_latency_seconds_count", {"model": name}, hist["count"]
+        )
+
+    # -- worker-pool / supervision families ----------------------------
+    pooled = {name: m for name, m in models.items() if m.pool is not None}
+
+    w.family(
+        "repro_workers_alive", "gauge",
+        "Worker processes currently accepting dispatch.",
+    )
+    for name, served in pooled.items():
+        w.sample("repro_workers_alive", {"model": name}, served.pool.alive_workers)
+
+    w.family("repro_workers_total", "gauge", "Configured worker-pool width.")
+    for name, served in pooled.items():
+        w.sample("repro_workers_total", {"model": name}, served.pool.procs)
+
+    w.family(
+        "repro_worker_restarts_total", "counter",
+        "Workers respawned by the supervisor.",
+    )
+    w.family(
+        "repro_worker_crashes_total", "counter",
+        "Worker deaths observed by the pool collector.",
+    )
+    w.family(
+        "repro_worker_wedged_total", "counter",
+        "Workers killed for a stale heartbeat with work outstanding.",
+    )
+    w.family(
+        "repro_pool_degraded", "gauge",
+        "1 when the pool exhausted its restart budget (fallback serving).",
+    )
+    for name, row in status.items():
+        w.sample("repro_worker_restarts_total", {"model": name}, row["restarts"])
+        w.sample("repro_worker_crashes_total", {"model": name}, row["crashes"])
+        w.sample("repro_worker_wedged_total", {"model": name}, row["wedged"])
+        w.sample("repro_pool_degraded", {"model": name}, int(row["degraded"]))
+
+    w.family(
+        "repro_worker_up", "gauge",
+        "Per-worker liveness (1=serving, 0=dead or retired).",
+    )
+    w.family(
+        "repro_worker_heartbeat_age_seconds", "gauge",
+        "Seconds since each live worker's last heartbeat stamp.",
+    )
+    for name, served in pooled.items():
+        for worker_id, row in served.pool.worker_health().items():
+            labels = {"model": name, "worker": worker_id}
+            w.sample("repro_worker_up", labels, int(row["alive"]))
+            if row["heartbeat_age_s"] is not None:
+                w.sample(
+                    "repro_worker_heartbeat_age_seconds", labels,
+                    row["heartbeat_age_s"],
+                )
+
+    return w.render()

@@ -19,6 +19,16 @@ to a worker over a shared-memory tensor ring (no pickling of image
 payloads on the hot path). That is the configuration that scales past
 the GIL on multi-core hosts; ``GET /stats`` grows a ``workers`` block
 whose attach counters prove the workers attached rather than copied.
+
+The server is also the supervision root: every pool is registered with
+a :class:`~repro.serving.supervisor.Supervisor` that respawns crashed
+or wedged workers within a restart budget, each batcher gets the
+server-wide admission policy (``max_queue`` → 429, ``slo_ms`` → 503)
+plus an in-process degraded-mode fallback for pool failures, and the
+model registry is *hot*: :meth:`add_model` with ``replace=True`` (and
+:meth:`remove_model`) compile/warm off the serving path, atomically
+swap the registry entry, and drain the old batcher without dropping a
+single accepted request.
 """
 
 from __future__ import annotations
@@ -32,8 +42,10 @@ import numpy as np
 from .. import runtime
 from ..core.deploy import DeploymentBundle
 from ..models import create_model, model_input_shape
+from ..runtime.shm import RingTimeout
 from .batcher import Batcher, bucket_sizes
 from .stats import ServerStats
+from .supervisor import Supervisor
 
 __all__ = ["ServedModel", "ModelServer"]
 
@@ -113,6 +125,22 @@ class ModelServer:
         :class:`~repro.runtime.TuningCache`, so a server restart with a
         warm cache applies the winners without re-measuring and
         :meth:`warmup` stays fast). Requires ``compile``.
+    max_queue:
+        Admission-control high-water mark for every model's batcher:
+        past this many queued requests, :meth:`submit` raises
+        :class:`~repro.serving.batcher.QueueFull` (HTTP 429 with a
+        ``Retry-After`` derived from the drain rate). ``None`` keeps
+        queues unbounded.
+    slo_ms:
+        Per-request latency SLO for every model's batcher: flushes fire
+        early to make the oldest request's deadline, and requests that
+        blew the SLO while queued are shed with
+        :class:`~repro.serving.batcher.SLOExpired` (HTTP 503).
+    supervisor:
+        The healing :class:`~repro.serving.supervisor.Supervisor` pools
+        register with (respawn budget, wedge detection, incident log).
+        A default one is built when not given; pass a custom instance
+        to tune ``heartbeat_timeout`` or the restart budget.
     """
 
     def __init__(
@@ -125,9 +153,16 @@ class ModelServer:
         compile: bool = True,
         quantize=None,
         tune: Optional[str] = None,
+        max_queue: Optional[int] = None,
+        slo_ms: Optional[float] = None,
+        supervisor: Optional[Supervisor] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError("slo_ms must be > 0 (or None to disable)")
         if quantize is not None and not compile:
             raise ValueError("quantize= requires the compiled pipeline (compile=True)")
         if tune is not None and not compile:
@@ -147,8 +182,12 @@ class ModelServer:
         self.compile = compile
         self.quantize = quantize
         self.tune = tune
+        self.max_queue = max_queue
+        self.slo_ms = slo_ms
+        self.supervisor = supervisor if supervisor is not None else Supervisor()
         self.models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
+        self._started = False
 
     # -- loading -------------------------------------------------------
     def _calibration_batch(self, input_shape: Tuple[int, int, int]) -> np.ndarray:
@@ -184,6 +223,147 @@ class ModelServer:
         record = self._chunk_rows() * image_bytes + 256
         return max(1 << 20, 4 * record)
 
+    def _build_served(
+        self,
+        name: str,
+        model,
+        input_shape: Tuple[int, int, int],
+        *,
+        source: str,
+        meta: Optional[dict],
+        calibration: Optional[np.ndarray],
+    ) -> ServedModel:
+        """Compile/quantize/tune and assemble a :class:`ServedModel`.
+
+        Deliberately runs *outside* the registry lock so a hot reload's
+        compile+warm never stalls traffic on already-served models; the
+        atomic swap happens later in :meth:`_install`.
+        """
+        compiled = None
+        if self.compile:
+            if self.quantize is not None and calibration is None:
+                calibration = self._calibration_batch(input_shape)
+            compiled = runtime.compile_model(
+                model,
+                quantize=self.quantize,
+                calibration=calibration,
+                tune=self.tune,
+                input_shape=input_shape,
+            )
+        stats = ServerStats()
+        target = compiled if compiled is not None else model
+        pool = None
+        fallback_runner = None
+        fallback_on: tuple = ()
+        if self.worker_procs is not None:
+            # One pool per model: the compiled weights are exported
+            # into a shared image once, and every flush travels to a
+            # worker process over that model's shared-memory rings.
+            pool = runtime.WorkerPool(
+                compiled,
+                self.worker_procs,
+                ring_bytes=self._pool_ring_bytes(input_shape),
+            )
+            runner = lambda x: runtime.predict(target, x, executor=pool)  # noqa: E731
+            # Fail closed: if the pool dies mid-flush the admitted
+            # requests are re-served in-process (degraded mode) while
+            # the supervisor heals the pool.
+            fallback_runner = lambda x: runtime.predict(  # noqa: E731
+                target, x, workers=self.workers
+            )
+            fallback_on = (
+                runtime.BrokenWorkerPool,
+                runtime.WorkerCrashed,
+                RingTimeout,
+            )
+            stats.attach_workers(pool.stats_snapshot)
+        else:
+            runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
+        served_meta = dict(meta or {})
+        if pool is not None:
+            served_meta["worker_procs"] = self.worker_procs
+        if compiled is not None:
+            # Cache observability: plan-reuse regressions (a cold
+            # plan cache on every flush) and tuning-cache behaviour
+            # show up on GET /stats instead of only in profiles.
+            plans = compiled.plans
+            stats.attach_cache(
+                "plans",
+                lambda: {
+                    "hits": plans.stats.hits,
+                    "misses": plans.stats.misses,
+                    "evictions": plans.stats.evictions,
+                    "hit_rate": round(plans.stats.hit_rate, 3),
+                    "size": len(plans),
+                },
+            )
+            if self.tune is not None:
+                tuning_cache = runtime.get_tuning_cache()
+                stats.attach_cache("tuning", tuning_cache.stats.snapshot)
+        if compiled is not None and compiled.quantization is not None:
+            report = compiled.quantization
+            served_meta.update(
+                quantized=f"int{report.bits}",
+                quantized_layers=report.quantized_layers,
+                fallback_layers=report.fallback_layers,
+            )
+        if compiled is not None and compiled.tuning is not None:
+            served_meta.update(
+                tuned=compiled.tuning.mode,
+                tuned_layers=compiled.tuning.tuned_layers,
+                tuned_changed=compiled.tuning.changed_layers,
+            )
+        return ServedModel(
+            name=name,
+            model=model,
+            compiled=compiled,
+            input_shape=tuple(input_shape),
+            batcher=Batcher(
+                runner,
+                max_batch=self.max_batch,
+                max_latency_ms=self.max_latency_ms,
+                stats=stats,
+                max_queue=self.max_queue,
+                slo_ms=self.slo_ms,
+                fallback_runner=fallback_runner,
+                fallback_on=fallback_on,
+            ),
+            stats=stats,
+            source=source,
+            meta=served_meta,
+            pool=pool,
+        )
+
+    def _install(self, served: ServedModel, replace: bool) -> Optional[ServedModel]:
+        """Atomically swap ``served`` into the registry; return the old entry.
+
+        New requests route to the new entry the moment the dict slot
+        changes; requests already queued on a replaced entry's batcher
+        are drained by :meth:`_retire_served` afterwards, so a reload
+        never drops an accepted request.
+        """
+        with self._lock:
+            old = self.models.get(served.name)
+            if old is not None and not replace:
+                raise KeyError(f"model {served.name!r} is already registered")
+            self.models[served.name] = served
+            started = self._started
+        if served.pool is not None:
+            self.supervisor.watch(served.name, served.pool)
+        if started:
+            served.batcher.start()
+        return old
+
+    def _retire_served(self, served: ServedModel) -> None:
+        """Drain and tear down a registry entry that was swapped out."""
+        if served.pool is not None:
+            # Unwatch first: the supervisor must not resurrect workers
+            # of a pool that is about to shut down.
+            self.supervisor.unwatch(served.pool)
+        served.batcher.stop(drain=True)
+        if served.pool is not None:
+            served.pool.shutdown()
+
     def add_model(
         self,
         name: str,
@@ -193,94 +373,48 @@ class ModelServer:
         source: str = "custom",
         meta: Optional[dict] = None,
         calibration: Optional[np.ndarray] = None,
+        replace: bool = False,
+        warm: bool = False,
     ) -> ServedModel:
         """Register an already-built model under ``name``.
 
         ``calibration`` (only meaningful with the server's ``quantize=``)
         overrides the synthetic activation-calibration batch.
+
+        With ``replace=True`` an existing registration is hot-swapped:
+        the new model compiles (and, with ``warm=True``, warms every
+        flush geometry) off the serving path, then atomically takes over
+        the registry slot while the old entry's batcher drains and its
+        pool shuts down — accepted requests on either entry all
+        complete. Without ``replace``, a name collision raises
+        ``KeyError`` before any compile work happens.
         """
         with self._lock:
-            if name in self.models:
+            if name in self.models and not replace:
                 raise KeyError(f"model {name!r} is already registered")
-            compiled = None
-            if self.compile:
-                if self.quantize is not None and calibration is None:
-                    calibration = self._calibration_batch(input_shape)
-                compiled = runtime.compile_model(
-                    model,
-                    quantize=self.quantize,
-                    calibration=calibration,
-                    tune=self.tune,
-                    input_shape=input_shape,
-                )
-            stats = ServerStats()
-            target = compiled if compiled is not None else model
-            pool = None
-            if self.worker_procs is not None:
-                # One pool per model: the compiled weights are exported
-                # into a shared image once, and every flush travels to a
-                # worker process over that model's shared-memory rings.
-                pool = runtime.WorkerPool(
-                    compiled,
-                    self.worker_procs,
-                    ring_bytes=self._pool_ring_bytes(input_shape),
-                )
-                runner = lambda x: runtime.predict(target, x, executor=pool)  # noqa: E731
-                stats.attach_workers(pool.stats_snapshot)
-            else:
-                runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
-            served_meta = dict(meta or {})
-            if pool is not None:
-                served_meta["worker_procs"] = self.worker_procs
-            if compiled is not None:
-                # Cache observability: plan-reuse regressions (a cold
-                # plan cache on every flush) and tuning-cache behaviour
-                # show up on GET /stats instead of only in profiles.
-                plans = compiled.plans
-                stats.attach_cache(
-                    "plans",
-                    lambda: {
-                        "hits": plans.stats.hits,
-                        "misses": plans.stats.misses,
-                        "evictions": plans.stats.evictions,
-                        "hit_rate": round(plans.stats.hit_rate, 3),
-                        "size": len(plans),
-                    },
-                )
-                if self.tune is not None:
-                    tuning_cache = runtime.get_tuning_cache()
-                    stats.attach_cache("tuning", tuning_cache.stats.snapshot)
-            if compiled is not None and compiled.quantization is not None:
-                report = compiled.quantization
-                served_meta.update(
-                    quantized=f"int{report.bits}",
-                    quantized_layers=report.quantized_layers,
-                    fallback_layers=report.fallback_layers,
-                )
-            if compiled is not None and compiled.tuning is not None:
-                served_meta.update(
-                    tuned=compiled.tuning.mode,
-                    tuned_layers=compiled.tuning.tuned_layers,
-                    tuned_changed=compiled.tuning.changed_layers,
-                )
-            served = ServedModel(
-                name=name,
-                model=model,
-                compiled=compiled,
-                input_shape=tuple(input_shape),
-                batcher=Batcher(
-                    runner,
-                    max_batch=self.max_batch,
-                    max_latency_ms=self.max_latency_ms,
-                    stats=stats,
-                ),
-                stats=stats,
-                source=source,
-                meta=served_meta,
-                pool=pool,
-            )
-            self.models[name] = served
-            return served
+        served = self._build_served(
+            name, model, input_shape,
+            source=source, meta=meta, calibration=calibration,
+        )
+        if warm:
+            self._warm_served(served)
+        old = self._install(served, replace=replace)
+        if old is not None:
+            self._retire_served(old)
+        return served
+
+    def remove_model(self, name: str) -> None:
+        """Unregister ``name`` and tear it down, draining accepted work.
+
+        The registry slot disappears first (new requests get 404), then
+        the batcher drains whatever was already accepted and the pool
+        shuts down, unlinking its shared-memory segments.
+        """
+        with self._lock:
+            served = self.models.pop(name, None)
+        if served is None:
+            raise KeyError(f"unknown model {name!r}; serving {sorted(self.models)}")
+        self._retire_served(served)
 
     def load_registry(
         self,
@@ -291,6 +425,8 @@ class ModelServer:
         patterns: Optional[int] = None,
         seed: int = 0,
         calibration: Optional[np.ndarray] = None,
+        replace: bool = False,
+        warm: bool = False,
     ) -> ServedModel:
         """Load a registered model, optionally PCNN-pruned before serving.
 
@@ -298,7 +434,8 @@ class ModelServer:
         SPM encodings are attached, so its convs serve from pattern
         storage exactly as a bundle-restored model would.
         ``calibration`` feeds int8 activation calibration when the
-        server was built with ``quantize=``.
+        server was built with ``quantize=``. ``replace``/``warm`` hot
+        swap an existing registration (see :meth:`add_model`).
         """
         from ..core import PCNNConfig, PCNNPruner
         from ..models import profile_model
@@ -323,6 +460,8 @@ class ModelServer:
             source="registry",
             meta=meta,
             calibration=calibration,
+            replace=replace,
+            warm=warm,
         )
 
     def load_bundle(
@@ -333,6 +472,8 @@ class ModelServer:
         name: Optional[str] = None,
         seed: int = 0,
         calibration: Optional[np.ndarray] = None,
+        replace: bool = False,
+        warm: bool = False,
     ) -> ServedModel:
         """Serve a :class:`DeploymentBundle` ``.npz`` on a registry model.
 
@@ -364,6 +505,8 @@ class ModelServer:
                 ),
             },
             calibration=calibration,
+            replace=replace,
+            warm=warm,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -380,6 +523,21 @@ class ModelServer:
             raise KeyError(f"unknown model {name!r}; serving {sorted(self.models)}")
         return served
 
+    def _warm_served(self, served: ServedModel) -> None:
+        """Prebuild plans and arena buffers for one model's buckets."""
+        if served.pool is not None:
+            ways = max(
+                1, min(served.pool.procs, runtime.effective_cpu_count())
+            )
+            chunk_shapes = {
+                (-(-size // ways),) + served.input_shape
+                for size in bucket_sizes(self.max_batch)
+            }
+            served.pool.warmup(sorted(chunk_shapes))
+        for size in bucket_sizes(self.max_batch):
+            x = np.zeros((size,) + served.input_shape)
+            served.batcher.runner(x)
+
     def warmup(self) -> None:
         """Prebuild plans and arena buffers for every batch bucket.
 
@@ -390,38 +548,40 @@ class ModelServer:
         bucket runs dispatch least-loaded, so without the targeted pass
         some worker's first real chunk would still build plans cold.
         """
-        for served in self.models.values():
-            if served.pool is not None:
-                ways = max(
-                    1, min(served.pool.procs, runtime.effective_cpu_count())
-                )
-                chunk_shapes = {
-                    (-(-size // ways),) + served.input_shape
-                    for size in bucket_sizes(self.max_batch)
-                }
-                served.pool.warmup(sorted(chunk_shapes))
-            for size in bucket_sizes(self.max_batch):
-                x = np.zeros((size,) + served.input_shape)
-                served.batcher.runner(x)
+        for served in list(self.models.values()):
+            self._warm_served(served)
 
     def start(self) -> "ModelServer":
-        """Start every model's batcher worker; returns self."""
-        for served in self.models.values():
+        """Start every batcher worker + the supervisor; returns self."""
+        with self._lock:
+            self._started = True
+            models = list(self.models.values())
+        for served in models:
             served.batcher.start()
+        # Pools were registered with the supervisor at install time;
+        # starting the monitor thread arms crash resurrection.
+        self.supervisor.start()
         return self
 
     def stop(self) -> None:
-        """Stop every batcher (draining queued requests), then pools.
+        """Stop supervision, every batcher (draining), then the pools.
 
-        Order matters: the drain still needs live workers to serve the
-        leftover flushes, so each model's pool shuts down only after its
-        batcher has stopped. Pool shutdown unlinks the shared-memory
-        segments — nothing is left in ``/dev/shm`` afterwards.
+        Order matters twice over: the supervisor stops first so it does
+        not resurrect workers of pools being shut down, and the drain
+        still needs live workers to serve the leftover flushes, so each
+        model's pool shuts down only after its batcher has stopped.
+        Pool shutdown unlinks the shared-memory segments — nothing is
+        left in ``/dev/shm`` afterwards.
         """
-        for served in self.models.values():
+        self.supervisor.stop()
+        with self._lock:
+            self._started = False
+            models = list(self.models.values())
+        for served in models:
             served.batcher.stop()
-        for served in self.models.values():
+        for served in models:
             if served.pool is not None:
+                self.supervisor.unwatch(served.pool)
                 served.pool.shutdown()
 
     def __enter__(self) -> "ModelServer":

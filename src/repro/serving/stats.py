@@ -21,11 +21,20 @@ from typing import Callable, Deque, Dict, Optional
 
 import numpy as np
 
-__all__ = ["ServerStats"]
+__all__ = ["ServerStats", "LATENCY_BUCKETS"]
 
 #: Latency reservoir size. Percentiles are computed over the most recent
 #: window rather than all-time, so a warm-up spike ages out of p99.
 DEFAULT_WINDOW = 8192
+
+#: Cumulative-histogram bucket upper bounds in seconds, Prometheus
+#: convention (each bucket counts requests at or below its bound; the
+#: implicit ``+Inf`` bucket equals the total request count). Spans the
+#: sub-millisecond in-process path up to requests that sat out a full
+#: overload queue.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0
+)
 
 
 class ServerStats:
@@ -43,6 +52,20 @@ class ServerStats:
         self.batches = 0
         self.errors = 0
         self.model_seconds = 0.0
+        #: Requests rejected before doing any work, keyed by reason
+        #: (``queue_full`` — admission control shed them with a 429;
+        #: ``slo`` — their deadline expired while queued, shed with 503).
+        self.shed: Dict[str, int] = {}
+        #: Flushes (and the requests they carried) that a dead worker
+        #: pool failed and the batcher re-served through the in-process
+        #: fallback runner instead of surfacing the error.
+        self.degraded_flushes = 0
+        self.degraded_requests = 0
+        #: Cumulative (never-windowed) latency histogram counts, one per
+        #: LATENCY_BUCKETS bound, Prometheus semantics via
+        #: :meth:`latency_histogram`.
+        self._bucket_counts = [0] * len(LATENCY_BUCKETS)
+        self._latency_sum = 0.0
         self._caches: Dict[str, Callable[[], dict]] = {}
         self._workers_fn: Optional[Callable[[], dict]] = None
 
@@ -88,6 +111,11 @@ class ServerStats:
             self.requests += 1
             self._latencies.append(latency_seconds)
             self._completions.append(time.perf_counter())
+            self._latency_sum += latency_seconds
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if latency_seconds <= bound:
+                    self._bucket_counts[index] += 1
+                    break
 
     def record_queue_wait(self, seconds: float) -> None:
         """Time one request sat queued before its flush started.
@@ -104,6 +132,24 @@ class ServerStats:
         """Count ``count`` failed requests (runner raised or rejected)."""
         with self._lock:
             self.errors += count
+
+    def record_shed(self, reason: str, count: int = 1) -> None:
+        """Count ``count`` requests shed by admission control.
+
+        ``reason`` is ``"queue_full"`` (rejected at submit with a 429
+        because the queue passed its high-water mark) or ``"slo"``
+        (deadline already blown when the flush assembled; failed with a
+        503 instead of wasting a batch slot). Shed requests are *not*
+        errors — the runner never saw them.
+        """
+        with self._lock:
+            self.shed[reason] = self.shed.get(reason, 0) + count
+
+    def record_degraded(self, requests: int) -> None:
+        """One flush the worker pool failed but the fallback served."""
+        with self._lock:
+            self.degraded_flushes += 1
+            self.degraded_requests += requests
 
     # -- derived numbers -----------------------------------------------
     @property
@@ -143,6 +189,33 @@ class ServerStats:
         return {"queue_p50_ms": float(p50) * 1e3, "queue_p95_ms": float(p95) * 1e3}
 
     @property
+    def shed_total(self) -> int:
+        """Total requests shed by admission control, all reasons."""
+        with self._lock:
+            return sum(self.shed.values())
+
+    def latency_histogram(self) -> Dict[str, object]:
+        """Cumulative latency histogram in Prometheus semantics.
+
+        Returns ``{"buckets": [(le_seconds, cumulative_count), ...],
+        "sum": seconds, "count": n}`` where the bucket list ends with the
+        implicit ``+Inf`` bucket (``le = inf``) equal to ``count``.
+        Unlike the percentile window this never ages out — it is the
+        counter a Prometheus scraper ingests.
+        """
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self.requests
+            lat_sum = self._latency_sum
+        buckets = []
+        running = 0
+        for bound, count in zip(LATENCY_BUCKETS, counts):
+            running += count
+            buckets.append((bound, running))
+        buckets.append((float("inf"), total))
+        return {"buckets": buckets, "sum": lat_sum, "count": total}
+
+    @property
     def requests_per_second(self) -> float:
         """Throughput over the recent completion window.
 
@@ -164,6 +237,8 @@ class ServerStats:
             "requests": self.requests,
             "batches": self.batches,
             "errors": self.errors,
+            "shed": dict(self.shed),
+            "degraded_flushes": self.degraded_flushes,
             "mean_batch": round(self.mean_batch, 3),
             "batch_histogram": {str(k): v for k, v in self.batch_histogram.items()},
             "requests_per_second": round(self.requests_per_second, 2),

@@ -1,0 +1,373 @@
+"""Self-healing serving: worker supervision, restart budgets, incidents.
+
+PR 6 made worker death *survivable* — a SIGKILL'd worker's in-flight
+chunks are redispatched to a survivor — but not *recoverable*: the slot
+stayed dead forever, so every crash permanently shrank capacity.
+:class:`Supervisor` closes that loop. A monitor thread watches every
+registered :class:`~repro.runtime.WorkerPool`:
+
+- **Crash resurrection.** A worker whose death the pool's collector
+  observed (``alive`` False, not retired) is respawned from the pool's
+  :class:`~repro.runtime.shm.SharedModelImage` — same shared weights,
+  same rings, fresh process — subject to the restart budget.
+- **Wedge detection.** Workers stamp a shared-clock heartbeat every
+  loop iteration. A worker that is *alive* but has outstanding chunks
+  and a heartbeat older than ``heartbeat_timeout`` is wedged
+  (SIGSTOP, deadlock, runaway syscall): the supervisor SIGKILLs it, the
+  pool's crash path replays its chunks, and the next tick resurrects it.
+- **Restart budget.** Each pool gets at most ``max_restarts`` respawns
+  per rolling ``budget_window`` seconds (default 3 per 30 s) with
+  exponential backoff between attempts. A pool that keeps dying — bad
+  model, poisoned image, OOM loop — is marked **degraded** instead of
+  crash-looping: no further respawns, and the serving layer's
+  in-process fallback carries the traffic.
+- **Incident log.** Every crash, wedge, respawn, failure and
+  degradation is appended to a bounded log served at ``GET /incidents``
+  and counted for ``GET /metrics``.
+
+The supervisor is deliberately poll-based (default 100 ms): the pool's
+own collector already detects death within ~10 ms and replays in-flight
+work; supervision only needs to restore capacity and keep the record,
+so a simple self-contained loop beats wiring callbacks through every
+failure path.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+__all__ = ["Incident", "RestartBudget", "Supervisor"]
+
+logger = logging.getLogger("repro.serving")
+
+#: Bounded incident-log length: enough to audit a bad night, small
+#: enough that /incidents never becomes the overload.
+MAX_INCIDENTS = 256
+
+
+@dataclass
+class Incident:
+    """One supervision event, JSON-ready via :meth:`describe`."""
+
+    stamp: float  # wall-clock (time.time) for operator correlation
+    kind: str  # worker_crash | worker_wedged | worker_respawned | ...
+    model: str
+    worker: Optional[int] = None
+    detail: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        """JSON-ready row for ``GET /incidents`` (omits empty fields)."""
+        row = {
+            "time": self.stamp,
+            "kind": self.kind,
+            "model": self.model,
+        }
+        if self.worker is not None:
+            row["worker"] = self.worker
+        if self.detail:
+            row["detail"] = self.detail
+        return row
+
+
+class RestartBudget:
+    """Sliding-window restart allowance with exponential backoff.
+
+    ``allow(now)`` answers "may I restart right now?" — False either
+    while backing off after a recent restart or when ``max_restarts``
+    already happened inside the rolling window. ``exhausted(now)`` is
+    the stronger condition (window full) that flips a pool to degraded.
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        window_seconds: float = 30.0,
+        base_backoff: float = 0.5,
+    ) -> None:
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if window_seconds <= 0 or base_backoff < 0:
+            raise ValueError("window_seconds must be > 0, base_backoff >= 0")
+        self.max_restarts = max_restarts
+        self.window = window_seconds
+        self.base_backoff = base_backoff
+        self._stamps: Deque[float] = deque()
+
+    def _prune(self, now: float) -> None:
+        while self._stamps and now - self._stamps[0] > self.window:
+            self._stamps.popleft()
+
+    def backoff(self) -> float:
+        """Current wait before the next restart: base * 2^(recent-1)."""
+        if not self._stamps:
+            return 0.0
+        return self.base_backoff * (2 ** (len(self._stamps) - 1))
+
+    def exhausted(self, now: float) -> bool:
+        """Whether the rolling window is out of restarts (degrade cue)."""
+        self._prune(now)
+        return len(self._stamps) >= self.max_restarts
+
+    def allow(self, now: float) -> bool:
+        """Whether a restart may happen at ``now`` (budget + backoff)."""
+        self._prune(now)
+        if len(self._stamps) >= self.max_restarts:
+            return False
+        if self._stamps and now - self._stamps[-1] < self.backoff():
+            return False
+        return True
+
+    def record(self, now: float) -> None:
+        """Account one restart at ``now``."""
+        self._prune(now)
+        self._stamps.append(now)
+
+    def snapshot(self) -> dict:
+        """Budget state for ``model_status()``: window fill + next wait."""
+        return {
+            "max_restarts": self.max_restarts,
+            "window_seconds": self.window,
+            "recent": len(self._stamps),
+            "next_backoff_s": round(self.backoff(), 3),
+        }
+
+
+@dataclass
+class _Watched:
+    """One supervised pool plus its healing state."""
+
+    name: str
+    pool: object  # runtime.WorkerPool
+    budget: RestartBudget
+    degraded: bool = False
+    restarts: int = 0
+    crashes: int = 0
+    wedged: int = 0
+
+
+class Supervisor:
+    """Monitor thread healing the worker pools behind a model server.
+
+    Parameters
+    ----------
+    interval:
+        Poll period of the monitor loop. Crash *detection* belongs to
+        the pool's collector (~10 ms); this only paces resurrection and
+        wedge checks.
+    heartbeat_timeout:
+        A worker with in-flight chunks whose heartbeat is older than
+        this is declared wedged and SIGKILLed. Must comfortably exceed
+        the slowest legitimate chunk (seconds, not the ~ms a compiled
+        flush takes).
+    budget:
+        Restart-budget factory applied to each watched pool
+        (``max_restarts`` per ``window_seconds`` + exponential backoff).
+    """
+
+    def __init__(
+        self,
+        *,
+        interval: float = 0.1,
+        heartbeat_timeout: float = 5.0,
+        budget: Optional[Callable[[], RestartBudget]] = None,
+    ) -> None:
+        if interval <= 0 or heartbeat_timeout <= 0:
+            raise ValueError("interval and heartbeat_timeout must be > 0")
+        self.interval = interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._budget_factory = budget if budget is not None else RestartBudget
+        self._watched: Dict[int, _Watched] = {}
+        self._incidents: Deque[Incident] = deque(maxlen=MAX_INCIDENTS)
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- registration --------------------------------------------------
+    def watch(self, name: str, pool) -> None:
+        """Supervise ``pool`` (serving model ``name``).
+
+        Installs the pool's ``on_worker_death`` hook so crashes are
+        logged with their replay outcome the instant the collector sees
+        them; resurrection happens on the monitor loop.
+        """
+        watched = _Watched(name=name, pool=pool, budget=self._budget_factory())
+
+        def on_death(worker_id, exitcode, orphaned, redispatched) -> None:
+            watched.crashes += 1
+            self._record(
+                "worker_crash", name, worker_id,
+                exitcode=exitcode, in_flight=orphaned, replayed=redispatched,
+            )
+
+        pool.on_worker_death = on_death
+        with self._lock:
+            self._watched[id(pool)] = watched
+
+    def unwatch(self, pool) -> None:
+        """Stop supervising ``pool`` (idempotent)."""
+        with self._lock:
+            self._watched.pop(id(pool), None)
+        pool.on_worker_death = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the monitor thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Supervisor":
+        """Start the monitor thread (idempotent); returns self."""
+        with self._lock:
+            if self.running:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-supervisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the monitor thread; watched pools are left untouched."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(5.0)
+        self._thread = None
+
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- monitor loop --------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check_once()
+
+    def check_once(self) -> None:
+        """One supervision pass over every watched pool (loop body).
+
+        Public so tests (and a paranoid operator shell) can drive
+        supervision deterministically without the timing thread.
+        """
+        with self._lock:
+            watched = list(self._watched.values())
+        for entry in watched:
+            try:
+                self._check_pool(entry)
+            except Exception as error:  # noqa: BLE001 - keep supervising
+                logger.exception(
+                    "supervision pass failed for %r: %s", entry.name, error
+                )
+
+    def _check_pool(self, entry: _Watched) -> None:
+        pool = entry.pool
+        if pool.closed:
+            with self._lock:
+                self._watched.pop(id(pool), None)
+            return
+        health = pool.worker_health()
+        # Wedge detection first: a wedged worker is alive to the pool,
+        # so it must be killed before the resurrection scan can see it.
+        for worker_id, row in health.items():
+            if (
+                row["alive"]
+                and row["process_alive"]
+                and row["outstanding"] > 0
+                and row["heartbeat_age_s"] is not None
+                and row["heartbeat_age_s"] > self.heartbeat_timeout
+            ):
+                entry.wedged += 1
+                self._record(
+                    "worker_wedged", entry.name, worker_id,
+                    heartbeat_age_s=round(row["heartbeat_age_s"], 3),
+                    outstanding=row["outstanding"],
+                )
+                pool.kill_worker(worker_id)
+        # Resurrection: every dead (not retired) slot, budget allowing.
+        for worker_id, row in health.items():
+            if row["alive"] or row["retired"] or entry.degraded:
+                continue
+            now = time.monotonic()
+            if not entry.budget.allow(now):
+                if entry.budget.exhausted(now):
+                    entry.degraded = True
+                    self._record(
+                        "pool_degraded", entry.name,
+                        budget=entry.budget.snapshot(),
+                        alive=pool.alive_workers,
+                    )
+                    logger.error(
+                        "pool for %r exceeded its restart budget "
+                        "(%d respawns/%.0fs); marked degraded",
+                        entry.name, entry.budget.max_restarts,
+                        entry.budget.window,
+                    )
+                continue  # backing off; retry next tick
+            try:
+                pid = pool.respawn_worker(worker_id)
+            except Exception as error:  # noqa: BLE001 - logged, budgeted
+                entry.budget.record(time.monotonic())
+                self._record(
+                    "respawn_failed", entry.name, worker_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                continue
+            entry.budget.record(time.monotonic())
+            entry.restarts += 1
+            self._record("worker_respawned", entry.name, worker_id, pid=pid)
+            logger.warning(
+                "respawned worker %d for %r (pid %d)",
+                worker_id, entry.name, pid,
+            )
+
+    # -- observability -------------------------------------------------
+    def _record(self, kind: str, model: str, worker=None, **detail) -> None:
+        incident = Incident(
+            stamp=time.time(), kind=kind, model=model, worker=worker,
+            detail=detail,
+        )
+        with self._lock:
+            self._incidents.append(incident)
+
+    def incidents(self) -> List[dict]:
+        """The bounded incident log, oldest first (the /incidents body)."""
+        with self._lock:
+            return [incident.describe() for incident in self._incidents]
+
+    def model_status(self) -> Dict[str, dict]:
+        """Per-model healing counters (for /incidents, /metrics, /healthz)."""
+        with self._lock:
+            watched = list(self._watched.values())
+        return {
+            entry.name: {
+                "degraded": entry.degraded,
+                "restarts": entry.restarts,
+                "crashes": entry.crashes,
+                "wedged": entry.wedged,
+                "workers_alive": entry.pool.alive_workers,
+                "workers": entry.pool.procs,
+                "budget": entry.budget.snapshot(),
+            }
+            for entry in watched
+        }
+
+    def snapshot(self) -> dict:
+        """JSON payload of ``GET /incidents``."""
+        return {"incidents": self.incidents(), "models": self.model_status()}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            pools = len(self._watched)
+            incidents = len(self._incidents)
+        return (
+            f"Supervisor(pools={pools}, incidents={incidents}, "
+            f"running={self.running})"
+        )

@@ -1,0 +1,271 @@
+"""Supervision tests: restart budgets, resurrection, wedge detection,
+dynamic pool membership (retire/respawn) and the incident log."""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.core import PCNNConfig, PCNNPruner
+from repro.models import patternnet
+from repro.serving import ModelServer, RestartBudget, Supervisor
+
+
+def repro_segments():
+    return sorted(glob.glob("/dev/shm/repro-*"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def no_module_leaks():
+    before = repro_segments()
+    yield
+    assert repro_segments() == before
+
+
+def pruned_patternnet(seed=0):
+    model = patternnet(rng=np.random.default_rng(seed))
+    PCNNPruner(model, PCNNConfig.uniform(2, 3, num_patterns=4)).apply()
+    return model
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRestartBudget:
+    def test_allows_up_to_max_restarts_in_window(self):
+        budget = RestartBudget(max_restarts=3, window_seconds=30.0,
+                               base_backoff=0.0)
+        now = 1000.0
+        for i in range(3):
+            assert budget.allow(now + i)
+            budget.record(now + i)
+        assert not budget.allow(now + 3)
+        assert budget.exhausted(now + 3)
+
+    def test_window_prunes_old_restarts(self):
+        budget = RestartBudget(max_restarts=2, window_seconds=10.0,
+                               base_backoff=0.0)
+        budget.record(1000.0)
+        budget.record(1001.0)
+        assert not budget.allow(1002.0)
+        # Both restarts age out of the 10 s window.
+        assert budget.allow(1012.0)
+        assert not budget.exhausted(1012.0)
+
+    def test_exponential_backoff_between_restarts(self):
+        budget = RestartBudget(max_restarts=4, window_seconds=100.0,
+                               base_backoff=1.0)
+        budget.record(1000.0)
+        assert budget.backoff() == 1.0
+        assert not budget.allow(1000.5)  # inside the 1 s backoff
+        assert budget.allow(1001.5)
+        budget.record(1001.5)
+        assert budget.backoff() == 2.0  # doubles with each recent restart
+        assert not budget.allow(1003.0)
+        assert budget.allow(1004.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartBudget(max_restarts=0)
+        with pytest.raises(ValueError):
+            RestartBudget(window_seconds=0.0)
+
+
+class TestDynamicMembership:
+    """WorkerPool retire/respawn without a supervisor in the loop."""
+
+    @pytest.fixture()
+    def pool(self):
+        compiled = runtime.compile_model(
+            pruned_patternnet(), input_shape=(3, 16, 16)
+        )
+        pool = runtime.WorkerPool(compiled, 2)
+        self.compiled = compiled
+        yield pool
+        pool.shutdown()
+
+    def test_retire_shrinks_pool_and_keeps_serving(self, pool):
+        x = np.random.default_rng(0).standard_normal((8, 3, 16, 16))
+        want = runtime.predict(self.compiled, x)
+        pool.retire_worker(1)
+        assert pool.alive_workers == 1
+        assert pool.worker_health()[1]["retired"] is True
+        got = runtime.predict(self.compiled, x, executor=pool)
+        np.testing.assert_allclose(got, want, atol=1e-5, rtol=1e-5)
+
+    def test_cannot_retire_last_worker(self, pool):
+        pool.retire_worker(0)
+        with pytest.raises(ValueError, match="last live worker"):
+            pool.retire_worker(1)
+
+    def test_respawn_restores_killed_worker(self, pool):
+        x = np.random.default_rng(1).standard_normal((8, 3, 16, 16))
+        want = runtime.predict(self.compiled, x)
+        victim = pool.worker_health()[0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        assert wait_until(lambda: pool.alive_workers == 1)
+        pid = pool.respawn_worker(0)
+        assert pid != victim
+        assert pool.alive_workers == 2
+        health = pool.worker_health()[0]
+        assert health["alive"] and health["pid"] == pid
+        got = runtime.predict(self.compiled, x, executor=pool)
+        np.testing.assert_allclose(got, want, atol=1e-5, rtol=1e-5)
+
+    def test_respawn_rejects_live_worker(self, pool):
+        with pytest.raises(ValueError, match="still serving"):
+            pool.respawn_worker(0)
+
+    def test_kill_worker_is_observed_as_crash(self, pool):
+        deaths = []
+        pool.on_worker_death = lambda *args: deaths.append(args)
+        pool.kill_worker(1)
+        assert wait_until(lambda: pool.alive_workers == 1)
+        assert wait_until(lambda: len(deaths) == 1)
+        worker_id, exitcode, orphaned, redispatched = deaths[0]
+        assert worker_id == 1
+        assert exitcode == -signal.SIGKILL
+
+
+class TestSupervisor:
+    def test_respawns_crashed_worker_and_logs_incidents(self):
+        server = ModelServer(
+            max_batch=8, max_latency_ms=5.0, worker_procs=2,
+            supervisor=Supervisor(interval=0.05),
+        )
+        served = server.add_model("m", pruned_patternnet(), (3, 16, 16))
+        server.warmup()
+        with server:
+            pool = served.pool
+            os.kill(pool.worker_health()[0]["pid"], signal.SIGKILL)
+            # Crash observed first, then the slot heals back to 2.
+            assert wait_until(
+                lambda: server.supervisor.model_status()["m"]["restarts"] == 1
+            )
+            assert wait_until(lambda: pool.alive_workers == 2)
+            status = server.supervisor.model_status()["m"]
+            assert status["crashes"] == 1
+            assert status["restarts"] == 1
+            assert status["degraded"] is False
+            kinds = [i["kind"] for i in server.supervisor.incidents()]
+            assert "worker_crash" in kinds
+            assert "worker_respawned" in kinds
+            # The healed pool serves traffic.
+            out = server.predict(np.zeros((3, 16, 16)), timeout=30)
+            assert out.shape == (10,)
+
+    def test_budget_exhaustion_marks_pool_degraded(self):
+        supervisor = Supervisor(
+            interval=0.05,
+            budget=lambda: RestartBudget(
+                max_restarts=1, window_seconds=600.0, base_backoff=0.0
+            ),
+        )
+        server = ModelServer(
+            max_batch=8, max_latency_ms=5.0, worker_procs=2,
+            supervisor=supervisor,
+        )
+        served = server.add_model("m", pruned_patternnet(), (3, 16, 16))
+        server.warmup()
+        with server:
+            pool = served.pool
+            # First crash consumes the whole 1-restart budget...
+            os.kill(pool.worker_health()[0]["pid"], signal.SIGKILL)
+            assert wait_until(
+                lambda: supervisor.model_status()["m"]["restarts"] == 1
+            )
+            assert wait_until(lambda: pool.alive_workers == 2)
+            # ...so the second crash degrades the pool instead.
+            victim = next(
+                row["pid"]
+                for row in pool.worker_health().values()
+                if row["alive"]
+            )
+            os.kill(victim, signal.SIGKILL)
+            assert wait_until(
+                lambda: supervisor.model_status()["m"]["degraded"]
+            )
+            assert pool.alive_workers == 1
+            kinds = [i["kind"] for i in supervisor.incidents()]
+            assert "pool_degraded" in kinds
+            # Degraded, not down: the survivor still answers.
+            out = server.predict(np.zeros((3, 16, 16)), timeout=30)
+            assert out.shape == (10,)
+
+    def test_wedged_worker_is_killed_and_replaced(self):
+        """SIGSTOP freezes a worker mid-service: its heartbeat goes stale
+        with chunks outstanding, the supervisor SIGKILLs it, the pool
+        replays the chunks on the survivor, and the slot respawns."""
+        supervisor = Supervisor(interval=0.05, heartbeat_timeout=0.5)
+        server = ModelServer(
+            max_batch=8, max_latency_ms=5.0, worker_procs=2,
+            supervisor=supervisor,
+        )
+        served = server.add_model("m", pruned_patternnet(), (3, 16, 16))
+        server.warmup()
+        with server:
+            pool = served.pool
+            frozen = pool.worker_health()[0]["pid"]
+            os.kill(frozen, signal.SIGSTOP)
+            try:
+                x = np.random.default_rng(5).standard_normal((16, 3, 16, 16))
+                futures = [server.submit(row) for row in x]
+                want = runtime.predict(served.compiled, x)
+                got = np.stack([f.result(timeout=60) for f in futures])
+                np.testing.assert_allclose(got, want, atol=1e-5, rtol=1e-5)
+            finally:
+                # SIGKILL from the supervisor beats SIGCONT in every
+                # normal run; this only cleans up if the test fails.
+                try:
+                    os.kill(frozen, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert wait_until(lambda: pool.alive_workers == 2)
+            status = supervisor.model_status()["m"]
+            assert status["wedged"] >= 1
+            kinds = [i["kind"] for i in supervisor.incidents()]
+            assert "worker_wedged" in kinds
+
+    def test_check_once_is_manually_drivable(self):
+        """Supervision works without the monitor thread (deterministic)."""
+        supervisor = Supervisor(
+            interval=60.0,  # thread effectively never fires on its own
+            budget=lambda: RestartBudget(base_backoff=0.0),
+        )
+        server = ModelServer(
+            max_batch=8, max_latency_ms=5.0, worker_procs=2,
+            supervisor=supervisor,
+        )
+        served = server.add_model("m", pruned_patternnet(), (3, 16, 16))
+        server.warmup()
+        with server:
+            pool = served.pool
+            os.kill(pool.worker_health()[1]["pid"], signal.SIGKILL)
+            assert wait_until(lambda: pool.alive_workers == 1)
+            supervisor.check_once()
+            assert pool.alive_workers == 2
+
+    def test_unwatch_stops_supervision(self):
+        supervisor = Supervisor(interval=0.05)
+        server = ModelServer(
+            max_batch=8, max_latency_ms=5.0, worker_procs=2,
+            supervisor=supervisor,
+        )
+        served = server.add_model("m", pruned_patternnet(), (3, 16, 16))
+        with server:
+            pool = served.pool
+            supervisor.unwatch(pool)
+            os.kill(pool.worker_health()[0]["pid"], signal.SIGKILL)
+            assert wait_until(lambda: pool.alive_workers == 1)
+            time.sleep(0.3)  # several supervision intervals
+            assert pool.alive_workers == 1  # nobody resurrected it
