@@ -531,6 +531,89 @@ def _serve_chaos_config(model, requests: int, input_shape) -> dict:
     }
 
 
+def _serve_fleet_config(duration_s: float = 2.0) -> dict:
+    """Three-tenant fleet under a budget that forces demotion.
+
+    Tenants ``a:b:c`` run at 2:1:1 fair-share weights under saturation
+    (every tenant keeps a standing backlog), with ``memory_budget_mb``
+    deliberately below the 3-model working set so the residency manager
+    must demote at least one cold tenant mid-run. The row's contract
+    (``scripts/bench_guard.py check_fleet``, within-run): zero failed
+    admitted requests, at least one demotion, a non-negative ledger,
+    and no tenant starved below half its weight share.
+    """
+    import threading
+
+    from repro.serving import ModelServer
+
+    shape = (3, 16, 16)
+    weights = {"a": 2.0, "b": 1.0, "c": 1.0}
+    budget_mb = 0.6
+    server = ModelServer(
+        max_batch=8, max_latency_ms=2.0, memory_budget_mb=budget_mb
+    )
+    for seed, (name, weight) in enumerate(weights.items()):
+        server.load_registry("patternnet", name=name, seed=seed, weight=weight)
+    server.warmup()
+    rng = np.random.default_rng(SEED + 4)
+    image = rng.normal(size=shape)
+    errors = []
+    stop = threading.Event()
+
+    def feed(name):
+        pending = []
+        while not stop.is_set():
+            pending = [f for f in pending if not f.done()]
+            while len(pending) < 16:
+                pending.append(server.submit(image, name))
+            time.sleep(0.0005)
+        for future in pending:
+            try:
+                future.result(timeout=120)
+            except Exception as error:  # noqa: BLE001 - counted by the guard
+                errors.append(repr(error))
+
+    with server:
+        feeders = [
+            threading.Thread(target=feed, args=(name,), daemon=True)
+            for name in weights
+        ]
+        for thread in feeders:
+            thread.start()
+        time.sleep(duration_s)
+        stop.set()
+        for thread in feeders:
+            thread.join()
+        sched = server.scheduler.snapshot()["tenants"]
+        residency = server.residency.snapshot()
+        stats = server.stats()
+    tenants = {}
+    for name, weight in weights.items():
+        row = residency["tenants"][name]
+        tenants[name] = {
+            "weight": weight,
+            "weight_share": sched[name]["weight_share"],
+            "requests": sched[name]["requests"],
+            "observed_share": sched[name]["observed_share"],
+            "errors": stats[name]["errors"],
+            "state_end": row["state"],
+            "demotions": row["demotions"],
+            "promotions": row["promotions"],
+            "evictions": row["evictions"],
+            "bytes_end": row["bytes"],
+        }
+    return {
+        "duration_s": duration_s,
+        "memory_budget_mb": budget_mb,
+        "budget_bytes": residency["budget_bytes"],
+        "charged_bytes_end": residency["charged_bytes"],
+        "demotions_total": sum(t["demotions"] for t in tenants.values()),
+        "failed_requests": sum(t["errors"] for t in tenants.values()),
+        "late_failures": errors,
+        "tenants": tenants,
+    }
+
+
 def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     """Serving smoke: in-process Batcher under concurrent clients.
 
@@ -552,6 +635,14 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     request completes with the exact ``predict`` answer) plus the
     supervisor's heal-back; ``bench_guard.py`` hard-fails if any
     admitted request dropped or the pool ended short-handed.
+
+    A fifth row, ``fleet_3models_budget``, saturates three tenants at
+    2:1:1 weights under a memory budget below their combined working
+    set, recording per-tenant observed shares, demotion/promotion
+    counts and the end-of-run byte ledger; ``bench_guard.py``
+    hard-fails if any admitted request failed, the budget never forced
+    a demotion, the ledger went negative, or a tenant starved below
+    half its weight share.
     """
     from repro.core import PCNNConfig, PCNNPruner
     from repro.models import patternnet
@@ -569,6 +660,7 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     pcnn = _serve_one_config(pruned_model, requests, clients, shape)
     procs2 = _serve_one_config(pruned_model, requests, clients, shape, worker_procs=2)
     chaos = _serve_chaos_config(pruned_model, requests, shape)
+    fleet = _serve_fleet_config()
 
     # Guard metric: interleaved flush timing, robust to host load spikes
     # (see _paired_procs_ratio). Both servers serve the same pruned
@@ -601,6 +693,7 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
             "dense": dense,
             "pcnn_n2_p4_procs2": procs2,
             "pcnn_n2_p4_chaos": chaos,
+            "fleet_3models_budget": fleet,
         },
         "cpu_count": os.cpu_count(),
         "effective_cpus": effective_cpu_count(),
@@ -736,6 +829,8 @@ def smoke() -> int:
     #    concurrent clients, dense + PCNN flagship density.
     serving = bench_serving()
     for name, row in serving["configs"].items():
+        if "requests_per_sec" not in row:
+            continue  # chaos/fleet rows carry their own shapes, below
         print(
             f"smoke: BENCH_serving.json [{name}] -> "
             f"{row['requests_per_sec']} req/s, mean batch {row['mean_batch']}, "
@@ -746,6 +841,27 @@ def smoke() -> int:
             f"dynamic batching should coalesce concurrent requests; "
             f"histogram {row['batch_histogram']} on {name}"
         )
+    chaos = serving["configs"]["pcnn_n2_p4_chaos"]
+    print(
+        f"smoke: BENCH_serving.json [pcnn_n2_p4_chaos] -> "
+        f"{chaos['completed']}/{chaos['admitted']} completed through "
+        f"{chaos['crashes']} crash(es), dropped {chaos['dropped']}"
+    )
+    assert chaos["dropped"] == 0, chaos
+    assert chaos["max_abs_diff_vs_predict"] < 1e-4, chaos
+    fleet = serving["configs"]["fleet_3models_budget"]
+    shares = {
+        name: f"{t['observed_share']:.2f}/{t['weight_share']:.2f}"
+        for name, t in fleet["tenants"].items()
+    }
+    print(
+        f"smoke: BENCH_serving.json [fleet_3models_budget] -> "
+        f"{fleet['demotions_total']} demotions under "
+        f"{fleet['memory_budget_mb']} MiB, {fleet['failed_requests']} "
+        f"failed, shares obs/weight {shares}"
+    )
+    assert fleet["failed_requests"] == 0, fleet
+    assert fleet["demotions_total"] >= 1, fleet
     procs2 = serving["configs"]["pcnn_n2_p4_procs2"]
     print(
         f"smoke: BENCH_serving.json [pcnn_n2_p4_procs2] -> "

@@ -35,6 +35,12 @@ Policy:
   ``completed == admitted``), every answer must match ``predict``
   exactly, and the supervisor must heal the pool back to both workers
   without exhausting its restart budget.
+- ``BENCH_serving.json`` fleet check — **hard fail**, within-run: the
+  ``fleet_3models_budget`` row saturates three tenants at 2:1:1
+  weights under a memory budget below their combined working set; no
+  admitted request may fail, at least one demotion must occur, the
+  byte ledger must end non-negative, and no tenant may be starved
+  below half its weight share.
 
 Usage::
 
@@ -241,6 +247,75 @@ def check_chaos(fresh: dict) -> Tuple[List[str], List[str]]:
     return failures, notes
 
 
+def check_fleet(fresh: dict) -> Tuple[List[str], List[str]]:
+    """Within-run multi-tenant fleet invariants on BENCH_serving.json.
+
+    The ``fleet_3models_budget`` row saturates three tenants at 2:1:1
+    weights under a memory budget below their combined working set.
+    Hard-fails (no baseline needed):
+
+    - any admitted request failed (residency must be invisible to
+      admitted traffic);
+    - the budget never bit (``demotions_total`` 0 — the row would not be
+      testing anything);
+    - the ledger went negative (double discharge — a leak in reverse);
+    - a tenant starved: observed share below **0.5x** its weight share
+      (weighted fairness collapsed, not just jittered).
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    row = fresh.get("configs", {}).get("fleet_3models_budget")
+    if row is None:
+        failures.append("fleet_3models_budget: row missing from fresh record")
+        return failures, notes
+
+    failed_requests = row.get("failed_requests", 0)
+    late = row.get("late_failures") or []
+    if failed_requests or late:
+        failures.append(
+            f"fleet_3models_budget: {failed_requests} admitted requests "
+            f"failed under budget pressure ({len(late)} at drain) — "
+            f"demotion/eviction must never fail admitted traffic"
+        )
+    demotions = row.get("demotions_total", 0)
+    if demotions < 1:
+        failures.append(
+            "fleet_3models_budget: budget never forced a demotion — the "
+            "row is not exercising residency"
+        )
+    charged = row.get("charged_bytes_end")
+    if charged is None or charged < 0:
+        failures.append(
+            f"fleet_3models_budget: ledger ended negative "
+            f"(charged_bytes_end={charged}) — double discharge"
+        )
+    starved = []
+    for name, tenant in (row.get("tenants") or {}).items():
+        weight_share = tenant.get("weight_share") or 0.0
+        observed = tenant.get("observed_share") or 0.0
+        if observed < 0.5 * weight_share:
+            starved.append(
+                f"{name} (observed {observed:.3f} < 0.5 x weight share "
+                f"{weight_share:.3f}, {tenant.get('requests')} reqs)"
+            )
+    if starved:
+        failures.append(
+            "fleet_3models_budget: tenant starved under weighted-fair "
+            "scheduling: " + "; ".join(starved)
+        )
+    if not failures:
+        shares = ", ".join(
+            f"{name}={tenant['observed_share']:.3f}/{tenant['weight_share']:.3f}"
+            for name, tenant in sorted((row.get("tenants") or {}).items())
+        )
+        notes.append(
+            f"fleet_3models_budget: 0 failed requests, {demotions} "
+            f"demotion(s), ledger {charged} B >= 0, shares obs/weight "
+            f"[{shares}]"
+        )
+    return failures, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -300,7 +375,7 @@ def main(argv=None) -> int:
     if os.path.exists(serving_fresh):
         with open(serving_fresh) as fh:
             fresh = json.load(fh)
-        for check in (check_worker_pool, check_chaos):
+        for check in (check_worker_pool, check_chaos, check_fleet):
             check_failures, check_notes = check(fresh)
             for line in check_notes:
                 print(f"[bench-guard] BENCH_serving.json: {line}")

@@ -200,11 +200,52 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def parse_tenant_spec(spec: str) -> tuple:
+    """Parse one ``--tenant NAME=MODEL[,key=value,...]`` fleet entry.
+
+    Keys: ``n``/``patterns`` (PCNN pruning), ``seed``, ``weight``
+    (fair-share weight under the flush scheduler), ``rate`` (req/s
+    quota, 429 ``quota_exceeded`` past it), ``max_queue`` and ``slo_ms``
+    (per-tenant admission overrides). Example::
+
+        --tenant hot=patternnet,weight=3,rate=200 \\
+        --tenant cold=patternnet,n=2,weight=1
+    """
+    head, _, rest = spec.partition(",")
+    name, eq, model = head.partition("=")
+    if not eq or not name or not model:
+        raise ValueError(
+            f"tenant spec {spec!r} must start with NAME=MODEL "
+            "(e.g. a=patternnet,weight=2)"
+        )
+    from .models import get_spec  # fail fast on unknown models
+
+    get_spec(model)
+    parsers = {
+        "n": int, "patterns": int, "seed": int, "max_queue": int,
+        "weight": float, "rate": float, "slo_ms": float,
+    }
+    kwargs = {}
+    if rest:
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip().replace("-", "_")
+            if not eq or key not in parsers:
+                raise ValueError(
+                    f"tenant spec key {item!r} not understood; "
+                    f"known: {sorted(parsers)}"
+                )
+            kwargs[key] = parsers[key](value)
+    return name, model, kwargs
+
+
 def build_model_server(args):
     """Build, load and warm the :class:`ModelServer` for ``serve``.
 
     Separated from :func:`cmd_serve` so tests can stand the server up
-    without entering the blocking accept loop.
+    without entering the blocking accept loop. With ``--tenant`` specs
+    the server loads a whole fleet (per-tenant weights/quotas/pruning);
+    otherwise the single ``--model`` path applies.
     """
     from .serving import ModelServer
 
@@ -218,8 +259,14 @@ def build_model_server(args):
         tune=args.tune,
         max_queue=getattr(args, "max_queue", None),
         slo_ms=getattr(args, "slo_ms", None),
+        memory_budget_mb=getattr(args, "memory_budget_mb", None),
     )
-    if args.bundle:
+    tenants = [parse_tenant_spec(spec) for spec in (getattr(args, "tenant", None) or [])]
+    if tenants:
+        for name, model, kwargs in tenants:
+            server.load_registry(model, name=name, **kwargs)
+        served = server.get(tenants[0][0])
+    elif args.bundle:
         served = server.load_bundle(args.bundle, args.model)
     elif args.n is not None:
         served = server.load_registry(args.model, n=args.n, patterns=args.patterns)
@@ -257,6 +304,13 @@ def cmd_serve(args) -> int:
     if args.slo_ms is not None and args.slo_ms <= 0:
         print("error: --slo-ms must be > 0", file=sys.stderr)
         return 2
+    if args.memory_budget_mb is not None and args.memory_budget_mb <= 0:
+        print("error: --memory-budget-mb must be > 0", file=sys.stderr)
+        return 2
+    if args.tenant and args.bundle:
+        print("error: --tenant fleets load registry models (drop --bundle)",
+              file=sys.stderr)
+        return 2
     if args.worker_procs is not None and args.no_compile:
         print(
             "error: --worker-procs requires the compiled pipeline "
@@ -281,10 +335,21 @@ def cmd_serve(args) -> int:
         server.stop()
         print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
-    print(
-        f"serving {served.name!r} ({served.meta.get('setting', served.source)}) "
-        f"at {httpd.url}"
-    )
+    if args.tenant:
+        fleet = ", ".join(
+            f"{name}:{row['weight']:g}x" for name, row in
+            sorted(server.describe_models().items())
+        )
+        budget = (
+            f"{args.memory_budget_mb:g} MiB budget"
+            if args.memory_budget_mb is not None else "unbudgeted"
+        )
+        print(f"serving fleet [{fleet}] ({budget}) at {httpd.url}")
+    else:
+        print(
+            f"serving {served.name!r} ({served.meta.get('setting', served.source)}) "
+            f"at {httpd.url}"
+        )
     pipeline = "eager" if args.no_compile else (
         "compiled int8" if args.quantize else "compiled"
     )
@@ -476,6 +541,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request latency SLO: flushes fire early to make the "
         "oldest request's deadline, and requests that blew the SLO "
         "while queued are shed with HTTP 503 (default: no SLO)",
+    )
+    p_serve.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME=MODEL[,k=v...]",
+        help="serve a multi-tenant fleet: repeatable per-tenant spec "
+        "(keys: n, patterns, seed, weight, rate, max-queue, slo-ms), "
+        "e.g. --tenant hot=patternnet,weight=3 --tenant "
+        "cold=patternnet,n=2; overrides --model/--n",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="fleet-wide budget (MiB) for reclaimable resident bytes "
+        "(plan caches, arenas, derived GEMM operands): over it, cold "
+        "tenants are demoted then evicted LRU-first and re-promoted "
+        "warm on their next request (default: unenforced)",
     )
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8100, help="bind port")

@@ -221,11 +221,36 @@ class EncodedLayer:
             self._grouped_weights = grouped.reshape(num_patterns * c_in * n, c_out)
         return self._grouped_weights
 
-    def invalidate_caches(self) -> None:
-        """Drop cached gather/weight state after mutating the layer."""
+    def invalidate_caches(self) -> int:
+        """Drop cached gather/weight state after mutating the layer.
+
+        Returns the cache bytes released (see :meth:`cached_nbytes`) so
+        a fleet residency ledger can account the reclaim.
+        """
+        freed = self.cached_nbytes
         self._gather_plan = None
         self._grouped_weights = None
         self._decoded = None
+        return freed
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the owned storage format: codes + non-zero values."""
+        return int(self.codes.nbytes + self.values.nbytes)
+
+    @property
+    def cached_nbytes(self) -> int:
+        """Bytes of the memoized *derived* state (gather plan positions,
+        grouped GEMM operand, decoded dense weight) — the reclaimable
+        part; the storage format itself (:attr:`nbytes`) stays."""
+        total = 0
+        if self._gather_plan is not None:
+            total += int(self._gather_plan.positions_by_code.nbytes)
+        if self._grouped_weights is not None:
+            total += int(self._grouped_weights.nbytes)
+        if self._decoded is not None:
+            total += int(self._decoded.nbytes)
+        return total
 
     @property
     def weight_bits_per_kernel(self) -> int:

@@ -10,6 +10,7 @@ from .registry import (
     MODEL_REGISTRY,
     ModelSpec,
     create_model,
+    get_spec,
     model_input_shape,
     registered_models,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "profile_model",
     "ModelSpec",
     "MODEL_REGISTRY",
+    "get_spec",
     "create_model",
     "model_input_shape",
     "registered_models",

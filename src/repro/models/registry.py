@@ -21,6 +21,7 @@ __all__ = [
     "ModelSpec",
     "MODEL_REGISTRY",
     "create_model",
+    "get_spec",
     "model_input_shape",
     "registered_models",
 ]
@@ -55,11 +56,24 @@ MODEL_REGISTRY: Dict[str, ModelSpec] = {
 }
 
 
+def get_spec(name: str) -> ModelSpec:
+    """Look up a registered :class:`ModelSpec` by name.
+
+    The one place the "unknown model" error message is produced, so the
+    CLI's multi-tenant serve spec, the HTTP loader and ``create_model``
+    all reject bad names identically.
+    """
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+
+
 def create_model(name: str, rng: Optional[np.random.Generator] = None, **kwargs) -> nn.Module:
     """Instantiate a registered model by name."""
-    if name not in MODEL_REGISTRY:
-        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}")
-    return MODEL_REGISTRY[name].factory(rng=rng, **kwargs)
+    return get_spec(name).factory(rng=rng, **kwargs)
 
 
 def model_input_shape(name: str) -> Tuple[int, int, int]:

@@ -130,10 +130,18 @@ class Arena:
         buffer[:, padding : padding + h, padding : padding + w, :] = x
         return buffer
 
-    def release(self, tag: Optional[str] = None) -> None:
-        """Drop all buffers, or only those registered under ``tag``."""
+    def release(self, tag: Optional[str] = None) -> int:
+        """Drop all buffers, or only those registered under ``tag``.
+
+        Returns the bytes released, so residency demotion can reconcile
+        its ledger against what actually came off the heap.
+        """
         if tag is None:
+            freed = self.nbytes
             self._buffers.clear()
-            return
+            return freed
+        freed = 0
         for key in [k for k in self._buffers if k[0] == tag]:
+            freed += self._buffers[key].nbytes
             del self._buffers[key]
+        return freed

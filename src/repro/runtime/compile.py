@@ -140,6 +140,11 @@ def _cast_encoded(encoded, dtype):
     )
 
 
+def _arr_nbytes(*arrays: Optional[np.ndarray]) -> int:
+    """Summed ``nbytes`` over the arrays that exist (None-tolerant)."""
+    return sum(int(a.nbytes) for a in arrays if a is not None)
+
+
 def _cast(array: Optional[np.ndarray], dtype) -> Optional[np.ndarray]:
     if array is None or dtype is None:
         return array
@@ -178,6 +183,25 @@ class _InferenceOp:
 
     def describe(self) -> str:
         return type(self).__name__
+
+    # -- byte accounting (fleet residency) -----------------------------
+    def param_nbytes(self) -> int:
+        """Bytes of *source* parameters the op owns (weights, codes) —
+        the unreclaimable part that survives demotion/eviction."""
+        return 0
+
+    def derived_nbytes(self) -> int:
+        """Bytes of rebuildable derived state (GEMM operands, memoized
+        gathers) — what :meth:`release_derived` can hand back."""
+        return 0
+
+    def release_derived(self) -> int:
+        """Drop rebuildable derived state; returns the bytes freed.
+
+        The next :meth:`run` rebuilds lazily, so releasing is always
+        safe — it trades the first post-release latency for memory.
+        """
+        return 0
 
 
 @dataclass
@@ -315,6 +339,25 @@ class ConvOp(_InferenceOp):
         self._weight_nchw = None
         self._decoded_t = None
         self._prepared = False
+
+    def param_nbytes(self) -> int:
+        total = _arr_nbytes(self.weight, self.bias)
+        if self.encoded is not None:
+            total += self.encoded.nbytes
+        return total
+
+    def derived_nbytes(self) -> int:
+        total = _arr_nbytes(self.weight_t, self._weight_nchw, self._decoded_t)
+        if self.encoded is not None:
+            total += self.encoded.cached_nbytes
+        return total
+
+    def release_derived(self) -> int:
+        freed = self.derived_nbytes()
+        self.invalidate()
+        if self.encoded is not None:
+            self.encoded.invalidate_caches()
+        return freed
 
     def clone_with(
         self, *, use_gather: Optional[bool] = None, slab_bytes: Optional[int] = None
@@ -565,6 +608,9 @@ class LinearOp(_InferenceOp):
             np.maximum(out, 0.0, out=out)
         return out
 
+    def param_nbytes(self) -> int:
+        return _arr_nbytes(self.weight, self.bias)
+
     def describe(self) -> str:
         return "linear+relu" if self.relu else "linear"
 
@@ -591,6 +637,18 @@ class BatchNormOp(_InferenceOp):
             c = self.scale.shape[0]
             self.scale4 = _cast(self.scale, self.dtype).reshape(1, 1, 1, c)
             self.shift4 = _cast(self.shift, self.dtype).reshape(1, 1, 1, c)
+
+    def param_nbytes(self) -> int:
+        return _arr_nbytes(self.scale, self.shift)
+
+    def derived_nbytes(self) -> int:
+        return _arr_nbytes(self.scale4, self.shift4)
+
+    def release_derived(self) -> int:
+        freed = self.derived_nbytes()
+        self.scale4 = None
+        self.shift4 = None
+        return freed
 
     def run(self, x, state, backend):
         self.prepare()
@@ -796,6 +854,9 @@ class ModuleOp(_InferenceOp):
         finally:
             self.module.train(was_training)
 
+    def param_nbytes(self) -> int:
+        return sum(int(p.data.nbytes) for p in self.module.parameters())
+
     def describe(self) -> str:
         return f"module:{type(self.module).__name__}"
 
@@ -845,6 +906,12 @@ class CompiledModel:
         #: ``tune=``, else ``None``.
         self.tuning = None
         self._local = threading.local()
+        # Every thread's _ExecState, so cross-thread byte accounting and
+        # workspace release (fleet demotion) can reach arenas that the
+        # creating threads own. Guarded by _states_lock; the hot path
+        # only appends once per thread.
+        self._states: List[_ExecState] = []
+        self._states_lock = threading.Lock()
         # Observed (input tail, input dtype) -> (output tail, output
         # dtype), recorded by __call__ and served by output_geometry()
         # so empty-batch calls never need a probe forward.
@@ -856,12 +923,92 @@ class CompiledModel:
         if state is None:
             state = _ExecState(arena=Arena(), plans=self.plans)
             self._local.state = state
+            with self._states_lock:
+                self._states.append(state)
         return state
 
     @property
     def arena(self) -> Arena:
         """The calling thread's buffer arena (stats/introspection)."""
         return self._state().arena
+
+    # -- byte accounting & residency -----------------------------------
+    def iter_ops(self):
+        """Every executable op, recursing into residual branches."""
+
+        def walk(ops):
+            for op in ops:
+                yield op
+                if isinstance(op, ResidualOp):
+                    yield from walk(op.body)
+                    yield from walk(op.shortcut)
+
+        yield from walk(self.ops)
+
+    def memory_report(self) -> dict:
+        """Byte breakdown of what this pipeline holds resident.
+
+        ``parameters`` (weights/codes — survives demotion and eviction),
+        ``derived`` (rebuildable GEMM operands and memoized gathers),
+        ``plans`` (plan-cache workspace charge) and ``arenas`` (scratch
+        buffers across every thread that has executed the model).
+        """
+        parameters = 0
+        derived = 0
+        for op in self.iter_ops():
+            parameters += op.param_nbytes()
+            derived += op.derived_nbytes()
+        with self._states_lock:
+            states = list(self._states)
+        return {
+            "parameters": parameters,
+            "derived": derived,
+            "plans": self.plans.nbytes,
+            "arenas": sum(state.arena.nbytes for state in states),
+            "threads": len(states),
+        }
+
+    def resident_nbytes(self) -> int:
+        """Reclaimable resident bytes: derived + plans + arenas (the
+        fleet ledger's charge for this tenant; parameters excluded —
+        they are the price of keeping the model loaded at all)."""
+        report = self.memory_report()
+        return report["derived"] + report["plans"] + report["arenas"]
+
+    def release_workspaces(self) -> int:
+        """Demotion: drop plan cache + every thread's arena buffers.
+
+        Parameters and derived GEMM operands stay, so the next call is a
+        warm re-plan (allocate + plan, no re-prepare). Returns bytes
+        freed. Safe only while no request is executing (the fleet's
+        residency manager serialises this against flushes).
+        """
+        freed = self.plans.clear()
+        with self._states_lock:
+            states = list(self._states)
+        for state in states:
+            freed += state.arena.release()
+        return freed
+
+    def release_derived(self) -> int:
+        """Eviction: additionally drop rebuildable derived op state.
+
+        The lowered IR, pass trace and source parameters all stay — the
+        next call re-runs :meth:`prepare` lazily (a warm finalize), never
+        a recompile. Returns bytes freed.
+        """
+        freed = 0
+        for op in self.iter_ops():
+            freed += op.release_derived()
+        return freed
+
+    def prepare_ops(self) -> None:
+        """Eagerly rebuild derived op state (the finalize pass's work) —
+        re-promotion after eviction calls this off the hot path."""
+        for op in self.iter_ops():
+            prepare = getattr(op, "prepare", None)
+            if prepare is not None:
+                prepare()
 
     # -- execution -----------------------------------------------------
     def __call__(self, x: np.ndarray, *, backend: Optional[str] = None) -> np.ndarray:

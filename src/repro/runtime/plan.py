@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from ..nn.functional import conv_output_size
 
@@ -62,6 +62,19 @@ class ExecutionPlan:
         kh, kw = self.kernel
         return self.windows * self.in_channels * kh * kw
 
+    @property
+    def nbytes(self) -> int:
+        """Workspace bytes this plan pins while cached.
+
+        The plan object itself is a few hundred bytes; what a cached
+        plan really *costs* is the im2col + output workspace the engine
+        keeps warm in its arena for that geometry. Charging the implied
+        float32 working set makes the cache's LRU byte-aware: a VGG
+        conv2 plan (~37 MB of columns) weighs ~3000x a 4x4 toy plan
+        instead of the same single slot.
+        """
+        return 4 * (self.im2col_elements + self.windows * self.out_channels)
+
     @classmethod
     def build(
         cls,
@@ -101,6 +114,7 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    bytes: int = 0  # implied workspace bytes of the currently cached plans
 
     @property
     def lookups(self) -> int:
@@ -120,12 +134,25 @@ class PlanCache:
     so a cached plan can never go stale through weight mutation — only
     through an explicit :meth:`invalidate` / :meth:`clear`, which exist
     for callers that want deterministic re-planning (tests, benchmarks).
+
+    Eviction is **byte-aware**: each plan is charged its implied
+    workspace (:attr:`ExecutionPlan.nbytes`), and the LRU evicts while
+    either the entry count exceeds ``maxsize`` *or* the summed charge
+    exceeds ``max_bytes``. Entry-count-only eviction let sixteen
+    VGG-sized geometries cost the same as sixteen 4x4 toys; under a
+    fleet memory budget the byte charge is what matters. The most
+    recently used plan is never evicted, so a single plan larger than
+    ``max_bytes`` still serves (the budget degrades to one resident
+    geometry rather than thrashing).
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, max_bytes: Optional[int] = None) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
         self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
         self.stats = PlanCacheStats()
         # Plan caches are shared across the thread pool that
@@ -141,11 +168,22 @@ class PlanCache:
     def __contains__(self, key: PlanKey) -> bool:
         return key in self._plans
 
+    @property
+    def nbytes(self) -> int:
+        """Summed implied-workspace charge of the cached plans."""
+        return self.stats.bytes
+
+    def _over_budget(self) -> bool:
+        if len(self._plans) > self.maxsize:
+            return True
+        return self.max_bytes is not None and self.stats.bytes > self.max_bytes
+
     def get_or_build(
         self, key: PlanKey, builder: Callable[[], ExecutionPlan]
     ) -> ExecutionPlan:
         """Return the cached plan for ``key``, building (and caching)
-        it via ``builder`` on a miss; thread-safe, LRU-evicting."""
+        it via ``builder`` on a miss; thread-safe, LRU-evicting by
+        entry count *and* byte charge."""
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -155,18 +193,26 @@ class PlanCache:
             self.stats.misses += 1
             plan = builder()
             self._plans[key] = plan
-            if len(self._plans) > self.maxsize:
-                self._plans.popitem(last=False)
+            self.stats.bytes += plan.nbytes
+            while len(self._plans) > 1 and self._over_budget():
+                _, evicted = self._plans.popitem(last=False)
+                self.stats.bytes -= evicted.nbytes
                 self.stats.evictions += 1
             return plan
 
     def invalidate(self, key: PlanKey) -> bool:
         """Drop one plan; returns whether it was present."""
         with self._lock:
-            return self._plans.pop(key, None) is not None
+            plan = self._plans.pop(key, None)
+            if plan is not None:
+                self.stats.bytes -= plan.nbytes
+            return plan is not None
 
-    def clear(self) -> None:
-        """Drop every plan and reset the statistics."""
+    def clear(self) -> int:
+        """Drop every plan and reset the statistics; returns the byte
+        charge released (fleet demotions feed this to the ledger)."""
         with self._lock:
+            freed = self.stats.bytes
             self._plans.clear()
             self.stats = PlanCacheStats()
+            return freed

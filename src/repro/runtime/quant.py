@@ -50,7 +50,7 @@ import numpy as np
 
 from .arena import Arena
 from .backends import Epilogue
-from .compile import ConvOp, MaxPoolOp, ReluOp, _ExecState, _InferenceOp
+from .compile import ConvOp, MaxPoolOp, ReluOp, _ExecState, _InferenceOp, _arr_nbytes
 from .plan import ExecutionPlan, PlanCache
 
 __all__ = [
@@ -371,6 +371,37 @@ class QuantConvOp(ConvOp):
     def domain_out(self) -> str:
         """Edge domain this conv produces: codes while requantizing."""
         return "codes" if self.out_scale is not None else "float"
+
+    def param_nbytes(self) -> int:
+        """The int8 artifact *plus* the float-carried GEMM operand.
+
+        ``weight_t`` is built by quantization, not by :meth:`prepare` —
+        it cannot be rebuilt from ``self.weight`` (None here) — so it
+        counts as an owned parameter, never as reclaimable derived
+        state."""
+        total = _arr_nbytes(
+            self.weight, self.bias, self.weight_t,
+            self.codes_int8, self.w_scale, self.bias_q,
+        )
+        if self.encoded is not None:
+            total += self.encoded.nbytes
+        return total
+
+    def derived_nbytes(self) -> int:
+        total = _arr_nbytes(self._mult_cache)
+        if self.encoded is not None:
+            total += self.encoded.cached_nbytes
+        return total
+
+    def release_derived(self) -> int:
+        """Drop only the rebuildable state (multiplier cache + the
+        encoded layer's memoized gather/grouped matrices); the int8
+        operands stay — see :meth:`param_nbytes`."""
+        freed = self.derived_nbytes()
+        self._mult_cache = None
+        if self.encoded is not None:
+            self.encoded.invalidate_caches()
+        return freed
 
     def _multiplier(self, dtype) -> np.ndarray:
         """Per-column scale folding the int32-style accumulator back."""

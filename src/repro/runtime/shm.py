@@ -216,6 +216,19 @@ class SharedModelImage:
         """Total slab size: header + arrays + manifest + spec."""
         return self._shm.size
 
+    def memory_report(self) -> dict:
+        """Byte breakdown for the fleet ledger: the mapped slab size,
+        the array payload inside it, and framing overhead. One slab is
+        shared by every worker process, so a tenant is charged it once
+        regardless of pool width."""
+        payload = self.attach_stats.nbytes
+        return {
+            "slab": self.nbytes,
+            "payload": payload,
+            "overhead": max(0, self.nbytes - payload),
+            "arrays": self.attach_stats.arrays,
+        }
+
     # -- construction --------------------------------------------------
     @classmethod
     def export(cls, compiled) -> "SharedModelImage":

@@ -17,7 +17,17 @@ The layer that turns ``runtime.predict`` into a service:
   dropping accepted requests.
 - :class:`Supervisor` — heals worker-process pools: heartbeat/liveness
   monitoring, crashed/wedged-worker respawn within a restart budget,
-  and the incident log behind ``GET /incidents``.
+  and the incident log behind ``GET /incidents`` (residency transitions
+  land there too).
+- :class:`FlushScheduler` — central deficit-weighted round-robin
+  dispatcher over every tenant's batcher (per-model ``weight=``), SLO
+  deadlines first; under saturation throughput tracks the weights.
+- :class:`ResidencyManager` — LRU demotion/eviction of cold tenants'
+  reclaimable working sets under ``ModelServer(memory_budget_mb=)``,
+  with a byte ledger on ``/stats``/``/models``/``/metrics``; requests
+  landing on a cold tenant re-promote it warm (never a recompile).
+  Per-tenant ``rate=`` quotas shed over-contract traffic with
+  :class:`QuotaExceeded` (HTTP 429 kind ``quota_exceeded``).
 - :class:`ServerStats` — p50/p95/p99 latency, queue depth, coalesced
   batch-size histogram and throughput, exposed at ``/stats``;
   :func:`render_metrics` renders the same counters (plus supervision
@@ -26,9 +36,18 @@ The layer that turns ``runtime.predict`` into a service:
   endpoint; ``pcnn-repro serve`` is the CLI wrapper.
 """
 
-from .batcher import Batcher, BatcherClosed, QueueFull, SLOExpired, bucket_sizes
+from .batcher import (
+    Batcher,
+    BatcherClosed,
+    QueueFull,
+    QuotaExceeded,
+    SLOExpired,
+    bucket_sizes,
+)
 from .http import ServingHTTPServer, serve_http
 from .metrics import render_metrics
+from .residency import DEMOTED, EVICTED, RESIDENT, ResidencyManager
+from .scheduler import FlushScheduler
 from .server import ModelServer, ServedModel
 from .stats import LATENCY_BUCKETS, ServerStats
 from .supervisor import Incident, RestartBudget, Supervisor
@@ -37,12 +56,18 @@ __all__ = [
     "Batcher",
     "BatcherClosed",
     "QueueFull",
+    "QuotaExceeded",
     "SLOExpired",
     "bucket_sizes",
     "ModelServer",
     "ServedModel",
     "ServerStats",
     "LATENCY_BUCKETS",
+    "FlushScheduler",
+    "ResidencyManager",
+    "RESIDENT",
+    "DEMOTED",
+    "EVICTED",
     "Incident",
     "RestartBudget",
     "Supervisor",

@@ -5,8 +5,19 @@ micro-batches are the unit the compiled pipeline is fast at (one GEMM
 amortises im2col, plan lookup and Python dispatch over every image in
 the chunk — the batching discipline accelerator papers assume at
 deployment). :class:`Batcher` bridges the two: requests enqueue, a
-worker thread coalesces them under a ``max_batch`` / ``max_latency_ms``
+flush driver coalesces them under a ``max_batch`` / ``max_latency_ms``
 policy, and one runner call serves the whole flush.
+
+A batcher can be driven two ways:
+
+- **Standalone** (``start()`` with no scheduler attached): a private
+  worker thread coalesces and flushes, exactly the pre-fleet behaviour.
+- **Scheduled** (registered with a
+  :class:`~repro.serving.scheduler.FlushScheduler`): the batcher only
+  *queues*; the central scheduler decides when its flush fires relative
+  to every other tenant's, weighted by :attr:`weight`. The queue/due
+  bookkeeping (:meth:`next_due`, :meth:`flush_once`) is the contract
+  between the two.
 
 Two details matter for the compiled pipeline underneath:
 
@@ -29,6 +40,11 @@ Production robustness lives here too:
   rejection instead: past the high-water mark :meth:`submit` raises
   :class:`QueueFull` carrying a ``retry_after`` hint derived from the
   current drain rate, which HTTP maps to ``429 + Retry-After``.
+- **Rate quotas** (``rate``): a per-tenant token bucket at admission.
+  A tenant pushing past its contracted requests/second gets
+  :class:`QuotaExceeded` (HTTP 429, kind ``quota_exceeded``) before its
+  traffic can queue at all — overload from one tenant never reaches
+  the shared scheduler as backlog.
 - **SLO deadlines** (``slo_ms``): each request carries an admission
   timestamp; the coalescing deadline tightens so a flush fires before
   the *oldest* request's deadline (minus the recent flush cost), and
@@ -45,12 +61,12 @@ from __future__ import annotations
 
 import logging
 import math
-import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Type
+from typing import Callable, Deque, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -60,6 +76,7 @@ __all__ = [
     "Batcher",
     "BatcherClosed",
     "QueueFull",
+    "QuotaExceeded",
     "SLOExpired",
     "bucket_sizes",
 ]
@@ -84,11 +101,22 @@ class QueueFull(RuntimeError):
         self.retry_after = float(retry_after)
 
 
+class QuotaExceeded(RuntimeError):
+    """The tenant's rate quota shed the request at admission.
+
+    Distinct from :class:`QueueFull` so operators (and the HTTP error
+    body, kind ``quota_exceeded``) can tell "the server is busy" apart
+    from "this tenant is over its contract". ``retry_after`` is when
+    the token bucket earns the next token back.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class SLOExpired(RuntimeError):
     """The request's latency SLO expired while it waited in the queue."""
-
-#: Sentinel pushed on the queue to wake the worker up for shutdown.
-_STOP = object()
 
 
 def bucket_sizes(max_batch: int) -> List[int]:
@@ -130,8 +158,8 @@ class Batcher:
     max_batch:
         Largest coalesced batch; also the largest bucket geometry.
     max_latency_ms:
-        How long the worker waits for more requests after the first one
-        of a batch arrives.
+        How long the flush driver waits for more requests after the
+        first one of a batch arrives.
     stats:
         Optional shared :class:`ServerStats`; one is created otherwise.
     bucket:
@@ -146,6 +174,14 @@ class Batcher:
         request still makes its deadline, and requests that blew the SLO
         while queued are failed with :class:`SLOExpired` (HTTP 503) at
         flush assembly. ``None`` disables deadline handling.
+    weight:
+        Fair-share weight under a :class:`FlushScheduler`: tenants
+        receive throughput proportional to their weights when
+        saturated. Ignored in standalone mode.
+    rate:
+        Per-tenant rate quota in requests/second (token bucket with a
+        one-second burst allowance); over-quota submits raise
+        :class:`QuotaExceeded`. ``None`` disables the quota.
     fallback_runner:
         Degraded-mode runner (typically in-process ``predict``) used
         when ``runner`` raises one of ``fallback_on``; the fallback's
@@ -166,6 +202,8 @@ class Batcher:
         bucket: bool = True,
         max_queue: Optional[int] = None,
         slo_ms: Optional[float] = None,
+        weight: float = 1.0,
+        rate: Optional[float] = None,
         fallback_runner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         fallback_on: Tuple[Type[BaseException], ...] = (),
     ) -> None:
@@ -177,6 +215,10 @@ class Batcher:
             raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         if slo_ms is not None and slo_ms <= 0:
             raise ValueError("slo_ms must be > 0 (or None to disable)")
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be > 0 requests/second (or None)")
         self.runner = runner
         self.max_batch = max_batch
         self.max_latency = max_latency_ms / 1e3
@@ -184,12 +226,24 @@ class Batcher:
         self.bucket = bucket
         self.max_queue = max_queue
         self.slo = None if slo_ms is None else slo_ms / 1e3
+        self.weight = float(weight)
+        self.rate = None if rate is None else float(rate)
         self.fallback_runner = fallback_runner
         self.fallback_on = tuple(fallback_on)
-        self._queue: "queue.Queue" = queue.Queue()
-        self._worker: Optional[threading.Thread] = None
-        self._stopping = False
+        self._items: Deque[_Request] = deque()
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._worker: Optional[threading.Thread] = None
+        self._started = False  # scheduled mode's "running" latch
+        self._stopping = False
+        #: Set by FlushScheduler.register(); a registered batcher's
+        #: start() arms the scheduler instead of spawning a thread.
+        self._scheduler = None
+        # Token bucket for the rate quota: one second of burst, floored
+        # at one token so sub-1/s quotas can ever admit a request.
+        self._burst = max(1.0, self.rate) if self.rate is not None else 0.0
+        self._tokens = self._burst
+        self._token_stamp = time.perf_counter()
         #: EMA of recent flush wall time, used to fire SLO flushes early
         #: enough that the flush itself still fits inside the deadline.
         self._flush_cost = 0.0
@@ -197,32 +251,63 @@ class Batcher:
     # -- lifecycle -----------------------------------------------------
     @property
     def running(self) -> bool:
-        """Whether the coalescing worker thread is alive."""
+        """Whether submits will be flushed (thread alive, or armed on a
+        running scheduler)."""
+        if self._scheduler is not None:
+            return self._started and not self._stopping
         return self._worker is not None and self._worker.is_alive()
 
     def start(self) -> "Batcher":
-        """Start the coalescing worker (idempotent); returns self."""
+        """Arm the batcher (idempotent); returns self.
+
+        Standalone: starts the private coalescing thread. Scheduled:
+        marks the batcher live so the scheduler may dispatch its
+        flushes.
+        """
+        scheduler = self._scheduler
         with self._lock:
             if self.running:
                 return self
             self._stopping = False
-            self._worker = threading.Thread(
-                target=self._loop, name="repro-batcher", daemon=True
-            )
-            self._worker.start()
+            if scheduler is not None:
+                self._started = True
+            else:
+                self._worker = threading.Thread(
+                    target=self._loop, name="repro-batcher", daemon=True
+                )
+                self._worker.start()
+        if scheduler is not None:
+            scheduler.wake()
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the worker; by default serve everything already queued."""
+        """Stop flushing; by default serve everything already queued.
+
+        Works in every mode: standalone (joins the private thread),
+        scheduled (quiesces the in-flight dispatch; ``next_due()``
+        returns ``None`` while stopping so no new one starts), and
+        *detached* — a batcher whose scheduler registration was taken
+        over by a hot-reload replacement still drains its queue inline.
+        """
+        scheduler = self._scheduler
         with self._lock:
-            worker = self._worker
-            if worker is None:
-                return
+            if (
+                scheduler is None
+                and self._worker is None
+                and not self._started
+                and not self._items
+            ):
+                return  # never armed, nothing queued
             self._stopping = True
-            self._queue.put(_STOP)
-        worker.join()
-        with self._lock:
-            self._worker = None
+            self._started = False
+            worker = self._worker
+            self._cond.notify_all()
+        if worker is not None:
+            worker.join()
+            with self._lock:
+                self._worker = None
+        if scheduler is not None:
+            scheduler.quiesce(self)
         if drain:
             self._drain_pending()
         else:
@@ -238,7 +323,7 @@ class Batcher:
     @property
     def queue_depth(self) -> int:
         """Requests currently waiting for a flush (approximate)."""
-        return self._queue.qsize()
+        return len(self._items)
 
     def retry_after_estimate(self) -> float:
         """Seconds until the queue drains below the high-water mark.
@@ -248,7 +333,7 @@ class Batcher:
         no observed rate yet (cold server) the coalescing latency bound
         is the only honest guess.
         """
-        depth = self._queue.qsize()
+        depth = len(self._items)
         rate = self.stats.requests_per_second
         if rate > 0:
             estimate = depth / rate
@@ -256,20 +341,40 @@ class Batcher:
             estimate = max(self.max_latency * 2, 0.05)
         return min(30.0, max(0.05, estimate))
 
+    def _take_token(self) -> None:
+        """Charge the rate-quota token bucket (lock held); raises
+        :class:`QuotaExceeded` when the tenant is over its contract."""
+        now = time.perf_counter()
+        self._tokens = min(
+            self._burst, self._tokens + (now - self._token_stamp) * self.rate
+        )
+        self._token_stamp = now
+        if self._tokens < 1.0:
+            self.stats.record_shed("quota")
+            raise QuotaExceeded(
+                f"tenant over its {self.rate:g} req/s rate quota",
+                retry_after=(1.0 - self._tokens) / self.rate,
+            )
+        self._tokens -= 1.0
+
     def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
         """Enqueue one image; resolves to its single output row.
 
         Raises :class:`BatcherClosed` on a stopped/stopping batcher
-        (nothing would ever flush the request) and :class:`QueueFull`
+        (nothing would ever flush the request), :class:`QuotaExceeded`
+        when the tenant's rate quota sheds it, and :class:`QueueFull`
         when admission control sheds it (queue past ``max_queue``).
         """
-        # The check and the put happen under the same lock stop() takes,
-        # so a request can never slip onto the queue after stop() has
-        # drained it (which would leave its future unresolved forever).
+        # The check and the append happen under the same lock stop()
+        # takes, so a request can never slip onto the queue after stop()
+        # has drained it (which would leave its future unresolved
+        # forever).
         with self._lock:
             if self._stopping or not self.running:
                 raise BatcherClosed("batcher is not running (call start())")
-            if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+            if self.rate is not None:
+                self._take_token()
+            if self.max_queue is not None and len(self._items) >= self.max_queue:
                 self.stats.record_shed("queue_full")
                 raise QueueFull(
                     f"queue at high-water mark ({self.max_queue} waiting)",
@@ -278,12 +383,69 @@ class Batcher:
             request = _Request(x=np.asarray(x))
             if self.slo is not None:
                 request.deadline = request.submitted + self.slo
-            self._queue.put(request)
+            self._items.append(request)
+            self._cond.notify_all()
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.wake()
         return request.future
 
     def __call__(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous convenience: submit and wait for the result."""
         return self.submit(x).result(timeout=timeout)
+
+    # -- scheduler contract --------------------------------------------
+    def next_due(self) -> Optional[float]:
+        """When the queued work should flush, on the perf_counter clock.
+
+        ``None`` means "nothing to schedule" (empty, or stopping). A
+        full batch is due immediately (0.0); otherwise the due time is
+        the first request's coalescing deadline, tightened by the SLO
+        margin exactly like the standalone collect loop.
+        """
+        with self._lock:
+            if not self._items or self._stopping or not self._started:
+                return None
+            if len(self._items) >= self.max_batch:
+                return 0.0
+            first = self._items[0]
+            due = first.submitted + self.max_latency
+            if self.slo is not None:
+                due = min(due, first.deadline - self._flush_cost)
+            return due
+
+    def oldest_deadline(self) -> float:
+        """Absolute SLO deadline of the oldest queued request (``inf``
+        without an SLO or queued work) — the scheduler's EDF key."""
+        with self._lock:
+            if self.slo is None or not self._items:
+                return math.inf
+            return self._items[0].deadline
+
+    def slo_urgent(self, now: Optional[float] = None) -> bool:
+        """Whether the oldest request is at risk of blowing its SLO —
+        the scheduler serves urgent tenants before fair-share order."""
+        deadline = self.oldest_deadline()
+        if deadline is math.inf:
+            return False
+        if now is None:
+            now = time.perf_counter()
+        return deadline - now <= max(2.0 * self._flush_cost, 1e-3)
+
+    def flush_once(self) -> int:
+        """Collect whatever is queued (never waiting) and flush it.
+
+        The scheduler's dispatch primitive. Returns the number of
+        requests the flush actually dispatched (its fairness charge);
+        0 when the queue was empty or every request was cancelled/shed.
+        """
+        with self._lock:
+            batch: List[_Request] = []
+            while self._items and len(batch) < self.max_batch:
+                batch.append(self._items.popleft())
+        if not batch:
+            return 0
+        return self._flush(batch)
 
     # -- worker --------------------------------------------------------
     def _bucket_size(self, size: int) -> int:
@@ -309,26 +471,19 @@ class Batcher:
             # still lands inside the oldest request's SLO. ``first`` is
             # the oldest — the queue is FIFO.
             deadline = min(deadline, first.deadline - self._flush_cost)
-        while len(batch) < self.max_batch:
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
-                # Deadline passed, but anything already queued rides
-                # along for free (no wait).
-                try:
-                    item = self._queue.get_nowait()
-                except queue.Empty:
+        with self._cond:
+            while len(batch) < self.max_batch:
+                if self._items:
+                    # Already queued work rides along for free, past the
+                    # deadline included.
+                    batch.append(self._items.popleft())
+                    continue
+                if self._stopping:
                     break
-            else:
-                try:
-                    item = self._queue.get(timeout=remaining)
-                except queue.Empty:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
                     break
-            if item is _STOP:
-                # Re-queue the sentinel so the worker loop still sees it
-                # after this flush (and serves anything queued before it).
-                self._queue.put(_STOP)
-                break
-            batch.append(item)
+                self._cond.wait(remaining)
         return batch
 
     def _shed_expired(self, batch: List[_Request]) -> List[_Request]:
@@ -378,15 +533,16 @@ class Batcher:
             self.stats.record_degraded(size)
             return out
 
-    def _flush(self, batch: List[_Request]) -> None:
+    def _flush(self, batch: List[_Request]) -> int:
+        """Serve one coalesced batch; returns the requests dispatched."""
         # Transition every future to RUNNING first: a future cancelled
         # while queued is dropped here, and the rest can no longer be
         # cancelled — so the set_result/set_exception calls below can
-        # never raise InvalidStateError and kill the worker thread.
+        # never raise InvalidStateError and kill the flush driver.
         batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
         batch = self._shed_expired(batch)
         if not batch:
-            return
+            return 0
         size = len(batch)
         try:
             x = np.stack([r.x for r in batch])
@@ -408,7 +564,7 @@ class Batcher:
             self.stats.record_error(size)
             for request in batch:
                 request.future.set_exception(error)
-            return
+            return size
         self.stats.record_batch(size, seconds)
         self._flush_cost = (
             seconds if self._flush_cost == 0.0
@@ -418,33 +574,32 @@ class Batcher:
         for index, request in enumerate(batch):
             request.future.set_result(out[index])
             self.stats.record_request(done - request.submitted)
+        return size
 
     def _loop(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _STOP:
-                return
-            self._flush(self._collect(item))
+            with self._cond:
+                while not self._items and not self._stopping:
+                    self._cond.wait()
+                if self._stopping:
+                    # Leftovers are drained inline by stop().
+                    return
+                first = self._items.popleft()
+            self._flush(self._collect(first))
 
     def _drain_pending(self) -> None:
-        """Serve whatever is still queued after the worker exited."""
-        pending: List[_Request] = []
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is not _STOP:
-                pending.append(item)
+        """Serve whatever is still queued after the flush driver exited."""
+        with self._lock:
+            pending = list(self._items)
+            self._items.clear()
         for lo in range(0, len(pending), self.max_batch):
             self._flush(pending[lo : lo + self.max_batch])
 
     def _fail_pending(self, error: BaseException) -> None:
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if item is not _STOP and item.future.set_running_or_notify_cancel():
+        with self._lock:
+            pending = list(self._items)
+            self._items.clear()
+        for item in pending:
+            if item.future.set_running_or_notify_cancel():
                 self.stats.record_error()
                 item.future.set_exception(error)

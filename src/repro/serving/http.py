@@ -25,7 +25,9 @@ Routes
 - ``GET /workers`` — just the per-model worker-pool breakdown (per-worker
   req/s, ring occupancy, shared-image attach/copy counters); models
   served in-process are omitted.
-- ``GET /models`` — the served-model registry.
+- ``GET /models`` — the served-model registry, one row per tenant with
+  its residency state (``resident``/``demoted``/``evicted``), charged
+  bytes, fair-share weight and demotion/promotion/eviction counters.
 - ``GET /healthz`` — liveness probe; reports ``degraded`` when any
   pool exhausted its restart budget (still HTTP 200 — degraded serving
   answers requests through the in-process fallback).
@@ -43,6 +45,8 @@ parsing prose:
 - ``429 queue_full`` — admission control shed the request; the
   ``Retry-After`` header (seconds) is derived from the queue's current
   drain rate.
+- ``429 quota_exceeded`` — the tenant is over its per-model rate quota;
+  ``Retry-After`` is when the token bucket earns the next token back.
 - ``503 slo_expired | batcher_closed | worker_pool`` — the request was
   accepted but could not be served within its SLO / the endpoint is
   shutting down / the worker pool failed without a fallback.
@@ -62,7 +66,7 @@ from typing import Optional
 import numpy as np
 
 from ..runtime import BrokenWorkerPool, WorkerCrashed
-from .batcher import BatcherClosed, QueueFull, SLOExpired
+from .batcher import BatcherClosed, QueueFull, QuotaExceeded, SLOExpired
 from .metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from .metrics import render_metrics
 from .server import ModelServer
@@ -109,7 +113,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _serving_error(self, error: BaseException) -> None:
         """Map a submit/result exception onto the HTTP error contract."""
-        if isinstance(error, QueueFull):
+        if isinstance(error, QuotaExceeded):
+            self._error(
+                429, "quota_exceeded", str(error),
+                headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))},
+            )
+        elif isinstance(error, QueueFull):
             self._error(
                 429, "queue_full", str(error),
                 headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))},
@@ -156,10 +165,7 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
         elif self.path == "/models":
-            self._reply(
-                200,
-                {name: m.describe() for name, m in model_server.models.items()},
-            )
+            self._reply(200, model_server.describe_models())
         elif self.path == "/healthz":
             status = model_server.supervisor.model_status()
             degraded = sorted(
@@ -257,8 +263,10 @@ class _Handler(BaseHTTPRequestHandler):
         Body: ``{"model": <registry name>}`` plus optional ``"name"``
         (serving alias), ``"n"``/``"patterns"`` (PCNN pruning setting),
         ``"seed"``, ``"bundle"`` (serve a DeploymentBundle ``.npz``
-        instead of registry weights) and ``"reload": true`` to replace
-        an existing registration (without it, a collision is a 409).
+        instead of registry weights), ``"weight"``/``"rate"`` (the
+        tenant's fair-share weight and rate quota in req/s) and
+        ``"reload": true`` to replace an existing registration (without
+        it, a collision is a 409).
         """
         try:
             request = self._read_json()
@@ -266,6 +274,11 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(model_name, str) or not model_name:
                 raise ValueError("request needs a 'model' registry name")
             reload_flag = bool(request.get("reload", False))
+            rate = request.get("rate")
+            tenant_kwargs = {
+                "weight": float(request.get("weight", 1.0)),
+                "rate": None if rate is None else float(rate),
+            }
         except (ValueError, TypeError, json.JSONDecodeError) as error:
             self._error(400, "bad_request", str(error))
             return
@@ -279,6 +292,7 @@ class _Handler(BaseHTTPRequestHandler):
                     seed=int(request.get("seed", 0)),
                     replace=reload_flag,
                     warm=True,
+                    **tenant_kwargs,
                 )
             else:
                 n = request.get("n")
@@ -291,6 +305,7 @@ class _Handler(BaseHTTPRequestHandler):
                     seed=int(request.get("seed", 0)),
                     replace=reload_flag,
                     warm=True,
+                    **tenant_kwargs,
                 )
         except KeyError as error:
             # add_model raises KeyError both for "already registered"

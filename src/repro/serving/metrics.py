@@ -96,11 +96,11 @@ def render_metrics(model_server) -> str:
     w.family(
         "repro_shed_total", "counter",
         "Requests shed by admission control, by reason "
-        "(queue_full=429, slo=503).",
+        "(queue_full=429, quota=429 quota_exceeded, slo=503).",
     )
     for name, served in models.items():
         shed = dict(served.stats.shed)
-        for reason in ("queue_full", "slo"):
+        for reason in ("queue_full", "quota", "slo"):
             shed.setdefault(reason, 0)
         for reason, count in sorted(shed.items()):
             w.sample(
@@ -159,6 +159,91 @@ def render_metrics(model_server) -> str:
         w.sample(
             "repro_request_latency_seconds_count", {"model": name}, hist["count"]
         )
+
+    # -- fleet families: residency + weighted-fair scheduling ----------
+    residency = getattr(model_server, "residency", None)
+    if residency is not None:
+        fleet = residency.snapshot()
+        w.family(
+            "repro_fleet_budget_bytes", "gauge",
+            "Configured reclaimable-byte budget (0 when unenforced).",
+        )
+        w.sample("repro_fleet_budget_bytes", {}, fleet["budget_bytes"] or 0)
+        w.family(
+            "repro_fleet_charged_bytes", "gauge",
+            "Ledger total: reclaimable bytes charged across all tenants.",
+        )
+        w.sample("repro_fleet_charged_bytes", {}, fleet["charged_bytes"])
+        w.family(
+            "repro_tenant_state", "gauge",
+            "Tenant residency (1 for the current state, 0 otherwise).",
+        )
+        for name, row in fleet["tenants"].items():
+            for state in ("resident", "demoted", "evicted"):
+                w.sample(
+                    "repro_tenant_state", {"model": name, "state": state},
+                    int(row["state"] == state),
+                )
+        w.family(
+            "repro_tenant_resident_bytes", "gauge",
+            "Reclaimable bytes currently charged to the tenant.",
+        )
+        for name, row in fleet["tenants"].items():
+            w.sample("repro_tenant_resident_bytes", {"model": name}, row["bytes"])
+        w.family(
+            "repro_tenant_demotions_total", "counter",
+            "Times the tenant's workspaces were reclaimed under budget pressure.",
+        )
+        w.family(
+            "repro_tenant_evictions_total", "counter",
+            "Times the tenant's derived op state was reclaimed too.",
+        )
+        w.family(
+            "repro_tenant_promotions_total", "counter",
+            "Times a request re-promoted a demoted/evicted tenant (warm, no recompile).",
+        )
+        for name, row in fleet["tenants"].items():
+            w.sample("repro_tenant_demotions_total", {"model": name}, row["demotions"])
+            w.sample("repro_tenant_evictions_total", {"model": name}, row["evictions"])
+            w.sample("repro_tenant_promotions_total", {"model": name}, row["promotions"])
+
+    scheduler = getattr(model_server, "scheduler", None)
+    if scheduler is not None:
+        sched = scheduler.snapshot()
+        w.family(
+            "repro_tenant_weight", "gauge",
+            "Configured fair-share weight under the flush scheduler.",
+        )
+        w.family(
+            "repro_tenant_weight_share", "gauge",
+            "Weight as a fraction of the fleet's total weight.",
+        )
+        w.family(
+            "repro_tenant_observed_share", "gauge",
+            "Fraction of scheduled requests this tenant actually received.",
+        )
+        w.family(
+            "repro_tenant_scheduled_requests_total", "counter",
+            "Requests dispatched to the tenant by the flush scheduler.",
+        )
+        for name, row in sched["tenants"].items():
+            w.sample("repro_tenant_weight", {"model": name}, row["weight"])
+            w.sample("repro_tenant_weight_share", {"model": name}, row["weight_share"])
+            w.sample(
+                "repro_tenant_observed_share", {"model": name}, row["observed_share"]
+            )
+            w.sample(
+                "repro_tenant_scheduled_requests_total", {"model": name},
+                row["requests"],
+            )
+
+    w.family(
+        "repro_plan_cache_bytes", "gauge",
+        "Bytes held by the tenant's execution-plan cache.",
+    )
+    for name, served in models.items():
+        if served.compiled is not None:
+            w.sample("repro_plan_cache_bytes", {"model": name}, served.compiled.plans.nbytes)
 
     # -- worker-pool / supervision families ----------------------------
     pooled = {name: m for name, m in models.items() if m.pool is not None}

@@ -1,0 +1,301 @@
+"""Weighted-fair flush scheduling across a fleet of tenants.
+
+Pre-fleet, every :class:`~repro.serving.batcher.Batcher` ran its own
+free-running coalescing thread, so under saturation the OS scheduler —
+not the operator — decided which model got throughput: one hot tenant
+could monopolise the GIL and the BLAS pool while the others starved.
+:class:`FlushScheduler` centralises the decision. Batchers only queue;
+the scheduler's dispatch thread(s) pick the next flush across all
+registered tenants:
+
+1. **Due filter.** A tenant is *due* when its oldest queued request's
+   coalescing deadline (tightened by the SLO margin, exactly the
+   standalone collect rule) has arrived, or its queue holds a full
+   batch. Before that, flushing early would forfeit coalescing.
+2. **SLO first.** Among due tenants, any whose oldest request is at
+   risk of blowing its deadline is served earliest-deadline-first —
+   latency contracts outrank fair shares.
+3. **Deficit-weighted round-robin.** Otherwise the due tenant with the
+   smallest *normalised service* (requests served divided by
+   :attr:`Batcher.weight`) flushes next — the classic weighted
+   fair-queueing virtual-time rule, so saturated tenants converge to
+   throughput proportional to their weights.
+
+A tenant that goes idle stops accumulating claims: on becoming ready
+again its normalised-service clock is clamped to at most one flush of
+credit behind the fleet's virtual time, so a tenant that slept for a
+minute cannot starve everyone else while it "catches up" (the fair-
+queueing wake rule).
+
+The scheduler is also the fleet's single point of *serialisation*: the
+residency manager wraps each tenant's runner so demotion/promotion and
+flushes exclude each other per tenant, and ``quiesce()`` lets a
+stopping batcher wait out its in-flight flush without a global pause.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["FlushScheduler"]
+
+logger = logging.getLogger("repro.serving")
+
+
+@dataclass
+class _Entry:
+    """One registered tenant's scheduling state."""
+
+    name: str
+    batcher: object
+    weight: float
+    #: Normalised service: requests served / weight — the tenant's
+    #: position on the fair-queueing virtual-time axis.
+    norm_served: float = 0.0
+    requests: int = 0
+    flushes: int = 0
+    in_flight: bool = False
+    idle: bool = True
+
+
+class FlushScheduler:
+    """Central deficit-weighted round-robin dispatcher over batchers.
+
+    Parameters
+    ----------
+    threads:
+        Dispatch threads. One thread serialises all flushes (strict
+        run-to-completion fair queueing); more allow flushes of
+        *different* tenants to overlap — a tenant never has two flushes
+        in flight, so per-tenant ordering is preserved either way.
+    """
+
+    def __init__(self, *, threads: int = 1) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+        self._cond = threading.Condition()
+        self._entries: Dict[str, _Entry] = {}
+        self._by_batcher: Dict[int, _Entry] = {}
+        self._workers: List[threading.Thread] = []
+        self._stopping = False
+        #: Fleet virtual time: the max normalised service any tenant has
+        #: received; new/woken tenants are clamped relative to this.
+        self._vtime = 0.0
+
+    # -- registration --------------------------------------------------
+    def register(self, name: str, batcher, *, weight: Optional[float] = None) -> None:
+        """Attach ``batcher`` as tenant ``name``.
+
+        The batcher's ``start()`` stops spawning its own thread from
+        here on — this scheduler owns its flushes. ``weight`` defaults
+        to ``batcher.weight``.
+        """
+        with self._cond:
+            old = self._entries.get(name)
+            while old is not None and old.in_flight:
+                # Hot reload: let the outgoing tenant's dispatched flush
+                # finish before detaching it, so its requests are never
+                # orphaned between "unregistered" and "drained".
+                self._cond.wait(0.1)
+                old = self._entries.get(name)
+            if old is not None:
+                self._by_batcher.pop(id(old.batcher), None)
+                old.batcher._scheduler = None
+            entry = _Entry(
+                name=name,
+                batcher=batcher,
+                weight=float(weight if weight is not None else batcher.weight),
+                norm_served=self._vtime,
+            )
+            if entry.weight <= 0:
+                raise ValueError("weight must be > 0")
+            self._entries[name] = entry
+            self._by_batcher[id(batcher)] = entry
+            batcher._scheduler = self
+            self._cond.notify_all()
+
+    def unregister(self, batcher) -> None:
+        """Detach a batcher (idempotent); waits out its in-flight flush
+        so the caller can safely tear the tenant down afterwards."""
+        with self._cond:
+            # Remove the entry *first* so no new flush can be dispatched,
+            # then wait out the one (if any) already in flight — the
+            # dispatch loop notifies the condition when it completes.
+            entry = self._by_batcher.pop(id(batcher), None)
+            if entry is not None:
+                self._entries.pop(entry.name, None)
+            batcher._scheduler = None
+            while entry is not None and entry.in_flight:
+                self._cond.wait(0.1)
+
+    def serves(self, batcher) -> bool:
+        """Whether ``batcher`` is registered here."""
+        with self._cond:
+            return id(batcher) in self._by_batcher
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether any dispatch thread is alive."""
+        return any(t.is_alive() for t in self._workers)
+
+    def start(self) -> "FlushScheduler":
+        """Start the dispatch threads (idempotent); returns self."""
+        with self._cond:
+            if self.running:
+                return self
+            self._stopping = False
+            self._workers = [
+                threading.Thread(
+                    target=self._loop, name=f"repro-flush-sched-{i}", daemon=True
+                )
+                for i in range(self.threads)
+            ]
+            for worker in self._workers:
+                worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop dispatching; in-flight flushes finish first.
+
+        Queued requests are *not* drained here — stop each batcher
+        (which drains or fails its own queue) before or after; the
+        server's shutdown path does exactly that.
+        """
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.join(5.0)
+        self._workers = []
+
+    def __enter__(self) -> "FlushScheduler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- batcher signals -----------------------------------------------
+    def wake(self) -> None:
+        """Nudge the dispatch threads (a batcher queued work)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def quiesce(self, batcher) -> None:
+        """Block until ``batcher`` has no flush in flight.
+
+        The caller is responsible for also making the batcher
+        undispatchable (its ``next_due()`` returns None while stopping),
+        otherwise a new flush may start right after this returns.
+        """
+        with self._cond:
+            entry = self._by_batcher.get(id(batcher))
+            while entry is not None and entry.in_flight:
+                self._cond.wait(0.1)
+
+    # -- dispatch ------------------------------------------------------
+    def _scan(self, now: float):
+        """(due entries, earliest future due time) under the lock."""
+        ready: List[_Entry] = []
+        next_due: Optional[float] = None
+        for entry in self._entries.values():
+            if entry.in_flight:
+                continue
+            due = entry.batcher.next_due()
+            if due is None:
+                entry.idle = True
+                continue
+            if entry.idle:
+                # Wake clamp: an idle tenant re-enters at most one
+                # max_batch flush of credit behind the fleet, instead of
+                # cashing in every quantum it slept through.
+                entry.idle = False
+                slack = entry.batcher.max_batch / entry.weight
+                if self._vtime - entry.norm_served > slack:
+                    entry.norm_served = self._vtime - slack
+            if due <= now:
+                ready.append(entry)
+            elif next_due is None or due < next_due:
+                next_due = due
+        return ready, next_due
+
+    @staticmethod
+    def _pick(ready: List[_Entry], now: float) -> _Entry:
+        """SLO-urgent tenants EDF-first, else min normalised service."""
+        urgent = [e for e in ready if e.batcher.slo_urgent(now)]
+        if urgent:
+            return min(urgent, key=lambda e: e.batcher.oldest_deadline())
+        return min(ready, key=lambda e: (e.norm_served, e.name))
+
+    def _loop(self) -> None:
+        while True:
+            entry: Optional[_Entry] = None
+            with self._cond:
+                while not self._stopping:
+                    now = time.perf_counter()
+                    ready, next_due = self._scan(now)
+                    if ready:
+                        entry = self._pick(ready, now)
+                        entry.in_flight = True
+                        break
+                    timeout = None
+                    if next_due is not None:
+                        timeout = max(next_due - now, 0.0)
+                    self._cond.wait(timeout)
+                if entry is None:
+                    return
+            served = 0
+            try:
+                served = entry.batcher.flush_once()
+            except Exception:  # noqa: BLE001 - keep dispatching
+                logger.exception("flush dispatch failed for %r", entry.name)
+            finally:
+                with self._cond:
+                    entry.in_flight = False
+                    # Charge at least one unit so an all-shed flush
+                    # still advances the tenant past a tie.
+                    entry.norm_served += max(served, 1) / entry.weight
+                    if entry.norm_served > self._vtime:
+                        self._vtime = entry.norm_served
+                    entry.requests += served
+                    entry.flushes += 1
+                    self._cond.notify_all()
+
+    # -- observability -------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-tenant fairness accounting for /stats and /metrics."""
+        with self._cond:
+            entries = list(self._entries.values())
+            vtime = self._vtime
+        total_weight = sum(e.weight for e in entries)
+        total_requests = sum(e.requests for e in entries)
+        tenants = {}
+        for e in entries:
+            tenants[e.name] = {
+                "weight": e.weight,
+                "weight_share": e.weight / total_weight if total_weight else 0.0,
+                "requests": e.requests,
+                "flushes": e.flushes,
+                "observed_share": (
+                    e.requests / total_requests if total_requests else 0.0
+                ),
+                "deficit": round(vtime - e.norm_served, 3),
+                "in_flight": e.in_flight,
+            }
+        return {
+            "threads": self.threads,
+            "running": self.running,
+            "virtual_time": round(vtime, 3),
+            "tenants": tenants,
+        }
+
+    def __repr__(self) -> str:
+        with self._cond:
+            n = len(self._entries)
+        return f"FlushScheduler(tenants={n}, threads={self.threads}, running={self.running})"

@@ -29,6 +29,24 @@ model registry is *hot*: :meth:`add_model` with ``replace=True`` (and
 :meth:`remove_model`) compile/warm off the serving path, atomically
 swap the registry entry, and drain the old batcher without dropping a
 single accepted request.
+
+Multi-tenant fleets add two more coordinators, both owned here:
+
+- A :class:`~repro.serving.scheduler.FlushScheduler` dispatches every
+  tenant's flushes centrally (deficit-weighted round-robin over
+  per-model ``weight=``, SLO deadlines first), so under saturation
+  throughput tracks the configured weights instead of thread-scheduler
+  luck. Per-model ``max_queue``/``slo_ms``/``rate`` overrides give each
+  tenant its own admission contract (``rate`` sheds over-quota traffic
+  with HTTP 429 kind ``quota_exceeded``).
+- A :class:`~repro.serving.residency.ResidencyManager` keeps the
+  fleet's reclaimable working set (plans, arenas, derived GEMM
+  operands) under ``memory_budget_mb``: cold tenants are demoted, then
+  evicted, LRU-first; a request landing on a demoted/evicted tenant
+  re-promotes it inside the flush guard (warm re-prepare — never a
+  recompile) so admitted traffic never fails on residency. Transitions
+  land in the supervisor's incident log and on ``/models``,
+  ``/stats`` and ``/metrics``.
 """
 
 from __future__ import annotations
@@ -44,10 +62,16 @@ from ..core.deploy import DeploymentBundle
 from ..models import create_model, model_input_shape
 from ..runtime.shm import RingTimeout
 from .batcher import Batcher, bucket_sizes
+from .residency import ResidencyManager
+from .scheduler import FlushScheduler
 from .stats import ServerStats
 from .supervisor import Supervisor
 
 __all__ = ["ServedModel", "ModelServer"]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` (which
+#: means *unbounded*/*disabled*) in per-model admission overrides.
+_DEFAULT = object()
 
 
 @dataclass
@@ -85,6 +109,7 @@ class ServedModel:
             "input_shape": list(self.input_shape),
             "compiled": self.compiled is not None,
             "source": self.source,
+            "weight": self.batcher.weight,
             **self.meta,
         }
 
@@ -141,6 +166,21 @@ class ModelServer:
         register with (respawn budget, wedge detection, incident log).
         A default one is built when not given; pass a custom instance
         to tune ``heartbeat_timeout`` or the restart budget.
+    memory_budget_mb:
+        Fleet-wide budget (MiB) for reclaimable resident bytes — plan
+        caches, arena scratch and derived GEMM operands across every
+        tenant. Over budget, the
+        :class:`~repro.serving.residency.ResidencyManager` demotes the
+        least-recently-used tenants (drop workspaces), then evicts them
+        (drop derived op state too); weights and the lowered IR always
+        stay, so the next request re-promotes with a warm ``prepare`` —
+        never a recompile. ``None`` (default) disables enforcement but
+        keeps the byte accounting on /stats and /models live.
+    scheduler_threads:
+        Dispatch threads of the central
+        :class:`~repro.serving.scheduler.FlushScheduler`. One (default)
+        strictly serialises flushes in weighted-fair order; more let
+        flushes of different tenants overlap.
     """
 
     def __init__(
@@ -156,6 +196,8 @@ class ModelServer:
         max_queue: Optional[int] = None,
         slo_ms: Optional[float] = None,
         supervisor: Optional[Supervisor] = None,
+        memory_budget_mb: Optional[float] = None,
+        scheduler_threads: int = 1,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -182,12 +224,25 @@ class ModelServer:
         self.compile = compile
         self.quantize = quantize
         self.tune = tune
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be > 0 (or None to disable)")
         self.max_queue = max_queue
         self.slo_ms = slo_ms
         self.supervisor = supervisor if supervisor is not None else Supervisor()
+        self.memory_budget_mb = memory_budget_mb
+        self.residency = ResidencyManager(
+            None if memory_budget_mb is None else int(memory_budget_mb * 2**20),
+            on_event=self._residency_event,
+        )
+        self.scheduler = FlushScheduler(threads=scheduler_threads)
         self.models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
         self._started = False
+
+    def _residency_event(self, kind: str, model: str, **detail) -> None:
+        """Residency transitions land in the supervisor's incident log,
+        so ``GET /incidents`` tells the whole healing *and* memory story."""
+        self.supervisor.record(kind, model, **detail)
 
     # -- loading -------------------------------------------------------
     def _calibration_batch(self, input_shape: Tuple[int, int, int]) -> np.ndarray:
@@ -223,6 +278,20 @@ class ModelServer:
         record = self._chunk_rows() * image_bytes + 256
         return max(1 << 20, 4 * record)
 
+    def _guarded(self, name: str, runner):
+        """Wrap a runner in the tenant's residency guard.
+
+        The guard holds the tenant's lock for the flush (demotion can
+        never race a running GEMM), promotes a demoted/evicted tenant
+        first (admitted traffic never fails on residency) and settles
+        the byte ledger afterwards. Before the tenant is admitted
+        (warmup runs pre-install) the guard is a pass-through.
+        """
+        def run(x):
+            with self.residency.guard(name):
+                return runner(x)
+        return run
+
     def _build_served(
         self,
         name: str,
@@ -232,6 +301,10 @@ class ModelServer:
         source: str,
         meta: Optional[dict],
         calibration: Optional[np.ndarray],
+        weight: float = 1.0,
+        rate: Optional[float] = None,
+        max_queue=_DEFAULT,
+        slo_ms=_DEFAULT,
     ) -> ServedModel:
         """Compile/quantize/tune and assemble a :class:`ServedModel`.
 
@@ -239,6 +312,10 @@ class ModelServer:
         compile+warm never stalls traffic on already-served models; the
         atomic swap happens later in :meth:`_install`.
         """
+        if max_queue is _DEFAULT:
+            max_queue = self.max_queue
+        if slo_ms is _DEFAULT:
+            slo_ms = self.slo_ms
         compiled = None
         if self.compile:
             if self.quantize is not None and calibration is None:
@@ -279,6 +356,11 @@ class ModelServer:
             stats.attach_workers(pool.stats_snapshot)
         else:
             runner = lambda x: runtime.predict(target, x, workers=self.workers)  # noqa: E731
+        # Flushes (and the degraded fallback) run inside the residency
+        # guard: promotion-if-needed before, ledger settle after.
+        runner = self._guarded(name, runner)
+        if fallback_runner is not None:
+            fallback_runner = self._guarded(name, fallback_runner)
         served_meta = dict(meta or {})
         if pool is not None:
             served_meta["worker_procs"] = self.worker_procs
@@ -295,6 +377,7 @@ class ModelServer:
                     "evictions": plans.stats.evictions,
                     "hit_rate": round(plans.stats.hit_rate, 3),
                     "size": len(plans),
+                    "bytes": plans.nbytes,
                 },
             )
             if self.tune is not None:
@@ -323,8 +406,10 @@ class ModelServer:
                 max_batch=self.max_batch,
                 max_latency_ms=self.max_latency_ms,
                 stats=stats,
-                max_queue=self.max_queue,
-                slo_ms=self.slo_ms,
+                max_queue=max_queue,
+                slo_ms=slo_ms,
+                weight=weight,
+                rate=rate,
                 fallback_runner=fallback_runner,
                 fallback_on=fallback_on,
             ),
@@ -350,17 +435,41 @@ class ModelServer:
             started = self._started
         if served.pool is not None:
             self.supervisor.watch(served.name, served.pool)
+        # Fleet bookkeeping: charge the tenant to the byte ledger and
+        # hand its flushes to the central scheduler. Pooled tenants are
+        # pinned (their hot state lives in worker processes; the shared
+        # image is charged as an auxiliary) and never demoted.
+        pool = served.pool
+        self.residency.admit(
+            served.name,
+            served.compiled,
+            aux_bytes=(lambda: pool.image.nbytes) if pool is not None else None,
+            pinned=pool is not None,
+        )
+        self.scheduler.register(served.name, served.batcher)
         if started:
             served.batcher.start()
         return old
 
-    def _retire_served(self, served: ServedModel) -> None:
-        """Drain and tear down a registry entry that was swapped out."""
+    def _retire_served(self, served: ServedModel, *, forget: bool = True) -> None:
+        """Drain and tear down a registry entry that was swapped out.
+
+        ``forget=False`` is the hot-reload path: the replacement already
+        took over the tenant's ledger slot, so only the outgoing entry's
+        queue/pool are torn down here.
+        """
         if served.pool is not None:
             # Unwatch first: the supervisor must not resurrect workers
             # of a pool that is about to shut down.
             self.supervisor.unwatch(served.pool)
+        # No-op for a replaced entry (register() already detached it);
+        # otherwise waits out the in-flight flush before deregistering.
+        self.scheduler.unregister(served.batcher)
         served.batcher.stop(drain=True)
+        if forget:
+            # Discharge the ledger the moment the tenant is gone — the
+            # freed budget is available to the survivors immediately.
+            self.residency.forget(served.name)
         if served.pool is not None:
             served.pool.shutdown()
 
@@ -375,11 +484,21 @@ class ModelServer:
         calibration: Optional[np.ndarray] = None,
         replace: bool = False,
         warm: bool = False,
+        weight: float = 1.0,
+        rate: Optional[float] = None,
+        max_queue=_DEFAULT,
+        slo_ms=_DEFAULT,
     ) -> ServedModel:
         """Register an already-built model under ``name``.
 
         ``calibration`` (only meaningful with the server's ``quantize=``)
         overrides the synthetic activation-calibration batch.
+
+        ``weight``/``rate``/``max_queue``/``slo_ms`` set this tenant's
+        fair-share weight, rate quota (req/s, HTTP 429 kind
+        ``quota_exceeded`` past it) and admission/SLO contract; the
+        latter two default to the server-wide policy (pass ``None``
+        explicitly for unbounded/disabled).
 
         With ``replace=True`` an existing registration is hot-swapped:
         the new model compiles (and, with ``warm=True``, warms every
@@ -395,20 +514,25 @@ class ModelServer:
         served = self._build_served(
             name, model, input_shape,
             source=source, meta=meta, calibration=calibration,
+            weight=weight, rate=rate, max_queue=max_queue, slo_ms=slo_ms,
         )
         if warm:
             self._warm_served(served)
         old = self._install(served, replace=replace)
         if old is not None:
-            self._retire_served(old)
+            # forget=False: the new entry already took over the ledger
+            # slot; forgetting would discharge the *live* tenant.
+            self._retire_served(old, forget=False)
         return served
 
     def remove_model(self, name: str) -> None:
         """Unregister ``name`` and tear it down, draining accepted work.
 
         The registry slot disappears first (new requests get 404), then
-        the batcher drains whatever was already accepted and the pool
-        shuts down, unlinking its shared-memory segments.
+        the batcher drains whatever was already accepted, the tenant's
+        ledger charge is discharged (the freed budget is immediately
+        available — no leak), and the pool shuts down, unlinking its
+        shared-memory segments.
         """
         with self._lock:
             served = self.models.pop(name, None)
@@ -427,6 +551,10 @@ class ModelServer:
         calibration: Optional[np.ndarray] = None,
         replace: bool = False,
         warm: bool = False,
+        weight: float = 1.0,
+        rate: Optional[float] = None,
+        max_queue=_DEFAULT,
+        slo_ms=_DEFAULT,
     ) -> ServedModel:
         """Load a registered model, optionally PCNN-pruned before serving.
 
@@ -462,6 +590,10 @@ class ModelServer:
             calibration=calibration,
             replace=replace,
             warm=warm,
+            weight=weight,
+            rate=rate,
+            max_queue=max_queue,
+            slo_ms=slo_ms,
         )
 
     def load_bundle(
@@ -474,6 +606,10 @@ class ModelServer:
         calibration: Optional[np.ndarray] = None,
         replace: bool = False,
         warm: bool = False,
+        weight: float = 1.0,
+        rate: Optional[float] = None,
+        max_queue=_DEFAULT,
+        slo_ms=_DEFAULT,
     ) -> ServedModel:
         """Serve a :class:`DeploymentBundle` ``.npz`` on a registry model.
 
@@ -507,6 +643,10 @@ class ModelServer:
             calibration=calibration,
             replace=replace,
             warm=warm,
+            weight=weight,
+            rate=rate,
+            max_queue=max_queue,
+            slo_ms=slo_ms,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -552,7 +692,8 @@ class ModelServer:
             self._warm_served(served)
 
     def start(self) -> "ModelServer":
-        """Start every batcher worker + the supervisor; returns self."""
+        """Start the flush scheduler, every batcher + the supervisor."""
+        self.scheduler.start()
         with self._lock:
             self._started = True
             models = list(self.models.values())
@@ -564,14 +705,15 @@ class ModelServer:
         return self
 
     def stop(self) -> None:
-        """Stop supervision, every batcher (draining), then the pools.
+        """Stop supervision, batchers (draining), scheduler, then pools.
 
-        Order matters twice over: the supervisor stops first so it does
-        not resurrect workers of pools being shut down, and the drain
-        still needs live workers to serve the leftover flushes, so each
-        model's pool shuts down only after its batcher has stopped.
-        Pool shutdown unlinks the shared-memory segments — nothing is
-        left in ``/dev/shm`` afterwards.
+        Order matters three times over: the supervisor stops first so it
+        does not resurrect workers of pools being shut down; each batcher
+        drains its queue inline (quiescing its in-flight scheduled flush)
+        before the scheduler's dispatch threads stop; and the drain still
+        needs live workers to serve the leftover flushes, so each model's
+        pool shuts down last. Pool shutdown unlinks the shared-memory
+        segments — nothing is left in ``/dev/shm`` afterwards.
         """
         self.supervisor.stop()
         with self._lock:
@@ -579,6 +721,7 @@ class ModelServer:
             models = list(self.models.values())
         for served in models:
             served.batcher.stop()
+        self.scheduler.stop()
         for served in models:
             if served.pool is not None:
                 self.supervisor.unwatch(served.pool)
@@ -603,12 +746,36 @@ class ModelServer:
         return self.submit(x, model).result(timeout=timeout)
 
     # -- observability -------------------------------------------------
+    def describe_model(self, name: str) -> dict:
+        """One /models row: endpoint metadata + residency + fair share."""
+        served = self.get(name)
+        row = served.describe()
+        residency = self.residency.describe_tenant(name)
+        if residency is not None:
+            row.update(residency)
+        return row
+
+    def describe_models(self) -> dict:
+        """The /models payload: every tenant's row, residency included."""
+        return {name: self.describe_model(name) for name in list(self.models)}
+
     def stats(self) -> dict:
-        """Per-model stats snapshots (the /stats payload)."""
-        return {
+        """Per-model stats snapshots plus the ``_fleet`` block.
+
+        ``_fleet`` (the underscore keeps it clear of model names) holds
+        the residency ledger (budget/charged/headroom, per-tenant state)
+        and the scheduler's fairness accounting (weights, observed
+        shares, deficits).
+        """
+        report = {
             name: served.stats.snapshot(queue_depth=served.batcher.queue_depth)
             for name, served in self.models.items()
         }
+        report["_fleet"] = {
+            "residency": self.residency.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+        }
+        return report
 
     def render_stats(self) -> str:
         """Shutdown summary, one block per served model."""

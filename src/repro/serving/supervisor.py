@@ -337,6 +337,15 @@ class Supervisor:
         with self._lock:
             self._incidents.append(incident)
 
+    def record(self, kind: str, model: str, worker=None, **detail) -> None:
+        """Append an externally-observed incident to the log.
+
+        The residency manager routes tenant demotion/promotion/eviction
+        and over-budget events here, so ``GET /incidents`` is the one
+        place the fleet's healing *and* memory-pressure history lives.
+        """
+        self._record(kind, model, worker, **detail)
+
     def incidents(self) -> List[dict]:
         """The bounded incident log, oldest first (the /incidents body)."""
         with self._lock:

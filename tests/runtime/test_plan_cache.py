@@ -71,6 +71,39 @@ class TestPlanCache:
         dispatch(rng.normal(size=(1, 2, 6, 6)), weight, padding=1, cache=cache)
         assert cache.stats.misses == 4
 
+    def test_bytes_tracked_on_add_invalidate_clear(self):
+        rng = np.random.default_rng(5)
+        weight = rng.normal(size=(8, 4, 3, 3))
+        cache = PlanCache()
+        assert cache.nbytes == 0
+        dispatch(rng.normal(size=(1, 4, 8, 8)), weight, padding=1, cache=cache)
+        (key,) = list(cache._plans)
+        per_plan = cache._plans[key].nbytes
+        assert per_plan > 0
+        assert cache.nbytes == per_plan
+        dispatch(rng.normal(size=(1, 4, 10, 10)), weight, padding=1, cache=cache)
+        assert cache.nbytes > per_plan
+        cache.invalidate(key)
+        assert cache.nbytes == cache.stats.bytes > 0
+        freed = cache.clear()
+        assert freed > 0
+        assert cache.nbytes == 0
+
+    def test_byte_budget_evicts_lru(self):
+        rng = np.random.default_rng(6)
+        weight = rng.normal(size=(4, 2, 3, 3))
+        probe = PlanCache()
+        dispatch(rng.normal(size=(1, 2, 8, 8)), weight, padding=1, cache=probe)
+        one_plan = probe.nbytes
+        # Budget for ~1.5 plans: every second distinct geometry must
+        # evict the previous one, but the MRU plan always survives.
+        cache = PlanCache(max_bytes=int(one_plan * 1.5))
+        for h in (8, 9, 10):
+            dispatch(rng.normal(size=(1, 2, h, h)), weight, padding=1, cache=cache)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 2
+        assert 0 < cache.nbytes <= int(one_plan * 1.5) + one_plan
+
     def test_plan_geometry(self):
         plan = ExecutionPlan.build(
             key=("k",), x_shape=(2, 3, 8, 8), weight_shape=(4, 3, 3, 3),
