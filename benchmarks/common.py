@@ -643,6 +643,15 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     hard-fails if any admitted request failed, the budget never forced
     a demotion, the ledger went negative, or a tenant starved below
     half its weight share.
+
+    Finally, the trace-driven scenario rows (``scenario_*``, from
+    ``benchmarks/loadgen.py``): committed arrival traces replayed
+    open-loop over both the HTTP and binary-stream transports —
+    steady-state, burst, and the near-duplicate camera workload that
+    exercises the stream transport's per-stream delta cache.
+    ``bench_guard.py`` hard-fails on dropped admitted frames, stream
+    divergence from ``predict`` past 1e-5, or a near-duplicate run with
+    zero delta-cache hits.
     """
     from repro.core import PCNNConfig, PCNNPruner
     from repro.models import patternnet
@@ -661,6 +670,15 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
     procs2 = _serve_one_config(pruned_model, requests, clients, shape, worker_procs=2)
     chaos = _serve_chaos_config(pruned_model, requests, shape)
     fleet = _serve_fleet_config()
+
+    # Trace-driven open-loop scenarios over both transports (the
+    # steady/burst/near-duplicate set the bench guard requires).
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import loadgen
+
+    scenario_rows = loadgen.run_scenarios(
+        ["steady", "burst", "near_duplicate"], ["http", "stream"]
+    )
 
     # Guard metric: interleaved flush timing, robust to host load spikes
     # (see _paired_procs_ratio). Both servers serve the same pruned
@@ -694,6 +712,7 @@ def bench_serving(path: str = "BENCH_serving.json", requests: int = 64) -> dict:
             "pcnn_n2_p4_procs2": procs2,
             "pcnn_n2_p4_chaos": chaos,
             "fleet_3models_budget": fleet,
+            **scenario_rows,
         },
         "cpu_count": os.cpu_count(),
         "effective_cpus": effective_cpu_count(),
@@ -873,6 +892,25 @@ def smoke() -> int:
     # nobody copies them.
     assert procs2["image_copied"] == 0, procs2
     assert procs2["workers_alive"] == procs2["worker_procs"], procs2
+    for key, row in serving["configs"].items():
+        if not key.startswith("scenario_"):
+            continue
+        print(
+            f"smoke: BENCH_serving.json [{key}] -> offered {row['offered']} "
+            f"(peak {row['offered_rps_peak']:g} rps), completed "
+            f"{row['completed']}, shed {row['shed_total']}, "
+            f"p99 {row['p99_ms']} ms, diff {row['max_abs_diff_vs_predict']:.1e}"
+            + (
+                f", cache hit rate {row['cache_hit_rate']:.0%}"
+                if "cache_hit_rate" in row else ""
+            )
+        )
+        # Zero-drop invariant: every admitted frame answers.
+        assert row["dropped"] == 0, (key, row)
+        tolerance = 1e-5 if row["transport"] == "stream" else 1e-4
+        assert row["max_abs_diff_vs_predict"] <= tolerance, (key, row)
+    near_dup = serving["configs"]["scenario_near_duplicate_stream"]
+    assert near_dup["cache_hits"] > 0, near_dup
 
     # 8. Quantized serving record: int8 vs float32 compiled on the
     #    flagship config — accuracy within the quantization budget,

@@ -1,0 +1,649 @@
+"""Trace-driven open-loop load generator for the serving stack.
+
+Every serving number the repo publishes used to be steady-state
+closed-loop traffic; this harness replays *recorded arrival traces*
+(committed JSON under ``benchmarks/traces/``) against a live server over
+both transports — HTTP/JSON and the binary streaming protocol — and
+writes per-scenario latency percentiles + shed counts into
+``BENCH_serving.json`` rows that ``scripts/bench_guard.py`` hard-fails
+on. p99-under-burst is a regression test now, not an anecdote.
+
+Traces
+------
+A trace is piecewise-constant offered load::
+
+    {
+      "name": "burst",
+      "description": "...",
+      "duration_s": 2.0,
+      "segments": [
+        {"start_s": 0.0, "rate": 120.0},
+        {"start_s": 0.8, "rate": 1200.0},
+        {"start_s": 1.2, "rate": 120.0}
+      ]
+    }
+
+Arrivals are an inhomogeneous Poisson process sampled as exponential
+gaps at the segment rate in force, from a seeded
+``np.random.default_rng`` — the same ``(trace, seed)`` pair always
+yields the identical arrival schedule, so a scenario replays bit-for-bit
+(:func:`arrival_times`).
+
+Scenarios
+---------
+A :class:`Scenario` binds a trace to traffic shape: how many logical
+streams the arrivals round-robin over, and (for the near-duplicate
+scenario) what fraction of frames are sub-threshold jitters of their
+stream's previous keyframe — the input that exercises the stream
+transport's per-stream delta cache. The generator is *open-loop*: frames
+are dispatched at trace arrival times whether or not earlier ones
+completed, which is what makes shed counts and p99-under-burst honest.
+
+Every completed response is checked against ``runtime.predict`` of the
+frame that produced it (for delta-cache hits: of the stream's reference
+keyframe, mirroring the server's cache semantics), and the row records
+the max divergence — the guard holds the stream transport to 1e-5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+TRACE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "traces")
+
+#: Model/server shape every scenario runs against (mirrors the
+#: BENCH_serving.json header: PatternNet at the PCNN flagship density).
+INPUT_SHAPE = (3, 16, 16)
+SEED = 20200722
+
+__all__ = [
+    "TraceError",
+    "load_trace",
+    "validate_trace",
+    "arrival_times",
+    "peak_rate",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario_server",
+    "run_scenario",
+    "merge_rows",
+    "main",
+]
+
+
+# ---------------------------------------------------------------------
+# Traces
+# ---------------------------------------------------------------------
+class TraceError(ValueError):
+    """A trace file that cannot drive a replay, with the field named."""
+
+
+def validate_trace(trace: dict, source: str = "trace") -> dict:
+    """Check the trace schema; raise :class:`TraceError` naming the
+    offending field (actionable, not "invalid JSON")."""
+    if not isinstance(trace, dict):
+        raise TraceError(f"{source}: top level must be a JSON object")
+    for key in ("name", "duration_s", "segments"):
+        if key not in trace:
+            raise TraceError(f"{source}: missing required field {key!r}")
+    if not isinstance(trace["name"], str) or not trace["name"]:
+        raise TraceError(f"{source}: 'name' must be a non-empty string")
+    duration = trace["duration_s"]
+    if not isinstance(duration, (int, float)) or duration <= 0:
+        raise TraceError(
+            f"{source}: 'duration_s' must be a positive number, "
+            f"got {duration!r}"
+        )
+    segments = trace["segments"]
+    if not isinstance(segments, list) or not segments:
+        raise TraceError(f"{source}: 'segments' must be a non-empty list")
+    last_start = None
+    for index, segment in enumerate(segments):
+        where = f"{source}: segments[{index}]"
+        if not isinstance(segment, dict):
+            raise TraceError(f"{where} must be an object")
+        for key in ("start_s", "rate"):
+            if key not in segment:
+                raise TraceError(f"{where} is missing {key!r}")
+            if not isinstance(segment[key], (int, float)):
+                raise TraceError(
+                    f"{where}.{key} must be a number, got {segment[key]!r}"
+                )
+        if segment["rate"] < 0:
+            raise TraceError(f"{where}.rate must be >= 0, got {segment['rate']}")
+        start = segment["start_s"]
+        if index == 0 and start != 0:
+            raise TraceError(
+                f"{where}.start_s must be 0 (the trace starts at t=0), "
+                f"got {start}"
+            )
+        if last_start is not None and start <= last_start:
+            raise TraceError(
+                f"{where}.start_s ({start}) must be strictly after the "
+                f"previous segment's start ({last_start})"
+            )
+        if start >= duration:
+            raise TraceError(
+                f"{where}.start_s ({start}) is at or past duration_s "
+                f"({duration})"
+            )
+        last_start = start
+    return trace
+
+
+def load_trace(path: str) -> dict:
+    """Load + validate one trace file (bare names resolve under
+    ``benchmarks/traces/``)."""
+    if not os.path.isabs(path) and not os.path.exists(path):
+        for candidate in (
+            os.path.join(TRACE_DIR, path),
+            os.path.join(TRACE_DIR, path + ".json"),
+        ):
+            if os.path.exists(candidate):
+                path = candidate
+                break
+    try:
+        with open(path) as fh:
+            trace = json.load(fh)
+    except FileNotFoundError:
+        raise TraceError(f"trace file {path!r} does not exist") from None
+    except json.JSONDecodeError as error:
+        raise TraceError(f"{path}: not valid JSON ({error})") from None
+    return validate_trace(trace, source=os.path.basename(path))
+
+
+def _rate_at(trace: dict, t: float) -> float:
+    rate = 0.0
+    for segment in trace["segments"]:
+        if segment["start_s"] <= t:
+            rate = float(segment["rate"])
+        else:
+            break
+    return rate
+
+
+def peak_rate(trace: dict) -> float:
+    """Highest segment rate (req/s) the trace offers."""
+    return max(float(s["rate"]) for s in trace["segments"])
+
+
+def arrival_times(trace: dict, seed: int) -> np.ndarray:
+    """Deterministic arrival schedule (seconds from t=0) for ``trace``.
+
+    Inhomogeneous Poisson arrivals: exponential inter-arrival gaps at
+    the rate of the segment in force at the current time. The same
+    ``(trace, seed)`` always returns the identical schedule — that is
+    the replayability contract the loadgen tests pin.
+    """
+    rng = np.random.default_rng(seed)
+    duration = float(trace["duration_s"])
+    times: List[float] = []
+    t = 0.0
+    while True:
+        rate = _rate_at(trace, t)
+        if rate <= 0:
+            # Idle segment: jump to the next segment boundary.
+            nxt = [s["start_s"] for s in trace["segments"] if s["start_s"] > t]
+            if not nxt:
+                break
+            t = float(nxt[0])
+            continue
+        t += float(rng.exponential(1.0 / rate))
+        if t >= duration:
+            break
+        times.append(t)
+    return np.asarray(times, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One named, replayable load shape."""
+
+    name: str
+    trace: str
+    #: Logical streams the arrivals round-robin over (stream transport
+    #: maps them to wire stream ids; HTTP just interleaves them).
+    streams: int = 4
+    #: Fraction of frames that are sub-threshold jitters of their
+    #: stream's previous keyframe (0 = every frame is fresh).
+    near_duplicate: float = 0.0
+    #: L-infinity amplitude of the jitter; must sit below the server's
+    #: delta threshold for the jittered frames to hit the cache.
+    jitter: float = 2e-4
+    seed: int = SEED
+    #: Transports the scenario is defined for.
+    transports: Tuple[str, ...] = ("http", "stream")
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "steady": Scenario(name="steady", trace="steady.json"),
+    "burst": Scenario(name="burst", trace="burst.json"),
+    "diurnal": Scenario(name="diurnal", trace="diurnal.json"),
+    "step": Scenario(name="step", trace="step.json"),
+    # The delta-cache workload: mostly sub-threshold camera jitter on a
+    # steady arrival trace, stream transport only (HTTP has no cache).
+    "near_duplicate": Scenario(
+        name="near_duplicate",
+        trace="steady.json",
+        near_duplicate=0.75,
+        transports=("stream",),
+    ),
+}
+
+
+@dataclass
+class FramePlan:
+    """Deterministic per-arrival frames + expected delta-cache plan.
+
+    ``expected_source[i]`` indexes into ``keyframes`` for the frame
+    whose ``predict`` output arrival ``i`` must match — for an expected
+    cache hit that is the stream's previous keyframe, mirroring the
+    server's reference-resets-on-miss semantics.
+    """
+
+    frames: List[np.ndarray] = field(default_factory=list)
+    keyframes: np.ndarray = None
+    stream_ids: List[int] = field(default_factory=list)
+    expected_source: List[int] = field(default_factory=list)
+    expected_hit: List[bool] = field(default_factory=list)
+
+
+def _generate_frames(
+    scenario: Scenario, count: int, delta_threshold: float
+) -> FramePlan:
+    rng = np.random.default_rng(scenario.seed + 1)
+    if scenario.near_duplicate > 0 and scenario.jitter >= delta_threshold:
+        raise ValueError(
+            f"scenario {scenario.name!r} jitter {scenario.jitter} must sit "
+            f"below the server delta threshold {delta_threshold}"
+        )
+    plan = FramePlan()
+    keyframes: List[np.ndarray] = []
+    stream_ref: Dict[int, int] = {}
+    for index in range(count):
+        sid = index % scenario.streams
+        ref = stream_ref.get(sid)
+        jittered = (
+            ref is not None
+            and scenario.near_duplicate > 0
+            and rng.random() < scenario.near_duplicate
+        )
+        if jittered:
+            base = keyframes[ref]
+            frame = base + rng.uniform(
+                -scenario.jitter, scenario.jitter, size=base.shape
+            )
+            plan.expected_source.append(ref)
+            plan.expected_hit.append(True)
+        else:
+            frame = rng.normal(size=INPUT_SHAPE)
+            keyframes.append(frame)
+            stream_ref[sid] = len(keyframes) - 1
+            plan.expected_source.append(len(keyframes) - 1)
+            plan.expected_hit.append(False)
+        plan.frames.append(frame)
+        plan.stream_ids.append(sid)
+    plan.keyframes = (
+        np.stack(keyframes) if keyframes else np.empty((0,) + INPUT_SHAPE)
+    )
+    return plan
+
+
+def build_scenario_server(max_queue: int = 512):
+    """The server every scenario replays against: PatternNet at the PCNN
+    flagship density (n=2, |P|=4), compiled, admission-controlled."""
+    from repro.core import PCNNConfig, PCNNPruner
+    from repro.models import patternnet
+    from repro.serving import ModelServer
+
+    model = patternnet(rng=np.random.default_rng(SEED))
+    pruner = PCNNPruner(model, PCNNConfig.uniform(2, 3, num_patterns=4))
+    pruner.apply()
+    pruner.attach_encodings()
+    server = ModelServer(max_batch=16, max_latency_ms=5.0, max_queue=max_queue)
+    server.add_model("m", model, INPUT_SHAPE)
+    server.warmup()
+    return server
+
+
+@dataclass
+class _Outcome:
+    """One arrival's fate, filled in as its response lands."""
+
+    latency_s: Optional[float] = None
+    shed_kind: Optional[str] = None
+    cache_hit: bool = False
+    output: Optional[np.ndarray] = None
+
+
+def _percentiles(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+    return {
+        "p50_ms": round(float(p50) * 1e3, 3),
+        "p95_ms": round(float(p95) * 1e3, 3),
+        "p99_ms": round(float(p99) * 1e3, 3),
+    }
+
+
+def _run_stream(
+    scenario: Scenario, schedule, frames, stream_ids, port: int
+) -> List[_Outcome]:
+    from repro.serving import StreamClient, WireError
+
+    outcomes = [_Outcome() for _ in frames]
+    done = threading.Event()
+    remaining = [len(frames)]
+    remaining_lock = threading.Lock()
+
+    def finish_one() -> None:
+        with remaining_lock:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set()
+
+    with StreamClient("127.0.0.1", port, timeout=120.0) as client:
+        t0 = time.perf_counter()
+        for index, arrival in enumerate(schedule):
+            now = time.perf_counter() - t0
+            if arrival > now:
+                time.sleep(arrival - now)
+            sent = time.perf_counter()
+            outcome = outcomes[index]
+
+            def landed(future, outcome=outcome, sent=sent):
+                try:
+                    result = future.result()
+                except WireError as error:
+                    outcome.shed_kind = error.kind
+                except Exception:  # noqa: BLE001 - counted as a drop
+                    pass
+                else:
+                    outcome.latency_s = time.perf_counter() - sent
+                    outcome.cache_hit = result.cache_hit
+                    outcome.output = result.output
+                finish_one()
+
+            client.submit(
+                frames[index], stream_id=stream_ids[index], meta=True
+            ).add_done_callback(landed)
+        done.wait(timeout=120.0)
+    return outcomes
+
+
+def _run_http(
+    scenario: Scenario, schedule, frames, stream_ids, port: int, workers: int = 16
+) -> List[_Outcome]:
+    import http.client
+    import queue as queue_mod
+
+    outcomes = [_Outcome() for _ in frames]
+    work: "queue_mod.Queue[Optional[Tuple[int, float]]]" = queue_mod.Queue()
+
+    def worker() -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120.0)
+        try:
+            while True:
+                item = work.get()
+                if item is None:
+                    return
+                index, sent = item
+                outcome = outcomes[index]
+                body = json.dumps({"input": frames[index].tolist()})
+                try:
+                    connection.request(
+                        "POST", "/predict", body,
+                        {"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read())
+                except Exception:  # noqa: BLE001 - counted as a drop
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        "127.0.0.1", port, timeout=120.0
+                    )
+                    continue
+                if response.status == 200:
+                    outcome.latency_s = time.perf_counter() - sent
+                    outcome.output = np.asarray(payload["outputs"][0])
+                else:
+                    outcome.shed_kind = payload.get("error", {}).get(
+                        "kind", f"http_{response.status}"
+                    )
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, daemon=True) for _ in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    t0 = time.perf_counter()
+    for index, arrival in enumerate(schedule):
+        now = time.perf_counter() - t0
+        if arrival > now:
+            time.sleep(arrival - now)
+        # Latency clock starts at dispatch: client-side queueing behind a
+        # busy worker is part of the open-loop number, as it should be.
+        work.put((index, time.perf_counter()))
+    for _ in threads:
+        work.put(None)
+    for thread in threads:
+        thread.join(timeout=120.0)
+    return outcomes
+
+
+def run_scenario(
+    scenario: Scenario,
+    transport: str,
+    *,
+    http_port: int,
+    stream_port: int,
+    delta_threshold: float,
+    reference_model,
+) -> dict:
+    """Replay ``scenario`` over ``transport``; return one BENCH row."""
+    from repro import runtime
+
+    if transport not in scenario.transports:
+        raise ValueError(
+            f"scenario {scenario.name!r} is not defined for {transport!r} "
+            f"(transports: {scenario.transports})"
+        )
+    trace = load_trace(scenario.trace)
+    schedule = arrival_times(trace, scenario.seed)
+    plan = _generate_frames(scenario, len(schedule), delta_threshold)
+    frames, keyframes = plan.frames, plan.keyframes
+    expected_source, expected_hit = plan.expected_source, plan.expected_hit
+    reference = (
+        runtime.predict(reference_model, keyframes)
+        if len(keyframes)
+        else np.empty((0, 1))
+    )
+
+    start = time.perf_counter()
+    if transport == "stream":
+        outcomes = _run_stream(
+            scenario, schedule, frames, plan.stream_ids, stream_port
+        )
+    else:
+        outcomes = _run_http(scenario, schedule, frames, plan.stream_ids, http_port)
+    elapsed = time.perf_counter() - start
+
+    shed: Dict[str, int] = {}
+    latencies: List[float] = []
+    max_diff = 0.0
+    completed = 0
+    cache_hits = 0
+    shed_any = any(o.shed_kind for o in outcomes)
+    for index, outcome in enumerate(outcomes):
+        if outcome.shed_kind is not None:
+            shed[outcome.shed_kind] = shed.get(outcome.shed_kind, 0) + 1
+            continue
+        if outcome.output is None:
+            continue  # dropped: admitted but never answered
+        completed += 1
+        latencies.append(outcome.latency_s)
+        if outcome.cache_hit:
+            cache_hits += 1
+        if outcome.cache_hit != expected_hit[index] or (
+            outcome.cache_hit and shed_any
+        ):
+            # A shed keyframe desynchronises the client-side replay of
+            # the server's reference chain, so hit/miss outcomes (and
+            # which keyframe a hit answers for) stop being predictable;
+            # frames whose observed fate matches the no-shed plan stay
+            # exactly checkable, the rest are skipped.
+            continue
+        diff = float(
+            np.abs(outcome.output - reference[expected_source[index]]).max()
+        )
+        max_diff = max(max_diff, diff)
+
+    sent = len(outcomes)
+    shed_total = sum(shed.values())
+    admitted = sent - shed_total
+    row = {
+        "scenario": scenario.name,
+        "transport": transport,
+        "trace": os.path.basename(scenario.trace),
+        "seed": scenario.seed,
+        "duration_s": float(trace["duration_s"]),
+        "streams": scenario.streams,
+        "offered": sent,
+        "offered_rps_peak": peak_rate(trace),
+        "admitted": admitted,
+        "completed": completed,
+        "dropped": admitted - completed,
+        "shed": shed,
+        "shed_total": shed_total,
+        "achieved_rps": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
+        **_percentiles(latencies),
+        "max_abs_diff_vs_predict": max_diff,
+    }
+    if transport == "stream":
+        row["cache_hits"] = cache_hits
+        row["cache_hit_rate"] = (
+            round(cache_hits / completed, 4) if completed else 0.0
+        )
+        row["delta_threshold"] = delta_threshold
+    return row
+
+
+# ---------------------------------------------------------------------
+# BENCH plumbing + CLI
+# ---------------------------------------------------------------------
+def merge_rows(path: str, rows: Dict[str, dict]) -> dict:
+    """Merge scenario rows into ``BENCH_serving.json``'s configs block
+    (read-modify-write: the closed-loop rows are left untouched)."""
+    if os.path.exists(path):
+        with open(path) as fh:
+            record = json.load(fh)
+    else:
+        record = {"benchmark": "dynamic_batching_serving", "configs": {}}
+    record.setdefault("configs", {}).update(rows)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    return record
+
+
+def run_scenarios(
+    names: List[str], transports: List[str], *, max_queue: int = 512
+) -> Dict[str, dict]:
+    """Stand a server up once and replay every requested scenario."""
+    from repro.serving import StreamServer, serve_http
+
+    server = build_scenario_server(max_queue=max_queue)
+    served = server.get("m")
+    rows: Dict[str, dict] = {}
+    httpd = serve_http(server, port=0, request_timeout=120.0)
+    stream_server = StreamServer(server, port=0).start()
+    try:
+        http_port = httpd.server_address[1]
+        for name in names:
+            scenario = SCENARIOS[name]
+            for transport in transports:
+                if transport not in scenario.transports:
+                    continue
+                row = run_scenario(
+                    scenario,
+                    transport,
+                    http_port=http_port,
+                    stream_port=stream_server.port,
+                    delta_threshold=stream_server.delta_threshold,
+                    reference_model=served.model,
+                )
+                rows[f"scenario_{scenario.name}_{transport}"] = row
+    finally:
+        stream_server.stop()
+        httpd.server_close()
+        server.stop()
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay committed arrival traces against the serving "
+        "stack over HTTP and the binary stream protocol."
+    )
+    parser.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS), default=None,
+        help="scenario to replay (repeatable; default: steady, burst, "
+        "near_duplicate)",
+    )
+    parser.add_argument(
+        "--transport", choices=("http", "stream", "both"), default="both",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="BENCH_serving.json",
+        help="merge the scenario rows into this BENCH file "
+        "(default: print only)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=512,
+        help="server admission-control high-water mark (default: 512)",
+    )
+    args = parser.parse_args(argv)
+    names = args.scenario or ["steady", "burst", "near_duplicate"]
+    transports = ["http", "stream"] if args.transport == "both" else [args.transport]
+    rows = run_scenarios(names, transports, max_queue=args.max_queue)
+    for key, row in rows.items():
+        print(
+            f"{key}: offered {row['offered']} "
+            f"(peak {row['offered_rps_peak']:g} rps), completed "
+            f"{row['completed']}, dropped {row['dropped']}, shed "
+            f"{row['shed_total']}, p99 {row['p99_ms']} ms, "
+            f"diff {row['max_abs_diff_vs_predict']:.2e}"
+            + (
+                f", cache hits {row['cache_hits']} "
+                f"({row['cache_hit_rate']:.0%})"
+                if "cache_hits" in row else ""
+            )
+        )
+    if args.out:
+        merge_rows(args.out, rows)
+        print(f"merged {len(rows)} scenario row(s) into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

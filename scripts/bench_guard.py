@@ -41,6 +41,13 @@ Policy:
   admitted request may fail, at least one demotion must occur, the
   byte ledger must end non-negative, and no tenant may be starved
   below half its weight share.
+- ``BENCH_serving.json`` load-scenario check — **hard fail**, within-run:
+  the trace-driven ``scenario_*`` rows (``benchmarks/loadgen.py``) must
+  show zero dropped admitted frames, transport answers matching
+  ``predict`` (stream within 1e-5 — raw float64 tensor bytes leave no
+  excuse; HTTP within 1e-4), and a nonzero delta-cache hit rate in the
+  near-duplicate stream scenario. The steady/burst/near-duplicate rows
+  are required; other scenario rows are checked when present.
 
 Usage::
 
@@ -316,10 +323,90 @@ def check_fleet(fresh: dict) -> Tuple[List[str], List[str]]:
     return failures, notes
 
 
+#: Scenario rows every fresh BENCH_serving.json must carry (the CI
+#: load-scenarios job may add more; extras are checked when present).
+REQUIRED_SCENARIOS = (
+    "scenario_steady_http",
+    "scenario_steady_stream",
+    "scenario_burst_http",
+    "scenario_burst_stream",
+    "scenario_near_duplicate_stream",
+)
+
+#: Transport-vs-predict divergence ceilings. The stream transport moves
+#: raw float64 tensor bytes, so it is held to the tighter bound; HTTP
+#: round-trips through JSON number formatting.
+SCENARIO_DIFF_CEILING = {"stream": 1e-5, "http": 1e-4}
+
+
+def check_load_scenarios(fresh: dict) -> Tuple[List[str], List[str]]:
+    """Within-run trace-replay invariants on a fresh BENCH_serving.json.
+
+    Every ``scenario_*`` row is open-loop traffic from a committed
+    arrival trace, so the checks are machine-invariant: counts and
+    divergences from one run on one host. Hard-fails:
+
+    - a required scenario row is missing (the harness stopped covering a
+      claimed workload);
+    - admitted frames dropped (``completed != admitted``) — shedding is
+      reported, silent loss is not tolerated on either transport;
+    - answers diverged from ``predict`` past the transport's ceiling;
+    - the near-duplicate stream scenario produced zero delta-cache hits
+      (the cache stopped doing its one job).
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    configs = fresh.get("configs", {})
+    rows = {
+        key: row for key, row in configs.items()
+        if key.startswith("scenario_")
+    }
+    for key in REQUIRED_SCENARIOS:
+        if key not in rows:
+            failures.append(f"{key}: required scenario row missing from fresh record")
+    for key, row in sorted(rows.items()):
+        admitted = row.get("admitted")
+        completed = row.get("completed")
+        dropped = row.get("dropped")
+        if dropped != 0 or completed != admitted:
+            failures.append(
+                f"{key}: {dropped} of {admitted} admitted frames dropped "
+                f"({completed} completed) — admitted traffic must always "
+                f"be answered"
+            )
+        ceiling = SCENARIO_DIFF_CEILING.get(row.get("transport"), 1e-5)
+        diff = row.get("max_abs_diff_vs_predict")
+        if diff is None or diff > ceiling:
+            failures.append(
+                f"{key}: answers diverged from predict "
+                f"(max_abs_diff={diff}, ceiling {ceiling:g})"
+            )
+        if row.get("scenario") == "near_duplicate":
+            hits = row.get("cache_hits", 0)
+            if not hits:
+                failures.append(
+                    f"{key}: zero delta-cache hits on the near-duplicate "
+                    f"workload — the per-stream cache is not engaging"
+                )
+            else:
+                notes.append(
+                    f"{key}: {hits} delta-cache hits "
+                    f"({row.get('cache_hit_rate', 0):.0%} of completed)"
+                )
+    if rows and not failures:
+        summary = ", ".join(
+            f"{key.removeprefix('scenario_')} p99 {row.get('p99_ms')} ms"
+            f"/shed {row.get('shed_total')}"
+            for key, row in sorted(rows.items())
+        )
+        notes.append(f"scenario rows: 0 dropped, within tolerance [{summary}]")
+    return failures, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline-dir", required=True, help="directory holding the committed records"
+        "--baseline-dir", help="directory holding the committed records"
     )
     parser.add_argument(
         "--fresh-dir", default=".", help="directory holding the regenerated records"
@@ -328,10 +415,17 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="allowed fractional drop (default 0.25)",
     )
+    parser.add_argument(
+        "--serving-only", action="store_true",
+        help="skip baseline comparisons; run only the within-run "
+        "BENCH_serving.json invariant checks (machine-independent)",
+    )
     args = parser.parse_args(argv)
+    if args.baseline_dir is None and not args.serving_only:
+        parser.error("--baseline-dir is required unless --serving-only")
 
     failed = False
-    for name, policy in TRACKED.items():
+    for name, policy in () if args.serving_only else TRACKED.items():
         base_path = os.path.join(args.baseline_dir, name)
         fresh_path = os.path.join(args.fresh_dir, name)
         if not os.path.exists(base_path):
@@ -375,7 +469,9 @@ def main(argv=None) -> int:
     if os.path.exists(serving_fresh):
         with open(serving_fresh) as fh:
             fresh = json.load(fh)
-        for check in (check_worker_pool, check_chaos, check_fleet):
+        for check in (
+            check_worker_pool, check_chaos, check_fleet, check_load_scenarios
+        ):
             check_failures, check_notes = check(fresh)
             for line in check_notes:
                 print(f"[bench-guard] BENCH_serving.json: {line}")

@@ -321,6 +321,9 @@ def cmd_serve(args) -> int:
     if args.patterns is not None and args.n is None and not args.bundle:
         print("error: --patterns requires --n (the pruning density)", file=sys.stderr)
         return 2
+    if args.stream_delta is not None and args.stream_port is None:
+        print("error: --stream-delta requires --stream-port", file=sys.stderr)
+        return 2
     try:
         server, served = build_model_server(args)
     except (KeyError, ValueError, OSError) as error:
@@ -335,6 +338,27 @@ def cmd_serve(args) -> int:
         server.stop()
         print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
+    stream_server = None
+    if args.stream_port is not None:
+        from .serving import DEFAULT_DELTA_THRESHOLD, StreamServer
+
+        delta = (
+            DEFAULT_DELTA_THRESHOLD
+            if args.stream_delta is None else args.stream_delta
+        )
+        try:
+            stream_server = StreamServer(
+                server, args.host, args.stream_port, delta_threshold=delta
+            ).start()
+        except (OSError, OverflowError) as error:
+            httpd.server_close()
+            server.stop()
+            print(
+                f"error: cannot bind stream port "
+                f"{args.host}:{args.stream_port}: {error}",
+                file=sys.stderr,
+            )
+            return 2
     if args.tenant:
         fleet = ", ".join(
             f"{name}:{row['weight']:g}x" for name, row in
@@ -368,6 +392,11 @@ def cmd_serve(args) -> int:
             f"  admission: max_queue={args.max_queue} (429 past the mark), "
             f"slo_ms={args.slo_ms} (503 when blown)"
         )
+    if stream_server is not None:
+        print(
+            f"  streaming: binary protocol on {args.host}:{stream_server.port} "
+            f"(delta cache L-inf <= {stream_server.delta_threshold:g})"
+        )
     print(
         "  POST /predict /models | DELETE /models/<name> | "
         "GET /stats /metrics /incidents /workers /models /healthz   "
@@ -378,6 +407,8 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if stream_server is not None:
+            stream_server.stop()
         httpd.server_close()
         server.stop()
         print(server.render_stats())
@@ -558,6 +589,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8100, help="bind port")
+    p_serve.add_argument(
+        "--stream-port", type=int, default=None,
+        help="also serve the persistent-connection binary streaming "
+        "protocol (length-prefixed tensor frames, out-of-order "
+        "completion, per-stream delta cache) on this TCP port "
+        "(default: HTTP only)",
+    )
+    p_serve.add_argument(
+        "--stream-delta", type=float, default=None,
+        help="per-stream near-duplicate threshold (L-infinity, input "
+        "scale) for the streaming delta cache: frames within it of "
+        "their stream's reference frame answer from the cached result "
+        "without touching the batcher; negative disables the cache "
+        "(default: 1e-3)",
+    )
     p_serve.add_argument(
         "--no-compile", action="store_true",
         help="serve the eager float64 module graph instead of the "

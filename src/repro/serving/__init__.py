@@ -34,6 +34,12 @@ The layer that turns ``runtime.predict`` into a service:
   state) in Prometheus text format for ``GET /metrics``.
 - :class:`ServingHTTPServer` / :func:`serve_http` — stdlib JSON
   endpoint; ``pcnn-repro serve`` is the CLI wrapper.
+- :class:`StreamServer` / :class:`StreamClient` — persistent-connection
+  binary protocol (:mod:`repro.serving.wire`): length-prefixed tensor
+  frames with CRC32, out-of-order completion by request id, typed ERROR
+  frames on the same :func:`classify_error` contract as HTTP, and a
+  per-stream delta cache answering near-duplicate frames without
+  touching the batcher; ``pcnn-repro serve --stream-port`` exposes it.
 """
 
 from .batcher import (
@@ -44,13 +50,21 @@ from .batcher import (
     SLOExpired,
     bucket_sizes,
 )
+from .errors import ServingError, classify_error, retry_after_seconds
 from .http import ServingHTTPServer, serve_http
 from .metrics import render_metrics
 from .residency import DEMOTED, EVICTED, RESIDENT, ResidencyManager
 from .scheduler import FlushScheduler
 from .server import ModelServer, ServedModel
 from .stats import LATENCY_BUCKETS, ServerStats
+from .stream import (
+    DEFAULT_DELTA_THRESHOLD,
+    StreamClient,
+    StreamResult,
+    StreamServer,
+)
 from .supervisor import Incident, RestartBudget, Supervisor
+from .wire import Frame, FrameError, FrameReader, WireError
 
 __all__ = [
     "Batcher",
@@ -74,4 +88,15 @@ __all__ = [
     "render_metrics",
     "ServingHTTPServer",
     "serve_http",
+    "ServingError",
+    "classify_error",
+    "retry_after_seconds",
+    "StreamServer",
+    "StreamClient",
+    "StreamResult",
+    "DEFAULT_DELTA_THRESHOLD",
+    "Frame",
+    "FrameError",
+    "FrameReader",
+    "WireError",
 ]

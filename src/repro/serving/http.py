@@ -57,16 +57,13 @@ parsing prose:
 from __future__ import annotations
 
 import json
-import math
 import threading
-from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 import numpy as np
 
-from ..runtime import BrokenWorkerPool, WorkerCrashed
-from .batcher import BatcherClosed, QueueFull, QuotaExceeded, SLOExpired
+from .errors import classify_error
 from .metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from .metrics import render_metrics
 from .server import ModelServer
@@ -112,33 +109,18 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _serving_error(self, error: BaseException) -> None:
-        """Map a submit/result exception onto the HTTP error contract."""
-        if isinstance(error, QuotaExceeded):
-            self._error(
-                429, "quota_exceeded", str(error),
-                headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))},
-            )
-        elif isinstance(error, QueueFull):
-            self._error(
-                429, "queue_full", str(error),
-                headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))},
-            )
-        elif isinstance(error, SLOExpired):
-            self._error(503, "slo_expired", str(error))
-        elif isinstance(error, BatcherClosed):
-            self._error(503, "batcher_closed", str(error))
-        elif isinstance(error, (BrokenWorkerPool, WorkerCrashed)):
-            self._error(
-                503, "worker_pool", f"{type(error).__name__}: {error}"
-            )
-        elif isinstance(error, FutureTimeout):
-            self._error(
-                504, "timeout",
-                f"request did not complete within the server's "
-                f"{self.server.request_timeout}s request_timeout",
-            )
-        else:
-            self._error(500, "internal", f"{type(error).__name__}: {error}")
+        """Render a submit/result exception per the shared error contract.
+
+        The status/kind/Retry-After mapping lives in
+        :func:`~repro.serving.errors.classify_error` so the streaming
+        transport's ERROR frames agree with these responses by
+        construction.
+        """
+        info = classify_error(error, request_timeout=self.server.request_timeout)
+        headers = None
+        if info.retry_after is not None:
+            headers = {"Retry-After": str(info.retry_after)}
+        self._error(info.status, info.kind, info.message, headers=headers)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:

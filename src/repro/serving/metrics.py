@@ -245,6 +245,55 @@ def render_metrics(model_server) -> str:
         if served.compiled is not None:
             w.sample("repro_plan_cache_bytes", {"model": name}, served.compiled.plans.nbytes)
 
+    # -- streaming front-end families ----------------------------------
+    stream_server = getattr(model_server, "stream_server", None)
+    if stream_server is not None:
+        streams = stream_server.snapshot()
+        w.family(
+            "repro_stream_connections", "gauge",
+            "Open streaming-protocol TCP connections.",
+        )
+        w.sample("repro_stream_connections", {}, stream_server.connection_count())
+        w.family(
+            "repro_stream_open_streams", "gauge",
+            "Logical streams with a live delta-cache reference frame.",
+        )
+        w.family(
+            "repro_stream_frames_total", "counter",
+            "Tensor frames accepted over the streaming protocol.",
+        )
+        w.family(
+            "repro_stream_cache_hits_total", "counter",
+            "Frames answered from the per-stream delta cache.",
+        )
+        w.family(
+            "repro_stream_cache_misses_total", "counter",
+            "Frames that missed the delta cache and hit the batcher.",
+        )
+        w.family(
+            "repro_stream_errors_total", "counter",
+            "Frames answered with a typed ERROR frame.",
+        )
+        w.family(
+            "repro_stream_frames_per_second", "gauge",
+            "Frame throughput over the recent completion window.",
+        )
+        for name, row in streams.items():
+            w.sample("repro_stream_open_streams", {"model": name}, row["open_streams"])
+            w.sample("repro_stream_frames_total", {"model": name}, row["frames"])
+            w.sample(
+                "repro_stream_cache_hits_total", {"model": name}, row["cache_hits"]
+            )
+            w.sample(
+                "repro_stream_cache_misses_total", {"model": name},
+                row["cache_misses"],
+            )
+            w.sample("repro_stream_errors_total", {"model": name}, row["errors"])
+            w.sample(
+                "repro_stream_frames_per_second", {"model": name},
+                row["frames_per_second"],
+            )
+
     # -- worker-pool / supervision families ----------------------------
     pooled = {name: m for name, m in models.items() if m.pool is not None}
 

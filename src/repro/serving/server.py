@@ -235,6 +235,10 @@ class ModelServer:
             on_event=self._residency_event,
         )
         self.scheduler = FlushScheduler(threads=scheduler_threads)
+        #: The binary streaming front end, when one is attached
+        #: (:class:`~repro.serving.stream.StreamServer` registers itself
+        #: here so ``/stats`` and ``/metrics`` can report stream state).
+        self.stream_server = None
         self.models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
         self._started = False

@@ -68,6 +68,7 @@ class ServerStats:
         self._latency_sum = 0.0
         self._caches: Dict[str, Callable[[], dict]] = {}
         self._workers_fn: Optional[Callable[[], dict]] = None
+        self._streams_fn: Optional[Callable[[], dict]] = None
 
     # -- cache observability -------------------------------------------
     def attach_cache(self, name: str, snapshot: Callable[[], dict]) -> None:
@@ -96,6 +97,18 @@ class ServerStats:
         """
         with self._lock:
             self._workers_fn = snapshot
+
+    def attach_streams(self, snapshot: Callable[[], dict]) -> None:
+        """Expose the streaming front end's view on this snapshot.
+
+        ``snapshot`` is a zero-arg callable returning the stream
+        server's JSON-ready per-model counters (connections, open
+        streams, frames/s, delta-cache hit rate). Shown as the
+        ``streams`` block of ``GET /stats`` once the model has served
+        at least one frame over the binary protocol.
+        """
+        with self._lock:
+            self._streams_fn = snapshot
 
     # -- recording -----------------------------------------------------
     def record_batch(self, size: int, seconds: float) -> None:
@@ -251,10 +264,13 @@ class ServerStats:
         with self._lock:
             caches = dict(self._caches)
             workers_fn = self._workers_fn
+            streams_fn = self._streams_fn
         if caches:
             report["caches"] = {name: fn() for name, fn in caches.items()}
         if workers_fn is not None:
             report["workers"] = workers_fn()
+        if streams_fn is not None:
+            report["streams"] = streams_fn()
         return report
 
     def render(self, title: str = "serving") -> str:

@@ -1,0 +1,699 @@
+"""Persistent-connection streaming inference over the binary protocol.
+
+:class:`StreamServer` is the TCP front end for camera-style clients: one
+connection, many logical streams, length-prefixed tensor frames
+(:mod:`repro.serving.wire`). It plugs into the existing serving stack at
+the ``Batcher.submit`` seam — every frame that reaches the model goes
+through the same admission control, SLO deadlines, rate quotas, fair
+scheduling and residency guards HTTP traffic does — and answers with
+RESPONSE frames *as their flushes complete*: responses carry the request
+id, so a slow batch never head-of-line-blocks frames of other requests
+on the same connection.
+
+Per-stream temporal shortcut — the delta cache
+----------------------------------------------
+Consecutive camera frames are usually near-duplicates. Each stream
+(connection, ``stream_id``) remembers its last *reference* frame — the
+last frame that actually went to the batcher — and the (possibly still
+pending) result it produced. A new frame whose L∞ distance from the
+reference is at or below ``delta_threshold`` is answered from that
+result without touching the batcher at all; the RESPONSE frame sets
+``FLAG_CACHE_HIT`` and carries the reference frame's *exact* logits.
+Because hits chain onto the reference's future, a near-duplicate that
+arrives while its keyframe is still in flight simply waits for the same
+flush — the cache is race-free by construction and never drifts: every
+miss resets the reference, so deltas always compare against the frame
+whose logits are being reused, not a decayed chain of neighbours.
+
+Errors reuse the structured-error contract: a failed or shed frame is
+answered with a typed ERROR frame whose JSON payload carries the same
+``kind`` (and ``retry_after`` for the 429 kinds, via the shared
+:func:`~repro.serving.errors.classify_error` helper) an HTTP client
+would see — backpressure semantics cannot drift between transports.
+
+:class:`StreamClient` is the matching client: ``submit()`` returns a
+future immediately, a reader thread resolves futures as RESPONSE/ERROR
+frames arrive (out of order included), and per-stream sequence counts
+are stamped automatically.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import socket
+import socketserver
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from .errors import classify_error
+from .wire import (
+    FLAG_CACHE_HIT,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_HELLO_ACK,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    FrameError,
+    FrameReader,
+    WireError,
+    encode_error_frame,
+    encode_meta_frame,
+    encode_tensor_frame,
+)
+
+__all__ = ["StreamServer", "StreamClient", "StreamResult", "DEFAULT_DELTA_THRESHOLD"]
+
+logger = logging.getLogger("repro.serving")
+
+#: Default L∞ delta under which a frame counts as a near-duplicate of
+#: its stream's reference frame. Inputs here are unit-scale (normalised
+#: pixels); 1e-3 is far below any change that moves a logit visibly.
+DEFAULT_DELTA_THRESHOLD = 1e-3
+
+#: Per-connection cap on remembered streams (LRU-evicted): bounds the
+#: delta cache's memory at ~streams x (frame + logits) per connection.
+MAX_STREAMS_PER_CONNECTION = 1024
+
+
+class _StreamCounters:
+    """Per-model streaming counters behind /stats and /metrics."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.frames = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.errors = 0
+        self._stamps: Deque[float] = deque(maxlen=window)
+
+    def record_frame(self, cache_hit: bool) -> None:
+        with self._lock:
+            self.frames += 1
+            self._stamps.append(time.perf_counter())
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def frames_per_second(self) -> float:
+        with self._lock:
+            if len(self._stamps) < 2:
+                return 0.0
+            span = self._stamps[-1] - self._stamps[0]
+            count = len(self._stamps)
+        return (count - 1) / span if span > 0 else 0.0
+
+    def snapshot(self, open_streams: int = 0, connections: int = 0) -> dict:
+        with self._lock:
+            frames = self.frames
+            hits = self.cache_hits
+            misses = self.cache_misses
+            errors = self.errors
+        total = hits + misses
+        return {
+            "connections": connections,
+            "open_streams": open_streams,
+            "frames": frames,
+            "frames_per_second": round(self.frames_per_second(), 2),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": round(hits / total, 4) if total else 0.0,
+            "errors": errors,
+        }
+
+
+class _StreamState:
+    """One logical stream's delta-cache slot."""
+
+    __slots__ = ("ref_frame", "ref_future")
+
+    def __init__(self, ref_frame: np.ndarray, ref_future: "Future[np.ndarray]"):
+        self.ref_frame = ref_frame
+        self.ref_future = ref_future
+
+
+class _Connection(socketserver.BaseRequestHandler):
+    """One client connection: reader loop + dedicated writer thread.
+
+    The reader thread parses frames and submits them; completions are
+    encoded by whatever thread resolves the future (batcher flush
+    threads) and handed to the writer queue, so a slow client socket can
+    stall only its own writer — never a flush.
+    """
+
+    @property
+    def facade(self) -> "StreamServer":
+        return self.server.facade  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._out: "queue.Queue[Optional[bytes]]" = queue.Queue()
+        self._writer = threading.Thread(
+            target=self._write_loop, name="repro-stream-writer", daemon=True
+        )
+        self._writer.start()
+        self._model_name: Optional[str] = None
+        self._streams: "OrderedDict[int, _StreamState]" = OrderedDict()
+        self._streams_lock = threading.Lock()
+        self.facade._track(self, +1)
+
+    def finish(self) -> None:
+        self._out.put(None)
+        self._writer.join(timeout=5.0)
+        with self._streams_lock:
+            self._streams.clear()
+        self.facade._track(self, -1)
+
+    # -- outbound ------------------------------------------------------
+    def _write_loop(self) -> None:
+        while True:
+            data = self._out.get()
+            if data is None:
+                return
+            try:
+                self.request.sendall(data)
+            except OSError:
+                # Client went away; the reader loop will notice EOF and
+                # tear the connection down.
+                return
+
+    def send(self, data: bytes) -> None:
+        self._out.put(data)
+
+    def _send_error(
+        self, request_id: int, kind: str, message: str,
+        *, retry_after: Optional[float] = None,
+        stream_id: int = 0, seq: int = 0,
+    ) -> None:
+        self.send(
+            encode_error_frame(
+                request_id, kind, message,
+                retry_after=retry_after, stream_id=stream_id, seq=seq,
+            )
+        )
+
+    # -- inbound -------------------------------------------------------
+    def handle(self) -> None:
+        facade = self.facade
+        reader = FrameReader(facade.max_frame_bytes)
+        while not facade.closing:
+            try:
+                data = self.request.recv(1 << 16)
+            except OSError:
+                return
+            if not data:
+                return
+            for event in reader.feed(data):
+                if isinstance(event, FrameError):
+                    self._send_error(event.request_id, event.kind, event.message)
+                    continue
+                self._handle_frame(event)
+
+    def _handle_frame(self, frame: Frame) -> None:
+        if frame.kind == KIND_HELLO:
+            self._handle_hello(frame)
+        elif frame.kind == KIND_REQUEST:
+            self._handle_request(frame)
+        else:
+            self._send_error(
+                frame.request_id, "bad_request",
+                f"unexpected frame kind {frame.kind} from a client",
+            )
+
+    def _handle_hello(self, frame: Frame) -> None:
+        facade = self.facade
+        name = (frame.meta or {}).get("model")
+        try:
+            served = facade.model_server.get(name)
+        except KeyError as error:
+            self._send_error(frame.request_id, "not_found", str(error))
+            return
+        self._model_name = served.name
+        self.send(
+            encode_meta_frame(
+                KIND_HELLO_ACK, frame.request_id,
+                {
+                    "model": served.name,
+                    "input_shape": list(served.input_shape),
+                    "delta_threshold": facade.delta_threshold,
+                },
+            )
+        )
+
+    def _handle_request(self, frame: Frame) -> None:
+        facade = self.facade
+        rid, sid, seq = frame.request_id, frame.stream_id, frame.seq
+        try:
+            served = facade.model_server.get(self._model_name)
+        except KeyError as error:
+            self._send_error(rid, "not_found", str(error), stream_id=sid, seq=seq)
+            return
+        counters = facade.counters_for(served)
+        try:
+            x = served.validate(frame.tensor)
+        except (ValueError, TypeError) as error:
+            counters.record_error()
+            self._send_error(rid, "bad_request", str(error), stream_id=sid, seq=seq)
+            return
+
+        # Per-stream delta cache: answer near-duplicates from the
+        # reference frame's (possibly still in-flight) result.
+        if facade.delta_threshold >= 0:
+            with self._streams_lock:
+                state = self._streams.get(sid)
+                if state is not None and state.ref_frame.shape == x.shape:
+                    self._streams.move_to_end(sid)
+                    delta = float(np.max(np.abs(x - state.ref_frame)))
+                    if delta <= facade.delta_threshold:
+                        counters.record_frame(cache_hit=True)
+                        self._respond_from(
+                            state.ref_future, counters, rid, sid, seq,
+                            flags=FLAG_CACHE_HIT,
+                        )
+                        return
+        try:
+            future = served.batcher.submit(x)
+        except Exception as error:  # noqa: BLE001 - mapped to the contract
+            counters.record_error()
+            info = classify_error(error)
+            self._send_error(
+                rid, info.kind, info.message,
+                retry_after=info.retry_after, stream_id=sid, seq=seq,
+            )
+            return
+        counters.record_frame(cache_hit=False)
+        if facade.delta_threshold >= 0:
+            with self._streams_lock:
+                self._streams[sid] = _StreamState(x, future)
+                self._streams.move_to_end(sid)
+                while len(self._streams) > MAX_STREAMS_PER_CONNECTION:
+                    self._streams.popitem(last=False)
+        self._respond_from(future, counters, rid, sid, seq, flags=0)
+
+    def _respond_from(
+        self, future: "Future[np.ndarray]", counters: _StreamCounters,
+        rid: int, sid: int, seq: int, *, flags: int,
+    ) -> None:
+        """Answer ``rid`` with ``future``'s result whenever it lands.
+
+        The callback runs on whichever thread resolves the future, which
+        is exactly what out-of-order completion needs: each response is
+        written the moment its own flush finishes.
+        """
+
+        def done(f: "Future[np.ndarray]") -> None:
+            error = f.exception()
+            if error is not None:
+                counters.record_error()
+                info = classify_error(error)
+                self._send_error(
+                    rid, info.kind, info.message,
+                    retry_after=info.retry_after, stream_id=sid, seq=seq,
+                )
+                return
+            self.send(
+                encode_tensor_frame(
+                    KIND_RESPONSE, rid, np.ascontiguousarray(f.result()),
+                    stream_id=sid, seq=seq, flags=flags,
+                )
+            )
+
+        future.add_done_callback(done)
+
+
+class _StreamTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Same rationale as the HTTP front end: bursts of new connections
+    #: must reach the protocol, not die as kernel RSTs.
+    request_queue_size = 128
+
+
+class StreamServer:
+    """Binary streaming front end bound to a :class:`ModelServer`.
+
+    Parameters
+    ----------
+    model_server:
+        The serving registry frames are submitted to. Model selection
+        follows HTTP semantics: a HELLO frame may name a model, and a
+        sole registration resolves by default.
+    host / port:
+        Bind address; ``port=0`` binds an ephemeral port (tests) —
+        read it back from :attr:`port`.
+    delta_threshold:
+        Per-stream near-duplicate threshold (L∞, input scale). Frames
+        within it of their stream's reference frame are answered from
+        the cached result without touching the batcher. ``0`` answers
+        only bit-identical frames from cache; a negative value disables
+        the cache entirely.
+    max_frame_bytes:
+        Per-frame size cap enforced by the reader (oversize frames are
+        rejected with ``frame_too_large`` and skipped).
+    """
+
+    def __init__(
+        self,
+        model_server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        delta_threshold: float = DEFAULT_DELTA_THRESHOLD,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.model_server = model_server
+        self.delta_threshold = float(delta_threshold)
+        self.max_frame_bytes = max_frame_bytes
+        self.closing = False
+        self._counters: Dict[str, _StreamCounters] = {}
+        self._counters_lock = threading.Lock()
+        self._connections: set = set()
+        self._tcp = _StreamTCPServer((host, port), _Connection)
+        self._tcp.facade = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        # Surface the stream stats on /stats and /metrics.
+        model_server.stream_server = self
+
+    def _track(self, connection: "_Connection", delta: int) -> None:
+        with self._counters_lock:
+            if delta > 0:
+                self._connections.add(connection)
+            else:
+                self._connections.discard(connection)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (ephemeral-safe)."""
+        return self._tcp.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved, even when constructed with 0)."""
+        return self._tcp.server_address[1]
+
+    # -- counters ------------------------------------------------------
+    def counters_for(self, served) -> _StreamCounters:
+        """This model's stream counters, attached to its stats block on
+        first use (so /stats grows a ``streams`` section)."""
+        name = served.name
+        with self._counters_lock:
+            counters = self._counters.get(name)
+            if counters is None:
+                counters = _StreamCounters()
+                self._counters[name] = counters
+                served.stats.attach_streams(
+                    lambda c=counters, n=name: c.snapshot(
+                        open_streams=self.open_streams(n),
+                        connections=self.connection_count(),
+                    )
+                )
+        return counters
+
+    def connection_count(self) -> int:
+        """Number of currently-open client connections."""
+        with self._counters_lock:
+            return len(self._connections)
+
+    def open_streams(self, name: Optional[str] = None) -> int:
+        """Live delta-cache slots across connections (``name`` filters
+        to connections bound to that model)."""
+        total = 0
+        with self._counters_lock:
+            connections = list(self._connections)
+        sole = len(self.model_server.models) <= 1
+        for connection in connections:
+            if name is not None:
+                bound = connection._model_name
+                if bound is not None and bound != name:
+                    continue
+                if bound is None and not sole:
+                    continue
+            with connection._streams_lock:
+                total += len(connection._streams)
+        return total
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-model streaming stats (the /metrics source)."""
+        with self._counters_lock:
+            names = list(self._counters)
+        connections = self.connection_count()
+        return {
+            name: self._counters[name].snapshot(
+                open_streams=self.open_streams(name), connections=connections
+            )
+            for name in names
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "StreamServer":
+        """Accept connections on a daemon thread; returns self."""
+        if self._thread is None or not self._thread.is_alive():
+            self.closing = False
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever, name="repro-stream", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, join the acceptor."""
+        self.closing = True
+        self._tcp.shutdown()
+        with self._counters_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "StreamServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class StreamResult:
+    """One response with its wire metadata (``meta=True`` submits)."""
+
+    __slots__ = ("output", "cache_hit", "request_id", "stream_id", "seq")
+
+    def __init__(self, output, cache_hit, request_id, stream_id, seq):
+        self.output = output
+        self.cache_hit = cache_hit
+        self.request_id = request_id
+        self.stream_id = stream_id
+        self.seq = seq
+
+
+class StreamClient:
+    """Client side of the streaming protocol.
+
+    ``submit()`` sends a REQUEST frame and returns a future immediately;
+    a reader thread resolves futures as responses arrive — in whatever
+    order the server finishes them. Typed ERROR frames resolve the
+    matching future with a :class:`~repro.serving.wire.WireError`
+    carrying the structured-error kind (and ``retry_after`` for the
+    backpressure kinds).
+
+    Parameters
+    ----------
+    host / port:
+        The :class:`StreamServer` address.
+    model:
+        Model to bind the connection to (HELLO handshake); ``None``
+        resolves the server's sole registration.
+    timeout:
+        Socket/handshake timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        model: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, Tuple[Future, bool]] = {}
+        self._pending_lock = threading.Lock()
+        self._next_rid = 0
+        self._seq: Dict[int, int] = {}
+        self._closed = False
+        self.cache_hits = 0
+        self.responses = 0
+        self.hello: dict = {}
+        # One reader state across handshake and read loop: response
+        # bytes that ride in with the tail of the HELLO_ACK are kept.
+        self._reader_state = FrameReader()
+        self._handshake(model)
+        self._sock.settimeout(None)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-stream-client", daemon=True
+        )
+        self._reader.start()
+
+    # -- handshake -----------------------------------------------------
+    def _handshake(self, model: Optional[str]) -> None:
+        meta = {} if model is None else {"model": model}
+        self._sock.sendall(encode_meta_frame(KIND_HELLO, 0, meta))
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if time.monotonic() > deadline:
+                raise TimeoutError("stream handshake timed out")
+            data = self._sock.recv(1 << 16)
+            if not data:
+                raise ConnectionError("server closed during handshake")
+            for event in self._reader_state.feed(data):
+                if isinstance(event, FrameError):
+                    raise WireError(event.kind, event.message)
+                if event.kind == KIND_ERROR:
+                    raise event.error()
+                if event.kind == KIND_HELLO_ACK:
+                    self.hello = event.meta or {}
+                    return
+
+    # -- sending -------------------------------------------------------
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        stream_id: int = 0,
+        meta: bool = False,
+    ) -> "Future":
+        """Send one frame on ``stream_id``; resolves to its output row.
+
+        With ``meta=True`` the future resolves to a
+        :class:`StreamResult` carrying the cache-hit flag and wire ids
+        instead of the bare array.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        x = np.ascontiguousarray(x)
+        future: Future = Future()
+        with self._pending_lock:
+            self._next_rid += 1
+            rid = self._next_rid
+            seq = self._seq.get(stream_id, 0)
+            self._seq[stream_id] = seq + 1
+            self._pending[rid] = (future, meta)
+        frame = encode_tensor_frame(KIND_REQUEST, rid, x, stream_id=stream_id, seq=seq)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as error:
+            with self._pending_lock:
+                self._pending.pop(rid, None)
+            raise ConnectionError(f"send failed: {error}") from error
+        return future
+
+    def predict(
+        self,
+        x: np.ndarray,
+        *,
+        stream_id: int = 0,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Synchronous convenience: submit one frame and wait."""
+        return self.submit(x, stream_id=stream_id).result(
+            timeout=self.timeout if timeout is None else timeout
+        )
+
+    # -- receiving -----------------------------------------------------
+    def _read_loop(self) -> None:
+        reader = self._reader_state
+        try:
+            while not self._closed:
+                data = self._sock.recv(1 << 16)
+                if not data:
+                    break
+                for event in reader.feed(data):
+                    self._dispatch(event)
+        except OSError:
+            pass
+        self._fail_pending(ConnectionError("stream connection closed"))
+
+    def _dispatch(self, event) -> None:
+        if isinstance(event, FrameError):
+            # A frame the client could not decode — without a request id
+            # there is no future to fail; log and continue.
+            logger.warning("stream client dropped a frame: %s", event)
+            return
+        with self._pending_lock:
+            entry = self._pending.pop(event.request_id, None)
+        if entry is None:
+            logger.warning(
+                "stream client got a response for unknown request %d",
+                event.request_id,
+            )
+            return
+        future, want_meta = entry
+        if event.kind == KIND_ERROR:
+            future.set_exception(event.error())
+            return
+        if event.kind != KIND_RESPONSE:
+            future.set_exception(
+                WireError("protocol", f"unexpected frame kind {event.kind}")
+            )
+            return
+        self.responses += 1
+        if event.cache_hit:
+            self.cache_hits += 1
+        if want_meta:
+            future.set_result(
+                StreamResult(
+                    event.tensor, event.cache_hit, event.request_id,
+                    event.stream_id, event.seq,
+                )
+            )
+        else:
+            future.set_result(event.tensor)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future, _ in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Close the connection; outstanding futures fail."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+        self._fail_pending(ConnectionError("client closed"))
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,421 @@
+"""Length-prefixed binary framing for streaming inference connections.
+
+HTTP/JSON serves one image per round trip; a camera-style client holds
+one TCP connection open and pushes a *stream* of tensor frames down it.
+This module defines the packet format both ends speak — the same
+length-prefix + id + sequence-count idiom CCSDS space-packet telemetry
+uses for exactly this "many small records on one long-lived link"
+problem — and a :class:`FrameReader` that reassembles frames from
+arbitrary TCP chunk boundaries.
+
+Frame layout (header fields in network byte order)::
+
+    u32   length      bytes that follow this prefix (header+payload+crc)
+    u16   magic       0x5043 ("PC")
+    u8    version     protocol version (currently 1)
+    u8    kind        REQUEST / RESPONSE / ERROR / HELLO / HELLO_ACK
+    u32   request_id  echoed on the response — responses may arrive out
+                      of order, the id is how the client matches them
+    u32   stream_id   which logical stream (camera) this frame belongs to
+    u32   seq         per-stream sequence count, monotonically increasing
+    u8    dtype       tensor dtype code (0 for JSON-payload kinds)
+    u8    ndim        tensor rank (0..MAX_NDIM)
+    u16   flags       bit 0 (FLAG_CACHE_HIT): response was served from
+                      the server's per-stream delta cache
+    u32 x ndim        shape dims
+    ...   payload     raw little-endian tensor bytes (C order), or UTF-8
+                      JSON for ERROR/HELLO/HELLO_ACK frames
+    u32   crc32       zlib CRC-32 over everything between the length
+                      prefix and this field
+
+Design rules the serving layer relies on:
+
+- **Out-of-order completion.** Responses carry the request id, so a
+  slow batch never head-of-line-blocks the connection: whatever flush
+  finishes first answers first.
+- **Typed errors.** An ERROR frame's JSON payload is the same
+  ``{"kind", "message"}`` contract as the HTTP error bodies (plus
+  ``"retry_after"`` seconds on backpressure kinds), so a stream client
+  branches on the exact same kinds a JSON client does.
+- **Corruption never kills framing.** A frame that fails CRC, dtype,
+  shape or magic checks is consumed in full and surfaced as a
+  :class:`FrameError` *event* — the reader stays synchronised on the
+  length prefixes and the connection survives. Oversize frames
+  (declared length past ``max_frame_bytes``) are discarded in bounded
+  chunks while the reader keeps accepting input.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_ERROR",
+    "KIND_HELLO",
+    "KIND_HELLO_ACK",
+    "FLAG_CACHE_HIT",
+    "DTYPE_CODES",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "MAX_NDIM",
+    "Frame",
+    "FrameError",
+    "WireError",
+    "encode_tensor_frame",
+    "encode_meta_frame",
+    "encode_error_frame",
+    "FrameReader",
+]
+
+MAGIC = 0x5043  # "PC"
+VERSION = 1
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+KIND_HELLO = 4
+KIND_HELLO_ACK = 5
+
+_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_ERROR, KIND_HELLO, KIND_HELLO_ACK)
+#: Kinds whose payload is UTF-8 JSON rather than raw tensor bytes.
+_META_KINDS = (KIND_ERROR, KIND_HELLO, KIND_HELLO_ACK)
+
+#: Responses served from the per-stream delta cache set this bit.
+FLAG_CACHE_HIT = 0x1
+
+#: Wire dtype codes — explicit little-endian so the format is
+#: byte-order-defined rather than host-defined.
+DTYPE_CODES = {
+    1: np.dtype("<f4"),
+    2: np.dtype("<f8"),
+    3: np.dtype("i1"),
+    4: np.dtype("<i4"),
+    5: np.dtype("u1"),
+    6: np.dtype("<i8"),
+    7: np.dtype("<u4"),
+}
+_CODE_FOR_DTYPE = {dt: code for code, dt in DTYPE_CODES.items()}
+
+#: Largest tensor rank a frame may carry.
+MAX_NDIM = 8
+
+#: Default per-frame size cap (64 MiB) — far above any image batch this
+#: repo serves, far below "a corrupted length prefix allocates the heap".
+DEFAULT_MAX_FRAME_BYTES = 64 * 2**20
+
+_PREFIX = struct.Struct(">I")
+_HEADER = struct.Struct(">HBBIIIBBH")  # magic..flags, 20 bytes
+_DIM = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+_MIN_BODY = _HEADER.size + _CRC.size
+
+
+class WireError(RuntimeError):
+    """A typed ERROR frame received from the peer.
+
+    Mirrors the HTTP structured-error contract: ``kind`` is the stable
+    machine-readable error kind (``queue_full``, ``quota_exceeded``,
+    ``slo_expired``, ``bad_request``, ...), ``retry_after`` carries the
+    backpressure hint in seconds when the kind implies one.
+    """
+
+    def __init__(
+        self, kind: str, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+        self.retry_after = retry_after
+
+
+class FrameError(Exception):
+    """One undecodable frame, consumed without losing stream sync.
+
+    Returned (not raised) by :meth:`FrameReader.feed` as an event, so a
+    server can answer it with a typed ERROR frame and keep reading.
+    ``kind`` is the error-frame kind to reply with (``bad_frame``,
+    ``frame_too_large`` or ``protocol``); ``request_id`` echoes the
+    offending frame's id when the header was parseable (0 otherwise).
+    """
+
+    def __init__(self, kind: str, message: str, request_id: int = 0) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+        self.request_id = request_id
+
+
+@dataclass
+class Frame:
+    """One decoded wire frame: header fields plus either a tensor
+    payload (REQUEST/RESPONSE) or a JSON ``meta`` dict (ERROR/HELLO/
+    HELLO_ACK)."""
+
+    kind: int
+    request_id: int
+    stream_id: int = 0
+    seq: int = 0
+    flags: int = 0
+    #: Tensor payload for REQUEST/RESPONSE frames (owns its memory).
+    tensor: Optional[np.ndarray] = None
+    #: Decoded JSON payload for ERROR/HELLO/HELLO_ACK frames.
+    meta: Optional[dict] = field(default=None)
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether this response came from the server's delta cache."""
+        return bool(self.flags & FLAG_CACHE_HIT)
+
+    def error(self) -> WireError:
+        """The :class:`WireError` an ERROR frame describes."""
+        meta = self.meta or {}
+        return WireError(
+            str(meta.get("kind", "internal")),
+            str(meta.get("message", "")),
+            meta.get("retry_after"),
+        )
+
+
+def _encode(
+    kind: int,
+    request_id: int,
+    stream_id: int,
+    seq: int,
+    flags: int,
+    dtype_code: int,
+    shape: tuple,
+    payload: bytes,
+) -> bytes:
+    header = _HEADER.pack(
+        MAGIC, VERSION, kind, request_id, stream_id, seq,
+        dtype_code, len(shape), flags,
+    )
+    dims = b"".join(_DIM.pack(d) for d in shape)
+    body = header + dims + payload
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return _PREFIX.pack(len(body) + _CRC.size) + body + _CRC.pack(crc)
+
+
+def encode_tensor_frame(
+    kind: int,
+    request_id: int,
+    tensor: np.ndarray,
+    *,
+    stream_id: int = 0,
+    seq: int = 0,
+    flags: int = 0,
+) -> bytes:
+    """Encode a REQUEST/RESPONSE frame carrying ``tensor``."""
+    tensor = np.asarray(tensor)
+    if not tensor.flags.c_contiguous:
+        tensor = np.ascontiguousarray(tensor)
+    wire_dtype = tensor.dtype.newbyteorder("<")
+    code = _CODE_FOR_DTYPE.get(wire_dtype)
+    if code is None:
+        raise ValueError(
+            f"dtype {tensor.dtype} has no wire code; supported: "
+            f"{sorted(str(dt) for dt in _CODE_FOR_DTYPE)}"
+        )
+    if tensor.ndim > MAX_NDIM:
+        raise ValueError(f"tensor rank {tensor.ndim} exceeds MAX_NDIM={MAX_NDIM}")
+    payload = tensor.astype(wire_dtype, copy=False).tobytes()
+    return _encode(
+        kind, request_id, stream_id, seq, flags, code, tensor.shape, payload
+    )
+
+
+def encode_meta_frame(
+    kind: int,
+    request_id: int,
+    meta: dict,
+    *,
+    stream_id: int = 0,
+    seq: int = 0,
+    flags: int = 0,
+) -> bytes:
+    """Encode an ERROR/HELLO/HELLO_ACK frame carrying a JSON payload."""
+    payload = json.dumps(meta).encode()
+    return _encode(kind, request_id, stream_id, seq, flags, 0, (), payload)
+
+
+def encode_error_frame(
+    request_id: int,
+    kind: str,
+    message: str,
+    *,
+    retry_after: Optional[float] = None,
+    stream_id: int = 0,
+    seq: int = 0,
+) -> bytes:
+    """Encode a typed ERROR frame (the wire form of an HTTP error body)."""
+    meta = {"kind": kind, "message": message}
+    if retry_after is not None:
+        meta["retry_after"] = retry_after
+    return encode_meta_frame(
+        KIND_ERROR, request_id, meta, stream_id=stream_id, seq=seq
+    )
+
+
+class FrameReader:
+    """Incremental frame decoder over arbitrary byte chunks.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames across
+    calls and emits complete :class:`Frame`/:class:`FrameError` events
+    in arrival order. Stream synchronisation is carried entirely by the
+    length prefixes, so a bad frame costs exactly its own bytes.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < _MIN_BODY:
+            raise ValueError(f"max_frame_bytes must be >= {_MIN_BODY}")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        #: Bytes of an oversize frame still to discard before resyncing.
+        self._skip = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes not yet assembled into a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Union[Frame, FrameError]]:
+        """Consume ``data``; return every event it completed."""
+        self._buffer.extend(data)
+        events: List[Union[Frame, FrameError]] = []
+        while True:
+            if self._skip:
+                drop = min(self._skip, len(self._buffer))
+                del self._buffer[:drop]
+                self._skip -= drop
+                if self._skip:
+                    return events  # still inside the oversize frame
+            if len(self._buffer) < _PREFIX.size:
+                return events
+            (length,) = _PREFIX.unpack_from(self._buffer, 0)
+            if length > self.max_frame_bytes:
+                # Reject now (the sender should hear about it promptly),
+                # discard the declared bytes as they arrive. Echo the
+                # request id when enough of the header is already here.
+                request_id = 0
+                if len(self._buffer) >= _PREFIX.size + 8:
+                    magic, _, _, request_id = struct.unpack_from(
+                        ">HBBI", self._buffer, _PREFIX.size
+                    )
+                    if magic != MAGIC:
+                        request_id = 0
+                events.append(
+                    FrameError(
+                        "frame_too_large",
+                        f"declared frame length {length} exceeds the "
+                        f"{self.max_frame_bytes}-byte limit",
+                        request_id,
+                    )
+                )
+                available = len(self._buffer) - _PREFIX.size
+                drop = min(length, available)
+                del self._buffer[: _PREFIX.size + drop]
+                self._skip = length - drop
+                continue
+            if length < _MIN_BODY:
+                if len(self._buffer) < _PREFIX.size + length:
+                    return events
+                events.append(
+                    FrameError(
+                        "bad_frame",
+                        f"declared frame length {length} is below the "
+                        f"{_MIN_BODY}-byte minimum",
+                    )
+                )
+                del self._buffer[: _PREFIX.size + length]
+                continue
+            if len(self._buffer) < _PREFIX.size + length:
+                return events
+            body = bytes(self._buffer[_PREFIX.size : _PREFIX.size + length])
+            del self._buffer[: _PREFIX.size + length]
+            events.append(self._decode_body(body))
+
+    # -- one complete frame body ---------------------------------------
+    def _decode_body(self, body: bytes) -> Union[Frame, FrameError]:
+        (
+            magic, version, kind, request_id, stream_id, seq,
+            dtype_code, ndim, flags,
+        ) = _HEADER.unpack_from(body, 0)
+        if magic != MAGIC:
+            return FrameError(
+                "protocol", f"bad magic 0x{magic:04x} (expected 0x{MAGIC:04x})"
+            )
+        if version != VERSION:
+            return FrameError(
+                "protocol",
+                f"unsupported protocol version {version} (speaking {VERSION})",
+                request_id,
+            )
+        (crc_stored,) = _CRC.unpack_from(body, len(body) - _CRC.size)
+        crc_actual = zlib.crc32(body[: -_CRC.size]) & 0xFFFFFFFF
+        if crc_stored != crc_actual:
+            return FrameError(
+                "bad_frame",
+                f"CRC mismatch (stored 0x{crc_stored:08x}, "
+                f"computed 0x{crc_actual:08x})",
+                request_id,
+            )
+        if kind not in _KINDS:
+            return FrameError(
+                "bad_frame", f"unknown frame kind {kind}", request_id
+            )
+        if ndim > MAX_NDIM:
+            return FrameError(
+                "bad_frame", f"rank {ndim} exceeds MAX_NDIM={MAX_NDIM}", request_id
+            )
+        dims_end = _HEADER.size + ndim * _DIM.size
+        if dims_end + _CRC.size > len(body):
+            return FrameError(
+                "bad_frame", "frame too short for its shape header", request_id
+            )
+        shape = tuple(
+            _DIM.unpack_from(body, _HEADER.size + i * _DIM.size)[0]
+            for i in range(ndim)
+        )
+        payload = body[dims_end : len(body) - _CRC.size]
+        if kind in _META_KINDS:
+            try:
+                meta = json.loads(payload.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return FrameError(
+                    "bad_frame", f"undecodable JSON payload: {error}", request_id
+                )
+            if not isinstance(meta, dict):
+                return FrameError(
+                    "bad_frame", "JSON payload must be an object", request_id
+                )
+            return Frame(
+                kind=kind, request_id=request_id, stream_id=stream_id,
+                seq=seq, flags=flags, meta=meta,
+            )
+        dtype = DTYPE_CODES.get(dtype_code)
+        if dtype is None:
+            return FrameError(
+                "bad_frame", f"unknown dtype code {dtype_code}", request_id
+            )
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != len(payload):
+            return FrameError(
+                "bad_frame",
+                f"payload is {len(payload)} bytes but shape {shape} of "
+                f"{dtype} needs {expected}",
+                request_id,
+            )
+        tensor = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+        return Frame(
+            kind=kind, request_id=request_id, stream_id=stream_id,
+            seq=seq, flags=flags, tensor=tensor,
+        )

@@ -1,0 +1,171 @@
+"""Unit tests for the trace-driven load generator.
+
+The harness is only trustworthy if it is *replayable*: the same seed
+and trace must yield the exact same arrival schedule, bad traces must
+fail with errors that name the offending field, and the committed burst
+trace must provably exceed its own steady-state rate — otherwise the
+"burst" scenario in BENCH_serving.json measures nothing.
+"""
+
+import json
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "benchmarks")
+)
+import loadgen  # noqa: E402
+from loadgen import (  # noqa: E402
+    SCENARIOS,
+    TraceError,
+    arrival_times,
+    load_trace,
+    peak_rate,
+    validate_trace,
+)
+
+
+def steady():
+    return load_trace("steady")
+
+
+def burst():
+    return load_trace("burst")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace_identical_schedule(self):
+        trace = burst()
+        a = arrival_times(trace, seed=123)
+        b = arrival_times(trace, seed=123)
+        np.testing.assert_array_equal(a, b)
+        assert len(a) > 0
+
+    def test_different_seed_different_schedule(self):
+        trace = burst()
+        a = arrival_times(trace, seed=123)
+        b = arrival_times(trace, seed=124)
+        assert len(a) != len(b) or not np.array_equal(a, b)
+
+    def test_schedule_is_sorted_and_inside_duration(self):
+        for name in ("steady", "burst", "diurnal", "step"):
+            trace = load_trace(name)
+            times = arrival_times(trace, seed=7)
+            assert np.all(np.diff(times) >= 0), name
+            assert times[0] >= 0.0
+            assert times[-1] < trace["duration_s"], name
+
+    def test_frame_plans_are_replayable(self):
+        scenario = SCENARIOS["near_duplicate"]
+        plan_a = loadgen._generate_frames(scenario, 40, delta_threshold=1e-3)
+        plan_b = loadgen._generate_frames(scenario, 40, delta_threshold=1e-3)
+        np.testing.assert_array_equal(plan_a.frames, plan_b.frames)
+        assert plan_a.expected_hit == plan_b.expected_hit
+        assert plan_a.expected_source == plan_b.expected_source
+        # The near-duplicate scenario must actually plan cache hits.
+        assert sum(plan_a.expected_hit) > 0
+
+    def test_jitter_must_stay_under_threshold(self):
+        scenario = SCENARIOS["near_duplicate"]
+        with pytest.raises(ValueError, match="jitter"):
+            loadgen._generate_frames(scenario, 10, delta_threshold=1e-6)
+
+
+class TestTraceValidation:
+    def good(self):
+        return {
+            "name": "t",
+            "duration_s": 1.0,
+            "segments": [
+                {"start_s": 0.0, "rate": 10.0},
+                {"start_s": 0.5, "rate": 20.0},
+            ],
+        }
+
+    def test_good_trace_passes(self):
+        validate_trace(self.good())
+
+    def test_missing_key_named(self):
+        trace = self.good()
+        del trace["duration_s"]
+        with pytest.raises(TraceError, match="duration_s"):
+            validate_trace(trace)
+
+    def test_non_list_segments_named(self):
+        trace = self.good()
+        trace["segments"] = {"start_s": 0.0}
+        with pytest.raises(TraceError, match="segments"):
+            validate_trace(trace)
+
+    def test_negative_rate_named_with_index(self):
+        trace = self.good()
+        trace["segments"][1]["rate"] = -5.0
+        with pytest.raises(TraceError, match=r"segments\[1\].*rate"):
+            validate_trace(trace)
+
+    def test_first_segment_must_start_at_zero(self):
+        trace = self.good()
+        trace["segments"][0]["start_s"] = 0.1
+        with pytest.raises(TraceError, match="start_s"):
+            validate_trace(trace)
+
+    def test_unordered_starts_named(self):
+        trace = self.good()
+        trace["segments"][1]["start_s"] = 0.0
+        with pytest.raises(TraceError, match="strictly after"):
+            validate_trace(trace)
+
+    def test_start_past_duration_rejected(self):
+        trace = self.good()
+        trace["segments"][1]["start_s"] = 2.0
+        with pytest.raises(TraceError, match="duration"):
+            validate_trace(trace)
+
+    def test_bad_json_file_is_trace_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError, match="JSON"):
+            load_trace(str(path))
+
+    def test_missing_file_is_trace_error(self):
+        with pytest.raises(TraceError, match="does not exist"):
+            load_trace("does_not_exist")
+
+    def test_committed_traces_all_validate(self):
+        for name in ("steady", "burst", "diurnal", "step"):
+            validate_trace(load_trace(name), source=name)
+
+
+class TestBurstShape:
+    def test_burst_peak_exceeds_steady(self):
+        assert peak_rate(burst()) > peak_rate(steady())
+
+    def test_burst_window_density_exceeds_baseline(self):
+        """The arrivals themselves (not just the declared rates) must be
+        denser inside the burst window than outside it."""
+        trace = burst()
+        times = arrival_times(trace, seed=42)
+        in_burst = np.sum((times >= 0.8) & (times < 1.2)) / 0.4
+        baseline = np.sum(times < 0.8) / 0.8
+        assert in_burst > 3 * baseline
+
+    def test_scenario_catalog_covers_required_rows(self):
+        """bench_guard's REQUIRED_SCENARIOS must stay constructible."""
+        assert {"steady", "burst", "near_duplicate"} <= set(SCENARIOS)
+        assert "http" in SCENARIOS["steady"].transports
+        assert "stream" in SCENARIOS["steady"].transports
+        assert SCENARIOS["near_duplicate"].transports == ("stream",)
+        assert SCENARIOS["near_duplicate"].near_duplicate > 0
+
+    def test_traces_on_disk_match_schema_exactly(self):
+        """Committed traces are protocol artifacts: re-validate the raw
+        JSON (not the loader's view) so schema drift shows up here."""
+        for name in ("steady", "burst", "diurnal", "step"):
+            path = os.path.join(loadgen.TRACE_DIR, f"{name}.json")
+            with open(path) as handle:
+                raw = json.load(handle)
+            validate_trace(raw, source=name)
+            assert raw["name"] == name
