@@ -145,6 +145,8 @@ def _bench_one_config(model, x, batch: int, workers: int, tune=None) -> dict:
     eager_out = runtime.predict(model, x)
     max_abs_diff = float(np.abs(compiled_out - eager_out).max())
 
+    winograd_layers = _winograd_layer_count(compiled)
+
     fns = {
         "eager": lambda: runtime.predict(model, x),
         "compiled": lambda: runtime.predict(compiled, x),
@@ -164,6 +166,7 @@ def _bench_one_config(model, x, batch: int, workers: int, tune=None) -> dict:
         "speedup_compiled_vs_eager": round(float(np.median(compiled_s / eager)), 2),
         "speedup_workers_vs_eager": round(float(np.median(workers_s / eager)), 2),
         "max_abs_diff_compiled_vs_eager": max_abs_diff,
+        "winograd_layers": winograd_layers,
     }
     if tune is not None:
         tuned_s = np.array(samples["tuned"])
@@ -207,6 +210,159 @@ def _bench_tuned_vs_static(model, x, batch: int, tune: str = "measure") -> dict:
     }
 
 
+def _winograd_layer_count(compiled) -> int:
+    """Conv layers the pipeline actually runs on a Winograd schedule.
+
+    ``winograd-auto`` markers resolve to a concrete tile (or back to
+    im2col) on the first execution plan, so call this only after the
+    compiled model has run once.
+    """
+    return sum(
+        1
+        for row in compiled.schedule_summary()
+        if row["kind"].startswith("winograd") and row["kind"] != "winograd-auto"
+    )
+
+
+def _bench_winograd(model, x, batch: int) -> dict:
+    """Winograd schedules vs the im2col reference on the same model.
+
+    The row ``scripts/bench_guard.py --runtime-only`` hard-gates:
+    ``max_abs_diff_winograd_vs_im2col`` must stay under the repo-wide
+    1e-4 equivalence budget, and the speedup is the direct evidence the
+    F(m,3) pass earns its keep.
+    """
+    from repro import runtime
+
+    wino = runtime.compile_model(model)
+    gemm = runtime.compile_model(model, winograd=False)
+    max_abs_diff = float(np.abs(wino(x) - gemm(x)).max())
+    samples = _interleaved_ips(
+        {
+            "winograd": lambda: runtime.predict(wino, x),
+            "im2col": lambda: runtime.predict(gemm, x),
+        },
+        batch,
+    )
+    wino_s = np.array(samples["winograd"])
+    gemm_s = np.array(samples["im2col"])
+    return {
+        "im2col_images_per_sec": round(float(np.median(gemm_s)), 2),
+        "winograd_images_per_sec": round(float(np.median(wino_s)), 2),
+        "speedup_winograd_vs_im2col": round(float(np.median(wino_s / gemm_s)), 3),
+        "winograd_layers": _winograd_layer_count(wino),
+        "max_abs_diff_winograd_vs_im2col": max_abs_diff,
+    }
+
+
+def _bench_int8_kernel(model, x, batch: int) -> dict:
+    """True-integer int8 GEMM datapath vs the float-carried code GEMM.
+
+    Both pipelines quantize identically (same scales, same codes); the
+    only axis is the GEMM kernel: ``kernel="auto"`` resolves to the
+    integer path (numba when importable, else the blocked exact-
+    accumulate kernel), ``kernel="float"`` carries the codes in the
+    float dtype. ``kernel_bit_exact_vs_reference`` additionally probes
+    the blocked kernel against the reference integer GEMM on random
+    codes with a ragged K tail — bit-identity here is the exactness
+    certificate the guard hard-gates.
+    """
+    from repro import runtime
+    from repro.runtime.quant import (
+        QuantizationConfig,
+        int8_gemm_int32,
+        int8_gemm_int32_blocked,
+    )
+
+    calib = x[:8]
+    integer = runtime.compile_model(
+        model, quantize=QuantizationConfig(kernel="auto"), calibration=calib
+    )
+    floatk = runtime.compile_model(
+        model, quantize=QuantizationConfig(kernel="float"), calibration=calib
+    )
+    int_out = integer(x)
+    float_out = floatk(x)
+    rel_diff = float(
+        np.linalg.norm(int_out - float_out) / np.linalg.norm(float_out)
+    )
+
+    rng = np.random.default_rng(SEED + 7)
+    a = rng.integers(-127, 128, size=(57, 2 * 1024 + 1)).astype(np.int8)
+    b = rng.integers(-127, 128, size=(2 * 1024 + 1, 33)).astype(np.int8)
+    bit_exact = bool(
+        np.array_equal(int8_gemm_int32_blocked(a, b), int8_gemm_int32(a, b))
+    )
+
+    samples = _interleaved_ips(
+        {
+            "integer": lambda: runtime.predict(integer, x),
+            "float": lambda: runtime.predict(floatk, x),
+        },
+        batch,
+    )
+    int_s = np.array(samples["integer"])
+    float_s = np.array(samples["float"])
+    return {
+        "int8_kernel": integer.quantization.int8_kernel,
+        "float_gemm_images_per_sec": round(float(np.median(float_s)), 2),
+        "int_gemm_images_per_sec": round(float(np.median(int_s)), 2),
+        "speedup_int_vs_float_gemm": round(float(np.median(int_s / float_s)), 3),
+        "rel_diff_int_vs_float_gemm": round(rel_diff, 6),
+        "kernel_bit_exact_vs_reference": bit_exact,
+    }
+
+
+def _bench_trace_executor(reps: int = 50) -> dict:
+    """Trace-replay executor vs per-op dispatch on a batch-1 small model.
+
+    Batch 1 on a small network is where per-op overhead (plan-cache
+    lookups, arena dict hits, thunk rebuilding) is the largest fraction
+    of a forward, so it is the honest stage for the dispatch-free
+    executor. Each trial runs ``reps`` forwards so a single forward's
+    microsecond-scale jitter cannot decide the row.
+    """
+    from repro import runtime
+    from repro.models import patternnet
+
+    model = patternnet(rng=np.random.default_rng(SEED))
+    x = np.random.default_rng(SEED + 5).normal(size=(1, 3, 16, 16))
+    compiled = runtime.compile_model(model)
+    prior = os.environ.get("REPRO_TRACE")
+
+    def run_mode(flag: str):
+        os.environ["REPRO_TRACE"] = flag
+        out = None
+        for _ in range(reps):
+            out = compiled(x)
+        return out
+
+    try:
+        max_abs_diff = float(np.abs(run_mode("1") - run_mode("0")).max())
+        samples = _interleaved_ips(
+            {"trace": lambda: run_mode("1"), "dispatch": lambda: run_mode("0")},
+            reps,
+        )
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_TRACE", None)
+        else:
+            os.environ["REPRO_TRACE"] = prior
+    trace_s = np.array(samples["trace"])
+    dispatch_s = np.array(samples["dispatch"])
+    return {
+        "model": "patternnet",
+        "batch": 1,
+        "forwards_per_trial": reps,
+        "dispatch_images_per_sec": round(float(np.median(dispatch_s)), 2),
+        "trace_images_per_sec": round(float(np.median(trace_s)), 2),
+        "speedup_trace_vs_dispatch": round(
+            float(np.median(trace_s / dispatch_s)), 3
+        ),
+        "max_abs_diff_trace_vs_dispatch": max_abs_diff,
+    }
+
+
 def bench_runtime(path: str = "BENCH_runtime.json", batch: int = 32) -> dict:
     """Measure eager vs compiled serving on the VGG-16 CIFAR shape.
 
@@ -220,6 +376,15 @@ def bench_runtime(path: str = "BENCH_runtime.json", batch: int = 32) -> dict:
     - ``dense`` — the unpruned model, isolating the compile-pipeline win
       (BN folding + fused epilogues + NHWC + float32 + arenas) without
       any sparsity in play.
+
+    Plus three kernel-level rows, each isolating one schedule axis on
+    otherwise-identical pipelines: ``winograd`` (F(m,3) fast-convolution
+    schedules vs the im2col reference, with the max-abs divergence the
+    guard gates at 1e-4), ``int8_int32`` (the true-integer int8 GEMM vs
+    the float-carried code GEMM, with a bit-exactness probe of the
+    blocked kernel), and ``trace_executor`` (thunk replay vs per-op
+    dispatch at batch 1, where dispatch overhead is the largest
+    fraction of a forward).
 
     Medians over interleaved trials keep one noisy scheduler tick from
     deciding the outcome.
@@ -251,6 +416,13 @@ def bench_runtime(path: str = "BENCH_runtime.json", batch: int = 32) -> dict:
     pruner.attach_encodings()
     n2p4 = _bench_tuned_vs_static(n2p4_model, x, batch)
 
+    # Kernel-level rows: Winograd vs im2col on the flagship model, the
+    # integer int8 GEMM vs the float-carried one, and the trace executor
+    # vs per-op dispatch — each isolating exactly one schedule axis.
+    winograd = _bench_winograd(pruned_model, x, batch)
+    int8_int32 = _bench_int8_kernel(pruned_model, x, batch)
+    trace = _bench_trace_executor()
+
     record = {
         "benchmark": "runtime_serving",
         "model": "vgg16_cifar",
@@ -266,7 +438,15 @@ def bench_runtime(path: str = "BENCH_runtime.json", batch: int = 32) -> dict:
         "speedup_workers_vs_eager": pcnn["speedup_workers_vs_eager"],
         "speedup_tuned_vs_compiled": pcnn["speedup_tuned_vs_compiled"],
         "max_abs_diff_compiled_vs_eager": pcnn["max_abs_diff_compiled_vs_eager"],
-        "configs": {"pcnn_n2_p8": pcnn, "dense": dense, "pcnn_n2_p4": n2p4},
+        "winograd_layers": pcnn["winograd_layers"],
+        "configs": {
+            "pcnn_n2_p8": pcnn,
+            "dense": dense,
+            "pcnn_n2_p4": n2p4,
+            "winograd": winograd,
+            "int8_int32": int8_int32,
+            "trace_executor": trace,
+        },
         "cpu_count": os.cpu_count(),
     }
     with open(path, "w") as fh:
@@ -286,11 +466,18 @@ def bench_quant(path: str = "BENCH_quant.json", batch: int = 32) -> dict:
     ``quantize="int8"`` — and compared on (a) accuracy: relative output
     error and top-1 agreement on a synthetic eval batch, and (b)
     throughput: interleaved median images/sec and the median per-trial
-    int8/float32 ratio. Both pipelines run the same BLAS GEMM shapes
-    (the int8 one on integer-valued operands with requantizing
-    epilogues), so the honest expectation is parity: the ratio hovers
-    around 1.0 while the weight artifact drops to 8-bit storage
-    (``weight_compression_vs_f32`` reports the measured factor).
+    int8/float32 ratio. Both pipelines run the same GEMM schedule — the
+    float leg is compiled with ``winograd=False`` because the Winograd
+    transforms void the int8 integer-exactness contract, so quantized
+    convs can never ride them; leaving the fast path on only the float
+    leg would fold a schedule difference into what this record isolates,
+    the quantization axis (``float32_winograd: false`` documents the
+    choice). On matched im2col schedules the int8 path wins outright:
+    int8-source im2col reads, single-span f32 accumulation under the
+    value-aware exactness certificate, folded integer bias, and the
+    fused band-wise requantize epilogue (``int8_kernel`` records which
+    GEMM kernel served the run) — while the weight artifact drops to
+    8-bit storage (``weight_compression_vs_f32``).
     """
     from repro import runtime
     from repro.core import PCNNConfig, PCNNPruner
@@ -303,7 +490,7 @@ def bench_quant(path: str = "BENCH_quant.json", batch: int = 32) -> dict:
     pruner.apply()
     pruner.attach_encodings()
 
-    compiled_f32 = runtime.compile_model(model)
+    compiled_f32 = runtime.compile_model(model, winograd=False)
     compiled_int8 = runtime.compile_model(model, quantize="int8", calibration=x[:8])
     report = compiled_int8.quantization
 
@@ -350,6 +537,8 @@ def bench_quant(path: str = "BENCH_quant.json", batch: int = 32) -> dict:
         "mode": report.mode,
         "quantized_layers": report.quantized_layers,
         "fallback_layers": report.fallback_layers,
+        "int8_kernel": report.int8_kernel,
+        "float32_winograd": False,
         "max_layer_weight_error": round(
             max(row["error"] for row in report.layers), 5
         ),
@@ -843,6 +1032,45 @@ def smoke() -> int:
     # ~1.7-1.9x on the 1-core container; the floor only absorbs noise.
     assert n2p4["schedules_changed_vs_heuristic"] >= 1, n2p4
     assert n2p4["speedup_tuned_vs_static"] >= 1.0, n2p4
+    wino = record["configs"]["winograd"]
+    print(
+        f"smoke: BENCH_runtime.json [winograd] -> im2col "
+        f"{wino['im2col_images_per_sec']} ips vs winograd "
+        f"{wino['winograd_images_per_sec']} ips "
+        f"({wino['speedup_winograd_vs_im2col']}x, "
+        f"{wino['winograd_layers']} layers, "
+        f"diff {wino['max_abs_diff_winograd_vs_im2col']:.1e})"
+    )
+    # Correctness is the hard gate; the speedup floor is parity minus
+    # noise (the measured margin on the 1-core container is ~1.5x+).
+    assert wino["max_abs_diff_winograd_vs_im2col"] < 1e-4, wino
+    assert wino["winograd_layers"] >= 8, wino
+    assert wino["speedup_winograd_vs_im2col"] >= 1.0, wino
+    int8_row = record["configs"]["int8_int32"]
+    print(
+        f"smoke: BENCH_runtime.json [int8_int32] -> float-GEMM "
+        f"{int8_row['float_gemm_images_per_sec']} ips vs "
+        f"{int8_row['int8_kernel']}-GEMM "
+        f"{int8_row['int_gemm_images_per_sec']} ips "
+        f"({int8_row['speedup_int_vs_float_gemm']}x, "
+        f"rel diff {int8_row['rel_diff_int_vs_float_gemm']:.1e}, "
+        f"bit-exact {int8_row['kernel_bit_exact_vs_reference']})"
+    )
+    assert int8_row["kernel_bit_exact_vs_reference"], int8_row
+    # The two pipelines share scales and codes; they only differ in the
+    # requantize epilogue's rounding precision, so the outputs stay
+    # within a sliver of the quantization error itself.
+    assert int8_row["rel_diff_int_vs_float_gemm"] < 0.02, int8_row
+    trace_row = record["configs"]["trace_executor"]
+    print(
+        f"smoke: BENCH_runtime.json [trace_executor] -> dispatch "
+        f"{trace_row['dispatch_images_per_sec']} ips vs trace "
+        f"{trace_row['trace_images_per_sec']} ips "
+        f"({trace_row['speedup_trace_vs_dispatch']}x at batch 1, "
+        f"diff {trace_row['max_abs_diff_trace_vs_dispatch']:.1e})"
+    )
+    assert trace_row["max_abs_diff_trace_vs_dispatch"] < 1e-4, trace_row
+    assert trace_row["speedup_trace_vs_dispatch"] >= 1.0, trace_row
 
     # 7. Dynamic-batching serving record: in-process Batcher under
     #    concurrent clients, dense + PCNN flagship density.
@@ -913,8 +1141,9 @@ def smoke() -> int:
     assert near_dup["cache_hits"] > 0, near_dup
 
     # 8. Quantized serving record: int8 vs float32 compiled on the
-    #    flagship config — accuracy within the quantization budget,
-    #    full top-1 agreement, throughput at float32 parity.
+    #    flagship config (matched im2col schedules) — accuracy within
+    #    the quantization budget, full top-1 agreement, int8 ahead on
+    #    throughput.
     quant = bench_quant()
     print(
         f"smoke: BENCH_quant.json [{quant['config']}] -> "
@@ -928,11 +1157,13 @@ def smoke() -> int:
     assert quant["top1_agreement"] >= 0.99, quant
     assert quant["rel_output_error"] < 0.05, quant
     assert quant["fallback_layers"] == 0, quant
-    # Same GEMM shapes on both pipelines, so the expectation is parity;
-    # the recorded speedup is the tracked signal. The asserted floor is
-    # a loose regression backstop (it catches structural slowdowns like
-    # accidental per-call quantization) sized so shared-CI-runner noise
-    # alone cannot trip it.
+    # On matched im2col schedules the int8 path is genuinely faster
+    # (int8-source im2col reads, single-span f32 accumulation, fused
+    # band-wise requantize); the recorded speedup is the tracked signal
+    # and the committed-number gate lives in scripts/bench_guard.py.
+    # The asserted floor here is a loose regression backstop (it catches
+    # structural slowdowns like accidental per-call quantization) sized
+    # so shared-CI-runner noise alone cannot trip it.
     assert quant["speedup_int8_vs_float32"] >= 0.75, quant
     print("smoke: OK")
     return 0

@@ -41,6 +41,16 @@ Policy:
   admitted request may fail, at least one demotion must occur, the
   byte ledger must end non-negative, and no tenant may be starved
   below half its weight share.
+- ``BENCH_runtime.json`` kernel check (``--runtime-only`` runs just
+  this) — **hard fail**, within-run: the ``winograd`` row's schedules
+  must agree with the im2col reference within 1e-4 and cover at least
+  8 flagship layers; the ``int8_int32`` row's blocked integer kernel
+  must be bit-identical to the reference integer GEMM and its pipeline
+  within 2% of the float-carried one; the ``trace_executor`` row must
+  beat per-op dispatch by 1.1x at batch 1. A flagship
+  ``speedup_tuned_vs_compiled`` below 0.95 additionally **warns** that
+  measured tuning went slower than the static default beyond probe
+  noise.
 - ``BENCH_serving.json`` load-scenario check — **hard fail**, within-run:
   the trace-driven ``scenario_*`` rows (``benchmarks/loadgen.py``) must
   show zero dropped admitted frames, transport answers matching
@@ -79,11 +89,17 @@ TRACKED = {
         "metrics": [
             "configs.*.speedup_compiled_vs_eager",
             "configs.*.speedup_tuned_vs_static",
+            "configs.*.speedup_winograd_vs_im2col",
+            "configs.*.speedup_int_vs_float_gemm",
+            "configs.*.speedup_trace_vs_dispatch",
         ],
         "same_machine_only": [
             "configs.*.compiled_images_per_sec",
             "configs.*.tuned_images_per_sec",
             "configs.*.static_images_per_sec",
+            "configs.*.winograd_images_per_sec",
+            "configs.*.int_gemm_images_per_sec",
+            "configs.*.trace_images_per_sec",
         ],
     },
     "BENCH_serving.json": {
@@ -92,7 +108,11 @@ TRACKED = {
     },
     "BENCH_quant.json": {
         "hard_fail": False,
-        "metrics": ["float32_images_per_sec", "int8_images_per_sec"],
+        "metrics": [
+            "float32_images_per_sec",
+            "int8_images_per_sec",
+            "speedup_int8_vs_float32",
+        ],
     },
 }
 
@@ -403,6 +423,132 @@ def check_load_scenarios(fresh: dict) -> Tuple[List[str], List[str]]:
     return failures, notes
 
 
+#: Floor for the within-run trace-executor paired ratio: thunk replay
+#: must beat per-op dispatch by at least this much at batch 1, where
+#: dispatch overhead is the largest fraction of a forward.
+TRACE_SPEEDUP_FLOOR = 1.1
+
+#: Ceiling on the relative output difference between the integer int8
+#: GEMM pipeline and the float-carried one. The GEMM accumulations are
+#: both exact; only the requantize epilogue's rounding precision
+#: differs, so the outputs must stay within a sliver of the
+#: quantization error itself.
+INT8_KERNEL_REL_DIFF_CEILING = 0.02
+
+#: Tuned-vs-compiled ratio below which the guard warns that measured
+#: tuning made the flagship pipeline slower than the static default
+#: (the tuner's candidate set includes the default, so parity minus
+#: probe noise is the expectation).
+TUNED_VS_COMPILED_NOISE_FLOOR = 0.95
+
+
+def check_runtime_kernels(fresh: dict) -> Tuple[List[str], List[str]]:
+    """Within-run kernel invariants on a fresh BENCH_runtime.json.
+
+    Machine-invariant (every number comes from one run on one host), so
+    these hard-fail without any baseline:
+
+    - ``winograd`` row: the fast-convolution schedules must agree with
+      the im2col reference within the repo-wide 1e-4 budget, and the
+      flagship model must actually run enough layers on them
+      (``winograd_layers >= 8``) for the row to mean anything;
+    - ``int8_int32`` row: the blocked integer kernel must be
+      bit-identical to the reference integer GEMM
+      (``kernel_bit_exact_vs_reference``), and the integer pipeline's
+      outputs must stay within ``INT8_KERNEL_REL_DIFF_CEILING`` of the
+      float-carried pipeline (same scales, same codes — only the
+      epilogue's rounding precision differs);
+    - ``trace_executor`` row: thunk replay must beat per-op dispatch by
+      ``TRACE_SPEEDUP_FLOOR`` at batch 1 and match it numerically.
+
+    Plus one warning: flagship ``speedup_tuned_vs_compiled`` below
+    ``TUNED_VS_COMPILED_NOISE_FLOOR`` means measured tuning picked
+    schedules slower than the static default beyond probe noise.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    configs = fresh.get("configs", {})
+
+    wino = configs.get("winograd")
+    if wino is None:
+        failures.append("winograd: row missing from fresh record")
+    else:
+        diff = wino.get("max_abs_diff_winograd_vs_im2col")
+        if diff is None or diff > 1e-4:
+            failures.append(
+                f"winograd: schedules diverged from the im2col reference "
+                f"(max_abs_diff={diff}, ceiling 1e-4)"
+            )
+        layers = wino.get("winograd_layers", 0)
+        if layers < 8:
+            failures.append(
+                f"winograd: only {layers} layers on a Winograd schedule "
+                f"(floor 8) — the pass stopped covering the flagship model"
+            )
+        if not failures:
+            notes.append(
+                f"winograd: {layers} layers, "
+                f"{wino.get('speedup_winograd_vs_im2col')}x vs im2col, "
+                f"diff {diff:.1e}"
+            )
+
+    int8_row = configs.get("int8_int32")
+    if int8_row is None:
+        failures.append("int8_int32: row missing from fresh record")
+    else:
+        if not int8_row.get("kernel_bit_exact_vs_reference"):
+            failures.append(
+                "int8_int32: blocked integer kernel is not bit-identical "
+                "to the reference integer GEMM — the exactness "
+                "certificate is broken"
+            )
+        rel = int8_row.get("rel_diff_int_vs_float_gemm")
+        if rel is None or rel > INT8_KERNEL_REL_DIFF_CEILING:
+            failures.append(
+                f"int8_int32: integer pipeline diverged from the "
+                f"float-carried reference (rel_diff={rel}, ceiling "
+                f"{INT8_KERNEL_REL_DIFF_CEILING})"
+            )
+        if int8_row.get("kernel_bit_exact_vs_reference") and rel is not None:
+            notes.append(
+                f"int8_int32: kernel '{int8_row.get('int8_kernel')}' "
+                f"bit-exact, pipeline rel diff {rel:.1e}, "
+                f"{int8_row.get('speedup_int_vs_float_gemm')}x vs "
+                f"float-carried GEMM"
+            )
+
+    trace = configs.get("trace_executor")
+    if trace is None:
+        failures.append("trace_executor: row missing from fresh record")
+    else:
+        diff = trace.get("max_abs_diff_trace_vs_dispatch")
+        if diff is None or diff > 1e-4:
+            failures.append(
+                f"trace_executor: trace replay diverged from per-op "
+                f"dispatch (max_abs_diff={diff})"
+            )
+        speedup = trace.get("speedup_trace_vs_dispatch")
+        line = (
+            f"trace_executor: {speedup}x vs dispatch at batch 1 "
+            f"(floor {TRACE_SPEEDUP_FLOOR}x)"
+        )
+        if speedup is None or speedup < TRACE_SPEEDUP_FLOOR:
+            failures.append(line)
+        else:
+            notes.append(line)
+
+    flagship = configs.get("pcnn_n2_p8", {})
+    tuned_ratio = flagship.get("speedup_tuned_vs_compiled")
+    if tuned_ratio is not None and tuned_ratio < TUNED_VS_COMPILED_NOISE_FLOOR:
+        notes.append(
+            f"WARN tuned pipeline slower than static compiled beyond "
+            f"probe noise ({tuned_ratio}x < "
+            f"{TUNED_VS_COMPILED_NOISE_FLOOR}x) — the tuning cache may "
+            f"hold stale schedules for this host"
+        )
+    return failures, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -420,12 +566,22 @@ def main(argv=None) -> int:
         help="skip baseline comparisons; run only the within-run "
         "BENCH_serving.json invariant checks (machine-independent)",
     )
+    parser.add_argument(
+        "--runtime-only", action="store_true",
+        help="skip baseline comparisons; run only the within-run "
+        "BENCH_runtime.json kernel invariant checks — winograd-vs-im2col "
+        "divergence, int8 kernel exactness, trace-executor floor "
+        "(machine-independent)",
+    )
     args = parser.parse_args(argv)
-    if args.baseline_dir is None and not args.serving_only:
-        parser.error("--baseline-dir is required unless --serving-only")
+    skip_baselines = args.serving_only or args.runtime_only
+    if args.baseline_dir is None and not skip_baselines:
+        parser.error(
+            "--baseline-dir is required unless --serving-only/--runtime-only"
+        )
 
     failed = False
-    for name, policy in () if args.serving_only else TRACKED.items():
+    for name, policy in () if skip_baselines else TRACKED.items():
         base_path = os.path.join(args.baseline_dir, name)
         fresh_path = os.path.join(args.fresh_dir, name)
         if not os.path.exists(base_path):
@@ -465,26 +621,48 @@ def main(argv=None) -> int:
         if regressions and policy["hard_fail"]:
             failed = True
     # Within-run worker-pool invariants need only the fresh record.
-    serving_fresh = os.path.join(args.fresh_dir, "BENCH_serving.json")
-    if os.path.exists(serving_fresh):
-        with open(serving_fresh) as fh:
-            fresh = json.load(fh)
-        for check in (
-            check_worker_pool, check_chaos, check_fleet, check_load_scenarios
-        ):
-            check_failures, check_notes = check(fresh)
+    if not args.runtime_only:
+        serving_fresh = os.path.join(args.fresh_dir, "BENCH_serving.json")
+        if os.path.exists(serving_fresh):
+            with open(serving_fresh) as fh:
+                fresh = json.load(fh)
+            for check in (
+                check_worker_pool, check_chaos, check_fleet, check_load_scenarios
+            ):
+                check_failures, check_notes = check(fresh)
+                for line in check_notes:
+                    print(f"[bench-guard] BENCH_serving.json: {line}")
+                for line in check_failures:
+                    print(f"[bench-guard] BENCH_serving.json: FAIL {line}")
+                    failed = True
+        else:
+            print(
+                "[bench-guard] BENCH_serving.json: no fresh record, "
+                "worker-pool check skipped"
+            )
+    # Within-run kernel invariants on the fresh runtime record.
+    if not args.serving_only:
+        runtime_fresh = os.path.join(args.fresh_dir, "BENCH_runtime.json")
+        if os.path.exists(runtime_fresh):
+            with open(runtime_fresh) as fh:
+                fresh = json.load(fh)
+            check_failures, check_notes = check_runtime_kernels(fresh)
             for line in check_notes:
-                print(f"[bench-guard] BENCH_serving.json: {line}")
+                print(f"[bench-guard] BENCH_runtime.json: {line}")
             for line in check_failures:
-                print(f"[bench-guard] BENCH_serving.json: FAIL {line}")
+                print(f"[bench-guard] BENCH_runtime.json: FAIL {line}")
                 failed = True
-    else:
-        print("[bench-guard] BENCH_serving.json: no fresh record, worker-pool check skipped")
+        else:
+            print(
+                "[bench-guard] BENCH_runtime.json: no fresh record, "
+                "kernel check skipped"
+            )
     if failed:
         print(
             f"[bench-guard] hard-fail: compiled throughput dropped more "
             f"than {args.tolerance:.0%} below the committed baseline, or "
-            f"a within-run worker-pool invariant broke"
+            f"a within-run invariant (worker pool, kernel equivalence, "
+            f"trace-executor floor) broke"
         )
         return 1
     print("[bench-guard] OK")

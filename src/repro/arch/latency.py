@@ -84,6 +84,7 @@ def conv_layer_cost(
     extra_bytes: float = 0.0,
     itemsize: int = 4,
     activation_density: float = 1.0,
+    winograd_tile: int = 0,
     arch: Optional[ArchConfig] = None,
     tech: Optional[TechnologyProfile] = None,
 ) -> LayerCost:
@@ -102,11 +103,46 @@ def conv_layer_cost(
     activation_density:
         Fraction of activations that are non-zero (the hardware skips
         zeros; software GEMMs pass 1.0).
+    winograd_tile:
+        Cost the layer as a Winograd F(m x m, 3x3) execution instead of
+        an im2col GEMM (``m`` = 2 or 4). The element-wise products
+        become ``(m+2)²`` GEMMs of width ``C_in`` over the tile grid,
+        and the input/inverse transforms are charged as the dense
+        matrix products the runtime actually performs — so the roofline
+        reflects the real arithmetic trade, not the textbook
+        multiplication count alone.
     """
     arch = arch or ArchConfig()
     tech = tech or PAPER_TECH
     oh, ow = out_hw
     windows = batch * oh * ow
+    if winograd_tile:
+        m = winograd_tile
+        f = (m + 2) ** 2
+        tiles = batch * -(-oh // m) * -(-ow // m)
+        macs = (
+            tiles * f * c_in * c_out  # the (f)-stacked batched GEMM
+            + tiles * f * f * c_in  # input transform  V = (B⊗B)ᵀ d
+            + tiles * m * m * f * c_out  # inverse transform Y = (A⊗A)ᵀ M
+        ) * activation_density
+        compute_cycles = macs / arch.total_macs
+        bytes_moved = (
+            2 * tiles * f * c_in * itemsize  # d and V tile buffers
+            + f * c_in * c_out * itemsize  # transformed weights U
+            + tiles * f * c_out * itemsize  # Winograd-domain products M
+            + windows * c_out * itemsize  # output writeback
+            + windows * c_in * itemsize  # input read
+            + extra_bytes
+        )
+        memory_cycles = bytes_moved / arch.dram_bytes_per_cycle
+        return LayerCost(
+            macs=macs,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            bytes_moved=bytes_moved,
+            frequency_hz=arch.frequency_hz,
+            power_mw=tech.total_power_mw,
+        )
     width = contraction_width if contraction_width is not None else kernel_size**2 * c_in
     macs = windows * c_out * width * activation_density
     compute_cycles = macs / arch.total_macs

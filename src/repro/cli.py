@@ -24,6 +24,7 @@ Gives downstream users the paper's numbers without writing code:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -109,6 +110,8 @@ def cmd_prune(args) -> int:
 def cmd_predict(args) -> int:
     from . import runtime
 
+    if args.no_trace:
+        os.environ["REPRO_TRACE"] = "0"
     if args.repeat < 1 or args.batch < 1:
         print("error: --repeat and --batch must be >= 1", file=sys.stderr)
         return 2
@@ -145,6 +148,7 @@ def cmd_predict(args) -> int:
                 calibration=x if args.quantize else None,
                 tune=args.tune,
                 input_shape=shape,
+                winograd=not args.no_winograd,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -519,6 +523,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument(
         "--workers", type=int, default=None,
         help="run micro-batches on a thread pool of this size",
+    )
+    p_pred.add_argument(
+        "--no-winograd", action="store_true",
+        help="disable the Winograd F(m,3) schedules on the compiled "
+        "pipeline (keep every 3x3 conv on im2col)",
+    )
+    p_pred.add_argument(
+        "--no-trace", action="store_true",
+        help="disable the trace executor (sets REPRO_TRACE=0: every "
+        "call walks per-op dispatch instead of replaying the recorded "
+        "thunk list)",
     )
     p_pred.add_argument("--repeat", type=int, default=3, help="timed repetitions")
     p_pred.add_argument("--seed", type=int, default=0, help="input RNG seed")

@@ -9,7 +9,8 @@ bundles, the accelerator simulator's functional path):
   :class:`ExecutionPlan`.
 - :class:`ConvBackend` registry — ``dense`` (im2col + GEMM reference),
   ``pattern`` (fused gather over SPM storage), ``tiled`` (bounded-memory
-  GEMM for large inputs); :func:`register_backend` adds more.
+  GEMM for large inputs), ``winograd`` (F(m x m, 3x3) transform-domain
+  conv for 3x3/stride-1); :func:`register_backend` adds more.
 - :class:`PlanCache` — memoizes per-geometry planning; pattern gather
   indices are additionally cached on each
   :class:`~repro.core.spm.EncodedLayer`.
@@ -19,7 +20,8 @@ bundles, the accelerator simulator's functional path):
   pipeline: the model lowers onto a small graph IR
   (:class:`Graph`, :mod:`repro.runtime.ir`) transformed by a validated
   :class:`PassManager` sequence (``lower → fold_bn → fuse_epilogues →
-  [tune] → [quantize] → link_halos → assign_arenas → finalize``) into
+  winograd → [tune] → [quantize] → link_halos → assign_arenas →
+  finalize``) into
   BN-folded, epilogue-fused, channels-last ops over per-thread
   zero-allocation :class:`Arena` workspaces.
 - :mod:`repro.runtime.tune` — backend-selection policy and the
@@ -41,6 +43,7 @@ from .backends import (
     Epilogue,
     PatternSparseBackend,
     TiledBackend,
+    WinogradBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -83,6 +86,7 @@ __all__ = [
     "DenseGemmBackend",
     "PatternSparseBackend",
     "TiledBackend",
+    "WinogradBackend",
     "register_backend",
     "get_backend",
     "available_backends",

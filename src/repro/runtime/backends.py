@@ -19,6 +19,10 @@ Built-in backends:
   across a layer's kernels).
 - :class:`TiledBackend` — im2col + GEMM over output-row tiles, bounding
   workspace memory for large inputs (ImageNet-scale activations).
+- :class:`WinogradBackend` — F(m x m, 3x3) fast convolution for
+  3x3/stride-1 requests, the engine-dispatch twin of the compiled
+  pipeline's Winograd schedule (same transform matrices, request-dtype
+  compute so float64 requests pin to the reference at 1e-9).
 - :class:`~repro.runtime.quant.QuantizedBackend` (``"quant"``, defined
   in :mod:`repro.runtime.quant`, registered here) — int8 execution:
   integer weight/activation codes, wide accumulation, scales folded per
@@ -45,6 +49,7 @@ __all__ = [
     "DenseGemmBackend",
     "PatternSparseBackend",
     "TiledBackend",
+    "WinogradBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -346,6 +351,112 @@ class TiledBackend:
         return out.reshape(batch * oh * ow, plan.out_channels)
 
 
+class WinogradBackend:
+    """F(m x m, 3x3) fast convolution for 3x3/stride-1 requests.
+
+    The engine-dispatch twin of the compiled pipeline's Winograd
+    schedule (:meth:`repro.runtime.compile.ConvOp._wino_closure`): input
+    tiles and the kernel move into the Winograd domain, multiply there
+    as one batched GEMM per frequency, and transform back — the same
+    :mod:`repro.runtime.winograd` matrices, applied to the engine's
+    ``(N, C, H, W)`` layout. The compute dtype follows the request
+    (float64 inputs run the transforms in float64), so the result pins
+    to the ``conv2d`` reference at the registry-wide 1e-9 tolerance.
+    An explicit ``backend="winograd"`` dispatch always runs the fast
+    path with the largest legal tile; profitability heuristics belong
+    to the tune pass, not to an explicit override.
+    """
+
+    name = "winograd"
+
+    def supports(self, request: "ConvRequest") -> bool:
+        """3x3 kernels at stride 1 only — the F(m,3) algorithms' domain."""
+        if request.weight is None and request.encoded is None:
+            return False
+        _, _, kh, kw = request.weight_shape
+        return (kh, kw) == (3, 3) and request.stride == 1
+
+    def execute(
+        self,
+        request: "ConvRequest",
+        plan: ExecutionPlan,
+        workspace: Optional[dict] = None,
+        epilogue: Optional[Epilogue] = None,
+    ) -> np.ndarray:
+        """Transform -> batched Winograd-domain GEMM -> inverse transform."""
+        from .winograd import (
+            eligible_tiles,
+            transforms,
+            weight_transform,
+            wino_geometry,
+        )
+
+        weight = _dense_weight(request)
+        arena, tag = _arena_from(workspace)
+        n, c_in, c_out = plan.batch, plan.in_channels, plan.out_channels
+        oh, ow = plan.out_hw
+        p = plan.padding
+        tiles = eligible_tiles(
+            kernel=plan.kernel, stride=plan.stride, out_hw=(oh, ow), c_in=c_in
+        )
+        if not tiles:  # pragma: no cover - supports() already gates this
+            raise ValueError("winograd backend: request is not 3x3/stride-1")
+        m = tiles[0]  # largest legal tile, best-first per WINO_TILES
+        th, tw, f, span = wino_geometry(out_hw=(oh, ow), m=m)
+        x = request.x
+        dtype = np.result_type(x.dtype, weight.dtype)
+        _, bt, at = transforms(m, dtype)
+        # (C_out, C_in, 3, 3) -> (9, C_in, C_out) rows in im2col window
+        # order, matching what weight_transform expects.
+        w9 = weight.reshape(c_out, c_in, 9).transpose(2, 1, 0)
+        u = weight_transform(w9, m, dtype)  # (f, C_in, C_out)
+
+        # Tile extraction reads m*t + 2 rows/cols; partial edge tiles
+        # read zero-fill past the convolution's own padded extent.
+        h, w_in = x.shape[2], x.shape[3]
+        ph = max(h + 2 * p, m * th + 2)
+        pw = max(w_in + 2 * p, m * tw + 2)
+        if arena is not None:
+            pad = arena.take_filled(f"{tag}:wpad", (n, c_in, ph, pw), dtype, 0.0)
+        else:
+            pad = np.zeros((n, c_in, ph, pw), dtype=dtype)
+        pad[:, :, p : p + h, p : p + w_in] = x
+
+        sn, sc, sh, sw = pad.strides
+        tiles6 = np.lib.stride_tricks.as_strided(
+            pad, (n, th, tw, span, span, c_in), (sn, m * sh, m * sw, sh, sw, sc)
+        )
+        pcount = n * th * tw
+        if arena is not None:
+            d = arena.take(f"{tag}:wd", (f, pcount, c_in), dtype)
+            v = arena.take(f"{tag}:wv", (f, pcount, c_in), dtype)
+            mmat = arena.take(f"{tag}:wm", (f, pcount, c_out), dtype)
+            ybuf = arena.take(f"{tag}:wy", (m * m, pcount * c_out), dtype)
+        else:
+            d = np.empty((f, pcount, c_in), dtype)
+            v = np.empty_like(d)
+            mmat = np.empty((f, pcount, c_out), dtype)
+            ybuf = np.empty((m * m, pcount * c_out), dtype)
+        d.reshape(span, span, n, th, tw, c_in)[...] = tiles6.transpose(3, 4, 0, 1, 2, 5)
+        np.matmul(bt, d.reshape(f, pcount * c_in), out=v.reshape(f, pcount * c_in))
+        np.matmul(v, u, out=mmat)
+        np.matmul(at, mmat.reshape(f, pcount * c_out), out=ybuf)
+
+        out = np.empty((n, oh, ow, c_out), dtype)
+        y6 = ybuf.reshape(m, m, n, th, tw, c_out)
+        exact = m * th == oh and m * tw == ow
+        if exact:
+            out.reshape(n, th, m, tw, m, c_out)[...] = y6.transpose(2, 3, 0, 4, 1, 5)
+        else:
+            full = np.empty((n, m * th, m * tw, c_out), dtype)
+            full.reshape(n, th, m, tw, m, c_out)[...] = y6.transpose(2, 3, 0, 4, 1, 5)
+            out[...] = full[:, :oh, :ow, :]
+        mat = out.reshape(n * oh * ow, c_out)
+        if epilogue is not None:
+            epilogue.apply(mat)
+        return mat
+
+
 # ---------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------
@@ -381,6 +492,7 @@ def available_backends() -> List[str]:
 register_backend(PatternSparseBackend())
 register_backend(DenseGemmBackend())
 register_backend(TiledBackend())
+register_backend(WinogradBackend())
 
 # The int8 backend lives in quant.py (it needs the compiled-pipeline op
 # machinery) but registers here so the registry is complete for anyone

@@ -47,9 +47,10 @@ original module under ``no_grad``, so ``compile_model`` is total.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +62,9 @@ from .engine import dispatch
 from .ir import Graph, TensorMeta
 from .plan import ExecutionPlan, PlanCache
 from .tune import GATHER_WIDTH_LIMIT  # noqa: F401  (canonical home: tune.py)
+from .winograd import transforms as wino_transforms
+from .winograd import weight_transform as wino_weight_transform
+from .winograd import wino_geometry
 
 __all__ = ["compile_model", "CompiledModel", "fold_batchnorm"]
 
@@ -72,6 +76,16 @@ __all__ = ["compile_model", "CompiledModel", "fold_batchnorm"]
 # this budget per layer (still batch-adaptive: rows are derived from the
 # budget at each call's geometry).
 SLAB_BYTES = 64 * 2**20
+
+
+def trace_enabled() -> bool:
+    """Whether steady-state calls run the recorded trace executor.
+
+    ``REPRO_TRACE=0`` keeps every call on the per-op dispatch loop (the
+    debug/measurement path); anything else — including unset — enables
+    tracing. Read per call so tests and operators can flip it live.
+    """
+    return os.environ.get("REPRO_TRACE", "1") != "0"
 
 
 # ---------------------------------------------------------------------
@@ -160,6 +174,10 @@ class _ExecState:
 
     arena: Arena
     plans: PlanCache
+    # (input shape, dtype) -> recorded thunk list for the trace executor.
+    # Thunks prebind arena buffers and GEMM operands, so the dict must be
+    # cleared whenever either is released (see CompiledModel.release_*).
+    traces: Dict[tuple, list] = field(default_factory=dict)
 
 
 class _InferenceOp:
@@ -180,6 +198,18 @@ class _InferenceOp:
         self, x: np.ndarray, state: _ExecState, backend: Optional[str]
     ) -> np.ndarray:
         raise NotImplementedError  # pragma: no cover - abstract
+
+    def make_thunk(
+        self, x: np.ndarray, state: _ExecState
+    ) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+        """Prebound steady-state closure for ``x``'s geometry, or None.
+
+        Called by the trace recorder with the op's actual input; a
+        returned thunk must be equivalent to ``run(x, state, None)`` for
+        every later input of the same shape/dtype/buffer identity. None
+        keeps the op on generic dispatch inside the trace.
+        """
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -218,6 +248,16 @@ class ToNHWC(_InferenceOp):
         out[...] = x.transpose(0, 2, 3, 1)
         return out
 
+    def make_thunk(self, x, state):
+        n, c, h, w = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, h, w, c), x.dtype)
+
+        def thunk(x_in):
+            out[...] = x_in.transpose(0, 2, 3, 1)
+            return out
+
+        return thunk
+
     def describe(self) -> str:
         return "to-nhwc"
 
@@ -235,6 +275,16 @@ class ToNCHW(_InferenceOp):
         out = state.arena.take(f"{self.tag}:out", (n, c, h, w), x.dtype)
         out[...] = x.transpose(0, 3, 1, 2)
         return out
+
+    def make_thunk(self, x, state):
+        n, h, w, c = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, c, h, w), x.dtype)
+
+        def thunk(x_in):
+            out[...] = x_in.transpose(0, 3, 1, 2)
+            return out
+
+        return thunk
 
     def describe(self) -> str:
         return "to-nchw"
@@ -282,6 +332,7 @@ class ConvOp(_InferenceOp):
     backend: Optional[str] = None
     dtype: Optional[object] = None
     use_gather: bool = False
+    wino_m: int = 0  # Winograd output-tile size (0 = im2col/gather GEMM)
     slab_bytes: Optional[int] = None  # tuned per-layer workspace budget
     schedule: Optional[object] = None  # ConvSchedule annotation (tune pass)
     halo: Optional[Tuple[str, int]] = None  # (consumer tag, consumer padding)
@@ -291,6 +342,7 @@ class ConvOp(_InferenceOp):
     epilogue: Optional[Epilogue] = field(default=None, repr=False)
     _weight_nchw: Optional[np.ndarray] = field(default=None, repr=False)
     _decoded_t: Optional[np.ndarray] = field(default=None, repr=False)
+    _wino_u: Optional[np.ndarray] = field(default=None, repr=False)
     _prepared: bool = field(default=False, repr=False)
 
     layout_in = "nhwc"
@@ -338,6 +390,7 @@ class ConvOp(_InferenceOp):
         self.epilogue = None
         self._weight_nchw = None
         self._decoded_t = None
+        self._wino_u = None
         self._prepared = False
 
     def param_nbytes(self) -> int:
@@ -347,7 +400,9 @@ class ConvOp(_InferenceOp):
         return total
 
     def derived_nbytes(self) -> int:
-        total = _arr_nbytes(self.weight_t, self._weight_nchw, self._decoded_t)
+        total = _arr_nbytes(
+            self.weight_t, self._weight_nchw, self._decoded_t, self._wino_u
+        )
         if self.encoded is not None:
             total += self.encoded.cached_nbytes
         return total
@@ -360,7 +415,11 @@ class ConvOp(_InferenceOp):
         return freed
 
     def clone_with(
-        self, *, use_gather: Optional[bool] = None, slab_bytes: Optional[int] = None
+        self,
+        *,
+        use_gather: Optional[bool] = None,
+        slab_bytes: Optional[int] = None,
+        wino_m: Optional[int] = None,
     ) -> "ConvOp":
         """Fresh unprepared copy with an overridden schedule (tuner probes)."""
         return ConvOp(
@@ -377,6 +436,7 @@ class ConvOp(_InferenceOp):
             backend=None,
             dtype=self.dtype,
             use_gather=self.use_gather if use_gather is None else use_gather,
+            wino_m=self.wino_m if wino_m is None else wino_m,
             slab_bytes=slab_bytes,
         )
 
@@ -388,7 +448,24 @@ class ConvOp(_InferenceOp):
             return self._run_via_engine(x, state, override)
         if self.use_gather:
             return self._run_gather(x, state)
+        if self.wino_m:
+            thunk = self._wino_closure(x, state)
+            if thunk is not None:
+                return thunk(x)
         return self._run_dense(x, state)
+
+    def make_thunk(self, x, state):
+        if self.backend is not None:
+            return None
+        if not self._prepared:
+            self.prepare()
+        if self.use_gather:
+            return None
+        if self.wino_m:
+            thunk = self._wino_closure(x, state)
+            if thunk is not None:
+                return thunk
+        return self._dense_thunk(x, state)
 
     # -- shared geometry ----------------------------------------------
     def _plan(self, x: np.ndarray, state: _ExecState) -> ExecutionPlan:
@@ -443,6 +520,18 @@ class ConvOp(_InferenceOp):
             np.maximum(out4, 0.0, out=out4)
         return out4
 
+    def _finish(self, out4: np.ndarray, arena: Arena) -> np.ndarray:
+        """Monolithic-path epilogue hook; QuantConvOp overrides this
+        with its requantizing variant, so the Winograd and dense paths
+        stay shared between the float and int8 pipelines."""
+        return self._store(out4, arena)
+
+    def _operand_weight_t(self) -> np.ndarray:
+        """The ``(K[+1], C_out)`` GEMM operand, decoding SPM lazily."""
+        if self.weight_t is not None:
+            return self.weight_t
+        return self._decoded_weight_t()
+
     # -- dense GEMM path ----------------------------------------------
     def _run_dense(self, x, state):
         arena = state.arena
@@ -470,7 +559,7 @@ class ConvOp(_InferenceOp):
             im2col_nhwc(xp, self.kernel, self.stride, out=cols[:, :k])
             out_mat = out.reshape(n * oh * ow, self.c_out)
             np.matmul(cols, weight_t, out=out_mat)
-            return self._store(out, arena)
+            return self._finish(out, arena)
         for r0 in range(0, oh, rows):
             r1 = min(r0 + rows, oh)
             x_slab = xp[:, r0 * self.stride : (r1 - 1) * self.stride + kh, :, :]
@@ -487,6 +576,189 @@ class ConvOp(_InferenceOp):
                 np.maximum(tile, 0.0, out=tile)
             out[:, r0:r1] = tile.reshape(n, r1 - r0, ow, self.c_out)
         return out
+
+    def _dense_thunk(self, x, state):
+        """Prebound monolithic dense GEMM closure (trace executor).
+
+        Binds the pad/cols/out buffers and the GEMM operand once; the
+        per-call work is exactly :meth:`_run_dense`'s monolithic branch
+        minus every dict lookup and layout decision. Slab-looped
+        geometries return None and stay on generic dispatch.
+        """
+        arena = state.arena
+        plan = self._plan(x, state)
+        n = plan.batch
+        kh, kw = self.kernel
+        oh, ow = plan.out_hw
+        k = kh * kw * self.c_in
+        weight_t = self._operand_weight_t()
+        gemm_dtype = np.result_type(x.dtype, weight_t.dtype)
+        rows = self._slab_rows(plan, n * ow * (k + self.bias_rows), x.dtype.itemsize)
+        if rows < oh:
+            return None
+        out = arena.take(f"{self.tag}:out", (n, oh, ow, self.c_out), gemm_dtype)
+        out_mat = out.reshape(n * oh * ow, self.c_out)
+        cols = arena.take_filled(
+            f"{self.tag}:cols", (n * oh * ow, k + self.bias_rows), x.dtype, 1.0
+        )
+        cols_k = cols[:, :k]
+        kernel, stride = self.kernel, self.stride
+        p = self.padding
+        if p > 0:
+            h, w = x.shape[1], x.shape[2]
+            pad = arena.take_filled(
+                f"{self.tag}:pad", (n, h + 2 * p, w + 2 * p, self.c_in), x.dtype, 0.0
+            )
+            interior = pad[:, p : p + h, p : p + w, :]
+
+            def thunk(x_in):
+                if x_in.base is not pad:
+                    interior[...] = x_in
+                im2col_nhwc(pad, kernel, stride, out=cols_k)
+                np.matmul(cols, weight_t, out=out_mat)
+                return self._finish(out, arena)
+
+        else:
+
+            def thunk(x_in):
+                im2col_nhwc(x_in, kernel, stride, out=cols_k)
+                np.matmul(cols, weight_t, out=out_mat)
+                return self._finish(out, arena)
+
+        return thunk
+
+    # -- Winograd F(m x m, 3x3) path ----------------------------------
+    def _wino_operand(self, m: int, dtype) -> np.ndarray:
+        """Memoized transformed weights ``U = (G(x)G) W``, ``(f, C_in, C_out)``."""
+        f = (m + 2) ** 2
+        u = self._wino_u
+        if u is None or u.shape[0] != f or u.dtype != np.dtype(dtype):
+            k = 9 * self.c_in
+            w9 = np.ascontiguousarray(
+                self._operand_weight_t()[:k]
+            ).reshape(9, self.c_in, self.c_out)
+            self._wino_u = wino_weight_transform(w9, m, dtype)
+        return self._wino_u
+
+    def _wino_tile(self, out_hw) -> int:
+        """Resolve the effective tile for one geometry (and persist it).
+
+        ``wino_m > 0`` is a concrete compile-time choice (the winograd
+        pass with known shapes, or the tuner); ``wino_m == -1`` marks a
+        statically-eligible conv whose output size was unknown at
+        compile time — the static tile rule resolves it here from the
+        first execution plan and the result sticks, so describe() and
+        serving meta report the tile that actually runs.
+        """
+        m = self.wino_m
+        if m < 0:
+            from .winograd import default_tile, eligible_tiles
+
+            tiles = eligible_tiles(
+                kernel=self.kernel,
+                stride=self.stride,
+                out_hw=out_hw,
+                c_in=self.c_in,
+                backend=self.backend,
+                use_gather=self.use_gather,
+            )
+            m = default_tile(out_hw=out_hw, c_in=self.c_in, tiles=tiles)
+            self.wino_m = m
+        return m
+
+    def _wino_closure(self, x, state):
+        """Build the prebound Winograd executor for ``x``'s geometry.
+
+        One closure serves both entry points: :meth:`run` builds and
+        invokes it per call (cheap — a handful of arena lookups), the
+        trace executor records it once and replays the tight loop. The
+        epilogue goes through :meth:`_finish`, so the same closure
+        serves the float pipeline (bias+ReLU) and the quantized one
+        (requantize) — the quantized op's integer activation codes are
+        widened to the GEMM dtype during the tile-transform copy.
+        Returns ``None`` when the auto tile rule resolves to "stay on
+        im2col" for this geometry.
+        """
+        arena = state.arena
+        plan = self._plan(x, state)
+        n = plan.batch
+        oh, ow = plan.out_hw
+        m = self._wino_tile((oh, ow))
+        if m <= 0:
+            return None
+        th, tw, f, span = wino_geometry(out_hw=(oh, ow), m=m)
+        c, c_out = self.c_in, self.c_out
+        h, w = x.shape[1], x.shape[2]
+        p = self.padding
+        operand = self._operand_weight_t()
+        gemm_dtype = np.result_type(x.dtype, operand.dtype)
+        _, bt, at = wino_transforms(m, gemm_dtype)
+        u = self._wino_operand(m, gemm_dtype)
+        bias = operand[9 * c] if self.bias_rows else None
+        # Tile extraction needs m*t + 2 rows/cols; for even outputs this
+        # is exactly the conv's own padded extent, so the halo-fused
+        # ``:pad`` buffer doubles as the tile source. Odd outputs read
+        # one partial tile past it, from a wider zero-filled buffer.
+        span_h, span_w = m * th + 2, m * tw + 2
+        ph, pw = max(h + 2 * p, span_h), max(w + 2 * p, span_w)
+        if p > 0 and ph == h + 2 * p and pw == w + 2 * p:
+            pad = arena.take_filled(f"{self.tag}:pad", (n, ph, pw, c), x.dtype, 0.0)
+        else:
+            pad = arena.take_filled(f"{self.tag}:wpad", (n, ph, pw, c), x.dtype, 0.0)
+        interior = pad[:, p : p + h, p : p + w, :]
+        sn, sh, sw, sc = pad.strides
+        tiles = np.lib.stride_tricks.as_strided(
+            pad, (n, th, tw, span, span, c), (sn, m * sh, m * sw, sh, sw, sc)
+        )
+        tile_src = tiles.transpose(3, 4, 0, 1, 2, 5)
+        pcount = n * th * tw
+        d = arena.take(f"{self.tag}:wd", (f, pcount, c), gemm_dtype)
+        d6 = d.reshape(span, span, n, th, tw, c)
+        v = arena.take(f"{self.tag}:wv", (f, pcount, c), gemm_dtype)
+        mmat = arena.take(f"{self.tag}:wm", (f, pcount, c_out), gemm_dtype)
+        ybuf = arena.take(f"{self.tag}:wy", (m * m, pcount * c_out), gemm_dtype)
+        exact = m * th == oh and m * tw == ow
+        if exact:
+            out_full = arena.take(f"{self.tag}:out", (n, oh, ow, c_out), gemm_dtype)
+            out = out_full
+        else:
+            out_full = arena.take(
+                f"{self.tag}:wout", (n, m * th, m * tw, c_out), gemm_dtype
+            )
+            out = out_full[:, :oh, :ow, :]
+        out6 = out_full.reshape(n, th, m, tw, m, c_out)
+        y_src = ybuf.reshape(m, m, n, th, tw, c_out).transpose(2, 3, 0, 4, 1, 5)
+        d2 = d.reshape(f, pcount * c)
+        v2 = v.reshape(f, pcount * c)
+        m2 = mmat.reshape(f, pcount * c_out)
+
+        def thunk(x_in):
+            if x_in.base is not pad:
+                interior[...] = x_in
+            d6[...] = tile_src
+            np.matmul(bt, d2, out=v2)
+            np.matmul(v, u, out=mmat)
+            np.matmul(at, m2, out=ybuf)
+            out6[...] = y_src
+            if bias is not None:
+                np.add(out, bias, out=out)
+            return self._finish(out, arena)
+
+        return thunk
+
+    def schedule_kind(self) -> str:
+        """Per-layer schedule annotation for describe()/serving meta."""
+        if self.backend:
+            return f"backend:{self.backend}"
+        if self.use_gather:
+            return "gather"
+        if self.wino_m > 0:
+            return f"winograd{self.wino_m}"
+        if self.wino_m < 0:
+            return "winograd-auto"
+        if self.slab_bytes is not None:
+            return "slab"
+        return "im2col"
 
     # -- grouped-contraction SPM path ---------------------------------
     def _run_gather(self, x, state):
@@ -585,6 +857,10 @@ class ConvOp(_InferenceOp):
         label = f"{kind}" + (f"+{'+'.join(fused)}" if fused else "")
         if self.schedule is not None:
             label += f" [{self.schedule.describe()}]"
+        elif self.wino_m > 0:
+            # Auto markers (wino_m < 0) stay silent until the first
+            # execution plan resolves them to a concrete tile.
+            label += f" [winograd{self.wino_m}]"
         return label
 
 
@@ -607,6 +883,25 @@ class LinearOp(_InferenceOp):
         if self.relu:
             np.maximum(out, 0.0, out=out)
         return out
+
+    def make_thunk(self, x, state):
+        weight_t = np.ascontiguousarray(self.weight.T)
+        out_dtype = np.result_type(x.dtype, weight_t.dtype)
+        out = state.arena.take(
+            f"{self.tag}:out", (x.shape[0], self.weight.shape[0]), out_dtype
+        )
+        bias = None if self.bias is None else self.bias.astype(out_dtype, copy=False)
+        relu = self.relu
+
+        def thunk(x_in):
+            np.matmul(x_in, weight_t, out=out)
+            if bias is not None:
+                np.add(out, bias, out=out)
+            if relu:
+                np.maximum(out, 0.0, out=out)
+            return out
+
+        return thunk
 
     def param_nbytes(self) -> int:
         return _arr_nbytes(self.weight, self.bias)
@@ -673,7 +968,17 @@ class ReluOp(_InferenceOp):
 
     def run(self, x, state, backend):
         out = state.arena.take(f"{self.tag}:out", x.shape, x.dtype)
-        return np.maximum(x, 0.0, out=out)
+        # Integer zero: ReLU inside a quantized region runs on int8
+        # activation codes, where a float 0.0 would force a promotion.
+        return np.maximum(x, 0, out=out)
+
+    def make_thunk(self, x, state):
+        out = state.arena.take(f"{self.tag}:out", x.shape, x.dtype)
+
+        def thunk(x_in):
+            return np.maximum(x_in, 0, out=out)
+
+        return thunk
 
     def describe(self) -> str:
         return "relu"
@@ -705,12 +1010,19 @@ class MaxPoolOp(_InferenceOp):
 
     def run(self, x, state, backend):
         if self.padding > 0:
-            # -inf borders so padded cells never win; filled once at
-            # allocation, only the interior is copied per call.
+            # Identity-of-max borders so padded cells never win; filled
+            # once at allocation, only the interior is copied per call.
+            # (int8 activation codes get the integer minimum: -inf does
+            # not cast.)
             n, h, w, c = x.shape
             p = self.padding
+            lowest = (
+                -np.inf
+                if np.issubdtype(x.dtype, np.floating)
+                else np.iinfo(x.dtype).min
+            )
             buf = state.arena.take_filled(
-                f"{self.tag}:pad", (n, h + 2 * p, w + 2 * p, c), x.dtype, -np.inf
+                f"{self.tag}:pad", (n, h + 2 * p, w + 2 * p, c), x.dtype, lowest
             )
             buf[:, p : p + h, p : p + w, :] = x
             x = buf
@@ -720,6 +1032,26 @@ class MaxPoolOp(_InferenceOp):
             state.arena, self.tag, self.halo, (n, oh, ow, x.shape[3]), x.dtype
         )
         return np.max(windows, axis=(3, 4), out=out)
+
+    def make_thunk(self, x, state):
+        if self.padding > 0:
+            return None
+        # The window view binds to the producer's (stable) arena buffer;
+        # if a later call ever hands a different array, fall back to the
+        # generic path rather than reading stale data.
+        windows = pool_windows_nhwc(x, self.kernel, self.stride)
+        n, oh, ow = windows.shape[:3]
+        out = _pool_out(
+            state.arena, self.tag, self.halo, (n, oh, ow, x.shape[3]), x.dtype
+        )
+        bound = x
+
+        def thunk(x_in):
+            if x_in is not bound:
+                return self.run(x_in, state, None)
+            return np.max(windows, axis=(3, 4), out=out)
+
+        return thunk
 
     def describe(self) -> str:
         return f"maxpool{self.kernel}"
@@ -759,6 +1091,17 @@ class GlobalAvgPoolOp(_InferenceOp):
     def run(self, x, state, backend):
         return x.mean(axis=(1, 2))  # NHWC -> (N, C)
 
+    def make_thunk(self, x, state):
+        if not np.issubdtype(x.dtype, np.floating):
+            return None  # integer means promote; keep run()'s semantics
+        n, h, w, c = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, c), x.dtype)
+
+        def thunk(x_in):
+            return np.mean(x_in, axis=(1, 2), out=out)
+
+        return thunk
+
     def describe(self) -> str:
         return "globalavgpool"
 
@@ -778,6 +1121,17 @@ class FlattenOp(_InferenceOp):
         out = state.arena.take(f"{self.tag}:out", (n, c * h * w), x.dtype)
         out.reshape(n, c, h, w)[...] = x.transpose(0, 3, 1, 2)
         return out
+
+    def make_thunk(self, x, state):
+        n, h, w, c = x.shape
+        out = state.arena.take(f"{self.tag}:out", (n, c * h * w), x.dtype)
+        out_nchw = out.reshape(n, c, h, w)
+
+        def thunk(x_in):
+            out_nchw[...] = x_in.transpose(0, 3, 1, 2)
+            return out
+
+        return thunk
 
     def describe(self) -> str:
         return "flatten"
@@ -987,6 +1341,7 @@ class CompiledModel:
         with self._states_lock:
             states = list(self._states)
         for state in states:
+            state.traces.clear()  # thunks pin the arena buffers
             freed += state.arena.release()
         return freed
 
@@ -998,6 +1353,10 @@ class CompiledModel:
         a recompile. Returns bytes freed.
         """
         freed = 0
+        with self._states_lock:
+            states = list(self._states)
+        for state in states:
+            state.traces.clear()  # thunks pin the released GEMM operands
         for op in self.iter_ops():
             freed += op.release_derived()
         return freed
@@ -1024,15 +1383,75 @@ class CompiledModel:
         if self.dtype is not None and x.dtype != self.dtype:
             x = x.astype(self.dtype)
         state = self._state()
-        out = x
-        for op in self.ops:
-            out = op.run(out, state, backend)
+        if backend is None and trace_enabled():
+            out = self._run_traced(x, state)
+        else:
+            out = x
+            for op in self.ops:
+                out = op.run(out, state, backend)
         if geometry_key not in self._geometry:
             self._geometry[geometry_key] = (out.shape[1:], np.dtype(out.dtype))
         # The last op's result may be a view into an arena buffer that the
         # next call will overwrite; hand back an owned copy (outputs are
         # head-sized, so this is cheap).
         return np.array(out, copy=True)
+
+    def _run_traced(self, x: np.ndarray, state: _ExecState) -> np.ndarray:
+        """Steady-state executor: replay the recorded thunk list.
+
+        The first call at a given (shape, dtype) records the trace — it
+        runs each op once through :meth:`_InferenceOp.make_thunk` (or a
+        generic ``op.run`` wrapper), capturing prebound buffers, GEMM
+        operands and frozen layout decisions. Replays are a tight loop
+        over plain callables: no plan-cache lookups, no arena dict hits,
+        no per-op branching. Recording doubles as execution, so the
+        first call costs the same as dispatch.
+        """
+        key = (x.shape, np.dtype(x.dtype))
+        thunks = state.traces.get(key)
+        if thunks is not None:
+            out = x
+            for thunk in thunks:
+                out = thunk(out)
+            return out
+        thunks = []
+        out = x
+        for op in self.ops:
+            thunk = op.make_thunk(out, state)
+            if thunk is None:
+
+                def thunk(x_in, _op=op, _state=state):
+                    return _op.run(x_in, _state, None)
+
+            out = thunk(out)
+            thunks.append(thunk)
+        state.traces[key] = thunks
+        return out
+
+    def executor_kind(self) -> str:
+        """``"trace"`` when steady-state calls replay recorded thunks,
+        ``"dispatch"`` under ``REPRO_TRACE=0``."""
+        return "trace" if trace_enabled() else "dispatch"
+
+    def schedule_summary(self) -> List[dict]:
+        """Per-layer schedule kinds for describe()/serving meta.
+
+        One row per conv-like op: the lowering tag, op class, the
+        chosen schedule kind (``winograd4``/``winograd2``/``im2col``/
+        ``gather``/``slab``/``backend:*``) and, for quantized convs,
+        which int8 GEMM kernel serves the layer.
+        """
+        rows = []
+        for op in self.iter_ops():
+            kind = getattr(op, "schedule_kind", None)
+            if kind is None:
+                continue
+            row = {"tag": op.tag, "op": type(op).__name__, "kind": kind()}
+            int8_kernel = getattr(op, "int8_kernel", None)
+            if int8_kernel is not None:
+                row["int8_kernel"] = int8_kernel
+            rows.append(row)
+        return rows
 
     def output_geometry(self, input_tail, input_dtype):
         """``(output shape tail, dtype)`` for ``(N,) + input_tail`` inputs.
@@ -1121,7 +1540,7 @@ class CompiledModel:
     def describe(self) -> str:
         """The pass-annotated pipeline: trace, ops, and reports."""
         header = f"CompiledModel({self.source or 'model'}, dtype={self.dtype})"
-        lines = [header]
+        lines = [header, f"  executor: {self.executor_kind()}"]
         if self.passes:
             trace = " -> ".join(record.name for record in self.passes)
             lines.append(f"  passes: {trace}")
@@ -1151,6 +1570,7 @@ def compile_model(
     tune: Optional[str] = None,
     input_shape: Optional[Sequence[int]] = None,
     tuning_cache=None,
+    winograd: bool = True,
     passes: Optional[Sequence[object]] = None,
 ) -> CompiledModel:
     """Lower ``model`` to a :class:`CompiledModel` inference pipeline.
@@ -1190,6 +1610,11 @@ def compile_model(
     tuning_cache:
         Explicit :class:`~repro.runtime.tune.TuningCache` (tests,
         hermetic builds); defaults to the process-wide persisted one.
+    winograd:
+        Let the ``winograd`` pass mark eligible 3x3/stride-1 convs for
+        the F(m x m, 3x3) fast-convolution path (default). ``False``
+        keeps every conv on its im2col/gather GEMM — the reference
+        schedule benchmarks and equivalence tests compare against.
     passes:
         Override the pass list (names or
         :class:`~repro.runtime.passes.Pass` objects); the default is the
@@ -1219,6 +1644,7 @@ def compile_model(
         tune=tune,
         input_shape=tuple(input_shape) if input_shape is not None else None,
         tuning_cache=tuning_cache,
+        winograd=winograd,
     )
     graph = Graph(TensorMeta("nchw"), name=type(model).__name__)
     manager = PassManager(passes if passes is not None else default_passes(ctx))

@@ -4,7 +4,7 @@
 :class:`~repro.runtime.ir.Graph` and hands it to a :class:`PassManager`
 running the standard sequence::
 
-    lower → fold_bn → fuse_epilogues → [tune] → [quantize]
+    lower → fold_bn → fuse_epilogues → winograd → [tune] → [quantize]
           → link_halos → assign_arenas → finalize
 
 Each pass is a named, independently-testable function
@@ -16,6 +16,7 @@ Each pass is a named, independently-testable function
 |                  | hooks) into unfused graph nodes + layout conversions        |
 | ``fold_bn``      | fold every conv→BN pair into the conv's weight/bias         |
 | ``fuse_epilogues``| absorb a following ReLU into conv/linear/BN epilogues      |
+| ``winograd``     | mark eligible 3x3/s1 convs for the F(m,3) fast path         |
 | ``tune``         | pick per-conv schedules (cost model or measurement)         |
 | ``quantize``     | rewrite eligible convs to the int8 execution form           |
 | ``link_halos``   | point producers at their consumer's padded input buffer     |
@@ -72,6 +73,7 @@ class CompileContext:
     input_shape: Optional[Tuple[int, ...]] = None  # (C, H, W), for tune
     tuning_cache: Optional[object] = None
     tune_batch: int = 16  # batch the chunk-size tuner measures at
+    winograd: bool = True  # let the winograd pass mark eligible convs
     # Outputs:
     quant_report: Optional[object] = None
     tuning_report: Optional[object] = None
@@ -197,6 +199,8 @@ def default_passes(ctx: CompileContext) -> List[Pass]:
     """The standard pipeline for one context (tune/quantize included
     only when requested, so the trace shows exactly what ran)."""
     names = ["lower", "fold_bn", "fuse_epilogues"]
+    if ctx.winograd:
+        names.append("winograd")
     if ctx.tune is not None:
         names.append("tune")
     if ctx.quantize is not None:
@@ -486,11 +490,80 @@ def pass_fuse_epilogues(graph: Graph, ctx: CompileContext) -> str:
 
 
 # ---------------------------------------------------------------------
+# winograd
+# ---------------------------------------------------------------------
+@compiler_pass(
+    "winograd",
+    after=("lower", "fold_bn", "fuse_epilogues"),
+    before=("tune", "quantize", "link_halos", "assign_arenas", "finalize"),
+)
+def pass_winograd(graph: Graph, ctx: CompileContext) -> str:
+    """Mark eligible convs for the Winograd F(m x m, 3x3) fast path.
+
+    Eligibility is static (3x3 kernel, stride 1, no gather schedule or
+    backend override — see :func:`repro.runtime.winograd.eligible_tiles`);
+    the *tile* needs each conv's output size. With ``ctx.input_shape``
+    the pass propagates shapes analytically and picks a concrete tile
+    per layer (``wino_m = 4``/``2``); without it, eligible convs get the
+    ``wino_m = -1`` auto marker and the static tile rule resolves from
+    the first execution plan instead. Runs before ``tune`` on purpose:
+    the marks are the heuristic default the tuner arbitrates against
+    (and can overturn per layer, cost- or measurement-ranked).
+    """
+    from .compile import ConvOp
+    from .tune import _conv_shapes_analytic
+    from .winograd import default_tile, eligible_tiles
+
+    shapes = None
+    if ctx.input_shape is not None:
+        shapes = _conv_shapes_analytic(graph.op_list(), ctx.input_shape)
+
+    counts: Dict[int, int] = {}
+    for node in graph.walk():
+        op = node.op
+        if not isinstance(op, ConvOp):
+            continue
+        if (
+            tuple(op.kernel) != (3, 3)
+            or op.stride != 1
+            or op.backend is not None
+            or op.use_gather
+            or op.c_in < 16
+        ):
+            continue
+        in_hw = shapes.get(id(op)) if shapes is not None else None
+        if in_hw is None:
+            op.wino_m = -1  # auto: resolved from the first execution plan
+            counts[-1] = counts.get(-1, 0) + 1
+            continue
+        out_hw = (in_hw[0] + 2 * op.padding - 2, in_hw[1] + 2 * op.padding - 2)
+        tiles = eligible_tiles(
+            kernel=op.kernel,
+            stride=op.stride,
+            out_hw=out_hw,
+            c_in=op.c_in,
+            backend=op.backend,
+            use_gather=op.use_gather,
+        )
+        m = default_tile(out_hw=out_hw, c_in=op.c_in, tiles=tiles)
+        if m:
+            op.wino_m = m
+            counts[m] = counts.get(m, 0) + 1
+    if not counts:
+        return "no eligible convs"
+    parts = [
+        f"{'auto' if m < 0 else f'F({m}x{m},3x3)'} on {counts[m]} conv(s)"
+        for m in sorted(counts, reverse=True)
+    ]
+    return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------
 # tune
 # ---------------------------------------------------------------------
 @compiler_pass(
     "tune",
-    after=("fold_bn", "fuse_epilogues"),
+    after=("fold_bn", "fuse_epilogues", "winograd"),
     before=("quantize", "link_halos", "assign_arenas", "finalize"),
 )
 def pass_tune(graph: Graph, ctx: CompileContext) -> str:
@@ -543,7 +616,7 @@ def pass_quantize(graph: Graph, ctx: CompileContext) -> str:
     ctx.quant_report = report
     return (
         f"int{report.bits}: {report.quantized_layers} conv(s) quantized, "
-        f"{report.fallback_layers} float"
+        f"{report.fallback_layers} float, kernel={report.int8_kernel}"
     )
 
 

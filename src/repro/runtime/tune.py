@@ -128,7 +128,9 @@ TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
 #: Worker-pool processes inherit the router's resolved count through it,
 #: so a pool never re-probes under a different affinity view.
 TUNE_CPUS_ENV = "REPRO_TUNE_CPUS"
-_CACHE_VERSION = 1
+# v2: the schedule space grew winograd2/winograd4 modes — v1 entries
+# would silently pin pre-Winograd winners, so the key version bumps.
+_CACHE_VERSION = 2
 
 
 def effective_cpu_count() -> int:
@@ -320,8 +322,10 @@ def layer_cache_key(
 class ConvSchedule:
     """One conv's chosen execution schedule.
 
-    ``mode`` is ``"dense"`` (decode to a dense GEMM when encoded) or
-    ``"gather"`` (serve natively from SPM storage); ``slab_bytes``
+    ``mode`` is ``"dense"`` (decode to a dense GEMM when encoded),
+    ``"gather"`` (serve natively from SPM storage), or
+    ``"winograd2"``/``"winograd4"`` (the F(m x m, 3x3) fast-convolution
+    path over decoded weights); ``slab_bytes``
     replaces the default slab-tiling byte budget when set (the budget
     stays batch-adaptive — rows are derived from it per call, so the
     measured footprint holds at any serving batch). ``source`` records
@@ -406,26 +410,62 @@ def _op_geometry(op, in_hw: Tuple[int, int]) -> dict:
     }
 
 
-def _candidate_modes(op) -> List[str]:
-    if op.encoded is None:
-        return ["dense"]
-    return ["gather", "dense"]
+def _wino_tile_of(mode: str) -> int:
+    """The tile a ``winogradN`` mode names (0 for GEMM modes)."""
+    return int(mode[len("winograd") :]) if mode.startswith("winograd") else 0
 
 
-def _analytic_cost_ms(op, geometry: dict, mode: str, itemsize: int) -> float:
+def _candidate_modes(op, geometry: dict) -> List[str]:
+    from .winograd import eligible_tiles
+
+    modes = ["dense"] if op.encoded is None else ["gather", "dense"]
+    modes += [
+        f"winograd{m}"
+        for m in eligible_tiles(
+            kernel=op.kernel,
+            stride=op.stride,
+            out_hw=geometry["out_hw"],
+            c_in=op.c_in,
+            backend=op.backend,
+            use_gather=False,  # winograd replaces the decoded dense GEMM
+        )
+    ]
+    return modes
+
+
+def _analytic_cost_ms(
+    op, geometry: dict, mode: str, itemsize: int, batch: int = 1
+) -> float:
     """Rank one candidate with the per-layer accelerator cost model.
 
     The model is a proxy machine (MAC slots + a memory roofline), not a
     CPU simulator — what matters is the *relative* order of candidates:
     a gather contraction is charged its |P|·n·C_in GEMM width plus the
-    extra gathered-operand traffic, a dense one its k²·C_in width.
+    extra gathered-operand traffic, a dense one its k²·C_in width, a
+    Winograd one its transform GEMMs and 4x-larger weight operand.
+    Candidates are ranked at the tuning batch: weight traffic is
+    batch-invariant while activation traffic scales, and that ratio is
+    exactly what separates Winograd (bigger weights, far fewer MACs)
+    from im2col on each layer.
     """
     from ..arch.latency import conv_layer_cost
 
     k2 = geometry["kernel_area"]
     c_in = op.c_in
     oh, ow = geometry["out_hw"]
-    windows = oh * ow
+    windows = batch * oh * ow
+    tile = _wino_tile_of(mode)
+    if tile:
+        cost = conv_layer_cost(
+            out_hw=geometry["out_hw"],
+            c_in=c_in,
+            c_out=op.c_out,
+            kernel_size=op.kernel[0],
+            batch=batch,
+            winograd_tile=tile,
+            itemsize=itemsize,
+        )
+        return cost.latency_ms
     if mode == "gather":
         num_patterns, n_nonzero = geometry["encoding"]
         width = num_patterns * n_nonzero * c_in
@@ -440,6 +480,7 @@ def _analytic_cost_ms(op, geometry: dict, mode: str, itemsize: int) -> float:
         c_in=c_in,
         c_out=op.c_out,
         kernel_size=op.kernel[0],
+        batch=batch,
         contraction_width=width,
         extra_bytes=extra_bytes,
         itemsize=itemsize,
@@ -474,12 +515,15 @@ _MEASURE_REPEATS = 3
 _MEASURE_MARGIN = 0.05
 
 
-def _measure_layer_ips(op, geometry: dict, dtype) -> float:
+def _measure_layer_ips(op, geometry: dict, dtype, batch: int = _MEASURE_BATCH) -> float:
     """Time one candidate conv op on a synthetic NHWC input.
 
     Fresh arena and plan cache per candidate (so nothing leaks between
     them), one warm-up run, then best-of-``_MEASURE_REPEATS`` — best
     rather than mean because scheduler noise only ever adds time.
+    Probes run at the tuning batch, not at 1: schedules whose fixed
+    overhead amortises over the batch (Winograd transforms, gather
+    grouping) would otherwise lose probes they win at serving batches.
     """
     from .arena import Arena
     from .compile import _ExecState
@@ -487,7 +531,7 @@ def _measure_layer_ips(op, geometry: dict, dtype) -> float:
 
     ih, iw = geometry["in_hw"]
     rng = np.random.default_rng(0)
-    x = rng.standard_normal((_MEASURE_BATCH, ih, iw, op.c_in)).astype(
+    x = rng.standard_normal((batch, ih, iw, op.c_in)).astype(
         np.dtype(dtype) if dtype is not None else np.float64
     )
     state = _ExecState(arena=Arena(), plans=PlanCache())
@@ -497,7 +541,7 @@ def _measure_layer_ips(op, geometry: dict, dtype) -> float:
         start = time.perf_counter()
         op.run(x, state, None)
         best = min(best, time.perf_counter() - start)
-    return _MEASURE_BATCH / best if best > 0 else float("inf")
+    return batch / best if best > 0 else float("inf")
 
 
 def _measure_chunk_ips(ops: List[object], input_shape, dtype, batch: int, chunk: int) -> float:
@@ -674,7 +718,27 @@ def tune_graph(graph, ctx) -> TuningReport:
         if in_hw is None:  # unreached op (should not happen)
             continue
         geometry = _op_geometry(op, in_hw)
-        heuristic_mode = "gather" if op.use_gather else "dense"
+        if op.wino_m < 0:
+            # Auto marker from a shape-blind winograd pass: the tuner
+            # knows the geometry, so resolve it to a concrete default.
+            from .winograd import default_tile, eligible_tiles
+
+            op.wino_m = default_tile(
+                out_hw=geometry["out_hw"],
+                c_in=op.c_in,
+                tiles=eligible_tiles(
+                    kernel=op.kernel,
+                    stride=op.stride,
+                    out_hw=geometry["out_hw"],
+                    c_in=op.c_in,
+                    backend=op.backend,
+                    use_gather=op.use_gather,
+                ),
+            )
+        if op.wino_m:
+            heuristic_mode = f"winograd{op.wino_m}"
+        else:
+            heuristic_mode = "gather" if op.use_gather else "dense"
         key = layer_cache_key(
             c_in=op.c_in,
             c_out=op.c_out,
@@ -700,9 +764,10 @@ def tune_graph(graph, ctx) -> TuningReport:
             else:
                 report.cache_misses += 1
         if schedule is None:
+            rank_batch = ctx.tune_batch or _MEASURE_BATCH
             ranked = sorted(
-                _candidate_modes(op),
-                key=lambda m: _analytic_cost_ms(op, geometry, m, itemsize),
+                _candidate_modes(op, geometry),
+                key=lambda m: _analytic_cost_ms(op, geometry, m, itemsize, rank_batch),
             )
             if mode == "cost":
                 best = ranked[0]
@@ -710,7 +775,9 @@ def tune_graph(graph, ctx) -> TuningReport:
                     mode=best,
                     slab_bytes=None,
                     source="cost",
-                    score_ms=_analytic_cost_ms(op, geometry, best, itemsize),
+                    score_ms=_analytic_cost_ms(
+                        op, geometry, best, itemsize, rank_batch
+                    ),
                 )
             else:
                 # The heuristic's own schedule measures first and is the
@@ -722,15 +789,26 @@ def tune_graph(graph, ctx) -> TuningReport:
                 for cand_mode in ranked:
                     if cand_mode != heuristic_mode:
                         candidates.append(ConvSchedule(mode=cand_mode, slab_bytes=None))
+                    if _wino_tile_of(cand_mode):
+                        continue  # winograd ignores slab tiling
                     slab = _cache_slab_candidate(op, geometry, itemsize)
                     if slab is not None:
                         candidates.append(ConvSchedule(mode=cand_mode, slab_bytes=slab))
                 for cand in candidates:
                     variant = op.clone_with(
-                        use_gather=(cand.mode == "gather"), slab_bytes=cand.slab_bytes
+                        use_gather=(cand.mode == "gather"),
+                        slab_bytes=cand.slab_bytes,
+                        wino_m=_wino_tile_of(cand.mode),
                     )
-                    cand.ips = _measure_layer_ips(variant, geometry, ctx.dtype)
+                    cand.ips = _measure_layer_ips(
+                        variant, geometry, ctx.dtype, rank_batch
+                    )
                 schedule = max(candidates, key=lambda c: c.ips)
+                # Never persist a winner that did not beat the default
+                # schedule by the noise margin: probe batches are small,
+                # and a cached regression would outlive the noisy run
+                # that produced it (the bench guard checks the invariant
+                # end to end as tuned-vs-compiled throughput).
                 if (
                     schedule is not default
                     and schedule.ips < default.ips * (1.0 + _MEASURE_MARGIN)
@@ -740,6 +818,7 @@ def tune_graph(graph, ctx) -> TuningReport:
                 cache.put(key, schedule.as_dict())
         op.use_gather = schedule.mode == "gather"
         op.slab_bytes = schedule.slab_bytes
+        op.wino_m = _wino_tile_of(schedule.mode)
         op.schedule = schedule
         # The probe forward above already built GEMM state under the
         # heuristic schedule; drop it so finalize rebuilds for the

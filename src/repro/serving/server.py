@@ -105,13 +105,21 @@ class ServedModel:
 
     def describe(self) -> dict:
         """JSON-ready row for the /models endpoint."""
-        return {
+        row = {
             "input_shape": list(self.input_shape),
             "compiled": self.compiled is not None,
             "source": self.source,
             "weight": self.batcher.weight,
             **self.meta,
         }
+        if self.compiled is not None:
+            # Computed per request, not at load time: executor mode can
+            # flip live (REPRO_TRACE) and winograd-auto tiles resolve on
+            # the first real flush — so /models answers "which fast
+            # paths is this tenant actually on" with current state.
+            row["executor"] = self.compiled.executor_kind()
+            row["schedules"] = self.compiled.schedule_summary()
+        return row
 
 
 class ModelServer:

@@ -156,6 +156,7 @@ class TestPassOrdering:
             "lower",
             "fold_bn",
             "fuse_epilogues",
+            "winograd",
             "tune",
             "quantize",
             "link_halos",
@@ -163,6 +164,15 @@ class TestPassOrdering:
             "finalize",
         ]
         PassManager(default_passes(ctx))  # construction validates
+        ctx_plain = CompileContext(model=None, winograd=False)
+        assert [p.name for p in default_passes(ctx_plain)] == [
+            "lower",
+            "fold_bn",
+            "fuse_epilogues",
+            "link_halos",
+            "assign_arenas",
+            "finalize",
+        ]
 
 
 class TestPerPassEffects:
@@ -306,6 +316,7 @@ class TestCompiledModelSurface:
             "lower",
             "fold_bn",
             "fuse_epilogues",
+            "winograd",
             "link_halos",
             "assign_arenas",
             "finalize",

@@ -1,0 +1,277 @@
+"""Property tests for the kernel-level fast paths.
+
+Three claims, each checked over randomly drawn geometries rather than a
+handful of fixtures:
+
+- the Winograd F(m,3) schedules agree with the im2col reference across
+  the whole eligibility boundary (tiny outputs, partial edge tiles, odd
+  sizes, both paddings, dense and SPM-decoded weights, float32/float64);
+- the blocked int8 GEMM kernel is *bit-identical* to the reference
+  integer GEMM — including ragged K tails around ``INT8_BLOCK_K``,
+  ``k == 0`` and empty batches — which is the exactness certificate the
+  int8 serving path rests on;
+- the trace executor replays exactly what per-op dispatch computes,
+  across shape changes mid-stream;
+- measured tuning never persists a schedule that did not beat the
+  static default by the noise margin.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import runtime
+from repro.core import (
+    PCNNConfig,
+    PCNNPruner,
+    SPMCodebook,
+    encode_layer,
+    enumerate_patterns,
+    project_to_patterns,
+)
+from repro.models import patternnet
+from repro.runtime.quant import (
+    INT8_BLOCK_K,
+    int8_gemm_int32,
+    int8_gemm_int32_blocked,
+)
+
+
+class TestWinogradProperty:
+    """Winograd vs im2col over the eligibility boundary."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        h=st.integers(min_value=3, max_value=13),
+        w=st.integers(min_value=3, max_value=13),
+        c_in=st.sampled_from([1, 3, 4, 16]),
+        c_out=st.sampled_from([2, 8]),
+        padding=st.integers(min_value=0, max_value=1),
+        batch=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_dense_matches_im2col(self, h, w, c_in, c_out, padding, batch, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, c_in, h, w))
+        weight = rng.normal(size=(c_out, c_in, 3, 3))
+        reference = runtime.dispatch(x, weight, padding=padding, backend="dense")
+        out = runtime.dispatch(x, weight, padding=padding, backend="winograd")
+        # float64 compute: the transforms round at machine epsilon, far
+        # inside the repo-wide 1e-4 equivalence budget.
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hw=st.integers(min_value=4, max_value=11),
+        n=st.integers(min_value=1, max_value=4),
+        num_patterns=st.sampled_from([2, 4, 8]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_spm_decoded_matches_im2col(self, hw, n, num_patterns, seed):
+        rng = np.random.default_rng(seed)
+        patterns = enumerate_patterns(n)[:num_patterns]
+        weight = project_to_patterns(rng.normal(size=(8, 4, 3, 3)), patterns)
+        encoded = encode_layer(weight, SPMCodebook(patterns))
+        x = rng.normal(size=(2, 4, hw, hw))
+        reference = runtime.dispatch(x, encoded=encoded, padding=1, backend="dense")
+        out = runtime.dispatch(x, encoded=encoded, padding=1, backend="winograd")
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        hw=st.sampled_from([4, 6, 9, 16]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_float32_within_equivalence_budget(self, hw, seed):
+        """float32 Winograd stays inside the repo-wide 1e-4 budget."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 16, hw, hw)).astype(np.float32)
+        weight = rng.normal(size=(8, 16, 3, 3)).astype(np.float32)
+        reference = runtime.dispatch(x, weight, padding=1, backend="dense")
+        out = runtime.dispatch(x, weight, padding=1, backend="winograd")
+        assert out.dtype == np.float32
+        scale = max(1.0, float(np.abs(reference).max()))
+        assert float(np.abs(out - reference).max()) / scale <= 1e-4
+
+    @pytest.mark.parametrize("pruned", [False, True])
+    def test_compiled_pipeline_winograd_vs_im2col(self, pruned):
+        """compile_model(winograd=True) vs winograd=False, end to end."""
+        model = patternnet(rng=np.random.default_rng(3))
+        if pruned:
+            pruner = PCNNPruner(model, PCNNConfig.uniform(2, 3, num_patterns=8))
+            pruner.apply()
+            pruner.attach_encodings()
+        x = np.random.default_rng(4).normal(size=(3, 3, 16, 16))
+        wino = runtime.compile_model(model)
+        gemm = runtime.compile_model(model, winograd=False)
+        assert float(np.abs(wino(x) - gemm(x)).max()) <= 1e-4
+
+    def test_ineligible_geometry_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError, match="does not support"):
+            runtime.dispatch(
+                rng.normal(size=(1, 4, 8, 8)),
+                rng.normal(size=(8, 4, 3, 3)),
+                stride=2,
+                backend="winograd",
+            )
+        with pytest.raises(ValueError, match="does not support"):
+            runtime.dispatch(
+                rng.normal(size=(1, 4, 8, 8)),
+                rng.normal(size=(8, 4, 5, 5)),
+                backend="winograd",
+            )
+
+
+class TestInt8KernelExactness:
+    """The blocked kernel's bit-identity certificate, property-checked."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=40),
+        k=st.integers(min_value=0, max_value=2 * INT8_BLOCK_K + 37),
+        m=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_blocked_bit_identical_to_reference(self, n, k, m, seed):
+        """Every realisable code GEMM — ragged K tails, k == 0, empty
+        batches — accumulates to exactly the int32 reference values."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-127, 128, size=(n, k)).astype(np.int8)
+        b = rng.integers(-127, 128, size=(k, m)).astype(np.int8)
+        out = int8_gemm_int32_blocked(a, b)
+        reference = int8_gemm_int32(a, b)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, reference.astype(np.float64))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        k=st.sampled_from(
+            [1, INT8_BLOCK_K - 1, INT8_BLOCK_K, INT8_BLOCK_K + 1, 3 * INT8_BLOCK_K]
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_float32_columns_accumulate_exactly(self, k, seed):
+        """The pipeline hands in float32 columns cast off int8 buffers;
+        the kernel must stay exact on them too."""
+        rng = np.random.default_rng(seed)
+        a8 = rng.integers(-127, 128, size=(17, k)).astype(np.int8)
+        b = rng.integers(-127, 128, size=(k, 9)).astype(np.int8)
+        out = int8_gemm_int32_blocked(a8.astype(np.float32), b)
+        assert np.array_equal(out, int8_gemm_int32(a8, b).astype(np.float64))
+
+    def test_worst_case_saturated_codes(self):
+        """All-(+127) x all-(-127) at a K past the block bound — the
+        largest-magnitude accumulation the certificate covers."""
+        k = 2 * INT8_BLOCK_K + 1
+        a = np.full((3, k), 127, dtype=np.int8)
+        b = np.full((k, 2), -127, dtype=np.int8)
+        out = int8_gemm_int32_blocked(a, b)
+        assert np.all(out == -(127 * 127) * k)
+
+    def test_single_block_float32_out_fast_path(self):
+        """k <= INT8_BLOCK_K with a float32 out skips staging, exactly."""
+        rng = np.random.default_rng(11)
+        a = rng.integers(-127, 128, size=(13, INT8_BLOCK_K)).astype(np.int8)
+        b = rng.integers(-127, 128, size=(INT8_BLOCK_K, 7)).astype(np.int8)
+        out = np.empty((13, 7), dtype=np.float32)
+        int8_gemm_int32_blocked(a, b, out=out)
+        assert np.array_equal(out.astype(np.int64), int8_gemm_int32(a, b))
+
+
+class TestTraceExecutor:
+    """Thunk replay computes exactly what per-op dispatch computes."""
+
+    def _model(self, pruned=True):
+        model = patternnet(rng=np.random.default_rng(7))
+        if pruned:
+            pruner = PCNNPruner(model, PCNNConfig.uniform(2, 3, num_patterns=4))
+            pruner.apply()
+            pruner.attach_encodings()
+        return model
+
+    def test_trace_matches_dispatch_across_shapes(self, monkeypatch):
+        model = self._model()
+        compiled = runtime.compile_model(model)
+        rng = np.random.default_rng(8)
+        for batch in (1, 3, 1, 2):  # shape changes mid-stream re-trace
+            x = rng.normal(size=(batch, 3, 16, 16))
+            monkeypatch.setenv("REPRO_TRACE", "0")
+            dispatched = compiled(x)
+            monkeypatch.setenv("REPRO_TRACE", "1")
+            first = compiled(x)  # records the trace
+            replay = compiled(x)  # replays it
+            np.testing.assert_array_equal(first, replay)
+            np.testing.assert_allclose(replay, dispatched, rtol=1e-5, atol=1e-6)
+
+    def test_trace_matches_dispatch_quantized(self, monkeypatch):
+        model = self._model()
+        x = np.random.default_rng(9).normal(size=(4, 3, 16, 16))
+        compiled = runtime.compile_model(model, quantize="int8", calibration=x)
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        dispatched = compiled(x)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        compiled(x)
+        replay = compiled(x)
+        np.testing.assert_allclose(replay, dispatched, rtol=1e-5, atol=1e-6)
+
+    def test_executor_kind_reports_mode(self, monkeypatch):
+        compiled = runtime.compile_model(self._model(pruned=False))
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert compiled.executor_kind() == "trace"
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert compiled.executor_kind() == "dispatch"
+
+    def test_schedule_summary_names_kernel_schedules(self):
+        model = self._model()
+        x = np.random.default_rng(10).normal(size=(2, 3, 16, 16))
+        compiled = runtime.compile_model(model, quantize="int8", calibration=x)
+        compiled(x)  # resolve winograd-auto markers
+        rows = compiled.schedule_summary()
+        assert rows and all({"tag", "op", "kind"} <= set(row) for row in rows)
+        qrows = [row for row in rows if row["op"] == "QuantConvOp"]
+        # Quantized convs always disclose their int8 kernel resolution in
+        # the kind string ("+int8:<kernel>", "float" when float-carried);
+        # dense-GEMM quant layers additionally expose row["int8_kernel"].
+        assert qrows and all("int8:" in row["kind"] for row in qrows)
+
+
+class TestNeverPersistSlower:
+    """Measured tuning must not cache a schedule that only won on noise."""
+
+    def test_equal_measurements_keep_the_default(self, tmp_path, monkeypatch):
+        """When every candidate measures identically, no alternative
+        beats the default by the margin, so the default persists."""
+        from repro.runtime import tune as tune_mod
+        from repro.runtime.tune import TuningCache
+
+        monkeypatch.setattr(
+            tune_mod, "_measure_layer_ips", lambda *a, **kw: 100.0
+        )
+        model = patternnet(
+            channels=(8, 16), num_classes=4, rng=np.random.default_rng(12)
+        )
+        pruner = PCNNPruner(model, PCNNConfig.uniform(1, 2, num_patterns=4))
+        pruner.apply()
+        pruner.attach_encodings()
+        static = runtime.compile_model(model, winograd=False)
+        from repro.runtime.compile import ConvOp
+
+        heuristic = {
+            op.tag: ("gather" if op.use_gather else "dense")
+            for op in static.ops
+            if isinstance(op, ConvOp)
+        }
+        cache = TuningCache(path=str(tmp_path / "tune.json"))
+        tuned = runtime.compile_model(
+            model,
+            tune="measure",
+            input_shape=(3, 16, 16),
+            tuning_cache=cache,
+            winograd=False,
+        )
+        for op in tuned.ops:
+            if isinstance(op, ConvOp):
+                assert op.schedule.mode == heuristic[op.tag], op.tag
+        assert len(cache) > 0  # the defaults were persisted, not skipped

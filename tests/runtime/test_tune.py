@@ -92,7 +92,9 @@ class TestMeasuredTuning:
         # The persisted file is valid JSON holding the measured schedules.
         with open(path) as fh:
             payload = json.load(fh)
-        assert payload["version"] == 1 and payload["entries"]
+        from repro.runtime.tune import _CACHE_VERSION
+
+        assert payload["version"] == _CACHE_VERSION and payload["entries"]
 
         # Second compile of the same model: every schedule comes from the
         # cache, nothing is re-measured or re-stored.

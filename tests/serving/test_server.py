@@ -234,7 +234,11 @@ class TestQuantizedServing:
 class TestCacheObservability:
     """PlanCache / TuningCache stats ride the /stats payload."""
 
-    def test_plan_cache_stats_in_snapshot(self):
+    def test_plan_cache_stats_in_snapshot(self, monkeypatch):
+        # Pin the per-op dispatch path: the trace executor replays
+        # prebound thunks on repeat shapes and never consults the plan
+        # cache again, which is exactly what this test observes.
+        monkeypatch.setenv("REPRO_TRACE", "0")
         server = ModelServer(max_batch=4, max_latency_ms=1.0)
         served = server.load_registry("patternnet")
         with server:
